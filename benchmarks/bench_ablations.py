@@ -1,0 +1,189 @@
+"""Ablation benches for the implementation's own design choices.
+
+DESIGN.md calls out three load-bearing implementation decisions; each
+is ablated here against the naive alternative so the choice is
+justified by measurement, not taste:
+
+* **A1 — canonical grouping keys.**  Bag equality, DISTINCT and GROUP
+  BY all run on hashable ``group_key`` values (expected O(n)); the
+  naive alternative compares elements pairwise with ``deep_equals``
+  (O(n²)).
+* **A2 — chained environments.**  FROM items extend a parent
+  environment in O(1); the naive alternative copies the whole binding
+  dict per joined row.
+* **A3 — rewrite once, evaluate many.**  The sugar → Core rewrite is a
+  compile step; the ablation re-parses and re-rewrites per execution
+  (what an interpreter without the Core separation would do).
+"""
+
+import pytest
+
+from repro import Database
+from repro.core.environment import Environment
+from repro.datamodel.convert import from_python
+from repro.datamodel.equality import deep_equals, group_key
+from repro.datamodel.values import Bag
+from repro.workloads import emp_flat
+
+# -- A1: grouping keys vs pairwise deep equality ---------------------------
+
+N_ELEMENTS = 800
+
+
+def _bag_elements():
+    return from_python(
+        [{"k": index % 50, "tags": ["a", "b"]} for index in range(N_ELEMENTS)]
+    )
+
+
+@pytest.mark.benchmark(group="A1-multiset-equality")
+def test_a1_canonical_keys(benchmark):
+    left, right = _bag_elements(), list(reversed(_bag_elements()))
+
+    def with_keys():
+        counts = {}
+        for item in left:
+            key = group_key(item)
+            counts[key] = counts.get(key, 0) + 1
+        for item in right:
+            counts[group_key(item)] -= 1
+        return all(count == 0 for count in counts.values())
+
+    assert benchmark(with_keys)
+
+
+@pytest.mark.benchmark(group="A1-multiset-equality")
+def test_a1_pairwise_deep_equals(benchmark):
+    # Quadratic baseline on a smaller input (the full size would take
+    # minutes) — the per-element cost comparison is what matters.
+    left = _bag_elements()[:200]
+    right = list(reversed(_bag_elements()[:200]))
+
+    def pairwise():
+        remaining = list(right)
+        for item in left:
+            for position, candidate in enumerate(remaining):
+                if deep_equals(item, candidate):
+                    del remaining[position]
+                    break
+            else:
+                return False
+        return not remaining
+
+    assert benchmark(pairwise)
+
+
+# -- A2: environment chaining vs dict copying -------------------------------
+#
+# The tradeoff is depth- and width-dependent: copying pays O(bindings)
+# per extension but gives O(1) lookups; the chain extends in O(1) but
+# looks up in O(depth).  ``wide`` models the case that actually bites —
+# a wide outer scope (many catalog names / LETs / group attributes)
+# being re-copied for every joined row.
+
+DEPTH = 4
+WIDTH = 2_000
+WIDE_OUTER = {f"outer{i}": i for i in range(40)}
+
+
+@pytest.mark.benchmark(group="A2-environments")
+@pytest.mark.parametrize("outer_width", [1, 40], ids=["narrow", "wide"])
+def test_a2_chained_environments(benchmark, outer_width):
+    root_bindings = {f"outer{i}": i for i in range(outer_width)}
+
+    def chained():
+        root = Environment(root_bindings)
+        total = 0
+        for index in range(WIDTH):
+            env = root
+            for level in range(DEPTH):
+                env = env.bind(f"v{level}", index + level)
+            total += env.lookup("v0") + env.lookup("outer0")
+        return total
+
+    benchmark(chained)
+
+
+@pytest.mark.benchmark(group="A2-environments")
+@pytest.mark.parametrize("outer_width", [1, 40], ids=["narrow", "wide"])
+def test_a2_copied_dicts(benchmark, outer_width):
+    root_bindings = {f"outer{i}": i for i in range(outer_width)}
+
+    def copied():
+        total = 0
+        for index in range(WIDTH):
+            env = dict(root_bindings)
+            for level in range(DEPTH):
+                env = dict(env)  # the copy the chain avoids
+                env[f"v{level}"] = index + level
+            total += env["v0"] + env["outer0"]
+        return total
+
+    benchmark(copied)
+
+
+# -- A3: compile-once vs re-rewrite per execution ----------------------------
+
+QUERY = (
+    "SELECT e.deptno, AVG(e.salary) AS a, COUNT(*) AS n "
+    "FROM emp AS e WHERE e.salary > 60000 GROUP BY e.deptno"
+)
+
+
+@pytest.mark.benchmark(group="A3-compile-once")
+def test_a3_precompiled(benchmark):
+    db = Database()
+    db.set("emp", emp_flat(2_000, seed=12))
+    core = db.compile(QUERY)
+    from repro.core.environment import Environment as Env
+    from repro.core.evaluator import Evaluator
+
+    evaluator = Evaluator(db.catalog, db._config)
+    benchmark(lambda: evaluator.execute(core, Env()))
+
+
+@pytest.mark.benchmark(group="A3-compile-once")
+def test_a3_reparse_every_time(benchmark):
+    db = Database()
+    db.set("emp", emp_flat(2_000, seed=12))
+    benchmark(lambda: db.execute(QUERY))
+
+
+# -- A4: interpreted AST walk vs compiled closures ---------------------------
+#
+# The clause pipeline evaluates the same expressions once per binding;
+# compiling them to closures (repro.core.compile_expr) removes the
+# per-row dispatch.  The ablation runs the same WHERE+SELECT expression
+# both ways over the same bindings.
+
+from repro import Database  # noqa: E402
+from repro.core.environment import Environment as _Env  # noqa: E402
+from repro.core.evaluator import Evaluator  # noqa: E402
+from repro.syntax.parser import parse_expression  # noqa: E402
+
+_A4_EXPR = parse_expression(
+    "r.salary > 80000 AND r.title = 'Engineer' AND r.name LIKE '%a%'"
+)
+
+
+def _a4_envs():
+    db = Database()
+    db.set("emp", emp_flat(3_000, seed=23))
+    evaluator = Evaluator(db.catalog, db._config)
+    rows = db.get("emp")
+    return evaluator, [_Env({"r": row}) for row in rows]
+
+
+@pytest.mark.benchmark(group="A4-expr-compilation")
+def test_a4_interpreted_walk(benchmark):
+    evaluator, envs = _a4_envs()
+    benchmark(lambda: sum(
+        1 for env in envs if evaluator.eval_expr(_A4_EXPR, env) is True
+    ))
+
+
+@pytest.mark.benchmark(group="A4-expr-compilation")
+def test_a4_compiled_closures(benchmark):
+    evaluator, envs = _a4_envs()
+    compiled = evaluator.compiled(_A4_EXPR)
+    benchmark(lambda: sum(1 for env in envs if compiled(env) is True))

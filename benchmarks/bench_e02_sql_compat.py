@@ -1,0 +1,62 @@
+"""E2 — SQL compatibility (paper tenet 1).
+
+"Existing SQL queries should continue to work, with identical syntax and
+semantics, in SQL query processors that are extended to provide SQL++."
+
+The claim's shape: for every SQL query in the suite, the SQL++ engine
+returns *exactly* the strict SQL-92 baseline's answer.  The bench
+asserts that row-for-row at three scales and times both engines on the
+same workload, so the cost of the extra generality is visible.
+"""
+
+import pytest
+
+from repro import Database
+from repro.baselines.sql92 import SQL92Database
+from repro.datamodel.convert import from_python
+from repro.datamodel.values import Bag
+from repro.workloads import emp_flat
+
+from conftest import assert_same_bag
+
+SQL_QUERIES = {
+    "filter": "SELECT e.name, e.salary FROM emp AS e WHERE e.salary > 150000",
+    "group": "SELECT e.deptno, AVG(e.salary) AS avgsal, COUNT(*) AS n "
+    "FROM emp AS e GROUP BY e.deptno",
+    "order-limit": "SELECT e.name FROM emp AS e ORDER BY name LIMIT 10",
+    "case": "SELECT e.name, CASE WHEN e.salary > 120000 THEN 'hi' ELSE 'lo' END AS b "
+    "FROM emp AS e",
+}
+
+SIZES = [1_000, 5_000, 20_000]
+
+
+def engines(size):
+    rows = emp_flat(size, seed=2)
+    sql92 = SQL92Database()
+    sql92.create_table("emp", ["id", "name", "title", "deptno", "salary"])
+    sql92.insert("emp", rows)
+    sqlpp = Database()
+    sqlpp.set("emp", rows)
+    return sql92, sqlpp
+
+
+@pytest.mark.benchmark(group="E2-sqlpp")
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("name", sorted(SQL_QUERIES))
+def test_sqlpp_engine(benchmark, name, size):
+    sql92, sqlpp = engines(size)
+    query = SQL_QUERIES[name]
+
+    # The compatibility assertion: identical answers.
+    assert_same_bag(sqlpp.execute(query), Bag(from_python(sql92.execute(query))))
+
+    benchmark(lambda: sqlpp.execute(query))
+
+
+@pytest.mark.benchmark(group="E2-sql92-baseline")
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("name", sorted(SQL_QUERIES))
+def test_sql92_baseline(benchmark, name, size):
+    sql92, __ = engines(size)
+    benchmark(lambda: sql92.execute(SQL_QUERIES[name]))

@@ -1,0 +1,103 @@
+"""E3 — first-class nesting vs the relational alternatives (Section III).
+
+Three ways to ask "which employees work on which projects":
+
+* **sqlpp-unnest** — the paper's left-correlated FROM over nested data;
+* **sql92-join** — the same data normalised into two flat tables, joined
+  by the strict SQL-92 baseline (the classic pre-SQL++ answer);
+* **jsoncolumn-explode** — the bolt-on answer: documents as JSON text,
+  a JSON_TABLE-style explode that re-parses per row.
+
+All three must agree on the rows.  Expected shape: the unnest stays
+ahead of the bolt-on (which pays a JSON parse per document per query)
+across every fanout; the normalised join pays the join and loses the
+data locality the document layout gives.
+"""
+
+import pytest
+
+from repro.baselines.jsoncolumn import JsonColumnDatabase
+from repro.baselines.sql92 import SQL92Database
+from repro.datamodel.convert import from_python
+from repro.datamodel.values import Bag
+from repro.workloads import emp_nested, emp_normalized
+
+from conftest import assert_same_bag, make_db
+
+SIZE = 2_000
+FANOUTS = [1, 4, 16]
+
+UNNEST_QUERY = (
+    "SELECT e.id AS id, p.name AS proj "
+    "FROM emp AS e, e.projects AS p "
+    "WHERE p.name LIKE '%Security%'"
+)
+JOIN_QUERY = (
+    "SELECT e.id, p.name FROM emp AS e JOIN proj AS p ON p.emp_id = e.id "
+    "WHERE p.name LIKE '%Security%'"
+)
+
+
+def setups(fanout):
+    nested = emp_nested(SIZE, fanout=fanout, seed=5)
+    employees, projects = emp_normalized(SIZE, fanout=fanout, seed=5)
+
+    sqlpp = make_db(emp=nested)
+
+    sql92 = SQL92Database()
+    sql92.create_table("emp", ["id", "name", "title", "deptno", "salary"])
+    sql92.insert("emp", employees)
+    sql92.create_table("proj", ["emp_id", "seq", "name"])
+    sql92.insert("proj", projects)
+
+    bolt_on = JsonColumnDatabase()
+    bolt_on.create_table("emp")
+    bolt_on.insert_documents("emp", nested)
+    return sqlpp, sql92, bolt_on
+
+
+def bolt_on_rows(bolt_on):
+    return bolt_on.explode(
+        "emp",
+        "$.projects",
+        {"id": "$.id"},
+        {"proj": "$.name"},
+        where=lambda row: "Security" in row["proj"],
+    )
+
+
+@pytest.fixture(scope="module")
+def verified():
+    """Cross-check all three implementations once, on the middle fanout."""
+    sqlpp, sql92, bolt_on = setups(4)
+    ours = sqlpp.execute(UNNEST_QUERY)
+    joined = Bag(
+        from_python(
+            [{"id": r["id"], "proj": r["name"]} for r in sql92.execute(JOIN_QUERY)]
+        )
+    )
+    exploded = Bag(from_python(bolt_on_rows(bolt_on)))
+    assert_same_bag(ours, joined)
+    assert_same_bag(ours, exploded)
+    return True
+
+
+@pytest.mark.benchmark(group="E3-unnest")
+@pytest.mark.parametrize("fanout", FANOUTS)
+def test_sqlpp_unnest(benchmark, fanout, verified):
+    sqlpp, __, __ = setups(fanout)
+    benchmark(lambda: sqlpp.execute(UNNEST_QUERY))
+
+
+@pytest.mark.benchmark(group="E3-unnest")
+@pytest.mark.parametrize("fanout", FANOUTS)
+def test_sql92_normalized_join(benchmark, fanout, verified):
+    __, sql92, __ = setups(fanout)
+    benchmark(lambda: sql92.execute(JOIN_QUERY))
+
+
+@pytest.mark.benchmark(group="E3-unnest")
+@pytest.mark.parametrize("fanout", FANOUTS)
+def test_jsoncolumn_explode(benchmark, fanout, verified):
+    __, __, bolt_on = setups(fanout)
+    benchmark(lambda: bolt_on_rows(bolt_on))

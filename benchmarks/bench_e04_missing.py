@@ -1,0 +1,62 @@
+"""E4 — the null-vs-missing guarantee at scale (Section IV-B).
+
+"Given a working SQL query q over a collection d that has null values
+and a collection d′ where some nulls have been replaced with missing
+attributes, the SQL++ query q will deliver the same result q(d′) as the
+SQL result q(d), except that some attributes that would have null values
+in q(d) will be simply missing in q(d′)."
+
+The bench sweeps the absent-rate, asserts the guarantee (results equal
+modulo null-valued attributes), and times both variants — showing the
+missing-attribute representation is also the cheaper one (smaller
+tuples, fewer attribute bindings).
+"""
+
+import pytest
+
+from repro.datamodel.values import Bag, Struct
+from repro.workloads import emp_with_absent_titles
+
+from conftest import make_db
+
+SIZE = 5_000
+RATES = [0.0, 0.1, 0.5]
+
+QUERY = (
+    "SELECT e.id, e.title AS title, CASE WHEN e.title LIKE 'Eng%' "
+    "THEN 'tech' ELSE 'other' END AS wing FROM emp AS e"
+)
+
+
+def strip_nulls(result):
+    out = []
+    for row in result:
+        out.append(
+            Struct([(k, v) for k, v in row.items() if v is not None])
+        )
+    return Bag(out)
+
+
+@pytest.fixture(scope="module")
+def guarantee_verified():
+    for rate in RATES:
+        db_null = make_db(emp=emp_with_absent_titles(SIZE, rate, use_missing=False))
+        db_missing = make_db(emp=emp_with_absent_titles(SIZE, rate, use_missing=True))
+        left = strip_nulls(db_null.execute(QUERY))
+        right = strip_nulls(db_missing.execute(QUERY))
+        assert left == right, f"guarantee violated at rate {rate}"
+    return True
+
+
+@pytest.mark.benchmark(group="E4-null-vs-missing")
+@pytest.mark.parametrize("rate", RATES)
+def test_null_representation(benchmark, rate, guarantee_verified):
+    db = make_db(emp=emp_with_absent_titles(SIZE, rate, use_missing=False))
+    benchmark(lambda: db.execute(QUERY))
+
+
+@pytest.mark.benchmark(group="E4-null-vs-missing")
+@pytest.mark.parametrize("rate", RATES)
+def test_missing_representation(benchmark, rate, guarantee_verified):
+    db = make_db(emp=emp_with_absent_titles(SIZE, rate, use_missing=True))
+    benchmark(lambda: db.execute(QUERY))

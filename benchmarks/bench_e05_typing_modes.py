@@ -1,0 +1,56 @@
+"""E5 — permissive vs stop-on-error typing (Section IV, relaxation 2).
+
+Shape claims:
+
+* on clean data, the permissive machinery costs little over strict;
+* as the dirty-rate grows, permissive mode keeps answering — the result
+  covers exactly the healthy rows — while strict mode fails fast (its
+  "cost" is constant-ish: it stops at the first offender).
+"""
+
+import pytest
+
+from repro import TypeCheckError
+from repro.workloads import event_log
+
+from conftest import make_db
+
+SIZE = 5_000
+DIRTY_RATES = [0.0, 0.01, 0.1, 0.5]
+
+QUERY = (
+    "SELECT e.kind AS kind, AVG(e.latency) AS avg_latency, COUNT(*) AS n "
+    "FROM events AS e GROUP BY e.kind"
+)
+
+
+@pytest.mark.benchmark(group="E5-typing-modes")
+@pytest.mark.parametrize("rate", DIRTY_RATES)
+def test_permissive(benchmark, rate):
+    db = make_db(events=event_log(SIZE, dirty_rate=rate, seed=31))
+    result = db.execute(QUERY)
+    # Healthy data proceeds: every group still reports an average and
+    # the row count covers *all* events.
+    rows = list(result)
+    assert sum(row["n"] for row in rows) == SIZE
+    if rate < 1.0:
+        assert all(row["avg_latency"] is not None for row in rows)
+    benchmark(lambda: db.execute(QUERY))
+
+
+@pytest.mark.benchmark(group="E5-typing-modes")
+def test_strict_on_clean_data(benchmark):
+    db = make_db(events=event_log(SIZE, dirty_rate=0.0, seed=31))
+    benchmark(lambda: db.execute(QUERY, typing_mode="strict"))
+
+
+@pytest.mark.benchmark(group="E5-strict-fail-fast")
+@pytest.mark.parametrize("rate", [0.01, 0.5])
+def test_strict_stops_on_dirty_data(benchmark, rate):
+    db = make_db(events=event_log(SIZE, dirty_rate=rate, seed=31))
+
+    def attempt():
+        with pytest.raises(TypeCheckError):
+            db.execute(QUERY, typing_mode="strict")
+
+    benchmark(attempt)

@@ -1,0 +1,76 @@
+"""E6 — GROUP AS vs nested-subquery nesting (Section V-B).
+
+"This pattern is more efficient and more intuitive than nested SELECT
+VALUE queries when the required nesting is not based on the nesting of
+the input."
+
+Both formulations invert employees→projects into projects→employees:
+
+* **group-as** — one grouping pass, groups exposed as data;
+* **nested-subquery** — for each distinct project, a correlated
+  subquery rescans the whole input (quadratic in the group count).
+
+The bench asserts both give identical output and sweeps the number of
+distinct groups; the expected shape is GROUP AS flat-ish, the rescan
+formulation degrading as groups grow.
+"""
+
+import random
+
+import pytest
+
+from conftest import assert_same_bag, make_db
+
+SIZE = 1_500
+GROUP_COUNTS = [4, 40, 400]
+
+GROUP_AS_QUERY = """
+    FROM emps AS e, e.projects AS p
+    GROUP BY p AS project GROUP AS g
+    SELECT project AS project,
+           (FROM g AS v SELECT VALUE v.e.name) AS members
+"""
+
+NESTED_SUBQUERY_QUERY = """
+    SELECT VALUE {'project': project,
+                  'members': (SELECT VALUE e.name
+                              FROM emps AS e, e.projects AS q
+                              WHERE q = project)}
+    FROM (SELECT DISTINCT VALUE p FROM emps AS e, e.projects AS p) AS project
+"""
+
+
+def workload(group_count):
+    rng = random.Random(17)
+    projects = [f"proj-{i:04d}" for i in range(group_count)]
+    return [
+        {
+            "id": i,
+            "name": f"emp-{i}",
+            "projects": rng.sample(projects, k=min(3, group_count)),
+        }
+        for i in range(SIZE)
+    ]
+
+
+@pytest.fixture(scope="module")
+def equivalence_verified():
+    db = make_db(emps=workload(40))
+    assert_same_bag(
+        db.execute(GROUP_AS_QUERY), db.execute(NESTED_SUBQUERY_QUERY)
+    )
+    return True
+
+
+@pytest.mark.benchmark(group="E6-group-as")
+@pytest.mark.parametrize("groups", GROUP_COUNTS)
+def test_group_as(benchmark, groups, equivalence_verified):
+    db = make_db(emps=workload(groups))
+    benchmark(lambda: db.execute(GROUP_AS_QUERY))
+
+
+@pytest.mark.benchmark(group="E6-group-as")
+@pytest.mark.parametrize("groups", GROUP_COUNTS)
+def test_nested_subquery(benchmark, groups, equivalence_verified):
+    db = make_db(emps=workload(groups))
+    benchmark(lambda: db.execute(NESTED_SUBQUERY_QUERY))

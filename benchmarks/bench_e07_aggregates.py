@@ -1,0 +1,73 @@
+"""E7 — aggregate sugar vs explicit Core aggregation (Section V-C,
+Listings 15-18).
+
+The theme of the rewriting is that the aggregated group "is first
+(conceptually) materialized and then passed (conceptually again) to the
+composable function".  The bench asserts the sugar and the explicit Core
+forms agree, and times:
+
+* the SQL sugar (rewriter does the lowering),
+* the hand-written Core form (what the rewriter produces),
+* a pre-aggregated Core pipeline mixing several COLL_* calls,
+
+so the cost of the definitional materialisation is visible.
+"""
+
+import pytest
+
+from repro.workloads import emp_flat
+
+from conftest import assert_same_bag, make_db
+
+SIZES = [1_000, 10_000]
+
+SUGAR = (
+    "SELECT e.deptno, AVG(e.salary) AS avgsal FROM emp AS e "
+    "WHERE e.title = 'Engineer' GROUP BY e.deptno"
+)
+CORE = (
+    "FROM emp AS e WHERE e.title = 'Engineer' "
+    "GROUP BY e.deptno AS d GROUP AS g "
+    "SELECT VALUE {deptno: d, "
+    "avgsal: COLL_AVG(SELECT VALUE gi.e.salary FROM g AS gi)}"
+)
+MULTI = (
+    "SELECT e.deptno, COUNT(*) AS n, SUM(e.salary) AS total, "
+    "MIN(e.salary) AS lo, MAX(e.salary) AS hi "
+    "FROM emp AS e GROUP BY e.deptno"
+)
+
+
+@pytest.fixture(scope="module")
+def equivalence_verified():
+    db = make_db(emp=emp_flat(2_000, seed=9))
+    assert_same_bag(db.execute(SUGAR), db.execute(CORE, sql_compat=False))
+    return True
+
+
+@pytest.mark.benchmark(group="E7-aggregates")
+@pytest.mark.parametrize("size", SIZES)
+def test_sql_sugar(benchmark, size, equivalence_verified):
+    db = make_db(emp=emp_flat(size, seed=9))
+    benchmark(lambda: db.execute(SUGAR))
+
+
+@pytest.mark.benchmark(group="E7-aggregates")
+@pytest.mark.parametrize("size", SIZES)
+def test_explicit_core(benchmark, size, equivalence_verified):
+    db = make_db(emp=emp_flat(size, seed=9))
+    benchmark(lambda: db.execute(CORE, sql_compat=False))
+
+
+@pytest.mark.benchmark(group="E7-aggregates")
+@pytest.mark.parametrize("size", SIZES)
+def test_multi_aggregate(benchmark, size):
+    db = make_db(emp=emp_flat(size, seed=9))
+    benchmark(lambda: db.execute(MULTI))
+
+
+@pytest.mark.benchmark(group="E7-rewrite-cost")
+def test_rewrite_only_cost(benchmark):
+    """Parsing + lowering alone, to separate it from execution."""
+    db = make_db(emp=emp_flat(10, seed=9))
+    benchmark(lambda: db.compile(SUGAR))

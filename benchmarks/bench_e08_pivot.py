@@ -1,0 +1,75 @@
+"""E8 — PIVOT / UNPIVOT scaling (Section VI).
+
+Sweeps the symbol count (attributes per tuple) and day count (rows) for
+the paper's stock-price reshape queries (Listings 20, 22, 24, 26),
+asserting the round trip (unpivot∘pivot = identity on the data) holds
+at every size.
+"""
+
+import pytest
+
+from repro.datamodel.equality import deep_equals
+from repro.workloads import stock_prices_tall, stock_prices_wide
+
+from conftest import make_db
+
+SYMBOLS = [3, 30, 300]
+DAYS = 50
+
+UNPIVOT_QUERY = """
+    SELECT c."date" AS "date", sym AS symbol, price AS price
+    FROM wide AS c, UNPIVOT c AS price AT sym
+    WHERE NOT sym = 'date'
+"""
+AVG_QUERY = """
+    SELECT sym AS symbol, AVG(price) AS avg_price
+    FROM wide AS c, UNPIVOT c AS price AT sym
+    WHERE NOT sym = 'date'
+    GROUP BY sym
+"""
+REPIVOT_QUERY = """
+    SELECT sp."date" AS "date",
+           (PIVOT dp.sp.price AT dp.sp.symbol FROM dates_prices AS dp) AS prices
+    FROM tall AS sp
+    GROUP BY sp."date" GROUP AS dates_prices
+"""
+
+
+@pytest.fixture(scope="module")
+def round_trip_verified():
+    db = make_db(
+        wide=stock_prices_wide(DAYS, 30, seed=1),
+        tall=stock_prices_tall(DAYS, 30, seed=1),
+    )
+    unpivoted = db.execute(UNPIVOT_QUERY)
+    from repro.datamodel.values import Bag
+    from repro.datamodel.convert import from_python
+
+    expected = Bag(from_python(stock_prices_tall(DAYS, 30, seed=1)))
+    assert deep_equals(Bag(list(unpivoted)), expected)
+    return True
+
+
+@pytest.mark.benchmark(group="E8-unpivot")
+@pytest.mark.parametrize("symbols", SYMBOLS)
+def test_unpivot(benchmark, symbols, round_trip_verified):
+    db = make_db(wide=stock_prices_wide(DAYS, symbols, seed=1))
+    benchmark(lambda: db.execute(UNPIVOT_QUERY))
+
+
+@pytest.mark.benchmark(group="E8-unpivot-aggregate")
+@pytest.mark.parametrize("symbols", SYMBOLS)
+def test_unpivot_then_aggregate(benchmark, symbols, round_trip_verified):
+    db = make_db(wide=stock_prices_wide(DAYS, symbols, seed=1))
+    result = db.execute(AVG_QUERY)
+    assert len(list(result)) == symbols
+    benchmark(lambda: db.execute(AVG_QUERY))
+
+
+@pytest.mark.benchmark(group="E8-pivot")
+@pytest.mark.parametrize("symbols", SYMBOLS)
+def test_group_and_pivot(benchmark, symbols, round_trip_verified):
+    db = make_db(tall=stock_prices_tall(DAYS, symbols, seed=1))
+    result = db.execute(REPIVOT_QUERY)
+    assert len(list(result)) == DAYS
+    benchmark(lambda: db.execute(REPIVOT_QUERY))

@@ -1,0 +1,68 @@
+"""E9 — format independence (tenet 5).
+
+"A query should be written identically across underlying data in any of
+today's many nested and/or semistructured formats."
+
+The bench round-trips one nested workload through every codec, asserts
+the *same query text* gives the *same answer* over each decoded copy,
+and times encode/decode throughput per format (the one place formats
+may legitimately differ).
+"""
+
+import pytest
+
+from repro import Database
+from repro.datamodel.convert import from_python
+from repro.datamodel.values import Bag
+from repro.formats.registry import FORMATS
+from repro.workloads import emp_nested
+
+from conftest import assert_same_bag
+
+SIZE = 1_000
+QUERY = (
+    "SELECT e.id AS id, p.name AS proj FROM emp AS e, e.projects AS p "
+    "WHERE p.name LIKE '%Security%'"
+)
+#: CSV is excluded: it cannot carry the nested projects array.
+NESTED_FORMATS = ["sqlpp", "json", "cbor", "ion"]
+
+
+def model_data():
+    return Bag(from_python(emp_nested(SIZE, fanout=3, seed=77)))
+
+
+@pytest.fixture(scope="module")
+def reference_answer():
+    db = Database()
+    db.set("emp", model_data())
+    return db.execute(QUERY)
+
+
+@pytest.mark.benchmark(group="E9-encode")
+@pytest.mark.parametrize("format_name", NESTED_FORMATS)
+def test_encode(benchmark, format_name):
+    codec = FORMATS[format_name]
+    data = model_data()
+    encoded = benchmark(lambda: codec.dumps(data))
+    size = len(encoded)
+    print(f"\nE9: {format_name} encodes {SIZE} docs into {size:,} bytes")
+
+
+@pytest.mark.benchmark(group="E9-decode")
+@pytest.mark.parametrize("format_name", NESTED_FORMATS)
+def test_decode(benchmark, format_name):
+    codec = FORMATS[format_name]
+    encoded = codec.dumps(model_data())
+    benchmark(lambda: codec.loads(encoded))
+
+
+@pytest.mark.benchmark(group="E9-query-after-decode")
+@pytest.mark.parametrize("format_name", NESTED_FORMATS)
+def test_same_query_same_answer(benchmark, format_name, reference_answer):
+    codec = FORMATS[format_name]
+    decoded = codec.loads(codec.dumps(model_data()))
+    db = Database()
+    db.set("emp", decoded)
+    assert_same_bag(db.execute(QUERY), reference_answer)
+    benchmark(lambda: db.execute(QUERY))

@@ -1,0 +1,71 @@
+"""E10 — optional schema and query stability (tenet 3).
+
+Shape claims:
+
+* imposing a schema on conforming data changes **no** query result
+  (asserted over a query battery);
+* execution cost is unchanged by the schema (it informs validation and
+  static checks only);
+* validation and inference costs scale linearly and are one-time.
+"""
+
+import pytest
+
+from repro import Database
+from repro.datamodel.equality import deep_equals
+from repro.schema import infer_schema, validate
+from repro.workloads import emp_nested
+
+from conftest import make_db
+
+SIZE = 3_000
+
+QUERIES = [
+    "SELECT e.name AS n, p.name AS p FROM emp AS e, e.projects AS p",
+    "SELECT e.deptno, AVG(e.salary) AS a FROM emp AS e GROUP BY e.deptno",
+    "SELECT VALUE e.salary FROM emp AS e ORDER BY e.salary DESC LIMIT 10",
+]
+
+
+def schemaful_db():
+    db = make_db(emp=emp_nested(SIZE, fanout=3, seed=55))
+    db.set_schema("emp", infer_schema(db.get("emp")))
+    return db
+
+
+@pytest.fixture(scope="module")
+def stability_verified():
+    bare = make_db(emp=emp_nested(SIZE, fanout=3, seed=55))
+    with_schema = schemaful_db()
+    for query in QUERIES:
+        assert deep_equals(bare.execute(query), with_schema.execute(query))
+    return True
+
+
+@pytest.mark.benchmark(group="E10-execution")
+@pytest.mark.parametrize("index", range(len(QUERIES)))
+def test_without_schema(benchmark, index, stability_verified):
+    db = make_db(emp=emp_nested(SIZE, fanout=3, seed=55))
+    benchmark(lambda: db.execute(QUERIES[index]))
+
+
+@pytest.mark.benchmark(group="E10-execution")
+@pytest.mark.parametrize("index", range(len(QUERIES)))
+def test_with_schema(benchmark, index, stability_verified):
+    db = schemaful_db()
+    benchmark(lambda: db.execute(QUERIES[index]))
+
+
+@pytest.mark.benchmark(group="E10-schema-ops")
+def test_inference_cost(benchmark):
+    db = make_db(emp=emp_nested(SIZE, fanout=3, seed=55))
+    data = db.get("emp")
+    benchmark(lambda: infer_schema(data))
+
+
+@pytest.mark.benchmark(group="E10-schema-ops")
+def test_validation_cost(benchmark):
+    db = make_db(emp=emp_nested(SIZE, fanout=3, seed=55))
+    data = db.get("emp")
+    schema = infer_schema(data)
+    benchmark(lambda: validate(data, schema))

@@ -1,0 +1,72 @@
+"""E11 — SQL's analytical features over nested data (Section V-B).
+
+"SQL has additional analytical features such as CUBE, ROLLUP, and
+GROUPING SETS ... as well as window functions ... These features are
+wholly compatible with SQL++ and then become able to operate on and
+produce nested and heterogeneous data."
+
+The bench runs windows, ROLLUP and CUBE directly over *unnested
+document data* (impossible in the flat baseline without normalising
+first) and times them against the plain GROUP BY they generalise.
+"""
+
+import pytest
+
+from repro.workloads import emp_nested
+
+from conftest import make_db
+
+SIZE = 2_000
+
+PLAIN_GROUP = (
+    "SELECT e.title AS t, p.name AS p, COUNT(*) AS n "
+    "FROM emp AS e, e.projects AS p GROUP BY e.title, p.name"
+)
+ROLLUP = (
+    "SELECT e.title AS t, p.name AS p, COUNT(*) AS n "
+    "FROM emp AS e, e.projects AS p GROUP BY ROLLUP (e.title, p.name)"
+)
+CUBE = (
+    "SELECT e.title AS t, p.name AS p, COUNT(*) AS n "
+    "FROM emp AS e, e.projects AS p GROUP BY CUBE (e.title, p.name)"
+)
+WINDOW = (
+    "SELECT e.name AS name, p.name AS p, "
+    "RANK() OVER (PARTITION BY p.name ORDER BY e.salary DESC) AS rk "
+    "FROM emp AS e, e.projects AS p"
+)
+RUNNING = (
+    "SELECT e.name AS name, "
+    "SUM(e.salary) OVER (PARTITION BY e.deptno ORDER BY e.salary) AS running "
+    "FROM emp AS e"
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_db(emp=emp_nested(SIZE, fanout=3, seed=66))
+
+
+@pytest.fixture(scope="module")
+def shapes_verified(db):
+    plain = len(list(db.execute(PLAIN_GROUP)))
+    rollup = len(list(db.execute(ROLLUP)))
+    cube = len(list(db.execute(CUBE)))
+    # ROLLUP adds subtotal rows; CUBE adds at least as many as ROLLUP.
+    assert plain < rollup <= cube
+    return True
+
+
+@pytest.mark.benchmark(group="E11-analytics")
+@pytest.mark.parametrize(
+    "name", ["plain-group", "rollup", "cube", "window-rank", "running-sum"]
+)
+def test_analytics(benchmark, name, db, shapes_verified):
+    query = {
+        "plain-group": PLAIN_GROUP,
+        "rollup": ROLLUP,
+        "cube": CUBE,
+        "window-rank": WINDOW,
+        "running-sum": RUNNING,
+    }[name]
+    benchmark(lambda: db.execute(query))

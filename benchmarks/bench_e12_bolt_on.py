@@ -1,0 +1,85 @@
+"""E12 — first-class nesting vs the "bolt-on" JSON column (Section VIII).
+
+The paper's closing argument: SQL++ "sees collections of document data
+as a natural and supportable relaxation as opposed to a 'bolt on'
+addition such as a new SQL column type" (its reference [33] compares
+against SQL:2016's JSON support).
+
+Workload: point access, multi-path projection and a filter over nested
+documents.  The bolt-on engine re-parses the JSON text per path per row;
+SQL++ navigates parsed values.  Expected shape: SQL++ wins everywhere,
+and the gap *widens with the number of paths extracted* (each extra
+JSON_VALUE is another full parse).
+"""
+
+import pytest
+
+from repro.baselines.jsoncolumn import JsonColumnDatabase
+from repro.datamodel.convert import from_python
+from repro.datamodel.values import Bag
+from repro.workloads import emp_nested
+
+from conftest import assert_same_bag, make_db
+
+SIZE = 2_000
+
+CASES = {
+    "one-path": (
+        "SELECT e.name AS name FROM emp AS e",
+        {"name": "$.name"},
+    ),
+    "three-paths": (
+        "SELECT e.name AS name, e.title AS title, e.salary AS salary "
+        "FROM emp AS e",
+        {"name": "$.name", "title": "$.title", "salary": "$.salary"},
+    ),
+    "filtered": (
+        "SELECT e.name AS name, e.salary AS salary FROM emp AS e "
+        "WHERE e.salary > 150000",
+        None,  # handled specially below
+    ),
+}
+
+
+def engines():
+    docs = emp_nested(SIZE, fanout=2, seed=88)
+    sqlpp = make_db(emp=docs)
+    bolt_on = JsonColumnDatabase()
+    bolt_on.create_table("emp")
+    bolt_on.insert_documents("emp", docs)
+    return sqlpp, bolt_on
+
+
+def bolt_on_run(bolt_on, name):
+    if name == "filtered":
+        return bolt_on.select(
+            "emp",
+            {"name": "$.name", "salary": "$.salary"},
+            where=lambda row: row["salary"] > 150000,
+        )
+    return bolt_on.select("emp", CASES[name][1])
+
+
+@pytest.fixture(scope="module")
+def agreement_verified():
+    sqlpp, bolt_on = engines()
+    for name, (query, __) in CASES.items():
+        ours = sqlpp.execute(query)
+        theirs = Bag(from_python(bolt_on_run(bolt_on, name)))
+        assert_same_bag(ours, theirs)
+    return True
+
+
+@pytest.mark.benchmark(group="E12-bolt-on")
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_sqlpp_native(benchmark, name, agreement_verified):
+    sqlpp, __ = engines()
+    query = CASES[name][0]
+    benchmark(lambda: sqlpp.execute(query))
+
+
+@pytest.mark.benchmark(group="E12-bolt-on")
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_jsoncolumn(benchmark, name, agreement_verified):
+    __, bolt_on = engines()
+    benchmark(lambda: bolt_on_run(bolt_on, name))

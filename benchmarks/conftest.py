@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every experiment Exx in DESIGN.md has one ``bench_eXX_*.py`` file here.
+The paper (a language-design paper) reports no absolute performance
+numbers, so each experiment
+
+* regenerates the *rows/series the paper's claim is about* (who wins,
+  what fails where, what stays equal), asserting the claim's shape, and
+* times the operations with pytest-benchmark so relative costs are
+  visible in the report.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.datamodel.equality import deep_equals
+from repro.datamodel.values import Bag
+
+
+def assert_same_bag(left, right) -> None:
+    """Assert two query results are equal as bags."""
+    left_bag = Bag(list(left)) if not isinstance(left, Bag) else left
+    right_bag = Bag(list(right)) if not isinstance(right, Bag) else right
+    assert deep_equals(left_bag, right_bag), "results differ"
+
+
+@pytest.fixture
+def fresh_db() -> Database:
+    return Database()
+
+
+def make_db(**collections) -> Database:
+    """A database preloaded with the given named collections."""
+    db = Database()
+    for name, value in collections.items():
+        db.set(name.replace("__", "."), value)
+    return db

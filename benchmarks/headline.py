@@ -1,0 +1,38 @@
+"""Extract the headline shape comparisons from a benchmark JSON dump.
+
+Prints, for each experiment group with a baseline/contender structure,
+the median times side by side and the resulting ratio — the numbers
+EXPERIMENTS.md quotes.
+
+Usage::
+
+    python benchmarks/headline.py .bench.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+
+
+def main(path: str) -> None:
+    with open(path) as handle:
+        data = json.load(handle)
+
+    groups: dict = defaultdict(dict)
+    for bench in data["benchmarks"]:
+        group = bench.get("group") or "ungrouped"
+        groups[group][bench["name"]] = bench["stats"]["median"]
+
+    for group in sorted(groups):
+        print(f"\n== {group}")
+        entries = sorted(groups[group].items(), key=lambda item: item[1])
+        fastest = entries[0][1]
+        for name, median in entries:
+            ratio = median / fastest if fastest else float("inf")
+            print(f"  {median * 1e3:10.2f} ms  ({ratio:6.1f}x)  {name}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else ".bench.json")

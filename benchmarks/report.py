@@ -1,0 +1,45 @@
+"""Convert a pytest-benchmark JSON dump into the EXPERIMENTS.md table.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
+    python benchmarks/report.py bench.json > measured.md
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+
+
+def format_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:,.0f} µs"
+    if seconds < 1:
+        return f"{seconds * 1e3:,.1f} ms"
+    return f"{seconds:,.2f} s"
+
+
+def main(path: str) -> None:
+    with open(path) as handle:
+        data = json.load(handle)
+
+    groups: dict = defaultdict(list)
+    for bench in data["benchmarks"]:
+        groups[bench.get("group") or "ungrouped"].append(bench)
+
+    print("| Group | Benchmark | Median | Mean | Rounds |")
+    print("|---|---|---:|---:|---:|")
+    for group in sorted(groups):
+        for bench in sorted(groups[group], key=lambda b: b["stats"]["median"]):
+            stats = bench["stats"]
+            name = bench["name"].replace("test_", "")
+            print(
+                f"| {group} | `{name}` | {format_seconds(stats['median'])} "
+                f"| {format_seconds(stats['mean'])} | {stats['rounds']} |"
+            )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "bench.json")

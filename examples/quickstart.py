@@ -1,0 +1,132 @@
+"""Quickstart: the SQL++ tour in five minutes.
+
+Walks the exact arc of the paper — relational data keeps working, then
+each relaxation is switched on: nested data, schema optionality,
+NULL vs MISSING, SELECT VALUE, GROUP AS, and PIVOT/UNPIVOT.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database, sqlpp_dumps
+
+
+def show(title, result):
+    print(f"\n-- {title}")
+    print(sqlpp_dumps(result))
+
+
+def main():
+    db = Database()
+
+    # 1. Plain SQL still works (tenet 1: SQL compatibility).  Namespaced
+    #    names like hr.emp mirror a database/table hierarchy.
+    db.set(
+        "hr.emp",
+        [
+            {"id": 1, "name": "Ada", "title": "Engineer", "salary": 120_000},
+            {"id": 2, "name": "Bo", "title": "Engineer", "salary": 95_000},
+            {"id": 3, "name": "Cy", "title": "Manager", "salary": 150_000},
+        ],
+    )
+    show(
+        "SQL as you know it",
+        db.execute(
+            """
+            SELECT e.name AS name, e.salary AS salary
+            FROM hr.emp AS e
+            WHERE e.title = 'Engineer'
+            ORDER BY salary DESC
+            """
+        ),
+    )
+
+    # 2. Nested data is first-class: a FROM variable may range over a
+    #    collection nested *inside* another variable (left-correlation).
+    db.set(
+        "hr.emp_nested",
+        [
+            {"name": "Ada", "projects": ["OLAP Security", "Storage Engine"]},
+            {"name": "Bo", "projects": ["OLTP Security"]},
+            {"name": "Cy", "projects": []},
+        ],
+    )
+    show(
+        "Unnesting with left-correlation (paper Listing 4)",
+        db.execute(
+            """
+            SELECT e.name AS emp_name, p AS proj_name
+            FROM hr.emp_nested AS e, e.projects AS p
+            WHERE p LIKE '%Security%'
+            """
+        ),
+    )
+
+    # 3. Schema is optional and data may be irregular.  A missing
+    #    attribute navigates to MISSING, which simply disappears from
+    #    constructed results — no error, no stray NULL.
+    db.set(
+        "visits",
+        [
+            {"ip": "10.0.0.1", "user": "ada"},
+            {"ip": "10.0.0.2"},  # anonymous: no user attribute at all
+            {"ip": "10.0.0.3", "user": None},  # logged out: explicit null
+        ],
+    )
+    show(
+        "NULL and MISSING are different things",
+        db.execute(
+            """
+            SELECT v.ip AS ip,
+                   v.user IS MISSING AS anonymous,
+                   v.user IS NULL AND v.user IS NOT MISSING AS logged_out
+            FROM visits AS v
+            """
+        ),
+    )
+
+    # 4. SELECT VALUE constructs collections of *anything* — the Core
+    #    primitive behind SELECT (paper Section V-A).
+    show(
+        "SELECT VALUE builds non-tuple results",
+        db.execute("SELECT VALUE [e.name, e.salary / 1000] FROM hr.emp AS e"),
+    )
+
+    # 5. GROUP AS exposes groups as data (paper Section V-B): the group
+    #    is queryable, not locked inside aggregate functions.
+    show(
+        "GROUP BY ... GROUP AS (paper Listing 12)",
+        db.execute(
+            """
+            FROM hr.emp_nested AS e, e.projects AS p
+            GROUP BY p AS project GROUP AS g
+            SELECT project AS project,
+                   (FROM g AS v SELECT VALUE v.e.name) AS members
+            """
+        ),
+    )
+
+    # 6. PIVOT/UNPIVOT move data between attribute names and values
+    #    (paper Section VI).
+    db.set(
+        "today",
+        [
+            {"symbol": "amzn", "price": 1900},
+            {"symbol": "goog", "price": 1120},
+        ],
+    )
+    show(
+        "PIVOT: a collection becomes one tuple (paper Listing 24)",
+        db.execute("PIVOT sp.price AT sp.symbol FROM today sp"),
+    )
+
+    # 7. EXPLAIN shows the sugar → Core rewriting the paper describes.
+    print("\n-- How SQL sugar lowers onto the SQL++ Core:")
+    print(
+        db.explain(
+            "SELECT e.title, AVG(e.salary) AS avg FROM hr.emp AS e GROUP BY e.title"
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Reshaping market data with PIVOT and UNPIVOT (paper Section VI).
+
+The closing-prices feed arrives *wide* (one column per ticker, as in
+Listing 19).  The session unpivots it to a tall fact table, computes
+per-symbol statistics, then pivots back to a wide daily report — and
+round-trips through CBOR and Ion on the way, demonstrating format
+independence.
+
+Run:  python examples/stock_pivot.py
+"""
+
+from repro import Database, sqlpp_dumps
+from repro.formats import cbor_io, ion_io
+from repro.workloads import stock_prices_wide
+
+
+def show(title, result, limit=6):
+    print(f"\n-- {title}")
+    items = list(result) if hasattr(result, "__iter__") else [result]
+    for item in items[:limit]:
+        print("  ", sqlpp_dumps(item).replace("\n", " ").replace("  ", ""))
+    if len(items) > limit:
+        print(f"   ... ({len(items) - limit} more)")
+
+
+def main():
+    db = Database()
+    db.set("closing_prices", stock_prices_wide(days=30, symbols=5, seed=7))
+
+    # Wide → tall: attribute names become data (Listing 20).
+    tall = db.execute(
+        """
+        SELECT c."date" AS "date", sym AS symbol, price AS price
+        FROM closing_prices AS c, UNPIVOT c AS price AT sym
+        WHERE NOT sym = 'date'
+        """
+    )
+    show("Unpivoted fact table", tall)
+    db.set("ticks", list(tall))
+
+    # Per-symbol statistics on the tall shape (Listing 22's pattern).
+    show(
+        "Per-symbol statistics",
+        db.execute(
+            """
+            SELECT t.symbol AS symbol,
+                   AVG(t.price) AS avg, MIN(t.price) AS lo, MAX(t.price) AS hi,
+                   COLL_STDDEV(SELECT VALUE g2.t.price FROM g AS g2) AS sd
+            FROM ticks AS t
+            GROUP BY t.symbol GROUP AS g
+            ORDER BY symbol
+            """
+        ),
+    )
+
+    # Daily movers using window offsets over the tall shape.
+    show(
+        "Day-over-day change per symbol",
+        db.execute(
+            """
+            SELECT VALUE r
+            FROM (SELECT t.symbol AS symbol, t."date" AS "date",
+                         t.price - LAG(t.price) OVER (PARTITION BY t.symbol
+                                                      ORDER BY t."date") AS change
+                  FROM ticks AS t) AS r
+            WHERE r.change IS NOT NULL AND ABS(r.change) > 2000
+            ORDER BY r."date"
+            """
+        ),
+    )
+
+    # Tall → wide again: one tuple of prices per date (Listing 26).
+    wide_again = db.execute(
+        """
+        SELECT t."date" AS "date",
+               (PIVOT dp.t.price AT dp.t.symbol FROM day_prices AS dp) AS prices
+        FROM ticks AS t
+        GROUP BY t."date" GROUP AS day_prices
+        ORDER BY "date"
+        """
+    )
+    show("Re-pivoted daily report", wide_again, limit=3)
+
+    # Format independence: the tall table survives CBOR and Ion intact,
+    # and the same query over the decoded data gives the same answer.
+    encoded = cbor_io.dumps(db.get("ticks"))
+    db.set("ticks_from_cbor", cbor_io.loads(encoded))
+    ion_text = ion_io.dumps(db.get("ticks"))
+    db.set("ticks_from_ion", ion_io.loads(ion_text))
+    for name in ("ticks", "ticks_from_cbor", "ticks_from_ion"):
+        total = db.execute(f"COLL_SUM(SELECT VALUE t.price FROM {name} AS t)")
+        print(f"\n-- checksum over {name} ({len(encoded)}B cbor): {total}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Baseline engines for the benchmark harness.
+
+The paper positions SQL++ against two worlds:
+
+* classic strict SQL — schemas mandatory, tables flat, unknown columns
+  are compile-time errors (:mod:`repro.baselines.sql92`).  Used by the
+  harness both as the *compatibility oracle* (a SQL query must return
+  the same result on SQL++ — tenet 1) and as the performance baseline
+  for normalised-versus-nested data layouts (experiment E3);
+
+* the "bolt-on" approach the paper argues against (Section VIII and its
+  reference [33]): semistructured data stored in a JSON *column* of a
+  relational table and accessed through path-extraction functions
+  (:mod:`repro.baselines.jsoncolumn`), paying a parse on every access.
+"""
+
+from repro.baselines.sql92 import SQL92Database, SQL92Error
+from repro.baselines.jsoncolumn import JsonColumnDatabase
+
+__all__ = ["SQL92Database", "SQL92Error", "JsonColumnDatabase"]

@@ -1,0 +1,182 @@
+"""The "bolt-on" baseline: semistructured data in a JSON column.
+
+The paper's closing argument (Section VIII, reference [33]) contrasts
+SQL++'s first-class nested data with the SQL:2016 approach of "a new SQL
+column type": documents stored as JSON *text* in a column and accessed
+through path-extraction functions.  This module implements that
+approach so the benchmark harness can measure its cost:
+
+* a table is a list of rows whose ``doc`` column holds a JSON string;
+* ``json_value(doc, '$.a.b[0]')`` extracts a scalar — parsing the whole
+  document on every call, exactly the repeated-parse tax the bolt-on
+  design pays;
+* ``json_query`` extracts a nested fragment (re-serialised to text,
+  since the column type is text);
+* :meth:`JsonColumnDatabase.explode` plays the role of SQL:2016's
+  ``JSON_TABLE``: unnesting an array path into one output row per
+  element.
+
+The path language is the usual ``$.attr``, ``$.attr[0]``, ``$.a.b``
+subset.  Extraction returns ``None`` both for JSON ``null`` and for an
+absent path — the NULL/MISSING conflation the paper criticises
+(Section IV-A) falls out of the design and is asserted in the tests.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+from repro.errors import SQLPPError
+
+_STEP_RE = re.compile(r"\.([A-Za-z_$][A-Za-z0-9_$]*)|\[(\d+)\]|\.\"([^\"]*)\"")
+
+
+class JsonPathError(SQLPPError):
+    """An invalid JSON path expression."""
+
+
+def parse_path(path: str) -> List[Union[str, int]]:
+    """Parse ``$.a.b[0]`` into navigation steps."""
+    if not path.startswith("$"):
+        raise JsonPathError(f"JSON paths start with '$': {path!r}")
+    steps: List[Union[str, int]] = []
+    position = 1
+    while position < len(path):
+        match = _STEP_RE.match(path, position)
+        if match is None:
+            raise JsonPathError(f"invalid JSON path step at {path[position:]!r}")
+        attr, index, quoted = match.groups()
+        if attr is not None:
+            steps.append(attr)
+        elif quoted is not None:
+            steps.append(quoted)
+        else:
+            steps.append(int(index))
+        position = match.end()
+    return steps
+
+
+def _navigate(document: Any, steps: Iterable[Union[str, int]]) -> Any:
+    current = document
+    for step in steps:
+        if isinstance(step, int):
+            if not isinstance(current, list) or step >= len(current):
+                return None
+            current = current[step]
+        else:
+            if not isinstance(current, dict) or step not in current:
+                return None  # absent and null are indistinguishable here
+            current = current[step]
+    return current
+
+
+def json_value(doc_text: str, path: str) -> Any:
+    """Extract a scalar; non-scalar results are NULL (SQL:2016 default)."""
+    value = _navigate(json.loads(doc_text), parse_path(path))
+    if isinstance(value, (dict, list)):
+        return None
+    return value
+
+
+def json_query(doc_text: str, path: str) -> Optional[str]:
+    """Extract a fragment, re-serialised as JSON text."""
+    value = _navigate(json.loads(doc_text), parse_path(path))
+    if value is None:
+        return None
+    return json.dumps(value)
+
+
+def json_exists(doc_text: str, path: str) -> bool:
+    """True when the path reaches any value (including JSON null? no —
+    the SQL:2016 default conflates them; see module docstring)."""
+    return _navigate(json.loads(doc_text), parse_path(path)) is not None
+
+
+class JsonColumnDatabase:
+    """Tables with scalar columns plus one JSON ``doc`` column."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, List[Dict[str, Any]]] = {}
+
+    def create_table(self, name: str) -> None:
+        if name in self._tables:
+            raise SQLPPError(f"table {name} already exists")
+        self._tables[name] = []
+
+    def insert_documents(self, name: str, documents: Iterable[Any]) -> None:
+        """Insert Python documents; each is serialised into the doc column."""
+        table = self._tables[name]
+        for document in documents:
+            table.append({"doc": json.dumps(document)})
+
+    def rows(self, name: str) -> List[Dict[str, Any]]:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SQLPPError(f"unknown table {name}") from None
+
+    # -- query operators (the JSON_* function style) ----------------------------
+
+    def select(
+        self,
+        name: str,
+        projections: Dict[str, str],
+        where: Optional[Callable[[Dict[str, Any]], bool]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Project JSON paths out of every document.
+
+        ``projections`` maps output names to ``$.`` paths; every path
+        extraction re-parses the document text, as the bolt-on model
+        requires.
+        """
+        output = []
+        for row in self.rows(name):
+            projected = {
+                out_name: json_value(row["doc"], path)
+                for out_name, path in projections.items()
+            }
+            if where is None or where(projected):
+                output.append(projected)
+        return output
+
+    def explode(
+        self,
+        name: str,
+        array_path: str,
+        projections: Dict[str, str],
+        element_projections: Dict[str, str],
+        where: Optional[Callable[[Dict[str, Any]], bool]] = None,
+    ) -> List[Dict[str, Any]]:
+        """JSON_TABLE-style unnesting: one output row per array element.
+
+        ``projections`` extract from the document, ``element_projections``
+        from each element of the array at ``array_path`` (``'$'`` selects
+        the element itself, for arrays of scalars).
+        """
+        output = []
+        for row in self.rows(name):
+            fragment = json_query(row["doc"], array_path)
+            if fragment is None:
+                continue
+            elements = json.loads(fragment)
+            if not isinstance(elements, list):
+                continue
+            base = {
+                out_name: json_value(row["doc"], path)
+                for out_name, path in projections.items()
+            }
+            for element in elements:
+                element_text = json.dumps(element)
+                projected = dict(base)
+                for out_name, path in element_projections.items():
+                    if path == "$":
+                        projected[out_name] = (
+                            None if isinstance(element, (dict, list)) else element
+                        )
+                    else:
+                        projected[out_name] = json_value(element_text, path)
+                if where is None or where(projected):
+                    output.append(projected)
+        return output

@@ -1,0 +1,631 @@
+"""A strict SQL-92 subset engine over flat, schemaful tables.
+
+This is the world SQL++ relaxes: tables are bags of homogeneous tuples
+of scalars (Codd's normal form, the paper's reference [17]); every table
+has a declared column list; a query referring to a column no table
+declares **fails at compile time** (Section II: "Unlike SQL, where a
+query that refers to a non-existent attribute name is expected to fail
+during compilation...").
+
+The engine reuses the SQL++ parser — SQL's grammar is a subset — and
+implements its own strict binder/evaluator:
+
+* FROM items must be table names (no correlation, no nested data);
+* unqualified column names resolve against the declared schemas,
+  ambiguous ones are compile-time errors;
+* only scalar values exist; NULL follows SQL 3-valued logic;
+* aggregates, GROUP BY, HAVING, ORDER BY, LIMIT/OFFSET, and
+  INNER/LEFT/CROSS joins are supported.
+
+Restrictions are enforced with :class:`SQL92Error` so the benchmark
+harness (and the tests) can show exactly where classic SQL gives up on
+the paper's workloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.datamodel.equality import group_key
+from repro.datamodel.ordering import sort_key
+from repro.errors import SQLPPError
+from repro.functions.aggregates import SQL_AGGREGATES
+from repro.functions.registry import REGISTRY
+from repro.config import EvalConfig
+from repro.syntax import ast
+from repro.syntax.parser import parse
+
+_SCALARS = (bool, int, float, str)
+
+
+class SQL92Error(SQLPPError):
+    """A violation of the strict SQL-92 subset."""
+
+
+@dataclasses.dataclass
+class _Table:
+    columns: List[str]
+    rows: List[Dict[str, Any]]
+
+
+class SQL92Database:
+    """Flat, schemaful tables with a strict SQL evaluator."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, _Table] = {}
+        # Strict config: the few shared scalar functions raise on type
+        # errors instead of producing MISSING.
+        self._config = EvalConfig(typing_mode="strict", sql_compat=True)
+
+    # -- DDL / DML -----------------------------------------------------------
+
+    def create_table(self, name: str, columns: Sequence[str]) -> None:
+        if name in self._tables:
+            raise SQL92Error(f"table {name} already exists")
+        self._tables[name] = _Table(columns=list(columns), rows=[])
+
+    def insert(self, name: str, rows: Sequence[Dict[str, Any]]) -> None:
+        table = self._table(name)
+        for row in rows:
+            flat: Dict[str, Any] = {}
+            for column in table.columns:
+                value = row.get(column)
+                if value is not None and not isinstance(value, _SCALARS):
+                    raise SQL92Error(
+                        f"column {column} of {name} only holds scalars; "
+                        f"got {type(value).__name__}"
+                    )
+                flat[column] = value
+            extra = set(row) - set(table.columns)
+            if extra:
+                raise SQL92Error(
+                    f"row has undeclared columns for {name}: {sorted(extra)}"
+                )
+            table.rows.append(flat)
+
+    def _table(self, name: str) -> _Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SQL92Error(f"unknown table {name}") from None
+
+    # -- queries ----------------------------------------------------------------
+
+    def execute(self, sql: str) -> List[Dict[str, Any]]:
+        """Run a SQL query, returning a list of plain dict rows."""
+        query = parse(sql)
+        return _Executor(self).run(query)
+
+
+class _Executor:
+    """Compile-then-evaluate for one query."""
+
+    def __init__(self, db: SQL92Database):
+        self._db = db
+
+    def run(self, query: ast.Query) -> List[Dict[str, Any]]:
+        body = query.body
+        if not isinstance(body, ast.QueryBlock):
+            raise SQL92Error("only SELECT query blocks are supported")
+        rows, scope = self._from(body)
+        if body.lets:
+            raise SQL92Error("LET is not SQL-92")
+        if body.where is not None:
+            predicate = self._compile(body.where, scope)
+            rows = [row for row in rows if predicate(row) is True]
+        select = body.select
+        if not isinstance(select, (ast.SelectList, ast.SelectStar)):
+            raise SQL92Error("SELECT VALUE / PIVOT are not SQL-92")
+
+        group_keys: List[Tuple[str, Callable]] = []
+        grouped: Optional[List[Tuple[Dict[str, Any], List[Dict]]]] = None
+        if body.group_by is not None:
+            if body.group_by.mode != "simple" or body.group_by.group_as:
+                raise SQL92Error("only plain GROUP BY is supported")
+            for key in body.group_by.keys:
+                group_keys.append((key.alias, self._compile(key.expr, scope)))
+            grouped = self._group(rows, group_keys)
+        elif self._has_aggregate(select) or (
+            body.having is not None
+        ):
+            grouped = [({}, rows)]
+
+        if grouped is not None:
+            output = []
+            for key_values, members in grouped:
+                if body.having is not None:
+                    verdict = self._compile_grouped(
+                        body.having, scope, group_keys, key_values
+                    )(members)
+                    if verdict is not True:
+                        continue
+                output.append((key_values, members))
+            result_rows = [
+                self._project_group(select, scope, group_keys, key_values, members)
+                for key_values, members in output
+            ]
+            order_rows = result_rows
+        else:
+            result_rows = [self._project_row(select, scope, row) for row in rows]
+            order_rows = result_rows
+
+        if isinstance(select, (ast.SelectList, ast.SelectStar)) and select.distinct:
+            seen = set()
+            deduped = []
+            for row in result_rows:
+                key = tuple(sorted((k, group_key(v)) for k, v in row.items()))
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append(row)
+            result_rows = deduped
+
+        if query.order_by:
+            result_rows = self._order(result_rows, query.order_by)
+        if query.offset is not None:
+            result_rows = result_rows[_int_literal(query.offset, "OFFSET") :]
+        if query.limit is not None:
+            result_rows = result_rows[: _int_literal(query.limit, "LIMIT")]
+        return result_rows
+
+    # -- FROM -----------------------------------------------------------------
+
+    def _from(self, body: ast.QueryBlock):
+        if not body.from_:
+            raise SQL92Error("SQL-92 queries require a FROM clause")
+        scope: Dict[str, List[str]] = {}
+        rows: List[Dict[str, Any]] = [dict()]
+        for item in body.from_:
+            rows = self._apply_item(item, rows, scope)
+        return rows, scope
+
+    def _apply_item(self, item: ast.FromItem, rows, scope):
+        if isinstance(item, ast.FromJoin):
+            left_rows = self._apply_item(item.left, rows, scope)
+            if item.kind == "LEFT":
+                return self._left_join(item, left_rows, scope)
+            # Equality ON conditions use a hash join (what a real SQL
+            # engine would pick); anything else falls back to the
+            # nested-loop cross product + filter.
+            hashed = self._try_hash_join(item, left_rows, scope, outer=False)
+            if hashed is not None:
+                return hashed
+            joined = self._apply_item(item.right, left_rows, scope)
+            if item.on is not None:
+                predicate = self._compile(item.on, scope)
+                joined = [row for row in joined if predicate(row) is True]
+            return joined
+        if not isinstance(item, ast.FromCollection) or item.at_alias:
+            raise SQL92Error("FROM items must be plain tables")
+        name = _table_name(item.expr)
+        if name is None:
+            raise SQL92Error(
+                "FROM expressions (nested collections) are not SQL-92; "
+                "normalise the data into tables"
+            )
+        table = self._db._table(name)
+        alias = item.alias
+        if alias in scope:
+            raise SQL92Error(f"duplicate table alias {alias}")
+        scope[alias] = table.columns
+        return [
+            {**outer, **{f"{alias}.{col}": row[col] for col in table.columns}}
+            for outer in rows
+            for row in table.rows
+        ]
+
+    def _left_join(self, item: ast.FromJoin, left_rows, scope):
+        right = item.right
+        if not isinstance(right, ast.FromCollection):
+            raise SQL92Error("nested joins on the right are not supported")
+        name = _table_name(right.expr)
+        if name is None:
+            raise SQL92Error("LEFT JOIN right side must be a table")
+        table = self._db._table(name)
+        alias = right.alias
+        scope[alias] = table.columns
+        hashed = self._try_hash_join(item, left_rows, scope, outer=True)
+        if hashed is not None:
+            return hashed
+        predicate = self._compile(item.on, scope) if item.on is not None else None
+        result = []
+        for outer_row in left_rows:
+            matched = False
+            for row in table.rows:
+                combined = {
+                    **outer_row,
+                    **{f"{alias}.{col}": row[col] for col in table.columns},
+                }
+                if predicate is None or predicate(combined) is True:
+                    matched = True
+                    result.append(combined)
+            if not matched:
+                result.append(
+                    {**outer_row, **{f"{alias}.{col}": None for col in table.columns}}
+                )
+        return result
+
+    def _try_hash_join(self, item: ast.FromJoin, left_rows, scope, outer: bool):
+        """Hash equi-join for ``ON left_col = right_col`` conditions.
+
+        Returns None when the shape doesn't apply (non-equality ON, a
+        non-table right side, or keys not split across the two sides),
+        letting the caller fall back to the nested loop.
+        """
+        right = item.right
+        if not isinstance(right, ast.FromCollection) or right.at_alias:
+            return None
+        name = _table_name(right.expr)
+        if name is None or item.on is None:
+            return None
+        condition = item.on
+        if not (isinstance(condition, ast.Binary) and condition.op == "="):
+            return None
+
+        table = self._db._table(name)
+        alias = right.alias
+        added_alias = alias not in scope
+        if not added_alias and scope[alias] is not table.columns:
+            raise SQL92Error(f"duplicate table alias {alias}")
+        scope[alias] = table.columns
+
+        def bail():
+            # Let the nested-loop fallback register the alias itself.
+            if added_alias:
+                del scope[alias]
+            return None
+
+        def side_of(expr):
+            """('right', column) | ('left', compiled fn) | None."""
+            if isinstance(expr, ast.Path) and isinstance(expr.base, ast.VarRef):
+                if expr.base.name == alias:
+                    if expr.attr not in table.columns:
+                        raise SQL92Error(
+                            f"column {expr.attr} does not exist in table "
+                            f"aliased {alias}"
+                        )
+                    return ("right", expr.attr)
+            try:
+                left_scope = {k: v for k, v in scope.items() if k != alias}
+                return ("left", self._compile(expr, left_scope))
+            except SQL92Error:
+                return None
+
+        first = side_of(condition.left)
+        second = side_of(condition.right)
+        if first is None or second is None or first[0] == second[0]:
+            return bail()
+        right_col = first[1] if first[0] == "right" else second[1]
+        left_key = first[1] if first[0] == "left" else second[1]
+
+        buckets: Dict[Any, List[Dict[str, Any]]] = {}
+        for row in table.rows:
+            key = row[right_col]
+            if key is None:
+                continue  # NULL never equi-joins
+            buckets.setdefault(key, []).append(row)
+
+        result = []
+        null_pad = {f"{alias}.{col}": None for col in table.columns}
+        for outer_row in left_rows:
+            key = left_key(outer_row)
+            matches = buckets.get(key, ()) if key is not None else ()
+            for row in matches:
+                result.append(
+                    {
+                        **outer_row,
+                        **{f"{alias}.{col}": row[col] for col in table.columns},
+                    }
+                )
+            if outer and not matches:
+                result.append({**outer_row, **null_pad})
+        return result
+
+    # -- projection ---------------------------------------------------------------
+
+    def _project_row(self, select, scope, row) -> Dict[str, Any]:
+        if isinstance(select, ast.SelectStar):
+            return {key.split(".", 1)[1]: value for key, value in row.items()}
+        output: Dict[str, Any] = {}
+        for position, sel_item in enumerate(select.items):
+            if sel_item.star:
+                raise SQL92Error("alias.* items are not supported")
+            name = sel_item.alias or _implied_name(sel_item.expr, position)
+            output[name] = self._compile(sel_item.expr, scope)(row)
+        return output
+
+    def _project_group(self, select, scope, group_keys, key_values, members):
+        if isinstance(select, ast.SelectStar):
+            raise SQL92Error("SELECT * is not valid with GROUP BY")
+        output: Dict[str, Any] = {}
+        for position, sel_item in enumerate(select.items):
+            name = sel_item.alias or _implied_name(sel_item.expr, position)
+            output[name] = self._compile_grouped(
+                sel_item.expr, scope, group_keys, key_values
+            )(members)
+        return output
+
+    def _group(self, rows, group_keys):
+        groups: Dict[tuple, Tuple[Dict[str, Any], List[Dict]]] = {}
+        order: List[tuple] = []
+        for row in rows:
+            values = {alias: fn(row) for alias, fn in group_keys}
+            identity = tuple(group_key(values[alias]) for alias, __ in group_keys)
+            if identity not in groups:
+                groups[identity] = (values, [])
+                order.append(identity)
+            groups[identity][1].append(row)
+        return [groups[identity] for identity in order]
+
+    def _order(self, rows, order_items):
+        """ORDER BY over output column names (SQL's sort-by-alias rule)."""
+        indexed = list(range(len(rows)))
+        for item in reversed(order_items):
+            name = _order_name(item.expr)
+
+            def key_of(position, name=name):
+                value = rows[position].get(name)
+                return (0 if value is None else 1, sort_key(value))
+
+            indexed.sort(key=key_of, reverse=item.desc)
+        return [rows[position] for position in indexed]
+
+    # -- expression compilation -------------------------------------------------
+
+    def _resolve_column(self, expr: ast.Expr, scope) -> str:
+        if isinstance(expr, ast.Path) and isinstance(expr.base, ast.VarRef):
+            alias = expr.base.name
+            if alias not in scope:
+                raise SQL92Error(f"unknown table alias {alias}")
+            if expr.attr not in scope[alias]:
+                raise SQL92Error(
+                    f"column {expr.attr} does not exist in table aliased {alias}"
+                )
+            return f"{alias}.{expr.attr}"
+        if isinstance(expr, ast.VarRef):
+            candidates = [
+                alias for alias, columns in scope.items() if expr.name in columns
+            ]
+            if not candidates:
+                raise SQL92Error(f"unknown column {expr.name}")
+            if len(candidates) > 1:
+                raise SQL92Error(f"ambiguous column {expr.name}")
+            return f"{candidates[0]}.{expr.name}"
+        raise SQL92Error("nested navigation is not SQL-92")
+
+    def _compile(self, expr: ast.Expr, scope) -> Callable[[Dict[str, Any]], Any]:
+        """Compile an expression to a row → value function (strict)."""
+        from repro.functions import operators as ops
+
+        config = self._db._config
+        if isinstance(expr, ast.Literal):
+            if not (expr.value is None or isinstance(expr.value, _SCALARS)):
+                raise SQL92Error("only scalar literals are SQL-92")
+            value = expr.value
+            return lambda row: value
+        if isinstance(expr, (ast.VarRef, ast.Path)):
+            column = self._resolve_column(expr, scope)
+            return lambda row: row[column]
+        if isinstance(expr, ast.Binary):
+            left = self._compile(expr.left, scope)
+            right = self._compile(expr.right, scope)
+            op = expr.op
+            if op == "AND":
+                return lambda row: ops.logical_and(left(row), right(row), config)
+            if op == "OR":
+                return lambda row: ops.logical_or(left(row), right(row), config)
+            if op == "=":
+                return lambda row: ops.equals(left(row), right(row), config)
+            if op == "!=":
+                return lambda row: ops.not_equals(left(row), right(row), config)
+            if op in ("<", "<=", ">", ">="):
+                return lambda row: ops.compare(op, left(row), right(row), config)
+            if op == "||":
+                return lambda row: ops.concat(left(row), right(row), config)
+            return lambda row: ops.arithmetic(op, left(row), right(row), config)
+        if isinstance(expr, ast.Unary):
+            operand = self._compile(expr.operand, scope)
+            if expr.op == "NOT":
+                return lambda row: ops.logical_not(operand(row), config)
+            if expr.op == "-":
+                return lambda row: ops.negate(operand(row), config)
+            return lambda row: ops.unary_plus(operand(row), config)
+        if isinstance(expr, ast.Like):
+            operand = self._compile(expr.operand, scope)
+            pattern = self._compile(expr.pattern, scope)
+            negated = expr.negated
+            return lambda row: (
+                ops.logical_not(
+                    ops.like(operand(row), pattern(row), None, config), config
+                )
+                if negated
+                else ops.like(operand(row), pattern(row), None, config)
+            )
+        if isinstance(expr, ast.Between):
+            operand = self._compile(expr.operand, scope)
+            low = self._compile(expr.low, scope)
+            high = self._compile(expr.high, scope)
+            return lambda row: ops.logical_and(
+                ops.compare(">=", operand(row), low(row), config),
+                ops.compare("<=", operand(row), high(row), config),
+                config,
+            )
+        if isinstance(expr, ast.InPredicate):
+            if not isinstance(expr.collection, ast.ArrayLit):
+                raise SQL92Error("IN requires a literal value list in this subset")
+            operand = self._compile(expr.operand, scope)
+            items = [self._compile(item, scope) for item in expr.collection.items]
+            return lambda row: ops.in_collection(
+                operand(row), [item(row) for item in items], config
+            )
+        if isinstance(expr, ast.IsPredicate):
+            operand = self._compile(expr.operand, scope)
+            kind = expr.kind
+            negated = expr.negated
+            if kind != "NULL":
+                raise SQL92Error("only IS [NOT] NULL is SQL-92")
+            return lambda row: (operand(row) is None) != negated
+        if isinstance(expr, ast.CaseExpr):
+            return self._compile_case(expr, scope)
+        if isinstance(expr, ast.FunctionCall):
+            if expr.name.upper() in SQL_AGGREGATES:
+                raise SQL92Error(
+                    f"aggregate {expr.name} outside SELECT/HAVING of a "
+                    "grouped query"
+                )
+            definition = REGISTRY.lookup(expr.name)
+            if definition is None or definition.is_aggregate:
+                raise SQL92Error(f"unknown function {expr.name}")
+            compiled = [self._compile(arg, scope) for arg in expr.args]
+            return lambda row: definition.invoke(
+                [fn(row) for fn in compiled], config
+            )
+        raise SQL92Error(
+            f"{type(expr).__name__} expressions are not in the SQL-92 subset"
+        )
+
+    def _compile_case(self, expr: ast.CaseExpr, scope):
+        from repro.functions import operators as ops
+
+        config = self._db._config
+        operand = (
+            self._compile(expr.operand, scope) if expr.operand is not None else None
+        )
+        whens = [
+            (self._compile(cond, scope), self._compile(result, scope))
+            for cond, result in expr.whens
+        ]
+        else_fn = self._compile(expr.else_, scope) if expr.else_ is not None else None
+
+        def evaluate(row):
+            base = operand(row) if operand is not None else None
+            for cond_fn, result_fn in whens:
+                if operand is not None:
+                    verdict = ops.equals(base, cond_fn(row), config)
+                else:
+                    verdict = cond_fn(row)
+                if verdict is True:
+                    return result_fn(row)
+            return else_fn(row) if else_fn is not None else None
+
+        return evaluate
+
+    def _compile_grouped(self, expr: ast.Expr, scope, group_keys, key_values):
+        """Compile a SELECT/HAVING expression of a grouped query into a
+        members → value function."""
+        from repro.syntax.printer import print_ast
+
+        key_by_text = {}
+        for alias, __ in group_keys:
+            key_by_text[alias] = key_values.get(alias)
+
+        if isinstance(expr, ast.FunctionCall) and expr.name.upper() in SQL_AGGREGATES:
+            definition = REGISTRY.lookup(SQL_AGGREGATES[expr.name.upper()])
+            assert definition is not None
+            if expr.star:
+                return lambda members: definition.invoke(
+                    [[1] * len(members)], self._db._config
+                )
+            arg = self._compile(expr.args[0], scope)
+            distinct = expr.distinct
+            config = self._db._config
+
+            def aggregate(members):
+                values = [arg(row) for row in members]
+                if distinct:
+                    from repro.functions.operators import distinct_elements
+
+                    values = distinct_elements(values)
+                return definition.invoke([values], config)
+
+            return aggregate
+
+        # A group key expression (matched by alias or printed text).
+        if isinstance(expr, (ast.VarRef, ast.Path)):
+            text = print_ast(expr)
+            for key_alias, key_fn in group_keys:
+                if key_alias == text or (
+                    isinstance(expr, ast.Path) and expr.attr == key_alias
+                ):
+                    value = key_values[key_alias]
+                    return lambda members: value
+            # Fall through to a first-member lookup only if it is a key.
+            raise SQL92Error(
+                f"{text} is neither a GROUP BY key nor inside an aggregate"
+            )
+        if isinstance(expr, ast.Literal):
+            value = expr.value
+            return lambda members: value
+        if isinstance(expr, ast.Binary):
+            left = self._compile_grouped(expr.left, scope, group_keys, key_values)
+            right = self._compile_grouped(expr.right, scope, group_keys, key_values)
+            from repro.functions import operators as ops
+
+            config = self._db._config
+            op = expr.op
+
+            def combine(members):
+                left_value, right_value = left(members), right(members)
+                if op == "AND":
+                    return ops.logical_and(left_value, right_value, config)
+                if op == "OR":
+                    return ops.logical_or(left_value, right_value, config)
+                if op == "=":
+                    return ops.equals(left_value, right_value, config)
+                if op == "!=":
+                    return ops.not_equals(left_value, right_value, config)
+                if op in ("<", "<=", ">", ">="):
+                    return ops.compare(op, left_value, right_value, config)
+                if op == "||":
+                    return ops.concat(left_value, right_value, config)
+                return ops.arithmetic(op, left_value, right_value, config)
+
+            return combine
+        raise SQL92Error(
+            f"{type(expr).__name__} is not supported in grouped output"
+        )
+
+    @staticmethod
+    def _has_aggregate(select: ast.SelectClause) -> bool:
+        if not isinstance(select, ast.SelectList):
+            return False
+        for item in select.items:
+            for node in item.expr.walk():
+                if (
+                    isinstance(node, ast.FunctionCall)
+                    and node.name.upper() in SQL_AGGREGATES
+                ):
+                    return True
+        return False
+
+
+def _table_name(expr: ast.Expr) -> Optional[str]:
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.Path):
+        base = _table_name(expr.base)
+        if base is not None:
+            return f"{base}.{expr.attr}"
+    return None
+
+
+def _implied_name(expr: ast.Expr, position: int) -> str:
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.Path):
+        return expr.attr
+    return f"_{position + 1}"
+
+
+def _order_name(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.Path):
+        return expr.attr
+    raise SQL92Error("ORDER BY supports output column names in this subset")
+
+
+def _int_literal(expr: ast.Expr, what: str) -> int:
+    if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+        return expr.value
+    raise SQL92Error(f"{what} requires an integer literal")

@@ -1,0 +1,12 @@
+"""Named values and the public :class:`Database` facade.
+
+A SQL++ database is a set of *named values* (paper, Section II): a name
+— possibly dotted/namespaced like ``hr.emp_nest_tuples`` — associated
+with any SQL++ value, not necessarily a collection of homogeneous
+tuples.
+"""
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.database import Database
+
+__all__ = ["Catalog", "Database"]

@@ -1,0 +1,77 @@
+"""The catalog: dotted names → SQL++ values.
+
+Names are identifiers or dotted identifiers (``hr.emp``), reflecting a
+database/table or schema/table hierarchy (paper, Section II).  Values
+are stored in model form; plain Python data passed in is converted via
+:func:`repro.datamodel.from_python`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List
+
+from repro.datamodel.convert import from_python
+from repro.errors import CatalogError
+
+_NAME_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_$"
+)
+
+
+def validate_name(name: str) -> str:
+    """Check that a catalog name is a (dotted) identifier; return it."""
+    if not name:
+        raise CatalogError("catalog names must be non-empty")
+    for part in name.split("."):
+        if not part or not all(char in _NAME_CHARS for char in part):
+            raise CatalogError(f"invalid catalog name {name!r}")
+        if part[0].isdigit():
+            raise CatalogError(f"invalid catalog name {name!r}")
+    return name
+
+
+class Catalog:
+    """A mutable mapping of dotted names to SQL++ values."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, Any] = {}
+
+    def set(self, name: str, value: Any) -> None:
+        """Create or replace a named value (converted to model form)."""
+        self._values[validate_name(name)] = from_python(value)
+
+    def set_model(self, name: str, value: Any) -> None:
+        """Create or replace a named value that is already in model form
+        (skips conversion; used by callers that validated the value)."""
+        self._values[validate_name(name)] = value
+
+    def get(self, name: str) -> Any:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise CatalogError(f"unknown named value {name!r}") from None
+
+    def drop(self, name: str) -> None:
+        if name not in self._values:
+            raise CatalogError(f"unknown named value {name!r}")
+        del self._values[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._values)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._values
+
+    def __getitem__(self, name: str) -> Any:
+        return self.get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._values))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def namespace(self, prefix: str) -> List[str]:
+        """Names under a dotted prefix (``hr`` → ``hr.emp``, ...)."""
+        dotted = prefix + "."
+        return [name for name in self.names() if name.startswith(dotted)]

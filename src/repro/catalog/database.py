@@ -1,0 +1,268 @@
+"""The :class:`Database` facade — the library's main entry point.
+
+Typical use::
+
+    from repro import Database
+
+    db = Database()
+    db.set("hr.emp_nest_tuples", [...])          # plain Python data is fine
+    result = db.execute('''
+        SELECT e.name AS emp_name, p.name AS proj_name
+        FROM hr.emp_nest_tuples AS e, e.projects AS p
+        WHERE p.name LIKE '%Security%'
+    ''')
+
+``execute`` returns SQL++ model values (bags/arrays/structs);
+``execute_python`` returns plain Python data.  The two language dials —
+typing mode and the SQL-compatibility flag (paper, Sections I and IV) —
+can be set per database or overridden per query.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.config import EvalConfig
+from repro.core.environment import Environment
+from repro.core.evaluator import Evaluator
+from repro.core.rewriter import rewrite_query
+from repro.catalog.catalog import Catalog
+from repro.datamodel.convert import to_python
+from repro.datamodel.values import MISSING, Bag
+from repro.syntax import ast
+from repro.syntax.parser import parse
+from repro.syntax.printer import print_ast
+
+
+class Database:
+    """A SQL++ database: a catalog of named values plus query execution."""
+
+    def __init__(
+        self,
+        typing_mode: str = "permissive",
+        sql_compat: bool = True,
+    ):
+        self.catalog = Catalog()
+        self._config = EvalConfig(typing_mode=typing_mode, sql_compat=sql_compat)
+        self._schemas: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Named values
+    # ------------------------------------------------------------------
+
+    def set(self, name: str, value: Any) -> None:
+        """Create or replace a named value.
+
+        When a schema is registered for ``name``, the value is validated
+        against it first (schema is *optional*, never required — paper
+        tenet 3).
+        """
+        from repro.datamodel.convert import from_python
+
+        model_value = from_python(value)
+        schema = self._schemas.get(name)
+        if schema is not None:
+            from repro.schema.validate import validate
+
+            validate(model_value, schema, path=name)
+        self.catalog.set_model(name, model_value)
+
+    def get(self, name: str) -> Any:
+        return self.catalog.get(name)
+
+    def insert(self, name: str, values: Any) -> None:
+        """Append elements to a named collection.
+
+        ``values`` is an iterable of new elements (a list/bag, *not* one
+        element).  Creates the named value as a bag when absent.  With a
+        registered schema, the updated collection is re-validated and
+        the insert is rejected wholesale on a violation.
+        """
+        from repro.datamodel.convert import from_python
+        from repro.datamodel.values import Bag
+
+        new_elements = from_python(list(values))
+        if name in self.catalog:
+            existing = self.catalog.get(name)
+            if isinstance(existing, Bag):
+                combined: Any = Bag(existing.to_list() + new_elements)
+            elif isinstance(existing, list):
+                combined = existing + new_elements
+            else:
+                from repro.errors import CatalogError
+
+                raise CatalogError(
+                    f"cannot insert into non-collection named value {name!r}"
+                )
+        else:
+            combined = Bag(new_elements)
+        # Route through set() so schema validation applies atomically.
+        self.set(name, combined)
+
+    def drop(self, name: str) -> None:
+        self.catalog.drop(name)
+        self._schemas.pop(name, None)
+
+    def names(self) -> List[str]:
+        return self.catalog.names()
+
+    # ------------------------------------------------------------------
+    # Optional schema
+    # ------------------------------------------------------------------
+
+    def set_schema(self, name: str, schema: Any) -> None:
+        """Impose a schema on a named value.
+
+        ``schema`` is a :mod:`repro.schema` type (or DDL string parsed by
+        :func:`repro.schema.parse_schema`).  An existing value is
+        validated immediately: imposing a schema on conforming data must
+        not change any query result (the paper's *query stability*
+        tenet), so only conforming data is accepted.
+        """
+        if isinstance(schema, str):
+            from repro.schema.ddl import parse_schema
+
+            schema = parse_schema(schema)
+        if name in self.catalog:
+            from repro.schema.validate import validate
+
+            validate(self.catalog.get(name), schema, path=name)
+        self._schemas[name] = schema
+
+    def get_schema(self, name: str) -> Optional[Any]:
+        return self._schemas.get(name)
+
+    def drop_schema(self, name: str) -> None:
+        self._schemas.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+
+    def _effective_config(
+        self, typing_mode: Optional[str], sql_compat: Optional[bool]
+    ) -> EvalConfig:
+        if typing_mode is None and sql_compat is None:
+            return self._config
+        return EvalConfig(
+            typing_mode=typing_mode or self._config.typing_mode,
+            sql_compat=(
+                self._config.sql_compat if sql_compat is None else sql_compat
+            ),
+        )
+
+    def _schema_attrs(self) -> Dict[str, Any]:
+        """Attribute sets per schemaful named value, for disambiguation."""
+        from repro.schema.types import element_attribute_names
+
+        attrs: Dict[str, Any] = {}
+        for name, schema in self._schemas.items():
+            names = element_attribute_names(schema)
+            if names is not None:
+                attrs[name] = names
+        return attrs
+
+    def compile(
+        self,
+        query: str,
+        typing_mode: Optional[str] = None,
+        sql_compat: Optional[bool] = None,
+    ) -> ast.Query:
+        """Parse and rewrite a query to its executable Core form."""
+        config = self._effective_config(typing_mode, sql_compat)
+        parsed = parse(query)
+        return rewrite_query(
+            parsed,
+            config,
+            catalog_names=self.catalog.names(),
+            schema_attrs=self._schema_attrs(),
+        )
+
+    def execute(
+        self,
+        query: str,
+        parameters: Optional[Sequence[Any]] = None,
+        typing_mode: Optional[str] = None,
+        sql_compat: Optional[bool] = None,
+        missing_as_null: bool = False,
+    ) -> Any:
+        """Execute a SQL++ query and return the result as model values.
+
+        ``missing_as_null`` converts top-level MISSING elements of the
+        result collection to NULL, the way the paper says JDBC/ODBC
+        clients see them (Section IV-B).
+        """
+        config = self._effective_config(typing_mode, sql_compat)
+        core = self.compile(query, typing_mode, sql_compat)
+        evaluator = Evaluator(self.catalog, config, parameters=parameters)
+        result = evaluator.execute(core, Environment())
+        if missing_as_null:
+            result = _missing_to_null(result)
+        return result
+
+    def execute_python(
+        self,
+        query: str,
+        parameters: Optional[Sequence[Any]] = None,
+        typing_mode: Optional[str] = None,
+        sql_compat: Optional[bool] = None,
+    ) -> Any:
+        """Execute and convert the result to plain Python data."""
+        result = self.execute(
+            query,
+            parameters=parameters,
+            typing_mode=typing_mode,
+            sql_compat=sql_compat,
+        )
+        return to_python(result)
+
+    def explain(
+        self,
+        query: str,
+        typing_mode: Optional[str] = None,
+        sql_compat: Optional[bool] = None,
+    ) -> str:
+        """The rewritten SQL++ Core text for a query.
+
+        Shows the sugar rewritings the paper describes: plain SELECT
+        becomes SELECT VALUE, SQL aggregates become ``COLL_*`` over the
+        GROUP AS group, coercions become explicit.
+        """
+        return print_ast(self.compile(query, typing_mode, sql_compat))
+
+    # ------------------------------------------------------------------
+    # Data formats
+    # ------------------------------------------------------------------
+
+    def load(self, name: str, path: str, format: Optional[str] = None) -> None:
+        """Load a file into a named value using a format codec.
+
+        ``format`` defaults from the file extension (``.json``, ``.csv``,
+        ``.cbor``, ``.ion``, ``.sqlpp``).
+        """
+        from repro.formats.registry import read_file
+
+        self.set(name, read_file(path, format))
+
+    def dump(self, name: str, path: str, format: Optional[str] = None) -> None:
+        """Write a named value to a file using a format codec."""
+        from repro.formats.registry import write_file
+
+        write_file(self.get(name), path, format)
+
+    def load_value(self, name: str, text: str, format: str = "sqlpp") -> None:
+        """Load a named value from literal text in a given format."""
+        from repro.formats.registry import read_text
+
+        self.set(name, read_text(text, format))
+
+
+def _missing_to_null(result: Any) -> Any:
+    """Replace top-level MISSING elements with NULL (client adaptation)."""
+    if result is MISSING:
+        return None
+    if isinstance(result, Bag):
+        return Bag(None if item is MISSING else item for item in result)
+    if isinstance(result, list):
+        return [None if item is MISSING else item for item in result]
+    return result

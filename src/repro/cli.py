@@ -1,0 +1,211 @@
+"""Command-line interface: a SQL++ REPL, script runner and kit runner.
+
+Usage::
+
+    python -m repro                     # interactive REPL
+    python -m repro query.sqlpp         # run a script of ;-separated queries
+    python -m repro --compat-kit        # run the compatibility kit
+    python -m repro -c "SELECT VALUE 1" # one-shot query
+
+REPL dot-commands::
+
+    .load <name> <path> [format]   load a file into a named value
+    .set  <name> <literal>         define a named value from a literal
+    .names                         list named values
+    .mode core|compat              toggle the SQL-compatibility flag
+    .typing permissive|strict      toggle the typing mode
+    .explain <query>               show the rewritten Core query
+    .schema <name> <ddl>           impose a schema on a named value
+    .quit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.catalog.database import Database
+from repro.errors import SQLPPError
+from repro.formats.sqlpp_text import dumps
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sqlpp",
+        description="SQL++ query processor (reproduction of Carey et al., "
+        "ICDE 2024)",
+    )
+    parser.add_argument("script", nargs="?", help="script of ;-separated queries")
+    parser.add_argument("-c", "--command", help="run one query and exit")
+    parser.add_argument(
+        "--core",
+        action="store_true",
+        help="composability mode (SQL-compatibility flag off)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="stop-on-error typing mode (default: permissive)",
+    )
+    parser.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="load a data file into a named value (repeatable)",
+    )
+    parser.add_argument(
+        "--compat-kit",
+        action="store_true",
+        help="run the SQL++ compatibility kit and print the report",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with --compat-kit: print a machine-readable JSON report",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"sqlpp {__version__}"
+    )
+    args = parser.parse_args(argv)
+
+    if args.compat_kit:
+        from repro.compat import format_report, run_cases
+
+        results = run_cases()
+        if args.json:
+            import json as json_module
+
+            from repro.compat.report import report_json
+
+            print(json_module.dumps(report_json(results), indent=2))
+        else:
+            print(format_report(results))
+        return 0 if all(result.passed for result in results) else 1
+
+    db = Database(
+        typing_mode="strict" if args.strict else "permissive",
+        sql_compat=not args.core,
+    )
+    for spec in args.load:
+        name, __, path = spec.partition("=")
+        if not path:
+            parser.error(f"--load expects NAME=PATH, got {spec!r}")
+        db.load(name, path)
+
+    if args.command:
+        return _run_text(db, args.command)
+    if args.script:
+        with open(args.script) as handle:
+            return _run_text(db, handle.read())
+    return _repl(db)
+
+
+def _run_text(db: Database, text: str) -> int:
+    from repro.syntax.parser import parse_script
+
+    try:
+        queries = parse_script(text)
+    except SQLPPError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    status = 0
+    for query in queries:
+        from repro.syntax.printer import print_ast
+
+        try:
+            print(dumps(db.execute(print_ast(query))))
+        except SQLPPError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 1
+    return status
+
+
+def _repl(db: Database) -> int:
+    print(f"sqlpp {__version__} — type .help for commands, .quit to exit")
+    buffer: List[str] = []
+    while True:
+        prompt = "sqlpp> " if not buffer else "  ...> "
+        try:
+            line = input(prompt)
+        except EOFError:
+            print()
+            return 0
+        except KeyboardInterrupt:
+            print()
+            buffer.clear()
+            continue
+        stripped = line.strip()
+        if not buffer and stripped.startswith("."):
+            if not _dot_command(db, stripped):
+                return 0
+            continue
+        buffer.append(line)
+        if stripped.endswith(";") or (stripped and not buffer[:-1] and _is_complete(stripped)):
+            text = "\n".join(buffer).rstrip().rstrip(";")
+            buffer.clear()
+            if not text.strip():
+                continue
+            try:
+                print(dumps(db.execute(text)))
+            except SQLPPError as exc:
+                print(f"error: {exc}")
+
+
+def _is_complete(text: str) -> bool:
+    """Single-line inputs without ';' still run if they parse."""
+    from repro.syntax.parser import parse
+
+    try:
+        parse(text)
+    except SQLPPError:
+        return False
+    return True
+
+
+def _dot_command(db: Database, line: str) -> bool:
+    """Handle a REPL dot-command; returns False to exit."""
+    parts = line.split(None, 2)
+    command = parts[0]
+    try:
+        if command in (".quit", ".exit"):
+            return False
+        if command == ".help":
+            print(__doc__)
+        elif command == ".names":
+            for name in db.names():
+                print(name)
+        elif command == ".load" and len(parts) == 3:
+            name, rest = parts[1], parts[2].split()
+            db.load(name, rest[0], rest[1] if len(rest) > 1 else None)
+            print(f"loaded {name}")
+        elif command == ".set" and len(parts) == 3:
+            db.load_value(parts[1], parts[2])
+            print(f"set {parts[1]}")
+        elif command == ".schema" and len(parts) == 3:
+            db.set_schema(parts[1], parts[2])
+            print(f"schema set on {parts[1]}")
+        elif command == ".mode" and len(parts) >= 2:
+            db._config = type(db._config)(
+                typing_mode=db._config.typing_mode,
+                sql_compat=(parts[1] != "core"),
+            )
+            print(f"mode: {'compat' if db._config.sql_compat else 'core'}")
+        elif command == ".typing" and len(parts) >= 2:
+            db._config = type(db._config)(
+                typing_mode=parts[1], sql_compat=db._config.sql_compat
+            )
+            print(f"typing: {db._config.typing_mode}")
+        elif command == ".explain" and len(parts) >= 2:
+            print(db.explain(line.split(None, 1)[1]))
+        else:
+            print(f"unknown command {command!r}; try .help")
+    except (SQLPPError, OSError) as exc:
+        print(f"error: {exc}")
+    return True
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""The SQL++ compatibility kit.
+
+The paper's conclusion (Section VIII) announces "a shared 'compatibility
+kit' for use in checking for compliance with Core SQL++ in both its
+composability mode and its SQL compatibility mode" as future joint work.
+This package is that kit, built from the paper itself: every listing —
+input collection, query and printed result — is a machine-checkable
+:class:`~repro.compat.corpus.ConformanceCase`, each tagged with the
+language mode it pins down, plus extended cases for behaviours the prose
+describes without a listing.
+
+* :mod:`repro.compat.corpus` — the case dataclass and registry;
+* :mod:`repro.compat.listings` — the paper's Listings 1–28 verbatim;
+* :mod:`repro.compat.extended` — prose-derived cases (MISSING rules,
+  coercion, compatibility-mode guarantees);
+* :mod:`repro.compat.runner` — executes cases against any
+  :class:`~repro.catalog.Database`-compatible engine;
+* :mod:`repro.compat.report` — a human-readable conformance report.
+"""
+
+from repro.compat.corpus import ConformanceCase, all_cases
+from repro.compat.runner import CaseResult, run_case, run_cases
+from repro.compat.report import format_report
+
+__all__ = [
+    "ConformanceCase",
+    "all_cases",
+    "CaseResult",
+    "run_case",
+    "run_cases",
+    "format_report",
+]

@@ -1,0 +1,53 @@
+"""Conformance-case machinery for the compatibility kit."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class ConformanceCase:
+    """One executable specification point.
+
+    ``data`` maps named values to literal text in the paper's notation;
+    ``query`` is the SQL++ under test; ``expected`` is the expected
+    result, again as a literal.  ``sql_compat`` and ``typing_mode``
+    select the language mode the case pins down (the kit checks both
+    modes, per Section VIII).  ``expect_error`` names an exception class
+    (from :mod:`repro.errors`) for negative cases.  ``ordered`` compares
+    the result as an array; otherwise comparison is bag equality.
+    """
+
+    case_id: str
+    section: str
+    title: str
+    query: str
+    data: Dict[str, str] = field(default_factory=dict)
+    expected: Optional[str] = None
+    sql_compat: bool = True
+    typing_mode: str = "permissive"
+    expect_error: Optional[str] = None
+    ordered: bool = False
+    notes: str = ""
+
+
+_REGISTRY: List[ConformanceCase] = []
+
+
+def register(case: ConformanceCase) -> ConformanceCase:
+    """Add a case to the kit (duplicate ids rejected)."""
+    if any(existing.case_id == case.case_id for existing in _REGISTRY):
+        raise ValueError(f"duplicate conformance case id {case.case_id!r}")
+    _REGISTRY.append(case)
+    return case
+
+
+def all_cases() -> List[ConformanceCase]:
+    """Every registered case, importing the corpus modules on demand."""
+    # Importing registers the cases exactly once.
+    from repro.compat import listings  # noqa: F401
+    from repro.compat import extended  # noqa: F401
+    from repro.compat import analytics_cases  # noqa: F401
+
+    return list(_REGISTRY)

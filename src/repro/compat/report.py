@@ -1,0 +1,74 @@
+"""Render a conformance report for the compatibility kit."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.compat.runner import CaseResult
+from repro.formats.sqlpp_text import dumps
+
+
+def format_report(results: Sequence[CaseResult], verbose: bool = False) -> str:
+    """A text report: one line per case plus a summary (and diffs when
+    ``verbose``)."""
+    lines: List[str] = []
+    lines.append("SQL++ compatibility kit")
+    lines.append("=" * 70)
+    passed = 0
+    by_section: dict = {}
+    for result in results:
+        case = result.case
+        status = "PASS" if result.passed else "FAIL"
+        if result.passed:
+            passed += 1
+        mode = "compat" if case.sql_compat else "core"
+        mode += "/strict" if case.typing_mode == "strict" else ""
+        lines.append(
+            f"[{status}] {case.case_id:<28} §{case.section:<6} "
+            f"({mode:<13}) {case.title}"
+        )
+        section = by_section.setdefault(case.section, [0, 0])
+        section[0] += int(result.passed)
+        section[1] += 1
+        if not result.passed:
+            if result.error:
+                lines.append(f"       error: {result.error}")
+            else:
+                lines.append("       expected:")
+                lines.append(_indent(dumps(result.expected), 9))
+                lines.append("       actual:")
+                lines.append(_indent(dumps(result.actual), 9))
+        elif verbose and result.expected is not None:
+            lines.append(_indent(dumps(result.expected), 9))
+    lines.append("-" * 70)
+    lines.append(f"{passed}/{len(results)} cases passed")
+    for section in sorted(by_section):
+        ok, total = by_section[section]
+        lines.append(f"  §{section:<6} {ok}/{total}")
+    return "\n".join(lines)
+
+
+def _indent(text: str, width: int) -> str:
+    pad = " " * width
+    return "\n".join(pad + line for line in text.splitlines())
+
+
+def report_json(results: Sequence[CaseResult]) -> dict:
+    """A machine-readable summary (for CI and cross-engine comparison)."""
+    return {
+        "total": len(results),
+        "passed": sum(result.passed for result in results),
+        "cases": [
+            {
+                "id": result.case.case_id,
+                "section": result.case.section,
+                "title": result.case.title,
+                "mode": "compat" if result.case.sql_compat else "core",
+                "typing": result.case.typing_mode,
+                "passed": result.passed,
+                "elapsed_s": round(result.elapsed_s, 6),
+                "error": result.error,
+            }
+            for result in results
+        ],
+    }

@@ -1,0 +1,277 @@
+"""Expression compilation: AST → Python closures.
+
+The Core evaluator's `eval_expr` walks the AST on every binding — for a
+query over n rows, the same dispatch and field accesses repeat n times.
+This module compiles an expression once into a nest of Python closures
+(`fn(env) -> value`), eliminating per-row dispatch for the hot node
+kinds.  E3/EXPERIMENTS.md records the interpretation overhead this
+addresses; ablation A4 measures the effect.
+
+**Single-source semantics.**  Only node kinds whose semantics live in
+:mod:`repro.functions.operators` are compiled; anything stateful or
+recursive into query evaluation (subqueries, window calls, coercions,
+CASE's mode-dependent MISSING rule) falls back to a closure that calls
+``evaluator.eval_expr`` on the original node.  The property test
+``tests/properties/test_compile_equivalence.py`` checks
+``compiled(expr)(env) == eval_expr(expr, env)`` over generated
+expressions, so the fast path cannot drift from the reference
+semantics unnoticed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, TYPE_CHECKING
+
+from repro.core.environment import Environment, Unbound
+from repro.datamodel.values import MISSING, Bag, Struct, type_name
+from repro.functions import operators as ops
+from repro.functions.registry import REGISTRY
+from repro.syntax import ast
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.evaluator import Evaluator
+
+CompiledExpr = Callable[[Environment], Any]
+
+
+def compile_expr(expr: ast.Expr, evaluator: "Evaluator") -> CompiledExpr:
+    """Compile ``expr`` to a closure equivalent to ``eval_expr``."""
+    config = evaluator.config
+    catalog = evaluator._catalog
+
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda env: value
+
+    if isinstance(expr, ast.VarRef):
+        name = expr.name
+
+        def var_ref(env: Environment) -> Any:
+            try:
+                return env.lookup(name)
+            except Unbound:
+                if name in catalog:
+                    return catalog[name]
+                raise Unbound(name) from None
+
+        return var_ref
+
+    if isinstance(expr, ast.Path):
+        attr = expr.attr
+        # Keep the dotted-catalog-name resolution of the interpreter for
+        # name-shaped bases; compile only the navigation fast path.
+        if isinstance(expr.base, (ast.VarRef, ast.Path)):
+            node = expr
+
+            def named_path(env: Environment) -> Any:
+                return evaluator.eval_expr(node, env)
+
+            return named_path
+        base_fn = compile_expr(expr.base, evaluator)
+        return lambda env: ops.navigate_path(base_fn(env), attr, config)
+
+    if isinstance(expr, ast.Index):
+        base_fn = compile_expr(expr.base, evaluator)
+        index_fn = compile_expr(expr.index, evaluator)
+        return lambda env: ops.navigate_index(base_fn(env), index_fn(env), config)
+
+    if isinstance(expr, ast.Binary):
+        return _compile_binary(expr, evaluator)
+
+    if isinstance(expr, ast.Unary):
+        operand_fn = compile_expr(expr.operand, evaluator)
+        if expr.op == "NOT":
+            return lambda env: ops.logical_not(operand_fn(env), config)
+        if expr.op == "-":
+            return lambda env: ops.negate(operand_fn(env), config)
+        return lambda env: ops.unary_plus(operand_fn(env), config)
+
+    if isinstance(expr, ast.IsPredicate):
+        operand_fn = compile_expr(expr.operand, evaluator)
+        kind = expr.kind
+        if expr.negated:
+            return lambda env: not ops.is_predicate(operand_fn(env), kind, config)
+        return lambda env: ops.is_predicate(operand_fn(env), kind, config)
+
+    if isinstance(expr, ast.Like):
+        return _compile_like(expr, evaluator)
+
+    if isinstance(expr, ast.Between):
+        operand_fn = compile_expr(expr.operand, evaluator)
+        low_fn = compile_expr(expr.low, evaluator)
+        high_fn = compile_expr(expr.high, evaluator)
+        negated = expr.negated
+
+        def between(env: Environment) -> Any:
+            # All three operands evaluate before any comparison, exactly
+            # as the reference interpreter orders it (error parity).
+            value = operand_fn(env)
+            low = low_fn(env)
+            high = high_fn(env)
+            verdict = ops.logical_and(
+                ops.compare(">=", value, low, config),
+                ops.compare("<=", value, high, config),
+                config,
+            )
+            return ops.logical_not(verdict, config) if negated else verdict
+
+        return between
+
+    if isinstance(expr, ast.InPredicate):
+        operand_fn = compile_expr(expr.operand, evaluator)
+        collection_fn = compile_expr(expr.collection, evaluator)
+        negated = expr.negated
+
+        def contains(env: Environment) -> Any:
+            verdict = ops.in_collection(operand_fn(env), collection_fn(env), config)
+            return ops.logical_not(verdict, config) if negated else verdict
+
+        return contains
+
+    if isinstance(expr, ast.Exists):
+        operand_fn = compile_expr(expr.operand, evaluator)
+        return lambda env: ops.exists(operand_fn(env), config)
+
+    if isinstance(expr, ast.FunctionCall):
+        return _compile_call(expr, evaluator)
+
+    if isinstance(expr, ast.StructLit):
+        return _compile_struct(expr, evaluator)
+
+    if isinstance(expr, ast.ArrayLit):
+        item_fns = [compile_expr(item, evaluator) for item in expr.items]
+
+        def array(env: Environment) -> list:
+            values = (fn(env) for fn in item_fns)
+            return [value for value in values if value is not MISSING]
+
+        return array
+
+    if isinstance(expr, ast.BagLit):
+        item_fns = [compile_expr(item, evaluator) for item in expr.items]
+
+        def bag(env: Environment) -> Bag:
+            values = (fn(env) for fn in item_fns)
+            return Bag(value for value in values if value is not MISSING)
+
+        return bag
+
+    # Subqueries, coercions, CASE, windows, parameters, casts, path
+    # wildcards: defer to the reference interpreter.
+    node = expr
+    return lambda env: evaluator.eval_expr(node, env)
+
+
+def _compile_binary(expr: ast.Binary, evaluator: "Evaluator") -> CompiledExpr:
+    config = evaluator.config
+    op = expr.op
+    left_fn = compile_expr(expr.left, evaluator)
+    right_fn = compile_expr(expr.right, evaluator)
+    if op == "AND":
+        return lambda env: ops.logical_and(left_fn(env), right_fn(env), config)
+    if op == "OR":
+        return lambda env: ops.logical_or(left_fn(env), right_fn(env), config)
+    if op == "=":
+        return lambda env: ops.equals(left_fn(env), right_fn(env), config)
+    if op == "!=":
+        return lambda env: ops.not_equals(left_fn(env), right_fn(env), config)
+    if op in ("<", "<=", ">", ">="):
+        return lambda env: ops.compare(op, left_fn(env), right_fn(env), config)
+    if op == "||":
+        return lambda env: ops.concat(left_fn(env), right_fn(env), config)
+    return lambda env: ops.arithmetic(op, left_fn(env), right_fn(env), config)
+
+
+def _compile_like(expr: ast.Like, evaluator: "Evaluator") -> CompiledExpr:
+    config = evaluator.config
+    operand_fn = compile_expr(expr.operand, evaluator)
+    negated = expr.negated
+
+    # A constant pattern (the overwhelmingly common case) compiles its
+    # regex exactly once.
+    if (
+        isinstance(expr.pattern, ast.Literal)
+        and isinstance(expr.pattern.value, str)
+        and (
+            expr.escape is None
+            or (
+                isinstance(expr.escape, ast.Literal)
+                and isinstance(expr.escape.value, str)
+                and len(expr.escape.value) == 1
+            )
+        )
+    ):
+        escape_char = expr.escape.value if expr.escape is not None else None
+        regex = ops._like_regex(expr.pattern.value, escape_char)
+
+        def like_constant(env: Environment) -> Any:
+            value = operand_fn(env)
+            if value is MISSING:
+                return MISSING
+            if value is None:
+                return None
+            if not isinstance(value, str):
+                verdict = config.type_error(
+                    f"LIKE expects strings, got {type_name(value)}"
+                )
+            else:
+                verdict = regex.fullmatch(value) is not None
+            return ops.logical_not(verdict, config) if negated else verdict
+
+        return like_constant
+
+    pattern_fn = compile_expr(expr.pattern, evaluator)
+    escape_fn = (
+        compile_expr(expr.escape, evaluator) if expr.escape is not None else None
+    )
+
+    def like_dynamic(env: Environment) -> Any:
+        verdict = ops.like(
+            operand_fn(env),
+            pattern_fn(env),
+            escape_fn(env) if escape_fn is not None else None,
+            config,
+        )
+        return ops.logical_not(verdict, config) if negated else verdict
+
+    return like_dynamic
+
+
+def _compile_call(expr: ast.FunctionCall, evaluator: "Evaluator") -> CompiledExpr:
+    node = expr
+    if expr.name == "$TUPLE_MERGE" or expr.star or expr.distinct:
+        return lambda env: evaluator.eval_expr(node, env)
+    definition = REGISTRY.lookup(expr.name)
+    if definition is None:
+        return lambda env: evaluator.eval_expr(node, env)  # raise uniformly
+    config = evaluator.config
+    arg_fns = [compile_expr(arg, evaluator) for arg in expr.args]
+
+    def call(env: Environment) -> Any:
+        return definition.invoke([fn(env) for fn in arg_fns], config)
+
+    return call
+
+
+def _compile_struct(expr: ast.StructLit, evaluator: "Evaluator") -> CompiledExpr:
+    config = evaluator.config
+    # Constant string keys (the rewriter's SELECT lowering always makes
+    # them) take a fast path; dynamic keys defer to the interpreter.
+    keys: List[Any] = []
+    for field in expr.fields:
+        if isinstance(field.key, ast.Literal) and isinstance(field.key.value, str):
+            keys.append(field.key.value)
+        else:
+            node = expr
+            return lambda env: evaluator.eval_expr(node, env)
+    value_fns = [compile_expr(field.value, evaluator) for field in expr.fields]
+
+    def struct(env: Environment) -> Struct:
+        pairs = []
+        for key, fn in zip(keys, value_fns):
+            value = fn(env)
+            if value is not MISSING:
+                pairs.append((key, value))
+        return Struct(pairs)
+
+    return struct

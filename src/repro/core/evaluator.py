@@ -1,0 +1,879 @@
+"""The SQL++ Core evaluator.
+
+Evaluates *rewritten* (Core) queries: a query block is a pipeline of
+clause functions over binding streams (paper, Section V-B — "it is best
+to think of a SQL++ query as being a pipeline of clauses, starting with
+the FROM, continuing with the optional WHERE, proceeding to the optional
+GROUP BY, and then the optional HAVING, and finishing with the SELECT
+clause.  Each clause is a function that inputs data and outputs data.").
+
+The pipeline:
+
+``FROM`` → bindings (left-correlated nested loops; variables bind to any
+value, Section III-A) → ``LET`` → ``WHERE`` (keep on TRUE only) →
+``GROUP BY ... GROUP AS`` (groups become data, Section V-B) → ``HAVING``
+→ windows → ``SELECT VALUE`` / ``SELECT *`` / ``PIVOT`` → ``ORDER BY`` /
+``LIMIT`` / ``OFFSET``.
+
+Unordered queries produce bags; ``ORDER BY`` produces arrays; ``PIVOT``
+queries produce a single tuple (Section VI-B).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import EvalConfig
+from repro.core import coercion
+from repro.core.environment import Environment, Unbound
+from repro.core.grouping_sets import expand_grouping_sets
+from repro.core.windows import compute_window_values, find_window_calls
+from repro.datamodel.equality import group_key
+from repro.datamodel.ordering import sort_key
+from repro.datamodel.values import MISSING, Bag, Struct, is_collection, type_name
+from repro.errors import BindingError, EvaluationError, TypeCheckError
+from repro.functions import operators as ops
+from repro.functions.registry import REGISTRY
+from repro.functions.scalar import cast_value
+from repro.syntax import ast
+
+
+class _BlockResult:
+    """Output of one query block: values plus (optionally) the binding
+    environments they came from, used for ORDER BY key evaluation."""
+
+    __slots__ = ("values", "envs", "is_pivot")
+
+    def __init__(
+        self,
+        values: List[Any],
+        envs: Optional[List[Environment]],
+        is_pivot: bool = False,
+    ):
+        self.values = values
+        self.envs = envs
+        self.is_pivot = is_pivot
+
+
+class Evaluator:
+    """Evaluates Core queries against a catalog of named values.
+
+    ``catalog`` is any mapping-like object supporting ``__contains__``
+    and ``__getitem__`` over dotted names (see
+    :class:`repro.catalog.Catalog`).  ``parameters`` supplies values for
+    positional ``?`` parameters.
+    """
+
+    def __init__(
+        self,
+        catalog,
+        config: Optional[EvalConfig] = None,
+        parameters: Optional[Sequence[Any]] = None,
+    ):
+        from repro.datamodel.convert import from_python
+
+        self._catalog = catalog if catalog is not None else {}
+        self.config = config or EvalConfig()
+        self._parameters = [from_python(value) for value in parameters or []]
+        self._compiled: Dict[int, Any] = {}
+
+    def compiled(self, expr: ast.Expr):
+        """The closure-compiled form of an expression (cached per node).
+
+        Semantically identical to ``eval_expr`` (see
+        :mod:`repro.core.compile_expr`); used on the per-binding hot
+        paths of the clause pipeline.
+        """
+        entry = self._compiled.get(id(expr))
+        if entry is None:
+            from repro.core.compile_expr import compile_expr
+
+            # The cache keeps a reference to the node alongside the
+            # closure: a key of bare id() could be reused by a new node
+            # after the old one is garbage-collected.
+            entry = (expr, compile_expr(expr, self))
+            self._compiled[id(expr)] = entry
+        return entry[1]
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def execute(self, query: ast.Query, env: Optional[Environment] = None) -> Any:
+        """Evaluate a query, translating internal signals to public errors."""
+        try:
+            return self.eval_query(query, env or Environment())
+        except Unbound as unbound:
+            raise BindingError(
+                f"unresolved name {unbound.name!r}: not a variable in scope "
+                "and not a named value in the database"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def eval_query(self, query: ast.Query, env: Environment) -> Any:
+        body = query.body
+        if isinstance(body, ast.QueryBlock):
+            result = self.eval_block(body, env)
+            if result.is_pivot:
+                return result.values[0]
+            values, envs = result.values, result.envs
+        elif isinstance(body, ast.SetOp):
+            values, envs = self._eval_setop(body, env), None
+        else:
+            value = self.eval_expr(body, env)
+            if not query.order_by and query.limit is None and query.offset is None:
+                return value
+            values = list(self._require_collection(value, "query body"))
+            envs = None
+
+        ordered = bool(query.order_by)
+        if ordered:
+            values = self._apply_order_by(values, envs, query.order_by, env)
+        values = self._apply_limit_offset(values, query, env)
+        if ordered:
+            return values
+        return Bag(values)
+
+    def _apply_order_by(
+        self,
+        values: List[Any],
+        envs: Optional[List[Environment]],
+        order_by: Sequence[ast.OrderItem],
+        outer_env: Environment,
+    ) -> List[Any]:
+        """Stable multi-pass sort by the ORDER BY keys.
+
+        Keys are evaluated in the block's final binding environment when
+        available, overlaid with the output element's attributes (so both
+        underlying variables and select aliases are usable, as in SQL).
+        """
+        indexed = list(range(len(values)))
+        sort_envs: List[Environment] = []
+        for position in indexed:
+            base = envs[position] if envs is not None else outer_env
+            value = values[position]
+            if isinstance(value, Struct):
+                base = base.extend(dict(value.items()))
+            sort_envs.append(base)
+
+        for item in reversed(list(order_by)):
+            keys: Dict[int, tuple] = {}
+            for position in indexed:
+                key_value = self.eval_expr(item.expr, sort_envs[position])
+                absent = key_value is None or key_value is MISSING
+                if item.nulls_first is None:
+                    primary = 0 if absent else 1
+                else:
+                    primary = 0 if (absent == item.nulls_first) else 1
+                    if item.desc:
+                        primary = 1 - primary
+                keys[position] = (primary, sort_key(key_value))
+            indexed.sort(key=keys.__getitem__, reverse=item.desc)
+        return [values[position] for position in indexed]
+
+    def _apply_limit_offset(
+        self, values: List[Any], query: ast.Query, env: Environment
+    ) -> List[Any]:
+        if query.offset is not None:
+            offset = self._cardinal(query.offset, env, "OFFSET")
+            values = values[offset:]
+        if query.limit is not None:
+            limit = self._cardinal(query.limit, env, "LIMIT")
+            values = values[:limit]
+        return values
+
+    def _cardinal(self, expr: ast.Expr, env: Environment, what: str) -> int:
+        value = self.eval_expr(expr, env)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise EvaluationError(f"{what} expects an integer, got {type_name(value)}")
+        if value < 0:
+            raise EvaluationError(f"{what} must be non-negative")
+        return value
+
+    # ------------------------------------------------------------------
+    # Set operations
+    # ------------------------------------------------------------------
+
+    def _eval_setop(self, setop: ast.SetOp, env: Environment) -> List[Any]:
+        left = self._setop_elements(setop.left, env)
+        right = self._setop_elements(setop.right, env)
+        if setop.op == "UNION":
+            combined = left + right
+            return combined if setop.all else ops.distinct_elements(combined)
+        if setop.op == "INTERSECT":
+            counts = _multiset_counts(right)
+            result = []
+            for item in left:
+                key = group_key(item)
+                if counts.get(key, 0) > 0:
+                    counts[key] -= 1
+                    result.append(item)
+            return result if setop.all else ops.distinct_elements(result)
+        if setop.op == "EXCEPT":
+            counts = _multiset_counts(right)
+            result = []
+            for item in left:
+                key = group_key(item)
+                if counts.get(key, 0) > 0:
+                    counts[key] -= 1
+                else:
+                    result.append(item)
+            return result if setop.all else ops.distinct_elements(result)
+        raise EvaluationError(f"unknown set operation {setop.op}")
+
+    def _setop_elements(self, term: ast.Node, env: Environment) -> List[Any]:
+        if isinstance(term, ast.QueryBlock):
+            result = self.eval_block(term, env)
+            if result.is_pivot:
+                raise EvaluationError("PIVOT query cannot be a set-operation input")
+            return list(result.values)
+        if isinstance(term, ast.SetOp):
+            return self._eval_setop(term, env)
+        if isinstance(term, ast.Query):
+            return list(
+                self._require_collection(
+                    self.eval_query(term, env), "set-operation input"
+                )
+            )
+        value = self.eval_expr(term, env)
+        return list(self._require_collection(value, "set-operation input"))
+
+    def _require_collection(self, value: Any, what: str):
+        if is_collection(value):
+            return value
+        raise EvaluationError(f"{what} must be a collection, got {type_name(value)}")
+
+    # ------------------------------------------------------------------
+    # Query blocks
+    # ------------------------------------------------------------------
+
+    def eval_block(self, block: ast.QueryBlock, env: Environment) -> _BlockResult:
+        # FROM — binding streams; no FROM means a single empty binding.
+        var_order: List[str] = []
+        if block.from_ is None:
+            envs = [env]
+        else:
+            envs = [env]
+            for item in block.from_:
+                envs = self._apply_from_item(item, envs, var_order)
+
+        # LET
+        for let in block.lets:
+            var_order.append(let.name)
+            let_fn = self.compiled(let.expr)
+            envs = [
+                current.bind(let.name, let_fn(current)) for current in envs
+            ]
+
+        # WHERE
+        if block.where is not None:
+            where_fn = self.compiled(block.where)
+            envs = [current for current in envs if where_fn(current) is True]
+
+        # GROUP BY ... GROUP AS
+        output_vars = var_order
+        if block.group_by is not None:
+            envs = self._apply_group_by(block.group_by, envs, env, var_order)
+            output_vars = [key.alias for key in block.group_by.keys]
+            if block.group_by.group_as:
+                output_vars = output_vars + [block.group_by.group_as]
+
+        # HAVING
+        if block.having is not None:
+            having_fn = self.compiled(block.having)
+            envs = [current for current in envs if having_fn(current) is True]
+
+        # Window functions (computed over the final binding stream).
+        select = block.select
+        window_calls = find_window_calls(select)
+        if window_calls:
+            select, envs = self._bind_windows(select, window_calls, envs)
+
+        # SELECT / PIVOT
+        if isinstance(select, ast.PivotClause):
+            return _BlockResult(
+                [self._eval_pivot(select, envs)], None, is_pivot=True
+            )
+        if isinstance(select, ast.SelectValue):
+            select_fn = self.compiled(select.expr)
+            values = [select_fn(current) for current in envs]
+            if select.distinct:
+                return _BlockResult(ops.distinct_elements(values), None)
+            return _BlockResult(values, envs)
+        if isinstance(select, ast.SelectStar):
+            values = [self._eval_star(current, output_vars) for current in envs]
+            if select.distinct:
+                return _BlockResult(ops.distinct_elements(values), None)
+            return _BlockResult(values, envs)
+        raise EvaluationError(
+            f"unexpected SELECT clause after rewriting: {type(select).__name__}"
+        )
+
+    # -- FROM ----------------------------------------------------------------
+
+    def _apply_from_item(
+        self,
+        item: ast.FromItem,
+        envs: List[Environment],
+        var_order: List[str],
+    ) -> List[Environment]:
+        self._collect_item_vars(item, var_order)
+        result: List[Environment] = []
+        for current in envs:
+            for bindings in self._item_bindings(item, current):
+                result.append(current.extend(bindings))
+        return result
+
+    def _collect_item_vars(self, item: ast.FromItem, var_order: List[str]) -> None:
+        if isinstance(item, ast.FromCollection):
+            var_order.append(item.alias)
+            if item.at_alias:
+                var_order.append(item.at_alias)
+        elif isinstance(item, ast.FromUnpivot):
+            var_order.append(item.value_alias)
+            var_order.append(item.at_alias)
+        elif isinstance(item, ast.FromJoin):
+            self._collect_item_vars(item.left, var_order)
+            self._collect_item_vars(item.right, var_order)
+
+    def _item_bindings(
+        self, item: ast.FromItem, env: Environment
+    ) -> List[Dict[str, Any]]:
+        if isinstance(item, ast.FromCollection):
+            return self._range_bindings(item, env)
+        if isinstance(item, ast.FromUnpivot):
+            return self._unpivot_bindings(item, env)
+        if isinstance(item, ast.FromJoin):
+            return self._join_bindings(item, env)
+        raise EvaluationError(f"unknown FROM item {type(item).__name__}")
+
+    def _range_bindings(
+        self, item: ast.FromCollection, env: Environment
+    ) -> List[Dict[str, Any]]:
+        """``expr AS v [AT p]``: variables bind to any value (Section
+        III-A).
+
+        * array → one binding per element, AT = 0-based position;
+        * bag → one binding per element, AT = MISSING (bags are
+          unordered, so there is no stable position to report);
+        * NULL / MISSING → no bindings in permissive mode (the paper's
+          "convenient signal, which most often leads to data exclusion");
+        * any other value → a singleton binding in permissive mode;
+        * strict mode raises for every non-collection source.
+        """
+        value = self.compiled(item.expr)(env)
+        bindings: List[Dict[str, Any]] = []
+        if isinstance(value, list):
+            for position, element in enumerate(value):
+                binding = {item.alias: element}
+                if item.at_alias:
+                    binding[item.at_alias] = position
+                bindings.append(binding)
+            return bindings
+        if isinstance(value, Bag):
+            for element in value:
+                binding = {item.alias: element}
+                if item.at_alias:
+                    binding[item.at_alias] = MISSING
+                bindings.append(binding)
+            return bindings
+        if not self.config.is_permissive:
+            raise TypeCheckError(
+                f"FROM expects a collection, got {type_name(value)}"
+            )
+        if value is None or value is MISSING:
+            return []
+        binding = {item.alias: value}
+        if item.at_alias:
+            binding[item.at_alias] = MISSING
+        return [binding]
+
+    def _unpivot_bindings(
+        self, item: ast.FromUnpivot, env: Environment
+    ) -> List[Dict[str, Any]]:
+        """``UNPIVOT expr AS v AT a``: ranges over a tuple's attributes
+        (Section VI-A), turning attribute names into data."""
+        value = self.eval_expr(item.expr, env)
+        if isinstance(value, Struct):
+            return [
+                {item.value_alias: attr_value, item.at_alias: attr_name}
+                for attr_name, attr_value in value.items()
+            ]
+        if not self.config.is_permissive:
+            raise TypeCheckError(f"UNPIVOT expects a tuple, got {type_name(value)}")
+        if value is None or value is MISSING:
+            return []
+        # Permissive mode treats a non-tuple as {'_1': value}.
+        return [{item.value_alias: value, item.at_alias: "_1"}]
+
+    def _join_bindings(
+        self, item: ast.FromJoin, env: Environment
+    ) -> List[Dict[str, Any]]:
+        """Explicit JOIN with lateral right side; LEFT pads with NULLs."""
+        result: List[Dict[str, Any]] = []
+        right_vars: List[str] = []
+        self._collect_item_vars(item.right, right_vars)
+        for left_binding in self._item_bindings(item.left, env):
+            left_env = env.extend(left_binding)
+            matched = False
+            for right_binding in self._item_bindings(item.right, left_env):
+                combined = {**left_binding, **right_binding}
+                if item.on is not None:
+                    verdict = self.eval_expr(item.on, env.extend(combined))
+                    if not ops.is_true(verdict):
+                        continue
+                matched = True
+                result.append(combined)
+            if item.kind == "LEFT" and not matched:
+                padded = dict(left_binding)
+                for name in right_vars:
+                    padded[name] = None
+                result.append(padded)
+        return result
+
+    # -- GROUP BY --------------------------------------------------------------
+
+    def _apply_group_by(
+        self,
+        clause: ast.GroupByClause,
+        envs: List[Environment],
+        outer_env: Environment,
+        var_order: List[str],
+    ) -> List[Environment]:
+        """Grouping with ``GROUP AS`` (paper, Section V-B, Listing 14).
+
+        Output: one binding per group, mapping each key alias to the key
+        value and the GROUP AS variable to the group's content — a bag of
+        tuples with one attribute per input variable.
+        """
+        group_envs: List[Environment] = []
+        for key_indexes in expand_grouping_sets(clause):
+            active = set(key_indexes)
+            groups: Dict[tuple, Dict[str, Any]] = {}
+            order: List[tuple] = []
+            key_fns = [self.compiled(key.expr) for key in clause.keys]
+            for current in envs:
+                key_values: List[Any] = []
+                for index, key_fn in enumerate(key_fns):
+                    if index in active:
+                        key_values.append(key_fn(current))
+                    else:
+                        key_values.append(None)
+                identity = tuple(group_key(value) for value in key_values)
+                group = groups.get(identity)
+                if group is None:
+                    group = {
+                        "keys": key_values,
+                        "members": [],
+                    }
+                    groups[identity] = group
+                    order.append(identity)
+                group["members"].append(current)
+            if not groups and not clause.keys:
+                # Implicit aggregation over empty input still produces a
+                # single (empty) group, matching SQL's one-row answer.
+                groups[()] = {"keys": [], "members": []}
+                order.append(())
+            for identity in order:
+                group = groups[identity]
+                bindings: Dict[str, Any] = {}
+                for key, value in zip(clause.keys, group["keys"]):
+                    bindings[key.alias] = value
+                if clause.group_as:
+                    bindings[clause.group_as] = Bag(
+                        self._group_element(member, var_order)
+                        for member in group["members"]
+                    )
+                group_envs.append(outer_env.extend(bindings))
+        return group_envs
+
+    def _group_element(
+        self, env: Environment, var_order: List[str]
+    ) -> Struct:
+        """One element of a GROUP AS bag: a tuple of the input bindings
+        (Listing 14: ``{ e: ..., p: ... }``)."""
+        element = Struct()
+        for name in var_order:
+            try:
+                value = env.lookup(name)
+            except Unbound:
+                continue
+            element = element.with_attr(name, value)
+        return element
+
+    # -- SELECT * / PIVOT -------------------------------------------------------
+
+    def _eval_star(self, env: Environment, var_order: List[str]) -> Struct:
+        """``SELECT *``: splice tuple-valued bindings, name the rest."""
+        result = Struct()
+        for name in var_order:
+            try:
+                value = env.lookup(name)
+            except Unbound:
+                continue
+            if isinstance(value, Struct):
+                result = result.merged(value)
+            elif value is not MISSING:
+                result = result.with_attr(name, value)
+        return result
+
+    def _eval_pivot(
+        self, clause: ast.PivotClause, envs: List[Environment]
+    ) -> Struct:
+        """``PIVOT v AT a``: one tuple from the whole binding stream
+        (Section VI-B, Listings 24-25)."""
+        pairs: List[Tuple[str, Any]] = []
+        for env in envs:
+            name = self.eval_expr(clause.at, env)
+            value = self.eval_expr(clause.value, env)
+            if not isinstance(name, str):
+                if self.config.is_permissive:
+                    continue
+                raise TypeCheckError(
+                    f"PIVOT attribute name must be a string, got {type_name(name)}"
+                )
+            if value is MISSING:
+                continue
+            pairs.append((name, value))
+        return Struct(pairs)
+
+    # -- Windows ---------------------------------------------------------------
+
+    def _bind_windows(
+        self,
+        select: ast.SelectClause,
+        window_calls: List[ast.WindowCall],
+        envs: List[Environment],
+    ) -> Tuple[ast.SelectClause, List[Environment]]:
+        """Precompute window values and substitute variable references."""
+        replacements: Dict[int, str] = {}
+        per_env: List[Dict[str, Any]] = [dict() for __ in envs]
+        for number, call in enumerate(window_calls):
+            name = f"$window{number}"
+            replacements[id(call)] = name
+            for position, value in enumerate(
+                compute_window_values(call, envs, self)
+            ):
+                per_env[position][name] = value
+
+        def substitute(node: ast.Node) -> ast.Node:
+            if id(node) in replacements:
+                return ast.VarRef(name=replacements[id(node)])
+            return node
+
+        new_select = select.transform(substitute)
+        new_envs = [env.extend(extra) for env, extra in zip(envs, per_env)]
+        return new_select, new_envs
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def eval_expr(self, expr: ast.Expr, env: Environment) -> Any:
+        method = _DISPATCH.get(type(expr))
+        if method is None:
+            raise EvaluationError(f"cannot evaluate {type(expr).__name__}")
+        return method(self, expr, env)
+
+    def _eval_literal(self, expr: ast.Literal, env: Environment) -> Any:
+        return expr.value
+
+    def _eval_varref(self, expr: ast.VarRef, env: Environment) -> Any:
+        try:
+            return env.lookup(expr.name)
+        except Unbound:
+            if expr.name in self._catalog:
+                return self._catalog[expr.name]
+            raise Unbound(expr.name) from None
+
+    def _eval_path(self, expr: ast.Path, env: Environment) -> Any:
+        try:
+            base = self.eval_expr(expr.base, env)
+        except Unbound as unbound:
+            # ``hr.emp`` is a namespaced named value, not navigation into
+            # a variable.  Try successively longer dotted catalog names.
+            if isinstance(expr.base, (ast.VarRef, ast.Path)):
+                dotted = f"{unbound.name}.{expr.attr}"
+                if dotted in self._catalog:
+                    return self._catalog[dotted]
+                raise Unbound(dotted) from None
+            raise
+        return ops.navigate_path(base, expr.attr, self.config)
+
+    def _eval_index(self, expr: ast.Index, env: Environment) -> Any:
+        base = self.eval_expr(expr.base, env)
+        index = self.eval_expr(expr.index, env)
+        return ops.navigate_index(base, index, self.config)
+
+    def _eval_path_wildcard(self, expr: ast.PathWildcard, env: Environment) -> Any:
+        """``base[*].a.b`` — map trailing steps over the elements.
+
+        Produces an array of the per-element navigation results, dropping
+        MISSING results (the data-exclusion signal).  A further wildcard
+        step flattens one level.
+        """
+        base = self.eval_expr(expr.base, env)
+        current = self._wildcard_elements(base, expr.kind)
+        for step in expr.steps:
+            if step.wildcard is not None:
+                flattened: List[Any] = []
+                for item in current:
+                    flattened.extend(self._wildcard_elements(item, step.wildcard))
+                current = flattened
+            elif step.attr is not None:
+                current = [
+                    ops.navigate_path(item, step.attr, self.config)
+                    for item in current
+                ]
+            else:
+                index = self.eval_expr(step.index, env)
+                current = [
+                    ops.navigate_index(item, index, self.config)
+                    for item in current
+                ]
+        return [item for item in current if item is not MISSING]
+
+    def _wildcard_elements(self, value: Any, kind: str) -> List[Any]:
+        if kind == "attrs":
+            if isinstance(value, Struct):
+                return value.values()
+        elif isinstance(value, (list, Bag)):
+            return list(value)
+        if value is None or value is MISSING:
+            return []
+        checked = self.config.type_error(
+            f"path wildcard expects a collection, got {type_name(value)}"
+        )
+        return [] if checked is MISSING else [checked]
+
+    def _eval_binary(self, expr: ast.Binary, env: Environment) -> Any:
+        op = expr.op
+        if op == "AND":
+            return ops.logical_and(
+                self.eval_expr(expr.left, env),
+                self.eval_expr(expr.right, env),
+                self.config,
+            )
+        if op == "OR":
+            return ops.logical_or(
+                self.eval_expr(expr.left, env),
+                self.eval_expr(expr.right, env),
+                self.config,
+            )
+        left = self.eval_expr(expr.left, env)
+        right = self.eval_expr(expr.right, env)
+        if op == "=":
+            return ops.equals(left, right, self.config)
+        if op == "!=":
+            return ops.not_equals(left, right, self.config)
+        if op in ("<", "<=", ">", ">="):
+            return ops.compare(op, left, right, self.config)
+        if op == "||":
+            return ops.concat(left, right, self.config)
+        return ops.arithmetic(op, left, right, self.config)
+
+    def _eval_unary(self, expr: ast.Unary, env: Environment) -> Any:
+        value = self.eval_expr(expr.operand, env)
+        if expr.op == "NOT":
+            return ops.logical_not(value, self.config)
+        if expr.op == "-":
+            return ops.negate(value, self.config)
+        return ops.unary_plus(value, self.config)
+
+    def _eval_is(self, expr: ast.IsPredicate, env: Environment) -> Any:
+        verdict = ops.is_predicate(
+            self.eval_expr(expr.operand, env), expr.kind, self.config
+        )
+        return (not verdict) if expr.negated else verdict
+
+    def _eval_like(self, expr: ast.Like, env: Environment) -> Any:
+        verdict = ops.like(
+            self.eval_expr(expr.operand, env),
+            self.eval_expr(expr.pattern, env),
+            self.eval_expr(expr.escape, env) if expr.escape is not None else None,
+            self.config,
+        )
+        if expr.negated:
+            return ops.logical_not(verdict, self.config)
+        return verdict
+
+    def _eval_between(self, expr: ast.Between, env: Environment) -> Any:
+        operand = self.eval_expr(expr.operand, env)
+        low = self.eval_expr(expr.low, env)
+        high = self.eval_expr(expr.high, env)
+        verdict = ops.logical_and(
+            ops.compare(">=", operand, low, self.config),
+            ops.compare("<=", operand, high, self.config),
+            self.config,
+        )
+        if expr.negated:
+            return ops.logical_not(verdict, self.config)
+        return verdict
+
+    def _eval_in(self, expr: ast.InPredicate, env: Environment) -> Any:
+        verdict = ops.in_collection(
+            self.eval_expr(expr.operand, env),
+            self.eval_expr(expr.collection, env),
+            self.config,
+        )
+        if expr.negated:
+            return ops.logical_not(verdict, self.config)
+        return verdict
+
+    def _eval_exists(self, expr: ast.Exists, env: Environment) -> Any:
+        return ops.exists(self.eval_expr(expr.operand, env), self.config)
+
+    def _eval_case(self, expr: ast.CaseExpr, env: Environment) -> Any:
+        """CASE with the paper's MISSING treatment (Listing 9).
+
+        In Core mode a MISSING comparison/condition makes the whole CASE
+        MISSING (rule 3 of Section IV-B: operators propagate MISSING); in
+        SQL-compat mode MISSING behaves like NULL — the condition simply
+        does not match — because SQL's ``CASE WHEN NULL`` continues to
+        the next branch (the Section IV-B compatibility exception).
+        """
+        operand = (
+            self.eval_expr(expr.operand, env) if expr.operand is not None else None
+        )
+        if expr.operand is not None and operand is MISSING:
+            if not self.config.sql_compat:
+                return MISSING
+        for condition, result in expr.whens:
+            if expr.operand is not None:
+                verdict = ops.equals(
+                    operand, self.eval_expr(condition, env), self.config
+                )
+            else:
+                verdict = self.eval_expr(condition, env)
+            if verdict is MISSING and not self.config.sql_compat:
+                return MISSING
+            if ops.is_true(verdict):
+                return self.eval_expr(result, env)
+        if expr.else_ is not None:
+            return self.eval_expr(expr.else_, env)
+        return None
+
+    def _eval_call(self, expr: ast.FunctionCall, env: Environment) -> Any:
+        if expr.name == "$TUPLE_MERGE":
+            return self._tuple_merge(expr.args, env)
+        definition = REGISTRY.lookup(expr.name)
+        if definition is None:
+            raise EvaluationError(f"unknown function {expr.name}")
+        if expr.star:
+            raise EvaluationError(
+                f"{expr.name}(*) is only meaningful inside a grouped query"
+            )
+        args = [self.eval_expr(arg, env) for arg in expr.args]
+        if expr.distinct and definition.is_aggregate and args:
+            first = args[0]
+            if is_collection(first):
+                args = [ops.distinct_elements(first)] + args[1:]
+        return definition.invoke(args, self.config)
+
+    def _tuple_merge(self, args: List[ast.Expr], env: Environment) -> Struct:
+        """Internal: merge tuple parts for ``SELECT a.*, b.x`` projections."""
+        result = Struct()
+        for arg in args:
+            value = self.eval_expr(arg, env)
+            if isinstance(value, Struct):
+                result = result.merged(value)
+            elif value is MISSING or value is None:
+                continue
+            else:
+                checked = self.config.type_error(
+                    f"SELECT item.* expects a tuple, got {type_name(value)}"
+                )
+                if checked is MISSING:
+                    continue
+        return result
+
+    def _eval_windowcall(self, expr: ast.WindowCall, env: Environment) -> Any:
+        raise EvaluationError(
+            "window functions (OVER) are only allowed in the SELECT clause "
+            "of a query block"
+        )
+
+    def _eval_subquery(self, expr: ast.SubqueryExpr, env: Environment) -> Any:
+        return self.eval_query(expr.query, env)
+
+    def _eval_coerce(self, expr: ast.CoerceSubquery, env: Environment) -> Any:
+        result = self.eval_query(expr.query, env)
+        if expr.mode == "scalar":
+            return coercion.coerce_scalar(result, self.config)
+        return coercion.coerce_collection(result, self.config)
+
+    def _eval_parameter(self, expr: ast.Parameter, env: Environment) -> Any:
+        if expr.index >= len(self._parameters):
+            raise EvaluationError(
+                f"no value supplied for parameter #{expr.index + 1}"
+            )
+        return self._parameters[expr.index]
+
+    def _eval_cast(self, expr: ast.CastExpr, env: Environment) -> Any:
+        return cast_value(self.eval_expr(expr.operand, env), expr.type_name, self.config)
+
+    def _eval_struct(self, expr: ast.StructLit, env: Environment) -> Struct:
+        """Tuple construction; a MISSING attribute value omits the
+        attribute (Section IV-B: "the output tuple will not have a title
+        attribute")."""
+        result = Struct()
+        for field in expr.fields:
+            key = self.eval_expr(field.key, env)
+            if key is MISSING or key is None:
+                if self.config.is_permissive:
+                    continue
+                raise TypeCheckError("tuple attribute name is absent")
+            if not isinstance(key, str):
+                checked = self.config.type_error(
+                    f"tuple attribute name must be a string, got {type_name(key)}"
+                )
+                if checked is MISSING:
+                    continue
+            value = self.eval_expr(field.value, env)
+            result = result.with_attr(key, value)
+        return result
+
+    def _eval_array(self, expr: ast.ArrayLit, env: Environment) -> list:
+        values = (self.eval_expr(item, env) for item in expr.items)
+        return [value for value in values if value is not MISSING]
+
+    def _eval_bag(self, expr: ast.BagLit, env: Environment) -> Bag:
+        values = (self.eval_expr(item, env) for item in expr.items)
+        return Bag(value for value in values if value is not MISSING)
+
+
+_DISPATCH = {
+    ast.Literal: Evaluator._eval_literal,
+    ast.VarRef: Evaluator._eval_varref,
+    ast.Path: Evaluator._eval_path,
+    ast.Index: Evaluator._eval_index,
+    ast.PathWildcard: Evaluator._eval_path_wildcard,
+    ast.Binary: Evaluator._eval_binary,
+    ast.Unary: Evaluator._eval_unary,
+    ast.IsPredicate: Evaluator._eval_is,
+    ast.Like: Evaluator._eval_like,
+    ast.Between: Evaluator._eval_between,
+    ast.InPredicate: Evaluator._eval_in,
+    ast.Exists: Evaluator._eval_exists,
+    ast.CaseExpr: Evaluator._eval_case,
+    ast.FunctionCall: Evaluator._eval_call,
+    ast.WindowCall: Evaluator._eval_windowcall,
+    ast.SubqueryExpr: Evaluator._eval_subquery,
+    ast.CoerceSubquery: Evaluator._eval_coerce,
+    ast.Parameter: Evaluator._eval_parameter,
+    ast.CastExpr: Evaluator._eval_cast,
+    ast.StructLit: Evaluator._eval_struct,
+    ast.ArrayLit: Evaluator._eval_array,
+    ast.BagLit: Evaluator._eval_bag,
+}
+
+
+def _multiset_counts(items: List[Any]) -> Dict[tuple, int]:
+    counts: Dict[tuple, int] = {}
+    for item in items:
+        key = group_key(item)
+        counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,40 @@
+"""CUBE / ROLLUP / GROUPING SETS expansion.
+
+The paper notes (Section V-B) that SQL's analytical grouping features
+"are wholly compatible with SQL++ and then become able to operate on and
+produce nested and heterogeneous data."  We implement them the standard
+way: expand the clause into a list of grouping sets (subsets of the key
+list) and run one grouping pass per set, binding the keys excluded from a
+set to NULL in that pass's output.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List
+
+from repro.syntax import ast
+
+
+def expand_grouping_sets(clause: ast.GroupByClause) -> List[List[int]]:
+    """The grouping sets of a GROUP BY clause as index lists into keys.
+
+    * simple → one set with every key;
+    * ``ROLLUP (a, b, c)`` → ``(a,b,c), (a,b), (a), ()``;
+    * ``CUBE (a, b)`` → every subset;
+    * ``GROUPING SETS (...)`` → as written.
+    """
+    indexes = list(range(len(clause.keys)))
+    if clause.mode == "simple":
+        return [indexes]
+    if clause.mode == "rollup":
+        return [indexes[:end] for end in range(len(indexes), -1, -1)]
+    if clause.mode == "cube":
+        sets: List[List[int]] = []
+        for size in range(len(indexes), -1, -1):
+            for subset in combinations(indexes, size):
+                sets.append(list(subset))
+        return sets
+    if clause.mode == "sets":
+        return [list(indexes) for indexes in clause.grouping_sets or []]
+    raise ValueError(f"unknown GROUP BY mode {clause.mode!r}")

@@ -1,0 +1,896 @@
+"""Lowering SQL sugar onto the SQL++ Core.
+
+The paper defines SQL as "syntactic sugar" rewritings over a fully
+composable Core (Section I), and demonstrates the two central rewrites:
+
+* ``SELECT e1 AS a1, ..., en AS an`` ≡ ``SELECT VALUE {a1: e1, ..., an: en}``
+  (Section V-A);
+* SQL aggregates: ``SELECT AVG(e.salary) FROM ... [GROUP BY k]`` becomes a
+  ``GROUP AS`` query whose SELECT applies the composable ``COLL_AVG`` to
+  a ``SELECT VALUE`` subquery ranging over the group (Section V-C,
+  Listings 15–18).
+
+This module implements those rewrites plus the SQL-compatibility
+conveniences that depend on them:
+
+* bare-column disambiguation (``SELECT name FROM emp AS e`` →
+  ``e.name``), using the single FROM variable or, when provided, the
+  optional schema's attribute sets (Section III: "if schema is available,
+  then SQL++ also allows expressions that are disambiguated using the
+  schema. Formally, disambiguation results in the rewriting of the
+  user-provided SQL++ query into a SQL++ Core query");
+* implicit single-group aggregation (``SELECT AVG(x) FROM t`` with no
+  GROUP BY);
+* group-key aliasing (``SELECT e.deptno ... GROUP BY e.deptno``);
+* subquery coercion marking for SQL-compat mode (Section V-A): plain
+  ``SELECT`` subqueries coerce to a scalar in scalar positions and to a
+  collection of values on the right of ``IN`` / inside aggregate
+  arguments.  ``SELECT VALUE`` subqueries are never coerced.
+
+The rewrites that *define* SQL behaviour (aggregates, coercion, bare
+columns, key aliasing) run only when ``config.sql_compat`` is on; the
+``SELECT`` → ``SELECT VALUE`` lowering runs in both modes, because in
+Core mode SELECT is *always* shorthand for SELECT VALUE (Section V-A).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.config import EvalConfig
+from repro.errors import RewriteError
+from repro.functions.aggregates import SQL_AGGREGATES
+from repro.syntax import ast
+from repro.syntax.printer import print_ast
+
+#: Internal variable names use '$' so they can never collide with user
+#: identifiers from the default lexer alphabet in a parsed query... they
+#: can (``$`` is a legal identifier character), but the fresh-name counter
+#: also guarantees uniqueness within one rewrite.
+_GROUP_VAR = "$group"
+_GROUP_ELEM = "$g_elem"
+
+_SCALAR_BINOPS = frozenset({"=", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/", "%", "||"})
+
+
+def rewrite_query(
+    query: ast.Query,
+    config: EvalConfig,
+    catalog_names: Iterable[str] = (),
+    schema_attrs: Optional[Dict[str, Set[str]]] = None,
+) -> ast.Query:
+    """Rewrite a parsed query into an executable Core query.
+
+    ``catalog_names`` is the set of database named values (used so that
+    bare-column disambiguation never captures a collection name);
+    ``schema_attrs`` optionally maps a catalog name to the attribute
+    names of its elements, enabling multi-variable disambiguation.
+    """
+    rewriter = _Rewriter(config, catalog_names, schema_attrs or {})
+    return rewriter.rewrite_query(query, scope=frozenset())
+
+
+class _Rewriter:
+    def __init__(
+        self,
+        config: EvalConfig,
+        catalog_names: Iterable[str],
+        schema_attrs: Dict[str, Set[str]],
+    ):
+        self._config = config
+        self._schema_attrs = schema_attrs
+        self._catalog_prefixes: Set[str] = set()
+        for name in catalog_names:
+            parts = name.split(".")
+            for end in range(1, len(parts) + 1):
+                self._catalog_prefixes.add(".".join(parts[:end]))
+        self._fresh_counter = 0
+
+    def _fresh(self, base: str) -> str:
+        self._fresh_counter += 1
+        return f"{base}{self._fresh_counter}"
+
+    # ------------------------------------------------------------------
+    # Query / body traversal
+    # ------------------------------------------------------------------
+
+    def rewrite_query(self, query: ast.Query, scope: FrozenSet[str]) -> ast.Query:
+        body = query.body
+        if isinstance(body, ast.QueryBlock):
+            block, order_by = self._rewrite_block(body, query.order_by, scope)
+            return dataclasses.replace(
+                query,
+                body=block,
+                order_by=order_by,
+                limit=self._rewrite_expr(query.limit, scope, "scalar"),
+                offset=self._rewrite_expr(query.offset, scope, "scalar"),
+            )
+        if isinstance(body, ast.SetOp):
+            return dataclasses.replace(
+                query,
+                body=self._rewrite_setop(body, scope),
+                order_by=[
+                    dataclasses.replace(
+                        item, expr=self._rewrite_expr(item.expr, scope, "scalar")
+                    )
+                    for item in query.order_by
+                ],
+                limit=self._rewrite_expr(query.limit, scope, "scalar"),
+                offset=self._rewrite_expr(query.offset, scope, "scalar"),
+            )
+        # Bare-expression query.
+        return dataclasses.replace(
+            query,
+            body=self._rewrite_expr(body, scope, None),
+            order_by=[
+                dataclasses.replace(
+                    item, expr=self._rewrite_expr(item.expr, scope, "scalar")
+                )
+                for item in query.order_by
+            ],
+            limit=self._rewrite_expr(query.limit, scope, "scalar"),
+            offset=self._rewrite_expr(query.offset, scope, "scalar"),
+        )
+
+    def _rewrite_setop(self, setop: ast.SetOp, scope: FrozenSet[str]) -> ast.SetOp:
+        return dataclasses.replace(
+            setop,
+            left=self._rewrite_term(setop.left, scope),
+            right=self._rewrite_term(setop.right, scope),
+        )
+
+    def _rewrite_term(self, term: ast.Node, scope: FrozenSet[str]) -> ast.Node:
+        if isinstance(term, ast.QueryBlock):
+            block, __ = self._rewrite_block(term, [], scope)
+            return block
+        if isinstance(term, ast.SetOp):
+            return self._rewrite_setop(term, scope)
+        if isinstance(term, ast.Query):
+            return self.rewrite_query(term, scope)
+        return self._rewrite_expr(term, scope, None)
+
+    # ------------------------------------------------------------------
+    # Query blocks
+    # ------------------------------------------------------------------
+
+    def _rewrite_block(
+        self,
+        block: ast.QueryBlock,
+        order_by: Sequence[ast.OrderItem],
+        scope: FrozenSet[str],
+    ) -> Tuple[ast.QueryBlock, List[ast.OrderItem]]:
+        block_vars = _block_variables(block)
+        from_scope = scope | block_vars
+
+        # 1. Bare-column disambiguation (SQL-compat only, needs a FROM).
+        if self._config.sql_compat and block.from_ is not None:
+            block = self._disambiguate_block(block, scope, block_vars)
+
+        # 2. FROM / LET / WHERE expressions rewrite in the binding scope.
+        new_from = (
+            [self._rewrite_from_item(item, from_scope) for item in block.from_]
+            if block.from_ is not None
+            else None
+        )
+        new_lets = [
+            dataclasses.replace(
+                let, expr=self._rewrite_expr(let.expr, from_scope, None)
+            )
+            for let in block.lets
+        ]
+        new_where = self._rewrite_expr(block.where, from_scope, None)
+
+        # 3. Aggregate sugar (SQL-compat only).
+        group_by = block.group_by
+        select = block.select
+        having = block.having
+        order_items = list(order_by)
+        if self._config.sql_compat and block.from_ is not None:
+            select, having, order_items, group_by = self._rewrite_aggregation(
+                block, select, having, order_items, group_by, block_vars
+            )
+
+        # 4. Scope for the output clauses.
+        if group_by is not None:
+            output_scope = scope | {key.alias for key in group_by.keys}
+            if group_by.group_as:
+                output_scope = output_scope | {group_by.group_as}
+        else:
+            output_scope = from_scope
+
+        if group_by is not None:
+            group_by = dataclasses.replace(
+                group_by,
+                keys=[
+                    dataclasses.replace(
+                        key, expr=self._rewrite_expr(key.expr, from_scope, None)
+                    )
+                    for key in group_by.keys
+                ],
+            )
+        having = self._rewrite_expr(having, output_scope, None)
+        order_items = [
+            dataclasses.replace(
+                item, expr=self._rewrite_expr(item.expr, output_scope, "scalar")
+            )
+            for item in order_items
+        ]
+
+        # 5. SELECT sugar → SELECT VALUE (both modes).
+        select = self._rewrite_select(select, output_scope)
+
+        return (
+            dataclasses.replace(
+                block,
+                select=select,
+                from_=new_from,
+                lets=new_lets,
+                where=new_where,
+                group_by=group_by,
+                having=having,
+            ),
+            order_items,
+        )
+
+    def _rewrite_from_item(
+        self, item: ast.FromItem, scope: FrozenSet[str]
+    ) -> ast.FromItem:
+        if isinstance(item, ast.FromCollection):
+            return dataclasses.replace(
+                item, expr=self._rewrite_expr(item.expr, scope, None)
+            )
+        if isinstance(item, ast.FromUnpivot):
+            return dataclasses.replace(
+                item, expr=self._rewrite_expr(item.expr, scope, None)
+            )
+        if isinstance(item, ast.FromJoin):
+            return dataclasses.replace(
+                item,
+                left=self._rewrite_from_item(item.left, scope),
+                right=self._rewrite_from_item(item.right, scope),
+                on=self._rewrite_expr(item.on, scope, None),
+            )
+        raise RewriteError(f"unknown FROM item {type(item).__name__}")
+
+    # ------------------------------------------------------------------
+    # SELECT sugar
+    # ------------------------------------------------------------------
+
+    def _rewrite_select(
+        self, select: ast.SelectClause, scope: FrozenSet[str]
+    ) -> ast.SelectClause:
+        if isinstance(select, ast.SelectValue):
+            return dataclasses.replace(
+                select, expr=self._rewrite_expr(select.expr, scope, None)
+            )
+        if isinstance(select, ast.SelectList):
+            return self._lower_select_list(select, scope)
+        if isinstance(select, ast.SelectStar):
+            return select
+        if isinstance(select, ast.PivotClause):
+            return dataclasses.replace(
+                select,
+                value=self._rewrite_expr(select.value, scope, None),
+                at=self._rewrite_expr(select.at, scope, None),
+            )
+        raise RewriteError(f"unknown SELECT clause {type(select).__name__}")
+
+    def _lower_select_list(
+        self, select: ast.SelectList, scope: FrozenSet[str]
+    ) -> ast.SelectValue:
+        """``SELECT e1 AS a1, ...`` → ``SELECT VALUE {a1: e1, ...}``.
+
+        ``item.*`` entries splice tuples; when any are present the struct
+        is built with the internal ``$TUPLE_MERGE`` function instead of a
+        plain constructor.
+        """
+        parts: List[ast.Expr] = []
+        pending_fields: List[ast.StructField] = []
+        has_star = any(item.star for item in select.items)
+        for position, item in enumerate(select.items):
+            expr = self._rewrite_expr(item.expr, scope, "scalar")
+            if item.star:
+                if pending_fields:
+                    parts.append(ast.StructLit(fields=pending_fields))
+                    pending_fields = []
+                parts.append(expr)
+                continue
+            alias = item.alias or _implied_output_name(item.expr, position)
+            pending_fields.append(
+                ast.StructField(key=ast.Literal(value=alias), value=expr)
+            )
+        if pending_fields or not parts:
+            parts.append(ast.StructLit(fields=pending_fields))
+        if has_star:
+            body: ast.Expr = ast.FunctionCall(name="$TUPLE_MERGE", args=parts)
+        else:
+            body = parts[0]
+        return ast.SelectValue(expr=body, distinct=select.distinct)
+
+    # ------------------------------------------------------------------
+    # Aggregation sugar (Listings 15-18)
+    # ------------------------------------------------------------------
+
+    def _rewrite_aggregation(
+        self,
+        block: ast.QueryBlock,
+        select: ast.SelectClause,
+        having: Optional[ast.Expr],
+        order_items: List[ast.OrderItem],
+        group_by: Optional[ast.GroupByClause],
+        block_vars: FrozenSet[str],
+    ):
+        """Rewrite SQL aggregate calls over the ``GROUP AS`` group.
+
+        Returns the possibly-updated (select, having, order_items,
+        group_by).  When aggregates occur without a GROUP BY, an implicit
+        single-group clause is synthesised (SQL's one-row-even-when-empty
+        semantics are preserved by the evaluator for keyless grouping).
+        """
+        output_exprs = _select_expressions(select) + (
+            [having] if having is not None else []
+        ) + [item.expr for item in order_items]
+        has_aggregates = any(
+            _contains_sql_aggregate(expr) for expr in output_exprs
+        )
+        if group_by is None and not has_aggregates:
+            return select, having, order_items, group_by
+        if group_by is None:
+            group_by = ast.GroupByClause(keys=[], group_as=None)
+
+        group_var = group_by.group_as or self._fresh(_GROUP_VAR)
+        if group_by.group_as is None:
+            group_by = dataclasses.replace(group_by, group_as=group_var)
+
+        key_by_text = {print_ast(key.expr): key.alias for key in group_by.keys}
+        elem_var = self._fresh(_GROUP_ELEM)
+
+        def lower(expr: Optional[ast.Expr]) -> Optional[ast.Expr]:
+            if expr is None:
+                return None
+            return self._lower_grouped_expr(
+                expr, key_by_text, group_var, elem_var, block_vars
+            )
+
+        if isinstance(select, ast.SelectValue):
+            select = dataclasses.replace(select, expr=lower(select.expr))
+        elif isinstance(select, ast.SelectList):
+            select = dataclasses.replace(
+                select,
+                items=[
+                    dataclasses.replace(item, expr=lower(item.expr))
+                    for item in select.items
+                ],
+            )
+        having = lower(having)
+        order_items = [
+            dataclasses.replace(item, expr=lower(item.expr))
+            for item in order_items
+        ]
+        return select, having, order_items, group_by
+
+    def _lower_grouped_expr(
+        self,
+        expr: ast.Expr,
+        key_by_text: Dict[str, str],
+        group_var: str,
+        elem_var: str,
+        block_vars: FrozenSet[str],
+    ) -> ast.Expr:
+        """Rewrite one output expression of a grouped block.
+
+        Occurrences of a group-key expression become references to the
+        key's alias; SQL aggregate calls become ``COLL_*`` over a
+        ``SELECT VALUE`` subquery ranging over the group.
+        """
+
+        def walk(node: ast.Node) -> ast.Node:
+            if isinstance(node, ast.Expr):
+                text = print_ast(node)
+                if text in key_by_text:
+                    return ast.VarRef(name=key_by_text[text])
+            if isinstance(node, ast.FunctionCall) and node.name.upper() in SQL_AGGREGATES:
+                return self._lower_aggregate_call(
+                    node, group_var, elem_var, block_vars
+                )
+            if isinstance(node, ast.SubqueryExpr):
+                # Nested query blocks manage their own grouping.
+                return node
+            if isinstance(node, ast.WindowCall):
+                # The window function itself is a *window* aggregate,
+                # evaluated over the partition — but aggregates inside
+                # its arguments or its PARTITION BY / ORDER BY keys are
+                # grouping aggregates (``RANK() OVER (ORDER BY SUM(v))``
+                # runs after GROUP BY), so those do get lowered.
+                return dataclasses.replace(
+                    node,
+                    call=dataclasses.replace(
+                        node.call, args=[walk(arg) for arg in node.call.args]
+                    ),
+                    spec=dataclasses.replace(
+                        node.spec,
+                        partition_by=[walk(key) for key in node.spec.partition_by],
+                        order_by=[
+                            dataclasses.replace(item, expr=walk(item.expr))
+                            for item in node.spec.order_by
+                        ],
+                    ),
+                )
+            # Rebuild children through this same walk.
+            changes = {}
+            for fld in dataclasses.fields(node):
+                old = getattr(node, fld.name)
+                new = _walk_value(old, walk)
+                if new is not old:
+                    changes[fld.name] = new
+            return dataclasses.replace(node, **changes) if changes else node
+
+        return walk(expr)
+
+    def _lower_aggregate_call(
+        self,
+        call: ast.FunctionCall,
+        group_var: str,
+        elem_var: str,
+        block_vars: FrozenSet[str],
+    ) -> ast.Expr:
+        """``AVG(e.salary)`` → ``COLL_AVG((SELECT VALUE g.e.salary FROM grp AS g))``."""
+        coll_name = SQL_AGGREGATES[call.name.upper()]
+        if call.star:
+            value_expr: ast.Expr = ast.Literal(value=1)
+        else:
+            if len(call.args) != 1:
+                raise RewriteError(
+                    f"aggregate {call.name} expects exactly one argument"
+                )
+            value_expr = _substitute_block_vars(
+                call.args[0], block_vars, elem_var
+            )
+        subquery = ast.Query(
+            body=ast.QueryBlock(
+                select=ast.SelectValue(expr=value_expr, distinct=call.distinct),
+                from_=[
+                    ast.FromCollection(expr=ast.VarRef(name=group_var), alias=elem_var)
+                ],
+            )
+        )
+        return ast.FunctionCall(
+            name=coll_name, args=[ast.SubqueryExpr(query=subquery)]
+        )
+
+    # ------------------------------------------------------------------
+    # Bare-column disambiguation
+    # ------------------------------------------------------------------
+
+    def _disambiguate_block(
+        self,
+        block: ast.QueryBlock,
+        outer_scope: FrozenSet[str],
+        block_vars: FrozenSet[str],
+    ) -> ast.QueryBlock:
+        from_vars = _from_aliases(block.from_ or [])
+        if not from_vars:
+            return block
+        schema_map = self._from_var_schemas(block.from_ or [])
+        scope = outer_scope | block_vars
+        group_aliases = (
+            {key.alias for key in block.group_by.keys} if block.group_by else set()
+        )
+        if block.group_by and block.group_by.group_as:
+            group_aliases.add(block.group_by.group_as)
+
+        def resolve(node: ast.Node, extra: FrozenSet[str]) -> ast.Node:
+            def walk(inner: ast.Node) -> ast.Node:
+                if isinstance(inner, ast.SubqueryExpr):
+                    # Nested blocks see the same rule via their own pass;
+                    # their additional variables are handled when the
+                    # rewriter recurses into the subquery later.
+                    return inner
+                if isinstance(inner, ast.VarRef):
+                    name = inner.name
+                    if name in scope or name in extra:
+                        return inner
+                    if name in self._catalog_prefixes:
+                        return inner
+                    target = self._pick_disambiguation_target(
+                        name, from_vars, schema_map
+                    )
+                    if target is not None:
+                        return ast.Path(base=ast.VarRef(name=target), attr=name)
+                    return inner
+                changes = {}
+                for fld in dataclasses.fields(inner):
+                    old = getattr(inner, fld.name)
+                    new = _walk_value(old, walk)
+                    if new is not old:
+                        changes[fld.name] = new
+                return dataclasses.replace(inner, **changes) if changes else inner
+
+            return walk(node)
+
+        none_extra: FrozenSet[str] = frozenset()
+        output_extra = frozenset(group_aliases)
+        changes: dict = {}
+        if block.where is not None:
+            changes["where"] = resolve(block.where, none_extra)
+        if block.lets:
+            changes["lets"] = [
+                dataclasses.replace(let, expr=resolve(let.expr, none_extra))
+                for let in block.lets
+            ]
+        if block.group_by is not None:
+            changes["group_by"] = dataclasses.replace(
+                block.group_by,
+                keys=[
+                    dataclasses.replace(key, expr=resolve(key.expr, none_extra))
+                    for key in block.group_by.keys
+                ],
+            )
+        if block.having is not None:
+            changes["having"] = resolve(block.having, output_extra)
+        changes["select"] = resolve(block.select, output_extra)
+        return dataclasses.replace(block, **changes)
+
+    def _pick_disambiguation_target(
+        self,
+        attr: str,
+        from_vars: List[str],
+        schema_map: Dict[str, Set[str]],
+    ) -> Optional[str]:
+        """Choose the FROM variable a bare column belongs to, or None."""
+        candidates = [var for var in from_vars if attr in schema_map.get(var, ())]
+        if len(candidates) == 1:
+            return candidates[0]
+        if candidates:
+            return None  # genuinely ambiguous; leave for a runtime error
+        if len(from_vars) == 1:
+            return from_vars[0]
+        return None
+
+    def _from_var_schemas(
+        self, items: Sequence[ast.FromItem]
+    ) -> Dict[str, Set[str]]:
+        """Map FROM variables to attribute sets from the optional schema."""
+        result: Dict[str, Set[str]] = {}
+
+        def visit(item: ast.FromItem) -> None:
+            if isinstance(item, ast.FromCollection):
+                name = _catalog_name_of(item.expr)
+                if name is not None and name in self._schema_attrs:
+                    result[item.alias] = self._schema_attrs[name]
+            elif isinstance(item, ast.FromJoin):
+                visit(item.left)
+                visit(item.right)
+
+        for item in items:
+            visit(item)
+        return result
+
+    # ------------------------------------------------------------------
+    # Expressions: recursion + coercion marking
+    # ------------------------------------------------------------------
+
+    def _rewrite_expr(
+        self,
+        expr: Optional[ast.Expr],
+        scope: FrozenSet[str],
+        context: Optional[str],
+    ) -> Optional[ast.Expr]:
+        """Recurse into an expression, rewriting nested query blocks and
+        (in SQL-compat mode) marking subquery coercions by context."""
+        if expr is None:
+            return None
+        if isinstance(expr, ast.SubqueryExpr):
+            rewritten = self.rewrite_query(expr.query, scope)
+            if (
+                self._config.sql_compat
+                and context in ("scalar", "collection")
+                and _is_plain_select_query(expr.query)
+            ):
+                return ast.CoerceSubquery(query=rewritten, mode=context)
+            return dataclasses.replace(expr, query=rewritten)
+        if isinstance(expr, ast.Binary):
+            child_context = "scalar" if expr.op in _SCALAR_BINOPS else None
+            return dataclasses.replace(
+                expr,
+                left=self._rewrite_expr(expr.left, scope, child_context),
+                right=self._rewrite_expr(expr.right, scope, child_context),
+            )
+        if isinstance(expr, ast.Unary):
+            child_context = "scalar" if expr.op in ("-", "+") else None
+            return dataclasses.replace(
+                expr, operand=self._rewrite_expr(expr.operand, scope, child_context)
+            )
+        if isinstance(expr, ast.Like):
+            return dataclasses.replace(
+                expr,
+                operand=self._rewrite_expr(expr.operand, scope, "scalar"),
+                pattern=self._rewrite_expr(expr.pattern, scope, "scalar"),
+                escape=self._rewrite_expr(expr.escape, scope, "scalar"),
+            )
+        if isinstance(expr, ast.Between):
+            return dataclasses.replace(
+                expr,
+                operand=self._rewrite_expr(expr.operand, scope, "scalar"),
+                low=self._rewrite_expr(expr.low, scope, "scalar"),
+                high=self._rewrite_expr(expr.high, scope, "scalar"),
+            )
+        if isinstance(expr, ast.InPredicate):
+            return dataclasses.replace(
+                expr,
+                operand=self._rewrite_expr(expr.operand, scope, "scalar"),
+                collection=self._rewrite_expr(expr.collection, scope, "collection"),
+            )
+        if isinstance(expr, ast.IsPredicate):
+            return dataclasses.replace(
+                expr, operand=self._rewrite_expr(expr.operand, scope, "scalar")
+            )
+        if isinstance(expr, ast.Exists):
+            return dataclasses.replace(
+                expr, operand=self._rewrite_expr(expr.operand, scope, None)
+            )
+        if isinstance(expr, ast.CaseExpr):
+            return dataclasses.replace(
+                expr,
+                operand=self._rewrite_expr(expr.operand, scope, "scalar"),
+                whens=[
+                    (
+                        self._rewrite_expr(cond, scope, "scalar"),
+                        self._rewrite_expr(result, scope, "scalar"),
+                    )
+                    for cond, result in expr.whens
+                ],
+                else_=self._rewrite_expr(expr.else_, scope, "scalar"),
+            )
+        if isinstance(expr, ast.FunctionCall):
+            from repro.functions.registry import REGISTRY
+
+            definition = REGISTRY.lookup(expr.name)
+            if (
+                definition is not None and definition.is_aggregate
+            ) or expr.name.upper() in SQL_AGGREGATES:
+                arg_context: Optional[str] = "collection"
+            else:
+                arg_context = "scalar"
+            return dataclasses.replace(
+                expr,
+                args=[
+                    self._rewrite_expr(arg, scope, arg_context) for arg in expr.args
+                ],
+            )
+        if isinstance(expr, ast.WindowCall):
+            return dataclasses.replace(
+                expr,
+                call=dataclasses.replace(
+                    expr.call,
+                    args=[
+                        self._rewrite_expr(arg, scope, "scalar")
+                        for arg in expr.call.args
+                    ],
+                ),
+                spec=dataclasses.replace(
+                    expr.spec,
+                    partition_by=[
+                        self._rewrite_expr(key, scope, "scalar")
+                        for key in expr.spec.partition_by
+                    ],
+                    order_by=[
+                        dataclasses.replace(
+                            item,
+                            expr=self._rewrite_expr(item.expr, scope, "scalar"),
+                        )
+                        for item in expr.spec.order_by
+                    ],
+                ),
+            )
+        if isinstance(expr, ast.Path):
+            return dataclasses.replace(
+                expr, base=self._rewrite_expr(expr.base, scope, None)
+            )
+        if isinstance(expr, ast.Index):
+            return dataclasses.replace(
+                expr,
+                base=self._rewrite_expr(expr.base, scope, None),
+                index=self._rewrite_expr(expr.index, scope, "scalar"),
+            )
+        if isinstance(expr, ast.PathWildcard):
+            return dataclasses.replace(
+                expr,
+                base=self._rewrite_expr(expr.base, scope, None),
+                steps=[
+                    dataclasses.replace(
+                        step, index=self._rewrite_expr(step.index, scope, "scalar")
+                    )
+                    if step.index is not None
+                    else step
+                    for step in expr.steps
+                ],
+            )
+        if isinstance(expr, ast.StructLit):
+            return dataclasses.replace(
+                expr,
+                fields=[
+                    dataclasses.replace(
+                        field,
+                        key=self._rewrite_expr(field.key, scope, "scalar"),
+                        value=self._rewrite_expr(field.value, scope, None),
+                    )
+                    for field in expr.fields
+                ],
+            )
+        if isinstance(expr, ast.ArrayLit):
+            return dataclasses.replace(
+                expr,
+                items=[self._rewrite_expr(item, scope, None) for item in expr.items],
+            )
+        if isinstance(expr, ast.BagLit):
+            return dataclasses.replace(
+                expr,
+                items=[self._rewrite_expr(item, scope, None) for item in expr.items],
+            )
+        if isinstance(expr, ast.CastExpr):
+            return dataclasses.replace(
+                expr, operand=self._rewrite_expr(expr.operand, scope, "scalar")
+            )
+        # Literal, VarRef, Parameter, CoerceSubquery: nothing to do.
+        return expr
+
+
+# =========================================================================
+# Helpers
+# =========================================================================
+
+
+def _walk_value(value, walk):
+    if isinstance(value, ast.Node):
+        return walk(value)
+    if isinstance(value, list):
+        items = [_walk_value(item, walk) for item in value]
+        if all(new is old for new, old in zip(items, value)):
+            return value
+        return items
+    if isinstance(value, tuple):
+        items = tuple(_walk_value(item, walk) for item in value)
+        if all(new is old for new, old in zip(items, value)):
+            return value
+        return items
+    return value
+
+
+def _block_variables(block: ast.QueryBlock) -> FrozenSet[str]:
+    """The variables a block introduces: FROM aliases, AT vars, LETs."""
+    names: Set[str] = set()
+
+    def visit(item: ast.FromItem) -> None:
+        if isinstance(item, ast.FromCollection):
+            names.add(item.alias)
+            if item.at_alias:
+                names.add(item.at_alias)
+        elif isinstance(item, ast.FromUnpivot):
+            names.add(item.value_alias)
+            names.add(item.at_alias)
+        elif isinstance(item, ast.FromJoin):
+            visit(item.left)
+            visit(item.right)
+
+    for item in block.from_ or []:
+        visit(item)
+    for let in block.lets:
+        names.add(let.name)
+    return frozenset(names)
+
+
+def _from_aliases(items: Sequence[ast.FromItem]) -> List[str]:
+    """FROM collection aliases, in clause order (no AT/LET names)."""
+    aliases: List[str] = []
+
+    def visit(item: ast.FromItem) -> None:
+        if isinstance(item, ast.FromCollection):
+            aliases.append(item.alias)
+        elif isinstance(item, ast.FromUnpivot):
+            aliases.append(item.value_alias)
+        elif isinstance(item, ast.FromJoin):
+            visit(item.left)
+            visit(item.right)
+
+    for item in items:
+        visit(item)
+    return aliases
+
+
+def _catalog_name_of(expr: ast.Expr) -> Optional[str]:
+    """The dotted catalog name an expression denotes, if it is one."""
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.Path):
+        base = _catalog_name_of(expr.base)
+        if base is not None:
+            return f"{base}.{expr.attr}"
+    return None
+
+
+def _select_expressions(select: ast.SelectClause) -> List[ast.Expr]:
+    if isinstance(select, ast.SelectValue):
+        return [select.expr]
+    if isinstance(select, ast.SelectList):
+        return [item.expr for item in select.items]
+    if isinstance(select, ast.PivotClause):
+        return [select.value, select.at]
+    return []
+
+
+def _contains_sql_aggregate(expr: ast.Expr) -> bool:
+    """True when a SQL aggregate call occurs outside nested subqueries."""
+
+    def scan(node: ast.Node) -> bool:
+        if isinstance(node, ast.SubqueryExpr):
+            # Nested blocks own their aggregates.
+            return False
+        if isinstance(node, ast.WindowCall):
+            # The window function itself is not a grouping aggregate,
+            # but aggregates inside its arguments or spec are (they
+            # imply SQL's implicit grouping: RANK() OVER (ORDER BY
+            # SUM(v)) groups first, ranks after).
+            children = list(node.call.args) + list(node.spec.partition_by) + [
+                item.expr for item in node.spec.order_by
+            ]
+            return any(scan(child) for child in children)
+        if (
+            isinstance(node, ast.FunctionCall)
+            and node.name.upper() in SQL_AGGREGATES
+        ):
+            return True
+        return any(scan(child) for child in node.children())
+
+    return scan(expr)
+
+
+def _substitute_block_vars(
+    expr: ast.Expr, block_vars: FrozenSet[str], elem_var: str
+) -> ast.Expr:
+    """Replace references to block variables v with ``elem_var.v``.
+
+    Used when moving an aggregate argument into the per-group subquery:
+    the group's elements are tuples with one attribute per block variable
+    (paper, Listing 14).  Nested blocks that rebind a variable shadow it,
+    so the substitution stops for that name inside them.
+    """
+
+    def walk(node: ast.Node, active: FrozenSet[str]) -> ast.Node:
+        if isinstance(node, ast.VarRef) and node.name in active:
+            return ast.Path(base=ast.VarRef(name=elem_var), attr=node.name)
+        if isinstance(node, ast.SubqueryExpr):
+            body = node.query.body
+            if isinstance(body, ast.QueryBlock):
+                inner_active = active - _block_variables(body)
+            else:
+                inner_active = active
+            if not inner_active:
+                return node
+            return dataclasses.replace(
+                node, query=walk(node.query, inner_active)
+            )
+        changes = {}
+        for fld in dataclasses.fields(node):
+            old = getattr(node, fld.name)
+            new = _walk_value(old, lambda child: walk(child, active))
+            if new is not old:
+                changes[fld.name] = new
+        return dataclasses.replace(node, **changes) if changes else node
+
+    return walk(expr, block_vars)
+
+
+def _is_plain_select_query(query: ast.Query) -> bool:
+    """True for sugar-SELECT queries — the only ones coercion touches."""
+    body = query.body
+    if isinstance(body, ast.QueryBlock):
+        return isinstance(body.select, (ast.SelectList, ast.SelectStar))
+    return False
+
+
+def _implied_output_name(expr: ast.Expr, position: int) -> str:
+    from repro.syntax.parser import implied_alias
+
+    return implied_alias(expr) or f"_{position + 1}"

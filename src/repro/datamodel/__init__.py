@@ -1,0 +1,49 @@
+"""The SQL++ data model (paper, Section II).
+
+A SQL++ value is one of:
+
+* an *absent* value — ``NULL`` (modelled as Python ``None``) or the
+  special value :data:`MISSING`;
+* a *scalar* — ``bool``, ``int``, ``float`` or ``str`` (the SQL scalars);
+* a *tuple* (a.k.a. struct) — :class:`Struct`, an **unordered** set of
+  attribute name/value pairs that, unlike SQL, may contain duplicate
+  attribute names;
+* a *collection* — an **array** (Python ``list``, ordered) or a **bag**
+  (:class:`Bag`, an unordered multiset);
+* or any composition thereof, without any homogeneity requirement.
+
+This package also provides SQL++ deep equality (:func:`deep_equals`), the
+total order used by ``ORDER BY`` (:func:`sort_key`), hashable grouping keys
+(:func:`group_key`) and conversion to/from plain Python data
+(:func:`from_python`, :func:`to_python`).
+"""
+
+from repro.datamodel.values import (
+    MISSING,
+    Bag,
+    Missing,
+    Struct,
+    is_absent,
+    is_collection,
+    is_scalar,
+    type_name,
+)
+from repro.datamodel.equality import deep_equals, group_key
+from repro.datamodel.ordering import sort_key
+from repro.datamodel.convert import from_python, to_python
+
+__all__ = [
+    "MISSING",
+    "Missing",
+    "Bag",
+    "Struct",
+    "is_absent",
+    "is_collection",
+    "is_scalar",
+    "type_name",
+    "deep_equals",
+    "group_key",
+    "sort_key",
+    "from_python",
+    "to_python",
+]

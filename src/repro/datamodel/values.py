@@ -1,0 +1,267 @@
+"""Value types of the SQL++ data model.
+
+The paper (Section II) relaxes the SQL data model: a value can be absent,
+scalar, tuple, collection, or any composition thereof.  Two kinds of absent
+values exist: ``NULL`` (a present but unknown value — Python ``None``) and
+``MISSING`` (the result of navigation that binds to nothing, or of a
+function applied to wrongly-typed input in permissive mode).
+
+Collections are arrays (ordered — plain Python lists) and bags (unordered
+multisets — :class:`Bag`).  Tuples (:class:`Struct`) are unordered and may
+carry duplicate attribute names for compatibility with non-strict formats
+such as JSON or Ion, although duplicate names are discouraged (navigation
+returns the first binding).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Mapping, Tuple, Union
+
+
+class Missing:
+    """The type of the special value :data:`MISSING`.
+
+    ``MISSING`` is a singleton: ``Missing()`` always returns the same
+    object, so identity checks (``value is MISSING``) are reliable.  It is
+    falsy, propagates through expressions (see :mod:`repro.functions`), and
+    may not appear as an attribute value in constructed tuples (the
+    attribute is omitted instead — paper, Section IV-B).
+    """
+
+    _instance: "Missing" = None  # type: ignore[assignment]
+
+    def __new__(cls) -> "Missing":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "MISSING"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        # Keep the singleton property across pickling.
+        return (Missing, ())
+
+
+MISSING = Missing()
+
+#: The Python types accepted as SQL++ scalars.
+SCALAR_TYPES = (bool, int, float, str)
+
+Value = Union[None, Missing, bool, int, float, str, list, "Bag", "Struct"]
+
+
+class Struct:
+    """A SQL++ tuple: an unordered multiset of attribute name/value pairs.
+
+    Unlike a Python ``dict``, a :class:`Struct` may contain duplicate
+    attribute names (paper, Section II).  Insertion order is preserved for
+    deterministic iteration and printing, but **equality ignores order**:
+    two structs are equal when their name/value pair multisets are equal.
+
+    Navigation with :meth:`get` (and the evaluator's dot/bracket paths)
+    returns the *first* value bound to a name, or :data:`MISSING` when the
+    name is absent — the paper notes duplicate names make navigation
+    non-reproducible, which this first-match rule makes deterministic for
+    a given insertion order.
+
+    Attributes whose value is ``MISSING`` are rejected at construction
+    time: MISSING may not appear as an attribute's value (Section IV-B).
+    Construct structs through the evaluator (which silently omits MISSING
+    attributes) or filter before constructing.
+    """
+
+    __slots__ = ("_pairs",)
+
+    def __init__(
+        self,
+        pairs: Union[Mapping[str, Any], Iterable[Tuple[str, Any]], None] = None,
+    ):
+        if pairs is None:
+            items: List[Tuple[str, Any]] = []
+        elif isinstance(pairs, Mapping):
+            items = list(pairs.items())
+        else:
+            items = [(name, value) for name, value in pairs]
+        for name, value in items:
+            if not isinstance(name, str):
+                raise TypeError(
+                    f"struct attribute names must be strings, got {name!r}"
+                )
+            if value is MISSING:
+                raise ValueError(
+                    f"MISSING may not appear as the value of attribute {name!r}; "
+                    "omit the attribute instead"
+                )
+        self._pairs = items
+
+    # -- mapping-style access ------------------------------------------------
+
+    def get(self, name: str, default: Any = MISSING) -> Any:
+        """Return the first value bound to ``name``, or ``default``."""
+        for key, value in self._pairs:
+            if key == name:
+                return value
+        return default
+
+    def get_all(self, name: str) -> List[Any]:
+        """Return every value bound to ``name`` (duplicates included)."""
+        return [value for key, value in self._pairs if key == name]
+
+    def __getitem__(self, name: str) -> Any:
+        value = self.get(name)
+        if value is MISSING:
+            raise KeyError(name)
+        return value
+
+    def __contains__(self, name: object) -> bool:
+        return any(key == name for key, __ in self._pairs)
+
+    def keys(self) -> List[str]:
+        """Attribute names, in insertion order (duplicates included)."""
+        return [key for key, __ in self._pairs]
+
+    def values(self) -> List[Any]:
+        return [value for __, value in self._pairs]
+
+    def items(self) -> List[Tuple[str, Any]]:
+        return list(self._pairs)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    # -- construction helpers ------------------------------------------------
+
+    def with_attr(self, name: str, value: Any) -> "Struct":
+        """Return a copy with ``name``/``value`` appended.
+
+        Appending ``MISSING`` returns the struct unchanged, implementing
+        the omit-on-MISSING rule for result construction.
+        """
+        if value is MISSING:
+            return self
+        return Struct(self._pairs + [(name, value)])
+
+    def merged(self, other: "Struct") -> "Struct":
+        """Return the concatenation of this struct's pairs and ``other``'s."""
+        return Struct(self._pairs + other._pairs)
+
+    def to_dict(self) -> dict:
+        """Convert to a ``dict`` (later duplicates win, matching JSON)."""
+        return dict(self._pairs)
+
+    # -- equality ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Struct):
+            return NotImplemented
+        from repro.datamodel.equality import deep_equals
+
+        return deep_equals(self, other)
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    __hash__ = None  # type: ignore[assignment]  # mutable-style container
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name!r}: {value!r}" for name, value in self._pairs)
+        return "{" + inner + "}"
+
+
+class Bag:
+    """A SQL++ bag: an unordered multiset of arbitrary values.
+
+    Printed as ``{{ ... }}`` in the paper's literal notation.  Iteration
+    follows insertion order (useful for deterministic tests and printing)
+    but equality is multiset equality under SQL++ deep equality — two bags
+    with the same elements in different orders are equal.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[Any] = ()):
+        self._items = list(items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def add(self, item: Any) -> None:
+        """Append an element to the bag (multisets allow duplicates)."""
+        self._items.append(item)
+
+    def to_list(self) -> List[Any]:
+        """The bag's elements as a list, in insertion order."""
+        return list(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bag):
+            return NotImplemented
+        from repro.datamodel.equality import deep_equals
+
+        return deep_equals(self, other)
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(item) for item in self._items)
+        return "<<" + inner + ">>"
+
+
+# -- classification helpers ----------------------------------------------
+
+
+def is_scalar(value: Any) -> bool:
+    """True for the SQL scalar types (bool, int, float, str)."""
+    return isinstance(value, SCALAR_TYPES)
+
+
+def is_collection(value: Any) -> bool:
+    """True for arrays (lists) and bags."""
+    return isinstance(value, (list, Bag))
+
+
+def is_absent(value: Any) -> bool:
+    """True for ``NULL`` (None) and ``MISSING``."""
+    return value is None or value is MISSING
+
+
+def type_name(value: Any) -> str:
+    """The SQL++ type name of a value, for error messages and ``typeof``."""
+    if value is MISSING:
+        return "missing"
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, int):
+        return "integer"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, list):
+        return "array"
+    if isinstance(value, Bag):
+        return "bag"
+    if isinstance(value, Struct):
+        return "tuple"
+    raise TypeError(f"not a SQL++ value: {value!r} ({type(value).__name__})")

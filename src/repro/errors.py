@@ -1,0 +1,97 @@
+"""Exception hierarchy for the SQL++ reproduction.
+
+Every error raised by the library derives from :class:`SQLPPError`, so
+applications can catch a single base class.  The hierarchy mirrors the
+phases of query processing:
+
+* :class:`LexError` / :class:`ParseError` — syntactic analysis.
+* :class:`RewriteError` — while rewriting SQL sugar onto the SQL++ Core.
+* :class:`BindingError` — name-resolution failures (unknown variables,
+  ambiguous bare columns, unknown named values).
+* :class:`TypeCheckError` — dynamic type errors in *strict* ("stop on
+  error") typing mode, and static type errors when a schema is present.
+  In *permissive* mode the evaluator converts these situations into the
+  ``MISSING`` value instead of raising (paper, Section IV).
+* :class:`EvaluationError` — other runtime failures (division by zero in
+  strict mode, LIMIT with a negative argument, ...).
+* :class:`SchemaError` — schema definition or validation problems.
+* :class:`FormatError` — de/serialisation problems in the format codecs.
+* :class:`CatalogError` — unknown or duplicate named values.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SQLPPError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class LexError(SQLPPError):
+    """Raised when the lexer encounters an invalid character or token.
+
+    Carries the 1-based ``line`` and ``column`` of the offending input.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class ParseError(SQLPPError):
+    """Raised when the parser cannot derive a valid SQL++ statement."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class RewriteError(SQLPPError):
+    """Raised when a SQL-sugar construct cannot be rewritten to Core.
+
+    For example, a SQL aggregate call appearing outside a query block, or
+    ``GROUP AS`` redeclaring an existing variable name.
+    """
+
+
+class BindingError(SQLPPError):
+    """Raised when a name cannot be resolved to a variable or named value."""
+
+
+class TypeCheckError(SQLPPError):
+    """A type error.
+
+    Dynamically raised only in *strict* typing mode; in permissive mode the
+    same situation produces ``MISSING`` (paper, Section IV).  Also raised by
+    the static type checker when an optional schema is present.
+    """
+
+
+class EvaluationError(SQLPPError):
+    """A runtime evaluation failure that is not a type error."""
+
+
+class SchemaError(SQLPPError):
+    """Raised for invalid schema definitions or failed validations."""
+
+
+class FormatError(SQLPPError):
+    """Raised by the data-format codecs for malformed input/output."""
+
+
+class CatalogError(SQLPPError):
+    """Raised for unknown or conflicting named values in a database."""
+
+
+def pos_suffix(line: Optional[int], column: Optional[int]) -> str:
+    """Format an ``(at line L, column C)`` suffix for error messages."""
+    if line is None:
+        return ""
+    return f" (at line {line}, column {column})"

@@ -1,0 +1,39 @@
+"""Data-format codecs (paper tenet 5: *format independence*).
+
+"SQL++'s syntax and semantics should not be tied to a particular data
+format.  A query should be written identically across underlying data in
+any of today's many nested and/or semistructured formats."
+
+Every codec maps between its physical format and the one logical SQL++
+data model, so the same query gives the same answer whatever format the
+data arrived in (exercised by experiment E9):
+
+* ``sqlpp`` — the paper's own literal notation (``{{ ... }}`` bags,
+  ``MISSING``, single-quoted strings);
+* ``json`` — JSON (objects → tuples, arrays → arrays; a top-level array
+  can be read as a bag);
+* ``csv``  — header-row CSV with optional type inference;
+* ``cbor`` — RFC 8949 Concise Binary Object Representation, implemented
+  from scratch (a tag marks bags so round-trips preserve them);
+* ``ion``  — a text subset of Amazon Ion (S-expression-free).
+"""
+
+from repro.formats.registry import (
+    FORMATS,
+    read_file,
+    read_text,
+    write_file,
+    write_text,
+)
+from repro.formats.sqlpp_text import loads as sqlpp_loads
+from repro.formats.sqlpp_text import dumps as sqlpp_dumps
+
+__all__ = [
+    "FORMATS",
+    "read_file",
+    "read_text",
+    "write_file",
+    "write_text",
+    "sqlpp_loads",
+    "sqlpp_dumps",
+]

@@ -1,0 +1,222 @@
+"""A from-scratch CBOR (RFC 8949) codec for the SQL++ data model.
+
+The paper lists CBOR among the formats SQL++ must be independent of
+(tenet 5).  This is a self-contained binary codec covering the subset
+the data model needs:
+
+* major type 0/1 — non-negative / negative integers (all sizes);
+* major type 2 — byte strings (decoded to ``str`` via UTF-8 fallback is
+  *not* attempted: byte strings are rejected, the data model has no
+  binary scalar);
+* major type 3 — text strings;
+* major type 4 — arrays;
+* major type 5 — maps with text keys → tuples (duplicate keys preserved,
+  which JSON cannot do — Section II allows duplicate attribute names);
+* major type 6 — tag ``1008`` marks a SQL++ *bag* (its content is an
+  array); other tags are rejected;
+* major type 7 — false/true/null and IEEE-754 doubles (encoded as
+  64-bit; 16/32-bit floats are decoded too).
+
+Canonical-length integer encoding is used, so encodings are
+deterministic and round-trip tests can compare bytes.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Any, List, Tuple
+
+from repro.datamodel.values import MISSING, Bag, Struct, type_name
+from repro.errors import FormatError
+
+#: Private CBOR tag marking a bag (unassigned in the IANA registry).
+BAG_TAG = 1008
+
+
+# =========================================================================
+# Encoding
+# =========================================================================
+
+
+def dumps(value: Any) -> bytes:
+    """Encode a model value as CBOR bytes."""
+    out = bytearray()
+    _encode(value, out)
+    return bytes(out)
+
+
+def _encode_head(major: int, argument: int, out: bytearray) -> None:
+    if argument < 24:
+        out.append((major << 5) | argument)
+    elif argument < 0x100:
+        out.append((major << 5) | 24)
+        out.append(argument)
+    elif argument < 0x10000:
+        out.append((major << 5) | 25)
+        out.extend(struct.pack(">H", argument))
+    elif argument < 0x100000000:
+        out.append((major << 5) | 26)
+        out.extend(struct.pack(">I", argument))
+    else:
+        out.append((major << 5) | 27)
+        out.extend(struct.pack(">Q", argument))
+
+
+def _encode(value: Any, out: bytearray) -> None:
+    if value is MISSING:
+        raise FormatError("MISSING cannot be serialised as CBOR")
+    if value is None:
+        out.append(0xF6)
+    elif value is True:
+        out.append(0xF5)
+    elif value is False:
+        out.append(0xF4)
+    elif isinstance(value, int):
+        if value >= 0:
+            if value >= 2**64:
+                raise FormatError("integer too large for CBOR")
+            _encode_head(0, value, out)
+        else:
+            if -value - 1 >= 2**64:
+                raise FormatError("integer too small for CBOR")
+            _encode_head(1, -value - 1, out)
+    elif isinstance(value, float):
+        out.append(0xFB)
+        out.extend(struct.pack(">d", value))
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        _encode_head(3, len(encoded), out)
+        out.extend(encoded)
+    elif isinstance(value, list):
+        _encode_head(4, len(value), out)
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, Bag):
+        _encode_head(6, BAG_TAG, out)
+        _encode_head(4, len(value), out)
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, Struct):
+        _encode_head(5, len(value), out)
+        for name, item in value.items():
+            _encode(name, out)
+            _encode(item, out)
+    else:
+        raise FormatError(f"cannot serialise {type_name(value)} as CBOR")
+
+
+# =========================================================================
+# Decoding
+# =========================================================================
+
+
+def loads(data: bytes) -> Any:
+    """Decode CBOR bytes into a model value."""
+    value, position = _decode(data, 0)
+    if position != len(data):
+        raise FormatError(
+            f"trailing bytes after CBOR value ({len(data) - position} left)"
+        )
+    return value
+
+
+def _decode_head(data: bytes, position: int) -> Tuple[int, int, int]:
+    if position >= len(data):
+        raise FormatError("truncated CBOR input")
+    initial = data[position]
+    major = initial >> 5
+    info = initial & 0x1F
+    position += 1
+    if info < 24:
+        return major, info, position
+    if info == 24:
+        _check(data, position, 1)
+        return major, data[position], position + 1
+    if info == 25:
+        _check(data, position, 2)
+        return major, struct.unpack_from(">H", data, position)[0], position + 2
+    if info == 26:
+        _check(data, position, 4)
+        return major, struct.unpack_from(">I", data, position)[0], position + 4
+    if info == 27:
+        _check(data, position, 8)
+        return major, struct.unpack_from(">Q", data, position)[0], position + 8
+    raise FormatError(f"unsupported CBOR additional info {info}")
+
+
+def _check(data: bytes, position: int, count: int) -> None:
+    if position + count > len(data):
+        raise FormatError("truncated CBOR input")
+
+
+def _decode(data: bytes, position: int) -> Tuple[Any, int]:
+    if position >= len(data):
+        raise FormatError("truncated CBOR input")
+    initial = data[position]
+
+    # Major type 7 simple values and floats need the raw initial byte.
+    if initial == 0xF4:
+        return False, position + 1
+    if initial == 0xF5:
+        return True, position + 1
+    if initial == 0xF6:
+        return None, position + 1
+    if initial == 0xF9:
+        _check(data, position + 1, 2)
+        return _decode_half(data[position + 1 : position + 3]), position + 3
+    if initial == 0xFA:
+        _check(data, position + 1, 4)
+        return struct.unpack_from(">f", data, position + 1)[0], position + 5
+    if initial == 0xFB:
+        _check(data, position + 1, 8)
+        return struct.unpack_from(">d", data, position + 1)[0], position + 9
+
+    major, argument, position = _decode_head(data, position)
+    if major == 0:
+        return argument, position
+    if major == 1:
+        return -1 - argument, position
+    if major == 2:
+        raise FormatError("CBOR byte strings have no SQL++ counterpart")
+    if major == 3:
+        _check(data, position, argument)
+        text = data[position : position + argument].decode("utf-8")
+        return text, position + argument
+    if major == 4:
+        items: List[Any] = []
+        for __ in range(argument):
+            item, position = _decode(data, position)
+            items.append(item)
+        return items, position
+    if major == 5:
+        pairs: List[Tuple[str, Any]] = []
+        for __ in range(argument):
+            key, position = _decode(data, position)
+            if not isinstance(key, str):
+                raise FormatError("CBOR map keys must be text for SQL++ tuples")
+            item, position = _decode(data, position)
+            pairs.append((key, item))
+        return Struct(pairs), position
+    if major == 6:
+        if argument != BAG_TAG:
+            raise FormatError(f"unsupported CBOR tag {argument}")
+        content, position = _decode(data, position)
+        if not isinstance(content, list):
+            raise FormatError("bag tag must wrap an array")
+        return Bag(content), position
+    raise FormatError(f"unsupported CBOR major type {major}")
+
+
+def _decode_half(payload: bytes) -> float:
+    """Decode an IEEE-754 half-precision float (RFC 8949 appendix D)."""
+    half = (payload[0] << 8) | payload[1]
+    exponent = (half >> 10) & 0x1F
+    mantissa = half & 0x3FF
+    if exponent == 0:
+        value = mantissa * 2.0**-24
+    elif exponent != 31:
+        value = (mantissa + 1024) * 2.0 ** (exponent - 25)
+    else:
+        value = math.inf if mantissa == 0 else math.nan
+    return -value if half & 0x8000 else value

@@ -1,0 +1,99 @@
+"""CSV codec.
+
+CSV is the degenerate flat case of the SQL++ model: a bag of tuples of
+scalars.  Reading infers scalar types by default (integers, floats,
+booleans, ``null`` → NULL) and maps *empty* fields to missing attributes
+— CSV's natural way of omitting a value — which exercises exactly the
+NULL-vs-MISSING distinction of paper Section IV-A.
+
+Writing accepts any bag/array of tuples; the header is the union of
+attribute names in first-appearance order, and attributes absent from a
+tuple serialise as empty fields.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, List
+
+from repro.datamodel.values import Bag, Struct, type_name, MISSING
+from repro.errors import FormatError
+
+
+def loads(text: str, infer_types: bool = True, empty_as_missing: bool = True) -> Bag:
+    """Parse header-row CSV text into a bag of tuples."""
+    reader = csv.reader(io.StringIO(text))
+    rows = list(reader)
+    if not rows:
+        return Bag()
+    header = rows[0]
+    tuples = []
+    for row in rows[1:]:
+        if len(row) > len(header):
+            raise FormatError(
+                f"CSV row has {len(row)} fields but header has {len(header)}"
+            )
+        pairs = []
+        for name, field in zip(header, row):
+            if field == "" and empty_as_missing:
+                continue  # absent attribute, not a null one
+            pairs.append((name, _parse_field(field) if infer_types else field))
+        tuples.append(Struct(pairs))
+    return Bag(tuples)
+
+
+def dumps(value: Any) -> str:
+    """Serialise a collection of tuples as header-row CSV."""
+    if isinstance(value, Bag):
+        rows = value.to_list()
+    elif isinstance(value, list):
+        rows = value
+    else:
+        raise FormatError(f"CSV expects a collection, got {type_name(value)}")
+    header: List[str] = []
+    seen = set()
+    for row in rows:
+        if not isinstance(row, Struct):
+            raise FormatError(f"CSV rows must be tuples, got {type_name(row)}")
+        for name in row.keys():
+            if name not in seen:
+                seen.add(name)
+                header.append(name)
+    output = io.StringIO()
+    writer = csv.writer(output, lineterminator="\n")
+    writer.writerow(header)
+    for row in rows:
+        writer.writerow([_render_field(row.get(name)) for name in header])
+    return output.getvalue()
+
+
+def _parse_field(field: str) -> Any:
+    lowered = field.lower()
+    if lowered == "null":
+        return None
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(field)
+    except ValueError:
+        pass
+    try:
+        return float(field)
+    except ValueError:
+        pass
+    return field
+
+
+def _render_field(value: Any) -> str:
+    if value is MISSING or value is None:
+        return "" if value is MISSING else "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, (int, float, str)):
+        return str(value)
+    raise FormatError(f"CSV cannot hold nested value of type {type_name(value)}")

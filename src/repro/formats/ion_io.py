@@ -1,0 +1,294 @@
+"""An Amazon Ion *text subset* codec.
+
+Ion is the third self-describing format the paper names (Section II).
+This codec covers the part of Ion text that maps onto the SQL++ model:
+
+* ``null`` (and typed nulls like ``null.int``) → NULL;
+* booleans, integers, floats (incl. ``1e0`` notation);
+* strings (double-quoted) and symbols (bare words → strings);
+* lists ``[ ... ]`` → arrays;
+* structs ``{ name: value, ... }`` → tuples (field names may be symbols
+  or strings; duplicates preserved, as Ion allows);
+* bags are written the AsterixDB way, as Ion lists annotated
+  ``bag::[ ... ]`` (annotations other than ``bag`` are rejected).
+
+S-expressions, blobs, clobs, timestamps and decimals are out of scope —
+they have no counterpart in the paper's data model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.datamodel.values import MISSING, Bag, Struct, type_name
+from repro.errors import FormatError
+
+_WORD_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_$."
+)
+
+
+class _Reader:
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+
+    def error(self, message: str) -> FormatError:
+        return FormatError(f"{message} (at offset {self._pos})")
+
+    def skip_ws(self) -> None:
+        while self._pos < len(self._text):
+            char = self._text[self._pos]
+            if char in " \t\r\n,":
+                self._pos += 1
+            elif self._text.startswith("//", self._pos):
+                end = self._text.find("\n", self._pos)
+                self._pos = len(self._text) if end < 0 else end
+            elif self._text.startswith("/*", self._pos):
+                end = self._text.find("*/", self._pos + 2)
+                if end < 0:
+                    raise self.error("unterminated comment")
+                self._pos = end + 2
+            else:
+                return
+
+    def peek(self) -> str:
+        return self._text[self._pos] if self._pos < len(self._text) else ""
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}")
+        self._pos += 1
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self._pos >= len(self._text)
+
+    # -- values -------------------------------------------------------------
+
+    def read_value(self) -> Any:
+        self.skip_ws()
+        char = self.peek()
+        if char == "[":
+            return self._read_list()
+        if char == "{":
+            return self._read_struct()
+        if char == '"':
+            return self._read_string()
+        if char == "'" and self._text.startswith("'''", self._pos):
+            return self._read_long_string()
+        if char and (char in "-+0123456789"):
+            return self._read_number()
+        word = self._read_word()
+        if word is None:
+            raise self.error("expected an Ion value")
+        return self._word_value(word)
+
+    def _word_value(self, word: str) -> Any:
+        self.skip_ws()
+        if self.peek() == ":" and self._text.startswith("::", self._pos):
+            # annotation, e.g. bag::[...]
+            self._pos += 2
+            if word != "bag":
+                raise self.error(f"unsupported Ion annotation {word!r}")
+            value = self.read_value()
+            if not isinstance(value, list):
+                raise self.error("bag annotation must wrap a list")
+            return Bag(value)
+        if word == "null" or word.startswith("null."):
+            return None
+        if word == "true":
+            return True
+        if word == "false":
+            return False
+        return word  # a symbol reads as a string
+
+    def _read_word(self) -> Optional[str]:
+        start = self._pos
+        while self._pos < len(self._text) and self._text[self._pos] in _WORD_CHARS:
+            self._pos += 1
+        if self._pos == start:
+            return None
+        return self._text[start : self._pos]
+
+    def _read_number(self) -> Any:
+        # NB: peek() returns "" at end of input, and ``"" in "0123"`` is
+        # True in Python — every membership test must exclude "".
+        digits = frozenset("0123456789")
+        start = self._pos
+        if self.peek() in ("+", "-"):
+            self._pos += 1
+        while self.peek() in digits:
+            self._pos += 1
+        is_float = False
+        if self.peek() == ".":
+            is_float = True
+            self._pos += 1
+            while self.peek() in digits:
+                self._pos += 1
+        if self.peek() in ("e", "E"):
+            is_float = True
+            self._pos += 1
+            if self.peek() in ("+", "-"):
+                self._pos += 1
+            while self.peek() in digits:
+                self._pos += 1
+        text = self._text[start : self._pos]
+        try:
+            return float(text) if is_float else int(text)
+        except ValueError:
+            raise self.error(f"invalid number {text!r}") from None
+
+    def _read_string(self) -> str:
+        self.expect('"')
+        parts: List[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise self.error("unterminated string")
+            char = self._text[self._pos]
+            if char == '"':
+                self._pos += 1
+                return "".join(parts)
+            if char == "\\":
+                self._pos += 1
+                parts.append(self._read_escape())
+            else:
+                parts.append(char)
+                self._pos += 1
+
+    def _read_long_string(self) -> str:
+        self._pos += 3
+        end = self._text.find("'''", self._pos)
+        if end < 0:
+            raise self.error("unterminated long string")
+        text = self._text[self._pos : end]
+        self._pos = end + 3
+        return text
+
+    def _read_escape(self) -> str:
+        escapes = {
+            "n": "\n",
+            "t": "\t",
+            "r": "\r",
+            '"': '"',
+            "'": "'",
+            "\\": "\\",
+            "0": "\0",
+            "/": "/",
+        }
+        char = self.peek()
+        if char in escapes:
+            self._pos += 1
+            return escapes[char]
+        if char == "u":
+            self._pos += 1
+            code = self._text[self._pos : self._pos + 4]
+            if len(code) < 4:
+                raise self.error("truncated unicode escape")
+            self._pos += 4
+            return chr(int(code, 16))
+        raise self.error(f"unsupported escape \\{char}")
+
+    def _read_list(self) -> list:
+        self.expect("[")
+        items: List[Any] = []
+        while True:
+            self.skip_ws()
+            if self.peek() == "]":
+                self._pos += 1
+                return items
+            items.append(self.read_value())
+
+    def _read_struct(self) -> Struct:
+        self.expect("{")
+        pairs: List[Tuple[str, Any]] = []
+        while True:
+            self.skip_ws()
+            if self.peek() == "}":
+                self._pos += 1
+                return Struct(pairs)
+            if self.peek() == '"':
+                name = self._read_string()
+            elif self.peek() == "'":
+                name = self._read_quoted_symbol()
+            else:
+                word = self._read_word()
+                if word is None:
+                    raise self.error("expected a field name")
+                name = word
+            self.skip_ws()
+            self.expect(":")
+            pairs.append((name, self.read_value()))
+
+    def _read_quoted_symbol(self) -> str:
+        self.expect("'")
+        end = self._text.find("'", self._pos)
+        if end < 0:
+            raise self.error("unterminated quoted symbol")
+        name = self._text[self._pos : end]
+        self._pos = end + 1
+        return name
+
+
+def loads(text: str) -> Any:
+    """Parse Ion text.  Multiple top-level values read as a bag."""
+    reader = _Reader(text)
+    values: List[Any] = []
+    while not reader.at_end():
+        values.append(reader.read_value())
+    if not values:
+        raise FormatError("empty Ion document")
+    if len(values) == 1:
+        return values[0]
+    return Bag(values)
+
+
+def dumps(value: Any) -> str:
+    """Serialise a model value as Ion text."""
+    parts: List[str] = []
+    _write(value, parts)
+    return "".join(parts)
+
+
+def _write(value: Any, parts: List[str]) -> None:
+    if value is MISSING:
+        raise FormatError("MISSING cannot be serialised as Ion")
+    if value is None:
+        parts.append("null")
+    elif value is True:
+        parts.append("true")
+    elif value is False:
+        parts.append("false")
+    elif isinstance(value, int):
+        parts.append(str(value))
+    elif isinstance(value, float):
+        text = repr(value)
+        if "e" not in text and "E" not in text and "." not in text:
+            text += "e0"
+        parts.append(text)
+    elif isinstance(value, str):
+        parts.append('"' + value.replace("\\", "\\\\").replace('"', '\\"') + '"')
+    elif isinstance(value, list):
+        parts.append("[")
+        for index, item in enumerate(value):
+            if index:
+                parts.append(", ")
+            _write(item, parts)
+        parts.append("]")
+    elif isinstance(value, Bag):
+        parts.append("bag::[")
+        for index, item in enumerate(value):
+            if index:
+                parts.append(", ")
+            _write(item, parts)
+        parts.append("]")
+    elif isinstance(value, Struct):
+        parts.append("{")
+        for index, (name, item) in enumerate(value.items()):
+            if index:
+                parts.append(", ")
+            parts.append("'" + name + "': ")
+            _write(item, parts)
+        parts.append("}")
+    else:
+        raise FormatError(f"cannot serialise {type_name(value)} as Ion")

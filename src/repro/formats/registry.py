@@ -1,0 +1,107 @@
+"""Format registry: name → codec, plus file helpers.
+
+Codecs expose ``loads(text_or_bytes) -> value`` and
+``dumps(value) -> text_or_bytes``; binary codecs set ``binary=True``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import FormatError
+from repro.formats import cbor_io, csv_io, ion_io, json_io, sqlpp_text
+
+
+@dataclass(frozen=True)
+class Format:
+    """One registered data format."""
+
+    name: str
+    loads: Callable[[Any], Any]
+    dumps: Callable[[Any], Any]
+    binary: bool = False
+    extensions: tuple = ()
+
+
+FORMATS: Dict[str, Format] = {}
+
+
+def register(fmt: Format) -> None:
+    FORMATS[fmt.name] = fmt
+
+
+register(
+    Format(
+        name="sqlpp",
+        loads=sqlpp_text.loads,
+        dumps=sqlpp_text.dumps,
+        extensions=(".sqlpp", ".adm"),
+    )
+)
+register(
+    Format(name="json", loads=json_io.loads, dumps=json_io.dumps, extensions=(".json",))
+)
+register(
+    Format(name="csv", loads=csv_io.loads, dumps=csv_io.dumps, extensions=(".csv",))
+)
+register(
+    Format(
+        name="cbor",
+        loads=cbor_io.loads,
+        dumps=cbor_io.dumps,
+        binary=True,
+        extensions=(".cbor",),
+    )
+)
+register(
+    Format(name="ion", loads=ion_io.loads, dumps=ion_io.dumps, extensions=(".ion", ".10n"))
+)
+
+
+def _resolve(path: str, format: Optional[str]) -> Format:
+    if format is not None:
+        try:
+            return FORMATS[format.lower()]
+        except KeyError:
+            raise FormatError(f"unknown format {format!r}") from None
+    extension = os.path.splitext(path)[1].lower()
+    for fmt in FORMATS.values():
+        if extension in fmt.extensions:
+            return fmt
+    raise FormatError(f"cannot infer format from extension {extension!r}")
+
+
+def read_text(text: Any, format: str) -> Any:
+    """Parse a value from text/bytes in the named format."""
+    try:
+        fmt = FORMATS[format.lower()]
+    except KeyError:
+        raise FormatError(f"unknown format {format!r}") from None
+    return fmt.loads(text)
+
+
+def write_text(value: Any, format: str) -> Any:
+    """Serialise a value to text/bytes in the named format."""
+    try:
+        fmt = FORMATS[format.lower()]
+    except KeyError:
+        raise FormatError(f"unknown format {format!r}") from None
+    return fmt.dumps(value)
+
+
+def read_file(path: str, format: Optional[str] = None) -> Any:
+    """Read and parse a file (format inferred from the extension)."""
+    fmt = _resolve(path, format)
+    mode = "rb" if fmt.binary else "r"
+    with open(path, mode) as handle:
+        return fmt.loads(handle.read())
+
+
+def write_file(value: Any, path: str, format: Optional[str] = None) -> None:
+    """Serialise a value into a file (format inferred from the extension)."""
+    fmt = _resolve(path, format)
+    mode = "wb" if fmt.binary else "w"
+    with open(path, mode) as handle:
+        handle.write(fmt.dumps(value))

@@ -1,0 +1,37 @@
+"""The SQL++ function library.
+
+Three families of callables live here:
+
+* **Operators** (:mod:`repro.functions.operators`) — the implementations
+  behind ``+ - * / % || = < AND OR NOT LIKE IN BETWEEN IS`` and path /
+  index navigation, each encoding the paper's NULL/MISSING propagation
+  rules (Section IV-B) and the permissive-vs-strict type-error behaviour.
+
+* **Scalar builtins** (:mod:`repro.functions.scalar`,
+  :mod:`repro.functions.strings`, :mod:`repro.functions.numeric`,
+  :mod:`repro.functions.collections`) — registered in the global
+  :data:`~repro.functions.registry.REGISTRY`.
+
+* **Aggregates** (:mod:`repro.functions.aggregates`) — the composable
+  ``COLL_*`` functions of the SQL++ Core (Section V-C), which take a
+  collection argument, and the table mapping SQL aggregate names
+  (``AVG`` ...) onto them, used by the sugar rewriter.
+"""
+
+from repro.functions.registry import REGISTRY, FunctionDef, FunctionRegistry
+from repro.functions.aggregates import SQL_AGGREGATES, is_sql_aggregate
+
+# Importing the modules registers their builtins.
+from repro.functions import scalar as _scalar  # noqa: F401
+from repro.functions import strings as _strings  # noqa: F401
+from repro.functions import numeric as _numeric  # noqa: F401
+from repro.functions import collections as _collections  # noqa: F401
+from repro.functions import aggregates as _aggregates  # noqa: F401
+
+__all__ = [
+    "REGISTRY",
+    "FunctionDef",
+    "FunctionRegistry",
+    "SQL_AGGREGATES",
+    "is_sql_aggregate",
+]

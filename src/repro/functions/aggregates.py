@@ -1,0 +1,238 @@
+"""Aggregate functions (paper, Section V-C).
+
+SQL's aggregates lack composability: ``AVG(e.salary)`` only makes sense
+inside a grouped query block.  The SQL++ Core instead provides, for each
+SQL aggregate, a fully composable function that takes a *collection*
+argument and returns its aggregate: ``COLL_AVG``, ``COLL_SUM``,
+``COLL_MIN``, ``COLL_MAX``, ``COLL_COUNT``, plus boolean ``COLL_EVERY`` /
+``COLL_SOME``, statistics ``COLL_STDDEV`` / ``COLL_VARIANCE`` and the
+collection-valued ``COLL_ARRAY_AGG``.
+
+SQL aggregate calls (``AVG`` etc.) are rewritten by
+:mod:`repro.core.rewriter` into ``COLL_*`` calls over a ``SELECT VALUE``
+subquery ranging over the ``GROUP AS`` group — Listings 15–18 of the
+paper, reproduced verbatim in the tests.
+
+Null handling follows SQL: NULL *and* MISSING elements are skipped by
+every aggregate except ``COLL_COUNT`` (which counts non-absent elements;
+``COUNT(*)`` counts all bindings and is handled in the rewriter).  An
+empty (post-skip) input yields NULL, except COUNT which yields 0.
+
+Wrongly-typed elements: the numeric aggregates (SUM/AVG/STDDEV/VARIANCE)
+exclude them in permissive mode (see :func:`_numbers`); MIN/MAX instead
+return MISSING when elements are mutually incomparable — there is no
+principled "skip" for an ordering, so the whole aggregate carries the
+data-exclusion signal.  Strict mode raises in both cases.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+from repro.config import EvalConfig
+from repro.datamodel.values import MISSING, Bag, type_name
+from repro.functions.operators import compare, distinct_elements
+from repro.functions.registry import builtin
+
+
+def _elements(name: str, value: Any) -> Optional[list]:
+    """Extract the non-absent elements of the collection argument.
+
+    Returns None when the argument itself is absent (aggregate → NULL),
+    raises TypeError when it is not a collection.
+    """
+    if value is None or value is MISSING:
+        return None
+    if isinstance(value, Bag):
+        items = value.to_list()
+    elif isinstance(value, list):
+        items = value
+    else:
+        raise TypeError(f"{name} expects a collection, got {type_name(value)}")
+    return [item for item in items if item is not None and item is not MISSING]
+
+
+def _numbers(name: str, items: list, config: EvalConfig) -> List[Any]:
+    """The numeric elements of an aggregate's input.
+
+    Wrongly-typed elements are a dynamic type error: strict mode raises,
+    permissive mode *excludes just those elements* so that aggregation of
+    the healthy data proceeds (the paper's data-exclusion signal,
+    Section IV) — the behaviour Couchbase's SQL++ implements.
+    """
+    numbers = []
+    for item in items:
+        if isinstance(item, bool) or not isinstance(item, (int, float)):
+            if config.is_permissive:
+                continue
+            raise TypeError(f"{name} expects numbers, got {type_name(item)}")
+        numbers.append(item)
+    return numbers
+
+
+@builtin("COLL_COUNT", 1, 1, propagate_absent=False, is_aggregate=True)
+def coll_count(args: List[Any], config: EvalConfig) -> Any:
+    items = _elements("COLL_COUNT", args[0])
+    if items is None:
+        return None
+    return len(items)
+
+
+@builtin("COLL_SUM", 1, 1, propagate_absent=False, is_aggregate=True)
+def coll_sum(args: List[Any], config: EvalConfig) -> Any:
+    items = _elements("COLL_SUM", args[0])
+    if items is None:
+        return None
+    numbers = _numbers("COLL_SUM", items, config)
+    if not numbers:
+        return None
+    total = 0
+    for item in numbers:
+        total += item
+    return total
+
+
+@builtin("COLL_AVG", 1, 1, propagate_absent=False, is_aggregate=True)
+def coll_avg(args: List[Any], config: EvalConfig) -> Any:
+    items = _elements("COLL_AVG", args[0])
+    if items is None:
+        return None
+    numbers = _numbers("COLL_AVG", items, config)
+    if not numbers:
+        return None
+    return sum(numbers) / len(numbers)
+
+
+@builtin("COLL_MIN", 1, 1, propagate_absent=False, is_aggregate=True)
+def coll_min(args: List[Any], config: EvalConfig) -> Any:
+    items = _elements("COLL_MIN", args[0])
+    if items is None or not items:
+        return None
+    best = items[0]
+    for item in items[1:]:
+        verdict = compare("<", item, best, config)
+        if verdict is MISSING:
+            return MISSING
+        if verdict is True:
+            best = item
+    return best
+
+
+@builtin("COLL_MAX", 1, 1, propagate_absent=False, is_aggregate=True)
+def coll_max(args: List[Any], config: EvalConfig) -> Any:
+    items = _elements("COLL_MAX", args[0])
+    if items is None or not items:
+        return None
+    best = items[0]
+    for item in items[1:]:
+        verdict = compare(">", item, best, config)
+        if verdict is MISSING:
+            return MISSING
+        if verdict is True:
+            best = item
+    return best
+
+
+@builtin("COLL_EVERY", 1, 1, propagate_absent=False, is_aggregate=True)
+def coll_every(args: List[Any], config: EvalConfig) -> Any:
+    """True when every non-absent element is TRUE (empty → True)."""
+    items = _elements("COLL_EVERY", args[0])
+    if items is None:
+        return None
+    for item in items:
+        if not isinstance(item, bool):
+            raise TypeError(f"COLL_EVERY expects booleans, got {type_name(item)}")
+        if item is False:
+            return False
+    return True
+
+
+@builtin("COLL_SOME", 1, 1, propagate_absent=False, is_aggregate=True)
+def coll_some(args: List[Any], config: EvalConfig) -> Any:
+    """True when some non-absent element is TRUE (empty → False)."""
+    items = _elements("COLL_SOME", args[0])
+    if items is None:
+        return None
+    for item in items:
+        if not isinstance(item, bool):
+            raise TypeError(f"COLL_SOME expects booleans, got {type_name(item)}")
+        if item is True:
+            return True
+    return False
+
+
+@builtin("COLL_ARRAY_AGG", 1, 1, propagate_absent=False, is_aggregate=True)
+def coll_array_agg(args: List[Any], config: EvalConfig) -> Any:
+    """Materialise the collection's non-absent elements as an array."""
+    items = _elements("COLL_ARRAY_AGG", args[0])
+    if items is None:
+        return None
+    return items
+
+
+@builtin("COLL_STDDEV", 1, 1, propagate_absent=False, is_aggregate=True)
+def coll_stddev(args: List[Any], config: EvalConfig) -> Any:
+    """Sample standard deviation (NULL for fewer than two elements)."""
+    items = _elements("COLL_STDDEV", args[0])
+    if items is None or len(items) < 2:
+        return None
+    numbers = _numbers("COLL_STDDEV", items, config)
+    if len(numbers) < 2:
+        return None
+    mean = sum(numbers) / len(numbers)
+    variance = sum((x - mean) ** 2 for x in numbers) / (len(numbers) - 1)
+    return math.sqrt(variance)
+
+
+@builtin("COLL_VARIANCE", 1, 1, propagate_absent=False, is_aggregate=True)
+def coll_variance(args: List[Any], config: EvalConfig) -> Any:
+    """Sample variance (NULL for fewer than two elements)."""
+    items = _elements("COLL_VARIANCE", args[0])
+    if items is None or len(items) < 2:
+        return None
+    numbers = _numbers("COLL_VARIANCE", items, config)
+    if len(numbers) < 2:
+        return None
+    mean = sum(numbers) / len(numbers)
+    return sum((x - mean) ** 2 for x in numbers) / (len(numbers) - 1)
+
+
+@builtin("COLL_COUNT_DISTINCT", 1, 1, propagate_absent=False, is_aggregate=True)
+def coll_count_distinct(args: List[Any], config: EvalConfig) -> Any:
+    items = _elements("COLL_COUNT_DISTINCT", args[0])
+    if items is None:
+        return None
+    return len(distinct_elements(items))
+
+
+#: SQL aggregate name → composable Core function name (paper, Section V-C:
+#: "The composable version of AVG is named COLL_AVG. This naming
+#: convention applies to the other SQL aggregate functions as well.")
+SQL_AGGREGATES: Dict[str, str] = {
+    "COUNT": "COLL_COUNT",
+    "SUM": "COLL_SUM",
+    "AVG": "COLL_AVG",
+    "MIN": "COLL_MIN",
+    "MAX": "COLL_MAX",
+    "EVERY": "COLL_EVERY",
+    "SOME": "COLL_SOME",
+    "ANY": "COLL_SOME",
+    "ARRAY_AGG": "COLL_ARRAY_AGG",
+    "STDDEV": "COLL_STDDEV",
+    "VARIANCE": "COLL_VARIANCE",
+}
+
+
+def is_sql_aggregate(name: str) -> bool:
+    """True when ``name`` is a SQL (sugar) aggregate function name."""
+    return name.upper() in SQL_AGGREGATES
+
+
+# Outside a grouped query block the SQL names behave as their composable
+# COLL_* twins (``AVG([1, 2, 3])`` → 2), which is the Core reading; the
+# rewriter intercepts them *inside* SQL-compat grouped blocks first.
+from repro.functions.registry import REGISTRY  # noqa: E402
+
+for _sql_name, _coll_name in SQL_AGGREGATES.items():
+    REGISTRY.alias(_coll_name, _sql_name)

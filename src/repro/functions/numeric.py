@@ -1,0 +1,113 @@
+"""Numeric builtins (default absence propagation; type errors → MISSING)."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List
+
+from repro.config import EvalConfig
+from repro.datamodel.values import type_name
+from repro.functions.registry import REGISTRY, builtin
+
+
+def _number_arg(name: str, value: Any) -> Any:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} expects a number, got {type_name(value)}")
+    return value
+
+
+@builtin("ABS", 1, 1)
+def abs_fn(args: List[Any], config: EvalConfig) -> Any:
+    return abs(_number_arg("ABS", args[0]))
+
+
+@builtin("CEIL", 1, 1)
+def ceil(args: List[Any], config: EvalConfig) -> Any:
+    return math.ceil(_number_arg("CEIL", args[0]))
+
+
+REGISTRY.alias("CEIL", "CEILING")
+
+
+@builtin("FLOOR", 1, 1)
+def floor(args: List[Any], config: EvalConfig) -> Any:
+    return math.floor(_number_arg("FLOOR", args[0]))
+
+
+@builtin("ROUND", 1, 2)
+def round_fn(args: List[Any], config: EvalConfig) -> Any:
+    value = _number_arg("ROUND", args[0])
+    if len(args) == 2:
+        digits = args[1]
+        if isinstance(digits, bool) or not isinstance(digits, int):
+            raise TypeError("ROUND digits must be an integer")
+        return round(value, digits)
+    return round(value)
+
+
+@builtin("TRUNC", 1, 1)
+def trunc(args: List[Any], config: EvalConfig) -> Any:
+    return math.trunc(_number_arg("TRUNC", args[0]))
+
+
+@builtin("SIGN", 1, 1)
+def sign(args: List[Any], config: EvalConfig) -> Any:
+    value = _number_arg("SIGN", args[0])
+    if value > 0:
+        return 1
+    if value < 0:
+        return -1
+    return 0
+
+
+@builtin("SQRT", 1, 1)
+def sqrt(args: List[Any], config: EvalConfig) -> Any:
+    value = _number_arg("SQRT", args[0])
+    if value < 0:
+        raise ValueError("SQRT of a negative number")
+    return math.sqrt(value)
+
+
+@builtin("POWER", 2, 2)
+def power(args: List[Any], config: EvalConfig) -> Any:
+    base = _number_arg("POWER", args[0])
+    exponent = _number_arg("POWER", args[1])
+    return base**exponent
+
+
+REGISTRY.alias("POWER", "POW")
+
+
+@builtin("MOD", 2, 2)
+def mod(args: List[Any], config: EvalConfig) -> Any:
+    left = _number_arg("MOD", args[0])
+    right = _number_arg("MOD", args[1])
+    if right == 0:
+        raise ValueError("MOD by zero")
+    return left % right
+
+
+@builtin("EXP", 1, 1)
+def exp(args: List[Any], config: EvalConfig) -> Any:
+    return math.exp(_number_arg("EXP", args[0]))
+
+
+@builtin("LN", 1, 1)
+def ln(args: List[Any], config: EvalConfig) -> Any:
+    value = _number_arg("LN", args[0])
+    if value <= 0:
+        raise ValueError("LN of a non-positive number")
+    return math.log(value)
+
+
+@builtin("LOG10", 1, 1)
+def log10(args: List[Any], config: EvalConfig) -> Any:
+    value = _number_arg("LOG10", args[0])
+    if value <= 0:
+        raise ValueError("LOG10 of a non-positive number")
+    return math.log10(value)
+
+
+@builtin("PI", 0, 0)
+def pi(args: List[Any], config: EvalConfig) -> float:
+    return math.pi

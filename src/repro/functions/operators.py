@@ -1,0 +1,439 @@
+"""Operator semantics: arithmetic, comparison, logic, LIKE, navigation.
+
+This module is the heart of the paper's Section IV: every operator
+encodes where ``MISSING`` values come from and how they propagate.
+
+The three MISSING-producing cases (Section IV-B):
+
+1. *Navigation into a missing attribute* — :func:`navigate_path` returns
+   ``MISSING`` when a tuple lacks the attribute.
+2. *Wrongly-typed inputs* — in permissive mode, ``2 * 'a'`` and friends
+   return ``MISSING`` via :meth:`EvalConfig.type_error`; in strict mode
+   the same call raises.
+3. *MISSING in, MISSING out* — operators receiving MISSING return
+   MISSING, with the SQL-compatibility exception for expressions that map
+   NULL to non-NULL (``AND``/``OR`` absorption, handled in 3-valued
+   logic below; ``COALESCE`` handled in its builtin).
+
+Logic (``AND``/``OR``/``NOT``) treats MISSING like NULL (SQL 3-valued
+logic never yields MISSING from a logical connective — the connectives
+are exactly the SQL expressions that can map NULL to non-NULL).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Optional
+
+from repro.config import EvalConfig
+from repro.datamodel.equality import deep_equals, group_key
+from repro.datamodel.values import (
+    MISSING,
+    Bag,
+    Struct,
+    is_collection,
+    type_name,
+)
+from repro.errors import EvaluationError
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+# =========================================================================
+# Arithmetic
+# =========================================================================
+
+
+def arithmetic(op: str, left: Any, right: Any, config: EvalConfig) -> Any:
+    """``+ - * / %`` with SQL numeric semantics over dynamic types."""
+    if left is MISSING or right is MISSING:
+        return MISSING
+    if left is None or right is None:
+        return None
+    if not _is_number(left) or not _is_number(right):
+        return config.type_error(
+            f"cannot apply {op!r} to {type_name(left)} and {type_name(right)}"
+        )
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            if config.is_permissive:
+                return MISSING
+            raise EvaluationError("division by zero")
+        result = left / right
+        # Exact integer division keeps integer type, so ``6/2`` is the SQL
+        # integer 3 while ``7/2`` is 3.5 (document divergence from SQL's
+        # truncating integer division; the data-centric choice avoids
+        # silent precision loss on heterogeneous data).
+        if isinstance(left, int) and isinstance(right, int) and result == int(result):
+            return int(result)
+        return result
+    if op == "%":
+        if right == 0:
+            if config.is_permissive:
+                return MISSING
+            raise EvaluationError("modulo by zero")
+        return left % right
+    raise EvaluationError(f"unknown arithmetic operator {op!r}")
+
+
+def negate(value: Any, config: EvalConfig) -> Any:
+    """Unary minus."""
+    if value is MISSING:
+        return MISSING
+    if value is None:
+        return None
+    if not _is_number(value):
+        return config.type_error(f"cannot negate {type_name(value)}")
+    return -value
+
+
+def unary_plus(value: Any, config: EvalConfig) -> Any:
+    """Unary plus (checks numericity, returns the value)."""
+    if value is MISSING or value is None:
+        return value
+    if not _is_number(value):
+        return config.type_error(f"cannot apply unary + to {type_name(value)}")
+    return value
+
+
+def concat(left: Any, right: Any, config: EvalConfig) -> Any:
+    """String concatenation ``||`` (also concatenates two arrays)."""
+    if left is MISSING or right is MISSING:
+        return MISSING
+    if left is None or right is None:
+        return None
+    if isinstance(left, str) and isinstance(right, str):
+        return left + right
+    if isinstance(left, list) and isinstance(right, list):
+        return left + right
+    return config.type_error(
+        f"cannot concatenate {type_name(left)} and {type_name(right)}"
+    )
+
+
+# =========================================================================
+# Comparison
+# =========================================================================
+
+
+def equals(left: Any, right: Any, config: EvalConfig) -> Any:
+    """The ``=`` operator.
+
+    SQL equality on scalars and NULL (paper, Section V-B); deep equality
+    on nested values (arrays element-wise, bags as multisets); values of
+    different types are simply not equal, never a type error — equality
+    is total, which is what makes DISTINCT/GROUP BY/set ops well-defined
+    over heterogeneous data.
+    """
+    if left is MISSING or right is MISSING:
+        return MISSING
+    if left is None or right is None:
+        return None
+    return deep_equals(left, right)
+
+
+def not_equals(left: Any, right: Any, config: EvalConfig) -> Any:
+    result = equals(left, right, config)
+    if result is MISSING or result is None:
+        return result
+    return not result
+
+
+_ORDERED_KINDS = ("number", "string", "boolean")
+
+
+def _comparable_kind(value: Any) -> Optional[str]:
+    if isinstance(value, bool):
+        return "boolean"
+    if _is_number(value):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    return None
+
+
+def compare(op: str, left: Any, right: Any, config: EvalConfig) -> Any:
+    """``< <= > >=`` over mutually comparable scalars."""
+    if left is MISSING or right is MISSING:
+        return MISSING
+    if left is None or right is None:
+        return None
+    left_kind = _comparable_kind(left)
+    right_kind = _comparable_kind(right)
+    if left_kind is None or right_kind is None or left_kind != right_kind:
+        return config.type_error(
+            f"cannot compare {type_name(left)} with {type_name(right)}"
+        )
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise EvaluationError(f"unknown comparison operator {op!r}")
+
+
+# =========================================================================
+# Three-valued logic (MISSING behaves as NULL — see module docstring)
+# =========================================================================
+
+
+def _to_truth(value: Any, config: EvalConfig) -> Any:
+    """Normalise a logic operand to True / False / None (unknown)."""
+    if value is MISSING or value is None:
+        return None
+    if isinstance(value, bool):
+        return value
+    result = config.type_error(f"expected a boolean, got {type_name(value)}")
+    return None if result is MISSING else result
+
+
+def logical_and(left: Any, right: Any, config: EvalConfig) -> Any:
+    left_truth = _to_truth(left, config)
+    right_truth = _to_truth(right, config)
+    if left_truth is False or right_truth is False:
+        return False
+    if left_truth is None or right_truth is None:
+        return None
+    return True
+
+
+def logical_or(left: Any, right: Any, config: EvalConfig) -> Any:
+    left_truth = _to_truth(left, config)
+    right_truth = _to_truth(right, config)
+    if left_truth is True or right_truth is True:
+        return True
+    if left_truth is None or right_truth is None:
+        return None
+    return False
+
+
+def logical_not(value: Any, config: EvalConfig) -> Any:
+    truth = _to_truth(value, config)
+    if truth is None:
+        return None
+    return not truth
+
+
+def is_true(value: Any) -> bool:
+    """WHERE/HAVING/ON keep a binding only when the predicate is exactly TRUE."""
+    return value is True
+
+
+# =========================================================================
+# LIKE
+# =========================================================================
+
+
+def like(
+    operand: Any,
+    pattern: Any,
+    escape: Any,
+    config: EvalConfig,
+) -> Any:
+    """SQL ``LIKE`` with ``%``/``_`` wildcards and optional ESCAPE."""
+    if MISSING in (operand, pattern, escape):
+        return MISSING
+    if operand is None or pattern is None:
+        return None
+    if not isinstance(operand, str) or not isinstance(pattern, str):
+        return config.type_error(
+            f"LIKE expects strings, got {type_name(operand)} and "
+            f"{type_name(pattern)}"
+        )
+    escape_char = None
+    if escape is not None:
+        if not isinstance(escape, str) or len(escape) != 1:
+            return config.type_error("ESCAPE must be a single character")
+        escape_char = escape
+    regex = _like_regex(pattern, escape_char)
+    return regex.fullmatch(operand) is not None
+
+
+def _like_regex(pattern: str, escape_char: Optional[str]) -> "re.Pattern[str]":
+    parts = []
+    index = 0
+    while index < len(pattern):
+        char = pattern[index]
+        if escape_char is not None and char == escape_char:
+            index += 1
+            if index >= len(pattern):
+                raise EvaluationError("LIKE pattern ends with escape character")
+            parts.append(re.escape(pattern[index]))
+        elif char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+        index += 1
+    return re.compile("".join(parts), re.DOTALL)
+
+
+# =========================================================================
+# IN / EXISTS / IS
+# =========================================================================
+
+
+def in_collection(operand: Any, collection: Any, config: EvalConfig) -> Any:
+    """``x IN coll`` under 3-valued logic.
+
+    True if some element equals x; unknown (NULL) if no element equals x
+    but some comparison was unknown; else False.
+    """
+    if operand is MISSING or collection is MISSING:
+        return MISSING
+    if collection is None:
+        return None
+    if not is_collection(collection):
+        return config.type_error(
+            f"IN expects a collection, got {type_name(collection)}"
+        )
+    saw_unknown = False
+    for element in collection:
+        verdict = equals(operand, element, config)
+        if verdict is True:
+            return True
+        if verdict is None or verdict is MISSING:
+            saw_unknown = True
+    return None if saw_unknown else False
+
+
+def exists(value: Any, config: EvalConfig) -> Any:
+    """``EXISTS coll`` — non-emptiness; never NULL."""
+    if value is MISSING or value is None:
+        return False
+    if not is_collection(value):
+        return config.type_error(f"EXISTS expects a collection, got {type_name(value)}")
+    return len(value) > 0
+
+
+_TYPE_KIND_NAMES = {
+    "BOOLEAN": "boolean",
+    "BOOL": "boolean",
+    "INTEGER": "integer",
+    "INT": "integer",
+    "FLOAT": "float",
+    "DOUBLE": "float",
+    "STRING": "string",
+    "VARCHAR": "string",
+    "ARRAY": "array",
+    "LIST": "array",
+    "BAG": "bag",
+    "MULTISET": "bag",
+    "TUPLE": "tuple",
+    "STRUCT": "tuple",
+    "OBJECT": "tuple",
+    "NUMBER": "number",
+}
+
+
+def is_predicate(operand: Any, kind: str, config: EvalConfig) -> bool:
+    """``x IS <kind>`` — never errors, never returns NULL.
+
+    ``IS NULL`` is true for NULL and (following PartiQL, for SQL
+    compatibility) also for MISSING; ``IS MISSING`` is true only for
+    MISSING.  Type kinds test the dynamic type.
+    """
+    if kind == "NULL":
+        return operand is None or operand is MISSING
+    if kind == "MISSING":
+        return operand is MISSING
+    if kind == "ABSENT":
+        return operand is None or operand is MISSING
+    expected = _TYPE_KIND_NAMES.get(kind)
+    if expected is None:
+        raise EvaluationError(f"unknown type name in IS: {kind}")
+    if operand is MISSING or operand is None:
+        return False
+    actual = type_name(operand)
+    if expected == "number":
+        return actual in ("integer", "float")
+    return actual == expected
+
+
+# =========================================================================
+# Navigation
+# =========================================================================
+
+
+def navigate_path(base: Any, attr: str, config: EvalConfig) -> Any:
+    """Dot navigation ``base.attr`` (paper, Section IV-B case 1).
+
+    * tuple → the attribute's value, or ``MISSING`` when absent (in both
+      typing modes: an absent attribute is *data*, not a type error);
+    * ``NULL`` → ``NULL``; ``MISSING`` → ``MISSING``;
+    * any other type → a type error (→ MISSING in permissive mode).
+    """
+    if base is MISSING:
+        return MISSING
+    if base is None:
+        return None
+    if isinstance(base, Struct):
+        return base.get(attr)
+    return config.type_error(
+        f"cannot navigate into {type_name(base)} with .{attr}"
+    )
+
+
+def navigate_index(base: Any, index: Any, config: EvalConfig) -> Any:
+    """Bracket navigation ``base[index]``.
+
+    Arrays take integer indexes (0-based; out of range → MISSING in
+    permissive mode); tuples take string keys (same as dot navigation).
+    """
+    if base is MISSING or index is MISSING:
+        return MISSING
+    if base is None or index is None:
+        return None
+    if isinstance(base, list):
+        if isinstance(index, bool) or not isinstance(index, int):
+            return config.type_error(
+                f"array index must be an integer, got {type_name(index)}"
+            )
+        if 0 <= index < len(base):
+            return base[index]
+        return config.type_error(f"array index {index} out of range")
+    if isinstance(base, Struct):
+        if not isinstance(index, str):
+            return config.type_error(
+                f"tuple index must be a string, got {type_name(index)}"
+            )
+        return base.get(index)
+    return config.type_error(f"cannot index into {type_name(base)}")
+
+
+# =========================================================================
+# DISTINCT
+# =========================================================================
+
+
+def distinct_elements(items: Any) -> list:
+    """Remove duplicates under SQL++ deep equality, keeping first occurrence."""
+    seen = set()
+    result = []
+    for item in items:
+        key = group_key(item)
+        if key not in seen:
+            seen.add(key)
+            result.append(item)
+    return result
+
+
+def bag_or_list_elements(value: Any, config: EvalConfig):
+    """Coerce a value to an iterable of elements for set operations."""
+    if isinstance(value, (list, Bag)):
+        return list(value)
+    return config.type_error(
+        f"set operation expects collections, got {type_name(value)}"
+    )

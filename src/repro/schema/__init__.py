@@ -1,0 +1,55 @@
+"""Optional schemas (paper tenet 3: *optional schema and query stability*).
+
+SQL++ never requires a schema, but accepts one: data can be validated
+against it, bare column names can be statically disambiguated through it
+(Section III), and queries can be statically type-checked when it is
+present (Section I, relaxation 2).  Heterogeneity remains expressible
+under schema through union types, mirroring Hive's ``UNIONTYPE``
+(Listing 5).
+
+The *query stability* tenet — "the result of a working query should not
+change if a schema is imposed on existing data" — holds by construction:
+schemas influence validation and static checks only, never evaluation
+(tested property-style in ``tests/schema``).
+"""
+
+from repro.schema.types import (
+    AnyType,
+    ArrayType,
+    BagType,
+    BooleanType,
+    FloatType,
+    IntegerType,
+    NullType,
+    SchemaType,
+    StringType,
+    StructField,
+    StructType,
+    UnionType,
+    element_attribute_names,
+)
+from repro.schema.validate import validate, conforms
+from repro.schema.ddl import parse_schema
+from repro.schema.infer import infer_schema
+from repro.schema.typecheck import check_query
+
+__all__ = [
+    "AnyType",
+    "ArrayType",
+    "BagType",
+    "BooleanType",
+    "FloatType",
+    "IntegerType",
+    "NullType",
+    "SchemaType",
+    "StringType",
+    "StructField",
+    "StructType",
+    "UnionType",
+    "element_attribute_names",
+    "validate",
+    "conforms",
+    "parse_schema",
+    "infer_schema",
+    "check_query",
+]

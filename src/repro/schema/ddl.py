@@ -1,0 +1,212 @@
+"""A small DDL parser for schema types.
+
+Two input shapes are accepted by :func:`parse_schema`:
+
+* a *type expression* in the syntax the types print themselves in::
+
+      BAG<STRUCT<id INT, name STRING, title? STRING NULL,
+                 projects UNIONTYPE<STRING, ARRAY<STRING>>>>
+
+* a Hive-style ``CREATE TABLE`` (paper, Listing 5), which denotes a bag
+  of closed structs::
+
+      CREATE TABLE emp_mixed (
+        id INT,
+        name STRING,
+        title STRING,
+        projects UNIONTYPE<STRING, ARRAY<STRING>>
+      );
+
+Field modifiers: ``name?`` marks the attribute optional (may be absent —
+the MISSING case), a trailing ``NULL`` marks it nullable; ``...`` as the
+last struct member marks the struct open.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.errors import SchemaError
+from repro.schema.types import (
+    AnyType,
+    ArrayType,
+    BagType,
+    BooleanType,
+    FloatType,
+    IntegerType,
+    NullType,
+    SchemaType,
+    StringType,
+    StructField,
+    StructType,
+    UnionType,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<word>[A-Za-z_$][A-Za-z0-9_$]*)"
+    r"|(?P<punct><|>|\(|\)|,|;|\?|\.\.\.))"
+)
+
+_SCALARS = {
+    "BOOLEAN": BooleanType,
+    "BOOL": BooleanType,
+    "INT": IntegerType,
+    "INTEGER": IntegerType,
+    "BIGINT": IntegerType,
+    "SMALLINT": IntegerType,
+    "DOUBLE": FloatType,
+    "FLOAT": FloatType,
+    "REAL": FloatType,
+    "STRING": StringType,
+    "VARCHAR": StringType,
+    "CHAR": StringType,
+    "TEXT": StringType,
+    "NULL": NullType,
+    "ANY": AnyType,
+}
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise SchemaError(f"invalid schema syntax near {remainder[:20]!r}")
+        token = match.group("word") or match.group("punct")
+        tokens.append(token)
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> str:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else ""
+
+    def advance(self) -> str:
+        token = self.peek()
+        if token:
+            self._pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        found = self.advance()
+        if found != token:
+            raise SchemaError(f"expected {token!r} in schema, found {found!r}")
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse_type(self) -> SchemaType:
+        word = self.advance().upper()
+        if word in _SCALARS:
+            return _SCALARS[word]()
+        if word in ("ARRAY", "LIST"):
+            return ArrayType(element=self._angle_single())
+        if word in ("BAG", "MULTISET"):
+            return BagType(element=self._angle_single())
+        if word == "UNIONTYPE":
+            return UnionType(alternatives=tuple(self._angle_many()))
+        if word in ("STRUCT", "TUPLE", "OBJECT"):
+            return self._parse_struct()
+        raise SchemaError(f"unknown type name {word!r}")
+
+    def _angle_single(self) -> SchemaType:
+        self.expect("<")
+        element = self.parse_type()
+        self.expect(">")
+        return element
+
+    def _angle_many(self) -> List[SchemaType]:
+        self.expect("<")
+        alternatives = [self.parse_type()]
+        while self.peek() == ",":
+            self.advance()
+            alternatives.append(self.parse_type())
+        self.expect(">")
+        return alternatives
+
+    def _parse_struct(self) -> StructType:
+        self.expect("<")
+        fields, is_open = self._parse_field_list(">")
+        return StructType(fields=tuple(fields), open=is_open)
+
+    def _parse_field_list(self, closer: str) -> Tuple[List[StructField], bool]:
+        fields: List[StructField] = []
+        is_open = False
+        if self.peek() == closer:
+            self.advance()
+            return fields, is_open
+        while True:
+            if self.peek() == "...":
+                self.advance()
+                is_open = True
+                break
+            fields.append(self._parse_field())
+            if self.peek() == ",":
+                self.advance()
+                continue
+            break
+        self.expect(closer)
+        return fields, is_open
+
+    def _parse_field(self) -> StructField:
+        name = self.advance()
+        if not name or name in ("<", ">", "(", ")", ",", "?"):
+            raise SchemaError(f"expected an attribute name, found {name!r}")
+        optional = False
+        if self.peek() == "?":
+            self.advance()
+            optional = True
+        fld_type = self.parse_type()
+        nullable = False
+        if self.peek().upper() == "NULL":
+            self.advance()
+            nullable = True
+        elif self.peek().upper() == "NOT":
+            self.advance()
+            self.expect_null()
+        return StructField(name=name, type=fld_type, optional=optional, nullable=nullable)
+
+    def expect_null(self) -> None:
+        if self.advance().upper() != "NULL":
+            raise SchemaError("expected NULL after NOT")
+
+
+def parse_schema(text: str) -> SchemaType:
+    """Parse a type expression or a ``CREATE TABLE`` statement."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise SchemaError("empty schema")
+    if tokens[0].upper() == "CREATE":
+        return _parse_create_table(tokens)
+    parser = _Parser(tokens)
+    schema = parser.parse_type()
+    if not parser.at_end():
+        raise SchemaError(f"unexpected trailing schema tokens: {parser.peek()!r}")
+    return schema
+
+
+def _parse_create_table(tokens: List[str]) -> BagType:
+    parser = _Parser(tokens)
+    parser.expect("CREATE")
+    if parser.advance().upper() != "TABLE":
+        raise SchemaError("expected TABLE after CREATE")
+    parser.advance()  # table name (callers pass the name to Database.set_schema)
+    parser.expect("(")
+    fields, is_open = parser._parse_field_list(")")
+    if parser.peek() == ";":
+        parser.advance()
+    if not parser.at_end():
+        raise SchemaError(f"unexpected trailing tokens: {parser.peek()!r}")
+    return BagType(element=StructType(fields=tuple(fields), open=is_open))

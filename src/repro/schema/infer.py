@@ -1,0 +1,143 @@
+"""Schema inference: the tightest schema describing observed data.
+
+Useful for the schema-optional workflow: load schemaless data, infer a
+schema, impose it (query stability guarantees results don't change), and
+from then on get validation and static disambiguation for free.
+
+Inference unifies per-element types: differing scalar types widen to a
+:class:`UnionType` (int/float unify to DOUBLE first); struct fields seen
+in only some elements become *optional*; NULL occurrences make fields
+*nullable* (keeping the paper's NULL/MISSING distinction intact).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.datamodel.values import MISSING, Bag, Struct, type_name
+from repro.errors import SchemaError
+from repro.schema.types import (
+    AnyType,
+    ArrayType,
+    BagType,
+    BooleanType,
+    FloatType,
+    IntegerType,
+    NullType,
+    SchemaType,
+    StringType,
+    StructField,
+    StructType,
+    UnionType,
+)
+
+
+def infer_schema(value: Any) -> SchemaType:
+    """Infer the tightest schema type for a model value."""
+    if value is MISSING:
+        raise SchemaError("cannot infer a schema for MISSING")
+    if value is None:
+        return NullType()
+    if isinstance(value, bool):
+        return BooleanType()
+    if isinstance(value, int):
+        return IntegerType()
+    if isinstance(value, float):
+        return FloatType()
+    if isinstance(value, str):
+        return StringType()
+    if isinstance(value, list):
+        return ArrayType(element=_unify_all(value))
+    if isinstance(value, Bag):
+        return BagType(element=_unify_all(value))
+    if isinstance(value, Struct):
+        fields = []
+        for name in dict.fromkeys(value.keys()):
+            occurrences = value.get_all(name)
+            nullable = any(item is None for item in occurrences)
+            types = [infer_schema(item) for item in occurrences if item is not None]
+            fld_type: SchemaType = _unify_types(types) if types else NullType()
+            fields.append(
+                StructField(name=name, type=fld_type, nullable=nullable)
+            )
+        return StructType(fields=tuple(fields))
+    raise SchemaError(f"cannot infer a schema for {type_name(value)}")
+
+
+def _unify_all(items) -> SchemaType:
+    element_types: List[SchemaType] = []
+    for item in items:
+        if item is MISSING:
+            continue
+        element_types.append(infer_schema(item))
+    if not element_types:
+        return AnyType()
+    return _unify_types(element_types)
+
+
+def _unify_types(types: List[SchemaType]) -> SchemaType:
+    result = types[0]
+    for other in types[1:]:
+        result = unify(result, other)
+    return result
+
+
+def unify(left: SchemaType, right: SchemaType) -> SchemaType:
+    """The least schema type covering both arguments."""
+    if left == right:
+        return left
+    if isinstance(left, AnyType) or isinstance(right, AnyType):
+        return AnyType()
+    # Numeric widening.
+    numeric = (IntegerType, FloatType)
+    if isinstance(left, numeric) and isinstance(right, numeric):
+        return FloatType()
+    if isinstance(left, ArrayType) and isinstance(right, ArrayType):
+        return ArrayType(element=unify(left.element, right.element))
+    if isinstance(left, BagType) and isinstance(right, BagType):
+        return BagType(element=unify(left.element, right.element))
+    if isinstance(left, StructType) and isinstance(right, StructType):
+        return _unify_structs(left, right)
+    alternatives = _union_members(left) + _union_members(right)
+    deduped: List[SchemaType] = []
+    for alternative in alternatives:
+        if alternative not in deduped:
+            deduped.append(alternative)
+    if len(deduped) == 1:
+        return deduped[0]
+    return UnionType(alternatives=tuple(deduped))
+
+
+def _union_members(schema: SchemaType) -> List[SchemaType]:
+    if isinstance(schema, UnionType):
+        return list(schema.alternatives)
+    return [schema]
+
+
+def _unify_structs(left: StructType, right: StructType) -> StructType:
+    by_name: Dict[str, StructField] = {f.name: f for f in left.fields}
+    names = [f.name for f in left.fields]
+    right_names = {f.name for f in right.fields}
+    merged: List[StructField] = []
+    for fld in right.fields:
+        if fld.name not in by_name:
+            names.append(fld.name)
+            by_name[fld.name] = StructField(
+                name=fld.name, type=fld.type, optional=True, nullable=fld.nullable
+            )
+        else:
+            existing = by_name[fld.name]
+            by_name[fld.name] = StructField(
+                name=fld.name,
+                type=unify(existing.type, fld.type),
+                optional=existing.optional or fld.optional,
+                nullable=existing.nullable or fld.nullable,
+            )
+    for name in names:
+        fld = by_name[name]
+        if name not in right_names and not fld.optional:
+            fld = StructField(
+                name=fld.name, type=fld.type, optional=True, nullable=fld.nullable
+            )
+        merged.append(fld)
+    return StructType(fields=tuple(merged), open=left.open or right.open)

@@ -1,0 +1,295 @@
+"""Static type checking of queries against an optional schema.
+
+The paper (Section I, relaxation 2): "Typing rules are dynamically
+checked in SQL++, with the possibility of static type checking when the
+optional schema is present."  This module provides that possibility: a
+conservative checker that walks a *rewritten* (Core) query with a typed
+environment and reports statically-certain problems:
+
+* ``FROM`` ranging over a value the schema proves is not a collection;
+* navigation into an attribute a *closed* struct type cannot have (the
+  error SQL would raise at compile time — Section II notes SQL fails
+  such queries during compilation, SQL++ without schema cannot);
+* arithmetic on values the schema proves non-numeric.
+
+Anything the schema does not pin down types as *unknown* and produces no
+report — absence of schema must never reject a query (tenet 3).
+
+:func:`check_query` returns a list of human-readable findings; an empty
+list means "no static errors found".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.schema.types import (
+    AnyType,
+    ArrayType,
+    BagType,
+    BooleanType,
+    FloatType,
+    IntegerType,
+    NullType,
+    SchemaType,
+    StringType,
+    StructType,
+)
+from repro.syntax import ast
+
+_NUMERIC = (IntegerType, FloatType)
+_SCALAR = (IntegerType, FloatType, StringType, BooleanType)
+
+
+class _Checker:
+    def __init__(self, schemas: Dict[str, SchemaType]):
+        self._schemas = schemas
+        self.findings: List[str] = []
+
+    def report(self, message: str) -> None:
+        self.findings.append(message)
+
+    # -- queries -----------------------------------------------------------
+
+    def check_query(self, query: ast.Query, scope: Dict[str, SchemaType]) -> SchemaType:
+        body = query.body
+        if isinstance(body, ast.QueryBlock):
+            element = self.check_block(body, scope)
+        elif isinstance(body, ast.SetOp):
+            element = self._check_setop(body, scope)
+        else:
+            self.check_expr(body, scope)
+            element = AnyType()
+        if isinstance(element, AnyType):
+            return AnyType()
+        return ArrayType(element=element) if query.order_by else BagType(element=element)
+
+    def _check_setop(self, setop: ast.SetOp, scope: Dict[str, SchemaType]) -> SchemaType:
+        for side in (setop.left, setop.right):
+            if isinstance(side, ast.QueryBlock):
+                self.check_block(side, scope)
+            elif isinstance(side, ast.SetOp):
+                self._check_setop(side, scope)
+            elif isinstance(side, ast.Query):
+                self.check_query(side, scope)
+            else:
+                self.check_expr(side, scope)
+        return AnyType()
+
+    def check_block(
+        self, block: ast.QueryBlock, outer: Dict[str, SchemaType]
+    ) -> SchemaType:
+        scope = dict(outer)
+        for item in block.from_ or []:
+            self._bind_from_item(item, scope)
+        for let in block.lets:
+            scope[let.name] = self.check_expr(let.expr, scope)
+        if block.where is not None:
+            self.check_expr(block.where, scope)
+        if block.group_by is not None:
+            group_scope = dict(outer)
+            for key in block.group_by.keys:
+                group_scope[key.alias] = self.check_expr(key.expr, scope)
+            if block.group_by.group_as:
+                group_scope[block.group_by.group_as] = BagType(element=AnyType())
+            scope = group_scope
+        if block.having is not None:
+            self.check_expr(block.having, scope)
+        select = block.select
+        if isinstance(select, ast.SelectValue):
+            return self.check_expr(select.expr, scope)
+        if isinstance(select, ast.PivotClause):
+            self.check_expr(select.value, scope)
+            self.check_expr(select.at, scope)
+            return AnyType()
+        return AnyType()
+
+    def _bind_from_item(self, item: ast.FromItem, scope: Dict[str, SchemaType]) -> None:
+        if isinstance(item, ast.FromCollection):
+            source = self.check_expr(item.expr, scope)
+            scope[item.alias] = self._element_type(source, item)
+            if item.at_alias:
+                scope[item.at_alias] = IntegerType()
+        elif isinstance(item, ast.FromUnpivot):
+            source = self.check_expr(item.expr, scope)
+            if isinstance(source, _SCALAR + (ArrayType, BagType)):
+                self.report(
+                    f"UNPIVOT over a non-tuple typed {source} "
+                    f"(variable {item.value_alias!r})"
+                )
+            scope[item.value_alias] = AnyType()
+            scope[item.at_alias] = StringType()
+        elif isinstance(item, ast.FromJoin):
+            self._bind_from_item(item.left, scope)
+            self._bind_from_item(item.right, scope)
+            if item.on is not None:
+                self.check_expr(item.on, scope)
+
+    def _element_type(self, source: SchemaType, item: ast.FromCollection) -> SchemaType:
+        if isinstance(source, (ArrayType, BagType)):
+            return source.element
+        if isinstance(source, _SCALAR) or isinstance(source, NullType):
+            self.report(
+                f"FROM ranges over a non-collection typed {source} "
+                f"(variable {item.alias!r})"
+            )
+        return AnyType()
+
+    # -- expressions ---------------------------------------------------------
+
+    def check_expr(
+        self, expr: Optional[ast.Expr], scope: Dict[str, SchemaType]
+    ) -> SchemaType:
+        if expr is None:
+            return AnyType()
+        if isinstance(expr, ast.Literal):
+            return _literal_type(expr.value)
+        if isinstance(expr, ast.VarRef):
+            if expr.name in scope:
+                return scope[expr.name]
+            if expr.name in self._schemas:
+                return self._schemas[expr.name]
+            return AnyType()
+        if isinstance(expr, ast.Path):
+            return self._check_path(expr, scope)
+        if isinstance(expr, ast.Index):
+            base = self.check_expr(expr.base, scope)
+            self.check_expr(expr.index, scope)
+            if isinstance(base, ArrayType):
+                return base.element
+            if isinstance(base, _SCALAR):
+                self.report(f"indexing into a value typed {base}")
+            return AnyType()
+        if isinstance(expr, ast.Binary):
+            return self._check_binary(expr, scope)
+        if isinstance(expr, ast.Unary):
+            operand = self.check_expr(expr.operand, scope)
+            if expr.op in ("-", "+") and isinstance(operand, (StringType, BooleanType)):
+                self.report(f"unary {expr.op} over a value typed {operand}")
+            return operand if expr.op in ("-", "+") else BooleanType()
+        if isinstance(expr, (ast.Like, ast.Between, ast.InPredicate, ast.IsPredicate)):
+            for child in expr.children():
+                if isinstance(child, ast.Expr):
+                    self.check_expr(child, scope)
+            return BooleanType()
+        if isinstance(expr, ast.Exists):
+            self.check_expr(expr.operand, scope)
+            return BooleanType()
+        if isinstance(expr, ast.CaseExpr):
+            for child in expr.children():
+                if isinstance(child, ast.Expr):
+                    self.check_expr(child, scope)
+            return AnyType()
+        if isinstance(expr, ast.FunctionCall):
+            for arg in expr.args:
+                self.check_expr(arg, scope)
+            return AnyType()
+        if isinstance(expr, ast.WindowCall):
+            for child in expr.children():
+                if isinstance(child, ast.Expr):
+                    self.check_expr(child, scope)
+            return AnyType()
+        if isinstance(expr, (ast.SubqueryExpr, ast.CoerceSubquery)):
+            result = self.check_query(expr.query, scope)
+            if isinstance(expr, ast.CoerceSubquery):
+                return AnyType()
+            return result
+        if isinstance(expr, ast.StructLit):
+            for field in expr.fields:
+                self.check_expr(field.key, scope)
+                self.check_expr(field.value, scope)
+            return StructType(open=True)
+        if isinstance(expr, ast.ArrayLit):
+            for item in expr.items:
+                self.check_expr(item, scope)
+            return ArrayType(element=AnyType())
+        if isinstance(expr, ast.BagLit):
+            for item in expr.items:
+                self.check_expr(item, scope)
+            return BagType(element=AnyType())
+        if isinstance(expr, ast.CastExpr):
+            self.check_expr(expr.operand, scope)
+            return AnyType()
+        return AnyType()
+
+    def _check_path(self, expr: ast.Path, scope: Dict[str, SchemaType]) -> SchemaType:
+        # A dotted catalog name is a named value, not navigation.
+        dotted = _dotted_name(expr)
+        if dotted is not None and dotted in self._schemas:
+            return self._schemas[dotted]
+        base = self.check_expr(expr.base, scope)
+        if isinstance(base, StructType):
+            fld = base.field_named(expr.attr)
+            if fld is not None:
+                return fld.type
+            if not base.open:
+                self.report(
+                    f"navigation .{expr.attr} into a closed struct that "
+                    f"declares no such attribute"
+                )
+            return AnyType()
+        if isinstance(base, _SCALAR) or isinstance(base, (ArrayType, BagType)):
+            self.report(f"navigation .{expr.attr} into a value typed {base}")
+        return AnyType()
+
+    def _check_binary(self, expr: ast.Binary, scope: Dict[str, SchemaType]) -> SchemaType:
+        left = self.check_expr(expr.left, scope)
+        right = self.check_expr(expr.right, scope)
+        if expr.op in ("+", "-", "*", "/", "%"):
+            for side in (left, right):
+                if isinstance(side, (StringType, BooleanType)) or isinstance(
+                    side, (ArrayType, BagType, StructType)
+                ):
+                    self.report(
+                        f"arithmetic {expr.op} over a value typed {side}"
+                    )
+            if isinstance(left, _NUMERIC) and isinstance(right, _NUMERIC):
+                if isinstance(left, FloatType) or isinstance(right, FloatType):
+                    return FloatType()
+                return IntegerType()
+            return AnyType()
+        if expr.op == "||":
+            for side in (left, right):
+                if isinstance(side, (_NUMERIC) + (BooleanType,)):
+                    self.report(f"|| over a value typed {side}")
+            return StringType()
+        return BooleanType()
+
+
+def _literal_type(value) -> SchemaType:
+    from repro.datamodel.values import MISSING
+
+    if value is MISSING or value is None:
+        return AnyType() if value is MISSING else NullType()
+    if isinstance(value, bool):
+        return BooleanType()
+    if isinstance(value, int):
+        return IntegerType()
+    if isinstance(value, float):
+        return FloatType()
+    if isinstance(value, str):
+        return StringType()
+    return AnyType()
+
+
+def _dotted_name(expr: ast.Expr) -> Optional[str]:
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.Path):
+        base = _dotted_name(expr.base)
+        if base is not None:
+            return f"{base}.{expr.attr}"
+    return None
+
+
+def check_query(
+    query: ast.Query, schemas: Dict[str, SchemaType]
+) -> List[str]:
+    """Statically check a (rewritten) query; returns finding messages.
+
+    Pass the output of :meth:`repro.catalog.Database.compile` together
+    with the database's registered schemas.
+    """
+    checker = _Checker(schemas)
+    checker.check_query(query, scope={})
+    return checker.findings

@@ -1,0 +1,158 @@
+"""The schema type language.
+
+A :class:`SchemaType` describes sets of SQL++ values:
+
+* scalars — :class:`BooleanType`, :class:`IntegerType`, :class:`FloatType`,
+  :class:`StringType`;
+* :class:`NullType` — only NULL (usually used inside unions);
+* collections — :class:`ArrayType`, :class:`BagType` with an element type;
+* :class:`StructType` — named fields, each possibly *optional* (may be
+  missing — the schema-level counterpart of the MISSING value) and/or
+  *nullable*; structs may be *open* (extra attributes allowed) or closed;
+* :class:`UnionType` — any of several alternatives, the Hive
+  ``UNIONTYPE`` of paper Listing 5;
+* :class:`AnyType` — no constraint (the schemaless default).
+
+Types are immutable dataclasses and print in the DDL syntax accepted by
+:func:`repro.schema.ddl.parse_schema`, so ``parse_schema(str(t)) == t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class SchemaType:
+    """Base class of all schema types."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden everywhere
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AnyType(SchemaType):
+    """Matches every value, including MISSING field values."""
+
+    def __str__(self) -> str:
+        return "ANY"
+
+
+@dataclass(frozen=True)
+class BooleanType(SchemaType):
+    def __str__(self) -> str:
+        return "BOOLEAN"
+
+
+@dataclass(frozen=True)
+class IntegerType(SchemaType):
+    def __str__(self) -> str:
+        return "INT"
+
+
+@dataclass(frozen=True)
+class FloatType(SchemaType):
+    """Matches floats and (being a numeric supertype) integers too."""
+
+    def __str__(self) -> str:
+        return "DOUBLE"
+
+
+@dataclass(frozen=True)
+class StringType(SchemaType):
+    def __str__(self) -> str:
+        return "STRING"
+
+
+@dataclass(frozen=True)
+class NullType(SchemaType):
+    """Matches only NULL; useful as a union alternative."""
+
+    def __str__(self) -> str:
+        return "NULL"
+
+
+@dataclass(frozen=True)
+class ArrayType(SchemaType):
+    element: SchemaType = field(default_factory=AnyType)
+
+    def __str__(self) -> str:
+        return f"ARRAY<{self.element}>"
+
+
+@dataclass(frozen=True)
+class BagType(SchemaType):
+    element: SchemaType = field(default_factory=AnyType)
+
+    def __str__(self) -> str:
+        return f"BAG<{self.element}>"
+
+
+@dataclass(frozen=True)
+class StructField:
+    """One field of a struct type.
+
+    ``optional`` — the attribute may be absent entirely (MISSING-style);
+    ``nullable`` — the attribute may be present with a NULL value.  The
+    two are independent, mirroring the paper's NULL/MISSING distinction
+    at the schema level (Section IV-A).
+    """
+
+    name: str
+    type: SchemaType
+    optional: bool = False
+    nullable: bool = False
+
+    def __str__(self) -> str:
+        suffix = ""
+        if self.optional:
+            suffix += "?"
+        rendered = f"{self.name}{suffix} {self.type}"
+        if self.nullable:
+            rendered += " NULL"
+        return rendered
+
+
+@dataclass(frozen=True)
+class StructType(SchemaType):
+    """A tuple type.  ``open`` structs allow undeclared attributes."""
+
+    fields: Tuple[StructField, ...] = ()
+    open: bool = False
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(f) for f in self.fields)
+        if self.open:
+            inner = inner + ", ..." if inner else "..."
+        return f"STRUCT<{inner}>"
+
+    def field_named(self, name: str) -> Optional[StructField]:
+        for fld in self.fields:
+            if fld.name == name:
+                return fld
+        return None
+
+    def attribute_names(self) -> Set[str]:
+        return {fld.name for fld in self.fields}
+
+
+@dataclass(frozen=True)
+class UnionType(SchemaType):
+    """Any one of several alternatives (Hive UNIONTYPE, paper Listing 5)."""
+
+    alternatives: Tuple[SchemaType, ...] = ()
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(alt) for alt in self.alternatives)
+        return f"UNIONTYPE<{inner}>"
+
+
+def element_attribute_names(schema: SchemaType) -> Optional[Set[str]]:
+    """The attribute names of a collection-of-structs schema, if that is
+    what the schema describes (used for bare-column disambiguation)."""
+    if isinstance(schema, (ArrayType, BagType)):
+        element = schema.element
+        if isinstance(element, StructType):
+            return element.attribute_names()
+    return None

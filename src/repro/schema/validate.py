@@ -1,0 +1,123 @@
+"""Validation of values against schema types."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datamodel.values import MISSING, Bag, Struct, type_name
+from repro.errors import SchemaError
+from repro.schema.types import (
+    AnyType,
+    ArrayType,
+    BagType,
+    BooleanType,
+    FloatType,
+    IntegerType,
+    NullType,
+    SchemaType,
+    StringType,
+    StructType,
+    UnionType,
+)
+
+
+def validate(value: Any, schema: SchemaType, path: str = "$") -> None:
+    """Raise :class:`SchemaError` when ``value`` does not match ``schema``.
+
+    The error message names the path to the offending value
+    (``hr.emp[3].projects[0]`` style) for diagnosability.
+    """
+    if isinstance(schema, AnyType):
+        return
+    if value is MISSING:
+        raise SchemaError(f"{path}: MISSING value where {schema} expected")
+    if isinstance(schema, UnionType):
+        # Unions must be tried before the generic NULL rejection: an
+        # alternative may be NULL itself.
+        errors = []
+        for alternative in schema.alternatives:
+            try:
+                validate(value, alternative, path)
+                return
+            except SchemaError as exc:
+                errors.append(str(exc))
+        raise SchemaError(
+            f"{path}: value matches no alternative of {schema} "
+            f"({'; '.join(errors)})"
+        )
+    if isinstance(schema, NullType):
+        if value is not None:
+            raise SchemaError(f"{path}: expected NULL, got {type_name(value)}")
+        return
+    if value is None:
+        raise SchemaError(f"{path}: NULL where {schema} expected")
+    if isinstance(schema, BooleanType):
+        if not isinstance(value, bool):
+            raise SchemaError(f"{path}: expected BOOLEAN, got {type_name(value)}")
+        return
+    if isinstance(schema, IntegerType):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise SchemaError(f"{path}: expected INT, got {type_name(value)}")
+        return
+    if isinstance(schema, FloatType):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SchemaError(f"{path}: expected DOUBLE, got {type_name(value)}")
+        return
+    if isinstance(schema, StringType):
+        if not isinstance(value, str):
+            raise SchemaError(f"{path}: expected STRING, got {type_name(value)}")
+        return
+    if isinstance(schema, ArrayType):
+        if not isinstance(value, list):
+            raise SchemaError(f"{path}: expected ARRAY, got {type_name(value)}")
+        for index, item in enumerate(value):
+            validate(item, schema.element, f"{path}[{index}]")
+        return
+    if isinstance(schema, BagType):
+        # A bag type accepts arrays too: any array's elements form a
+        # valid bag, and top-level collections loaded from JSON/Python
+        # lists arrive as arrays (order just carries no meaning).
+        if not isinstance(value, (Bag, list)):
+            raise SchemaError(f"{path}: expected BAG, got {type_name(value)}")
+        for index, item in enumerate(value):
+            validate(item, schema.element, f"{path}[{index}]")
+        return
+    if isinstance(schema, StructType):
+        _validate_struct(value, schema, path)
+        return
+    raise SchemaError(f"unknown schema type {type(schema).__name__}")
+
+
+def _validate_struct(value: Any, schema: StructType, path: str) -> None:
+    if not isinstance(value, Struct):
+        raise SchemaError(f"{path}: expected STRUCT, got {type_name(value)}")
+    declared = schema.attribute_names()
+    for fld in schema.fields:
+        occurrences = value.get_all(fld.name)
+        if not occurrences:
+            if not fld.optional:
+                raise SchemaError(f"{path}.{fld.name}: required attribute missing")
+            continue
+        for item in occurrences:
+            if item is None:
+                if not fld.nullable:
+                    raise SchemaError(
+                        f"{path}.{fld.name}: NULL in a non-nullable attribute"
+                    )
+                continue
+            validate(item, fld.type, f"{path}.{fld.name}")
+    if not schema.open:
+        for name in value.keys():
+            if name not in declared:
+                raise SchemaError(
+                    f"{path}.{name}: undeclared attribute in a closed struct"
+                )
+
+
+def conforms(value: Any, schema: SchemaType) -> bool:
+    """Boolean form of :func:`validate`."""
+    try:
+        validate(value, schema)
+    except SchemaError:
+        return False
+    return True

@@ -1,0 +1,31 @@
+"""Syntactic analysis for SQL++: lexer, AST, parser and printer.
+
+The grammar covers the full language described in the paper:
+
+* ``SELECT`` / ``SELECT VALUE`` (with the ``SELECT ELEMENT`` synonym),
+  writable at the start *or* the end of a query block (Section V-B);
+* ``FROM`` with left-correlation, ``AS``/``AT`` binding variables,
+  ``UNNEST`` sugar, ``INNER``/``LEFT``/``CROSS JOIN ... ON`` and
+  ``UNPIVOT`` items (Sections III and VI-A);
+* ``LET``, ``WHERE``, ``GROUP BY ... GROUP AS``, ``HAVING``,
+  ``ORDER BY`` / ``LIMIT`` / ``OFFSET`` (Section V-B);
+* ``PIVOT ... AT ... FROM ...`` queries (Section VI-B);
+* set operations ``UNION``/``INTERSECT``/``EXCEPT`` with ``ALL``;
+* subqueries anywhere an expression may appear (Section V-A), struct,
+  array and bag constructors (both ``<< >>`` and the paper's ``{{ }}``),
+  ``CASE``, ``LIKE``/``IN``/``BETWEEN``/``IS``, window functions
+  (``OVER``) and ``CUBE``/``ROLLUP``/``GROUPING SETS``.
+"""
+
+from repro.syntax.lexer import Lexer, tokenize
+from repro.syntax.parser import Parser, parse, parse_expression
+from repro.syntax.printer import print_ast
+
+__all__ = [
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse",
+    "parse_expression",
+    "print_ast",
+]

@@ -1,0 +1,531 @@
+"""Abstract syntax tree for SQL++.
+
+All nodes are dataclasses deriving from :class:`Node`.  The tree is
+deliberately close to the surface language; the rewriter
+(:mod:`repro.core.rewriter`) transforms SQL-sugar forms (plain ``SELECT``
+lists, SQL aggregate calls, implicit grouping, subquery coercion hints)
+into SQL++ Core forms (``SELECT VALUE``, ``COLL_*`` over ``GROUP AS``
+groups) before evaluation, exactly as the paper describes SQL being
+"syntactic sugar" over the Core (Section I).
+
+Generic traversal: :meth:`Node.children` yields child nodes and
+:meth:`Node.transform` rebuilds a node bottom-up through a callback, both
+derived automatically from dataclass fields, so rewrite passes stay short.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    """Base class of every AST node."""
+
+    def children(self) -> Iterator["Node"]:
+        """Yield every direct child node (recursing into lists/tuples)."""
+        for fld in dataclasses.fields(self):
+            yield from _nodes_in(getattr(self, fld.name))
+
+    def walk(self) -> Iterator["Node"]:
+        """Yield this node and every descendant, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def transform(self, fn: Callable[["Node"], "Node"]) -> "Node":
+        """Rebuild the tree bottom-up, applying ``fn`` to every node.
+
+        Children are transformed first, then ``fn`` is applied to the
+        (possibly rebuilt) node itself.  Nodes are never mutated in place;
+        untouched subtrees are shared.
+        """
+        changes = {}
+        for fld in dataclasses.fields(self):
+            old = getattr(self, fld.name)
+            new = _transform_value(old, fn)
+            if new is not old:
+                changes[fld.name] = new
+        node = dataclasses.replace(self, **changes) if changes else self
+        return fn(node)
+
+
+def _nodes_in(value: Any) -> Iterator[Node]:
+    if isinstance(value, Node):
+        yield value
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _nodes_in(item)
+
+
+def _transform_value(value: Any, fn: Callable[[Node], Node]) -> Any:
+    if isinstance(value, Node):
+        return value.transform(fn)
+    if isinstance(value, list):
+        new_items = [_transform_value(item, fn) for item in value]
+        if all(new is old for new, old in zip(new_items, value)):
+            return value
+        return new_items
+    if isinstance(value, tuple):
+        new_items = tuple(_transform_value(item, fn) for item in value)
+        if all(new is old for new, old in zip(new_items, value)):
+            return value
+        return new_items
+    return value
+
+
+# =========================================================================
+# Expressions
+# =========================================================================
+
+
+@dataclass
+class Expr(Node):
+    """Base class of expression nodes."""
+
+
+@dataclass
+class Literal(Expr):
+    """A scalar literal, ``NULL`` (value None) or ``MISSING``.
+
+    ``MISSING`` is represented by the data-model singleton as the value.
+    """
+
+    value: Any
+
+
+@dataclass
+class VarRef(Expr):
+    """A bare name.
+
+    Resolved at evaluation time against the binding environment first and
+    the database catalog second (names may be dotted via :class:`Path`,
+    e.g. ``hr.emp``, matching the paper's namespaced named values).
+    """
+
+    name: str
+
+
+@dataclass
+class Path(Expr):
+    """Dot navigation ``base.attr`` (``attr`` is the literal name)."""
+
+    base: Expr
+    attr: str
+
+
+@dataclass
+class Index(Expr):
+    """Bracket navigation ``base[index]``."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class PathWildcard(Expr):
+    """A deep-path step: ``base[*]`` or ``base.*``.
+
+    An extension shared by the SQL++ dialects (PartiQL path wildcards):
+    ``e.projects[*].name`` evaluates to the collection of ``.name``
+    navigations over the elements of ``e.projects``.  ``kind`` is
+    ``'values'`` for ``[*]`` (elements of a collection) or ``'attrs'``
+    for ``.*`` (attribute values of a tuple).  Path steps *after* a
+    wildcard apply per element, which the parser expresses by nesting:
+    the wildcard node's ``steps`` records the trailing navigation.
+    """
+
+    base: Expr
+    kind: str
+    steps: List["PathStep"] = field(default_factory=list)
+
+
+@dataclass
+class PathStep(Node):
+    """One trailing navigation step after a path wildcard.
+
+    ``attr`` is set for ``.name`` steps; ``index`` for ``[i]`` steps;
+    ``wildcard`` for a further ``[*]``/``.*`` (flattening one level).
+    """
+
+    attr: Optional[str] = None
+    index: Optional[Expr] = None
+    wildcard: Optional[str] = None
+
+
+@dataclass
+class StructField(Node):
+    """One ``key : value`` entry of a struct constructor.
+
+    ``key`` is an expression: string literals and bare identifiers parse
+    to :class:`Literal` strings; computed keys are allowed (PIVOT-style
+    construction).
+    """
+
+    key: Expr
+    value: Expr
+
+
+@dataclass
+class StructLit(Expr):
+    """A struct (tuple) constructor ``{ k1: v1, ... }``."""
+
+    fields: List[StructField]
+
+
+@dataclass
+class ArrayLit(Expr):
+    """An array constructor ``[ e1, ... ]``."""
+
+    items: List[Expr]
+
+
+@dataclass
+class BagLit(Expr):
+    """A bag constructor ``<< e1, ... >>`` or ``{{ e1, ... }}``."""
+
+    items: List[Expr]
+
+
+@dataclass
+class Unary(Expr):
+    """Unary operator: ``-``, ``+`` or ``NOT``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    """Binary operator.
+
+    ``op`` is one of ``OR AND = != < <= > >= || + - * / %``.
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class IsPredicate(Expr):
+    """``expr IS [NOT] NULL | MISSING | <typename>``."""
+
+    operand: Expr
+    kind: str  # 'NULL', 'MISSING', or a type name like 'INTEGER'
+    negated: bool = False
+
+
+@dataclass
+class Like(Expr):
+    """``expr [NOT] LIKE pattern [ESCAPE esc]``."""
+
+    operand: Expr
+    pattern: Expr
+    escape: Optional[Expr] = None
+    negated: bool = False
+
+
+@dataclass
+class Between(Expr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass
+class InPredicate(Expr):
+    """``expr [NOT] IN rhs`` where rhs is a collection or subquery."""
+
+    operand: Expr
+    collection: Expr
+    negated: bool = False
+
+
+@dataclass
+class Exists(Expr):
+    """``EXISTS expr`` — true when the collection is non-empty."""
+
+    operand: Expr
+
+
+@dataclass
+class CaseExpr(Expr):
+    """Simple or searched ``CASE``.
+
+    ``operand`` is None for the searched form (``CASE WHEN cond ...``).
+    """
+
+    operand: Optional[Expr]
+    whens: List[Tuple[Expr, Expr]]
+    else_: Optional[Expr] = None
+
+
+@dataclass
+class FunctionCall(Expr):
+    """A (possibly aggregate) function call.
+
+    ``star`` marks ``COUNT(*)``; ``distinct`` marks ``COUNT(DISTINCT x)``
+    etc.  Whether the name denotes a SQL aggregate (``AVG``), a composable
+    Core aggregate (``COLL_AVG``) or a scalar function is decided by the
+    function registry, not the parser.
+    """
+
+    name: str
+    args: List[Expr]
+    distinct: bool = False
+    star: bool = False
+
+
+@dataclass
+class OrderItem(Node):
+    """One ``ORDER BY`` key."""
+
+    expr: Expr
+    desc: bool = False
+    nulls_first: Optional[bool] = None  # None = SQL default (first if ASC)
+
+
+@dataclass
+class WindowSpec(Node):
+    """The ``OVER (PARTITION BY ... ORDER BY ...)`` specification."""
+
+    partition_by: List[Expr] = field(default_factory=list)
+    order_by: List[OrderItem] = field(default_factory=list)
+
+
+@dataclass
+class WindowCall(Expr):
+    """``fn(args) OVER (window-spec)``."""
+
+    call: FunctionCall
+    spec: WindowSpec
+
+
+@dataclass
+class SubqueryExpr(Expr):
+    """A parenthesised query used as an expression.
+
+    ``coercion`` records the syntactic context for SQL-compatibility-mode
+    coercion of plain-``SELECT`` subqueries (paper, Section V-A):
+
+    * ``'scalar'`` — comparison/arithmetic position: coerce the singleton
+      collection of a single-attribute tuple to that scalar;
+    * ``'collection'`` — right-hand side of ``IN``: coerce a collection of
+      single-attribute tuples to a collection of values;
+    * ``None`` — no coercion (e.g. a FROM source or a SELECT VALUE body).
+
+    The rewriter turns these hints into explicit coercion nodes only when
+    SQL-compatibility mode is on; ``SELECT VALUE`` subqueries are never
+    coerced.
+    """
+
+    query: "Query"
+    coercion: Optional[str] = None
+
+
+@dataclass
+class CoerceSubquery(Expr):
+    """Explicit coercion inserted by the rewriter in SQL-compat mode."""
+
+    query: "Query"
+    mode: str  # 'scalar' or 'collection'
+
+
+@dataclass
+class Parameter(Expr):
+    """A positional ``?`` parameter."""
+
+    index: int
+
+
+@dataclass
+class CastExpr(Expr):
+    """``CAST(expr AS typename)``."""
+
+    operand: Expr
+    type_name: str
+
+
+# =========================================================================
+# Query blocks and clauses
+# =========================================================================
+
+
+@dataclass
+class FromItem(Node):
+    """Base class of FROM-clause items."""
+
+
+@dataclass
+class FromCollection(FromItem):
+    """``expr AS var [AT posvar]`` — range over a collection.
+
+    The FROM variable binds to *any* kind of value, not just tuples
+    (paper, Section III-A).  ``expr`` may refer to variables bound by
+    earlier items in the same FROM clause (left-correlation).
+    """
+
+    expr: Expr
+    alias: str
+    at_alias: Optional[str] = None
+
+
+@dataclass
+class FromUnpivot(FromItem):
+    """``UNPIVOT expr AS valuevar AT namevar`` (paper, Section VI-A).
+
+    Ranges over the attribute name/value pairs of a tuple, binding
+    ``valuevar`` to the value and ``namevar`` to the attribute name.
+    """
+
+    expr: Expr
+    value_alias: str
+    at_alias: str
+
+
+@dataclass
+class FromJoin(FromItem):
+    """Explicit ``JOIN`` syntax between two FROM items.
+
+    ``kind`` is ``'INNER'``, ``'LEFT'`` or ``'CROSS'``.  ``on`` is None
+    for CROSS joins.  ``lateral`` unnesting is expressed by the right
+    side's expression referring to left-side variables, same as comma
+    items (UNNEST sugar parses to this shape too).
+    """
+
+    left: FromItem
+    right: FromItem
+    kind: str
+    on: Optional[Expr] = None
+
+
+@dataclass
+class LetBinding(Node):
+    """``LET name = expr`` — extends the current bindings."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass
+class GroupKey(Node):
+    """One ``GROUP BY`` key with its binding alias."""
+
+    expr: Expr
+    alias: str
+
+
+@dataclass
+class GroupByClause(Node):
+    """``GROUP BY keys [GROUP AS gvar]``.
+
+    ``mode`` is ``'simple'``, ``'rollup'``, ``'cube'`` or ``'sets'``; for
+    ``'sets'``, ``grouping_sets`` lists index-tuples into ``keys``.
+    ``group_as`` exposes each group's content as a collection of tuples of
+    the input bindings (paper, Section V-B).
+    """
+
+    keys: List[GroupKey]
+    group_as: Optional[str] = None
+    mode: str = "simple"
+    grouping_sets: Optional[List[List[int]]] = None
+
+
+@dataclass
+class SelectItem(Node):
+    """One projection item of a sugar ``SELECT`` list.
+
+    ``alias`` None means the output name is inferred from the expression
+    (last path step / variable name) or positionally (``_1``, ``_2``...).
+    ``star`` marks ``v.*`` items, which splice a tuple's attributes.
+    """
+
+    expr: Expr
+    alias: Optional[str] = None
+    star: bool = False
+
+
+@dataclass
+class SelectClause(Node):
+    """Base class of the SELECT-position clauses."""
+
+
+@dataclass
+class SelectValue(SelectClause):
+    """Core ``SELECT VALUE expr`` — outputs the bare value per binding."""
+
+    expr: Expr
+    distinct: bool = False
+
+
+@dataclass
+class SelectList(SelectClause):
+    """Sugar ``SELECT e1 AS a1, ...`` — rewritten to ``SELECT VALUE {...}``."""
+
+    items: List[SelectItem]
+    distinct: bool = False
+
+
+@dataclass
+class SelectStar(SelectClause):
+    """Sugar ``SELECT *`` — splices every in-scope binding's attributes."""
+
+    distinct: bool = False
+
+
+@dataclass
+class PivotClause(SelectClause):
+    """``PIVOT value_expr AT name_expr`` — constructs a single tuple from
+    the binding stream (paper, Section VI-B)."""
+
+    value: Expr
+    at: Expr
+
+
+@dataclass
+class QueryBlock(Node):
+    """A single SELECT/FROM/WHERE/GROUP BY/HAVING block.
+
+    ``select_first`` records only the surface clause order (SQL++ allows
+    the SELECT clause at either end, Section V-B); semantics are
+    identical.
+    """
+
+    select: SelectClause
+    from_: Optional[List[FromItem]] = None
+    lets: List[LetBinding] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: Optional[GroupByClause] = None
+    having: Optional[Expr] = None
+    select_first: bool = True
+
+
+@dataclass
+class SetOp(Node):
+    """``left UNION|INTERSECT|EXCEPT [ALL] right`` over query bodies."""
+
+    op: str
+    all: bool
+    left: Node  # QueryBlock | SetOp | Query
+    right: Node
+
+
+@dataclass
+class Query(Node):
+    """A full query: a body plus the post-SELECT clauses.
+
+    ``body`` is a :class:`QueryBlock`, :class:`SetOp` or a bare
+    :class:`Expr` (SQL++ is an expression language: ``SELECT VALUE 1`` and
+    ``1 + 1`` are both valid queries).
+    """
+
+    body: Node
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[Expr] = None
+    offset: Optional[Expr] = None

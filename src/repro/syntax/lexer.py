@@ -1,0 +1,190 @@
+"""A hand-written lexer for SQL++.
+
+Produces a list of :class:`~repro.syntax.tokens.Token`.  Notable choices:
+
+* Keywords are case-insensitive and normalised to uppercase; identifiers
+  keep the case they were written in.
+* ``'...'`` is a string literal with ``''`` as the embedded-quote escape
+  (SQL style); ``"..."`` is a delimited identifier (used by the paper for
+  reserved-word attribute names such as ``c."date"``).
+* ``<<`` / ``>>`` lex as digraph tokens (bag constructors); ``{{`` does
+  *not* — braces always lex individually so that ``}}}`` closes a struct
+  inside a bag correctly, and the parser pairs adjacent braces itself.
+* Comments: ``-- line`` and ``/* block */``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LexError
+from repro.syntax.tokens import (
+    EOF,
+    IDENT,
+    KEYWORD,
+    KEYWORDS,
+    NUMBER,
+    PUNCT,
+    PUNCT_DIGRAPHS,
+    PUNCT_SINGLE,
+    QUOTED_IDENT,
+    STRING,
+    Token,
+)
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$"
+)
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+
+class Lexer:
+    """Single-pass lexer over a SQL++ source string."""
+
+    def __init__(self, source: str):
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> List[Token]:
+        """Lex the whole input, returning tokens terminated by EOF."""
+        tokens: List[Token] = []
+        while True:
+            self._skip_trivia()
+            if self._pos >= len(self._source):
+                tokens.append(Token(EOF, None, self._line, self._column))
+                return tokens
+            tokens.append(self._next_token())
+
+    # -- internals ---------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index < len(self._source):
+            return self._source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self._source[self._pos : self._pos + count]
+        for char in text:
+            if char == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return text
+
+    def _skip_trivia(self) -> None:
+        while self._pos < len(self._source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "-" and self._peek(1) == "-":
+                while self._pos < len(self._source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            else:
+                return
+
+    def _skip_block_comment(self) -> None:
+        start_line, start_col = self._line, self._column
+        self._advance(2)
+        while self._pos < len(self._source):
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return
+            self._advance()
+        raise LexError("unterminated block comment", start_line, start_col)
+
+    def _next_token(self) -> Token:
+        line, column = self._line, self._column
+        char = self._peek()
+
+        if char in _IDENT_START:
+            return self._lex_word(line, column)
+        if char in _DIGITS or (char == "." and self._peek(1) in _DIGITS):
+            return self._lex_number(line, column)
+        if char == "'":
+            return Token(STRING, self._lex_quoted("'", line, column), line, column)
+        if char == '"':
+            return Token(
+                QUOTED_IDENT, self._lex_quoted('"', line, column), line, column
+            )
+        if char == "`":
+            # Backquoted identifiers (AsterixDB style) are accepted too.
+            return Token(
+                QUOTED_IDENT, self._lex_quoted("`", line, column), line, column
+            )
+        two = self._source[self._pos : self._pos + 2]
+        if two in PUNCT_DIGRAPHS:
+            self._advance(2)
+            return Token(PUNCT, two, line, column)
+        if char in PUNCT_SINGLE:
+            self._advance()
+            return Token(PUNCT, char, line, column)
+        raise LexError(f"unexpected character {char!r}", line, column)
+
+    def _lex_word(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._source) and self._peek() in _IDENT_CONT:
+            self._advance()
+        text = self._source[start : self._pos]
+        upper = text.upper()
+        if upper in KEYWORDS:
+            return Token(KEYWORD, upper, line, column)
+        return Token(IDENT, text, line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self._pos
+        is_float = False
+        while self._peek() in _DIGITS:
+            self._advance()
+        if self._peek() == "." and self._peek(1) in _DIGITS:
+            is_float = True
+            self._advance()
+            while self._peek() in _DIGITS:
+                self._advance()
+        elif self._peek() == "." and self._peek(1) not in _IDENT_START:
+            # "1." style float, but not "1.x" which is a path over a number
+            # (a type error at runtime, still lexically a path).
+            is_float = True
+            self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1) in _DIGITS
+            or (self._peek(1) in "+-" and self._peek(2) in _DIGITS)
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek() in _DIGITS:
+                self._advance()
+        text = self._source[start : self._pos]
+        value = float(text) if is_float else int(text)
+        return Token(NUMBER, value, line, column)
+
+    def _lex_quoted(self, quote: str, line: int, column: int) -> str:
+        self._advance()  # opening quote
+        parts: List[str] = []
+        while True:
+            if self._pos >= len(self._source):
+                raise LexError("unterminated quoted literal", line, column)
+            char = self._peek()
+            if char == quote:
+                if self._peek(1) == quote:
+                    parts.append(quote)
+                    self._advance(2)
+                    continue
+                self._advance()
+                return "".join(parts)
+            parts.append(char)
+            self._advance()
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex ``source`` into a token list (convenience wrapper)."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,903 @@
+"""A recursive-descent parser for SQL++.
+
+Entry points: :func:`parse` (one query), :func:`parse_script`
+(semicolon-separated queries) and :func:`parse_expression` (a bare
+expression, used by the schema and test tooling).
+
+The parser builds surface-level AST: plain ``SELECT`` lists, SQL aggregate
+calls and subqueries stay as written; the rewriter later lowers them onto
+the SQL++ Core.  Both clause orders are accepted — ``SELECT`` first (SQL
+style) or last (pipeline style, paper Section V-B) — as is the ``PIVOT``
+query form of Section VI-B.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.datamodel.values import MISSING
+from repro.syntax import ast
+from repro.syntax.lexer import tokenize
+from repro.syntax.tokens import (
+    EOF,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    PUNCT,
+    QUOTED_IDENT,
+    STRING,
+    Token,
+)
+
+_COMPARISON_OPS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+_QUERY_START_KEYWORDS = ("SELECT", "FROM", "PIVOT")
+
+
+class Parser:
+    """Parses a token stream into AST nodes."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+        self._param_count = 0
+
+    # ------------------------------------------------------------------
+    # Token-stream helpers
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type != EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(
+            f"{message}, found {token.describe()}", token.line, token.column
+        )
+
+    def _accept_keyword(self, *words: str) -> Optional[Token]:
+        if self._peek().is_keyword(*words):
+            return self._advance()
+        return None
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._accept_keyword(word)
+        if token is None:
+            raise self._error(f"expected {word}")
+        return token
+
+    def _accept_punct(self, *texts: str) -> Optional[Token]:
+        if self._peek().is_punct(*texts):
+            return self._advance()
+        return None
+
+    def _expect_punct(self, text: str) -> Token:
+        token = self._accept_punct(text)
+        if token is None:
+            raise self._error(f"expected {text!r}")
+        return token
+
+    def _expect_identifier(self, what: str = "identifier") -> str:
+        token = self._peek()
+        if token.type in (IDENT, QUOTED_IDENT):
+            self._advance()
+            return token.value
+        raise self._error(f"expected {what}")
+
+    def _at_query_start(self, offset: int = 0) -> bool:
+        return self._peek(offset).is_keyword(*_QUERY_START_KEYWORDS)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def parse_query(self) -> ast.Query:
+        """Parse a single complete query and require end of input."""
+        query = self._parse_query()
+        self._accept_punct(";")
+        if self._peek().type != EOF:
+            raise self._error("unexpected trailing input")
+        return query
+
+    def parse_script(self) -> List[ast.Query]:
+        """Parse zero or more semicolon-separated queries."""
+        queries: List[ast.Query] = []
+        while self._peek().type != EOF:
+            queries.append(self._parse_query())
+            if not self._accept_punct(";") and self._peek().type != EOF:
+                raise self._error("expected ';' between queries")
+        return queries
+
+    def parse_expression_only(self) -> ast.Expr:
+        """Parse a bare expression and require end of input."""
+        expr = self._parse_expr()
+        if self._peek().type != EOF:
+            raise self._error("unexpected trailing input")
+        return expr
+
+    # ------------------------------------------------------------------
+    # Queries, set operations and the post-SELECT clauses
+    # ------------------------------------------------------------------
+
+    def _parse_query(self) -> ast.Query:
+        body = self._parse_set_expr()
+        order_by: List[ast.OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by = self._parse_order_items()
+        limit = offset = None
+        # LIMIT and OFFSET are accepted in either order.
+        for __ in range(2):
+            if limit is None and self._accept_keyword("LIMIT"):
+                limit = self._parse_expr()
+            elif offset is None and self._accept_keyword("OFFSET"):
+                offset = self._parse_expr()
+        return ast.Query(body=body, order_by=order_by, limit=limit, offset=offset)
+
+    def _parse_set_expr(self) -> ast.Node:
+        left = self._parse_query_term()
+        while self._peek().is_keyword("UNION", "INTERSECT", "EXCEPT"):
+            op = self._advance().value
+            all_flag = bool(self._accept_keyword("ALL"))
+            if not all_flag:
+                self._accept_keyword("DISTINCT")
+            right = self._parse_query_term()
+            left = ast.SetOp(op=op, all=all_flag, left=left, right=right)
+        return left
+
+    def _parse_query_term(self) -> ast.Node:
+        if self._at_query_start():
+            return self._parse_query_block()
+        return self._parse_expr()
+
+    def _parse_order_items(self) -> List[ast.OrderItem]:
+        items = [self._parse_order_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self._parse_expr()
+        desc = False
+        if self._accept_keyword("DESC"):
+            desc = True
+        else:
+            self._accept_keyword("ASC")
+        nulls_first: Optional[bool] = None
+        if self._accept_keyword("NULLS"):
+            if self._accept_keyword("FIRST"):
+                nulls_first = True
+            else:
+                self._expect_keyword("LAST")
+                nulls_first = False
+        return ast.OrderItem(expr=expr, desc=desc, nulls_first=nulls_first)
+
+    # ------------------------------------------------------------------
+    # Query blocks
+    # ------------------------------------------------------------------
+
+    def _parse_query_block(self) -> ast.QueryBlock:
+        token = self._peek()
+        if token.is_keyword("SELECT"):
+            return self._parse_select_first_block()
+        if token.is_keyword("PIVOT"):
+            return self._parse_pivot_block()
+        if token.is_keyword("FROM"):
+            return self._parse_from_first_block()
+        raise self._error("expected SELECT, FROM or PIVOT")
+
+    def _parse_select_first_block(self) -> ast.QueryBlock:
+        select = self._parse_select_clause()
+        from_items = None
+        if self._accept_keyword("FROM"):
+            from_items = self._parse_from_items()
+        lets = self._parse_lets()
+        where = self._parse_expr() if self._accept_keyword("WHERE") else None
+        group_by = self._parse_group_by()
+        having = self._parse_expr() if self._accept_keyword("HAVING") else None
+        return ast.QueryBlock(
+            select=select,
+            from_=from_items,
+            lets=lets,
+            where=where,
+            group_by=group_by,
+            having=having,
+            select_first=True,
+        )
+
+    def _parse_from_first_block(self) -> ast.QueryBlock:
+        self._expect_keyword("FROM")
+        from_items = self._parse_from_items()
+        lets = self._parse_lets()
+        where = self._parse_expr() if self._accept_keyword("WHERE") else None
+        group_by = self._parse_group_by()
+        having = self._parse_expr() if self._accept_keyword("HAVING") else None
+        if self._peek().is_keyword("SELECT"):
+            select = self._parse_select_clause()
+        elif self._peek().is_keyword("PIVOT"):
+            select = self._parse_pivot_clause()
+        else:
+            raise self._error("expected SELECT (or PIVOT) at end of FROM-first query")
+        return ast.QueryBlock(
+            select=select,
+            from_=from_items,
+            lets=lets,
+            where=where,
+            group_by=group_by,
+            having=having,
+            select_first=False,
+        )
+
+    def _parse_pivot_block(self) -> ast.QueryBlock:
+        select = self._parse_pivot_clause()
+        self._expect_keyword("FROM")
+        from_items = self._parse_from_items()
+        lets = self._parse_lets()
+        where = self._parse_expr() if self._accept_keyword("WHERE") else None
+        group_by = self._parse_group_by()
+        having = self._parse_expr() if self._accept_keyword("HAVING") else None
+        return ast.QueryBlock(
+            select=select,
+            from_=from_items,
+            lets=lets,
+            where=where,
+            group_by=group_by,
+            having=having,
+            select_first=True,
+        )
+
+    def _parse_pivot_clause(self) -> ast.PivotClause:
+        self._expect_keyword("PIVOT")
+        value = self._parse_expr()
+        self._expect_keyword("AT")
+        at = self._parse_expr()
+        return ast.PivotClause(value=value, at=at)
+
+    def _parse_select_clause(self) -> ast.SelectClause:
+        self._expect_keyword("SELECT")
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        if not distinct:
+            self._accept_keyword("ALL")
+        if self._accept_keyword("VALUE", "ELEMENT"):
+            expr = self._parse_expr()
+            return ast.SelectValue(expr=expr, distinct=distinct)
+        if self._peek().is_punct("*") and not self._peek(1).is_punct("."):
+            self._advance()
+            return ast.SelectStar(distinct=distinct)
+        items = [self._parse_select_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_select_item())
+        return ast.SelectList(items=items, distinct=distinct)
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        expr = self._parse_expr()
+        if self._peek().is_punct(".") and self._peek(1).is_punct("*"):
+            self._advance()
+            self._advance()
+            return ast.SelectItem(expr=expr, alias=None, star=True)
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("alias after AS")
+        elif self._peek().type in (IDENT, QUOTED_IDENT):
+            alias = self._advance().value
+        return ast.SelectItem(expr=expr, alias=alias)
+
+    def _parse_lets(self) -> List[ast.LetBinding]:
+        lets: List[ast.LetBinding] = []
+        while self._accept_keyword("LET"):
+            while True:
+                name = self._expect_identifier("LET variable name")
+                self._expect_punct("=")
+                lets.append(ast.LetBinding(name=name, expr=self._parse_expr()))
+                if not self._accept_punct(","):
+                    break
+        return lets
+
+    # ------------------------------------------------------------------
+    # FROM clause
+    # ------------------------------------------------------------------
+
+    def _parse_from_items(self) -> List[ast.FromItem]:
+        items = [self._parse_join_tree()]
+        while self._accept_punct(","):
+            items.append(self._parse_join_tree())
+        return items
+
+    def _parse_join_tree(self) -> ast.FromItem:
+        left = self._parse_from_unary()
+        while True:
+            kind = self._parse_join_kind()
+            if kind is None:
+                return left
+            right = self._parse_from_unary()
+            on = None
+            if kind != "CROSS":
+                self._expect_keyword("ON")
+                on = self._parse_expr()
+            left = ast.FromJoin(left=left, right=right, kind=kind, on=on)
+
+    def _parse_join_kind(self) -> Optional[str]:
+        if self._accept_keyword("JOIN"):
+            return "INNER"
+        if self._peek().is_keyword("INNER") and self._peek(1).is_keyword("JOIN"):
+            self._advance()
+            self._advance()
+            return "INNER"
+        if self._peek().is_keyword("LEFT"):
+            self._advance()
+            self._accept_keyword("OUTER")
+            self._expect_keyword("JOIN")
+            return "LEFT"
+        if self._peek().is_keyword("CROSS") and self._peek(1).is_keyword("JOIN"):
+            self._advance()
+            self._advance()
+            return "CROSS"
+        return None
+
+    def _parse_from_unary(self) -> ast.FromItem:
+        if self._accept_keyword("UNPIVOT"):
+            expr = self._parse_expr()
+            self._accept_keyword("AS")
+            value_alias = self._expect_identifier("UNPIVOT value variable")
+            self._expect_keyword("AT")
+            at_alias = self._expect_identifier("UNPIVOT name variable")
+            return ast.FromUnpivot(
+                expr=expr, value_alias=value_alias, at_alias=at_alias
+            )
+        # UNNEST expr AS v is pure sugar for a correlated range item.
+        self._accept_keyword("UNNEST")
+        expr = self._parse_expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("alias after AS")
+        elif self._peek().type in (IDENT, QUOTED_IDENT):
+            alias = self._advance().value
+        if alias is None:
+            alias = _implied_alias(expr)
+        if alias is None:
+            raise self._error("FROM item requires an alias (AS v)")
+        at_alias = None
+        if self._accept_keyword("AT"):
+            at_alias = self._expect_identifier("AT position variable")
+        return ast.FromCollection(expr=expr, alias=alias, at_alias=at_alias)
+
+    # ------------------------------------------------------------------
+    # GROUP BY
+    # ------------------------------------------------------------------
+
+    def _parse_group_by(self) -> Optional[ast.GroupByClause]:
+        if not self._accept_keyword("GROUP"):
+            return None
+        self._expect_keyword("BY")
+        mode = "simple"
+        grouping_sets: Optional[List[List[int]]] = None
+        keys: List[ast.GroupKey]
+        if self._accept_keyword("ROLLUP"):
+            keys = self._parse_parenthesised_group_keys()
+            mode = "rollup"
+        elif self._accept_keyword("CUBE"):
+            keys = self._parse_parenthesised_group_keys()
+            mode = "cube"
+        elif self._peek().is_keyword("GROUPING") and self._peek(1).is_keyword("SETS"):
+            self._advance()
+            self._advance()
+            keys, grouping_sets = self._parse_grouping_sets()
+            mode = "sets"
+        else:
+            keys = [self._parse_group_key(0)]
+            while self._accept_punct(","):
+                keys.append(self._parse_group_key(len(keys)))
+        group_as = None
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("AS")
+            group_as = self._expect_identifier("GROUP AS variable")
+        return ast.GroupByClause(
+            keys=keys, group_as=group_as, mode=mode, grouping_sets=grouping_sets
+        )
+
+    def _parse_group_key(self, position: int) -> ast.GroupKey:
+        expr = self._parse_expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("alias after AS")
+        if alias is None:
+            alias = _implied_alias(expr) or f"_{position + 1}"
+        return ast.GroupKey(expr=expr, alias=alias)
+
+    def _parse_parenthesised_group_keys(self) -> List[ast.GroupKey]:
+        self._expect_punct("(")
+        keys = [self._parse_group_key(0)]
+        while self._accept_punct(","):
+            keys.append(self._parse_group_key(len(keys)))
+        self._expect_punct(")")
+        return keys
+
+    def _parse_grouping_sets(self) -> Tuple[List[ast.GroupKey], List[List[int]]]:
+        """Parse ``GROUPING SETS ((a, b), (a), ())``.
+
+        Returns the distinct keys (in first-appearance order) and, per
+        set, the indexes of its keys.  Key identity is by printed form.
+        """
+        from repro.syntax.printer import print_ast
+
+        self._expect_punct("(")
+        keys: List[ast.GroupKey] = []
+        key_index: dict = {}
+        sets: List[List[int]] = []
+        while True:
+            self._expect_punct("(")
+            indexes: List[int] = []
+            if not self._peek().is_punct(")"):
+                while True:
+                    key = self._parse_group_key(len(keys))
+                    text = print_ast(key.expr)
+                    if text not in key_index:
+                        key_index[text] = len(keys)
+                        keys.append(key)
+                    indexes.append(key_index[text])
+                    if not self._accept_punct(","):
+                        break
+            self._expect_punct(")")
+            sets.append(indexes)
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        return keys, sets
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            left = ast.Binary(op="OR", left=left, right=self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            left = ast.Binary(op="AND", left=left, right=self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._accept_keyword("NOT"):
+            return ast.Unary(op="NOT", operand=self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_concat()
+        token = self._peek()
+        if token.type == PUNCT and token.value in _COMPARISON_OPS:
+            op = self._advance().value
+            if op == "<>":
+                op = "!="
+            return ast.Binary(op=op, left=left, right=self._parse_concat())
+        negated = False
+        if token.is_keyword("NOT") and self._peek(1).is_keyword(
+            "LIKE", "BETWEEN", "IN"
+        ):
+            self._advance()
+            negated = True
+            token = self._peek()
+        if token.is_keyword("LIKE"):
+            self._advance()
+            pattern = self._parse_concat()
+            escape = None
+            if self._accept_keyword("ESCAPE"):
+                escape = self._parse_concat()
+            return ast.Like(
+                operand=left, pattern=pattern, escape=escape, negated=negated
+            )
+        if token.is_keyword("BETWEEN"):
+            self._advance()
+            low = self._parse_concat()
+            self._expect_keyword("AND")
+            high = self._parse_concat()
+            return ast.Between(operand=left, low=low, high=high, negated=negated)
+        if token.is_keyword("IN"):
+            self._advance()
+            return ast.InPredicate(
+                operand=left, collection=self._parse_in_rhs(), negated=negated
+            )
+        if token.is_keyword("IS"):
+            self._advance()
+            is_negated = bool(self._accept_keyword("NOT"))
+            kind_token = self._peek()
+            if kind_token.is_keyword("NULL", "MISSING"):
+                kind = self._advance().value
+            elif kind_token.type == IDENT:
+                kind = self._advance().value.upper()
+            else:
+                raise self._error("expected a type name after IS")
+            return ast.IsPredicate(operand=left, kind=kind, negated=is_negated)
+        if negated:
+            raise self._error("expected LIKE, BETWEEN or IN after NOT")
+        return left
+
+    def _parse_in_rhs(self) -> ast.Expr:
+        """The right-hand side of IN: a subquery, a value list, or any
+        collection-valued expression (e.g. ``p IN e.projects``)."""
+        if self._peek().is_punct("(") and not self._at_query_start(1):
+            self._advance()
+            first = self._parse_expr()
+            if self._accept_punct(","):
+                items = [first, self._parse_expr()]
+                while self._accept_punct(","):
+                    items.append(self._parse_expr())
+                self._expect_punct(")")
+                return ast.ArrayLit(items=items)
+            self._expect_punct(")")
+            return ast.ArrayLit(items=[first])
+        return self._parse_concat()
+
+    def _parse_concat(self) -> ast.Expr:
+        left = self._parse_additive()
+        while self._accept_punct("||"):
+            left = ast.Binary(op="||", left=left, right=self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._accept_punct("+", "-")
+            if token is None:
+                return left
+            left = ast.Binary(
+                op=token.value, left=left, right=self._parse_multiplicative()
+            )
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._accept_punct("*", "/", "%")
+            if token is None:
+                return left
+            left = ast.Binary(op=token.value, left=left, right=self._parse_unary())
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._accept_punct("-", "+")
+        if token is not None:
+            return ast.Unary(op=token.value, operand=self._parse_unary())
+        return self._parse_path()
+
+    def _parse_path(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._peek().is_punct(".") and not self._peek(1).is_punct("*"):
+                self._advance()
+                token = self._peek()
+                if token.type in (IDENT, QUOTED_IDENT):
+                    self._advance()
+                    expr = ast.Path(base=expr, attr=token.value)
+                elif token.type == KEYWORD:
+                    # Keywords are fine as attribute names after a dot
+                    # (e.g. ``c.value``); keep original lowercase form.
+                    self._advance()
+                    expr = ast.Path(base=expr, attr=token.value.lower())
+                else:
+                    raise self._error("expected attribute name after '.'")
+            elif self._peek().is_punct("["):
+                if self._peek(1).is_punct("*") and self._peek(2).is_punct("]"):
+                    self._advance()
+                    self._advance()
+                    self._advance()
+                    expr = ast.PathWildcard(
+                        base=expr, kind="values", steps=self._parse_wildcard_steps()
+                    )
+                    continue
+                self._advance()
+                index = self._parse_expr()
+                self._expect_punct("]")
+                expr = ast.Index(base=expr, index=index)
+            else:
+                return expr
+
+    def _parse_wildcard_steps(self) -> List[ast.PathStep]:
+        """Navigation steps after ``[*]``; they apply per element."""
+        steps: List[ast.PathStep] = []
+        while True:
+            if self._peek().is_punct(".") and not self._peek(1).is_punct("*"):
+                self._advance()
+                token = self._peek()
+                if token.type in (IDENT, QUOTED_IDENT):
+                    self._advance()
+                    steps.append(ast.PathStep(attr=token.value))
+                elif token.type == KEYWORD:
+                    self._advance()
+                    steps.append(ast.PathStep(attr=token.value.lower()))
+                else:
+                    raise self._error("expected attribute name after '.'")
+            elif (
+                self._peek().is_punct("[")
+                and self._peek(1).is_punct("*")
+                and self._peek(2).is_punct("]")
+            ):
+                self._advance()
+                self._advance()
+                self._advance()
+                steps.append(ast.PathStep(wildcard="values"))
+            elif self._peek().is_punct("["):
+                self._advance()
+                index = self._parse_expr()
+                self._expect_punct("]")
+                steps.append(ast.PathStep(index=index))
+            else:
+                return steps
+
+    # ------------------------------------------------------------------
+    # Primary expressions
+    # ------------------------------------------------------------------
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.type == NUMBER:
+            self._advance()
+            return ast.Literal(value=token.value)
+        if token.type == STRING:
+            self._advance()
+            return ast.Literal(value=token.value)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(value=True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(value=False)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return ast.Literal(value=None)
+        if token.is_keyword("MISSING"):
+            self._advance()
+            return ast.Literal(value=MISSING)
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.is_keyword("EXISTS"):
+            self._advance()
+            return ast.Exists(operand=self._parse_path())
+        if token.is_keyword("CAST"):
+            return self._parse_cast()
+        if token.is_punct("?"):
+            self._advance()
+            self._param_count += 1
+            return ast.Parameter(index=self._param_count - 1)
+        if token.is_punct("("):
+            return self._parse_parenthesised()
+        if token.is_punct("["):
+            return self._parse_array_literal()
+        if token.is_punct("<<"):
+            return self._parse_bag_literal("<<", ">>")
+        if token.is_punct("{"):
+            if self._peek(1).is_punct("{"):
+                return self._parse_brace_bag()
+            return self._parse_struct_literal()
+        if token.type == IDENT:
+            if self._peek(1).is_punct("("):
+                return self._parse_function_call()
+            self._advance()
+            return ast.VarRef(name=token.value)
+        if token.type == QUOTED_IDENT:
+            self._advance()
+            return ast.VarRef(name=token.value)
+        raise self._error("expected an expression")
+
+    def _parse_parenthesised(self) -> ast.Expr:
+        self._expect_punct("(")
+        if self._at_query_start():
+            query = self._parse_query()
+            self._expect_punct(")")
+            return ast.SubqueryExpr(query=query)
+        expr = self._parse_expr()
+        # A parenthesised term may continue as a set operation or carry
+        # post-SELECT clauses — ``((SELECT ...) UNION ALL (SELECT ...))``
+        # — in which case the whole parenthesis is a subquery.
+        if self._peek().is_keyword(
+            "UNION", "INTERSECT", "EXCEPT", "ORDER", "LIMIT", "OFFSET"
+        ):
+            body: ast.Node = expr
+            while self._peek().is_keyword("UNION", "INTERSECT", "EXCEPT"):
+                op = self._advance().value
+                all_flag = bool(self._accept_keyword("ALL"))
+                if not all_flag:
+                    self._accept_keyword("DISTINCT")
+                body = ast.SetOp(
+                    op=op, all=all_flag, left=body, right=self._parse_query_term()
+                )
+            order_by: List[ast.OrderItem] = []
+            if self._accept_keyword("ORDER"):
+                self._expect_keyword("BY")
+                order_by = self._parse_order_items()
+            limit = offset = None
+            for __ in range(2):
+                if limit is None and self._accept_keyword("LIMIT"):
+                    limit = self._parse_expr()
+                elif offset is None and self._accept_keyword("OFFSET"):
+                    offset = self._parse_expr()
+            self._expect_punct(")")
+            return ast.SubqueryExpr(
+                query=ast.Query(
+                    body=body, order_by=order_by, limit=limit, offset=offset
+                )
+            )
+        self._expect_punct(")")
+        return expr
+
+    def _parse_case(self) -> ast.Expr:
+        self._expect_keyword("CASE")
+        operand = None
+        if not self._peek().is_keyword("WHEN"):
+            operand = self._parse_expr()
+        whens: List[Tuple[ast.Expr, ast.Expr]] = []
+        while self._accept_keyword("WHEN"):
+            condition = self._parse_expr()
+            self._expect_keyword("THEN")
+            whens.append((condition, self._parse_expr()))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN")
+        else_ = None
+        if self._accept_keyword("ELSE"):
+            else_ = self._parse_expr()
+        self._expect_keyword("END")
+        return ast.CaseExpr(operand=operand, whens=whens, else_=else_)
+
+    def _parse_cast(self) -> ast.Expr:
+        self._expect_keyword("CAST")
+        self._expect_punct("(")
+        operand = self._parse_expr()
+        self._expect_keyword("AS")
+        type_name = self._expect_identifier("type name").upper()
+        self._expect_punct(")")
+        return ast.CastExpr(operand=operand, type_name=type_name)
+
+    def _parse_function_call(self) -> ast.Expr:
+        name = self._advance().value
+        self._expect_punct("(")
+        distinct = False
+        star = False
+        args: List[ast.Expr] = []
+        if self._accept_punct("*"):
+            star = True
+        elif not self._peek().is_punct(")"):
+            if self._accept_keyword("DISTINCT"):
+                distinct = True
+            else:
+                self._accept_keyword("ALL")
+            # Arguments may be bare query blocks — the paper writes
+            # ``COLL_AVG(SELECT VALUE e.salary FROM ...)`` (Listing 16).
+            args.append(self._parse_item_expr())
+            while self._accept_punct(","):
+                args.append(self._parse_item_expr())
+        self._expect_punct(")")
+        call = ast.FunctionCall(name=name, args=args, distinct=distinct, star=star)
+        if self._peek().is_keyword("OVER"):
+            return ast.WindowCall(call=call, spec=self._parse_window_spec())
+        return call
+
+    def _parse_window_spec(self) -> ast.WindowSpec:
+        self._expect_keyword("OVER")
+        self._expect_punct("(")
+        partition_by: List[ast.Expr] = []
+        order_by: List[ast.OrderItem] = []
+        if self._accept_keyword("PARTITION"):
+            self._expect_keyword("BY")
+            partition_by.append(self._parse_expr())
+            while self._accept_punct(","):
+                partition_by.append(self._parse_expr())
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by = self._parse_order_items()
+        self._expect_punct(")")
+        return ast.WindowSpec(partition_by=partition_by, order_by=order_by)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    def _parse_array_literal(self) -> ast.Expr:
+        self._expect_punct("[")
+        items: List[ast.Expr] = []
+        if not self._peek().is_punct("]"):
+            items.append(self._parse_item_expr())
+            while self._accept_punct(","):
+                items.append(self._parse_item_expr())
+        self._expect_punct("]")
+        return ast.ArrayLit(items=items)
+
+    def _parse_bag_literal(self, open_text: str, close_text: str) -> ast.Expr:
+        self._expect_punct(open_text)
+        items: List[ast.Expr] = []
+        if not self._peek().is_punct(close_text):
+            items.append(self._parse_item_expr())
+            while self._accept_punct(","):
+                items.append(self._parse_item_expr())
+        self._expect_punct(close_text)
+        return ast.BagLit(items=items)
+
+    def _parse_brace_bag(self) -> ast.Expr:
+        """Parse the paper's ``{{ ... }}`` bag notation.
+
+        The lexer emits single braces, so ``}}}`` correctly closes a
+        struct and then the bag; here we just consume two opening braces
+        and later two closing ones.
+        """
+        self._expect_punct("{")
+        self._expect_punct("{")
+        items: List[ast.Expr] = []
+        if not (self._peek().is_punct("}") and self._peek(1).is_punct("}")):
+            items.append(self._parse_item_expr())
+            while self._accept_punct(","):
+                items.append(self._parse_item_expr())
+        self._expect_punct("}")
+        self._expect_punct("}")
+        return ast.BagLit(items=items)
+
+    def _parse_item_expr(self) -> ast.Expr:
+        """An element of a collection constructor (query terms allowed)."""
+        if self._at_query_start():
+            block = self._parse_query_block()
+            return ast.SubqueryExpr(query=ast.Query(body=block))
+        return self._parse_expr()
+
+    def _parse_struct_literal(self) -> ast.Expr:
+        self._expect_punct("{")
+        fields: List[ast.StructField] = []
+        if not self._peek().is_punct("}"):
+            fields.append(self._parse_struct_field())
+            while self._accept_punct(","):
+                fields.append(self._parse_struct_field())
+        self._expect_punct("}")
+        return ast.StructLit(fields=fields)
+
+    def _parse_struct_field(self) -> ast.StructField:
+        token = self._peek()
+        # A bare identifier or quoted identifier directly before ':' is a
+        # literal attribute name (paper Listing 18: ``{deptno: d, ...}``).
+        if token.type in (IDENT, QUOTED_IDENT) and self._peek(1).is_punct(":"):
+            self._advance()
+            key: ast.Expr = ast.Literal(value=token.value)
+        else:
+            key = self._parse_expr()
+        self._expect_punct(":")
+        value = self._parse_item_expr()
+        return ast.StructField(key=key, value=value)
+
+
+def _implied_alias(expr: ast.Expr) -> Optional[str]:
+    """Infer a binding/output name from an expression, as SQL does.
+
+    ``e.projects`` implies ``projects``; a bare name implies itself.
+    Returns None when no name is implied.
+    """
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.Path):
+        return expr.attr
+    return None
+
+
+def parse(source: str) -> ast.Query:
+    """Parse one SQL++ query from ``source``."""
+    return Parser(tokenize(source)).parse_query()
+
+
+def parse_script(source: str) -> List[ast.Query]:
+    """Parse a semicolon-separated sequence of queries."""
+    return Parser(tokenize(source)).parse_script()
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a bare SQL++ expression (no query clauses)."""
+    return Parser(tokenize(source)).parse_expression_only()
+
+
+#: Re-export for callers that want the inferred-name rule.
+implied_alias = _implied_alias

@@ -1,0 +1,321 @@
+"""Render SQL++ ASTs back to source text.
+
+Used by ``EXPLAIN`` (showing the rewritten Core query), by the grouping-
+sets key canonicaliser, and by the parser/printer round-trip property
+tests: for every generated AST, ``parse(print_ast(q))`` must equal ``q``.
+
+The printer always emits fully parenthesised, SELECT-first text with
+explicit ``AS`` aliases, which is unambiguous regardless of the surface
+form the input used.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.datamodel.values import MISSING
+from repro.syntax import ast
+
+_IDENT_SAFE = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_$"
+)
+
+
+def print_ast(node: ast.Node) -> str:
+    """Render any AST node to SQL++ source text."""
+    return _Printer().render(node)
+
+
+def _quote_string(text: str) -> str:
+    return "'" + text.replace("'", "''") + "'"
+
+
+def _quote_identifier(name: str) -> str:
+    from repro.syntax.tokens import KEYWORDS
+
+    if (
+        name
+        and all(char in _IDENT_SAFE for char in name)
+        and not name[0].isdigit()
+        and name.upper() not in KEYWORDS
+    ):
+        return name
+    return '"' + name.replace('"', '""') + '"'
+
+
+class _Printer:
+    """Stateless rendering helpers, dispatched by node type."""
+
+    def render(self, node: ast.Node) -> str:
+        method = getattr(self, "_render_" + type(node).__name__.lower(), None)
+        if method is None:
+            raise TypeError(f"cannot print AST node {type(node).__name__}")
+        return method(node)
+
+    # -- queries -----------------------------------------------------------
+
+    def _render_query(self, node: ast.Query) -> str:
+        parts = [self.render(node.body)]
+        if node.order_by:
+            keys = ", ".join(self._order_item(item) for item in node.order_by)
+            parts.append(f"ORDER BY {keys}")
+        if node.limit is not None:
+            parts.append(f"LIMIT {self.render(node.limit)}")
+        if node.offset is not None:
+            parts.append(f"OFFSET {self.render(node.offset)}")
+        return " ".join(parts)
+
+    def _order_item(self, item: ast.OrderItem) -> str:
+        text = self.render(item.expr)
+        if item.desc:
+            text += " DESC"
+        if item.nulls_first is True:
+            text += " NULLS FIRST"
+        elif item.nulls_first is False:
+            text += " NULLS LAST"
+        return text
+
+    def _render_setop(self, node: ast.SetOp) -> str:
+        keyword = node.op + (" ALL" if node.all else "")
+        return f"{self._setop_term(node.left)} {keyword} {self._setop_term(node.right)}"
+
+    def _setop_term(self, term: ast.Node) -> str:
+        # SubqueryExpr already renders with its own parentheses.
+        if isinstance(term, ast.SubqueryExpr):
+            return self.render(term)
+        return f"({self.render(term)})"
+
+    def _render_queryblock(self, node: ast.QueryBlock) -> str:
+        parts = [self.render(node.select)]
+        if node.from_ is not None:
+            items = ", ".join(self.render(item) for item in node.from_)
+            parts.append(f"FROM {items}")
+        for let in node.lets:
+            parts.append(f"LET {_quote_identifier(let.name)} = {self.render(let.expr)}")
+        if node.where is not None:
+            parts.append(f"WHERE {self.render(node.where)}")
+        if node.group_by is not None:
+            parts.append(self._group_by(node.group_by))
+        if node.having is not None:
+            parts.append(f"HAVING {self.render(node.having)}")
+        return " ".join(parts)
+
+    def _group_by(self, clause: ast.GroupByClause) -> str:
+        keys = ", ".join(
+            f"{self.render(key.expr)} AS {_quote_identifier(key.alias)}"
+            for key in clause.keys
+        )
+        if clause.mode == "rollup":
+            text = f"GROUP BY ROLLUP ({keys})"
+        elif clause.mode == "cube":
+            text = f"GROUP BY CUBE ({keys})"
+        elif clause.mode == "sets":
+            sets = ", ".join(
+                "(" + ", ".join(self.render(clause.keys[i].expr) for i in indexes) + ")"
+                for indexes in clause.grouping_sets or []
+            )
+            text = f"GROUP BY GROUPING SETS ({sets})"
+        else:
+            text = f"GROUP BY {keys}" if clause.keys else "GROUP BY"
+        if clause.group_as:
+            text += f" GROUP AS {_quote_identifier(clause.group_as)}"
+        return text
+
+    # -- select clauses ------------------------------------------------------
+
+    def _render_selectvalue(self, node: ast.SelectValue) -> str:
+        distinct = "DISTINCT " if node.distinct else ""
+        return f"SELECT {distinct}VALUE {self.render(node.expr)}"
+
+    def _render_selectlist(self, node: ast.SelectList) -> str:
+        distinct = "DISTINCT " if node.distinct else ""
+        items = []
+        for item in node.items:
+            text = self.render(item.expr)
+            if item.star:
+                text += ".*"
+            elif item.alias is not None:
+                text += f" AS {_quote_identifier(item.alias)}"
+            items.append(text)
+        return f"SELECT {distinct}" + ", ".join(items)
+
+    def _render_selectstar(self, node: ast.SelectStar) -> str:
+        distinct = "DISTINCT " if node.distinct else ""
+        return f"SELECT {distinct}*"
+
+    def _render_pivotclause(self, node: ast.PivotClause) -> str:
+        return f"PIVOT {self.render(node.value)} AT {self.render(node.at)}"
+
+    # -- FROM items ----------------------------------------------------------
+
+    def _render_fromcollection(self, node: ast.FromCollection) -> str:
+        text = f"{self.render(node.expr)} AS {_quote_identifier(node.alias)}"
+        if node.at_alias:
+            text += f" AT {_quote_identifier(node.at_alias)}"
+        return text
+
+    def _render_fromunpivot(self, node: ast.FromUnpivot) -> str:
+        return (
+            f"UNPIVOT {self.render(node.expr)} AS "
+            f"{_quote_identifier(node.value_alias)} AT "
+            f"{_quote_identifier(node.at_alias)}"
+        )
+
+    def _render_fromjoin(self, node: ast.FromJoin) -> str:
+        keyword = {"INNER": "JOIN", "LEFT": "LEFT JOIN", "CROSS": "CROSS JOIN"}[
+            node.kind
+        ]
+        text = f"{self.render(node.left)} {keyword} {self.render(node.right)}"
+        if node.on is not None:
+            text += f" ON {self.render(node.on)}"
+        return text
+
+    # -- expressions -----------------------------------------------------------
+
+    def _render_literal(self, node: ast.Literal) -> str:
+        value = node.value
+        if value is MISSING:
+            return "MISSING"
+        if value is None:
+            return "NULL"
+        if value is True:
+            return "TRUE"
+        if value is False:
+            return "FALSE"
+        if isinstance(value, str):
+            return _quote_string(value)
+        if isinstance(value, float):
+            return repr(value)
+        return str(value)
+
+    def _render_varref(self, node: ast.VarRef) -> str:
+        return _quote_identifier(node.name)
+
+    def _render_path(self, node: ast.Path) -> str:
+        return f"{self._base(node.base)}.{_quote_identifier(node.attr)}"
+
+    def _render_index(self, node: ast.Index) -> str:
+        return f"{self._base(node.base)}[{self.render(node.index)}]"
+
+    def _render_pathwildcard(self, node: ast.PathWildcard) -> str:
+        text = f"{self._base(node.base)}[*]"
+        for step in node.steps:
+            if step.wildcard is not None:
+                text += "[*]"
+            elif step.attr is not None:
+                text += f".{_quote_identifier(step.attr)}"
+            else:
+                text += f"[{self.render(step.index)}]"
+        return text
+
+    def _base(self, expr: ast.Expr) -> str:
+        """Render a path base, parenthesising non-primary expressions."""
+        if isinstance(
+            expr,
+            (
+                ast.VarRef,
+                ast.Path,
+                ast.Index,
+                ast.FunctionCall,
+                ast.SubqueryExpr,
+                ast.StructLit,
+                ast.ArrayLit,
+                ast.BagLit,
+                ast.Parameter,
+            ),
+        ):
+            return self.render(expr)
+        return f"({self.render(expr)})"
+
+    def _render_structfield(self, node: ast.StructField) -> str:
+        return f"{self.render(node.key)}: {self.render(node.value)}"
+
+    def _render_structlit(self, node: ast.StructLit) -> str:
+        inner = ", ".join(self.render(field) for field in node.fields)
+        return "{" + inner + "}"
+
+    def _render_arraylit(self, node: ast.ArrayLit) -> str:
+        return "[" + ", ".join(self.render(item) for item in node.items) + "]"
+
+    def _render_baglit(self, node: ast.BagLit) -> str:
+        return "<<" + ", ".join(self.render(item) for item in node.items) + ">>"
+
+    def _render_unary(self, node: ast.Unary) -> str:
+        # NOT binds looser than comparisons/arithmetic, so it must carry
+        # its own parentheses to stay a self-contained operand.
+        if node.op == "NOT":
+            return f"(NOT ({self.render(node.operand)}))"
+        return f"{node.op}({self.render(node.operand)})"
+
+    def _render_binary(self, node: ast.Binary) -> str:
+        return f"({self.render(node.left)} {node.op} {self.render(node.right)})"
+
+    def _render_ispredicate(self, node: ast.IsPredicate) -> str:
+        negation = "NOT " if node.negated else ""
+        return f"({self.render(node.operand)} IS {negation}{node.kind})"
+
+    def _render_like(self, node: ast.Like) -> str:
+        negation = "NOT " if node.negated else ""
+        text = f"({self.render(node.operand)} {negation}LIKE {self.render(node.pattern)}"
+        if node.escape is not None:
+            text += f" ESCAPE {self.render(node.escape)}"
+        return text + ")"
+
+    def _render_between(self, node: ast.Between) -> str:
+        negation = "NOT " if node.negated else ""
+        return (
+            f"({self.render(node.operand)} {negation}BETWEEN "
+            f"{self.render(node.low)} AND {self.render(node.high)})"
+        )
+
+    def _render_inpredicate(self, node: ast.InPredicate) -> str:
+        negation = "NOT " if node.negated else ""
+        return (
+            f"({self.render(node.operand)} {negation}IN "
+            f"{self._base(node.collection)})"
+        )
+
+    def _render_exists(self, node: ast.Exists) -> str:
+        return f"EXISTS {self._base(node.operand)}"
+
+    def _render_caseexpr(self, node: ast.CaseExpr) -> str:
+        parts = ["CASE"]
+        if node.operand is not None:
+            parts.append(self.render(node.operand))
+        for condition, result in node.whens:
+            parts.append(f"WHEN {self.render(condition)} THEN {self.render(result)}")
+        if node.else_ is not None:
+            parts.append(f"ELSE {self.render(node.else_)}")
+        parts.append("END")
+        return " ".join(parts)
+
+    def _render_functioncall(self, node: ast.FunctionCall) -> str:
+        if node.star:
+            inner = "*"
+        else:
+            args = ", ".join(self.render(arg) for arg in node.args)
+            inner = ("DISTINCT " if node.distinct else "") + args
+        return f"{node.name}({inner})"
+
+    def _render_windowcall(self, node: ast.WindowCall) -> str:
+        spec_parts: List[str] = []
+        if node.spec.partition_by:
+            keys = ", ".join(self.render(expr) for expr in node.spec.partition_by)
+            spec_parts.append(f"PARTITION BY {keys}")
+        if node.spec.order_by:
+            keys = ", ".join(self._order_item(item) for item in node.spec.order_by)
+            spec_parts.append(f"ORDER BY {keys}")
+        return f"{self.render(node.call)} OVER ({' '.join(spec_parts)})"
+
+    def _render_subqueryexpr(self, node: ast.SubqueryExpr) -> str:
+        return f"({self.render(node.query)})"
+
+    def _render_coercesubquery(self, node: ast.CoerceSubquery) -> str:
+        # Only appears in rewritten (Core) trees shown by EXPLAIN.
+        return f"COERCE_{node.mode.upper()}(({self.render(node.query)}))"
+
+    def _render_parameter(self, node: ast.Parameter) -> str:
+        return "?"
+
+    def _render_castexpr(self, node: ast.CastExpr) -> str:
+        return f"CAST({self.render(node.operand)} AS {node.type_name})"

@@ -1,0 +1,63 @@
+"""Token definitions for the SQL++ lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+# Token type tags.  Simple string constants keep the lexer/parser readable
+# and cheap; an Enum would add indirection without adding safety here
+# because the parser matches on literal tag strings anyway.
+IDENT = "IDENT"  # regular identifier (value holds its text, case kept)
+QUOTED_IDENT = "QUOTED_IDENT"  # "delimited identifier"
+KEYWORD = "KEYWORD"  # reserved word (value holds its uppercase form)
+STRING = "STRING"  # 'string literal'
+NUMBER = "NUMBER"  # integer or float literal (value holds int/float)
+PUNCT = "PUNCT"  # operator / punctuation (value holds its text)
+EOF = "EOF"
+
+#: Reserved words.  Anything not listed lexes as IDENT, so names such as
+#: COALESCE or builtin function names remain usable as identifiers.
+KEYWORDS = frozenset(
+    """
+    SELECT VALUE ELEMENT FROM WHERE GROUP BY AS AT HAVING LET
+    ORDER ASC DESC NULLS FIRST LAST LIMIT OFFSET
+    UNNEST INNER LEFT RIGHT FULL OUTER JOIN CROSS ON
+    UNION INTERSECT EXCEPT ALL DISTINCT
+    AND OR NOT NULL MISSING TRUE FALSE
+    LIKE ESCAPE IN BETWEEN IS
+    CASE WHEN THEN ELSE END EXISTS
+    PIVOT UNPIVOT CAST
+    OVER PARTITION ROWS CUBE ROLLUP GROUPING SETS
+    """.split()
+)
+
+#: Multi-character punctuation, longest-match first.
+PUNCT_DIGRAPHS = ("<<", ">>", "<=", ">=", "!=", "<>", "||")
+
+#: Single-character punctuation.
+PUNCT_SINGLE = frozenset("()[]{},.;:*/%+-=<>?")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position (1-based line/column)."""
+
+    type: str
+    value: Any
+    line: int
+    column: int
+
+    def is_keyword(self, *words: str) -> bool:
+        """True when this token is one of the given reserved words."""
+        return self.type == KEYWORD and self.value in words
+
+    def is_punct(self, *texts: str) -> bool:
+        """True when this token is one of the given punctuation texts."""
+        return self.type == PUNCT and self.value in texts
+
+    def describe(self) -> str:
+        """Human-readable rendering for error messages."""
+        if self.type == EOF:
+            return "end of input"
+        return repr(str(self.value))

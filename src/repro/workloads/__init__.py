@@ -1,0 +1,23 @@
+"""Synthetic workload generators for the benchmark harness."""
+
+from repro.workloads.generators import (
+    emp_nested,
+    emp_flat,
+    emp_normalized,
+    emp_with_absent_titles,
+    stock_prices_tall,
+    stock_prices_wide,
+    event_log,
+    null_to_missing,
+)
+
+__all__ = [
+    "emp_nested",
+    "emp_flat",
+    "emp_normalized",
+    "emp_with_absent_titles",
+    "stock_prices_tall",
+    "stock_prices_wide",
+    "event_log",
+    "null_to_missing",
+]

@@ -1,0 +1,206 @@
+"""Deterministic synthetic workloads.
+
+Every generator is a pure function of its parameters (seeded
+``random.Random``), so benchmark runs and property tests are
+reproducible.  The workloads scale the paper's three example domains:
+
+* the HR domain of Sections III–V (employees with nested projects),
+  in nested, flat and normalised (two-table) layouts;
+* the stock-price domain of Section VI (wide one-column-per-symbol and
+  tall one-row-per-observation layouts, for PIVOT/UNPIVOT);
+* a heterogeneous event log for the typing-mode experiments of
+  Section IV, with a controllable fraction of "dirty" rows.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Tuple
+
+_TITLES = ("Engineer", "Manager", "Analyst", "Designer", None)
+_PROJECT_THEMES = (
+    "Serverless Query",
+    "OLAP Security",
+    "OLTP Security",
+    "Storage Engine",
+    "Query Optimizer",
+    "Replication",
+)
+_FIRST = ("Bob", "Susan", "Jane", "Ravi", "Mei", "Tomás", "Aisha", "Lena")
+_LAST = ("Smith", "García", "Chen", "Okafor", "Kumar", "Novak")
+
+
+def emp_nested(
+    count: int, fanout: int = 4, seed: int = 7, scalar_projects: bool = False
+) -> List[Dict[str, Any]]:
+    """Employees with a nested ``projects`` array.
+
+    ``fanout`` is the mean number of projects; ``scalar_projects``
+    switches between arrays of tuples (Listing 1) and arrays of strings
+    (Listing 3).
+    """
+    rng = random.Random(seed)
+    employees = []
+    for emp_id in range(count):
+        project_count = rng.randint(0, 2 * fanout)
+        projects: List[Any] = []
+        for __ in range(project_count):
+            name = rng.choice(_PROJECT_THEMES)
+            projects.append(name if scalar_projects else {"name": name})
+        employees.append(
+            {
+                "id": emp_id,
+                "name": f"{rng.choice(_FIRST)} {rng.choice(_LAST)}",
+                "title": rng.choice(_TITLES),
+                "deptno": rng.randint(1, max(1, count // 50 + 1)),
+                "salary": rng.randint(50, 200) * 1000,
+                "projects": projects,
+            }
+        )
+    return employees
+
+
+def emp_flat(count: int, seed: int = 7) -> List[Dict[str, Any]]:
+    """A flat, fully-typed employee table (the SQL-compatible case)."""
+    rng = random.Random(seed)
+    return [
+        {
+            "id": emp_id,
+            "name": f"{rng.choice(_FIRST)} {rng.choice(_LAST)}",
+            "title": rng.choice(_TITLES[:-1]),
+            "deptno": rng.randint(1, max(1, count // 50 + 1)),
+            "salary": rng.randint(50, 200) * 1000,
+        }
+        for emp_id in range(count)
+    ]
+
+
+def emp_normalized(
+    count: int, fanout: int = 4, seed: int = 7
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """The nested HR data normalised into (employees, project_rows).
+
+    The classic relational layout a SQL-92 system needs: the nested
+    array becomes a child table with a foreign key, so experiment E3 can
+    compare left-correlated unnesting against the equivalent join.
+    """
+    employees = emp_nested(count, fanout=fanout, seed=seed)
+    flat_employees = []
+    project_rows = []
+    for employee in employees:
+        flat_employees.append(
+            {key: value for key, value in employee.items() if key != "projects"}
+        )
+        for position, project in enumerate(employee["projects"]):
+            project_rows.append(
+                {
+                    "emp_id": employee["id"],
+                    "seq": position,
+                    "name": project["name"],
+                }
+            )
+    return flat_employees, project_rows
+
+
+def emp_with_absent_titles(
+    count: int, absent_rate: float, seed: int = 7, use_missing: bool = True
+) -> List[Dict[str, Any]]:
+    """Employees where a fraction of titles are absent.
+
+    ``use_missing=True`` omits the attribute (Listing 7 style);
+    ``use_missing=False`` stores an explicit NULL (Listing 6 style).
+    Both variants draw identical rows for a given seed, so results are
+    comparable modulo null-vs-absent — the Section IV-B guarantee.
+    """
+    rng = random.Random(seed)
+    employees = []
+    for emp_id in range(count):
+        employee: Dict[str, Any] = {
+            "id": emp_id,
+            "name": f"{rng.choice(_FIRST)} {rng.choice(_LAST)}",
+            "salary": rng.randint(50, 200) * 1000,
+        }
+        if rng.random() < absent_rate:
+            if not use_missing:
+                employee["title"] = None
+        else:
+            employee["title"] = rng.choice(_TITLES[:-1])
+        employees.append(employee)
+    return employees
+
+
+def null_to_missing(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The d → d′ mutation of Section IV-B: drop NULL-valued attributes."""
+    return [
+        {key: value for key, value in row.items() if value is not None}
+        for row in rows
+    ]
+
+
+def stock_prices_wide(
+    days: int, symbols: int, seed: int = 11
+) -> List[Dict[str, Any]]:
+    """Listing 19 layout at scale: one row per day, one column per symbol."""
+    rng = random.Random(seed)
+    names = [f"sym{index}" for index in range(symbols)]
+    rows = []
+    for day in range(days):
+        row: Dict[str, Any] = {"date": f"day-{day:05d}"}
+        for name in names:
+            row[name] = rng.randint(10, 5000)
+        rows.append(row)
+    return rows
+
+
+def stock_prices_tall(
+    days: int, symbols: int, seed: int = 11
+) -> List[Dict[str, Any]]:
+    """Listing 27 layout at scale: one row per (date, symbol, price)."""
+    wide = stock_prices_wide(days, symbols, seed=seed)
+    tall = []
+    for row in wide:
+        for name, price in row.items():
+            if name == "date":
+                continue
+            tall.append({"date": row["date"], "symbol": name, "price": price})
+    return tall
+
+
+def event_log(
+    count: int,
+    dirty_rate: float = 0.0,
+    seed: int = 13,
+    heterogeneous: bool = True,
+) -> List[Dict[str, Any]]:
+    """A semistructured event log for the Section IV experiments.
+
+    A ``dirty_rate`` fraction of events carries a wrongly-typed
+    ``latency`` (a string) — permissive mode should exclude just those
+    from numeric derivations, strict mode should stop.  With
+    ``heterogeneous``, events also vary in shape: some carry a nested
+    ``tags`` array, some a ``user`` tuple, some neither.
+    """
+    rng = random.Random(seed)
+    events = []
+    for event_id in range(count):
+        event: Dict[str, Any] = {
+            "id": event_id,
+            "kind": rng.choice(("click", "view", "purchase")),
+        }
+        if rng.random() < dirty_rate:
+            event["latency"] = "n/a"
+        else:
+            event["latency"] = rng.randint(1, 500)
+        if heterogeneous:
+            shape = rng.random()
+            if shape < 0.3:
+                event["tags"] = rng.sample(
+                    ["mobile", "eu", "beta", "retry", "cached"], k=rng.randint(1, 3)
+                )
+            elif shape < 0.5:
+                event["user"] = {
+                    "uid": rng.randint(1, count),
+                    "tier": rng.choice(("free", "pro")),
+                }
+        events.append(event)
+    return events

@@ -1,0 +1,109 @@
+"""The JSON-column ("bolt-on") baseline and its documented deficiencies."""
+
+import pytest
+
+from repro.baselines.jsoncolumn import (
+    JsonColumnDatabase,
+    JsonPathError,
+    json_exists,
+    json_query,
+    json_value,
+    parse_path,
+)
+
+
+class TestPathLanguage:
+    def test_parse_steps(self):
+        assert parse_path("$.a.b[0]") == ["a", "b", 0]
+        assert parse_path("$") == []
+        assert parse_path('$."odd name"') == ["odd name"]
+
+    def test_invalid_paths(self):
+        with pytest.raises(JsonPathError):
+            parse_path("a.b")
+        with pytest.raises(JsonPathError):
+            parse_path("$..")
+
+
+class TestExtraction:
+    DOC = '{"a": {"b": [10, {"c": null}]}, "t": "x"}'
+
+    def test_json_value_scalar(self):
+        assert json_value(self.DOC, "$.t") == "x"
+        assert json_value(self.DOC, "$.a.b[0]") == 10
+
+    def test_json_value_non_scalar_is_null(self):
+        assert json_value(self.DOC, "$.a") is None
+
+    def test_json_query_fragment(self):
+        assert json_query(self.DOC, "$.a.b[0]") == "10"
+        assert json_query(self.DOC, "$.a.b") == "[10, {\"c\": null}]"
+
+    def test_absent_path(self):
+        assert json_value(self.DOC, "$.nope") is None
+        assert json_exists(self.DOC, "$.nope") is False
+
+    def test_null_and_absent_conflated(self):
+        # The deficiency the paper's MISSING fixes: the bolt-on model
+        # cannot distinguish a JSON null from an absent attribute.
+        assert json_value(self.DOC, "$.a.b[1].c") is None
+        assert json_value(self.DOC, "$.a.b[1].zzz") is None
+        assert json_exists(self.DOC, "$.a.b[1].c") == json_exists(
+            self.DOC, "$.a.b[1].zzz"
+        )
+
+
+class TestTables:
+    @pytest.fixture
+    def jdb(self):
+        db = JsonColumnDatabase()
+        db.create_table("docs")
+        db.insert_documents(
+            "docs",
+            [
+                {"name": "Bob", "projects": [{"name": "OLAP Security"},
+                                             {"name": "OLTP Security"}]},
+                {"name": "Susan", "projects": []},
+            ],
+        )
+        return db
+
+    def test_select_projects_paths(self, jdb):
+        rows = jdb.select("docs", {"n": "$.name"})
+        assert rows == [{"n": "Bob"}, {"n": "Susan"}]
+
+    def test_select_with_where(self, jdb):
+        rows = jdb.select("docs", {"n": "$.name"}, where=lambda r: r["n"] == "Bob")
+        assert len(rows) == 1
+
+    def test_explode_unnests(self, jdb):
+        rows = jdb.explode(
+            "docs", "$.projects", {"emp": "$.name"}, {"proj": "$.name"}
+        )
+        assert rows == [
+            {"emp": "Bob", "proj": "OLAP Security"},
+            {"emp": "Bob", "proj": "OLTP Security"},
+        ]
+
+    def test_explode_scalar_elements(self):
+        db = JsonColumnDatabase()
+        db.create_table("t")
+        db.insert_documents("t", [{"xs": [1, 2]}])
+        rows = db.explode("t", "$.xs", {}, {"x": "$"})
+        assert rows == [{"x": 1}, {"x": 2}]
+
+    def test_explode_with_filter(self, jdb):
+        rows = jdb.explode(
+            "docs",
+            "$.projects",
+            {"emp": "$.name"},
+            {"proj": "$.name"},
+            where=lambda r: "OLTP" in r["proj"],
+        )
+        assert len(rows) == 1
+
+    def test_unknown_table(self, jdb):
+        from repro.errors import SQLPPError
+
+        with pytest.raises(SQLPPError):
+            jdb.rows("nope")

@@ -1,0 +1,188 @@
+"""The strict SQL-92 baseline: what works, and where it gives up."""
+
+import pytest
+
+from repro.baselines.sql92 import SQL92Database, SQL92Error
+
+
+@pytest.fixture
+def sdb():
+    db = SQL92Database()
+    db.create_table("emp", ["id", "name", "deptno", "salary", "title"])
+    db.insert(
+        "emp",
+        [
+            {"id": 1, "name": "a", "deptno": 1, "salary": 100, "title": "Engineer"},
+            {"id": 2, "name": "b", "deptno": 1, "salary": 200, "title": "Engineer"},
+            {"id": 3, "name": "c", "deptno": 2, "salary": 300, "title": "Manager"},
+            {"id": 4, "name": "d", "deptno": 2, "salary": None, "title": None},
+        ],
+    )
+    db.create_table("dept", ["deptno", "dname"])
+    db.insert("dept", [{"deptno": 1, "dname": "eng"}, {"deptno": 2, "dname": "ops"}])
+    return db
+
+
+class TestQueries:
+    def test_projection_and_filter(self, sdb):
+        rows = sdb.execute("SELECT e.name FROM emp AS e WHERE e.salary > 150")
+        assert rows == [{"name": "b"}, {"name": "c"}]
+
+    def test_unqualified_columns(self, sdb):
+        rows = sdb.execute("SELECT name FROM emp AS e WHERE salary = 100")
+        assert rows == [{"name": "a"}]
+
+    def test_join(self, sdb):
+        rows = sdb.execute(
+            "SELECT e.name, d.dname FROM emp AS e JOIN dept AS d "
+            "ON e.deptno = d.deptno WHERE e.id = 1"
+        )
+        assert rows == [{"name": "a", "dname": "eng"}]
+
+    def test_left_join(self, sdb):
+        sdb.create_table("bonus", ["emp_id", "amount"])
+        sdb.insert("bonus", [{"emp_id": 1, "amount": 10}])
+        rows = sdb.execute(
+            "SELECT e.id, b.amount FROM emp AS e LEFT JOIN bonus AS b "
+            "ON e.id = b.emp_id"
+        )
+        assert {"id": 2, "amount": None} in rows
+
+    def test_group_by_aggregates(self, sdb):
+        rows = sdb.execute(
+            "SELECT e.deptno, AVG(e.salary) AS avgsal, COUNT(*) AS n "
+            "FROM emp AS e GROUP BY e.deptno"
+        )
+        assert {"deptno": 1, "avgsal": 150.0, "n": 2} in rows
+        # NULL salary is skipped by AVG but counted by COUNT(*).
+        assert {"deptno": 2, "avgsal": 300.0, "n": 2} in rows
+
+    def test_implicit_aggregation(self, sdb):
+        assert sdb.execute("SELECT COUNT(*) AS n FROM emp AS e") == [{"n": 4}]
+
+    def test_having(self, sdb):
+        rows = sdb.execute(
+            "SELECT e.deptno FROM emp AS e GROUP BY e.deptno "
+            "HAVING COUNT(*) > 1"
+        )
+        assert len(rows) == 2
+
+    def test_order_limit(self, sdb):
+        rows = sdb.execute(
+            "SELECT e.name FROM emp AS e ORDER BY name DESC LIMIT 2"
+        )
+        assert [row["name"] for row in rows] == ["d", "c"]
+
+    def test_distinct(self, sdb):
+        rows = sdb.execute("SELECT DISTINCT e.deptno FROM emp AS e")
+        assert len(rows) == 2
+
+    def test_null_three_valued_logic(self, sdb):
+        rows = sdb.execute("SELECT e.id FROM emp AS e WHERE e.salary > 0")
+        assert {"id": 4} not in rows  # NULL comparison is unknown
+
+    def test_is_null(self, sdb):
+        rows = sdb.execute("SELECT e.id FROM emp AS e WHERE e.title IS NULL")
+        assert rows == [{"id": 4}]
+
+    def test_case_expression(self, sdb):
+        rows = sdb.execute(
+            "SELECT e.id, CASE WHEN e.salary > 150 THEN 'hi' ELSE 'lo' END AS b "
+            "FROM emp AS e WHERE e.id = 1"
+        )
+        assert rows == [{"id": 1, "b": "lo"}]
+
+
+class TestStrictness:
+    def test_unknown_column_is_compile_time_error(self, sdb):
+        with pytest.raises(SQL92Error):
+            sdb.execute("SELECT e.bogus FROM emp AS e")
+
+    def test_unknown_table(self, sdb):
+        with pytest.raises(SQL92Error):
+            sdb.execute("SELECT x.a FROM nope AS x")
+
+    def test_ambiguous_unqualified_column(self, sdb):
+        with pytest.raises(SQL92Error):
+            sdb.execute("SELECT deptno FROM emp AS e, dept AS d")
+
+    def test_no_nested_values_on_insert(self, sdb):
+        with pytest.raises(SQL92Error):
+            sdb.insert("emp", [{"id": 9, "name": "x", "deptno": 1,
+                                "salary": 1, "title": ["nested!"]}])
+
+    def test_undeclared_column_on_insert(self, sdb):
+        with pytest.raises(SQL92Error):
+            sdb.insert("dept", [{"deptno": 3, "dname": "x", "extra": 1}])
+
+    def test_no_correlated_from(self, sdb):
+        with pytest.raises(SQL92Error):
+            sdb.execute("SELECT p FROM emp AS e, e.projects AS p")
+
+    def test_no_select_value(self, sdb):
+        with pytest.raises(SQL92Error):
+            sdb.execute("SELECT VALUE e FROM emp AS e")
+
+    def test_no_group_as(self, sdb):
+        with pytest.raises(SQL92Error):
+            sdb.execute(
+                "SELECT e.deptno FROM emp AS e GROUP BY e.deptno GROUP AS g"
+            )
+
+    def test_ungrouped_column_in_grouped_select(self, sdb):
+        with pytest.raises(SQL92Error):
+            sdb.execute(
+                "SELECT e.name FROM emp AS e GROUP BY e.deptno"
+            )
+
+    def test_duplicate_table_creation(self, sdb):
+        with pytest.raises(SQL92Error):
+            sdb.create_table("emp", ["id"])
+
+
+class TestHashJoin:
+    """The equi-join fast path must agree with nested-loop semantics."""
+
+    @pytest.fixture
+    def hdb(self):
+        db = SQL92Database()
+        db.create_table("e", ["id", "d"])
+        db.insert("e", [{"id": 1, "d": 10}, {"id": 2, "d": 20}, {"id": 3, "d": None}])
+        db.create_table("x", ["eid", "w"])
+        db.insert(
+            "x",
+            [
+                {"eid": 1, "w": "a"},
+                {"eid": 1, "w": "b"},
+                {"eid": 9, "w": "z"},
+                {"eid": None, "w": "n"},
+            ],
+        )
+        return db
+
+    def test_inner_equi_join(self, hdb):
+        rows = hdb.execute("SELECT e.id, x.w FROM e AS e JOIN x AS x ON e.id = x.eid")
+        assert rows == [{"id": 1, "w": "a"}, {"id": 1, "w": "b"}]
+
+    def test_reversed_operands(self, hdb):
+        rows = hdb.execute("SELECT e.id, x.w FROM e AS e JOIN x AS x ON x.eid = e.id")
+        assert len(rows) == 2
+
+    def test_null_keys_never_match(self, hdb):
+        rows = hdb.execute("SELECT e.id, x.w FROM e AS e JOIN x AS x ON e.d = x.eid")
+        assert rows == []
+
+    def test_left_join_pads(self, hdb):
+        rows = hdb.execute(
+            "SELECT e.id, x.w FROM e AS e LEFT JOIN x AS x ON e.id = x.eid"
+        )
+        assert {"id": 2, "w": None} in rows
+        assert {"id": 3, "w": None} in rows
+
+    def test_non_equi_falls_back_to_nested_loop(self, hdb):
+        rows = hdb.execute("SELECT e.id, x.w FROM e AS e JOIN x AS x ON e.id < x.eid")
+        assert len(rows) == 3  # all ids < 9
+
+    def test_unknown_join_column_still_compile_error(self, hdb):
+        with pytest.raises(SQL92Error):
+            hdb.execute("SELECT e.id FROM e AS e JOIN x AS x ON e.id = x.bogus")

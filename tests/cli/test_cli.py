@@ -1,0 +1,75 @@
+"""CLI entry points (one-shot, scripts, kit, loading)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestOneShot:
+    def test_command(self, capsys):
+        assert main(["-c", "SELECT VALUE v + 1 FROM [1, 2] AS v"]) == 0
+        out = capsys.readouterr().out
+        assert "2" in out and "3" in out
+
+    def test_error_returns_nonzero(self, capsys):
+        assert main(["-c", "SELECT FROM"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unbound_name_error(self, capsys):
+        assert main(["-c", "nope"]) == 1
+
+    def test_core_flag(self, capsys):
+        assert (
+            main(["--core", "-c", "COALESCE(MISSING, 2) IS MISSING"]) == 0
+        )
+        assert "true" in capsys.readouterr().out
+
+    def test_strict_flag(self, capsys):
+        assert main(["--strict", "-c", "1 + 'a'"]) == 1
+
+
+class TestScriptsAndLoading:
+    def test_script_file(self, tmp_path, capsys):
+        script = tmp_path / "q.sqlpp"
+        script.write_text("SELECT VALUE 1; SELECT VALUE 'two';")
+        assert main([str(script)]) == 0
+        out = capsys.readouterr().out
+        assert "1" in out and "'two'" in out
+
+    def test_load_json(self, tmp_path, capsys):
+        data = tmp_path / "emp.json"
+        data.write_text(json.dumps([{"name": "bob"}]))
+        code = main(
+            [
+                "--load",
+                f"emp={data}",
+                "-c",
+                "SELECT VALUE e.name FROM emp AS e",
+            ]
+        )
+        assert code == 0
+        assert "bob" in capsys.readouterr().out
+
+    def test_bad_load_spec(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--load", "nopath", "-c", "1"])
+
+
+class TestKit:
+    def test_compat_kit_passes(self, capsys):
+        assert main(["--compat-kit"]) == 0
+        out = capsys.readouterr().out
+        assert "cases passed" in out
+        assert "FAIL" not in out
+
+
+class TestKitJson:
+    def test_json_report(self, capsys):
+        import json
+
+        assert main(["--compat-kit", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["passed"] == report["total"] > 50
+        assert {"compat", "core"} >= {case["mode"] for case in report["cases"]}

@@ -1,0 +1,71 @@
+"""REPL dot-command handling (tested without a terminal)."""
+
+import pytest
+
+from repro import Database
+from repro.cli import _dot_command, _is_complete
+
+
+@pytest.fixture
+def db(tmp_path):
+    return Database()
+
+
+class TestDotCommands:
+    def test_quit_returns_false(self, db):
+        assert _dot_command(db, ".quit") is False
+        assert _dot_command(db, ".exit") is False
+
+    def test_help(self, db, capsys):
+        assert _dot_command(db, ".help") is True
+        assert "dot-commands" in capsys.readouterr().out
+
+    def test_set_and_names(self, db, capsys):
+        _dot_command(db, ".set t {{ {'a': 1} }}")
+        _dot_command(db, ".names")
+        assert "t" in capsys.readouterr().out
+
+    def test_load(self, db, tmp_path, capsys):
+        path = tmp_path / "d.json"
+        path.write_text('[{"a": 1}]')
+        _dot_command(db, f".load t {path}")
+        assert "loaded t" in capsys.readouterr().out
+        assert "t" in db.names()
+
+    def test_mode_toggle(self, db, capsys):
+        _dot_command(db, ".mode core")
+        assert not db._config.sql_compat
+        _dot_command(db, ".mode compat")
+        assert db._config.sql_compat
+
+    def test_typing_toggle(self, db, capsys):
+        _dot_command(db, ".typing strict")
+        assert db._config.typing_mode == "strict"
+
+    def test_schema(self, db, capsys):
+        db.set("t", [{"a": 1}])
+        _dot_command(db, ".schema t BAG<STRUCT<a INT>>")
+        assert db.get_schema("t") is not None
+
+    def test_explain(self, db, capsys):
+        db.set("t", [])
+        _dot_command(db, ".explain SELECT 1 AS one FROM t AS t")
+        assert "SELECT VALUE" in capsys.readouterr().out
+
+    def test_unknown_command(self, db, capsys):
+        _dot_command(db, ".wat")
+        assert "unknown command" in capsys.readouterr().out
+
+    def test_errors_are_caught(self, db, capsys):
+        _dot_command(db, ".load t /does/not/exist.json")   # OSError path
+        _dot_command(db, ".set t {{ bad literal")          # SQLPPError path
+        out = capsys.readouterr().out
+        assert out.count("error") >= 2
+
+
+class TestCompletenessProbe:
+    def test_complete_single_line(self):
+        assert _is_complete("SELECT VALUE 1")
+
+    def test_incomplete_input(self):
+        assert not _is_complete("SELECT VALUE")

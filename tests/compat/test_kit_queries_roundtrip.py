@@ -1,0 +1,51 @@
+"""Cross-cutting checks over the kit's queries and expectations."""
+
+import pytest
+
+from repro.compat.corpus import all_cases
+from repro.compat.runner import _results_equal, build_database
+from repro.datamodel.values import Bag
+from repro.formats.sqlpp_text import loads
+from repro.syntax.parser import parse
+from repro.syntax.printer import print_ast
+
+CASES = all_cases()
+
+
+@pytest.mark.parametrize(
+    "case", CASES, ids=[case.case_id for case in CASES]
+)
+def test_every_kit_query_print_parses(case):
+    """The kit's queries survive the canonical printer round trip."""
+    first = print_ast(parse(case.query))
+    assert print_ast(parse(first)) == first
+
+
+@pytest.mark.parametrize(
+    "case",
+    [case for case in CASES if case.expected is not None],
+    ids=[case.case_id for case in CASES if case.expected is not None],
+)
+def test_every_expectation_is_a_valid_literal(case):
+    loads(case.expected)
+
+
+@pytest.mark.parametrize(
+    "case", CASES, ids=[case.case_id for case in CASES]
+)
+def test_every_data_literal_loads(case):
+    database = build_database(case)
+    assert sorted(database.names()) == sorted(case.data)
+
+
+class TestResultComparison:
+    def test_bag_vs_array_top_level_tolerated(self):
+        assert _results_equal(Bag([1, 2]), loads("[2, 1]"), ordered=False)
+
+    def test_ordered_comparison_is_positional(self):
+        assert not _results_equal([1, 2], [2, 1], ordered=True)
+        assert _results_equal([1, 2], [1, 2], ordered=True)
+
+    def test_scalar_results(self):
+        assert _results_equal(2, loads("2"), ordered=False)
+        assert not _results_equal(2, loads("3"), ordered=False)

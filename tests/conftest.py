@@ -1,0 +1,60 @@
+"""Shared fixtures: the paper's example collections, ready-made databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.compat.listings import (
+    CLOSING_PRICES,
+    EMP_MISSING,
+    EMP_MIXED,
+    EMP_NEST_SCALARS,
+    EMP_NEST_TUPLES,
+    EMP_NULL,
+    HR_EMP,
+    STOCK_PRICES,
+    TODAY_STOCK_PRICES,
+)
+
+
+@pytest.fixture
+def db() -> Database:
+    """An empty default-mode database."""
+    return Database()
+
+
+@pytest.fixture
+def paper_db() -> Database:
+    """A database holding every collection the paper's listings use."""
+    database = Database()
+    database.load_value("hr.emp_nest_tuples", EMP_NEST_TUPLES)
+    database.load_value("hr.emp_nest_scalars", EMP_NEST_SCALARS)
+    database.load_value("hr.emp_null", EMP_NULL)
+    database.load_value("hr.emp_missing", EMP_MISSING)
+    database.load_value("hr.emp_mixed", EMP_MIXED)
+    database.load_value("hr.emp", HR_EMP)
+    database.load_value("closing_prices", CLOSING_PRICES)
+    database.load_value("today_stock_prices", TODAY_STOCK_PRICES)
+    database.load_value("stock_prices", STOCK_PRICES)
+    return database
+
+
+@pytest.fixture
+def core_db(paper_db: Database) -> Database:
+    """The paper collections under composability (Core) mode."""
+    database = Database(sql_compat=False)
+    for name in paper_db.names():
+        database.set(name, paper_db.get(name))
+    return database
+
+
+def bag_of(result):
+    """Normalise a query result to a list of elements for assertions."""
+    from repro.datamodel.values import Bag
+
+    if isinstance(result, Bag):
+        return result.to_list()
+    if isinstance(result, list):
+        return result
+    return [result]

@@ -1,0 +1,65 @@
+"""Environment chain-map unit tests."""
+
+import pytest
+
+from repro.core.environment import EMPTY, Environment, Unbound
+
+
+class TestLookup:
+    def test_bind_and_lookup(self):
+        env = Environment().bind("x", 1)
+        assert env.lookup("x") == 1
+
+    def test_unbound_raises_with_name(self):
+        with pytest.raises(Unbound) as info:
+            Environment().lookup("zzz")
+        assert info.value.name == "zzz"
+
+    def test_inner_scope_shadows(self):
+        env = Environment({"x": 1}).bind("x", 2)
+        assert env.lookup("x") == 2
+
+    def test_parent_scopes_visible(self):
+        env = Environment({"a": 1}).extend({"b": 2}).extend({"c": 3})
+        assert env.lookup("a") == 1
+        assert env.lookup("b") == 2
+
+    def test_extend_does_not_mutate_parent(self):
+        parent = Environment({"a": 1})
+        parent.extend({"a": 99})
+        assert parent.lookup("a") == 1
+
+    def test_sibling_isolation(self):
+        parent = Environment({"a": 1})
+        left = parent.bind("x", "l")
+        right = parent.bind("x", "r")
+        assert left.lookup("x") == "l"
+        assert right.lookup("x") == "r"
+
+    def test_is_bound(self):
+        env = Environment({"a": 1})
+        assert env.is_bound("a")
+        assert not env.is_bound("b")
+
+    def test_none_and_missing_are_bindable(self):
+        from repro.datamodel.values import MISSING
+
+        env = Environment().bind("n", None).bind("m", MISSING)
+        assert env.lookup("n") is None
+        assert env.lookup("m") is MISSING
+
+
+class TestIntrospection:
+    def test_local_names(self):
+        env = Environment({"a": 1}).extend({"b": 2, "c": 3})
+        assert sorted(env.local_names()) == ["b", "c"]
+
+    def test_flatten_inner_wins(self):
+        env = Environment({"a": 1, "b": 2}).extend({"a": 9})
+        assert env.flatten() == {"a": 9, "b": 2}
+
+    def test_empty_constant(self):
+        assert EMPTY.flatten() == {}
+
+    def test_repr(self):
+        assert "x" in repr(Environment({"x": 1}))

@@ -1,0 +1,295 @@
+"""Expression evaluation: operators, absence propagation, navigation."""
+
+import pytest
+
+from repro import Database, MISSING, TypeCheckError
+from repro.errors import BindingError, EvaluationError
+
+
+@pytest.fixture
+def run(db):
+    def evaluate(expression, **options):
+        return db.execute(expression, **options)
+
+    return evaluate
+
+
+class TestArithmetic:
+    def test_basics(self, run):
+        assert run("1 + 2 * 3") == 7
+        assert run("10 - 4") == 6
+        assert run("7 % 4") == 3
+
+    def test_division_exact_int(self, run):
+        assert run("6 / 2") == 3
+        assert isinstance(run("6 / 2"), int)
+
+    def test_division_inexact(self, run):
+        assert run("7 / 2") == 3.5
+
+    def test_division_by_zero_permissive(self, run):
+        assert run("(1 / 0) IS MISSING") is True
+
+    def test_division_by_zero_strict(self, run):
+        with pytest.raises(EvaluationError):
+            run("1 / 0", typing_mode="strict")
+
+    def test_null_propagation(self, run):
+        assert run("1 + NULL") is None
+
+    def test_missing_propagation(self, run):
+        assert run("(1 + MISSING) IS MISSING") is True
+
+    def test_missing_beats_null(self, run):
+        assert run("(NULL + MISSING) IS MISSING") is True
+
+    def test_type_error_permissive(self, run):
+        assert run("(2 * 'some string') IS MISSING") is True
+
+    def test_type_error_strict(self, run):
+        with pytest.raises(TypeCheckError):
+            run("2 * 'some string'", typing_mode="strict")
+
+    def test_boolean_is_not_a_number(self, run):
+        assert run("(TRUE + 1) IS MISSING") is True
+
+    def test_unary_minus(self, run):
+        assert run("-(3)") == -3
+        assert run("-NULL") is None
+
+
+class TestComparisonAndEquality:
+    def test_scalar_equality(self, run):
+        assert run("1 = 1.0") is True
+        assert run("'a' = 'b'") is False
+        assert run("1 != 2") is True
+
+    def test_cross_type_equality_is_false(self, run):
+        assert run("1 = 'a'") is False
+        assert run("TRUE = 1") is False
+
+    def test_deep_equality_on_nested(self, run):
+        assert run("[1, {'a': 2}] = [1, {'a': 2}]") is True
+        assert run("<<1, 2>> = <<2, 1>>") is True
+        assert run("[1, 2] = [2, 1]") is False
+
+    def test_null_equality_is_null(self, run):
+        assert run("(NULL = NULL) IS NULL") is True
+
+    def test_missing_equality_is_missing(self, run):
+        assert run("(MISSING = 1) IS MISSING") is True
+
+    def test_ordering_comparisons(self, run):
+        assert run("1 < 2") is True
+        assert run("'a' < 'b'") is True
+        assert run("2 >= 2") is True
+
+    def test_incomparable_types(self, run):
+        assert run("(1 < 'a') IS MISSING") is True
+        with pytest.raises(TypeCheckError):
+            run("1 < 'a'", typing_mode="strict")
+
+
+class TestLogic:
+    def test_three_valued_tables(self, run):
+        assert run("TRUE AND NULL") is None
+        assert run("FALSE AND NULL") is False
+        assert run("TRUE OR NULL") is True
+        assert run("FALSE OR NULL") is None
+        assert run("NOT NULL") is None
+
+    def test_missing_behaves_like_null(self, run):
+        assert run("TRUE OR MISSING") is True
+        assert run("FALSE AND MISSING") is False
+        assert run("(TRUE AND MISSING) IS NULL") is True
+
+    def test_non_boolean_operand(self, run):
+        assert run("(1 AND TRUE) IS NULL") is True
+        with pytest.raises(TypeCheckError):
+            run("1 AND TRUE", typing_mode="strict")
+
+
+class TestStringsAndLike:
+    def test_concat(self, run):
+        assert run("'a' || 'b' || 'c'") == "abc"
+
+    def test_concat_arrays(self, run):
+        assert run("[1] || [2]") == [1, 2]
+
+    def test_like_wildcards(self, run):
+        assert run("'OLAP Security' LIKE '%Security%'") is True
+        assert run("'abc' LIKE 'a_c'") is True
+        assert run("'abc' LIKE 'a_d'") is False
+
+    def test_like_escape(self, run):
+        assert run("'50%' LIKE '50!%' ESCAPE '!'") is True
+        assert run("'50x' LIKE '50!%' ESCAPE '!'") is False
+
+    def test_like_is_anchored(self, run):
+        assert run("'xabc' LIKE 'abc'") is False
+
+    def test_like_regex_metachars_are_literal(self, run):
+        assert run("'a.c' LIKE 'a.c'") is True
+        assert run("'abc' LIKE 'a.c'") is False
+
+    def test_not_like(self, run):
+        assert run("'abc' NOT LIKE 'z%'") is True
+
+    def test_like_null(self, run):
+        assert run("(NULL LIKE 'a') IS NULL") is True
+
+
+class TestPredicates:
+    def test_between(self, run):
+        assert run("5 BETWEEN 1 AND 10") is True
+        assert run("5 NOT BETWEEN 6 AND 10") is True
+
+    def test_in_list(self, run):
+        assert run("2 IN (1, 2, 3)") is True
+        assert run("9 NOT IN (1, 2)") is True
+
+    def test_in_with_null_member_unknown(self, run):
+        assert run("(9 IN (1, NULL)) IS NULL") is True
+        assert run("1 IN (1, NULL)") is True
+
+    def test_in_collection_value(self, run):
+        assert run("2 IN [1, 2]") is True
+        assert run("2 IN <<1, 2>>") is True
+
+    def test_exists(self, run):
+        assert run("EXISTS [1]") is True
+        assert run("EXISTS [ ]") is False
+        assert run("EXISTS MISSING") is False
+
+    def test_is_null_includes_missing(self, run):
+        assert run("MISSING IS NULL") is True
+        assert run("NULL IS NULL") is True
+        assert run("1 IS NULL") is False
+
+    def test_is_missing_is_precise(self, run):
+        assert run("MISSING IS MISSING") is True
+        assert run("NULL IS MISSING") is False
+
+    def test_is_type_predicates(self, run):
+        assert run("1 IS INTEGER") is True
+        assert run("1.5 IS INTEGER") is False
+        assert run("1.5 IS NUMBER") is True
+        assert run("'a' IS STRING") is True
+        assert run("[1] IS ARRAY") is True
+        assert run("{'a': 1} IS TUPLE") is True
+
+
+class TestNavigation:
+    def test_path_into_struct(self, run):
+        assert run("{'a': {'b': 7}}.a.b") == 7
+
+    def test_path_into_missing_attr(self, run):
+        assert run("({'a': 1}.nope) IS MISSING") is True
+
+    def test_path_into_null(self, run):
+        assert run("(NULL.a) IS NULL") is True
+
+    def test_path_into_scalar_permissive(self, run):
+        assert run("(1 .a) IS MISSING") is True
+
+    def test_path_into_scalar_strict(self, run):
+        with pytest.raises(TypeCheckError):
+            run("'s'.a", typing_mode="strict")
+
+    def test_missing_attr_even_in_strict(self, run):
+        # An absent attribute is data, not a type error (Section IV-B).
+        assert run("({'a': 1}.nope) IS MISSING", typing_mode="strict") is True
+
+    def test_array_index(self, run):
+        assert run("[10, 20][1]") == 20
+
+    def test_array_index_out_of_range(self, run):
+        assert run("([1][5]) IS MISSING") is True
+
+    def test_struct_index_with_string(self, run):
+        assert run("{'a': 1}['a']") == 1
+
+    def test_case_sensitive_attributes(self, run):
+        assert run("({'A': 1}.a) IS MISSING") is True
+
+
+class TestCaseCoalesceCast:
+    def test_searched_case(self, run):
+        assert run("CASE WHEN 1 < 2 THEN 'yes' ELSE 'no' END") == "yes"
+
+    def test_simple_case(self, run):
+        assert run("CASE 2 WHEN 1 THEN 'a' WHEN 2 THEN 'b' END") == "b"
+
+    def test_case_without_else_is_null(self, run):
+        assert run("(CASE WHEN FALSE THEN 1 END) IS NULL") is True
+
+    def test_case_missing_core_mode(self, run):
+        assert (
+            run(
+                "(CASE WHEN MISSING THEN 1 ELSE 2 END) IS MISSING",
+                sql_compat=False,
+            )
+            is True
+        )
+
+    def test_case_missing_compat_mode(self, run):
+        assert run("CASE WHEN MISSING THEN 1 ELSE 2 END", sql_compat=True) == 2
+
+    def test_coalesce(self, run):
+        assert run("COALESCE(NULL, NULL, 3)") == 3
+        assert run("COALESCE(MISSING, 2)") == 2
+        assert run("COALESCE(NULL) IS NULL") is True
+
+    def test_nullif(self, run):
+        assert run("NULLIF(1, 1) IS NULL") is True
+        assert run("NULLIF(1, 2)") == 1
+
+    def test_cast(self, run):
+        assert run("CAST('42' AS INTEGER)") == 42
+        assert run("CAST(1 AS STRING)") == "1"
+        assert run("CAST('yes' AS INTEGER) IS MISSING") is True
+        assert run("CAST(NULL AS INTEGER) IS NULL") is True
+
+
+class TestConstructors:
+    def test_struct_omits_missing_attr(self, run):
+        result = run("{'a': 1, 'b': MISSING}")
+        assert "b" not in result
+        assert result["a"] == 1
+
+    def test_array_omits_missing_elements(self, run):
+        assert run("[1, MISSING, 2]") == [1, 2]
+
+    def test_bag_omits_missing_elements(self, run):
+        assert run("<<MISSING>> = <<>>") is True
+
+    def test_dynamic_struct_key(self, run):
+        assert run("{'a' || 'b': 1}").keys() == ["ab"]
+
+    def test_null_key_skipped_permissive(self, run):
+        assert len(run("{NULL: 1}")) == 0
+
+
+class TestNamesAndParameters:
+    def test_unbound_name_is_error(self, run):
+        with pytest.raises(BindingError):
+            run("nonexistent_name")
+
+    def test_dotted_catalog_name(self, db):
+        db.set("a.b.c", [1])
+        assert db.execute("a.b.c") == [1]
+
+    def test_variable_shadows_catalog(self, db):
+        db.set("v", [1, 2])
+        assert list(db.execute("SELECT VALUE v FROM [9] AS v")) == [9]
+
+    def test_parameters(self, db):
+        assert db.execute("? + ?", parameters=[1, 2]) == 3
+
+    def test_parameter_missing_value(self, db):
+        with pytest.raises(EvaluationError):
+            db.execute("?")
+
+    def test_unknown_function(self, run):
+        with pytest.raises(EvaluationError):
+            run("NO_SUCH_FN(1)")

@@ -1,0 +1,254 @@
+"""GROUP BY ... GROUP AS, HAVING, aggregate sugar, analytic grouping."""
+
+import pytest
+
+from repro import Bag, Database, Struct
+from repro.errors import BindingError
+
+from tests.conftest import bag_of
+
+
+@pytest.fixture
+def sales_db(db):
+    db.set(
+        "sales",
+        [
+            {"region": "eu", "product": "a", "amount": 10},
+            {"region": "eu", "product": "b", "amount": 20},
+            {"region": "us", "product": "a", "amount": 30},
+            {"region": "us", "product": "a", "amount": 40},
+        ],
+    )
+    return db
+
+
+def rows(result):
+    return sorted(
+        (element.to_dict() for element in bag_of(result)),
+        key=lambda row: str(sorted(row.items(), key=str)),
+    )
+
+
+class TestGroupAs:
+    def test_group_contents_are_binding_tuples(self, sales_db):
+        result = bag_of(
+            sales_db.execute(
+                "FROM sales AS s GROUP BY s.region AS r GROUP AS g "
+                "SELECT VALUE {'r': r, 'n': COLL_COUNT(SELECT VALUE v FROM g AS v)}"
+            )
+        )
+        counts = {row["r"]: row["n"] for row in result}
+        assert counts == {"eu": 2, "us": 2}
+
+    def test_group_elements_have_variable_attributes(self, sales_db):
+        result = bag_of(
+            sales_db.execute(
+                "FROM sales AS s GROUP BY s.region AS r GROUP AS g "
+                "SELECT VALUE (SELECT VALUE v.s.amount FROM g AS v)"
+            )
+        )
+        amounts = sorted(sorted(bag.to_list()) for bag in result)
+        assert amounts == [[10, 20], [30, 40]]
+
+    def test_group_as_includes_let_variables(self, db):
+        db.set("t", [{"k": 1, "x": 2}])
+        result = bag_of(
+            db.execute(
+                "FROM t AS r LET double = r.x * 2 "
+                "GROUP BY r.k AS k GROUP AS g "
+                "SELECT VALUE (SELECT VALUE v.double FROM g AS v)"
+            )
+        )
+        assert result[0].to_list() == [4]
+
+    def test_key_alias_shadows_from_variable(self, paper_db):
+        # Listing 12: GROUP BY LOWER(p) AS p rebinds p to the lowered key.
+        result = bag_of(
+            paper_db.execute(
+                "FROM hr.emp_nest_scalars AS e, e.projects AS p "
+                "WHERE p LIKE '%Security%' "
+                "GROUP BY LOWER(p) AS p GROUP AS g "
+                "SELECT VALUE p"
+            )
+        )
+        assert sorted(result) == ["olap security", "oltp security"]
+
+    def test_from_variable_not_visible_after_grouping(self, sales_db):
+        with pytest.raises(BindingError):
+            sales_db.execute(
+                "FROM sales AS s GROUP BY s.region AS r GROUP AS g "
+                "SELECT VALUE s.amount",
+                sql_compat=False,
+            )
+
+    def test_group_by_null_and_missing_keys(self, db):
+        db.set("t", [{"k": None}, {"k": None}, {}, {"k": 1}])
+        result = bag_of(
+            db.execute(
+                "FROM t AS r GROUP BY r.k AS k GROUP AS g "
+                "SELECT VALUE COLL_COUNT(SELECT VALUE 1 FROM g AS v)"
+            )
+        )
+        assert sorted(result) == [1, 1, 2]
+
+    def test_group_by_composite_key_deep_equality(self, db):
+        db.set("t", [{"k": [1, 2]}, {"k": [1, 2]}, {"k": [2, 1]}])
+        result = bag_of(
+            db.execute(
+                "FROM t AS r GROUP BY r.k AS k GROUP AS g SELECT VALUE k"
+            )
+        )
+        assert len(result) == 2
+
+    def test_multiple_group_keys(self, sales_db):
+        result = rows(
+            sales_db.execute(
+                "SELECT s.region, s.product, SUM(s.amount) AS total "
+                "FROM sales AS s GROUP BY s.region, s.product"
+            )
+        )
+        assert {"region": "us", "product": "a", "total": 70} in result
+        assert len(result) == 3
+
+
+class TestAggregateSugar:
+    def test_explain_shows_coll_rewrite(self, sales_db):
+        plan = sales_db.explain(
+            "SELECT AVG(s.amount) AS a FROM sales AS s GROUP BY s.region"
+        )
+        assert "COLL_AVG" in plan
+        assert "GROUP AS" in plan
+
+    def test_all_aggregates(self, sales_db):
+        result = rows(
+            sales_db.execute(
+                "SELECT COUNT(*) AS n, SUM(s.amount) AS s, AVG(s.amount) AS a, "
+                "MIN(s.amount) AS lo, MAX(s.amount) AS hi "
+                "FROM sales AS s"
+            )
+        )
+        assert result == [{"n": 4, "s": 100, "a": 25.0, "lo": 10, "hi": 40}]
+
+    def test_count_distinct(self, sales_db):
+        result = bag_of(
+            sales_db.execute("SELECT VALUE COUNT(DISTINCT s.product) FROM sales AS s")
+        )
+        assert result == [2]
+
+    def test_array_agg(self, sales_db):
+        result = bag_of(
+            sales_db.execute(
+                "SELECT VALUE ARRAY_AGG(s.amount) FROM sales AS s WHERE s.region = 'eu'"
+            )
+        )
+        assert sorted(result[0]) == [10, 20]
+
+    def test_aggregate_in_having(self, sales_db):
+        result = rows(
+            sales_db.execute(
+                "SELECT s.region FROM sales AS s GROUP BY s.region "
+                "HAVING SUM(s.amount) > 50"
+            )
+        )
+        assert result == [{"region": "us"}]
+
+    def test_aggregate_in_order_by(self, sales_db):
+        result = sales_db.execute(
+            "SELECT s.region AS region FROM sales AS s GROUP BY s.region "
+            "ORDER BY SUM(s.amount) DESC"
+        )
+        assert [row["region"] for row in result] == ["us", "eu"]
+
+    def test_group_key_expression_in_select(self, sales_db):
+        result = rows(
+            sales_db.execute(
+                "SELECT UPPER(s.region) AS r FROM sales AS s GROUP BY UPPER(s.region)"
+            )
+        )
+        assert result == [{"r": "EU"}, {"r": "US"}]
+
+    def test_arithmetic_over_aggregates(self, sales_db):
+        result = bag_of(
+            sales_db.execute(
+                "SELECT VALUE MAX(s.amount) - MIN(s.amount) FROM sales AS s"
+            )
+        )
+        assert result == [30]
+
+    def test_nested_subquery_keeps_own_aggregates(self, sales_db):
+        result = bag_of(
+            sales_db.execute(
+                "SELECT VALUE (SELECT AVG(x.amount) AS a FROM sales AS x) "
+                "FROM [1] AS one"
+            )
+        )
+        inner = bag_of(result[0])
+        assert inner[0]["a"] == 25.0
+
+    def test_aggregates_ignore_absent(self, db):
+        db.set("t", [{"x": 1}, {"x": None}, {}])
+        result = rows(db.execute("SELECT COUNT(r.x) AS c, SUM(r.x) AS s FROM t AS r"))
+        assert result == [{"c": 1, "s": 1}]
+
+    def test_avg_collection_direct_core(self, db):
+        # In Core mode the SQL names are composable collection functions.
+        assert db.execute("AVG([1, 2, 3])", sql_compat=False) == 2
+
+    def test_sum_empty_is_null(self, db):
+        assert db.execute("COLL_SUM([]) IS NULL") is True
+
+    def test_count_empty_is_zero(self, db):
+        assert db.execute("COLL_COUNT([])") == 0
+
+
+class TestAnalyticGrouping:
+    def test_rollup(self, sales_db):
+        result = rows(
+            sales_db.execute(
+                "SELECT s.region AS r, s.product AS p, SUM(s.amount) AS t "
+                "FROM sales AS s GROUP BY ROLLUP (s.region, s.product)"
+            )
+        )
+        # 3 (region, product) groups + 2 region subtotals + 1 grand total.
+        assert len(result) == 6
+        grand = [row for row in result if row["r"] is None and row["p"] is None]
+        assert grand[0]["t"] == 100
+
+    def test_cube(self, sales_db):
+        result = rows(
+            sales_db.execute(
+                "SELECT s.region AS r, s.product AS p, SUM(s.amount) AS t "
+                "FROM sales AS s GROUP BY CUBE (s.region, s.product)"
+            )
+        )
+        # 3 + 2 regions + 2 products + 1 total.
+        assert len(result) == 8
+        product_totals = {
+            row["p"]: row["t"] for row in result if row["r"] is None and row["p"]
+        }
+        assert product_totals == {"a": 80, "b": 20}
+
+    def test_grouping_sets(self, sales_db):
+        result = rows(
+            sales_db.execute(
+                "SELECT s.region AS r, SUM(s.amount) AS t FROM sales AS s "
+                "GROUP BY GROUPING SETS ((s.region), ())"
+            )
+        )
+        assert len(result) == 3
+
+    def test_rollup_over_nested_data(self, paper_db):
+        # The paper's point: analytic grouping composes with nesting.
+        result = rows(
+            paper_db.execute(
+                "SELECT e.title AS t, p AS p, COUNT(*) AS n "
+                "FROM hr.emp_nest_scalars AS e, e.projects AS p "
+                "GROUP BY ROLLUP (e.title, p)"
+            )
+        )
+        # Bob's title is literally null, so two (None, None) rows exist:
+        # the title=null subtotal (3 projects) and the grand total (4).
+        none_rows = sorted(
+            row["n"] for row in result if row["t"] is None and row["p"] is None
+        )
+        assert none_rows == [3, 4]

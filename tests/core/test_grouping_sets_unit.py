@@ -1,0 +1,43 @@
+"""Unit tests for the grouping-set expansion (separate from end-to-end)."""
+
+import pytest
+
+from repro.core.grouping_sets import expand_grouping_sets
+from repro.syntax import ast
+
+
+def clause(count, mode="simple", sets=None):
+    keys = [
+        ast.GroupKey(expr=ast.VarRef(name=f"k{i}"), alias=f"k{i}")
+        for i in range(count)
+    ]
+    return ast.GroupByClause(keys=keys, mode=mode, grouping_sets=sets)
+
+
+class TestExpansion:
+    def test_simple_is_one_full_set(self):
+        assert expand_grouping_sets(clause(3)) == [[0, 1, 2]]
+
+    def test_simple_keyless(self):
+        assert expand_grouping_sets(clause(0)) == [[]]
+
+    def test_rollup_prefixes(self):
+        assert expand_grouping_sets(clause(3, "rollup")) == [
+            [0, 1, 2],
+            [0, 1],
+            [0],
+            [],
+        ]
+
+    def test_cube_powerset(self):
+        sets = expand_grouping_sets(clause(2, "cube"))
+        assert sorted(map(tuple, sets)) == [(), (0,), (0, 1), (1,)]
+        assert len(expand_grouping_sets(clause(3, "cube"))) == 8
+
+    def test_explicit_sets_verbatim(self):
+        explicit = [[0, 1], [1], []]
+        assert expand_grouping_sets(clause(2, "sets", explicit)) == explicit
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            expand_grouping_sets(clause(1, "diagonal"))

@@ -1,0 +1,81 @@
+"""Deep-path wildcards ``[*]`` (PartiQL-style dialect extension)."""
+
+import pytest
+
+from repro import Database, TypeCheckError
+
+from tests.conftest import bag_of
+
+
+@pytest.fixture
+def wdb(db):
+    db.set(
+        "t",
+        [
+            {
+                "id": 1,
+                "projects": [{"name": "a"}, {"name": "b"}],
+                "matrix": [[1, 2], [3]],
+            },
+            {"id": 2, "projects": []},
+            {"id": 3},
+        ],
+    )
+    return db
+
+
+class TestWildcards:
+    def test_attr_after_wildcard_maps_per_element(self, wdb):
+        result = bag_of(
+            wdb.execute("SELECT VALUE r.projects[*].name FROM t AS r WHERE r.id = 1")
+        )
+        assert result == [["a", "b"]]
+
+    def test_empty_collection(self, wdb):
+        result = bag_of(
+            wdb.execute("SELECT VALUE r.projects[*].name FROM t AS r WHERE r.id = 2")
+        )
+        assert result == [[]]
+
+    def test_missing_base_is_empty(self, wdb):
+        result = bag_of(
+            wdb.execute("SELECT VALUE r.projects[*].name FROM t AS r WHERE r.id = 3")
+        )
+        assert result == [[]]
+
+    def test_double_wildcard_flattens(self, wdb):
+        result = bag_of(
+            wdb.execute("SELECT VALUE r.matrix[*][*] FROM t AS r WHERE r.id = 1")
+        )
+        assert result == [[1, 2, 3]]
+
+    def test_index_after_wildcard(self, wdb):
+        result = bag_of(
+            wdb.execute("SELECT VALUE r.matrix[*][0] FROM t AS r WHERE r.id = 1")
+        )
+        assert result == [[1, 3]]
+
+    def test_missing_step_results_dropped(self, db):
+        db.set("t", [{"xs": [{"a": 1}, {"b": 2}, {"a": 3}]}])
+        result = bag_of(db.execute("SELECT VALUE r.xs[*].a FROM t AS r"))
+        assert result == [[1, 3]]
+
+    def test_wildcard_over_scalar_permissive(self, db):
+        assert db.execute("5[*]") == []
+
+    def test_wildcard_over_scalar_strict(self, db):
+        with pytest.raises(TypeCheckError):
+            db.execute("5[*]", typing_mode="strict")
+
+    def test_usable_inside_aggregates(self, wdb):
+        result = wdb.execute(
+            "COLL_SUM(SELECT VALUE COLL_COUNT(r.projects[*].name) FROM t AS r)"
+        )
+        assert result == 2
+
+    def test_printer_round_trip(self):
+        from repro.syntax.parser import parse
+        from repro.syntax.printer import print_ast
+
+        text = "SELECT VALUE r.a[*].b[0][*] FROM t AS r"
+        assert print_ast(parse(print_ast(parse(text)))) == print_ast(parse(text))

@@ -1,0 +1,296 @@
+"""Query-block pipeline: FROM, LET, WHERE, SELECT variants, set ops,
+ORDER BY / LIMIT / OFFSET."""
+
+import pytest
+
+from repro import Bag, Database, MISSING, Struct, TypeCheckError
+from repro.errors import EvaluationError
+
+from tests.conftest import bag_of
+
+
+class TestFrom:
+    def test_range_over_array(self, db):
+        assert bag_of(db.execute("SELECT VALUE v FROM [1, 2, 3] AS v")) == [1, 2, 3]
+
+    def test_range_over_bag(self, db):
+        assert sorted(bag_of(db.execute("SELECT VALUE v FROM <<1, 2>> AS v"))) == [1, 2]
+
+    def test_at_over_array(self, db):
+        result = bag_of(db.execute("SELECT VALUE [i, v] FROM ['a', 'b'] AS v AT i"))
+        assert result == [[0, "a"], [1, "b"]]
+
+    def test_at_over_bag_is_missing(self, db):
+        result = bag_of(db.execute("SELECT VALUE i IS MISSING FROM <<'a'>> AS v AT i"))
+        assert result == [True]
+
+    def test_left_correlation(self, db):
+        db.set("t", [{"xs": [1, 2]}, {"xs": [3]}])
+        result = bag_of(db.execute("SELECT VALUE x FROM t AS r, r.xs AS x"))
+        assert sorted(result) == [1, 2, 3]
+
+    def test_three_way_correlation(self, db):
+        db.set("t", [{"xs": [[1, 2], [3]]}])
+        result = bag_of(
+            db.execute("SELECT VALUE y FROM t AS r, r.xs AS x, x AS y")
+        )
+        assert sorted(result) == [1, 2, 3]
+
+    def test_from_scalar_permissive(self, db):
+        assert bag_of(db.execute("SELECT VALUE v FROM 5 AS v")) == [5]
+
+    def test_from_struct_permissive(self, db):
+        result = bag_of(db.execute("SELECT VALUE v.a FROM {'a': 1} AS v"))
+        assert result == [1]
+
+    def test_from_null_or_missing_is_empty(self, db):
+        assert bag_of(db.execute("SELECT VALUE v FROM NULL AS v")) == []
+        assert bag_of(db.execute("SELECT VALUE v FROM MISSING AS v")) == []
+
+    def test_from_scalar_strict_raises(self, db):
+        with pytest.raises(TypeCheckError):
+            db.execute("SELECT VALUE v FROM 5 AS v", typing_mode="strict")
+
+    def test_cartesian_product(self, db):
+        result = bag_of(
+            db.execute("SELECT VALUE [a, b] FROM [1, 2] AS a, [10, 20] AS b")
+        )
+        assert len(result) == 4
+
+
+class TestJoins:
+    @pytest.fixture
+    def jdb(self, db):
+        db.set("l", [{"k": 1, "v": "a"}, {"k": 2, "v": "b"}])
+        db.set("r", [{"k": 1, "w": "x"}, {"k": 1, "w": "y"}, {"k": 3, "w": "z"}])
+        return db
+
+    def test_inner_join(self, jdb):
+        result = bag_of(
+            jdb.execute(
+                "SELECT l.v AS v, r.w AS w FROM l AS l JOIN r AS r ON l.k = r.k"
+            )
+        )
+        assert len(result) == 2
+        assert all(row["v"] == "a" for row in result)
+
+    def test_left_join_pads_null(self, jdb):
+        result = bag_of(
+            jdb.execute(
+                "SELECT l.v AS v, r.w AS w "
+                "FROM l AS l LEFT JOIN r AS r ON l.k = r.k"
+            )
+        )
+        padded = [row for row in result if row["v"] == "b"]
+        assert len(padded) == 1
+        assert padded[0]["w"] is None
+
+    def test_cross_join(self, jdb):
+        result = bag_of(
+            jdb.execute("SELECT VALUE 1 FROM l AS l CROSS JOIN r AS r")
+        )
+        assert len(result) == 6
+
+    def test_lateral_join_right_side(self, db):
+        db.set("t", [{"id": 1, "xs": [1, 2]}, {"id": 2, "xs": []}])
+        result = bag_of(
+            db.execute(
+                "SELECT r.id AS id, x AS x "
+                "FROM t AS r LEFT JOIN r.xs AS x ON TRUE"
+            )
+        )
+        assert {"id": 2, "x": None} in [s.to_dict() for s in result]
+
+    def test_join_on_non_true_drops(self, jdb):
+        result = bag_of(
+            jdb.execute(
+                "SELECT VALUE 1 FROM l AS l JOIN r AS r ON l.missing_attr = r.k"
+            )
+        )
+        assert result == []
+
+
+class TestLetWhere:
+    def test_let_binding(self, db):
+        result = bag_of(
+            db.execute("SELECT VALUE y FROM [1, 2] AS x LET y = x * 10")
+        )
+        assert sorted(result) == [10, 20]
+
+    def test_let_chained(self, db):
+        result = bag_of(
+            db.execute("SELECT VALUE z FROM [1] AS x LET y = x + 1, z = y + 1")
+        )
+        assert result == [3]
+
+    def test_where_keeps_only_true(self, db):
+        db.set("t", [{"x": 1}, {"x": None}, {}])
+        result = bag_of(db.execute("SELECT VALUE r FROM t AS r WHERE r.x = 1"))
+        assert len(result) == 1
+
+    def test_where_missing_filtered(self, db):
+        result = bag_of(
+            db.execute("SELECT VALUE v FROM [1, 'a', 2] AS v WHERE v > 1")
+        )
+        assert result == [2]
+
+
+class TestSelectVariants:
+    def test_select_value_any_shape(self, db):
+        result = bag_of(db.execute("SELECT VALUE [v, {'v': v}] FROM [1] AS v"))
+        assert result == [[1, Struct({"v": 1})]]
+
+    def test_select_list_builds_structs(self, db):
+        result = bag_of(db.execute("SELECT v AS a, v + 1 AS b FROM [1] AS v"))
+        assert result[0].to_dict() == {"a": 1, "b": 2}
+
+    def test_select_list_infers_names(self, db):
+        db.set("t", [{"name": "x", "id": 1}])
+        result = bag_of(db.execute("SELECT r.name, r.id FROM t AS r"))
+        assert set(result[0].keys()) == {"name", "id"}
+
+    def test_select_positional_names(self, db):
+        result = bag_of(db.execute("SELECT 1 + 1, 2 + 2 FROM [0] AS z"))
+        assert result[0].keys() == ["_1", "_2"]
+
+    def test_select_star_merges_tuples(self, db):
+        db.set("l", [{"a": 1}])
+        db.set("r", [{"b": 2}])
+        result = bag_of(db.execute("SELECT * FROM l AS l, r AS r"))
+        assert result[0].to_dict() == {"a": 1, "b": 2}
+
+    def test_select_star_names_scalars(self, db):
+        result = bag_of(db.execute("SELECT * FROM [5] AS v"))
+        assert result[0].to_dict() == {"v": 5}
+
+    def test_select_item_star_splices(self, db):
+        db.set("t", [{"a": 1, "b": 2}])
+        result = bag_of(db.execute("SELECT r.*, 9 AS extra FROM t AS r"))
+        assert result[0].to_dict() == {"a": 1, "b": 2, "extra": 9}
+
+    def test_select_distinct_value(self, db):
+        result = bag_of(db.execute("SELECT DISTINCT VALUE v FROM [1, 1, 2] AS v"))
+        assert sorted(result) == [1, 2]
+
+    def test_missing_output_is_element(self, db):
+        db.set("t", [{"a": 1}, {}])
+        result = db.execute("SELECT VALUE r.a FROM t AS r")
+        assert any(item is MISSING for item in result)
+
+    def test_missing_as_null_option(self, db):
+        db.set("t", [{}])
+        result = db.execute("SELECT VALUE r.a FROM t AS r", missing_as_null=True)
+        assert list(result) == [None]
+
+    def test_no_from_clause(self, db):
+        assert bag_of(db.execute("SELECT VALUE 1 + 1")) == [2]
+
+    def test_select_list_without_from(self, db):
+        result = bag_of(db.execute("SELECT 1 AS one"))
+        assert result[0].to_dict() == {"one": 1}
+
+
+class TestSetOperations:
+    def test_union_all(self, db):
+        result = db.execute("SELECT VALUE 1 UNION ALL SELECT VALUE 1")
+        assert bag_of(result) == [1, 1]
+
+    def test_union_distinct(self, db):
+        result = db.execute(
+            "(SELECT VALUE v FROM [1, 2] AS v) UNION (SELECT VALUE v FROM [2, 3] AS v)"
+        )
+        assert sorted(bag_of(result)) == [1, 2, 3]
+
+    def test_intersect_all_multiset(self, db):
+        result = db.execute(
+            "(SELECT VALUE v FROM [1, 1, 2] AS v) INTERSECT ALL "
+            "(SELECT VALUE v FROM [1, 1, 1] AS v)"
+        )
+        assert bag_of(result) == [1, 1]
+
+    def test_except_all_multiset(self, db):
+        result = db.execute(
+            "(SELECT VALUE v FROM [1, 1, 2] AS v) EXCEPT ALL "
+            "(SELECT VALUE v FROM [1] AS v)"
+        )
+        assert sorted(bag_of(result)) == [1, 2]
+
+    def test_except_distinct(self, db):
+        result = db.execute(
+            "(SELECT VALUE v FROM [1, 1, 2] AS v) EXCEPT (SELECT VALUE v FROM [2] AS v)"
+        )
+        assert bag_of(result) == [1]
+
+    def test_bare_collection_operands(self, db):
+        result = db.execute("[1, 2] UNION ALL <<3>>")
+        assert sorted(bag_of(result)) == [1, 2, 3]
+
+    def test_setop_requires_collections(self, db):
+        with pytest.raises(EvaluationError):
+            db.execute("1 UNION ALL 2")
+
+
+class TestOrderLimitOffset:
+    def test_order_by_returns_array(self, db):
+        result = db.execute("SELECT VALUE v FROM <<3, 1, 2>> AS v ORDER BY v")
+        assert isinstance(result, list)
+        assert result == [1, 2, 3]
+
+    def test_unordered_returns_bag(self, db):
+        assert isinstance(db.execute("SELECT VALUE v FROM [1] AS v"), Bag)
+
+    def test_order_desc(self, db):
+        result = db.execute("SELECT VALUE v FROM [1, 3, 2] AS v ORDER BY v DESC")
+        assert result == [3, 2, 1]
+
+    def test_order_by_binding_variable(self, db):
+        db.set("t", [{"k": 2, "v": "b"}, {"k": 1, "v": "a"}])
+        result = db.execute("SELECT VALUE r.v FROM t AS r ORDER BY r.k")
+        assert result == ["a", "b"]
+
+    def test_order_by_output_alias(self, db):
+        db.set("t", [{"k": 2}, {"k": 1}])
+        result = db.execute("SELECT r.k AS sort_me FROM t AS r ORDER BY sort_me")
+        assert [row["sort_me"] for row in result] == [1, 2]
+
+    def test_order_multiple_keys_mixed_direction(self, db):
+        db.set("t", [{"a": 1, "b": 2}, {"a": 1, "b": 1}, {"a": 0, "b": 9}])
+        result = db.execute(
+            "SELECT VALUE [r.a, r.b] FROM t AS r ORDER BY r.a ASC, r.b DESC"
+        )
+        assert result == [[0, 9], [1, 2], [1, 1]]
+
+    def test_nulls_default_first_asc(self, db):
+        result = db.execute("SELECT VALUE v FROM [2, NULL, 1] AS v ORDER BY v")
+        assert result[0] is None
+
+    def test_nulls_last_explicit(self, db):
+        result = db.execute(
+            "SELECT VALUE v FROM [2, NULL, 1] AS v ORDER BY v NULLS LAST"
+        )
+        assert result[-1] is None
+
+    def test_nulls_first_with_desc(self, db):
+        result = db.execute(
+            "SELECT VALUE v FROM [2, NULL, 1] AS v ORDER BY v DESC NULLS FIRST"
+        )
+        assert result[0] is None
+
+    def test_limit_offset(self, db):
+        result = db.execute("SELECT VALUE v FROM [1,2,3,4] AS v ORDER BY v LIMIT 2 OFFSET 1")
+        assert result == [2, 3]
+
+    def test_limit_without_order(self, db):
+        result = db.execute("SELECT VALUE v FROM [1, 2, 3] AS v LIMIT 2")
+        assert len(bag_of(result)) == 2
+
+    def test_negative_limit_rejected(self, db):
+        with pytest.raises(EvaluationError):
+            db.execute("SELECT VALUE v FROM [1] AS v LIMIT -1")
+
+    def test_limit_expression(self, db):
+        assert len(db.execute("SELECT VALUE v FROM [1,2,3] AS v LIMIT 1 + 1")) == 2
+
+    def test_limit_on_bare_expression_query(self, db):
+        result = db.execute("[3, 1, 2] LIMIT 2")
+        assert bag_of(result) == [3, 1]

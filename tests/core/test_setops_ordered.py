@@ -1,0 +1,112 @@
+"""Set operations combined with the post-SELECT clauses, and more
+window/typecheck coverage."""
+
+import pytest
+
+from repro import Database
+
+from tests.conftest import bag_of
+
+
+class TestSetOpsWithPostClauses:
+    def test_order_by_over_union(self, db):
+        # ORDER BY over a set operation sees the output's attributes
+        # (the binding environments of the operands are gone).
+        result = db.execute(
+            "SELECT v AS v FROM [3, 1] AS v UNION ALL SELECT 2 AS v ORDER BY v"
+        )
+        assert [row["v"] for row in result] == [1, 2, 3]
+
+    def test_limit_over_union(self, db):
+        result = db.execute(
+            "SELECT VALUE v FROM [1, 2] AS v UNION ALL SELECT VALUE 3 LIMIT 2"
+        )
+        assert len(bag_of(result)) == 2
+
+    def test_union_of_parenthesised_ordered_queries(self, db):
+        result = db.execute(
+            "(SELECT VALUE v FROM [2, 1] AS v ORDER BY v) UNION ALL "
+            "(SELECT VALUE v FROM [4, 3] AS v ORDER BY v)"
+        )
+        assert sorted(bag_of(result)) == [1, 2, 3, 4]
+
+    def test_intersect_empty(self, db):
+        result = db.execute("(SELECT VALUE 1) INTERSECT (SELECT VALUE 2)")
+        assert bag_of(result) == []
+
+    def test_three_way_chain(self, db):
+        result = db.execute(
+            "SELECT VALUE v FROM [1, 2, 3] AS v "
+            "EXCEPT ALL SELECT VALUE 2 "
+            "UNION ALL SELECT VALUE 9"
+        )
+        assert sorted(bag_of(result)) == [1, 3, 9]
+
+    def test_nested_subquery_setop(self, db):
+        result = bag_of(
+            db.execute(
+                "SELECT VALUE x FROM "
+                "((SELECT VALUE 1) UNION ALL (SELECT VALUE 2)) AS x"
+            )
+        )
+        assert sorted(result) == [1, 2]
+
+
+class TestWindowOverGroups:
+    def test_window_ranks_group_output(self, db):
+        db.set("t", [{"k": "a", "v": 1}, {"k": "a", "v": 3}, {"k": "b", "v": 2}])
+        result = bag_of(
+            db.execute(
+                "SELECT k, SUM(r.v) AS total, "
+                "RANK() OVER (ORDER BY SUM(r.v) DESC) AS rk "
+                "FROM t AS r GROUP BY r.k AS k"
+            )
+        )
+        ranks = {row["k"]: row["rk"] for row in result}
+        assert ranks == {"a": 1, "b": 2}
+
+    def test_window_sees_let_variables(self, db):
+        result = bag_of(
+            db.execute(
+                "SELECT ROW_NUMBER() OVER (ORDER BY y) AS rn, y AS y "
+                "FROM [3, 1, 2] AS x LET y = x * 10"
+            )
+        )
+        ordered = sorted(result, key=lambda row: row["rn"])
+        assert [row["y"] for row in ordered] == [10, 20, 30]
+
+
+class TestStaticCheckerMore:
+    def test_union_type_attribute_is_unknown(self):
+        from repro.schema import check_query
+
+        db = Database()
+        db.set("t", [{"p": "x"}])
+        db.set_schema(
+            "t", "BAG<STRUCT<p UNIONTYPE<STRING, ARRAY<STRING>>>>"
+        )
+        # Navigation into a union-typed value cannot be proven wrong.
+        findings = check_query(db.compile("SELECT VALUE r.p FROM t AS r"), db._schemas)
+        assert findings == []
+
+    def test_concat_on_number_flagged(self):
+        from repro.schema import check_query
+
+        db = Database()
+        db.set("t", [{"n": 1}])
+        db.set_schema("t", "BAG<STRUCT<n INT>>")
+        findings = check_query(
+            db.compile("SELECT VALUE r.n || 'x' FROM t AS r"), db._schemas
+        )
+        assert any("||" in finding for finding in findings)
+
+    def test_open_struct_attribute_allowed(self):
+        from repro.schema import check_query
+
+        db = Database()
+        db.set("t", [{"a": 1, "b": 2}])
+        db.set_schema("t", "BAG<STRUCT<a INT, ...>>")
+        findings = check_query(
+            db.compile("SELECT VALUE r.b FROM t AS r"), db._schemas
+        )
+        assert findings == []

@@ -1,0 +1,195 @@
+"""Subqueries, coercion (Section V-A), and composability."""
+
+import pytest
+
+from repro import Bag, Database, MISSING
+from repro.errors import EvaluationError
+
+from tests.conftest import bag_of
+
+
+@pytest.fixture
+def tdb(db):
+    db.set("t", [{"a": 1}, {"a": 2}, {"a": 3}])
+    return db
+
+
+class TestScalarCoercion:
+    def test_comparison_position(self, tdb):
+        assert tdb.execute("2 = (SELECT x.a FROM t AS x WHERE x.a = 2)") is True
+
+    def test_arithmetic_position(self, tdb):
+        assert tdb.execute("1 + (SELECT x.a FROM t AS x WHERE x.a = 2)") == 3
+
+    def test_select_item_position(self, tdb):
+        result = bag_of(
+            tdb.execute(
+                "SELECT (SELECT x.a FROM t AS x WHERE x.a = 1) AS one FROM [0] AS z"
+            )
+        )
+        assert result[0]["one"] == 1
+
+    def test_empty_is_null(self, tdb):
+        assert (
+            tdb.execute("(SELECT x.a FROM t AS x WHERE x.a > 99) IS NULL") is True
+        )
+
+    def test_multi_row_permissive_missing(self, tdb):
+        assert tdb.execute("(SELECT x.a FROM t AS x) IS MISSING") is True
+
+    def test_multi_row_strict_errors(self, tdb):
+        with pytest.raises(EvaluationError):
+            tdb.execute("1 + (SELECT x.a FROM t AS x)", typing_mode="strict")
+
+    def test_multi_column_row_is_type_error(self, tdb):
+        assert (
+            tdb.execute(
+                "(SELECT x.a, x.a AS b FROM t AS x WHERE x.a = 1) IS MISSING"
+            )
+            is True
+        )
+
+    def test_no_coercion_in_core_mode(self, tdb):
+        # In Core mode the subquery stays a collection of tuples.
+        assert (
+            tdb.execute(
+                "2 = (SELECT x.a FROM t AS x WHERE x.a = 2)", sql_compat=False
+            )
+            is False
+        )
+
+
+class TestCollectionCoercion:
+    def test_in_position(self, tdb):
+        assert tdb.execute("2 IN (SELECT x.a FROM t AS x)") is True
+        assert tdb.execute("9 IN (SELECT x.a FROM t AS x)") is False
+
+    def test_aggregate_argument_position(self, tdb):
+        # Listing 18's pattern: plain SELECT inside COLL_AVG.
+        assert tdb.execute("COLL_AVG(SELECT x.a FROM t AS x)") == 2.0
+
+    def test_select_value_not_coerced_in_aggregate(self, tdb):
+        assert tdb.execute("COLL_SUM(SELECT VALUE x.a FROM t AS x)") == 6
+
+
+class TestComposability:
+    def test_subquery_in_from(self, tdb):
+        result = bag_of(
+            tdb.execute(
+                "SELECT VALUE v FROM (SELECT VALUE x.a * 10 FROM t AS x) AS v"
+            )
+        )
+        assert sorted(result) == [10, 20, 30]
+
+    def test_subquery_in_where(self, tdb):
+        result = bag_of(
+            tdb.execute(
+                "SELECT VALUE x.a FROM t AS x "
+                "WHERE x.a = (SELECT y.a FROM t AS y WHERE y.a = 3)"
+            )
+        )
+        assert result == [3]
+
+    def test_correlated_subquery(self, db):
+        db.set("emps", [{"id": 1}, {"id": 2}])
+        db.set("orders", [{"emp": 1}, {"emp": 1}, {"emp": 2}])
+        result = bag_of(
+            db.execute(
+                "SELECT e.id AS id, "
+                "(SELECT VALUE COUNT(*) FROM orders AS o WHERE o.emp = e.id) AS n "
+                "FROM emps AS e"
+            )
+        )
+        counts = {row["id"]: bag_of(row["n"])[0] for row in result}
+        assert counts == {1: 2, 2: 1}
+
+    def test_subquery_inside_struct_constructor(self, tdb):
+        result = tdb.execute("{'all': (SELECT VALUE x.a FROM t AS x)}")
+        assert sorted(bag_of(result["all"])) == [1, 2, 3]
+
+    def test_subquery_inside_array_constructor(self, tdb):
+        result = tdb.execute("[(SELECT VALUE x.a FROM t AS x WHERE x.a = 1)]")
+        assert isinstance(result[0], Bag)
+
+    def test_exists_subquery(self, tdb):
+        assert tdb.execute("EXISTS (SELECT VALUE x FROM t AS x WHERE x.a = 3)") is True
+        assert (
+            tdb.execute("EXISTS (SELECT VALUE x FROM t AS x WHERE x.a = 99)") is False
+        )
+
+    def test_deeply_nested_subqueries(self, tdb):
+        result = tdb.execute(
+            "COLL_SUM(SELECT VALUE COLL_SUM(SELECT VALUE y FROM [x.a, x.a] AS y) "
+            "FROM t AS x)"
+        )
+        assert result == 12
+
+    def test_outer_variable_visible_in_nested_query(self, db):
+        db.set("t", [{"xs": [1, 2], "base": 10}])
+        result = bag_of(
+            db.execute(
+                "SELECT VALUE (SELECT VALUE x + r.base FROM r.xs AS x) FROM t AS r"
+            )
+        )
+        assert sorted(bag_of(result[0])) == [11, 12]
+
+
+class TestPivotQueries:
+    def test_pivot_returns_tuple(self, db):
+        db.set("prices", [{"s": "a", "p": 1}, {"s": "b", "p": 2}])
+        result = db.execute("PIVOT r.p AT r.s FROM prices AS r")
+        assert result.to_dict() == {"a": 1, "b": 2}
+
+    def test_pivot_skips_non_string_names_permissive(self, db):
+        db.set("prices", [{"s": "a", "p": 1}, {"s": 7, "p": 2}])
+        result = db.execute("PIVOT r.p AT r.s FROM prices AS r")
+        assert result.keys() == ["a"]
+
+    def test_pivot_strict_rejects_non_string_names(self, db):
+        from repro.errors import TypeCheckError
+
+        db.set("prices", [{"s": 7, "p": 2}])
+        with pytest.raises(TypeCheckError):
+            db.execute("PIVOT r.p AT r.s FROM prices AS r", typing_mode="strict")
+
+    def test_pivot_skips_missing_values(self, db):
+        db.set("prices", [{"s": "a"}, {"s": "b", "p": 2}])
+        result = db.execute("PIVOT r.p AT r.s FROM prices AS r")
+        assert result.keys() == ["b"]
+
+    def test_pivot_with_where(self, db):
+        db.set("prices", [{"s": "a", "p": 1}, {"s": "b", "p": 2}])
+        result = db.execute("PIVOT r.p AT r.s FROM prices AS r WHERE r.p > 1")
+        assert result.to_dict() == {"b": 2}
+
+    def test_pivot_duplicate_names_kept(self, db):
+        db.set("prices", [{"s": "a", "p": 1}, {"s": "a", "p": 2}])
+        result = db.execute("PIVOT r.p AT r.s FROM prices AS r")
+        assert result.get_all("a") == [1, 2]
+
+
+class TestUnpivot:
+    def test_unpivot_binds_name_and_value(self, db):
+        result = bag_of(
+            db.execute("SELECT VALUE [a, v] FROM UNPIVOT {'x': 1, 'y': 2} AS v AT a")
+        )
+        assert sorted(result) == [["x", 1], ["y", 2]]
+
+    def test_unpivot_non_tuple_permissive(self, db):
+        result = bag_of(db.execute("SELECT VALUE [a, v] FROM UNPIVOT 5 AS v AT a"))
+        assert result == [["_1", 5]]
+
+    def test_unpivot_missing_is_empty(self, db):
+        db.set("t", [{"id": 1}])
+        result = bag_of(
+            db.execute(
+                "SELECT VALUE v FROM t AS r, UNPIVOT r.nothing AS v AT a"
+            )
+        )
+        assert result == []
+
+    def test_unpivot_strict_rejects_non_tuple(self, db):
+        from repro.errors import TypeCheckError
+
+        with pytest.raises(TypeCheckError):
+            db.execute("SELECT VALUE v FROM UNPIVOT [1] AS v AT a", typing_mode="strict")

@@ -1,0 +1,161 @@
+"""Window functions over the binding stream (Section V-B compatibility)."""
+
+import pytest
+
+from repro import Database
+from repro.errors import EvaluationError
+
+from tests.conftest import bag_of
+
+
+@pytest.fixture
+def wdb(db):
+    db.set(
+        "emps",
+        [
+            {"name": "a", "dept": 1, "salary": 100},
+            {"name": "b", "dept": 1, "salary": 200},
+            {"name": "c", "dept": 1, "salary": 200},
+            {"name": "d", "dept": 2, "salary": 50},
+            {"name": "e", "dept": 2, "salary": 150},
+        ],
+    )
+    return db
+
+
+def by_name(result):
+    return {row["name"]: row["w"] for row in (s.to_dict() for s in bag_of(result))}
+
+
+class TestRanking:
+    def test_row_number(self, wdb):
+        result = by_name(
+            wdb.execute(
+                "SELECT e.name, ROW_NUMBER() OVER (PARTITION BY e.dept "
+                "ORDER BY e.salary) AS w FROM emps AS e"
+            )
+        )
+        assert result["a"] == 1
+        assert result["d"] == 1
+        assert result["e"] == 2
+
+    def test_rank_with_ties(self, wdb):
+        result = by_name(
+            wdb.execute(
+                "SELECT e.name, RANK() OVER (PARTITION BY e.dept "
+                "ORDER BY e.salary) AS w FROM emps AS e"
+            )
+        )
+        assert result["b"] == 2 and result["c"] == 2
+
+    def test_dense_rank(self, wdb):
+        result = by_name(
+            wdb.execute(
+                "SELECT e.name, DENSE_RANK() OVER (ORDER BY e.salary) AS w "
+                "FROM emps AS e"
+            )
+        )
+        assert result["b"] == result["c"] == 4 or result["b"] == result["c"] == 3
+
+    def test_percent_rank(self, wdb):
+        result = by_name(
+            wdb.execute(
+                "SELECT e.name, PERCENT_RANK() OVER (PARTITION BY e.dept "
+                "ORDER BY e.salary) AS w FROM emps AS e"
+            )
+        )
+        assert result["d"] == 0.0 and result["e"] == 1.0
+
+    def test_ntile(self, wdb):
+        result = by_name(
+            wdb.execute(
+                "SELECT e.name, NTILE(2) OVER (ORDER BY e.salary) AS w "
+                "FROM emps AS e"
+            )
+        )
+        assert sorted(result.values()) == [1, 1, 1, 2, 2]
+
+
+class TestOffsetsAndValues:
+    def test_lag_default_null(self, wdb):
+        result = by_name(
+            wdb.execute(
+                "SELECT e.name, LAG(e.salary) OVER (PARTITION BY e.dept "
+                "ORDER BY e.salary) AS w FROM emps AS e"
+            )
+        )
+        assert result["d"] is None
+        assert result["e"] == 50
+
+    def test_lead_with_default(self, wdb):
+        result = by_name(
+            wdb.execute(
+                "SELECT e.name, LEAD(e.salary, 1, -1) OVER (PARTITION BY e.dept "
+                "ORDER BY e.salary) AS w FROM emps AS e"
+            )
+        )
+        assert result["e"] == -1
+
+    def test_first_value(self, wdb):
+        result = by_name(
+            wdb.execute(
+                "SELECT e.name, FIRST_VALUE(e.salary) OVER (PARTITION BY e.dept "
+                "ORDER BY e.salary) AS w FROM emps AS e"
+            )
+        )
+        assert result["b"] == 100 and result["e"] == 50
+
+
+class TestWindowedAggregates:
+    def test_whole_partition_without_order(self, wdb):
+        result = by_name(
+            wdb.execute(
+                "SELECT e.name, SUM(e.salary) OVER (PARTITION BY e.dept) AS w "
+                "FROM emps AS e"
+            )
+        )
+        assert result["a"] == 500 and result["d"] == 200
+
+    def test_running_sum_with_order(self, wdb):
+        result = by_name(
+            wdb.execute(
+                "SELECT e.name, SUM(e.salary) OVER (PARTITION BY e.dept "
+                "ORDER BY e.salary) AS w FROM emps AS e"
+            )
+        )
+        assert result["a"] == 100
+        # b and c are salary peers: RANGE semantics include both.
+        assert result["b"] == result["c"] == 500
+
+    def test_count_star_window(self, wdb):
+        result = by_name(
+            wdb.execute(
+                "SELECT e.name, COUNT(*) OVER (PARTITION BY e.dept) AS w "
+                "FROM emps AS e"
+            )
+        )
+        assert result["a"] == 3 and result["d"] == 2
+
+    def test_window_over_nested_data(self, paper_db):
+        # Windows compose with unnesting: rank projects per employee.
+        result = bag_of(
+            paper_db.execute(
+                "SELECT e.name, p AS p, ROW_NUMBER() OVER (PARTITION BY e.id "
+                "ORDER BY p) AS w FROM hr.emp_nest_scalars AS e, e.projects AS p"
+            )
+        )
+        bob_rows = [s.to_dict() for s in result if s["name"] == "Bob Smith"]
+        assert sorted(row["w"] for row in bob_rows) == [1, 2, 3]
+
+
+class TestWindowErrors:
+    def test_window_outside_select_rejected(self, wdb):
+        with pytest.raises(EvaluationError):
+            wdb.execute(
+                "SELECT VALUE e FROM emps AS e "
+                "WHERE ROW_NUMBER() OVER (ORDER BY e.salary) = 1"
+            )
+
+    def test_non_window_function_with_over(self, wdb):
+        with pytest.raises(EvaluationError):
+            wdb.execute("SELECT LOWER(e.name) OVER () AS w FROM emps AS e")

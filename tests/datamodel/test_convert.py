@@ -1,0 +1,69 @@
+"""Python ↔ model conversion."""
+
+import pytest
+
+from repro.datamodel.convert import from_python, to_python
+from repro.datamodel.values import MISSING, Bag, Struct
+
+
+class TestFromPython:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "s"):
+            assert from_python(value) is value
+
+    def test_dict_becomes_struct(self):
+        value = from_python({"a": {"b": 1}})
+        assert isinstance(value, Struct)
+        assert isinstance(value["a"], Struct)
+
+    def test_list_becomes_array(self):
+        assert from_python([1, [2]]) == [1, [2]]
+
+    def test_tuple_becomes_array(self):
+        assert from_python((1, 2)) == [1, 2]
+
+    def test_set_becomes_bag(self):
+        value = from_python({1})
+        assert isinstance(value, Bag)
+        assert value.to_list() == [1]
+
+    def test_model_values_pass_through(self):
+        bag = Bag([Struct({"a": 1})])
+        converted = from_python(bag)
+        assert converted == bag
+
+    def test_nested_python_inside_model_is_converted(self):
+        bag = Bag([{"a": [1]}])
+        converted = from_python(bag)
+        assert isinstance(converted.to_list()[0], Struct)
+
+    def test_non_string_dict_keys_coerced(self):
+        value = from_python({1: "x"})
+        assert value.keys() == ["1"]
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            from_python(object())
+
+
+class TestToPython:
+    def test_struct_becomes_dict(self):
+        assert to_python(Struct({"a": 1})) == {"a": 1}
+
+    def test_bag_becomes_list(self):
+        assert to_python(Bag([1, 2])) == [1, 2]
+
+    def test_missing_becomes_none_by_default(self):
+        assert to_python(MISSING) is None
+
+    def test_missing_rejected_when_strict(self):
+        with pytest.raises(ValueError):
+            to_python(MISSING, missing_as_none=False)
+
+    def test_missing_collection_elements_dropped(self):
+        assert to_python(Bag([1, MISSING, 2])) == [1, 2]
+        assert to_python([1, MISSING]) == [1]
+
+    def test_round_trip(self):
+        data = {"emps": [{"name": "Bob", "projects": ["a", "b"], "title": None}]}
+        assert to_python(from_python(data)) == data

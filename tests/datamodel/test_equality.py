@@ -1,0 +1,102 @@
+"""Deep equality and grouping keys."""
+
+import pytest
+
+from repro.datamodel.equality import deep_equals, group_key
+from repro.datamodel.values import MISSING, Bag, Struct
+
+
+class TestDeepEquals:
+    def test_absent_values(self):
+        assert deep_equals(None, None)
+        assert deep_equals(MISSING, MISSING)
+        assert not deep_equals(None, MISSING)
+        assert not deep_equals(MISSING, 0)
+
+    def test_numbers_unify_int_float(self):
+        assert deep_equals(1, 1.0)
+        assert not deep_equals(1, 2)
+
+    def test_booleans_are_not_numbers(self):
+        assert not deep_equals(True, 1)
+        assert not deep_equals(False, 0)
+        assert deep_equals(True, True)
+
+    def test_strings(self):
+        assert deep_equals("a", "a")
+        assert not deep_equals("a", "A")
+        assert not deep_equals("1", 1)
+
+    def test_arrays_ordered(self):
+        assert deep_equals([1, 2], [1, 2])
+        assert not deep_equals([1, 2], [2, 1])
+        assert not deep_equals([1], [1, 1])
+
+    def test_bags_unordered(self):
+        assert deep_equals(Bag([1, 2]), Bag([2, 1]))
+        assert not deep_equals(Bag([1, 1]), Bag([1, 2]))
+
+    def test_array_is_not_bag(self):
+        assert not deep_equals([1], Bag([1]))
+
+    def test_structs_unordered(self):
+        assert deep_equals(
+            Struct([("a", 1), ("b", 2)]), Struct([("b", 2), ("a", 1)])
+        )
+
+    def test_structs_with_duplicates(self):
+        assert deep_equals(
+            Struct([("a", 1), ("a", 2)]), Struct([("a", 2), ("a", 1)])
+        )
+        assert not deep_equals(
+            Struct([("a", 1), ("a", 1)]), Struct([("a", 1), ("a", 2)])
+        )
+
+    def test_nested_composition(self):
+        left = Bag([Struct({"xs": [1, Bag(["a"])]})])
+        right = Bag([Struct({"xs": [1, Bag(["a"])]})])
+        assert deep_equals(left, right)
+
+    def test_rejects_foreign_types(self):
+        with pytest.raises(TypeError):
+            deep_equals(object(), object())
+
+
+class TestGroupKey:
+    def test_key_equality_iff_deep_equality(self):
+        values = [
+            None,
+            MISSING,
+            True,
+            False,
+            0,
+            1,
+            1.0,
+            "1",
+            "a",
+            [1],
+            [1, 2],
+            Bag([1, 2]),
+            Bag([2, 1]),
+            Struct({"a": 1}),
+            Struct({"a": 2}),
+        ]
+        for left in values:
+            for right in values:
+                assert (group_key(left) == group_key(right)) == deep_equals(
+                    left, right
+                ), (left, right)
+
+    def test_keys_are_hashable(self):
+        for value in [None, MISSING, 1, "a", [1, [2]], Bag([Struct({"a": 1})])]:
+            hash(group_key(value))
+
+    def test_int_float_same_key(self):
+        assert group_key(1) == group_key(1.0)
+        assert hash(group_key(1)) == hash(group_key(1.0))
+
+    def test_bool_and_int_differ(self):
+        assert group_key(True) != group_key(1)
+
+    def test_bag_key_is_permutation_invariant(self):
+        assert group_key(Bag(["b", "a"])) == group_key(Bag(["a", "b"]))

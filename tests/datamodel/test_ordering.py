@@ -1,0 +1,61 @@
+"""The ORDER BY total order."""
+
+import math
+
+from repro.datamodel.ordering import sort_key
+from repro.datamodel.values import MISSING, Bag, Struct
+
+
+def sorted_values(values):
+    return sorted(values, key=sort_key)
+
+
+class TestTypeRanks:
+    def test_cross_type_order(self):
+        values = [Struct({"a": 1}), "s", 3, True, None, MISSING, [1], Bag([1])]
+        ordered = sorted_values(values)
+        assert ordered[0] is MISSING
+        assert ordered[1] is None
+        assert ordered[2] is True
+        assert ordered[3] == 3
+        assert ordered[4] == "s"
+        assert ordered[5] == [1]
+        assert isinstance(ordered[6], Struct)
+        assert isinstance(ordered[7], Bag)
+
+    def test_every_pair_is_comparable(self):
+        values = [MISSING, None, False, 1, 2.5, "a", [], [1], Struct(), Bag()]
+        for left in values:
+            for right in values:
+                # Must not raise.
+                sort_key(left) < sort_key(right)  # noqa: B015
+
+
+class TestWithinType:
+    def test_booleans(self):
+        assert sorted_values([True, False]) == [False, True]
+
+    def test_numbers_mix_int_float(self):
+        assert sorted_values([2, 1.5, 3]) == [1.5, 2, 3]
+
+    def test_nan_sorts_below_numbers(self):
+        ordered = sorted_values([1.0, float("nan"), -math.inf])
+        assert math.isnan(ordered[0])
+        assert ordered[1] == -math.inf
+
+    def test_strings_lexicographic(self):
+        assert sorted_values(["b", "a", "ab"]) == ["a", "ab", "b"]
+
+    def test_arrays_lexicographic(self):
+        assert sorted_values([[2], [1, 9], [1]]) == [[1], [1, 9], [2]]
+
+    def test_structs_by_sorted_pairs(self):
+        ordered = sorted_values([Struct({"b": 1}), Struct({"a": 1})])
+        assert ordered[0].keys() == ["a"]
+
+    def test_bags_permutation_insensitive(self):
+        assert sort_key(Bag([2, 1])) == sort_key(Bag([1, 2]))
+
+    def test_deterministic(self):
+        values = [3, "x", None, [1, "a"], Struct({"k": Bag([1])})]
+        assert sorted_values(values) == sorted_values(list(reversed(values)))

@@ -1,0 +1,118 @@
+"""Property-based tests for the data model (hypothesis).
+
+Strategies build arbitrary SQL++ values; the properties are the laws the
+engine relies on everywhere: equality is an equivalence compatible with
+``group_key``; bags are permutation-invariant; the total order is, in
+fact, total; Python round-trips are stable.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datamodel.convert import from_python, to_python
+from repro.datamodel.equality import deep_equals, group_key
+from repro.datamodel.ordering import sort_key
+from repro.datamodel.values import Bag, Struct
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+)
+
+
+def values(depth=3):
+    if depth == 0:
+        return scalars
+    inner = values(depth - 1)
+    return st.one_of(
+        scalars,
+        st.lists(inner, max_size=4),
+        st.builds(Bag, st.lists(inner, max_size=4)),
+        st.builds(
+            Struct,
+            st.lists(
+                st.tuples(st.text(max_size=6), inner), max_size=4
+            ),
+        ),
+    )
+
+
+VALUES = values()
+
+
+@given(VALUES)
+def test_equality_reflexive(value):
+    assert deep_equals(value, value)
+
+
+@given(VALUES, VALUES)
+def test_equality_symmetric(left, right):
+    assert deep_equals(left, right) == deep_equals(right, left)
+
+
+@given(VALUES, VALUES)
+def test_group_key_characterises_equality(left, right):
+    assert (group_key(left) == group_key(right)) == deep_equals(left, right)
+
+
+@given(st.lists(VALUES, max_size=6), st.randoms(use_true_random=False))
+def test_bag_equality_permutation_invariant(items, rng):
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    assert deep_equals(Bag(items), Bag(shuffled))
+
+
+@given(VALUES, VALUES, VALUES)
+@settings(max_examples=60)
+def test_sort_key_total_and_transitive(a, b, c):
+    keys = sorted([sort_key(a), sort_key(b), sort_key(c)])
+    assert keys[0] <= keys[1] <= keys[2]
+
+
+@given(VALUES)
+def test_sort_key_consistent_with_equality(value):
+    # Equal values must sort identically (same key).
+    assert sort_key(value) == sort_key(value)
+
+
+@given(VALUES)
+def test_from_python_idempotent(value):
+    once = from_python(value)
+    twice = from_python(once)
+    assert deep_equals(once, twice)
+
+
+json_like = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**31), max_value=2**31),
+        st.text(max_size=10),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+@given(json_like)
+def test_python_round_trip(data):
+    assert to_python(from_python(data)) == data
+
+
+@given(st.lists(VALUES, max_size=8))
+def test_multiset_difference_of_self_is_empty(items):
+    """The counting logic behind EXCEPT ALL must cancel exactly."""
+    counts = {}
+    for item in items:
+        key = group_key(item)
+        counts[key] = counts.get(key, 0) + 1
+    for item in random.Random(0).sample(items, len(items)):
+        counts[group_key(item)] -= 1
+    assert all(count == 0 for count in counts.values())

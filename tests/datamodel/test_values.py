@@ -1,0 +1,167 @@
+"""Unit tests for the value types (paper, Section II)."""
+
+import pickle
+
+import pytest
+
+from repro.datamodel.values import (
+    MISSING,
+    Bag,
+    Missing,
+    Struct,
+    is_absent,
+    is_collection,
+    is_scalar,
+    type_name,
+)
+
+
+class TestMissing:
+    def test_singleton(self):
+        assert Missing() is MISSING
+        assert Missing() is Missing()
+
+    def test_falsy(self):
+        assert not MISSING
+
+    def test_repr(self):
+        assert repr(MISSING) == "MISSING"
+
+    def test_pickle_preserves_singleton(self):
+        assert pickle.loads(pickle.dumps(MISSING)) is MISSING
+
+    def test_distinct_from_none(self):
+        assert MISSING is not None
+        assert (MISSING == None) is False  # noqa: E711 - identity semantics
+
+
+class TestStruct:
+    def test_from_dict(self):
+        struct = Struct({"a": 1, "b": 2})
+        assert struct["a"] == 1
+        assert struct.keys() == ["a", "b"]
+
+    def test_from_pairs_allows_duplicates(self):
+        struct = Struct([("a", 1), ("a", 2)])
+        assert len(struct) == 2
+        assert struct.get_all("a") == [1, 2]
+
+    def test_get_returns_first_binding(self):
+        struct = Struct([("a", 1), ("a", 2)])
+        assert struct.get("a") == 1
+
+    def test_get_absent_is_missing(self):
+        assert Struct().get("nope") is MISSING
+
+    def test_getitem_absent_raises(self):
+        with pytest.raises(KeyError):
+            Struct()["nope"]
+
+    def test_contains(self):
+        struct = Struct({"a": 1})
+        assert "a" in struct
+        assert "b" not in struct
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(ValueError):
+            Struct([("a", MISSING)])
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(TypeError):
+            Struct([(1, "x")])
+
+    def test_with_attr_appends(self):
+        struct = Struct({"a": 1}).with_attr("b", 2)
+        assert struct.items() == [("a", 1), ("b", 2)]
+
+    def test_with_attr_missing_is_noop(self):
+        base = Struct({"a": 1})
+        assert base.with_attr("b", MISSING) is base
+
+    def test_merged_keeps_duplicates(self):
+        merged = Struct({"a": 1}).merged(Struct({"a": 2}))
+        assert merged.get_all("a") == [1, 2]
+
+    def test_null_values_allowed(self):
+        struct = Struct({"title": None})
+        assert struct["title"] is None
+        assert "title" in struct
+
+    def test_equality_is_order_insensitive(self):
+        assert Struct([("a", 1), ("b", 2)]) == Struct([("b", 2), ("a", 1)])
+
+    def test_inequality_on_values(self):
+        assert Struct({"a": 1}) != Struct({"a": 2})
+
+    def test_to_dict_last_duplicate_wins(self):
+        assert Struct([("a", 1), ("a", 2)]).to_dict() == {"a": 2}
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Struct())
+
+
+class TestBag:
+    def test_len_and_iter(self):
+        bag = Bag([1, 2, 2])
+        assert len(bag) == 3
+        assert list(bag) == [1, 2, 2]
+
+    def test_add(self):
+        bag = Bag()
+        bag.add(5)
+        assert bag.to_list() == [5]
+
+    def test_multiset_equality_ignores_order(self):
+        assert Bag([1, 2, 3]) == Bag([3, 1, 2])
+
+    def test_multiplicity_matters(self):
+        assert Bag([1, 1, 2]) != Bag([1, 2, 2])
+
+    def test_not_equal_to_list(self):
+        assert (Bag([1]) == [1]) is False
+
+    def test_repr(self):
+        assert repr(Bag([1])) == "<<1>>"
+
+
+class TestClassifiers:
+    @pytest.mark.parametrize("value", [True, 0, 1.5, "s"])
+    def test_is_scalar(self, value):
+        assert is_scalar(value)
+
+    @pytest.mark.parametrize("value", [None, MISSING, [], Bag(), Struct()])
+    def test_not_scalar(self, value):
+        assert not is_scalar(value)
+
+    def test_is_collection(self):
+        assert is_collection([])
+        assert is_collection(Bag())
+        assert not is_collection(Struct())
+        assert not is_collection("string")
+
+    def test_is_absent(self):
+        assert is_absent(None)
+        assert is_absent(MISSING)
+        assert not is_absent(0)
+
+    @pytest.mark.parametrize(
+        "value, name",
+        [
+            (MISSING, "missing"),
+            (None, "null"),
+            (True, "boolean"),
+            (3, "integer"),
+            (3.5, "float"),
+            ("x", "string"),
+            ([], "array"),
+            (Bag(), "bag"),
+            (Struct(), "tuple"),
+        ],
+    )
+    def test_type_name(self, value, name):
+        assert type_name(value) == name
+
+    def test_type_name_rejects_foreign(self):
+        with pytest.raises(TypeError):
+            type_name(object())

@@ -1,0 +1,237 @@
+"""Unit tests for every format codec."""
+
+import math
+
+import pytest
+
+from repro.datamodel.values import MISSING, Bag, Struct
+from repro.errors import FormatError
+from repro.formats import cbor_io, csv_io, ion_io, json_io, sqlpp_text
+
+
+class TestSqlppLiteral:
+    def test_paper_notation(self):
+        value = sqlpp_text.loads(
+            "{{ {'id': 3, 'name': 'Bob', 'title': null, 'xs': [1, 2]} }}"
+        )
+        assert isinstance(value, Bag)
+        element = value.to_list()[0]
+        assert element["title"] is None
+        assert element["xs"] == [1, 2]
+
+    def test_missing_keyword(self):
+        assert sqlpp_text.loads("missing") is MISSING
+
+    def test_quote_escape(self):
+        assert sqlpp_text.loads("'it''s'") == "it's"
+
+    def test_comments_allowed(self):
+        assert sqlpp_text.loads("{'a': 1} -- trailing")["a"] == 1
+
+    def test_round_trip(self):
+        value = sqlpp_text.loads("{{ {'a': [1, {'b': <<2, 'x'>>}], 'n': null} }}")
+        assert sqlpp_text.loads(sqlpp_text.dumps(value)) == value
+
+    def test_invalid_raises_format_error(self):
+        with pytest.raises(FormatError):
+            sqlpp_text.loads("{'unclosed': ")
+
+    def test_dumps_empty_collections(self):
+        assert sqlpp_text.dumps(Bag()) == "{{}}"
+        assert sqlpp_text.dumps([]) == "[]"
+        assert sqlpp_text.dumps(Struct()) == "{}"
+
+
+class TestJson:
+    def test_objects_to_structs(self):
+        value = json_io.loads('{"a": {"b": 1}}')
+        assert isinstance(value, Struct)
+        assert isinstance(value["a"], Struct)
+
+    def test_top_level_array_reads_as_bag(self):
+        assert isinstance(json_io.loads("[1, 2]"), Bag)
+        assert json_io.loads("[1, 2]", top_level_bag=False) == [1, 2]
+
+    def test_duplicate_keys_preserved(self):
+        value = json_io.loads('{"a": 1, "a": 2}')
+        assert value.get_all("a") == [1, 2]
+
+    def test_dumps_bag_as_array(self):
+        assert json_io.loads(json_io.dumps(Bag([1]))) == Bag([1])
+
+    def test_dumps_rejects_missing(self):
+        with pytest.raises(FormatError):
+            json_io.dumps(MISSING)
+
+    def test_dumps_rejects_duplicate_keys(self):
+        with pytest.raises(FormatError):
+            json_io.dumps(Struct([("a", 1), ("a", 2)]))
+
+    def test_invalid_json(self):
+        with pytest.raises(FormatError):
+            json_io.loads("{nope}")
+
+    def test_round_trip(self):
+        text = '[{"a": [1, 2.5, null, true], "b": {"c": "x"}}]'
+        value = json_io.loads(text)
+        assert json_io.loads(json_io.dumps(value)) == value
+
+
+class TestCsv:
+    def test_header_and_type_inference(self):
+        bag = csv_io.loads("id,name,score,ok\n1,ann,2.5,true\n2,bo,3,false\n")
+        rows = bag.to_list()
+        assert rows[0]["id"] == 1
+        assert rows[0]["score"] == 2.5
+        assert rows[0]["ok"] is True
+        assert rows[1]["ok"] is False
+
+    def test_empty_field_is_missing_attribute(self):
+        bag = csv_io.loads("id,title\n1,\n2,boss\n")
+        first = bag.to_list()[0]
+        assert "title" not in first
+
+    def test_null_keyword(self):
+        bag = csv_io.loads("t\nnull\n")
+        assert bag.to_list()[0]["t"] is None
+
+    def test_no_inference_mode(self):
+        bag = csv_io.loads("n\n42\n", infer_types=False)
+        assert bag.to_list()[0]["n"] == "42"
+
+    def test_dumps_union_header(self):
+        text = csv_io.dumps(Bag([Struct({"a": 1}), Struct({"b": 2})]))
+        assert text.splitlines()[0] == "a,b"
+
+    def test_dumps_rejects_nested(self):
+        with pytest.raises(FormatError):
+            csv_io.dumps(Bag([Struct({"a": [1]})]))
+
+    def test_round_trip(self):
+        bag = Bag([Struct({"id": 1, "name": "x", "v": None})])
+        assert csv_io.loads(csv_io.dumps(bag)) == bag
+
+    def test_empty_input(self):
+        assert csv_io.loads("") == Bag()
+
+
+class TestCbor:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            23,
+            24,
+            255,
+            256,
+            65536,
+            2**32,
+            -1,
+            -25,
+            -(2**33),
+            1.5,
+            "",
+            "héllo",
+            [1, [2, "x"]],
+            Struct([("a", 1), ("a", 2)]),
+            Bag([1, Struct({"k": [None]})]),
+        ],
+    )
+    def test_round_trip(self, value):
+        from repro.datamodel.equality import deep_equals
+
+        assert deep_equals(cbor_io.loads(cbor_io.dumps(value)), value)
+
+    def test_canonical_int_lengths(self):
+        assert len(cbor_io.dumps(23)) == 1
+        assert len(cbor_io.dumps(24)) == 2
+        assert len(cbor_io.dumps(256)) == 3
+        assert len(cbor_io.dumps(65536)) == 5
+
+    def test_bag_uses_tag(self):
+        data = cbor_io.dumps(Bag([1]))
+        # 6.1008 head: major 6, argument 1008 needs 2 bytes.
+        assert data[0] == (6 << 5) | 25
+
+    def test_float_decoding_widths(self):
+        # half (0xf9), single (0xfa), double (0xfb)
+        assert cbor_io.loads(bytes([0xF9, 0x3C, 0x00])) == 1.0
+        assert cbor_io.loads(bytes([0xFA, 0x3F, 0x80, 0x00, 0x00])) == 1.0
+        assert cbor_io.loads(cbor_io.dumps(2.5)) == 2.5
+
+    def test_half_precision_specials(self):
+        assert math.isinf(cbor_io.loads(bytes([0xF9, 0x7C, 0x00])))
+        assert math.isnan(cbor_io.loads(bytes([0xF9, 0x7E, 0x00])))
+        assert cbor_io.loads(bytes([0xF9, 0xBC, 0x00])) == -1.0
+
+    def test_truncated_input(self):
+        with pytest.raises(FormatError):
+            cbor_io.loads(cbor_io.dumps("hello")[:-1])
+
+    def test_trailing_bytes(self):
+        with pytest.raises(FormatError):
+            cbor_io.loads(cbor_io.dumps(1) + b"\x00")
+
+    def test_missing_rejected(self):
+        with pytest.raises(FormatError):
+            cbor_io.dumps(MISSING)
+
+    def test_byte_strings_rejected(self):
+        with pytest.raises(FormatError):
+            cbor_io.loads(bytes([(2 << 5) | 1, 0x41]))
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(FormatError):
+            cbor_io.loads(bytes([(6 << 5) | 0]) + cbor_io.dumps([]))
+
+
+class TestIon:
+    def test_scalars(self):
+        assert ion_io.loads("null") is None
+        assert ion_io.loads("null.int") is None
+        assert ion_io.loads("true") is True
+        assert ion_io.loads("42") == 42
+        assert ion_io.loads("2.5") == 2.5
+        assert ion_io.loads("1e3") == 1000.0
+        assert ion_io.loads('"hi"') == "hi"
+
+    def test_symbols_read_as_strings(self):
+        assert ion_io.loads("engineer") == "engineer"
+
+    def test_struct_with_symbol_and_string_names(self):
+        value = ion_io.loads('{name: "Bob", "the title": manager}')
+        assert value["name"] == "Bob"
+        assert value["the title"] == "manager"
+
+    def test_list_and_bag_annotation(self):
+        assert ion_io.loads("[1, 2]") == [1, 2]
+        assert ion_io.loads("bag::[1, 2]") == Bag([1, 2])
+
+    def test_multiple_top_level_values_are_a_bag(self):
+        assert ion_io.loads("{a: 1}\n{a: 2}") == Bag(
+            [Struct({"a": 1}), Struct({"a": 2})]
+        )
+
+    def test_comments(self):
+        assert ion_io.loads("// c\n1 /* x */") == 1
+
+    def test_string_escapes(self):
+        assert ion_io.loads(r'"a\nbA"') == "a\nbA"
+
+    def test_long_string(self):
+        assert ion_io.loads("'''multi\nline'''") == "multi\nline"
+
+    def test_round_trip(self):
+        value = Bag([Struct({"a": [1, 2.5, None], "b": "x y"})])
+        assert ion_io.loads(ion_io.dumps(value)) == value
+
+    def test_unsupported_annotation(self):
+        with pytest.raises(FormatError):
+            ion_io.loads("sexp::[1]")
+
+    def test_missing_rejected(self):
+        with pytest.raises(FormatError):
+            ion_io.dumps(MISSING)

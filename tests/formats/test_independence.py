@@ -1,0 +1,158 @@
+"""Format independence (tenet 5): one query, N formats, one answer.
+
+Also property-based round-trips through every codec.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Database
+from repro.datamodel.convert import from_python
+from repro.datamodel.equality import deep_equals
+from repro.datamodel.values import Bag
+from repro.errors import FormatError
+from repro.formats import cbor_io, ion_io, json_io, sqlpp_text
+from repro.formats.registry import FORMATS, read_text, write_text
+
+DOCUMENTS = [
+    {"symbol": "amzn", "price": 1900, "tags": ["tech", "retail"]},
+    {"symbol": "goog", "price": 1120, "tags": ["tech"]},
+    {"symbol": "fb", "price": 180, "tags": []},
+]
+
+QUERY = (
+    "SELECT r.symbol AS s, t AS t FROM prices AS r, r.tags AS t "
+    "WHERE r.price > 1000"
+)
+
+
+class TestOneQueryManyFormats:
+    def reference_result(self):
+        db = Database()
+        db.set("prices", DOCUMENTS)
+        return db.execute(QUERY)
+
+    @pytest.mark.parametrize("format_name", ["json", "cbor", "ion", "sqlpp"])
+    def test_same_answer_through_every_format(self, format_name):
+        model = from_python(DOCUMENTS)
+        encoded = write_text(Bag(model), format_name)
+        decoded = read_text(encoded, format_name)
+        db = Database()
+        db.set("prices", decoded)
+        assert deep_equals(db.execute(QUERY), self.reference_result())
+
+    def test_csv_flat_projection_matches(self):
+        # CSV cannot hold the nested tags; the flat part must agree.
+        flat = [{k: v for k, v in doc.items() if k != "tags"} for doc in DOCUMENTS]
+        encoded = write_text(from_python([from_python(d) for d in flat]), "csv")
+        db = Database()
+        db.set("prices", read_text(encoded, "csv"))
+        result = db.execute("SELECT VALUE r.symbol FROM prices AS r WHERE r.price > 1000")
+        assert sorted(result) == ["amzn", "goog"]
+
+
+class TestRegistry:
+    def test_known_formats(self):
+        assert set(FORMATS) >= {"sqlpp", "json", "csv", "cbor", "ion"}
+
+    def test_unknown_format(self):
+        with pytest.raises(FormatError):
+            read_text("x", "parquet")
+
+    def test_file_round_trip_by_extension(self, tmp_path):
+        from repro.formats.registry import read_file, write_file
+
+        value = from_python([{"a": 1}])
+        for extension in (".json", ".cbor", ".ion", ".sqlpp"):
+            path = str(tmp_path / f"data{extension}")
+            write_file(Bag(value), path)
+            assert deep_equals(read_file(path), Bag(value))
+
+    def test_unknown_extension(self, tmp_path):
+        from repro.formats.registry import read_file
+
+        with pytest.raises(FormatError):
+            read_file(str(tmp_path / "x.parquet"))
+
+    def test_database_load_dump(self, tmp_path):
+        db = Database()
+        db.set("t", [{"a": 1}])
+        path = str(tmp_path / "t.json")
+        db.dump("t", path)
+        db.load("t2", path)
+        assert deep_equals(Bag(db.get("t")) if not isinstance(db.get("t"), Bag) else db.get("t"), db.get("t2"))
+
+
+# -- property-based round trips ----------------------------------------------
+
+json_like = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=10),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(
+            st.text(max_size=6), children, max_size=4
+        ),
+    ),
+    max_leaves=15,
+)
+
+
+@given(json_like)
+@settings(max_examples=80)
+def test_cbor_round_trip_property(data):
+    value = from_python(data)
+    assert deep_equals(cbor_io.loads(cbor_io.dumps(value)), value)
+
+
+@given(json_like)
+@settings(max_examples=80)
+def test_json_round_trip_property(data):
+    value = from_python(data)
+    decoded = json_io.loads(json_io.dumps(value), top_level_bag=False)
+    assert deep_equals(decoded, value)
+
+
+@given(json_like)
+@settings(max_examples=80)
+def test_sqlpp_literal_round_trip_property(data):
+    value = from_python(data)
+    assert deep_equals(sqlpp_text.loads(sqlpp_text.dumps(value)), value)
+
+
+ion_safe = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            max_size=10,
+        ),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(
+            st.text(
+                alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                min_size=1,
+                max_size=6,
+            ),
+            children,
+            max_size=4,
+        ),
+    ),
+    max_leaves=15,
+)
+
+
+@given(ion_safe)
+@settings(max_examples=80)
+def test_ion_round_trip_property(data):
+    value = from_python(data)
+    assert deep_equals(ion_io.loads(ion_io.dumps(value)), value)

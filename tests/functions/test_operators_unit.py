@@ -1,0 +1,116 @@
+"""Direct unit tests for operator internals not reachable via queries."""
+
+import pytest
+
+from repro.config import EvalConfig
+from repro.datamodel.values import MISSING, Bag, Struct
+from repro.errors import EvaluationError, TypeCheckError
+from repro.functions import operators as ops
+
+PERMISSIVE = EvalConfig()
+STRICT = EvalConfig(typing_mode="strict")
+
+
+class TestLikeInternals:
+    def test_escape_at_pattern_end_is_an_error(self):
+        with pytest.raises(EvaluationError):
+            ops.like("x", "abc!", "!", PERMISSIVE)
+
+    def test_multichar_escape_rejected(self):
+        assert ops.like("x", "a", "!!", PERMISSIVE) is MISSING
+        with pytest.raises(TypeCheckError):
+            ops.like("x", "a", "!!", STRICT)
+
+    def test_dotall_matches_newlines(self):
+        assert ops.like("a\nb", "a%b", None, PERMISSIVE) is True
+
+    def test_escaped_underscore(self):
+        assert ops.like("a_b", "a!_b", "!", PERMISSIVE) is True
+        assert ops.like("axb", "a!_b", "!", PERMISSIVE) is False
+
+
+class TestEqualsInternals:
+    def test_equals_total_across_composites(self):
+        assert ops.equals([1], Bag([1]), PERMISSIVE) is False
+        assert ops.equals(Struct({"a": 1}), [("a", 1)], PERMISSIVE) is False
+
+    def test_not_equals_propagates_absence(self):
+        assert ops.not_equals(None, 1, PERMISSIVE) is None
+        assert ops.not_equals(MISSING, 1, PERMISSIVE) is MISSING
+
+
+class TestInCollectionInternals:
+    def test_null_collection_is_null(self):
+        assert ops.in_collection(1, None, PERMISSIVE) is None
+
+    def test_missing_collection_is_missing(self):
+        assert ops.in_collection(1, MISSING, PERMISSIVE) is MISSING
+
+    def test_non_collection_rhs(self):
+        assert ops.in_collection(1, 5, PERMISSIVE) is MISSING
+        with pytest.raises(TypeCheckError):
+            ops.in_collection(1, 5, STRICT)
+
+    def test_unknown_when_absent_member_blocks_false(self):
+        assert ops.in_collection(9, [1, MISSING], PERMISSIVE) is None
+
+
+class TestNavigationInternals:
+    def test_index_with_bool_rejected(self):
+        assert ops.navigate_index([1], True, PERMISSIVE) is MISSING
+
+    def test_struct_index_requires_string(self):
+        assert ops.navigate_index(Struct({"a": 1}), 0, PERMISSIVE) is MISSING
+
+    def test_null_index_is_null(self):
+        assert ops.navigate_index([1], None, PERMISSIVE) is None
+
+
+class TestDistinct:
+    def test_keeps_first_occurrence_order(self):
+        assert ops.distinct_elements([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+    def test_distinct_across_int_float(self):
+        assert ops.distinct_elements([1, 1.0]) == [1]
+
+    def test_distinct_nested(self):
+        result = ops.distinct_elements([Bag([1, 2]), Bag([2, 1]), [1, 2]])
+        assert len(result) == 2
+
+
+class TestBagOrList:
+    def test_accepts_collections(self):
+        assert ops.bag_or_list_elements([1], PERMISSIVE) == [1]
+        assert ops.bag_or_list_elements(Bag([1]), PERMISSIVE) == [1]
+
+    def test_rejects_scalars(self):
+        assert ops.bag_or_list_elements(1, PERMISSIVE) is MISSING
+
+
+class TestLogicTruthiness:
+    def test_non_boolean_strict_raises(self):
+        with pytest.raises(TypeCheckError):
+            ops.logical_and("yes", True, STRICT)
+
+    def test_is_true_only_for_true(self):
+        assert ops.is_true(True)
+        for value in (False, None, MISSING, 1, "true"):
+            assert not ops.is_true(value)
+
+
+class TestExistsInternals:
+    def test_exists_on_struct_is_type_error(self):
+        assert ops.exists(Struct({"a": 1}), PERMISSIVE) is MISSING
+        with pytest.raises(TypeCheckError):
+            ops.exists(Struct({"a": 1}), STRICT)
+
+
+class TestIsPredicateInternals:
+    def test_unknown_type_name_rejected(self):
+        with pytest.raises(EvaluationError):
+            ops.is_predicate(1, "WIDGET", PERMISSIVE)
+
+    def test_absent_kind(self):
+        assert ops.is_predicate(None, "ABSENT", PERMISSIVE)
+        assert ops.is_predicate(MISSING, "ABSENT", PERMISSIVE)
+        assert not ops.is_predicate(0, "ABSENT", PERMISSIVE)

@@ -1,0 +1,147 @@
+"""End-to-end scenarios combining many features over realistic data."""
+
+import pytest
+
+from repro import Database
+from repro.datamodel.equality import deep_equals
+from repro.datamodel.values import Bag
+from repro.workloads import emp_nested, emp_normalized, event_log, stock_prices_wide
+
+from tests.conftest import bag_of
+
+
+class TestHrAnalytics:
+    @pytest.fixture
+    def db(self):
+        database = Database()
+        database.set("hr.emp", emp_nested(200, fanout=3, seed=21))
+        return database
+
+    def test_unnest_filter_group_order(self, db):
+        result = db.execute(
+            """
+            SELECT p.name AS project, COUNT(*) AS members,
+                   AVG(e.salary) AS avg_salary
+            FROM hr.emp AS e, e.projects AS p
+            GROUP BY p.name
+            ORDER BY members DESC, project
+            """
+        )
+        assert len(result) > 0
+        members = [row["members"] for row in result]
+        assert members == sorted(members, reverse=True)
+
+    def test_nested_result_construction(self, db):
+        result = bag_of(
+            db.execute(
+                """
+                SELECT e.name AS name,
+                       (SELECT VALUE p.name FROM e.projects AS p) AS projects
+                FROM hr.emp AS e
+                WHERE e.title = 'Manager'
+                LIMIT 5
+                """
+            )
+        )
+        for row in result:
+            assert isinstance(row["projects"], Bag)
+
+    def test_unnest_equals_normalized_join(self, db):
+        employees, project_rows = emp_normalized(200, fanout=3, seed=21)
+        db.set("flat.emp", employees)
+        db.set("flat.proj", project_rows)
+        nested = db.execute(
+            "SELECT e.id AS id, p.name AS proj FROM hr.emp AS e, e.projects AS p"
+        )
+        joined = db.execute(
+            "SELECT e.id AS id, p.name AS proj "
+            "FROM flat.emp AS e JOIN flat.proj AS p ON p.emp_id = e.id"
+        )
+        assert deep_equals(Bag(list(nested)), Bag(list(joined)))
+
+    def test_top_earner_per_department_with_windows(self, db):
+        result = bag_of(
+            db.execute(
+                """
+                SELECT VALUE r
+                FROM (SELECT e.deptno AS d, e.name AS name,
+                             RANK() OVER (PARTITION BY e.deptno
+                                          ORDER BY e.salary DESC) AS rk
+                      FROM hr.emp AS e) AS r
+                WHERE r.rk = 1
+                """
+            )
+        )
+        departments = [row["d"] for row in result]
+        # One or more top earners (ties) per department, every dept present.
+        assert set(departments) == {e["deptno"] for e in emp_nested(200, fanout=3, seed=21)}
+
+
+class TestStocksPivoting:
+    def test_wide_to_tall_to_wide(self):
+        db = Database()
+        db.set("wide", stock_prices_wide(10, 4, seed=3))
+        tall = db.execute(
+            """
+            SELECT c."date" AS "date", sym AS symbol, price AS price
+            FROM wide AS c, UNPIVOT c AS price AT sym
+            WHERE NOT sym = 'date'
+            """
+        )
+        db.set("tall", list(tall))
+        rewide = db.execute(
+            """
+            SELECT sp."date" AS "date",
+                   (PIVOT dp.sp.price AT dp.sp.symbol
+                    FROM dates_prices AS dp) AS prices
+            FROM tall AS sp
+            GROUP BY sp."date" GROUP AS dates_prices
+            """
+        )
+        by_date = {row["date"]: row["prices"] for row in bag_of(rewide)}
+        original = {row["date"]: row for row in stock_prices_wide(10, 4, seed=3)}
+        for date, prices in by_date.items():
+            for symbol in prices.keys():
+                assert prices[symbol] == original[date][symbol]
+
+
+class TestDirtyDataPipeline:
+    def test_permissive_keeps_healthy_rows(self):
+        db = Database()
+        db.set("events", event_log(500, dirty_rate=0.2, seed=8))
+        result = bag_of(
+            db.execute(
+                """
+                SELECT e.kind AS kind, AVG(e.latency) AS avg_latency,
+                       COUNT(*) AS n
+                FROM events AS e
+                GROUP BY e.kind
+                """
+            )
+        )
+        # Dirty rows count toward n but are excluded from the average.
+        assert all(row["avg_latency"] is not None for row in result)
+        assert sum(row["n"] for row in result) == 500
+
+    def test_strict_mode_stops_on_dirty_row(self):
+        from repro.errors import TypeCheckError
+
+        db = Database(typing_mode="strict")
+        db.set("events", event_log(100, dirty_rate=0.5, seed=8))
+        with pytest.raises(TypeCheckError):
+            db.execute("SELECT VALUE e.latency * 2 FROM events AS e")
+
+    def test_heterogeneous_shapes_queryable(self):
+        db = Database()
+        db.set("events", event_log(300, seed=8))
+        result = bag_of(
+            db.execute(
+                """
+                SELECT t AS tag, COUNT(*) AS n
+                FROM events AS e, e.tags AS t
+                GROUP BY t
+                """
+            )
+        )
+        assert result  # events lacking tags were silently excluded
+        assert all(isinstance(row["tag"], str) for row in result)

@@ -1,0 +1,135 @@
+"""Property: compiled closures agree with the reference interpreter.
+
+For any generated expression and environment,
+``evaluator.compiled(expr)(env)`` must produce exactly what
+``evaluator.eval_expr(expr, env)`` produces — same value, or the same
+exception type.  This is the invariant that lets the hot paths use
+closures without a second source of semantic truth.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog.catalog import Catalog
+from repro.config import EvalConfig
+from repro.core.environment import Environment
+from repro.core.evaluator import Evaluator
+from repro.datamodel.equality import deep_equals
+from repro.datamodel.values import MISSING
+from repro.errors import SQLPPError
+from repro.syntax import ast
+
+identifiers = st.sampled_from(["x", "y", "r", "zz"])
+
+literals = st.builds(
+    ast.Literal,
+    st.one_of(
+        st.none(),
+        st.just(MISSING),
+        st.booleans(),
+        st.integers(-100, 100),
+        st.floats(allow_nan=False, allow_infinity=False, width=16),
+        st.text(max_size=6),
+    ),
+)
+
+
+def expressions(depth=3):
+    base = st.one_of(literals, st.builds(ast.VarRef, identifiers))
+    if depth == 0:
+        return base
+    inner = expressions(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(ast.Path, inner, identifiers),
+        st.builds(ast.Index, inner, inner),
+        st.builds(
+            ast.Binary,
+            st.sampled_from(
+                ["+", "-", "*", "/", "%", "=", "!=", "<", "<=", ">", ">=",
+                 "||", "AND", "OR"]
+            ),
+            inner,
+            inner,
+        ),
+        st.builds(ast.Unary, st.sampled_from(["-", "+", "NOT"]), inner),
+        st.builds(
+            ast.IsPredicate,
+            inner,
+            st.sampled_from(["NULL", "MISSING", "INTEGER", "STRING"]),
+            st.booleans(),
+        ),
+        st.builds(
+            ast.Like, inner, inner, st.none(), st.booleans()
+        ),
+        st.builds(ast.Between, inner, inner, inner, st.booleans()),
+        st.builds(ast.InPredicate, inner, inner, st.booleans()),
+        st.builds(ast.Exists, inner),
+        st.builds(
+            ast.FunctionCall,
+            st.sampled_from(
+                ["LOWER", "UPPER", "ABS", "COALESCE", "COLL_SUM", "TYPEOF",
+                 "ARRAY_LENGTH", "IFMISSING"]
+            ),
+            st.lists(inner, min_size=1, max_size=2),
+        ),
+        st.builds(ast.ArrayLit, st.lists(inner, max_size=3)),
+        st.builds(ast.BagLit, st.lists(inner, max_size=3)),
+        st.builds(
+            ast.StructLit,
+            st.lists(
+                st.builds(
+                    ast.StructField,
+                    st.builds(ast.Literal, st.sampled_from(["a", "b"])),
+                    inner,
+                ),
+                max_size=2,
+            ),
+        ),
+    )
+
+
+environments = st.fixed_dictionaries(
+    {},
+    optional={
+        "x": st.one_of(st.integers(-5, 5), st.text(max_size=3), st.none()),
+        "y": st.one_of(
+            st.lists(st.integers(0, 5), max_size=3),
+            st.dictionaries(st.sampled_from(["a", "b"]), st.integers(0, 5)),
+        ),
+        "r": st.dictionaries(
+            st.sampled_from(["x", "zz"]), st.integers(0, 9), max_size=2
+        ),
+    },
+)
+
+
+def run_both(expr, bindings, typing_mode):
+    catalog = Catalog()
+    catalog.set("zz", [1, 2, 3])
+    evaluator = Evaluator(catalog, EvalConfig(typing_mode=typing_mode))
+    from repro.datamodel.convert import from_python
+
+    env = Environment({name: from_python(value) for name, value in bindings.items()})
+
+    def attempt(fn):
+        try:
+            return ("value", fn())
+        except SQLPPError as exc:
+            return ("error", type(exc).__name__)
+        except Exception as exc:  # Unbound and friends
+            return ("raise", type(exc).__name__)
+
+    reference = attempt(lambda: evaluator.eval_expr(expr, env))
+    compiled = attempt(lambda: evaluator.compiled(expr)(env))
+    return reference, compiled
+
+
+@given(expressions(), environments, st.sampled_from(["permissive", "strict"]))
+@settings(max_examples=400, deadline=None)
+def test_compiled_matches_interpreter(expr, bindings, typing_mode):
+    reference, compiled = run_both(expr, bindings, typing_mode)
+    assert reference[0] == compiled[0], (reference, compiled)
+    if reference[0] == "value":
+        assert deep_equals(reference[1], compiled[1]), (reference, compiled)
+    else:
+        assert reference[1] == compiled[1]

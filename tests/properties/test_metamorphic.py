@@ -1,0 +1,161 @@
+"""Metamorphic properties of the Core evaluator.
+
+Each property relates two formulations that must agree for *any* input
+data, catching whole classes of pipeline bugs without hand-written
+expectations.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Database
+from repro.datamodel.convert import from_python
+from repro.datamodel.equality import deep_equals
+from repro.datamodel.values import Bag
+
+rows = st.lists(
+    st.builds(
+        lambda i, k, v, tags: {"id": i, "k": k, "v": v, "tags": tags},
+        st.integers(0, 99),
+        st.sampled_from(["a", "b", "c"]),
+        st.one_of(st.none(), st.integers(-50, 50)),
+        st.lists(st.sampled_from(["x", "y", "z"]), max_size=3),
+    ),
+    max_size=14,
+)
+
+
+def make_db(data):
+    db = Database()
+    db.set("t", data)
+    return db
+
+
+def as_bag(result):
+    return Bag(list(result))
+
+
+@given(rows)
+@settings(max_examples=50, deadline=None)
+def test_conjunctive_where_splits(data):
+    """WHERE p AND q ≡ filtering by p then by q (pure predicates)."""
+    db = make_db(data)
+    combined = db.execute("SELECT VALUE r FROM t AS r WHERE r.v > 0 AND r.k = 'a'")
+    staged = db.execute(
+        "SELECT VALUE s FROM (SELECT VALUE r FROM t AS r WHERE r.v > 0) AS s "
+        "WHERE s.k = 'a'"
+    )
+    assert deep_equals(as_bag(combined), as_bag(staged))
+
+
+@given(rows)
+@settings(max_examples=50, deadline=None)
+def test_select_distributes_over_union_all(data):
+    """Projecting a UNION ALL ≡ UNION ALL of the projections."""
+    db = make_db(data)
+    outside = db.execute(
+        "SELECT VALUE s.k FROM "
+        "((SELECT VALUE r FROM t AS r WHERE r.v > 0) UNION ALL "
+        " (SELECT VALUE r FROM t AS r WHERE r.v <= 0)) AS s"
+    )
+    inside = db.execute(
+        "(SELECT VALUE r.k FROM t AS r WHERE r.v > 0) UNION ALL "
+        "(SELECT VALUE r.k FROM t AS r WHERE r.v <= 0)"
+    )
+    assert deep_equals(as_bag(outside), as_bag(inside))
+
+
+@given(rows)
+@settings(max_examples=50, deadline=None)
+def test_where_partition_is_lossless(data):
+    """p-rows plus not-p-rows plus unknown-p-rows = all rows."""
+    db = make_db(data)
+    true_side = list(db.execute("SELECT VALUE r FROM t AS r WHERE r.v > 0"))
+    false_side = list(db.execute("SELECT VALUE r FROM t AS r WHERE NOT (r.v > 0)"))
+    unknown = list(
+        db.execute("SELECT VALUE r FROM t AS r WHERE (r.v > 0) IS NULL")
+    )
+    everything = list(db.execute("SELECT VALUE r FROM t AS r"))
+    assert deep_equals(
+        Bag(true_side + false_side + unknown), Bag(everything)
+    )
+
+
+@given(rows)
+@settings(max_examples=50, deadline=None)
+def test_group_counts_partition_input(data):
+    """Σ per-group COUNT(*) = total binding count."""
+    db = make_db(data)
+    per_group = db.execute(
+        "SELECT VALUE COUNT(*) FROM t AS r GROUP BY r.k"
+    )
+    total = db.execute("COLL_SUM(SELECT VALUE n FROM (SELECT VALUE COUNT(*) "
+                       "FROM t AS r GROUP BY r.k) AS n)")
+    if data:
+        assert total == len(data)
+        assert sum(per_group) == len(data)
+    else:
+        assert list(per_group) == []
+
+
+@given(rows, st.integers(0, 20))
+@settings(max_examples=50, deadline=None)
+def test_limit_after_order_is_prefix(data, limit):
+    """LIMIT n of an ordered query = first n of the full ordering."""
+    db = make_db(data)
+    full = db.execute("SELECT VALUE r.id FROM t AS r ORDER BY r.id, r.v")
+    limited = db.execute(
+        f"SELECT VALUE r.id FROM t AS r ORDER BY r.id, r.v LIMIT {limit}"
+    )
+    assert limited == full[:limit]
+
+
+@given(rows)
+@settings(max_examples=50, deadline=None)
+def test_unnest_count_equals_sum_of_lengths(data):
+    """Unnesting produces exactly Σ len(tags) bindings."""
+    db = make_db(data)
+    unnested = db.execute("SELECT VALUE g FROM t AS r, r.tags AS g")
+    assert len(list(unnested)) == sum(len(row["tags"]) for row in data)
+
+
+@given(rows)
+@settings(max_examples=50, deadline=None)
+def test_distinct_idempotent(data):
+    db = make_db(data)
+    once = db.execute("SELECT DISTINCT VALUE r.k FROM t AS r")
+    twice = db.execute(
+        "SELECT DISTINCT VALUE s FROM "
+        "(SELECT DISTINCT VALUE r.k FROM t AS r) AS s"
+    )
+    assert deep_equals(as_bag(once), as_bag(twice))
+
+
+@given(rows)
+@settings(max_examples=50, deadline=None)
+def test_except_then_union_restores_subset(data):
+    """(t EXCEPT ALL s) UNION ALL s ≡ t when s ⊆ t (as multisets)."""
+    db = make_db(data)
+    result = db.execute(
+        "((SELECT VALUE r FROM t AS r) EXCEPT ALL "
+        " (SELECT VALUE r FROM t AS r WHERE r.k = 'a')) "
+        "UNION ALL (SELECT VALUE r FROM t AS r WHERE r.k = 'a')"
+    )
+    everything = db.execute("SELECT VALUE r FROM t AS r")
+    assert deep_equals(as_bag(result), as_bag(everything))
+
+
+@given(rows)
+@settings(max_examples=40, deadline=None)
+def test_core_and_compat_agree_on_explicit_queries(data):
+    """A fully-explicit Core query is mode-independent."""
+    db = make_db(data)
+    query = (
+        "FROM t AS r WHERE r.v > 0 "
+        "GROUP BY r.k AS k GROUP AS g "
+        "SELECT VALUE {'k': k, "
+        "'n': COLL_COUNT(SELECT VALUE 1 FROM g AS x)}"
+    )
+    assert deep_equals(
+        as_bag(db.execute(query, sql_compat=True)),
+        as_bag(db.execute(query, sql_compat=False)),
+    )

@@ -1,0 +1,46 @@
+"""Property: an inferred schema always validates its own data, and
+unify() really is an upper bound."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datamodel.convert import from_python
+from repro.schema.infer import infer_schema, unify
+from repro.schema.validate import validate
+
+json_like = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**31), max_value=2**31),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=8),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=5), children, max_size=4),
+    ),
+    max_leaves=20,
+).filter(lambda value: value is not None)
+
+
+@given(json_like)
+@settings(max_examples=120)
+def test_inferred_schema_validates_its_data(data):
+    model = from_python(data)
+    validate(model, infer_schema(model))
+
+
+@given(json_like, json_like)
+@settings(max_examples=120)
+def test_unify_is_an_upper_bound(left, right):
+    left_model, right_model = from_python(left), from_python(right)
+    unified = unify(infer_schema(left_model), infer_schema(right_model))
+    validate(left_model, unified)
+    validate(right_model, unified)
+
+
+@given(st.lists(json_like, min_size=1, max_size=6))
+@settings(max_examples=80)
+def test_collection_inference_covers_every_element(items):
+    model = from_python(items)
+    validate(model, infer_schema(model))

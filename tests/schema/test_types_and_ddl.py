@@ -1,0 +1,113 @@
+"""Schema types, the DDL parser, and Listing 5's UNIONTYPE."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import (
+    AnyType,
+    ArrayType,
+    BagType,
+    BooleanType,
+    FloatType,
+    IntegerType,
+    NullType,
+    StringType,
+    StructField,
+    StructType,
+    UnionType,
+    element_attribute_names,
+    parse_schema,
+)
+
+
+class TestParseTypeExpressions:
+    def test_scalars(self):
+        assert parse_schema("INT") == IntegerType()
+        assert parse_schema("string") == StringType()
+        assert parse_schema("DOUBLE") == FloatType()
+        assert parse_schema("BOOLEAN") == BooleanType()
+        assert parse_schema("ANY") == AnyType()
+        assert parse_schema("NULL") == NullType()
+
+    def test_collections(self):
+        assert parse_schema("ARRAY<INT>") == ArrayType(element=IntegerType())
+        assert parse_schema("BAG<STRING>") == BagType(element=StringType())
+
+    def test_nested(self):
+        schema = parse_schema("ARRAY<ARRAY<INT>>")
+        assert schema.element.element == IntegerType()
+
+    def test_struct_with_modifiers(self):
+        schema = parse_schema("STRUCT<id INT, title? STRING NULL>")
+        title = schema.field_named("title")
+        assert title.optional and title.nullable
+        assert not schema.field_named("id").optional
+
+    def test_open_struct(self):
+        assert parse_schema("STRUCT<id INT, ...>").open
+
+    def test_union(self):
+        schema = parse_schema("UNIONTYPE<STRING, ARRAY<STRING>>")
+        assert isinstance(schema, UnionType)
+        assert len(schema.alternatives) == 2
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            parse_schema("WAT")
+        with pytest.raises(SchemaError):
+            parse_schema("INT INT")
+        with pytest.raises(SchemaError):
+            parse_schema("")
+
+
+class TestCreateTable:
+    def test_listing5_hive_ddl(self):
+        schema = parse_schema(
+            """
+            CREATE TABLE emp_mixed (
+              id INT,
+              name STRING,
+              title STRING,
+              projects UNIONTYPE<STRING, ARRAY<STRING>>
+            );
+            """
+        )
+        assert isinstance(schema, BagType)
+        struct = schema.element
+        assert isinstance(struct, StructType)
+        assert isinstance(struct.field_named("projects").type, UnionType)
+
+    def test_create_table_requires_parens(self):
+        with pytest.raises(SchemaError):
+            parse_schema("CREATE TABLE t id INT")
+
+
+class TestPrinting:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "INT",
+            "ARRAY<STRING>",
+            "BAG<STRUCT<id INT, title? STRING NULL, ...>>",
+            "UNIONTYPE<STRING, ARRAY<STRING>>",
+            "STRUCT<>",
+        ],
+    )
+    def test_round_trip(self, text):
+        schema = parse_schema(text)
+        assert parse_schema(str(schema)) == schema
+
+
+class TestHelpers:
+    def test_element_attribute_names(self):
+        schema = parse_schema("BAG<STRUCT<a INT, b STRING>>")
+        assert element_attribute_names(schema) == {"a", "b"}
+
+    def test_element_attribute_names_non_struct(self):
+        assert element_attribute_names(parse_schema("BAG<INT>")) is None
+        assert element_attribute_names(parse_schema("INT")) is None
+
+    def test_struct_field_named(self):
+        struct = StructType(fields=(StructField(name="a", type=IntegerType()),))
+        assert struct.field_named("a").type == IntegerType()
+        assert struct.field_named("zz") is None

@@ -1,0 +1,134 @@
+"""Validation of values against schemas (incl. Listing 5 data)."""
+
+import pytest
+
+from repro.datamodel.convert import from_python
+from repro.datamodel.values import Bag, Struct, MISSING
+from repro.errors import SchemaError
+from repro.schema import conforms, parse_schema, validate
+
+
+def check(value, schema_text):
+    validate(from_python(value), parse_schema(schema_text))
+
+
+class TestScalars:
+    def test_int(self):
+        check(1, "INT")
+        with pytest.raises(SchemaError):
+            check(1.5, "INT")
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(SchemaError):
+            check(True, "INT")
+
+    def test_double_accepts_int(self):
+        check(1, "DOUBLE")
+        check(1.5, "DOUBLE")
+
+    def test_string(self):
+        check("x", "STRING")
+        with pytest.raises(SchemaError):
+            check(1, "STRING")
+
+    def test_null_needs_null_type(self):
+        check(None, "NULL")
+        with pytest.raises(SchemaError):
+            check(None, "INT")
+
+    def test_any_matches_everything(self):
+        for value in (None, 1, "s", [1], {"a": 1}):
+            check(value, "ANY")
+
+    def test_missing_never_matches_a_concrete_type(self):
+        with pytest.raises(SchemaError):
+            validate(MISSING, parse_schema("INT"))
+
+    def test_any_matches_missing_field_values(self):
+        # ANY is the schemaless default; it places no constraint at all.
+        validate(MISSING, parse_schema("ANY"))
+
+
+class TestCollections:
+    def test_array_elements_checked(self):
+        check([1, 2], "ARRAY<INT>")
+        with pytest.raises(SchemaError) as info:
+            check([1, "x"], "ARRAY<INT>")
+        assert "[1]" in str(info.value)
+
+    def test_bag_accepts_bag_and_array(self):
+        validate(Bag([1]), parse_schema("BAG<INT>"))
+        check([1], "BAG<INT>")
+
+    def test_array_rejects_bag(self):
+        with pytest.raises(SchemaError):
+            validate(Bag([1]), parse_schema("ARRAY<INT>"))
+
+
+class TestStructs:
+    SCHEMA = "STRUCT<id INT, title? STRING NULL>"
+
+    def test_conforming(self):
+        check({"id": 1, "title": "x"}, self.SCHEMA)
+        check({"id": 1, "title": None}, self.SCHEMA)
+        check({"id": 1}, self.SCHEMA)
+
+    def test_required_field(self):
+        with pytest.raises(SchemaError):
+            check({"title": "x"}, self.SCHEMA)
+
+    def test_null_in_non_nullable(self):
+        with pytest.raises(SchemaError):
+            check({"id": None, "title": "x"}, self.SCHEMA)
+
+    def test_closed_struct_rejects_extras(self):
+        with pytest.raises(SchemaError):
+            check({"id": 1, "extra": 2}, self.SCHEMA)
+
+    def test_open_struct_allows_extras(self):
+        check({"id": 1, "extra": 2}, "STRUCT<id INT, ...>")
+
+    def test_duplicate_attributes_all_checked(self):
+        struct = Struct([("id", 1), ("id", "oops")])
+        with pytest.raises(SchemaError):
+            validate(struct, parse_schema("STRUCT<id INT>"))
+
+
+class TestUnionsListing5:
+    SCHEMA = """
+        CREATE TABLE emp_mixed (
+          id INT,
+          name STRING,
+          projects UNIONTYPE<STRING, ARRAY<STRING>>
+        )
+    """
+
+    def test_both_alternatives_accepted(self):
+        check(
+            [
+                {"id": 1, "name": "u", "projects": "OLTP Security"},
+                {"id": 2, "name": "v", "projects": ["a", "b"]},
+            ],
+            self.SCHEMA,
+        )
+
+    def test_neither_alternative(self):
+        with pytest.raises(SchemaError) as info:
+            check([{"id": 1, "name": "u", "projects": 42}], self.SCHEMA)
+        assert "no alternative" in str(info.value)
+
+    def test_conforms_boolean_form(self):
+        schema = parse_schema("UNIONTYPE<INT, STRING>")
+        assert conforms(from_python(1), schema)
+        assert conforms(from_python("x"), schema)
+        assert not conforms(from_python([1]), schema)
+
+
+class TestErrorPaths:
+    def test_path_in_message(self):
+        with pytest.raises(SchemaError) as info:
+            check(
+                [{"xs": [{"y": "bad"}]}],
+                "BAG<STRUCT<xs ARRAY<STRUCT<y INT>>>>",
+            )
+        assert "[0].xs[0].y" in str(info.value)

@@ -1,0 +1,66 @@
+"""AST traversal infrastructure (children / walk / transform)."""
+
+from repro.syntax import ast
+from repro.syntax.parser import parse, parse_expression
+
+
+class TestChildrenAndWalk:
+    def test_children_cover_nested_lists(self):
+        query = parse("SELECT a.x AS x, a.y AS y FROM t AS a WHERE a.x > 1")
+        block = query.body
+        kinds = {type(child).__name__ for child in block.children()}
+        assert "SelectList" in kinds
+        assert "FromCollection" in kinds
+        assert "Binary" in kinds
+
+    def test_walk_is_preorder_and_complete(self):
+        expr = parse_expression("1 + f(2, [3])")
+        nodes = list(expr.walk())
+        assert nodes[0] is expr
+        literals = [n.value for n in nodes if isinstance(n, ast.Literal)]
+        assert sorted(literals) == [1, 2, 3]
+
+    def test_walk_traverses_tuples_in_fields(self):
+        expr = parse_expression("CASE WHEN a THEN 1 WHEN b THEN 2 END")
+        names = [n.name for n in expr.walk() if isinstance(n, ast.VarRef)]
+        assert names == ["a", "b"]
+
+
+class TestTransform:
+    def test_identity_transform_shares_nodes(self):
+        expr = parse_expression("a.b + c")
+        result = expr.transform(lambda node: node)
+        assert result is expr
+
+    def test_bottom_up_replacement(self):
+        expr = parse_expression("a + a")
+
+        def rename(node):
+            if isinstance(node, ast.VarRef):
+                return ast.VarRef(name="z")
+            return node
+
+        renamed = expr.transform(rename)
+        assert all(
+            n.name == "z" for n in renamed.walk() if isinstance(n, ast.VarRef)
+        )
+        # The original is untouched (persistent trees).
+        assert all(
+            n.name == "a" for n in expr.walk() if isinstance(n, ast.VarRef)
+        )
+
+    def test_transform_rebuilds_minimal_spine(self):
+        expr = parse_expression("(a + b) * (c + d)")
+        target = next(
+            n for n in expr.walk() if isinstance(n, ast.VarRef) and n.name == "d"
+        )
+
+        def replace(node):
+            if node is target:
+                return ast.Literal(value=0)
+            return node
+
+        rebuilt = expr.transform(replace)
+        # Left subtree untouched → shared by identity.
+        assert rebuilt.left is expr.left
+        assert rebuilt.right is not expr.right

@@ -1,0 +1,114 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.syntax.lexer import tokenize
+from repro.syntax.tokens import EOF, IDENT, KEYWORD, NUMBER, PUNCT, QUOTED_IDENT, STRING
+
+
+def types_of(source):
+    return [token.type for token in tokenize(source)[:-1]]
+
+
+def values_of(source):
+    return [token.value for token in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type == EOF
+
+    def test_keywords_case_insensitive(self):
+        assert values_of("select Select SELECT") == ["SELECT"] * 3
+
+    def test_identifiers_keep_case(self):
+        assert values_of("Foo bar_Baz $v") == ["Foo", "bar_Baz", "$v"]
+
+    def test_keyword_vs_identifier(self):
+        tokens = tokenize("value values")
+        assert tokens[0].type == KEYWORD
+        assert tokens[1].type == IDENT
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "source, value",
+        [("0", 0), ("42", 42), ("3.14", 3.14), ("1e3", 1000.0), ("2.5E-1", 0.25)],
+    )
+    def test_values(self, source, value):
+        token = tokenize(source)[0]
+        assert token.type == NUMBER
+        assert token.value == value
+        assert type(token.value) is type(value)
+
+    def test_leading_dot(self):
+        assert tokenize(".5")[0].value == 0.5
+
+    def test_path_after_number_is_not_float(self):
+        # "1.x" must lex as NUMBER DOT IDENT, not a malformed float.
+        assert types_of("1.x") == [NUMBER, PUNCT, IDENT]
+
+
+class TestStrings:
+    def test_single_quotes(self):
+        assert tokenize("'hello'")[0].value == "hello"
+
+    def test_embedded_quote_escape(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_delimited_identifier(self):
+        token = tokenize('"date"')[0]
+        assert token.type == QUOTED_IDENT
+        assert token.value == "date"
+
+    def test_backquoted_identifier(self):
+        assert tokenize("`odd name`")[0].value == "odd name"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+
+class TestPunctuation:
+    def test_digraphs(self):
+        assert values_of("<< >> <= >= != <> ||") == [
+            "<<",
+            ">>",
+            "<=",
+            ">=",
+            "!=",
+            "<>",
+            "||",
+        ]
+
+    def test_braces_lex_individually(self):
+        # Essential for {{ {...} }} (the parser pairs them).
+        assert values_of("{{}}}") == ["{", "{", "}", "}", "}"]
+
+    def test_invalid_character(self):
+        with pytest.raises(LexError) as info:
+            tokenize("a # b")
+        assert info.value.line == 1
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values_of("1 -- comment\n2") == [1, 2]
+
+    def test_block_comment(self):
+        assert values_of("1 /* x\ny */ 2") == [1, 2]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_double_dash_requires_both(self):
+        assert values_of("1 - -2") == [1, "-", "-", 2]

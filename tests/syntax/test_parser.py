@@ -1,0 +1,361 @@
+"""Parser unit tests across the whole grammar."""
+
+import pytest
+
+from repro.datamodel.values import MISSING
+from repro.errors import ParseError
+from repro.syntax import ast
+from repro.syntax.parser import parse, parse_expression, parse_script
+
+
+def block(query: ast.Query) -> ast.QueryBlock:
+    assert isinstance(query.body, ast.QueryBlock)
+    return query.body
+
+
+class TestLiteralsAndPrimaries:
+    def test_scalar_literals(self):
+        assert parse_expression("42").value == 42
+        assert parse_expression("'s'").value == "s"
+        assert parse_expression("TRUE").value is True
+        assert parse_expression("null").value is None
+        assert parse_expression("MISSING").value is MISSING
+
+    def test_struct_literal_string_keys(self):
+        struct = parse_expression("{'a': 1, 'b': 2}")
+        assert [field.key.value for field in struct.fields] == ["a", "b"]
+
+    def test_struct_literal_identifier_keys(self):
+        # Listing 18 uses bare identifiers: {deptno: d, avgsal: ...}
+        struct = parse_expression("{deptno: d}")
+        assert struct.fields[0].key.value == "deptno"
+        assert isinstance(struct.fields[0].value, ast.VarRef)
+
+    def test_struct_literal_computed_key(self):
+        struct = parse_expression("{x.k: 1}")
+        assert isinstance(struct.fields[0].key, ast.Path)
+
+    def test_array_and_bag_literals(self):
+        assert isinstance(parse_expression("[1, 2]"), ast.ArrayLit)
+        assert isinstance(parse_expression("<<1, 2>>"), ast.BagLit)
+
+    def test_brace_bag_literal(self):
+        bag = parse_expression("{{ {'a': 1} }}")
+        assert isinstance(bag, ast.BagLit)
+        assert isinstance(bag.items[0], ast.StructLit)
+
+    def test_empty_brace_bag(self):
+        assert parse_expression("{{}}").items == []
+
+    def test_nested_bag_closing_braces(self):
+        bag = parse_expression("{{{'a': 1}}}")
+        assert isinstance(bag, ast.BagLit)
+
+    def test_parameter(self):
+        expr = parse_expression("? + ?")
+        assert expr.left.index == 0
+        assert expr.right.index == 1
+
+
+class TestPathsAndOperators:
+    def test_dot_paths(self):
+        expr = parse_expression("e.projects")
+        assert isinstance(expr, ast.Path)
+        assert expr.attr == "projects"
+
+    def test_quoted_path_step(self):
+        assert parse_expression('c."date"').attr == "date"
+
+    def test_keyword_as_attribute(self):
+        assert parse_expression("r.value").attr == "value"
+
+    def test_index(self):
+        expr = parse_expression("xs[0]")
+        assert isinstance(expr, ast.Index)
+
+    def test_chained_navigation(self):
+        expr = parse_expression("a.b[1].c")
+        assert expr.attr == "c"
+        assert isinstance(expr.base, ast.Index)
+
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_logic(self):
+        expr = parse_expression("a OR b AND NOT c")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+        assert isinstance(expr.right.right, ast.Unary)
+
+    def test_comparison_diamond_normalised(self):
+        assert parse_expression("a <> b").op == "!="
+
+    def test_concat(self):
+        assert parse_expression("a || b").op == "||"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-x")
+        assert isinstance(expr, ast.Unary)
+
+
+class TestPredicates:
+    def test_like_with_escape(self):
+        expr = parse_expression("x LIKE 'a!%' ESCAPE '!'")
+        assert isinstance(expr, ast.Like)
+        assert expr.escape.value == "!"
+
+    def test_not_like(self):
+        assert parse_expression("x NOT LIKE 'a'").negated
+
+    def test_between(self):
+        expr = parse_expression("x BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.Between)
+
+    def test_in_value_list(self):
+        expr = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(expr.collection, ast.ArrayLit)
+        assert len(expr.collection.items) == 3
+
+    def test_in_single_value(self):
+        expr = parse_expression("x IN (1)")
+        assert isinstance(expr.collection, ast.ArrayLit)
+
+    def test_in_collection_expression(self):
+        expr = parse_expression("p IN e.projects")
+        assert isinstance(expr.collection, ast.Path)
+
+    def test_in_subquery(self):
+        expr = parse_expression("x IN (SELECT VALUE v FROM t AS v)")
+        assert isinstance(expr.collection, ast.SubqueryExpr)
+
+    def test_is_missing(self):
+        expr = parse_expression("x IS MISSING")
+        assert expr.kind == "MISSING"
+
+    def test_is_not_null(self):
+        expr = parse_expression("x IS NOT NULL")
+        assert expr.negated
+
+    def test_is_type(self):
+        assert parse_expression("x IS integer").kind == "INTEGER"
+
+    def test_exists(self):
+        assert isinstance(parse_expression("EXISTS e.projects"), ast.Exists)
+
+    def test_case_searched(self):
+        expr = parse_expression("CASE WHEN a THEN 1 ELSE 2 END")
+        assert expr.operand is None
+        assert len(expr.whens) == 1
+
+    def test_case_simple(self):
+        expr = parse_expression("CASE x WHEN 1 THEN 'a' WHEN 2 THEN 'b' END")
+        assert expr.operand is not None
+        assert expr.else_ is None
+
+    def test_cast(self):
+        expr = parse_expression("CAST(x AS integer)")
+        assert expr.type_name == "INTEGER"
+
+
+class TestFunctionCalls:
+    def test_plain_call(self):
+        call = parse_expression("LOWER(x)")
+        assert call.name == "LOWER"
+
+    def test_count_star(self):
+        assert parse_expression("COUNT(*)").star
+
+    def test_distinct_argument(self):
+        assert parse_expression("AVG(DISTINCT x)").distinct
+
+    def test_window_call(self):
+        expr = parse_expression(
+            "RANK() OVER (PARTITION BY d ORDER BY s DESC)"
+        )
+        assert isinstance(expr, ast.WindowCall)
+        assert len(expr.spec.partition_by) == 1
+        assert expr.spec.order_by[0].desc
+
+    def test_query_argument(self):
+        # Listing 16 style: COLL_AVG(SELECT VALUE ...).
+        call = parse_expression("COLL_AVG(SELECT VALUE e.x FROM t AS e)")
+        assert isinstance(call.args[0], ast.SubqueryExpr)
+
+
+class TestQueryBlocks:
+    def test_select_value(self):
+        select = block(parse("SELECT VALUE 1")).select
+        assert isinstance(select, ast.SelectValue)
+
+    def test_select_element_synonym(self):
+        assert isinstance(
+            block(parse("SELECT ELEMENT 1")).select, ast.SelectValue
+        )
+
+    def test_select_star(self):
+        assert isinstance(block(parse("SELECT * FROM t AS t")).select, ast.SelectStar)
+
+    def test_select_list_aliases(self):
+        select = block(parse("SELECT e.a AS x, e.b y, e.c FROM t AS e")).select
+        assert [item.alias for item in select.items] == ["x", "y", None]
+
+    def test_select_item_star(self):
+        select = block(parse("SELECT e.*, 1 AS one FROM t AS e")).select
+        assert select.items[0].star
+
+    def test_select_distinct(self):
+        assert block(parse("SELECT DISTINCT VALUE x FROM t AS x")).select.distinct
+
+    def test_from_alias_without_as(self):
+        items = block(parse("SELECT VALUE sp FROM today sp")).from_
+        assert items[0].alias == "sp"
+
+    def test_from_implied_alias(self):
+        items = block(parse("SELECT VALUE x FROM t.things")).from_
+        assert items[0].alias == "things"
+
+    def test_from_at(self):
+        item = block(parse("SELECT VALUE i FROM xs AS x AT i")).from_[0]
+        assert item.at_alias == "i"
+
+    def test_from_unnest_sugar(self):
+        items = block(parse("SELECT VALUE p FROM e AS e, UNNEST e.ps AS p")).from_
+        assert isinstance(items[1], ast.FromCollection)
+
+    def test_from_unpivot(self):
+        item = block(parse("SELECT VALUE v FROM UNPIVOT c AS v AT a")).from_[0]
+        assert isinstance(item, ast.FromUnpivot)
+        assert (item.value_alias, item.at_alias) == ("v", "a")
+
+    def test_joins(self):
+        item = block(
+            parse("SELECT VALUE 1 FROM a AS a JOIN b AS b ON a.x = b.x")
+        ).from_[0]
+        assert isinstance(item, ast.FromJoin)
+        assert item.kind == "INNER"
+
+    def test_left_outer_join(self):
+        item = block(
+            parse("SELECT VALUE 1 FROM a AS a LEFT OUTER JOIN b AS b ON TRUE")
+        ).from_[0]
+        assert item.kind == "LEFT"
+
+    def test_cross_join(self):
+        item = block(parse("SELECT VALUE 1 FROM a AS a CROSS JOIN b AS b")).from_[0]
+        assert item.kind == "CROSS"
+        assert item.on is None
+
+    def test_let(self):
+        lets = block(parse("SELECT VALUE y FROM t AS x LET y = x + 1")).lets
+        assert lets[0].name == "y"
+
+    def test_where(self):
+        assert block(parse("SELECT VALUE x FROM t AS x WHERE x > 1")).where is not None
+
+    def test_from_first_select_last(self):
+        query = parse("FROM t AS x WHERE x > 1 SELECT VALUE x")
+        assert not block(query).select_first
+
+    def test_from_first_requires_select(self):
+        with pytest.raises(ParseError):
+            parse("FROM t AS x WHERE x > 1")
+
+    def test_group_by_with_group_as(self):
+        clause = block(
+            parse("FROM t AS x GROUP BY LOWER(x.k) AS k GROUP AS g SELECT VALUE k")
+        ).group_by
+        assert clause.keys[0].alias == "k"
+        assert clause.group_as == "g"
+
+    def test_group_by_inferred_alias(self):
+        clause = block(
+            parse("SELECT VALUE d FROM t AS x GROUP BY x.deptno")
+        ).group_by
+        assert clause.keys[0].alias == "deptno"
+
+    def test_having(self):
+        assert (
+            block(
+                parse("SELECT VALUE k FROM t AS x GROUP BY x.k HAVING COUNT(*) > 1")
+            ).having
+            is not None
+        )
+
+    def test_rollup(self):
+        clause = block(
+            parse("SELECT VALUE 1 FROM t AS x GROUP BY ROLLUP (x.a, x.b)")
+        ).group_by
+        assert clause.mode == "rollup"
+        assert len(clause.keys) == 2
+
+    def test_cube(self):
+        clause = block(
+            parse("SELECT VALUE 1 FROM t AS x GROUP BY CUBE (x.a, x.b)")
+        ).group_by
+        assert clause.mode == "cube"
+
+    def test_grouping_sets(self):
+        clause = block(
+            parse(
+                "SELECT VALUE 1 FROM t AS x "
+                "GROUP BY GROUPING SETS ((x.a, x.b), (x.a), ())"
+            )
+        ).group_by
+        assert clause.mode == "sets"
+        assert clause.grouping_sets == [[0, 1], [0], []]
+
+    def test_pivot_query(self):
+        select = block(parse("PIVOT sp.price AT sp.symbol FROM t sp")).select
+        assert isinstance(select, ast.PivotClause)
+
+    def test_pivot_after_from(self):
+        select = block(parse("FROM t sp PIVOT sp.price AT sp.symbol")).select
+        assert isinstance(select, ast.PivotClause)
+
+
+class TestQueryLevel:
+    def test_order_by_limit_offset(self):
+        query = parse("SELECT VALUE x FROM t AS x ORDER BY x DESC LIMIT 10 OFFSET 5")
+        assert query.order_by[0].desc
+        assert query.limit.value == 10
+        assert query.offset.value == 5
+
+    def test_offset_before_limit(self):
+        query = parse("SELECT VALUE x FROM t AS x OFFSET 5 LIMIT 10")
+        assert query.limit is not None and query.offset is not None
+
+    def test_nulls_first_last(self):
+        query = parse("SELECT VALUE x FROM t AS x ORDER BY x NULLS LAST")
+        assert query.order_by[0].nulls_first is False
+
+    def test_union(self):
+        query = parse("SELECT VALUE 1 UNION ALL SELECT VALUE 2")
+        assert isinstance(query.body, ast.SetOp)
+        assert query.body.all
+
+    def test_set_op_chain_left_assoc(self):
+        query = parse("SELECT VALUE 1 UNION SELECT VALUE 2 EXCEPT SELECT VALUE 3")
+        assert query.body.op == "EXCEPT"
+        assert query.body.left.op == "UNION"
+
+    def test_bare_expression_query(self):
+        assert isinstance(parse("1 + 1").body, ast.Binary)
+
+    def test_subquery_expression(self):
+        expr = parse_expression("(SELECT VALUE x FROM t AS x)")
+        assert isinstance(expr, ast.SubqueryExpr)
+
+    def test_script(self):
+        queries = parse_script("SELECT VALUE 1; SELECT VALUE 2;")
+        assert len(queries) == 2
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT VALUE 1 bogus extra")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse("SELECT VALUE\n   %")
+        assert info.value.line == 2

@@ -1,0 +1,82 @@
+"""Parser robustness: arbitrary input never crashes with a foreign error.
+
+Whatever bytes arrive, the front end must either parse or raise a
+positioned LexError/ParseError — no IndexError, RecursionError (within
+reason), or AttributeError escapes to the caller.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LexError, ParseError
+from repro.syntax.parser import parse, parse_expression
+
+printable = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=80
+)
+
+sqlish_tokens = st.lists(
+    st.sampled_from(
+        [
+            "SELECT", "VALUE", "FROM", "WHERE", "GROUP", "BY", "AS", "AT",
+            "HAVING", "ORDER", "LIMIT", "PIVOT", "UNPIVOT", "UNION", "ALL",
+            "AND", "OR", "NOT", "NULL", "MISSING", "LIKE", "IN", "BETWEEN",
+            "IS", "CASE", "WHEN", "THEN", "ELSE", "END", "EXISTS",
+            "e", "p", "t", "x", "name", "'str'", "42", "2.5",
+            "(", ")", "[", "]", "{", "}", "{{", "}}", "<<", ">>",
+            ",", ".", "*", "+", "-", "/", "=", "<", ">", "||", "?",
+        ]
+    ),
+    max_size=25,
+).map(" ".join)
+
+
+@given(printable)
+@settings(max_examples=300)
+def test_arbitrary_text_never_crashes(text):
+    try:
+        parse(text)
+    except (LexError, ParseError):
+        pass
+
+
+@given(sqlish_tokens)
+@settings(max_examples=500)
+def test_token_soup_never_crashes(text):
+    try:
+        parse(text)
+    except (LexError, ParseError):
+        pass
+
+
+@given(sqlish_tokens)
+@settings(max_examples=300)
+def test_expression_entry_point_never_crashes(text):
+    try:
+        parse_expression(text)
+    except (LexError, ParseError):
+        pass
+
+
+# -- end-to-end: whatever parses must evaluate or fail cleanly -------------
+
+from repro import Database  # noqa: E402
+from repro.errors import SQLPPError  # noqa: E402
+
+_db = Database()
+_db.set("t", [{"name": "a", "v": 1, "tags": ["x"]}, {"v": None}])
+_db.set("e", [{"projects": [{"name": "p1"}]}])
+
+
+@given(sqlish_tokens)
+@settings(max_examples=400, deadline=None)
+def test_whatever_parses_evaluates_or_fails_cleanly(text):
+    try:
+        parse(text)
+    except (LexError, ParseError):
+        return
+    try:
+        _db.execute(text)
+    except SQLPPError:
+        pass
+    except RecursionError:
+        pass  # pathological nesting is acceptable to refuse

@@ -1,0 +1,78 @@
+"""Printer round-trips: parse(print(q)) is structurally identical."""
+
+import pytest
+
+from repro.syntax.parser import parse, parse_expression
+from repro.syntax.printer import print_ast
+
+QUERIES = [
+    "SELECT VALUE 1",
+    "SELECT e.name AS n, p AS q FROM hr.emp AS e, e.projects AS p WHERE p LIKE '%x%'",
+    "SELECT DISTINCT VALUE v FROM t AS v",
+    "SELECT * FROM t AS t",
+    "SELECT e.*, 1 AS one FROM t AS e",
+    "FROM t AS x WHERE x.a > 1 GROUP BY LOWER(x.k) AS k GROUP AS g "
+    "HAVING COUNT(*) > 1 SELECT VALUE {k: k}",
+    "PIVOT sp.price AT sp.symbol FROM today_stock_prices AS sp",
+    "SELECT VALUE v FROM UNPIVOT c AS v AT a",
+    "SELECT VALUE x FROM t AS x ORDER BY x.a DESC NULLS LAST LIMIT 3 OFFSET 1",
+    "SELECT VALUE 1 UNION ALL SELECT VALUE 2",
+    "(SELECT VALUE 1) INTERSECT (SELECT VALUE 2)",
+    "SELECT VALUE x FROM a AS a LEFT JOIN b AS b ON a.k = b.k LET x = a.k + 1",
+    "SELECT VALUE CASE WHEN x > 1 THEN 'big' ELSE 'small' END FROM t AS x",
+    "SELECT VALUE RANK() OVER (PARTITION BY x.d ORDER BY x.s) FROM t AS x",
+    "SELECT VALUE 1 FROM t AS x GROUP BY ROLLUP (x.a, x.b)",
+    "SELECT VALUE 1 FROM t AS x GROUP BY GROUPING SETS ((x.a), ())",
+    "SELECT VALUE {{1, 'a', [2], {'k': <<3>>}}}",
+    "SELECT VALUE x FROM t AS x WHERE x BETWEEN 1 AND 2 OR x IN (3, 4) "
+    "AND x IS NOT MISSING",
+    'SELECT c."date" AS "date" FROM closing_prices AS c',
+    "SELECT VALUE CAST(x AS INTEGER) FROM t AS x AT i",
+]
+
+
+@pytest.mark.parametrize("source", QUERIES)
+def test_query_round_trip(source):
+    first = print_ast(parse(source))
+    second = print_ast(parse(first))
+    assert first == second
+
+
+EXPRESSIONS = [
+    "1 + 2 * 3",
+    "-(x.y[0])",
+    "a || b || 'c'",
+    "NOT (a AND b)",
+    "COALESCE(MISSING, NULL, 1)",
+    "x NOT LIKE 'a%' ESCAPE '!'",
+    "EXISTS (SELECT VALUE 1)",
+    "{'k with space': 1, k2: 2}",
+    "5 = (SELECT t.a FROM t AS t)",
+]
+
+
+@pytest.mark.parametrize("source", EXPRESSIONS)
+def test_expression_round_trip(source):
+    first = print_ast(parse_expression(source))
+    second = print_ast(parse_expression(first))
+    assert first == second
+
+
+class TestQuoting:
+    def test_reserved_word_identifier_is_quoted(self):
+        text = print_ast(parse_expression('c."select"'))
+        assert '"select"' in text
+
+    def test_string_quote_escaping(self):
+        text = print_ast(parse_expression("'it''s'"))
+        assert text == "'it''s'"
+
+    def test_odd_identifier_quoted(self):
+        text = print_ast(parse_expression('"two words"'))
+        assert text == '"two words"'
+
+    def test_float_literals_precise(self):
+        assert print_ast(parse_expression("2.5")) == "2.5"
+
+    def test_missing_literal(self):
+        assert print_ast(parse_expression("MISSING")) == "MISSING"

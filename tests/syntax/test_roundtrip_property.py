@@ -1,0 +1,110 @@
+"""Property: printing any generated AST and reparsing reproduces it.
+
+The comparison is on the *reprinted* text (a canonical form), which is a
+fixpoint: print ∘ parse ∘ print = print.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datamodel.values import MISSING
+from repro.syntax import ast
+from repro.syntax.parser import parse, parse_expression
+from repro.syntax.printer import print_ast
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    # Avoid generating reserved words as identifiers.
+    lambda name: name.upper()
+    not in __import__("repro.syntax.tokens", fromlist=["KEYWORDS"]).KEYWORDS
+)
+
+literals = st.builds(
+    ast.Literal,
+    st.one_of(
+        st.none(),
+        st.just(MISSING),
+        st.booleans(),
+        st.integers(min_value=0, max_value=10**6),
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        st.text(max_size=8),
+    ),
+)
+
+
+def expressions(depth=3):
+    base = st.one_of(literals, st.builds(ast.VarRef, identifiers))
+    if depth == 0:
+        return base
+    inner = expressions(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(ast.Path, inner, identifiers),
+        st.builds(ast.Index, inner, inner),
+        st.builds(
+            ast.Binary,
+            st.sampled_from(["+", "-", "*", "/", "=", "<", "AND", "OR", "||"]),
+            inner,
+            inner,
+        ),
+        st.builds(ast.Unary, st.sampled_from(["-", "NOT"]), inner),
+        st.builds(ast.ArrayLit, st.lists(inner, max_size=3)),
+        st.builds(ast.BagLit, st.lists(inner, max_size=3)),
+        st.builds(
+            ast.StructLit,
+            st.lists(
+                st.builds(ast.StructField, st.builds(ast.Literal, st.text(max_size=5)), inner),
+                max_size=3,
+            ),
+        ),
+        st.builds(
+            ast.Like,
+            inner,
+            st.builds(ast.Literal, st.text(max_size=5)),
+            st.none(),
+            st.booleans(),
+        ),
+        st.builds(ast.IsPredicate, inner, st.sampled_from(["NULL", "MISSING"]), st.booleans()),
+        st.builds(
+            ast.FunctionCall,
+            st.sampled_from(["LOWER", "COALESCE", "ABS", "COLL_SUM"]),
+            st.lists(inner, min_size=1, max_size=2),
+        ),
+    )
+
+
+EXPRS = expressions()
+
+
+@given(EXPRS)
+@settings(max_examples=200)
+def test_expression_print_parse_fixpoint(expr):
+    text = print_ast(expr)
+    reparsed = parse_expression(text)
+    assert print_ast(reparsed) == text
+
+
+select_values = st.builds(ast.SelectValue, EXPRS, st.booleans())
+from_items = st.lists(
+    st.builds(ast.FromCollection, EXPRS, identifiers, st.none()),
+    min_size=1,
+    max_size=2,
+)
+blocks = st.builds(
+    ast.QueryBlock,
+    select=select_values,
+    from_=st.one_of(st.none(), from_items),
+    where=st.one_of(st.none(), EXPRS),
+)
+queries = st.builds(
+    ast.Query,
+    body=blocks,
+    order_by=st.lists(st.builds(ast.OrderItem, EXPRS, st.booleans()), max_size=2),
+    limit=st.one_of(st.none(), st.builds(ast.Literal, st.integers(0, 100))),
+)
+
+
+@given(queries)
+@settings(max_examples=150)
+def test_query_print_parse_fixpoint(query):
+    text = print_ast(query)
+    reparsed = parse(text)
+    assert print_ast(reparsed) == text

@@ -1,0 +1,50 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            errors.LexError,
+            errors.ParseError,
+            errors.RewriteError,
+            errors.BindingError,
+            errors.TypeCheckError,
+            errors.EvaluationError,
+            errors.SchemaError,
+            errors.FormatError,
+            errors.CatalogError,
+        ],
+    )
+    def test_all_derive_from_base(self, exc_type):
+        assert issubclass(exc_type, errors.SQLPPError)
+
+    def test_catch_all_contract(self):
+        """A caller can wrap any library call in one except clause."""
+        from repro import Database
+
+        db = Database()
+        for bad in ["SELECT", "nope", "2 * 'a'"]:
+            try:
+                db.execute(bad, typing_mode="strict")
+            except errors.SQLPPError:
+                continue
+            pytest.fail(f"{bad!r} raised nothing or a foreign exception")
+
+
+class TestPositions:
+    def test_lex_error_position_in_message(self):
+        error = errors.LexError("bad char", line=3, column=7)
+        assert "line 3" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_parse_error_position(self):
+        error = errors.ParseError("oops", line=2, column=1)
+        assert "line 2" in str(error)
+
+    def test_zero_position_omitted(self):
+        assert "line" not in str(errors.ParseError("oops"))

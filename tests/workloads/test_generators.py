@@ -1,0 +1,97 @@
+"""Workload generator determinism and shape."""
+
+from repro.workloads import (
+    emp_flat,
+    emp_nested,
+    emp_normalized,
+    emp_with_absent_titles,
+    event_log,
+    null_to_missing,
+    stock_prices_tall,
+    stock_prices_wide,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        assert emp_nested(50, seed=3) == emp_nested(50, seed=3)
+        assert event_log(50, dirty_rate=0.2, seed=5) == event_log(
+            50, dirty_rate=0.2, seed=5
+        )
+
+    def test_different_seed_differs(self):
+        assert emp_nested(50, seed=1) != emp_nested(50, seed=2)
+
+
+class TestHrWorkloads:
+    def test_nested_shape(self):
+        emps = emp_nested(20, fanout=3)
+        assert len(emps) == 20
+        assert all(isinstance(e["projects"], list) for e in emps)
+        assert all(isinstance(p, dict) for e in emps for p in e["projects"])
+
+    def test_scalar_projects_variant(self):
+        emps = emp_nested(20, scalar_projects=True)
+        assert all(isinstance(p, str) for e in emps for p in e["projects"])
+
+    def test_flat_has_no_nesting(self):
+        emps = emp_flat(20)
+        assert all(
+            isinstance(v, (int, str)) for e in emps for v in e.values()
+        )
+
+    def test_normalized_preserves_projects(self):
+        employees, projects = emp_normalized(30, fanout=2, seed=9)
+        nested = emp_nested(30, fanout=2, seed=9)
+        assert len(projects) == sum(len(e["projects"]) for e in nested)
+        assert all("projects" not in e for e in employees)
+        ids = {e["id"] for e in employees}
+        assert all(p["emp_id"] in ids for p in projects)
+
+    def test_absent_titles_variants_align(self):
+        with_missing = emp_with_absent_titles(100, 0.3, seed=4, use_missing=True)
+        with_null = emp_with_absent_titles(100, 0.3, seed=4, use_missing=False)
+        assert len(with_missing) == len(with_null)
+        for m_row, n_row in zip(with_missing, with_null):
+            if "title" not in m_row:
+                assert n_row["title"] is None
+            else:
+                assert m_row["title"] == n_row["title"]
+
+    def test_null_to_missing_mutation(self):
+        rows = [{"a": 1, "b": None}, {"a": None}]
+        assert null_to_missing(rows) == [{"a": 1}, {}]
+
+
+class TestStocks:
+    def test_wide_columns(self):
+        rows = stock_prices_wide(5, 3)
+        assert len(rows) == 5
+        assert set(rows[0]) == {"date", "sym0", "sym1", "sym2"}
+
+    def test_tall_is_wide_unpivoted(self):
+        tall = stock_prices_tall(4, 3, seed=2)
+        wide = stock_prices_wide(4, 3, seed=2)
+        assert len(tall) == 12
+        lookup = {(r["date"], r["symbol"]): r["price"] for r in tall}
+        assert lookup[("day-00000", "sym1")] == wide[0]["sym1"]
+
+
+class TestEventLog:
+    def test_dirty_rate_zero_is_clean(self):
+        events = event_log(200, dirty_rate=0.0)
+        assert all(isinstance(e["latency"], int) for e in events)
+
+    def test_dirty_rate_one_is_all_dirty(self):
+        events = event_log(50, dirty_rate=1.0)
+        assert all(e["latency"] == "n/a" for e in events)
+
+    def test_heterogeneous_shapes(self):
+        events = event_log(300, heterogeneous=True)
+        assert any("tags" in e for e in events)
+        assert any("user" in e for e in events)
+        assert any("tags" not in e and "user" not in e for e in events)
+
+    def test_homogeneous_mode(self):
+        events = event_log(100, heterogeneous=False)
+        assert all("tags" not in e and "user" not in e for e in events)
