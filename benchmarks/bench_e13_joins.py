@@ -1,0 +1,152 @@
+"""E13 — physical join planning: hash equi-join vs the reference
+nested loop vs the SQL-92 baseline engine.
+
+The planner (docs/PLANNER.md) turns an uncorrelated equi-``ON`` join
+into a build/probe hash join, so an N×M join costs O(N+M) instead of
+the reference semantics' O(N·M) nested loop.  This experiment measures
+that gap on a normalized users⋈orders workload at n ∈ {100, 1k, 10k}
+orders (users scale as n/10), against three engines:
+
+* ``nested_loop`` — our evaluator with ``optimize=False`` (the
+  executable reference semantics);
+* ``hash_join`` — our evaluator with the planner on (the default);
+* ``sql92_baseline`` — the classic-SQL baseline engine.
+
+All three must agree on the result bag; the claim asserted below is a
+≥10× hash-vs-nested-loop speedup at n = 10k.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import Database
+from repro.baselines.sql92 import SQL92Database
+from repro.datamodel.convert import from_python
+from repro.datamodel.values import Bag
+
+from conftest import assert_same_bag
+
+SIZES = [100, 1_000, 10_000]
+#: The acceptance bar: hash join at the largest size must beat the
+#: reference nested loop by at least this factor.
+MIN_SPEEDUP_AT_10K = 10.0
+
+QUERY = (
+    "SELECT u.uid AS uid, o.oid AS oid, o.total AS total "
+    "FROM users AS u JOIN orders AS o ON o.user_id = u.uid "
+    "WHERE o.total >= 10"
+)
+
+
+def tables(n: int):
+    n_users = max(n // 10, 10)
+    users = [{"uid": i, "name": f"user-{i}"} for i in range(n_users)]
+    orders = [
+        {"oid": i, "user_id": (i * 7) % n_users, "total": (i * 13) % 500}
+        for i in range(n)
+    ]
+    return users, orders
+
+
+def sqlpp_db(n: int, optimize: bool) -> Database:
+    users, orders = tables(n)
+    db = Database(optimize=optimize)
+    db.set("users", users)
+    db.set("orders", orders)
+    return db
+
+
+def sql92_db(n: int) -> SQL92Database:
+    users, orders = tables(n)
+    db = SQL92Database()
+    db.create_table("users", ["uid", "name"])
+    db.create_table("orders", ["oid", "user_id", "total"])
+    db.insert("users", users)
+    db.insert("orders", orders)
+    return db
+
+
+@pytest.fixture(scope="module")
+def agreement_verified():
+    """All three engines produce the same bag (checked once, at 1k)."""
+    reference = sqlpp_db(1_000, optimize=False).execute(QUERY)
+    optimized = sqlpp_db(1_000, optimize=True).execute(QUERY)
+    baseline = Bag(from_python(sql92_db(1_000).execute(QUERY)))
+    assert_same_bag(optimized, reference)
+    assert_same_bag(optimized, baseline)
+    return True
+
+
+@pytest.mark.benchmark(group="E13-joins-n100")
+class TestJoin100:
+    def test_nested_loop(self, benchmark, agreement_verified):
+        db = sqlpp_db(100, optimize=False)
+        benchmark(lambda: db.execute(QUERY))
+
+    def test_hash_join(self, benchmark, agreement_verified):
+        db = sqlpp_db(100, optimize=True)
+        benchmark(lambda: db.execute(QUERY))
+
+    def test_sql92_baseline(self, benchmark, agreement_verified):
+        db = sql92_db(100)
+        benchmark(lambda: db.execute(QUERY))
+
+
+@pytest.mark.benchmark(group="E13-joins-n1000")
+class TestJoin1000:
+    def test_nested_loop(self, benchmark, agreement_verified):
+        db = sqlpp_db(1_000, optimize=False)
+        benchmark.pedantic(lambda: db.execute(QUERY), rounds=2, iterations=1)
+
+    def test_hash_join(self, benchmark, agreement_verified):
+        db = sqlpp_db(1_000, optimize=True)
+        benchmark(lambda: db.execute(QUERY))
+
+    def test_sql92_baseline(self, benchmark, agreement_verified):
+        db = sql92_db(1_000)
+        benchmark(lambda: db.execute(QUERY))
+
+
+@pytest.mark.benchmark(group="E13-joins-n10000")
+class TestJoin10000:
+    def test_nested_loop(self, benchmark, agreement_verified):
+        # O(N·M) = 10⁷ ON evaluations: one round is plenty.
+        db = sqlpp_db(10_000, optimize=False)
+        benchmark.pedantic(lambda: db.execute(QUERY), rounds=1, iterations=1)
+
+    def test_hash_join(self, benchmark, agreement_verified):
+        db = sqlpp_db(10_000, optimize=True)
+        benchmark(lambda: db.execute(QUERY))
+
+    def test_sql92_baseline(self, benchmark, agreement_verified):
+        db = sql92_db(10_000)
+        benchmark(lambda: db.execute(QUERY))
+
+
+def test_speedup_claim_at_10k(agreement_verified):
+    """The tentpole claim: ≥10× hash-join speedup at n = 10k."""
+    nested = sqlpp_db(10_000, optimize=False)
+    hashed = sqlpp_db(10_000, optimize=True)
+    hashed.execute(QUERY)  # warm the compile and plan caches
+
+    started = time.perf_counter()
+    reference = nested.execute(QUERY)
+    nested_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    optimized = hashed.execute(QUERY)
+    hash_s = time.perf_counter() - started
+
+    assert_same_bag(optimized, reference)
+    speedup = nested_s / hash_s
+    print(
+        f"\nE13 n=10k: nested loop {nested_s:.2f}s, hash join {hash_s*1e3:.1f}ms "
+        f"→ {speedup:.0f}× speedup"
+    )
+    assert speedup >= MIN_SPEEDUP_AT_10K, (
+        f"hash join only {speedup:.1f}× faster than the nested loop "
+        f"(claim: ≥{MIN_SPEEDUP_AT_10K}×)"
+    )

@@ -29,15 +29,23 @@ def main(path: str) -> None:
     for bench in data["benchmarks"]:
         groups[bench.get("group") or "ungrouped"].append(bench)
 
-    print("| Group | Benchmark | Median | Mean | Rounds |")
-    print("|---|---|---:|---:|---:|")
+    print("| Group | Benchmark | Median | Mean | Rounds | Speedup |")
+    print("|---|---|---:|---:|---:|---:|")
     for group in sorted(groups):
-        for bench in sorted(groups[group], key=lambda b: b["stats"]["median"]):
+        ranked = sorted(groups[group], key=lambda b: b["stats"]["median"])
+        # Speedup is relative to the slowest benchmark in the group, so
+        # within E13-joins-* the hash-join row reads "N× over the
+        # nested loop" directly.
+        slowest = max(bench["stats"]["median"] for bench in ranked)
+        for bench in ranked:
             stats = bench["stats"]
             name = bench["name"].replace("test_", "")
+            speedup = slowest / stats["median"] if stats["median"] else 0.0
+            speedup_cell = "—" if len(ranked) == 1 else f"{speedup:,.1f}×"
             print(
                 f"| {group} | `{name}` | {format_seconds(stats['median'])} "
-                f"| {format_seconds(stats['mean'])} | {stats['rounds']} |"
+                f"| {format_seconds(stats['mean'])} | {stats['rounds']} "
+                f"| {speedup_cell} |"
             )
 
 

@@ -35,15 +35,23 @@ class Catalog:
 
     def __init__(self) -> None:
         self._values: Dict[str, Any] = {}
+        #: Bumped on every name-set change; lets callers (the Database
+        #: query cache) key compiled plans to a catalog snapshot, since
+        #: rewriting consults the set of catalog names.
+        self.version = 0
 
     def set(self, name: str, value: Any) -> None:
         """Create or replace a named value (converted to model form)."""
-        self._values[validate_name(name)] = from_python(value)
+        if validate_name(name) not in self._values:
+            self.version += 1
+        self._values[name] = from_python(value)
 
     def set_model(self, name: str, value: Any) -> None:
         """Create or replace a named value that is already in model form
         (skips conversion; used by callers that validated the value)."""
-        self._values[validate_name(name)] = value
+        if validate_name(name) not in self._values:
+            self.version += 1
+        self._values[name] = value
 
     def get(self, name: str) -> Any:
         try:
@@ -55,6 +63,7 @@ class Catalog:
         if name not in self._values:
             raise CatalogError(f"unknown named value {name!r}")
         del self._values[name]
+        self.version += 1
 
     def names(self) -> List[str]:
         return sorted(self._values)

@@ -15,13 +15,19 @@ REPL dot-commands::
     .mode core|compat              toggle the SQL-compatibility flag
     .typing permissive|strict      toggle the typing mode
     .explain <query>               show the rewritten Core query
+    .plan <query>                  show the physical plan (same as EXPLAIN)
     .schema <name> <ddl>           impose a schema on a named value
     .quit
+
+``EXPLAIN <query>`` (as a statement, in the REPL or via ``-c``) prints
+the physical plan the optimizer chose — the FROM operator tree, pushed
+predicates and the rewrites that fired (see docs/PLANNER.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from typing import List, Optional
 
@@ -48,6 +54,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--strict",
         action="store_true",
         help="stop-on-error typing mode (default: permissive)",
+    )
+    parser.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="bypass the physical planner (reference Core semantics)",
     )
     parser.add_argument(
         "--load",
@@ -88,6 +99,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     db = Database(
         typing_mode="strict" if args.strict else "permissive",
         sql_compat=not args.core,
+        optimize=not args.no_optimize,
     )
     for spec in args.load:
         name, __, path = spec.partition("=")
@@ -103,8 +115,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     return _repl(db)
 
 
+_EXPLAIN_PREFIX = re.compile(r"^\s*EXPLAIN\b", re.IGNORECASE)
+
+
+def _strip_explain(text: str) -> Optional[str]:
+    """The query under an ``EXPLAIN`` verb, or None when there is none."""
+    match = _EXPLAIN_PREFIX.match(text)
+    if match is None:
+        return None
+    return text[match.end():].strip().rstrip(";")
+
+
 def _run_text(db: Database, text: str) -> int:
     from repro.syntax.parser import parse_script
+
+    explained = _strip_explain(text)
+    if explained is not None:
+        try:
+            print(db.explain_plan(explained))
+            return 0
+        except SQLPPError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
 
     try:
         queries = parse_script(text)
@@ -149,7 +181,11 @@ def _repl(db: Database) -> int:
             if not text.strip():
                 continue
             try:
-                print(dumps(db.execute(text)))
+                explained = _strip_explain(text)
+                if explained is not None:
+                    print(db.explain_plan(explained))
+                else:
+                    print(dumps(db.execute(text)))
             except SQLPPError as exc:
                 print(f"error: {exc}")
 
@@ -158,8 +194,9 @@ def _is_complete(text: str) -> bool:
     """Single-line inputs without ';' still run if they parse."""
     from repro.syntax.parser import parse
 
+    explained = _strip_explain(text)
     try:
-        parse(text)
+        parse(text if explained is None else explained)
     except SQLPPError:
         return False
     return True
@@ -200,6 +237,8 @@ def _dot_command(db: Database, line: str) -> bool:
             print(f"typing: {db._config.typing_mode}")
         elif command == ".explain" and len(parts) >= 2:
             print(db.explain(line.split(None, 1)[1]))
+        elif command == ".plan" and len(parts) >= 2:
+            print(db.explain_plan(line.split(None, 1)[1]))
         else:
             print(f"unknown command {command!r}; try .help")
     except (SQLPPError, OSError) as exc:

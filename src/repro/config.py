@@ -39,6 +39,12 @@ class EvalConfig:
 
     typing_mode: str = PERMISSIVE
     sql_compat: bool = True
+    #: Physical planning (hash equi-joins, predicate pushdown, right-side
+    #: materialization — see docs/PLANNER.md).  ``optimize=False`` runs
+    #: the executable reference semantics unchanged; results must be
+    #: identical either way (the planner only fires rewrites it can
+    #: prove equivalent, and falls back wholesale in strict mode).
+    optimize: bool = True
 
     def __post_init__(self) -> None:
         if self.typing_mode not in (PERMISSIVE, STRICT):

@@ -76,6 +76,7 @@ class Evaluator:
         self.config = config or EvalConfig()
         self._parameters = [from_python(value) for value in parameters or []]
         self._compiled: Dict[int, Any] = {}
+        self._plans: Dict[int, Any] = {}
 
     def compiled(self, expr: ast.Expr):
         """The closure-compiled form of an expression (cached per node).
@@ -252,13 +253,24 @@ class Evaluator:
 
     def eval_block(self, block: ast.QueryBlock, env: Environment) -> _BlockResult:
         # FROM — binding streams; no FROM means a single empty binding.
+        # With optimization on (permissive mode only), the planner may
+        # replace the FROM loop and part of the WHERE with a physical
+        # plan (hash joins, pushed-down predicates — docs/PLANNER.md);
+        # ``optimize=False`` is the executable reference semantics.
         var_order: List[str] = []
+        plan = None
         if block.from_ is None:
             envs = [env]
         else:
-            envs = [env]
             for item in block.from_:
-                envs = self._apply_from_item(item, envs, var_order)
+                self._collect_item_vars(item, var_order)
+            plan = self._block_plan(block)
+            if plan is not None:
+                envs = plan.execute(self, env)
+            else:
+                envs = [env]
+                for item in block.from_:
+                    envs = self._apply_from_item(item, envs)
 
         # LET
         for let in block.lets:
@@ -268,9 +280,10 @@ class Evaluator:
                 current.bind(let.name, let_fn(current)) for current in envs
             ]
 
-        # WHERE
-        if block.where is not None:
-            where_fn = self.compiled(block.where)
+        # WHERE (the planner may have pushed some conjuncts into FROM)
+        where_expr = block.where if plan is None else plan.residual_where
+        if where_expr is not None:
+            where_fn = self.compiled(where_expr)
             envs = [current for current in envs if where_fn(current) is True]
 
         # GROUP BY ... GROUP AS
@@ -314,13 +327,25 @@ class Evaluator:
 
     # -- FROM ----------------------------------------------------------------
 
+    def _block_plan(self, block: ast.QueryBlock):
+        """The (cached) physical plan for a block, or None for the
+        reference pipeline.  Cached like ``compiled``: the block node is
+        kept alive alongside the plan so id() keys stay unique."""
+        if not self.config.optimize or not self.config.is_permissive:
+            return None
+        entry = self._plans.get(id(block))
+        if entry is None:
+            from repro.core.planner import plan_block
+
+            entry = (block, plan_block(block, self.config))
+            self._plans[id(block)] = entry
+        return entry[1]
+
     def _apply_from_item(
         self,
         item: ast.FromItem,
         envs: List[Environment],
-        var_order: List[str],
     ) -> List[Environment]:
-        self._collect_item_vars(item, var_order)
         result: List[Environment] = []
         for current in envs:
             for bindings in self._item_bindings(item, current):
@@ -412,7 +437,16 @@ class Evaluator:
     def _join_bindings(
         self, item: ast.FromJoin, env: Environment
     ) -> List[Dict[str, Any]]:
-        """Explicit JOIN with lateral right side; LEFT pads with NULLs."""
+        """Explicit JOIN with lateral right side; LEFT pads with NULLs.
+
+        Padding covers every right-side variable — including variables
+        bound by joins nested inside the right side and AT position
+        variables — via the same helper the physical hash/materialized
+        join operators use (:func:`repro.core.plan_ops.pad_right_vars`),
+        so the nested-loop and hash paths cannot diverge.
+        """
+        from repro.core.plan_ops import pad_right_vars
+
         result: List[Dict[str, Any]] = []
         right_vars: List[str] = []
         self._collect_item_vars(item.right, right_vars)
@@ -428,10 +462,7 @@ class Evaluator:
                 matched = True
                 result.append(combined)
             if item.kind == "LEFT" and not matched:
-                padded = dict(left_binding)
-                for name in right_vars:
-                    padded[name] = None
-                result.append(padded)
+                result.append(pad_right_vars(left_binding, right_vars))
         return result
 
     # -- GROUP BY --------------------------------------------------------------

@@ -1,0 +1,338 @@
+"""Physical FROM-clause operators — the planner's target language.
+
+The SQL++ Core defines ``FROM`` as left-correlated nested loops (paper,
+Section III-A); that definition is a *specification*, not an execution
+strategy.  This module provides the physical operators the planner
+(:mod:`repro.core.planner`) compiles a Core FROM clause into:
+
+* :class:`ScanOp` — enumerate one range/UNPIVOT item (reference
+  semantics), optionally applying pushed-down filter conjuncts before
+  the bindings enter any cross product;
+* :class:`HashJoinOp` — an equi-join executed by hashing the right
+  (build) side once and probing per left binding, with LEFT-join NULL
+  padding and the Core rule that NULL/MISSING keys never match;
+* :class:`MaterializeJoinOp` — a nested loop whose uncorrelated right
+  side is materialized once instead of per left binding (exact
+  reference semantics for arbitrary ``ON`` predicates);
+* :class:`CorrelatedJoinOp` — the lateral fallback: the right side is
+  re-enumerated under each left binding, exactly as the reference
+  evaluator does, preserving the paper's left-correlation semantics.
+
+Every operator maps ``(evaluator, env) -> list of binding dicts`` and
+must be observationally equivalent to the reference pipeline under
+permissive typing (the only mode the planner runs in); the property
+test ``tests/properties/test_planner_equivalence.py`` enforces this on
+generated join workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.datamodel.equality import group_key
+from repro.datamodel.values import MISSING
+from repro.syntax import ast
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.environment import Environment
+    from repro.core.evaluator import Evaluator
+
+Binding = Dict[str, Any]
+
+
+def pad_right_vars(left_binding: Binding, right_vars: List[str]) -> Binding:
+    """A LEFT-join padded binding: every right-side variable — including
+    variables of joins nested inside the right side and AT position
+    variables — becomes NULL.
+
+    Shared by the reference nested-loop path and every physical join
+    operator so the padding sets cannot drift apart.
+    """
+    padded = dict(left_binding)
+    for name in right_vars:
+        padded[name] = None
+    return padded
+
+
+class PlanOp:
+    """Base class: produces binding dicts for one FROM item subtree."""
+
+    #: Variables this operator binds (set by the planner).
+    vars: List[str]
+
+    def __init__(self) -> None:
+        self.vars = []
+        #: Pushed-down WHERE conjuncts applied to this operator's output.
+        self.filters: List[ast.Expr] = []
+
+    def bindings(
+        self, evaluator: "Evaluator", env: "Environment"
+    ) -> List[Binding]:
+        raise NotImplementedError
+
+    def _filtered(
+        self,
+        evaluator: "Evaluator",
+        env: "Environment",
+        rows: List[Binding],
+    ) -> List[Binding]:
+        if not self.filters:
+            return rows
+        fns = [evaluator.compiled(predicate) for predicate in self.filters]
+        result = []
+        for row in rows:
+            row_env = env.extend(row)
+            if all(fn(row_env) is True for fn in fns):
+                result.append(row)
+        return result
+
+    # -- EXPLAIN -----------------------------------------------------------
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def explain_lines(self, indent: int = 0) -> List[str]:
+        from repro.syntax.printer import print_ast
+
+        line = "  " * indent + self.describe()
+        if self.filters:
+            rendered = " AND ".join(print_ast(f) for f in self.filters)
+            line += f"  [filter: {rendered}]"
+        return [line] + self._child_lines(indent + 1)
+
+    def _child_lines(self, indent: int) -> List[str]:
+        return []
+
+
+class ScanOp(PlanOp):
+    """Enumerate one FromCollection / FromUnpivot item (reference
+    semantics), then apply pushed filters before any cross product."""
+
+    def __init__(self, item: ast.FromItem):
+        super().__init__()
+        self.item = item
+
+    def bindings(self, evaluator, env):
+        rows = evaluator._item_bindings(self.item, env)
+        return self._filtered(evaluator, env, rows)
+
+    def describe(self) -> str:
+        from repro.syntax.printer import print_ast
+
+        if isinstance(self.item, ast.FromCollection):
+            source = print_ast(self.item.expr)
+            at = f" AT {self.item.at_alias}" if self.item.at_alias else ""
+            return f"Scan {source} AS {self.item.alias}{at}"
+        if isinstance(self.item, ast.FromUnpivot):
+            source = print_ast(self.item.expr)
+            return (
+                f"Unpivot {source} AS {self.item.value_alias} "
+                f"AT {self.item.at_alias}"
+            )
+        return f"Scan {type(self.item).__name__}"
+
+
+class CorrelatedJoinOp(PlanOp):
+    """The lateral fallback: right side re-enumerated per left binding.
+
+    Mirrors ``Evaluator._join_bindings`` exactly (the left subtree may
+    still be planned), so correlated right sides keep the paper's
+    left-correlation semantics.
+    """
+
+    def __init__(self, left: PlanOp, item: ast.FromJoin):
+        super().__init__()
+        self.left = left
+        self.item = item
+        self.right_vars: List[str] = []
+
+    def bindings(self, evaluator, env):
+        item = self.item
+        on_fn = (
+            evaluator.compiled(item.on) if item.on is not None else None
+        )
+        result: List[Binding] = []
+        for left_binding in self.left.bindings(evaluator, env):
+            left_env = env.extend(left_binding)
+            matched = False
+            for right_binding in evaluator._item_bindings(
+                item.right, left_env
+            ):
+                combined = {**left_binding, **right_binding}
+                if on_fn is not None and on_fn(env.extend(combined)) is not True:
+                    continue
+                matched = True
+                result.append(combined)
+            if item.kind == "LEFT" and not matched:
+                result.append(pad_right_vars(left_binding, self.right_vars))
+        return self._filtered(evaluator, env, result)
+
+    def describe(self) -> str:
+        return f"NestedLoopJoin[{self.item.kind}] (correlated/lateral right side)"
+
+    def _child_lines(self, indent: int) -> List[str]:
+        from repro.syntax.printer import print_ast
+
+        lines = self.left.explain_lines(indent)
+        prefix = "  " * indent
+        if isinstance(self.item.right, ast.FromCollection):
+            right = (
+                f"lateral: {print_ast(self.item.right.expr)} "
+                f"AS {self.item.right.alias}"
+            )
+        else:
+            right = f"lateral: {type(self.item.right).__name__}"
+        lines.append(prefix + right)
+        return lines
+
+
+class MaterializeJoinOp(PlanOp):
+    """Nested loop with the uncorrelated right side materialized once.
+
+    Exact reference semantics for any ``ON`` predicate (same pairs, same
+    evaluation order); the saving is that the right side's enumeration
+    cost is paid once instead of once per left binding.
+    """
+
+    def __init__(
+        self,
+        left: PlanOp,
+        right: PlanOp,
+        kind: str,
+        on: Optional[ast.Expr],
+        right_vars: List[str],
+    ):
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.kind = kind
+        self.on = on
+        self.right_vars = right_vars
+
+    def bindings(self, evaluator, env):
+        left_rows = self.left.bindings(evaluator, env)
+        if not left_rows:
+            return []
+        right_rows = self.right.bindings(evaluator, env)
+        on_fn = evaluator.compiled(self.on) if self.on is not None else None
+        result: List[Binding] = []
+        for left_binding in left_rows:
+            matched = False
+            for right_binding in right_rows:
+                combined = {**left_binding, **right_binding}
+                if on_fn is not None and on_fn(env.extend(combined)) is not True:
+                    continue
+                matched = True
+                result.append(combined)
+            if self.kind == "LEFT" and not matched:
+                result.append(pad_right_vars(left_binding, self.right_vars))
+        return self._filtered(evaluator, env, result)
+
+    def describe(self) -> str:
+        from repro.syntax.printer import print_ast
+
+        on = f" ON {print_ast(self.on)}" if self.on is not None else ""
+        return f"NestedLoopJoin[{self.kind}] (right side materialized once){on}"
+
+    def _child_lines(self, indent: int) -> List[str]:
+        return self.left.explain_lines(indent) + self.right.explain_lines(indent)
+
+
+class HashJoinOp(PlanOp):
+    """Hash equi-join: build a hash table over the right side once,
+    probe it per left binding.
+
+    Key semantics follow Core equality (:func:`repro.functions.operators
+    .equals`): a NULL or MISSING key component makes the ``ON``
+    conjunct non-TRUE, so such rows never match — they are skipped on
+    both sides (and LEFT-padded on the probe side).  Non-absent keys
+    hash by :func:`repro.datamodel.equality.group_key`, whose identity
+    coincides with the deep equality ``=`` uses on non-absent values.
+
+    ``residual`` holds the non-equi conjuncts of a conjunctive ``ON``;
+    they are evaluated per key-matching pair, like the reference.
+    """
+
+    def __init__(
+        self,
+        left: PlanOp,
+        right: PlanOp,
+        kind: str,
+        left_keys: List[ast.Expr],
+        right_keys: List[ast.Expr],
+        residual: List[ast.Expr],
+        right_vars: List[str],
+    ):
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.kind = kind
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+        self.right_vars = right_vars
+
+    def bindings(self, evaluator, env):
+        left_rows = self.left.bindings(evaluator, env)
+        if not left_rows:
+            return []
+        right_rows = self.right.bindings(evaluator, env)
+        left_key_fns = [evaluator.compiled(key) for key in self.left_keys]
+        right_key_fns = [evaluator.compiled(key) for key in self.right_keys]
+        residual_fns = [evaluator.compiled(p) for p in self.residual]
+
+        table: Dict[Tuple, List[Binding]] = {}
+        for right_binding in right_rows:
+            key = _key_tuple(right_key_fns, env.extend(right_binding))
+            if key is None:
+                continue  # absent key: can never satisfy the equi-ON
+            table.setdefault(key, []).append(right_binding)
+
+        result: List[Binding] = []
+        for left_binding in left_rows:
+            key = _key_tuple(left_key_fns, env.extend(left_binding))
+            matched = False
+            for right_binding in (table.get(key, ()) if key is not None else ()):
+                combined = {**left_binding, **right_binding}
+                if residual_fns:
+                    combined_env = env.extend(combined)
+                    if not all(fn(combined_env) is True for fn in residual_fns):
+                        continue
+                matched = True
+                result.append(combined)
+            if self.kind == "LEFT" and not matched:
+                result.append(pad_right_vars(left_binding, self.right_vars))
+        return self._filtered(evaluator, env, result)
+
+    def describe(self) -> str:
+        from repro.syntax.printer import print_ast
+
+        keys = ", ".join(
+            f"{print_ast(lk)} = {print_ast(rk)}"
+            for lk, rk in zip(self.left_keys, self.right_keys)
+        )
+        text = f"HashJoin[{self.kind}] key ({keys})"
+        if self.residual:
+            residual = " AND ".join(print_ast(p) for p in self.residual)
+            text += f" residual ({residual})"
+        return text
+
+    def _child_lines(self, indent: int) -> List[str]:
+        prefix = "  " * indent
+        left = self.left.explain_lines(indent + 1)
+        right = self.right.explain_lines(indent + 1)
+        return (
+            [prefix + "probe:"] + left + [prefix + "build:"] + right
+        )
+
+
+def _key_tuple(key_fns, env) -> Optional[Tuple]:
+    """The composite hash key for one binding, or None when any
+    component is NULL/MISSING (Core equality: such keys never match)."""
+    parts = []
+    for fn in key_fns:
+        value = fn(env)
+        if value is None or value is MISSING:
+            return None
+        parts.append(group_key(value))
+    return tuple(parts)

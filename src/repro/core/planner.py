@@ -1,0 +1,401 @@
+"""The physical query planner.
+
+Sits between the sugar→Core rewriter and the evaluator: given a Core
+:class:`~repro.syntax.ast.QueryBlock`, it analyzes the FROM clause and
+the WHERE conjunction and produces a :class:`BlockPlan` of physical
+operators (:mod:`repro.core.plan_ops`) plus a residual WHERE.  The
+rewrites it can fire:
+
+* **hash-equi-join** — an uncorrelated join whose ``ON`` is a
+  conjunction containing at least one equality that splits cleanly
+  into a left-side and a right-side key expression becomes a
+  :class:`~repro.core.plan_ops.HashJoinOp`;
+* **materialize-right** — an uncorrelated join right side that does not
+  qualify for hashing (non-equi ``ON``, CROSS) is materialized once
+  instead of re-enumerated per left binding;
+* **materialize-once** — an uncorrelated later FROM item in a comma
+  cross product is enumerated once instead of once per upstream
+  binding;
+* **predicate-pushdown** — WHERE conjuncts over a single FROM item's
+  variables are evaluated during that item's enumeration, before the
+  cross product is materialized; conjuncts over a prefix of items are
+  applied as soon as the prefix is complete.
+
+Fallback rules (the planner *refuses* and the reference semantics run
+unchanged) — see docs/PLANNER.md:
+
+* strict typing mode: the reference pipeline's evaluation order is
+  observable through raised errors, so no rewriting happens at all;
+* correlated (lateral) right sides: the reference nested loop runs,
+  via :class:`~repro.core.plan_ops.CorrelatedJoinOp`;
+* pushdown is skipped when the block has LET clauses (LET evaluates
+  between FROM and WHERE in the reference pipeline);
+* a conjunct is only relocated when it is *relocatable*: built from
+  node kinds that cannot raise before the WHERE clause would have
+  (no window calls, subqueries, parameters, unknown functions);
+* duplicate variable names across join sides disable hashing.
+
+Every plan is checked against the reference (``optimize=False``) output
+by the property tests and the compat-kit parity test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.config import EvalConfig
+from repro.core.plan_ops import (
+    CorrelatedJoinOp,
+    HashJoinOp,
+    MaterializeJoinOp,
+    PlanOp,
+    ScanOp,
+)
+from repro.functions.registry import REGISTRY
+from repro.syntax import ast
+
+
+# =========================================================================
+# Analyses
+# =========================================================================
+
+
+def free_names(node: ast.Node) -> Set[str]:
+    """Every variable name referenced anywhere under ``node``.
+
+    A conservative over-approximation of the free variables: names bound
+    inside nested subqueries are included too, which can only make the
+    planner *more* cautious (a rewrite is applied only when the name set
+    proves independence).
+    """
+    return {n.name for n in node.walk() if isinstance(n, ast.VarRef)}
+
+
+def item_vars(item: ast.FromItem) -> List[str]:
+    """The variables a FROM item binds, in binding order (matches
+    ``Evaluator._collect_item_vars``)."""
+    result: List[str] = []
+    _collect_vars(item, result)
+    return result
+
+
+def _collect_vars(item: ast.FromItem, out: List[str]) -> None:
+    if isinstance(item, ast.FromCollection):
+        out.append(item.alias)
+        if item.at_alias:
+            out.append(item.at_alias)
+    elif isinstance(item, ast.FromUnpivot):
+        out.append(item.value_alias)
+        out.append(item.at_alias)
+    elif isinstance(item, ast.FromJoin):
+        _collect_vars(item.left, out)
+        _collect_vars(item.right, out)
+
+
+_UNSAFE_NODES = (ast.WindowCall, ast.SubqueryExpr, ast.CoerceSubquery, ast.Parameter)
+
+
+def is_relocatable(expr: ast.Expr) -> bool:
+    """Whether evaluating ``expr`` earlier/fewer times than the
+    reference WHERE/ON position is unobservable in permissive mode.
+
+    Permissive typing turns dynamic type errors into MISSING, so most
+    expressions are total; the exceptions that can still raise or carry
+    evaluation state — window calls, subqueries, positional parameters,
+    unknown or ``*`` function calls — keep a conjunct pinned in place.
+    """
+    for node in expr.walk():
+        if isinstance(node, _UNSAFE_NODES):
+            return False
+        if isinstance(node, ast.FunctionCall):
+            if node.star or REGISTRY.lookup(node.name) is None:
+                return False
+    return True
+
+
+def split_conjuncts(expr: ast.Expr) -> List[ast.Expr]:
+    """Flatten a conjunction tree into its conjuncts.
+
+    Keeping a binding requires the whole AND tree to be exactly TRUE,
+    which (by 3-valued AND) holds iff every conjunct is exactly TRUE —
+    so conjunct-wise filtering is equivalent to filtering on the tree.
+    """
+    if isinstance(expr, ast.Binary) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def _and_fold(conjuncts: List[ast.Expr]) -> Optional[ast.Expr]:
+    if not conjuncts:
+        return None
+    folded = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        folded = ast.Binary(op="AND", left=folded, right=conjunct)
+    return folded
+
+
+# =========================================================================
+# The plan
+# =========================================================================
+
+
+@dataclass
+class ItemPlan:
+    """One top-level FROM item: its operator plus cross-product hints."""
+
+    op: PlanOp
+    #: Independent of every earlier item's variables → enumerate once.
+    uncorrelated: bool = False
+    #: Pushed conjuncts over a *prefix* of items, applied right after
+    #: this item extends the binding stream.
+    prefix_filters: List[ast.Expr] = field(default_factory=list)
+
+
+@dataclass
+class BlockPlan:
+    """The physical plan for one query block's FROM + WHERE stages."""
+
+    items: List[ItemPlan]
+    residual_where: Optional[ast.Expr]
+    rewrites: List[str]
+
+    def execute(self, evaluator, env) -> list:
+        """Produce the block's binding environments (replaces the
+        reference FROM loop and WHERE filter in ``eval_block``)."""
+        envs = [env]
+        for item_plan in self.items:
+            if not envs:
+                # The reference never enumerates an item when the stream
+                # is already empty; match that (error parity).
+                return []
+            if item_plan.uncorrelated and len(envs) > 1:
+                rows = item_plan.op.bindings(evaluator, env)
+                envs = [current.extend(row) for current in envs for row in rows]
+            else:
+                extended = []
+                for current in envs:
+                    for row in item_plan.op.bindings(evaluator, current):
+                        extended.append(current.extend(row))
+                envs = extended
+            if item_plan.prefix_filters:
+                fns = [evaluator.compiled(p) for p in item_plan.prefix_filters]
+                envs = [
+                    current
+                    for current in envs
+                    if all(fn(current) is True for fn in fns)
+                ]
+        return envs
+
+    def explain(self) -> str:
+        from repro.syntax.printer import print_ast
+
+        lines = ["FROM"]
+        for item_plan in self.items:
+            op_lines = item_plan.op.explain_lines(1)
+            if item_plan.uncorrelated and len(self.items) > 1:
+                op_lines[0] += "  [materialized once]"
+            lines.extend(op_lines)
+            for predicate in item_plan.prefix_filters:
+                lines.append(f"  filter (prefix): {print_ast(predicate)}")
+        if self.residual_where is not None:
+            lines.append(f"WHERE (residual): {print_ast(self.residual_where)}")
+        else:
+            lines.append("WHERE: (none — fully pushed down or absent)")
+        lines.append("rewrites fired:")
+        if self.rewrites:
+            lines.extend(f"  - {rewrite}" for rewrite in self.rewrites)
+        else:
+            lines.append("  - (none)")
+        return "\n".join(lines)
+
+
+# =========================================================================
+# Planning
+# =========================================================================
+
+
+def plan_block(block: ast.QueryBlock, config: EvalConfig) -> Optional[BlockPlan]:
+    """Plan a Core query block; None means "run the reference pipeline".
+
+    Returns a plan only when at least one rewrite fires, so the
+    reference path stays the common case for trivial queries.
+    """
+    if block.from_ is None:
+        return None
+    if not config.optimize or not config.is_permissive:
+        return None
+
+    rewrites: List[str] = []
+    item_plans: List[ItemPlan] = []
+    item_var_sets: List[Set[str]] = []
+    prev_vars: Set[str] = set()
+    for index, item in enumerate(block.from_):
+        op = _plan_item(item, rewrites)
+        names = free_names(item)
+        uncorrelated = not (names & prev_vars)
+        if uncorrelated and index > 0:
+            rewrites.append(f"materialize-once: FROM item #{index + 1}")
+        item_plans.append(ItemPlan(op=op, uncorrelated=uncorrelated))
+        variables = set(item_vars(item))
+        item_var_sets.append(variables)
+        prev_vars |= variables
+
+    residual_where = block.where
+    # Pushdown is only safe when nothing evaluates between FROM and
+    # WHERE in the reference pipeline (LET does).
+    if block.where is not None and not block.lets:
+        residual: List[ast.Expr] = []
+        for conjunct in split_conjuncts(block.where):
+            if not _push_conjunct(conjunct, item_plans, item_var_sets, rewrites):
+                residual.append(conjunct)
+        if len(residual) < len(split_conjuncts(block.where)):
+            residual_where = _and_fold(residual)
+
+    if not rewrites:
+        return None
+    return BlockPlan(
+        items=item_plans, residual_where=residual_where, rewrites=rewrites
+    )
+
+
+def _push_conjunct(
+    conjunct: ast.Expr,
+    item_plans: List[ItemPlan],
+    item_var_sets: List[Set[str]],
+    rewrites: List[str],
+) -> bool:
+    """Push one WHERE conjunct as deep as it can safely go; False keeps
+    it in the residual WHERE."""
+    from repro.syntax.printer import print_ast
+
+    names = free_names(conjunct)
+    if not names or not is_relocatable(conjunct):
+        return False
+    # Single-item conjunct: filter during that item's enumeration.
+    for index, variables in enumerate(item_var_sets):
+        if names <= variables:
+            _attach_filter(item_plans[index].op, conjunct, names)
+            rewrites.append(
+                f"predicate-pushdown: {print_ast(conjunct)} "
+                f"→ FROM item #{index + 1}"
+            )
+            return True
+    # Prefix conjunct: apply right after the earliest prefix that binds
+    # every referenced variable (worthless on the last item — that is
+    # just WHERE).
+    prefix: Set[str] = set()
+    for index, variables in enumerate(item_var_sets):
+        prefix |= variables
+        if names <= prefix:
+            if index >= len(item_var_sets) - 1:
+                return False
+            item_plans[index].prefix_filters.append(conjunct)
+            rewrites.append(
+                f"predicate-pushdown: {print_ast(conjunct)} "
+                f"→ after FROM item #{index + 1}"
+            )
+            return True
+    return False
+
+
+def _attach_filter(op: PlanOp, conjunct: ast.Expr, names: Set[str]) -> None:
+    """Attach a pushed conjunct to the deepest operator that binds all
+    its variables.  Never descends into the padded (right) side of a
+    LEFT join: filtering there before padding would change which rows
+    get padded."""
+    if isinstance(op, (HashJoinOp, MaterializeJoinOp, CorrelatedJoinOp)):
+        if names <= set(op.left.vars):
+            _attach_filter(op.left, conjunct, names)
+            return
+    if isinstance(op, (HashJoinOp, MaterializeJoinOp)) and op.kind != "LEFT":
+        if names <= set(op.right.vars):
+            _attach_filter(op.right, conjunct, names)
+            return
+    op.filters.append(conjunct)
+
+
+def _plan_item(item: ast.FromItem, rewrites: List[str]) -> PlanOp:
+    """Plan one FROM item subtree (joins recurse; leaves scan)."""
+    if isinstance(item, ast.FromJoin):
+        return _plan_join(item, rewrites)
+    op = ScanOp(item)
+    op.vars = item_vars(item)
+    return op
+
+
+def _plan_join(item: ast.FromJoin, rewrites: List[str]) -> PlanOp:
+    left_op = _plan_item(item.left, rewrites)
+    left_vars = set(item_vars(item.left))
+    right_vars = item_vars(item.right)
+    right_names = free_names(item.right)
+
+    op: PlanOp
+    if right_names & left_vars:
+        # Lateral right side: the paper's left-correlation semantics.
+        op = CorrelatedJoinOp(left_op, item)
+        op.right_vars = right_vars
+    else:
+        right_op = _plan_item(item.right, rewrites)
+        split = None
+        if (
+            item.on is not None
+            and item.kind in ("INNER", "LEFT")
+            and not (left_vars & set(right_vars))
+        ):
+            split = _split_equi_on(item.on, left_vars, set(right_vars))
+        if split is not None:
+            left_keys, right_keys, residual = split
+            op = HashJoinOp(
+                left_op,
+                right_op,
+                item.kind,
+                left_keys,
+                right_keys,
+                residual,
+                right_vars,
+            )
+            rewrites.append(
+                f"hash-equi-join[{item.kind}]: {op.describe()}"
+            )
+        else:
+            op = MaterializeJoinOp(
+                left_op, right_op, item.kind, item.on, right_vars
+            )
+            rewrites.append(
+                f"materialize-right[{item.kind}]: right side enumerated once"
+            )
+    op.vars = item_vars(item)
+    return op
+
+
+def _split_equi_on(
+    on: ast.Expr, left_vars: Set[str], right_vars: Set[str]
+) -> Optional[Tuple[List[ast.Expr], List[ast.Expr], List[ast.Expr]]]:
+    """Split a conjunctive ON into hashable key pairs plus residual.
+
+    Returns ``(left_keys, right_keys, residual)`` or None when the join
+    cannot hash: no clean equality conjunct, or a conjunct that is not
+    relocatable (its evaluation pattern would change observably).
+    """
+    left_keys: List[ast.Expr] = []
+    right_keys: List[ast.Expr] = []
+    residual: List[ast.Expr] = []
+    for conjunct in split_conjuncts(on):
+        if not is_relocatable(conjunct):
+            return None
+        if isinstance(conjunct, ast.Binary) and conjunct.op == "=":
+            a_names = free_names(conjunct.left)
+            b_names = free_names(conjunct.right)
+            if a_names <= left_vars and b_names <= right_vars:
+                left_keys.append(conjunct.left)
+                right_keys.append(conjunct.right)
+                continue
+            if a_names <= right_vars and b_names <= left_vars:
+                left_keys.append(conjunct.right)
+                right_keys.append(conjunct.left)
+                continue
+        residual.append(conjunct)
+    if not left_keys:
+        return None
+    return left_keys, right_keys, residual

@@ -1,0 +1,82 @@
+"""The Database LRU parse+rewrite cache.
+
+Repeated query texts must reuse the compiled Core AST; any change the
+rewriter can observe — either language dial, the set of catalog names,
+or a schema — must miss; the cache stays bounded.
+"""
+
+from __future__ import annotations
+
+from repro import Database
+from repro.datamodel.equality import deep_equals
+from repro.datamodel.values import Bag
+
+
+QUERY = "SELECT r.v AS v FROM t AS r WHERE r.v > 1"
+
+
+def make_db() -> Database:
+    db = Database()
+    db.set("t", [{"v": 1}, {"v": 2}, {"v": 3}])
+    return db
+
+
+class TestCompileCache:
+    def test_repeat_compile_returns_same_ast_object(self):
+        db = make_db()
+        assert db.compile(QUERY) is db.compile(QUERY)
+
+    def test_cached_execution_still_correct(self):
+        db = make_db()
+        first = db.execute(QUERY)
+        second = db.execute(QUERY)
+        assert deep_equals(Bag(list(first)), Bag(list(second)))
+        assert len(second) == 2
+
+    def test_language_dials_cached_separately(self):
+        db = make_db()
+        compat = db.compile("SELECT r.v FROM t AS r")
+        core = db.compile("SELECT r.v FROM t AS r", sql_compat=False)
+        assert compat is not core
+        strict = db.compile(QUERY, typing_mode="strict")
+        assert strict is not db.compile(QUERY)
+
+    def test_catalog_name_set_change_invalidates(self):
+        db = make_db()
+        before = db.compile(QUERY)
+        # Replacing an existing name keeps the name set: still a hit.
+        db.set("t", [{"v": 9}])
+        assert db.compile(QUERY) is before
+        # A new name changes what dotted-name resolution can see: miss.
+        db.set("u", [])
+        after = db.compile(QUERY)
+        assert after is not before
+        # Rewriting is deterministic, so recompiling is harmless.
+        assert len(db.execute(QUERY)) == 1
+
+    def test_drop_invalidates(self):
+        db = make_db()
+        db.set("u", [])
+        before = db.compile(QUERY)
+        db.drop("u")
+        assert db.compile(QUERY) is not before
+
+    def test_schema_change_invalidates(self):
+        db = make_db()
+        before = db.compile(QUERY)
+        db.set_schema("t", "BAG<STRUCT<v INT>>")
+        assert db.compile(QUERY) is not before
+
+    def test_cache_is_bounded(self):
+        db = make_db()
+        for index in range(db.COMPILE_CACHE_SIZE + 10):
+            db.compile(f"SELECT VALUE {index}")
+        assert len(db._compile_cache) <= db.COMPILE_CACHE_SIZE
+
+    def test_lru_evicts_oldest_not_hottest(self):
+        db = make_db()
+        hot = db.compile(QUERY)
+        for index in range(db.COMPILE_CACHE_SIZE - 1):
+            db.compile(f"SELECT VALUE {index}")
+            db.compile(QUERY)  # keep the hot entry recent
+        assert db.compile(QUERY) is hot

@@ -1,0 +1,46 @@
+"""Optimizer parity over the full compatibility kit.
+
+Acceptance bar for the physical planner (docs/PLANNER.md): on every
+conformance case — every paper listing plus the extended and analytics
+corpora — ``optimize=True`` must be observationally identical to
+``optimize=False``: same result bag (or array, for ordered cases) or
+the same error class.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.compat.corpus import all_cases
+from repro.compat.runner import build_database
+from repro.datamodel.equality import deep_equals
+from repro.datamodel.values import Bag
+
+
+def _outcome(db, case, optimize: bool):
+    try:
+        return ("value", db.execute(case.query, optimize=optimize))
+    except errors.SQLPPError as exc:
+        return ("error", type(exc).__name__)
+
+
+@pytest.mark.parametrize(
+    "case", all_cases(), ids=lambda case: case.case_id
+)
+def test_optimized_equals_reference(case):
+    optimized = _outcome(build_database(case), case, optimize=True)
+    reference = _outcome(build_database(case), case, optimize=False)
+    assert optimized[0] == reference[0], (
+        f"{case.case_id}: optimized → {optimized}, reference → {reference}"
+    )
+    if optimized[0] == "error":
+        assert optimized[1] == reference[1]
+        return
+    left, right = optimized[1], reference[1]
+    if case.ordered:
+        assert deep_equals(left, right)
+    else:
+        left = Bag(list(left)) if isinstance(left, (list, Bag)) else left
+        right = Bag(list(right)) if isinstance(right, (list, Bag)) else right
+        assert deep_equals(left, right)

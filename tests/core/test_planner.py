@@ -1,0 +1,384 @@
+"""The physical planner: rewrite selection, fallback rules, and
+optimized-vs-reference result parity (docs/PLANNER.md).
+
+Every test that runs a query checks ``optimize=True`` against
+``optimize=False`` — the reference Core semantics — so a planner bug
+shows up as a parity failure, not just a wrong literal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, EvalConfig, MISSING, TypeCheckError, to_python
+from repro.core.planner import (
+    free_names,
+    is_relocatable,
+    plan_block,
+    split_conjuncts,
+)
+from repro.datamodel.equality import deep_equals
+from repro.datamodel.values import Bag
+from repro.syntax.parser import parse, parse_expression
+
+
+def both_ways(db: Database, query: str, **kwargs):
+    """Run optimized and reference; assert parity; return the result."""
+    optimized = db.execute(query, optimize=True, **kwargs)
+    reference = db.execute(query, optimize=False, **kwargs)
+    left = Bag(list(optimized)) if isinstance(optimized, (list, Bag)) else optimized
+    right = Bag(list(reference)) if isinstance(reference, (list, Bag)) else reference
+    assert deep_equals(left, right), (
+        f"planner parity violation for {query!r}:\n"
+        f"  optimized: {to_python(optimized)!r}\n"
+        f"  reference: {to_python(reference)!r}"
+    )
+    return optimized
+
+
+@pytest.fixture
+def join_db() -> Database:
+    db = Database()
+    db.set("users", [{"uid": i, "dept": i % 3, "name": f"u{i}"} for i in range(8)])
+    db.set(
+        "orders",
+        [{"oid": i, "user_id": i % 10, "total": i * 10} for i in range(12)],
+    )
+    db.set("depts", [{"dno": 0, "dname": "eng"}, {"dno": 1, "dname": "ops"}])
+    return db
+
+
+# =========================================================================
+# Plan selection
+# =========================================================================
+
+
+class TestPlanSelection:
+    def plan_for(self, db, query, **config_kwargs):
+        core = db.compile(query)
+        config = EvalConfig(**config_kwargs)
+        return plan_block(core.body, config)
+
+    def test_equi_join_hashes(self, join_db):
+        plan = self.plan_for(
+            join_db,
+            "SELECT u.uid AS uid FROM users AS u "
+            "JOIN orders AS o ON o.user_id = u.uid",
+        )
+        assert plan is not None
+        assert any("hash-equi-join" in r for r in plan.rewrites)
+
+    def test_correlated_right_side_stays_nested_loop(self, join_db):
+        join_db.set("emp", [{"id": 1, "projects": [{"name": "p"}]}])
+        plan = self.plan_for(
+            join_db,
+            "SELECT e.id AS id FROM emp AS e "
+            "JOIN e.projects AS p ON p.name = 'p'",
+        )
+        # Lateral right side: no hash join may fire on this item.
+        assert plan is None or not any(
+            "hash-equi-join" in r for r in plan.rewrites
+        )
+
+    def test_non_equi_on_materializes(self, join_db):
+        plan = self.plan_for(
+            join_db,
+            "SELECT u.uid AS uid FROM users AS u "
+            "JOIN orders AS o ON o.total > u.uid",
+        )
+        assert plan is not None
+        assert any("materialize-right" in r for r in plan.rewrites)
+        assert not any("hash-equi-join" in r for r in plan.rewrites)
+
+    def test_strict_mode_never_plans(self, join_db):
+        plan = self.plan_for(
+            join_db,
+            "SELECT u.uid AS uid FROM users AS u "
+            "JOIN orders AS o ON o.user_id = u.uid",
+            typing_mode="strict",
+        )
+        assert plan is None
+
+    def test_optimize_off_never_plans(self, join_db):
+        plan = self.plan_for(
+            join_db,
+            "SELECT u.uid AS uid FROM users AS u "
+            "JOIN orders AS o ON o.user_id = u.uid",
+            optimize=False,
+        )
+        assert plan is None
+
+    def test_pushdown_skipped_with_let(self, join_db):
+        core = join_db.compile(
+            "FROM users AS u LET d = u.dept WHERE u.dept = 1 AND d = 1 "
+            "SELECT u.uid AS uid"
+        )
+        plan = plan_block(core.body, EvalConfig())
+        # LET evaluates between FROM and WHERE: nothing may be pushed.
+        assert plan is None or plan.residual_where is core.body.where
+
+    def test_single_scan_without_filter_uses_reference(self, join_db):
+        plan = self.plan_for(join_db, "SELECT u.uid AS uid FROM users AS u")
+        assert plan is None
+
+
+# =========================================================================
+# Result parity across the fallback rules (satellite: planner fallback)
+# =========================================================================
+
+
+class TestFallbackParity:
+    def test_correlated_lateral_right_side(self, join_db):
+        join_db.set(
+            "emp",
+            [
+                {"id": 1, "projects": [{"name": "a"}, {"name": "b"}]},
+                {"id": 2, "projects": []},
+                {"id": 3},
+            ],
+        )
+        result = both_ways(
+            join_db,
+            "SELECT e.id AS id, p.name AS name FROM emp AS e "
+            "LEFT JOIN e.projects AS p ON p.name != 'b'",
+        )
+        # emp 1 matches only 'a'; emp 2 (empty) and emp 3 (missing) pad.
+        assert len(result) == 3
+
+    def test_non_equi_on(self, join_db):
+        both_ways(
+            join_db,
+            "SELECT u.uid AS uid, o.oid AS oid FROM users AS u "
+            "JOIN orders AS o ON o.total > u.uid * 10",
+        )
+
+    def test_on_referencing_missing_fields(self, join_db):
+        join_db.set(
+            "left_t",
+            [{"k": 1}, {"k": None}, {"x": "no k attribute"}, {"k": 2}],
+        )
+        join_db.set("right_t", [{"k": 1}, {"k": None}, {"other": True}])
+        for kind in ("JOIN", "LEFT JOIN"):
+            result = both_ways(
+                join_db,
+                f"SELECT l.k AS lk, r.k AS rk FROM left_t AS l "
+                f"{kind} right_t AS r ON l.k = r.k",
+            )
+            # NULL/MISSING keys never match (Core equality).
+            matches = [v for v in to_python(result) if v["rk"] is not None]
+            assert all(m["lk"] == m["rk"] for m in matches)
+
+    def test_strict_mode_errors_match_reference(self, join_db):
+        join_db.set("typed", [{"k": 1}, {"k": "one"}])
+        query = (
+            "SELECT l.k AS k FROM typed AS l JOIN typed AS r ON l.k < r.k"
+        )
+        with pytest.raises(TypeCheckError):
+            join_db.execute(query, typing_mode="strict", optimize=False)
+        with pytest.raises(TypeCheckError):
+            join_db.execute(query, typing_mode="strict", optimize=True)
+
+    def test_strict_mode_results_match_when_clean(self, join_db):
+        both_ways(
+            join_db,
+            "SELECT u.uid AS uid, o.oid AS oid FROM users AS u "
+            "JOIN orders AS o ON o.user_id = u.uid",
+            typing_mode="strict",
+        )
+
+    def test_cross_join_and_comma_cross_product(self, join_db):
+        both_ways(
+            join_db,
+            "SELECT u.uid AS uid, d.dno AS dno FROM users AS u "
+            "CROSS JOIN depts AS d",
+        )
+        both_ways(
+            join_db,
+            "SELECT u.uid AS uid, d.dno AS dno FROM users AS u, depts AS d "
+            "WHERE u.dept = d.dno AND d.dname = 'eng' AND u.uid < 5",
+        )
+
+    def test_composite_and_residual_on(self, join_db):
+        join_db.set(
+            "a_t", [{"x": i % 2, "y": i % 3, "z": i} for i in range(9)]
+        )
+        join_db.set(
+            "b_t", [{"x": i % 2, "y": i % 3, "w": i} for i in range(9)]
+        )
+        both_ways(
+            join_db,
+            "SELECT a.z AS z, b.w AS w FROM a_t AS a JOIN b_t AS b "
+            "ON a.x = b.x AND a.y = b.y AND a.z < b.w",
+        )
+
+    def test_left_join_where_on_right_not_pushed_below_padding(self, join_db):
+        result = both_ways(
+            join_db,
+            "SELECT u.uid AS uid, o.oid AS oid FROM users AS u "
+            "LEFT JOIN orders AS o ON o.user_id = u.uid "
+            "WHERE o.oid IS NOT NULL",
+        )
+        assert all(v["oid"] is not None for v in to_python(result))
+
+    def test_heterogeneous_join_keys(self, join_db):
+        join_db.set(
+            "mixed_l", [{"k": 1}, {"k": "1"}, {"k": True}, {"k": [1, 2]}]
+        )
+        join_db.set(
+            "mixed_r", [{"k": 1.0}, {"k": "1"}, {"k": [1, 2]}, {"k": False}]
+        )
+        result = both_ways(
+            join_db,
+            "SELECT l.k AS lk, r.k AS rk FROM mixed_l AS l "
+            "JOIN mixed_r AS r ON l.k = r.k",
+        )
+        # 1 = 1.0, '1' = '1', [1,2] = [1,2]; booleans differ.
+        assert len(result) == 3
+
+
+# =========================================================================
+# LEFT-join padding (satellite: 3-way LEFT join regression)
+# =========================================================================
+
+
+class TestLeftJoinPadding:
+    def test_three_way_left_join_pads_all_downstream_vars(self):
+        db = Database()
+        db.set("a", [{"x": 1}, {"x": 2}])
+        db.set("b", [{"x": 1, "y": 10}])
+        db.set("c", [{"y": 10, "z": 100}])
+        query = (
+            "SELECT a.x AS x, b.y AS y, c.z AS z FROM a AS a "
+            "LEFT JOIN b AS b ON a.x = b.x "
+            "LEFT JOIN c AS c ON b.y = c.y"
+        )
+        result = to_python(both_ways(db, query))
+        assert sorted(result, key=lambda v: v["x"]) == [
+            {"x": 1, "y": 10, "z": 100},
+            {"x": 2, "y": None, "z": None},
+        ]
+
+    def test_three_way_left_join_with_at_alias_padding(self):
+        db = Database()
+        db.set("a", [{"x": 1}, {"x": 2}])
+        db.set("b", [{"x": 1, "y": 10}])
+        query = (
+            "SELECT a.x AS x, b.y AS y, pos AS pos FROM a AS a "
+            "LEFT JOIN b AS b AT pos ON a.x = b.x"
+        )
+        result = to_python(both_ways(db, query))
+        assert {"x": 2, "y": None, "pos": None} in result
+
+    def test_left_join_unpivot_right_padding(self):
+        db = Database()
+        db.set("t", [{"m": {"a": 1}}, {"m": {}}])
+        query = (
+            "SELECT v AS v, k AS k FROM t AS t "
+            "LEFT JOIN UNPIVOT t.m AS v AT k ON TRUE"
+        )
+        result = to_python(both_ways(db, query))
+        assert {"v": None, "k": None} in result
+
+    def test_hash_left_join_null_and_missing_keys_pad(self):
+        db = Database()
+        db.load_value(
+            "l", "<< {'k': 1}, {'k': null}, {'nok': 1} >>"
+        )
+        db.set("r", [{"k": 1, "v": "hit"}])
+        result = to_python(
+            both_ways(
+                db,
+                "SELECT l.k AS k, r.v AS v FROM l AS l "
+                "LEFT JOIN r AS r ON l.k = r.k",
+            )
+        )
+        assert sum(1 for row in result if row["v"] is None) == 2
+        assert sum(1 for row in result if row["v"] == "hit") == 1
+
+
+# =========================================================================
+# Pushdown parity
+# =========================================================================
+
+
+class TestPushdown:
+    def test_single_variable_conjuncts(self, join_db):
+        both_ways(
+            join_db,
+            "SELECT u.uid AS uid, o.oid AS oid FROM users AS u, orders AS o "
+            "WHERE u.dept = 1 AND o.total >= 30 AND u.uid = o.user_id",
+        )
+
+    def test_where_only_missing_semantics(self, join_db):
+        join_db.set("dirty", [{"v": 1}, {"v": "x"}, {}, {"v": None}])
+        # v > 0 is MISSING/NULL on dirty rows — excluded both ways.
+        both_ways(
+            join_db,
+            "SELECT d.v AS v FROM dirty AS d, depts AS x WHERE d.v > 0",
+        )
+
+    def test_unknown_name_conjunct_not_pushed(self, join_db):
+        core = join_db.compile(
+            "SELECT u.uid AS uid FROM users AS u, depts AS d "
+            "WHERE unknown_name = 1 AND u.uid = 0"
+        )
+        plan = plan_block(core.body, EvalConfig())
+        assert plan is not None
+        assert plan.residual_where is not None
+        assert "unknown_name" in free_names(plan.residual_where)
+
+
+# =========================================================================
+# Analysis helpers
+# =========================================================================
+
+
+class TestAnalyses:
+    def test_split_conjuncts(self):
+        expr = parse_expression("a = 1 AND b = 2 AND (c OR d)")
+        assert len(split_conjuncts(expr)) == 3
+
+    def test_free_names_is_conservative(self):
+        expr = parse_expression("x.a + (SELECT VALUE s FROM t AS s)[0]")
+        names = free_names(expr)
+        assert {"x", "t"} <= names  # inner alias may be included too
+
+    def test_relocatable_rejects_parameters_and_subqueries(self):
+        assert is_relocatable(parse_expression("x.a = 1"))
+        assert not is_relocatable(parse_expression("x.a = ?"))
+        assert not is_relocatable(
+            parse_expression("x.a IN (SELECT VALUE t.b FROM t AS t)")
+        )
+        assert not is_relocatable(parse_expression("UNKNOWN_FN(x.a) = 1"))
+
+
+# =========================================================================
+# EXPLAIN
+# =========================================================================
+
+
+class TestExplain:
+    def test_explain_plan_shows_operators_and_rewrites(self, join_db):
+        text = join_db.explain_plan(
+            "SELECT u.uid AS uid FROM users AS u "
+            "JOIN orders AS o ON o.user_id = u.uid WHERE u.dept = 1"
+        )
+        assert "HashJoin[INNER]" in text
+        assert "rewrites fired:" in text
+        assert "predicate-pushdown" in text
+
+    def test_explain_plan_reference_fallback(self, join_db):
+        text = join_db.explain_plan("SELECT u.uid AS uid FROM users AS u")
+        assert "reference pipeline" in text
+
+    def test_explain_plan_strict_mode(self, join_db):
+        text = join_db.explain_plan(
+            "SELECT u.uid AS uid FROM users AS u "
+            "JOIN orders AS o ON o.user_id = u.uid",
+            typing_mode="strict",
+        )
+        assert "strict typing" in text
+
+    def test_explain_plan_expression_body(self, join_db):
+        text = join_db.explain_plan("1 + 1")
+        assert "not a single query block" in text
