@@ -22,7 +22,6 @@ from repro import Database
 from repro.core.environment import Environment
 from repro.datamodel.convert import from_python
 from repro.datamodel.equality import deep_equals, group_key
-from repro.datamodel.values import Bag
 from repro.workloads import emp_flat
 
 # -- A1: grouping keys vs pairwise deep equality ---------------------------

@@ -11,7 +11,6 @@ Shape claims:
 
 import pytest
 
-from repro import Database
 from repro.datamodel.equality import deep_equals
 from repro.schema import infer_schema, validate
 from repro.workloads import emp_nested

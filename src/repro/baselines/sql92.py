@@ -145,10 +145,8 @@ class _Executor:
                 self._project_group(select, scope, group_keys, key_values, members)
                 for key_values, members in output
             ]
-            order_rows = result_rows
         else:
             result_rows = [self._project_row(select, scope, row) for row in rows]
-            order_rows = result_rows
 
         if isinstance(select, (ast.SelectList, ast.SelectStar)) and select.distinct:
             seen = set()

@@ -20,7 +20,9 @@ can be set per database or overridden per query.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import OrderedDict
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import EvalConfig
@@ -29,7 +31,9 @@ from repro.core.evaluator import Evaluator
 from repro.core.rewriter import rewrite_query
 from repro.catalog.catalog import Catalog
 from repro.datamodel.convert import to_python
-from repro.datamodel.values import MISSING, Bag
+from repro.datamodel.values import MISSING, Bag, is_collection
+from repro.errors import ResourceExhausted, SQLPPError
+from repro.observability import ExecTracer, MetricsRegistry, QueryMetrics
 from repro.syntax import ast
 from repro.syntax.parser import parse
 from repro.syntax.printer import print_ast
@@ -46,11 +50,23 @@ class Database:
         typing_mode: str = "permissive",
         sql_compat: bool = True,
         optimize: bool = True,
+        timeout_s: Optional[float] = None,
+        max_rows: Optional[int] = None,
+        max_recursion: Optional[int] = None,
+        metrics_sinks: Optional[List[Any]] = None,
     ):
         self.catalog = Catalog()
         self._config = EvalConfig(
-            typing_mode=typing_mode, sql_compat=sql_compat, optimize=optimize
+            typing_mode=typing_mode,
+            sql_compat=sql_compat,
+            optimize=optimize,
+            timeout_s=timeout_s,
+            max_rows=max_rows,
+            max_recursion=max_recursion,
         )
+        #: Per-database query metrics: monotonic counters, per-query
+        #: records, pluggable sinks (docs/OBSERVABILITY.md).
+        self.metrics = MetricsRegistry(sinks=metrics_sinks)
         self._schemas: Dict[str, Any] = {}
         self._schema_version = 0
         # LRU parse+rewrite cache: repeated query texts (benchmark
@@ -162,18 +178,33 @@ class Database:
         typing_mode: Optional[str],
         sql_compat: Optional[bool],
         optimize: Optional[bool] = None,
+        timeout_s: Optional[float] = None,
+        max_rows: Optional[int] = None,
+        max_recursion: Optional[int] = None,
     ) -> EvalConfig:
-        if typing_mode is None and sql_compat is None and optimize is None:
+        """The database config with per-query overrides applied.
+
+        Built with :func:`dataclasses.replace` so fields that are not
+        overridden — including the resource limits — are inherited
+        rather than silently reset.  ``None`` always means "inherit";
+        a database-level limit cannot be *unset* per query.
+        """
+        overrides: Dict[str, Any] = {}
+        if typing_mode is not None:
+            overrides["typing_mode"] = typing_mode
+        if sql_compat is not None:
+            overrides["sql_compat"] = sql_compat
+        if optimize is not None:
+            overrides["optimize"] = optimize
+        if timeout_s is not None:
+            overrides["timeout_s"] = timeout_s
+        if max_rows is not None:
+            overrides["max_rows"] = max_rows
+        if max_recursion is not None:
+            overrides["max_recursion"] = max_recursion
+        if not overrides:
             return self._config
-        return EvalConfig(
-            typing_mode=typing_mode or self._config.typing_mode,
-            sql_compat=(
-                self._config.sql_compat if sql_compat is None else sql_compat
-            ),
-            optimize=(
-                self._config.optimize if optimize is None else optimize
-            ),
-        )
+        return dataclasses.replace(self._config, **overrides)
 
     def _schema_attrs(self) -> Dict[str, Any]:
         """Attribute sets per schemaful named value, for disambiguation."""
@@ -202,6 +233,23 @@ class Database:
         compiled tree across executions is safe — and lets the
         evaluator-side plan/closure caches stay warm per query object.
         """
+        core, __ = self._compile_profiled(query, typing_mode, sql_compat)
+        return core
+
+    def _compile_profiled(
+        self,
+        query: str,
+        typing_mode: Optional[str] = None,
+        sql_compat: Optional[bool] = None,
+        metrics: Optional[QueryMetrics] = None,
+    ) -> Tuple[ast.Query, bool]:
+        """Compile with cache accounting: ``(core, cache_hit)``.
+
+        When a :class:`QueryMetrics` record is supplied, its parse and
+        rewrite phase timings are filled in; the registry's
+        ``compile_cache_hits``/``compile_cache_misses`` counters are
+        updated either way.
+        """
         config = self._effective_config(typing_mode, sql_compat)
         key = (
             query,
@@ -213,18 +261,27 @@ class Database:
         cached = self._compile_cache.get(key)
         if cached is not None:
             self._compile_cache.move_to_end(key)
-            return cached
+            self.metrics.increment("compile_cache_hits")
+            if metrics is not None:
+                metrics.cache_hit = True
+            return cached, True
+        self.metrics.increment("compile_cache_misses")
+        started = perf_counter()
         parsed = parse(query)
+        parsed_at = perf_counter()
         core = rewrite_query(
             parsed,
             config,
             catalog_names=self.catalog.names(),
             schema_attrs=self._schema_attrs(),
         )
+        if metrics is not None:
+            metrics.parse_s = parsed_at - started
+            metrics.rewrite_s = perf_counter() - parsed_at
         self._compile_cache[key] = core
         if len(self._compile_cache) > self.COMPILE_CACHE_SIZE:
             self._compile_cache.popitem(last=False)
-        return core
+        return core, False
 
     def execute(
         self,
@@ -234,6 +291,10 @@ class Database:
         sql_compat: Optional[bool] = None,
         missing_as_null: bool = False,
         optimize: Optional[bool] = None,
+        timeout_s: Optional[float] = None,
+        max_rows: Optional[int] = None,
+        max_recursion: Optional[int] = None,
+        tracer: Optional[ExecTracer] = None,
     ) -> Any:
         """Execute a SQL++ query and return the result as model values.
 
@@ -242,11 +303,46 @@ class Database:
         clients see them (Section IV-B).  ``optimize=False`` bypasses
         the physical planner and runs the reference Core semantics
         (docs/PLANNER.md); results are identical either way.
+
+        ``timeout_s`` / ``max_rows`` / ``max_recursion`` tighten the
+        database-level resource limits for this query; a breached limit
+        raises :class:`~repro.errors.ResourceExhausted` instead of
+        letting the query run away (docs/OBSERVABILITY.md).
+
+        Every call — successful or not — produces one
+        :class:`~repro.observability.QueryMetrics` record in
+        ``self.metrics``.
         """
-        config = self._effective_config(typing_mode, sql_compat, optimize)
-        core = self.compile(query, typing_mode, sql_compat)
-        evaluator = Evaluator(self.catalog, config, parameters=parameters)
-        result = evaluator.execute(core, Environment())
+        config = self._effective_config(
+            typing_mode, sql_compat, optimize, timeout_s, max_rows, max_recursion
+        )
+        metrics = QueryMetrics(query=query)
+        started = perf_counter()
+        try:
+            core, __ = self._compile_profiled(
+                query, typing_mode, sql_compat, metrics=metrics
+            )
+            evaluator = Evaluator(
+                self.catalog, config, parameters=parameters, tracer=tracer
+            )
+            execute_started = perf_counter()
+            result = evaluator.execute(core, Environment())
+            metrics.execute_s = perf_counter() - execute_started
+            if is_collection(result):
+                metrics.rows_returned = len(result)
+        except ResourceExhausted as error:
+            metrics.status = "resource_exhausted"
+            metrics.error = str(error)
+            raise
+        except SQLPPError as error:
+            metrics.status = "error"
+            metrics.error = str(error)
+            raise
+        finally:
+            if tracer is not None:
+                metrics.plan_s = tracer.plan_time_s
+            metrics.total_s = perf_counter() - started
+            self.metrics.record(metrics)
         if missing_as_null:
             result = _missing_to_null(result)
         return result
@@ -318,6 +414,80 @@ class Database:
             lines.append(f"plan: reference pipeline ({reason})")
             return "\n".join(lines)
         lines.append(plan.explain())
+        return "\n".join(lines)
+
+    def explain_analyze(
+        self,
+        query: str,
+        parameters: Optional[Sequence[Any]] = None,
+        typing_mode: Optional[str] = None,
+        sql_compat: Optional[bool] = None,
+        optimize: Optional[bool] = None,
+        timeout_s: Optional[float] = None,
+        max_rows: Optional[int] = None,
+        max_recursion: Optional[int] = None,
+    ) -> str:
+        """Execute the query and report the plan annotated with runtime
+        statistics (the ``EXPLAIN ANALYZE`` verb).
+
+        Each operator line carries its invocation count, rows in/out and
+        inclusive wall time; the clause pipeline's stage row counts and
+        the per-phase timings (parse/rewrite/plan/execute) follow.  On
+        the optimized path the annotated tree is the physical plan; with
+        ``optimize=False`` (or whenever the planner declines) it is the
+        reference nested-loop FROM tree, so both execution strategies
+        are observable (docs/OBSERVABILITY.md).
+
+        The query really runs, so resource limits apply; a breached
+        limit raises :class:`~repro.errors.ResourceExhausted` exactly as
+        ``execute`` would.
+        """
+        tracer = ExecTracer()
+        result = self.execute(
+            query,
+            parameters=parameters,
+            typing_mode=typing_mode,
+            sql_compat=sql_compat,
+            optimize=optimize,
+            timeout_s=timeout_s,
+            max_rows=max_rows,
+            max_recursion=max_recursion,
+            tracer=tracer,
+        )
+        core = self.compile(query, typing_mode, sql_compat)
+        metrics = self.metrics.last
+        lines = [f"core: {print_ast(core)}", ""]
+        body = core.body
+        if isinstance(body, ast.QueryBlock):
+            plan = tracer.plan_for(body)
+            if plan is not None:
+                lines.append(plan.explain(tracer))
+            elif body.from_ is not None:
+                lines.append("plan: reference pipeline")
+                lines.append("FROM")
+                lines.extend(tracer.reference_lines(list(body.from_)))
+            else:
+                lines.append("plan: expression only (no FROM clause)")
+            stages = tracer.stages_for(body)
+            if stages:
+                lines.append("")
+                lines.append("stages:")
+                width = max(len(stats.label) for stats in stages)
+                lines.extend(
+                    f"  {stats.label.ljust(width)}{stats.suffix()}"
+                    for stats in stages
+                )
+        else:
+            lines.append(
+                "plan: reference pipeline "
+                "(query body is not a single query block)"
+            )
+        lines.append("")
+        lines.append("phases:")
+        if metrics is not None:
+            lines.extend("  " + line for line in metrics.format_phases())
+        if is_collection(result):
+            lines.append(f"rows returned: {len(result)}")
         return "\n".join(lines)
 
     # ------------------------------------------------------------------

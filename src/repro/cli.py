@@ -16,12 +16,19 @@ REPL dot-commands::
     .typing permissive|strict      toggle the typing mode
     .explain <query>               show the rewritten Core query
     .plan <query>                  show the physical plan (same as EXPLAIN)
+    .analyze <query>               run and show the annotated plan
+    .stats                         show session metrics counters
     .schema <name> <ddl>           impose a schema on a named value
     .quit
 
 ``EXPLAIN <query>`` (as a statement, in the REPL or via ``-c``) prints
 the physical plan the optimizer chose — the FROM operator tree, pushed
 predicates and the rewrites that fired (see docs/PLANNER.md).
+``EXPLAIN ANALYZE <query>`` additionally *executes* the query and
+annotates every operator with its invocation count, rows in/out and
+wall time (see docs/OBSERVABILITY.md); ``--stats`` prints per-query
+phase timings, and ``--timeout`` / ``--max-rows`` / ``--max-recursion``
+stop runaway queries with a partial-progress report instead of a hang.
 """
 
 from __future__ import annotations
@@ -29,11 +36,11 @@ from __future__ import annotations
 import argparse
 import re
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro import __version__
 from repro.catalog.database import Database
-from repro.errors import SQLPPError
+from repro.errors import ResourceExhausted, SQLPPError
 from repro.formats.sqlpp_text import dumps
 
 
@@ -59,6 +66,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-optimize",
         action="store_true",
         help="bypass the physical planner (reference Core semantics)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-query phase timings (parse/rewrite/plan/execute) "
+        "to stderr after each query",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="stop any query that runs longer than SECONDS",
+    )
+    parser.add_argument(
+        "--max-rows",
+        type=int,
+        metavar="N",
+        help="stop any query that materializes more than N binding rows",
+    )
+    parser.add_argument(
+        "--max-recursion",
+        type=int,
+        metavar="N",
+        help="stop any query nesting subqueries deeper than N",
+    )
+    parser.add_argument(
+        "--slow-log",
+        metavar="PATH",
+        help="append per-query metrics records (JSON lines) to PATH",
+    )
+    parser.add_argument(
+        "--slow-log-threshold",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="with --slow-log: only log queries slower than SECONDS "
+        "(errors are always logged)",
     )
     parser.add_argument(
         "--load",
@@ -96,10 +140,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(format_report(results))
         return 0 if all(result.passed for result in results) else 1
 
+    metrics_sinks = None
+    if args.slow_log:
+        from repro.observability import JsonLinesSink
+
+        metrics_sinks = [
+            JsonLinesSink(args.slow_log, threshold_s=args.slow_log_threshold)
+        ]
     db = Database(
         typing_mode="strict" if args.strict else "permissive",
         sql_compat=not args.core,
         optimize=not args.no_optimize,
+        timeout_s=args.timeout,
+        max_rows=args.max_rows,
+        max_recursion=args.max_recursion,
+        metrics_sinks=metrics_sinks,
     )
     for spec in args.load:
         name, __, path = spec.partition("=")
@@ -108,32 +163,59 @@ def main(argv: Optional[List[str]] = None) -> int:
         db.load(name, path)
 
     if args.command:
-        return _run_text(db, args.command)
+        return _run_text(db, args.command, stats=args.stats)
     if args.script:
         with open(args.script) as handle:
-            return _run_text(db, handle.read())
-    return _repl(db)
+            return _run_text(db, handle.read(), stats=args.stats)
+    return _repl(db, stats=args.stats)
 
 
-_EXPLAIN_PREFIX = re.compile(r"^\s*EXPLAIN\b", re.IGNORECASE)
+_EXPLAIN_PREFIX = re.compile(r"^\s*EXPLAIN(\s+ANALYZE)?\b", re.IGNORECASE)
 
 
-def _strip_explain(text: str) -> Optional[str]:
-    """The query under an ``EXPLAIN`` verb, or None when there is none."""
+def _strip_explain(text: str) -> Optional[Tuple[str, bool]]:
+    """The query under an ``EXPLAIN [ANALYZE]`` verb as ``(query,
+    analyze)``, or None when there is no such verb."""
     match = _EXPLAIN_PREFIX.match(text)
     if match is None:
         return None
-    return text[match.end():].strip().rstrip(";")
+    return text[match.end():].strip().rstrip(";"), match.group(1) is not None
 
 
-def _run_text(db: Database, text: str) -> int:
+def _print_stats(db: Database) -> None:
+    """Phase timings for the query that just ran (``--stats``)."""
+    last = db.metrics.last
+    if last is None:
+        return
+    for line in last.format_phases():
+        print(f"-- {line}", file=sys.stderr)
+
+
+def _report_exhausted(exc: ResourceExhausted, stream) -> None:
+    """The graceful partial-result report for a stopped query."""
+    print(f"resource limit: {exc}", file=stream)
+    print(
+        f"  stopped after {exc.rows_produced} binding rows, "
+        f"{exc.elapsed_s:.3f}s elapsed ({exc.kind})",
+        file=stream,
+    )
+
+
+def _run_text(db: Database, text: str, stats: bool = False) -> int:
     from repro.syntax.parser import parse_script
 
     explained = _strip_explain(text)
     if explained is not None:
+        query, analyze = explained
         try:
-            print(db.explain_plan(explained))
+            if analyze:
+                print(db.explain_analyze(query))
+            else:
+                print(db.explain_plan(query))
             return 0
+        except ResourceExhausted as exc:
+            _report_exhausted(exc, sys.stderr)
+            return 1
         except SQLPPError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
@@ -149,13 +231,18 @@ def _run_text(db: Database, text: str) -> int:
 
         try:
             print(dumps(db.execute(print_ast(query))))
+        except ResourceExhausted as exc:
+            _report_exhausted(exc, sys.stderr)
+            status = 1
         except SQLPPError as exc:
             print(f"error: {exc}", file=sys.stderr)
             status = 1
+        if stats:
+            _print_stats(db)
     return status
 
 
-def _repl(db: Database) -> int:
+def _repl(db: Database, stats: bool = False) -> int:
     print(f"sqlpp {__version__} — type .help for commands, .quit to exit")
     buffer: List[str] = []
     while True:
@@ -183,9 +270,17 @@ def _repl(db: Database) -> int:
             try:
                 explained = _strip_explain(text)
                 if explained is not None:
-                    print(db.explain_plan(explained))
+                    query, analyze = explained
+                    if analyze:
+                        print(db.explain_analyze(query))
+                    else:
+                        print(db.explain_plan(query))
                 else:
                     print(dumps(db.execute(text)))
+                    if stats:
+                        _print_stats(db)
+            except ResourceExhausted as exc:
+                _report_exhausted(exc, sys.stdout)
             except SQLPPError as exc:
                 print(f"error: {exc}")
 
@@ -196,7 +291,7 @@ def _is_complete(text: str) -> bool:
 
     explained = _strip_explain(text)
     try:
-        parse(text if explained is None else explained)
+        parse(text if explained is None else explained[0])
     except SQLPPError:
         return False
     return True
@@ -225,20 +320,27 @@ def _dot_command(db: Database, line: str) -> bool:
             db.set_schema(parts[1], parts[2])
             print(f"schema set on {parts[1]}")
         elif command == ".mode" and len(parts) >= 2:
-            db._config = type(db._config)(
-                typing_mode=db._config.typing_mode,
-                sql_compat=(parts[1] != "core"),
+            # dataclasses.replace keeps every other dial — optimize,
+            # resource limits — instead of silently resetting them.
+            import dataclasses
+
+            db._config = dataclasses.replace(
+                db._config, sql_compat=(parts[1] != "core")
             )
             print(f"mode: {'compat' if db._config.sql_compat else 'core'}")
         elif command == ".typing" and len(parts) >= 2:
-            db._config = type(db._config)(
-                typing_mode=parts[1], sql_compat=db._config.sql_compat
-            )
+            import dataclasses
+
+            db._config = dataclasses.replace(db._config, typing_mode=parts[1])
             print(f"typing: {db._config.typing_mode}")
         elif command == ".explain" and len(parts) >= 2:
             print(db.explain(line.split(None, 1)[1]))
         elif command == ".plan" and len(parts) >= 2:
             print(db.explain_plan(line.split(None, 1)[1]))
+        elif command == ".analyze" and len(parts) >= 2:
+            print(db.explain_analyze(line.split(None, 1)[1]))
+        elif command == ".stats":
+            print(db.metrics.format_snapshot())
         else:
             print(f"unknown command {command!r}; try .help")
     except (SQLPPError, OSError) as exc:

@@ -218,10 +218,12 @@ register(
         title="SELECT VALUE subqueries are never coerced",
         data={"t": "{{ 5 }}"},
         query="(SELECT VALUE x FROM t AS x) = 5",
-        expected="false",
+        expected="missing",
         sql_compat=True,
-        notes="The left side stays a collection; a collection never equals "
-        "a scalar — no implicit 'magic' applies to SELECT VALUE.",
+        notes="The left side stays a collection; no implicit 'magic' applies "
+        "to SELECT VALUE, so ``=`` sees a bag against a number — a "
+        "wrongly-typed comparison, MISSING in permissive mode "
+        "(Section IV-B rule 2).",
     )
 )
 
@@ -407,5 +409,34 @@ register(
             {{ {'symbol': 'amzn', 'price': 1900},
                {'symbol': 'goog', 'price': 1120} }}
         """,
+    )
+)
+
+register(
+    ConformanceCase(
+        case_id="X-equality-mismatch-permissive",
+        section="IV-B",
+        title="Wrongly-typed '=' is MISSING in permissive mode",
+        query="SELECT VALUE [v = 'a', (v = 'a') IS MISSING] FROM [1] AS v",
+        expected="{{ [true] }}",
+        typing_mode="permissive",
+        notes="Section IV-B rule 2: ``=`` over mismatched types (here "
+        "integer vs string) is a dynamic type error, which permissive "
+        "mode maps to MISSING — the MISSING element then vanishes from "
+        "the constructed array, leaving only the IS MISSING probe.",
+    )
+)
+
+register(
+    ConformanceCase(
+        case_id="X-equality-mismatch-strict",
+        section="IV-B",
+        title="Wrongly-typed '=' raises in stop-on-error mode",
+        query="SELECT VALUE v = 'a' FROM [1] AS v",
+        expect_error="TypeCheckError",
+        typing_mode="strict",
+        notes="The same mismatched comparison stops the query in strict "
+        "mode, mirroring the ordering comparators' treatment of "
+        "wrongly-typed inputs.",
     )
 )

@@ -20,6 +20,7 @@ The unified SQL++ definition exposes two orthogonal switches:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.datamodel.values import MISSING
 from repro.errors import TypeCheckError
@@ -45,6 +46,13 @@ class EvalConfig:
     #: identical either way (the planner only fires rewrites it can
     #: prove equivalent, and falls back wholesale in strict mode).
     optimize: bool = True
+    #: Resource limits (docs/OBSERVABILITY.md), enforced cooperatively by
+    #: the evaluator; exceeding one raises
+    #: :class:`~repro.errors.ResourceExhausted` instead of hanging.
+    #: ``None`` disables a limit.
+    timeout_s: Optional[float] = None
+    max_rows: Optional[int] = None
+    max_recursion: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.typing_mode not in (PERMISSIVE, STRICT):
@@ -52,6 +60,21 @@ class EvalConfig:
                 f"typing_mode must be {PERMISSIVE!r} or {STRICT!r}, "
                 f"got {self.typing_mode!r}"
             )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if self.max_rows is not None and self.max_rows < 0:
+            raise ValueError("max_rows must be non-negative")
+        if self.max_recursion is not None and self.max_recursion < 1:
+            raise ValueError("max_recursion must be at least 1")
+
+    @property
+    def has_limits(self) -> bool:
+        """Whether any resource limit is configured."""
+        return (
+            self.timeout_s is not None
+            or self.max_rows is not None
+            or self.max_recursion is not None
+        )
 
     @property
     def is_permissive(self) -> bool:

@@ -254,7 +254,6 @@ def _compile_call(expr: ast.FunctionCall, evaluator: "Evaluator") -> CompiledExp
 
 
 def _compile_struct(expr: ast.StructLit, evaluator: "Evaluator") -> CompiledExpr:
-    config = evaluator.config
     # Constant string keys (the rewriter's SELECT lowering always makes
     # them) take a fast path; dynamic keys defer to the interpreter.
     keys: List[Any] = []

@@ -21,6 +21,7 @@ queries produce a single tuple (Section VI-B).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import EvalConfig
@@ -69,14 +70,21 @@ class Evaluator:
         catalog,
         config: Optional[EvalConfig] = None,
         parameters: Optional[Sequence[Any]] = None,
+        tracer=None,
     ):
         from repro.datamodel.convert import from_python
+        from repro.observability.limits import ResourceGovernor
 
         self._catalog = catalog if catalog is not None else {}
         self.config = config or EvalConfig()
         self._parameters = [from_python(value) for value in parameters or []]
         self._compiled: Dict[int, Any] = {}
         self._plans: Dict[int, Any] = {}
+        #: Optional ExecTracer collecting EXPLAIN ANALYZE statistics.
+        self.tracer = tracer
+        #: Cooperative limit enforcement; None when the config sets no
+        #: limits, so the hot paths pay a single identity check.
+        self.governor = ResourceGovernor.for_config(self.config)
 
     def compiled(self, expr: ast.Expr):
         """The closure-compiled form of an expression (cached per node).
@@ -115,6 +123,18 @@ class Evaluator:
     # ------------------------------------------------------------------
 
     def eval_query(self, query: ast.Query, env: Environment) -> Any:
+        governor = self.governor
+        if governor is None:
+            return self._eval_query_impl(query, env)
+        # Every (sub)query entry counts toward ``max_recursion`` and is a
+        # natural point to check the wall-clock deadline.
+        governor.enter_query()
+        try:
+            return self._eval_query_impl(query, env)
+        finally:
+            governor.exit_query()
+
+    def _eval_query_impl(self, query: ast.Query, env: Environment) -> Any:
         body = query.body
         if isinstance(body, ast.QueryBlock):
             result = self.eval_block(body, env)
@@ -257,6 +277,15 @@ class Evaluator:
         # replace the FROM loop and part of the WHERE with a physical
         # plan (hash joins, pushed-down predicates — docs/PLANNER.md);
         # ``optimize=False`` is the executable reference semantics.
+        tracer = self.tracer
+        mark = perf_counter() if tracer is not None else 0.0
+
+        def record(stage: str, rows_in: int, rows_out: int) -> None:
+            nonlocal mark
+            now = perf_counter()
+            tracer.record_stage(block, stage, rows_in, rows_out, now - mark)
+            mark = now
+
         var_order: List[str] = []
         plan = None
         if block.from_ is None:
@@ -271,33 +300,48 @@ class Evaluator:
                 envs = [env]
                 for item in block.from_:
                     envs = self._apply_from_item(item, envs)
+            if tracer is not None:
+                record("FROM", 1, len(envs))
 
         # LET
-        for let in block.lets:
-            var_order.append(let.name)
-            let_fn = self.compiled(let.expr)
-            envs = [
-                current.bind(let.name, let_fn(current)) for current in envs
-            ]
+        if block.lets:
+            rows_in = len(envs)
+            for let in block.lets:
+                var_order.append(let.name)
+                let_fn = self.compiled(let.expr)
+                envs = [
+                    current.bind(let.name, let_fn(current)) for current in envs
+                ]
+            if tracer is not None:
+                record("LET", rows_in, len(envs))
 
         # WHERE (the planner may have pushed some conjuncts into FROM)
         where_expr = block.where if plan is None else plan.residual_where
         if where_expr is not None:
+            rows_in = len(envs)
             where_fn = self.compiled(where_expr)
             envs = [current for current in envs if where_fn(current) is True]
+            if tracer is not None:
+                record("WHERE", rows_in, len(envs))
 
         # GROUP BY ... GROUP AS
         output_vars = var_order
         if block.group_by is not None:
+            rows_in = len(envs)
             envs = self._apply_group_by(block.group_by, envs, env, var_order)
             output_vars = [key.alias for key in block.group_by.keys]
             if block.group_by.group_as:
                 output_vars = output_vars + [block.group_by.group_as]
+            if tracer is not None:
+                record("GROUP BY", rows_in, len(envs))
 
         # HAVING
         if block.having is not None:
+            rows_in = len(envs)
             having_fn = self.compiled(block.having)
             envs = [current for current in envs if having_fn(current) is True]
+            if tracer is not None:
+                record("HAVING", rows_in, len(envs))
 
         # Window functions (computed over the final binding stream).
         select = block.select
@@ -307,19 +351,32 @@ class Evaluator:
 
         # SELECT / PIVOT
         if isinstance(select, ast.PivotClause):
-            return _BlockResult(
+            result = _BlockResult(
                 [self._eval_pivot(select, envs)], None, is_pivot=True
             )
+            if tracer is not None:
+                record("PIVOT", len(envs), 1)
+            return result
         if isinstance(select, ast.SelectValue):
             select_fn = self.compiled(select.expr)
             values = [select_fn(current) for current in envs]
             if select.distinct:
-                return _BlockResult(ops.distinct_elements(values), None)
+                values = ops.distinct_elements(values)
+                if tracer is not None:
+                    record("SELECT DISTINCT", len(envs), len(values))
+                return _BlockResult(values, None)
+            if tracer is not None:
+                record("SELECT", len(envs), len(values))
             return _BlockResult(values, envs)
         if isinstance(select, ast.SelectStar):
             values = [self._eval_star(current, output_vars) for current in envs]
             if select.distinct:
-                return _BlockResult(ops.distinct_elements(values), None)
+                values = ops.distinct_elements(values)
+                if tracer is not None:
+                    record("SELECT DISTINCT", len(envs), len(values))
+                return _BlockResult(values, None)
+            if tracer is not None:
+                record("SELECT", len(envs), len(values))
             return _BlockResult(values, envs)
         raise EvaluationError(
             f"unexpected SELECT clause after rewriting: {type(select).__name__}"
@@ -337,8 +394,13 @@ class Evaluator:
         if entry is None:
             from repro.core.planner import plan_block
 
+            started = perf_counter() if self.tracer is not None else 0.0
             entry = (block, plan_block(block, self.config))
+            if self.tracer is not None:
+                self.tracer.plan_time_s += perf_counter() - started
             self._plans[id(block)] = entry
+        if self.tracer is not None and entry[1] is not None:
+            self.tracer.register_plan(block, entry[1])
         return entry[1]
 
     def _apply_from_item(
@@ -365,6 +427,28 @@ class Evaluator:
             self._collect_item_vars(item.right, var_order)
 
     def _item_bindings(
+        self, item: ast.FromItem, env: Environment
+    ) -> List[Dict[str, Any]]:
+        """Bindings for one FROM item — the shared enumeration entry
+        point for the reference pipeline and the physical plan's scans.
+
+        All governor row accounting and EXPLAIN ANALYZE item statistics
+        hang off this choke point; with neither active it forwards to
+        the dispatch unchanged.
+        """
+        tracer = self.tracer
+        governor = self.governor
+        if tracer is None and governor is None:
+            return self._item_bindings_impl(item, env)
+        started = perf_counter() if tracer is not None else 0.0
+        rows = self._item_bindings_impl(item, env)
+        if governor is not None:
+            governor.add(len(rows))
+        if tracer is not None:
+            tracer.record_item(item, len(rows), perf_counter() - started)
+        return rows
+
+    def _item_bindings_impl(
         self, item: ast.FromItem, env: Environment
     ) -> List[Dict[str, Any]]:
         if isinstance(item, ast.FromCollection):

@@ -27,6 +27,7 @@ generated join workloads.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.datamodel.equality import group_key
@@ -68,6 +69,23 @@ class PlanOp:
     def bindings(
         self, evaluator: "Evaluator", env: "Environment"
     ) -> List[Binding]:
+        """Produce this operator's binding rows, filtered and (when the
+        evaluator carries an :class:`~repro.observability.ExecTracer`)
+        instrumented.  Subclasses implement :meth:`_produce`; timing is
+        inclusive of child operators, as is conventional for EXPLAIN
+        ANALYZE output."""
+        tracer = evaluator.tracer
+        if tracer is None:
+            return self._filtered(evaluator, env, self._produce(evaluator, env))
+        started = perf_counter()
+        produced = self._produce(evaluator, env)
+        rows = self._filtered(evaluator, env, produced)
+        tracer.record_op(self, len(produced), len(rows), perf_counter() - started)
+        return rows
+
+    def _produce(
+        self, evaluator: "Evaluator", env: "Environment"
+    ) -> List[Binding]:
         raise NotImplementedError
 
     def _filtered(
@@ -91,16 +109,21 @@ class PlanOp:
     def describe(self) -> str:
         raise NotImplementedError
 
-    def explain_lines(self, indent: int = 0) -> List[str]:
+    def explain_lines(self, indent: int = 0, tracer=None) -> List[str]:
+        """Plan lines; with a tracer, annotated with runtime stats."""
         from repro.syntax.printer import print_ast
 
         line = "  " * indent + self.describe()
         if self.filters:
             rendered = " AND ".join(print_ast(f) for f in self.filters)
             line += f"  [filter: {rendered}]"
-        return [line] + self._child_lines(indent + 1)
+        if tracer is not None:
+            stats = tracer.op_stats(self)
+            if stats is not None:
+                line += stats.suffix()
+        return [line] + self._child_lines(indent + 1, tracer)
 
-    def _child_lines(self, indent: int) -> List[str]:
+    def _child_lines(self, indent: int, tracer=None) -> List[str]:
         return []
 
 
@@ -112,9 +135,8 @@ class ScanOp(PlanOp):
         super().__init__()
         self.item = item
 
-    def bindings(self, evaluator, env):
-        rows = evaluator._item_bindings(self.item, env)
-        return self._filtered(evaluator, env, rows)
+    def _produce(self, evaluator, env):
+        return evaluator._item_bindings(self.item, env)
 
     def describe(self) -> str:
         from repro.syntax.printer import print_ast
@@ -146,13 +168,15 @@ class CorrelatedJoinOp(PlanOp):
         self.item = item
         self.right_vars: List[str] = []
 
-    def bindings(self, evaluator, env):
+    def _produce(self, evaluator, env):
         item = self.item
+        governor = evaluator.governor
         on_fn = (
             evaluator.compiled(item.on) if item.on is not None else None
         )
         result: List[Binding] = []
         for left_binding in self.left.bindings(evaluator, env):
+            before = len(result)
             left_env = env.extend(left_binding)
             matched = False
             for right_binding in evaluator._item_bindings(
@@ -165,15 +189,17 @@ class CorrelatedJoinOp(PlanOp):
                 result.append(combined)
             if item.kind == "LEFT" and not matched:
                 result.append(pad_right_vars(left_binding, self.right_vars))
-        return self._filtered(evaluator, env, result)
+            if governor is not None:
+                governor.add(len(result) - before)
+        return result
 
     def describe(self) -> str:
         return f"NestedLoopJoin[{self.item.kind}] (correlated/lateral right side)"
 
-    def _child_lines(self, indent: int) -> List[str]:
+    def _child_lines(self, indent: int, tracer=None) -> List[str]:
         from repro.syntax.printer import print_ast
 
-        lines = self.left.explain_lines(indent)
+        lines = self.left.explain_lines(indent, tracer)
         prefix = "  " * indent
         if isinstance(self.item.right, ast.FromCollection):
             right = (
@@ -209,14 +235,16 @@ class MaterializeJoinOp(PlanOp):
         self.on = on
         self.right_vars = right_vars
 
-    def bindings(self, evaluator, env):
+    def _produce(self, evaluator, env):
         left_rows = self.left.bindings(evaluator, env)
         if not left_rows:
             return []
         right_rows = self.right.bindings(evaluator, env)
+        governor = evaluator.governor
         on_fn = evaluator.compiled(self.on) if self.on is not None else None
         result: List[Binding] = []
         for left_binding in left_rows:
+            before = len(result)
             matched = False
             for right_binding in right_rows:
                 combined = {**left_binding, **right_binding}
@@ -226,7 +254,9 @@ class MaterializeJoinOp(PlanOp):
                 result.append(combined)
             if self.kind == "LEFT" and not matched:
                 result.append(pad_right_vars(left_binding, self.right_vars))
-        return self._filtered(evaluator, env, result)
+            if governor is not None:
+                governor.add(len(result) - before)
+        return result
 
     def describe(self) -> str:
         from repro.syntax.printer import print_ast
@@ -234,8 +264,10 @@ class MaterializeJoinOp(PlanOp):
         on = f" ON {print_ast(self.on)}" if self.on is not None else ""
         return f"NestedLoopJoin[{self.kind}] (right side materialized once){on}"
 
-    def _child_lines(self, indent: int) -> List[str]:
-        return self.left.explain_lines(indent) + self.right.explain_lines(indent)
+    def _child_lines(self, indent: int, tracer=None) -> List[str]:
+        return self.left.explain_lines(indent, tracer) + self.right.explain_lines(
+            indent, tracer
+        )
 
 
 class HashJoinOp(PlanOp):
@@ -272,11 +304,12 @@ class HashJoinOp(PlanOp):
         self.residual = residual
         self.right_vars = right_vars
 
-    def bindings(self, evaluator, env):
+    def _produce(self, evaluator, env):
         left_rows = self.left.bindings(evaluator, env)
         if not left_rows:
             return []
         right_rows = self.right.bindings(evaluator, env)
+        governor = evaluator.governor
         left_key_fns = [evaluator.compiled(key) for key in self.left_keys]
         right_key_fns = [evaluator.compiled(key) for key in self.right_keys]
         residual_fns = [evaluator.compiled(p) for p in self.residual]
@@ -290,6 +323,7 @@ class HashJoinOp(PlanOp):
 
         result: List[Binding] = []
         for left_binding in left_rows:
+            before = len(result)
             key = _key_tuple(left_key_fns, env.extend(left_binding))
             matched = False
             for right_binding in (table.get(key, ()) if key is not None else ()):
@@ -302,7 +336,9 @@ class HashJoinOp(PlanOp):
                 result.append(combined)
             if self.kind == "LEFT" and not matched:
                 result.append(pad_right_vars(left_binding, self.right_vars))
-        return self._filtered(evaluator, env, result)
+            if governor is not None:
+                governor.add(len(result) - before)
+        return result
 
     def describe(self) -> str:
         from repro.syntax.printer import print_ast
@@ -317,10 +353,10 @@ class HashJoinOp(PlanOp):
             text += f" residual ({residual})"
         return text
 
-    def _child_lines(self, indent: int) -> List[str]:
+    def _child_lines(self, indent: int, tracer=None) -> List[str]:
         prefix = "  " * indent
-        left = self.left.explain_lines(indent + 1)
-        right = self.right.explain_lines(indent + 1)
+        left = self.left.explain_lines(indent + 1, tracer)
+        right = self.right.explain_lines(indent + 1, tracer)
         return (
             [prefix + "probe:"] + left + [prefix + "build:"] + right
         )

@@ -163,6 +163,7 @@ class BlockPlan:
     def execute(self, evaluator, env) -> list:
         """Produce the block's binding environments (replaces the
         reference FROM loop and WHERE filter in ``eval_block``)."""
+        governor = evaluator.governor
         envs = [env]
         for item_plan in self.items:
             if not envs:
@@ -171,7 +172,20 @@ class BlockPlan:
                 return []
             if item_plan.uncorrelated and len(envs) > 1:
                 rows = item_plan.op.bindings(evaluator, env)
-                envs = [current.extend(row) for current in envs for row in rows]
+                if governor is None:
+                    envs = [
+                        current.extend(row) for current in envs for row in rows
+                    ]
+                else:
+                    # The cross product itself can explode; account for
+                    # the extensions (and check the deadline) per input
+                    # binding rather than only at operator boundaries.
+                    extended = []
+                    for current in envs:
+                        for row in rows:
+                            extended.append(current.extend(row))
+                        governor.add(len(rows))
+                    envs = extended
             else:
                 extended = []
                 for current in envs:
@@ -187,12 +201,14 @@ class BlockPlan:
                 ]
         return envs
 
-    def explain(self) -> str:
+    def explain(self, tracer=None) -> str:
+        """The plan as text; with a tracer, annotated with runtime stats
+        (EXPLAIN ANALYZE)."""
         from repro.syntax.printer import print_ast
 
         lines = ["FROM"]
         for item_plan in self.items:
-            op_lines = item_plan.op.explain_lines(1)
+            op_lines = item_plan.op.explain_lines(1, tracer)
             if item_plan.uncorrelated and len(self.items) > 1:
                 op_lines[0] += "  [materialized once]"
             lines.extend(op_lines)

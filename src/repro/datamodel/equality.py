@@ -5,8 +5,10 @@ the library:
 
 * **Operator equality** (the ``=`` operator) follows SQL: comparing with
   ``NULL`` yields ``NULL``, comparing with ``MISSING`` yields ``MISSING``,
-  and comparing values of incomparable types yields ``MISSING`` in
-  permissive mode.  That logic lives in :mod:`repro.functions.operators`.
+  and comparing values of incomparable types is a dynamic type error —
+  ``MISSING`` in permissive mode, raised in strict mode (paper,
+  Section IV-B rule 2).  That logic lives in
+  :mod:`repro.functions.operators`.
 
 * **Deep equality** (this module) is the structural equality used for bag
   (multiset) equality, ``GROUP BY`` key identity, ``DISTINCT`` and test

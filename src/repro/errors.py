@@ -78,6 +78,32 @@ class EvaluationError(SQLPPError):
     """A runtime evaluation failure that is not a type error."""
 
 
+class ResourceExhausted(SQLPPError):
+    """A query exceeded one of its configured resource limits.
+
+    Raised cooperatively by the evaluator when ``EvalConfig.timeout_s``,
+    ``max_rows`` or ``max_recursion`` is exceeded, so a runaway query
+    fails promptly instead of hanging.  Carries what was achieved before
+    the limit hit, for partial-progress reporting:
+
+    * ``kind`` — ``"timeout"``, ``"max_rows"`` or ``"max_recursion"``;
+    * ``rows_produced`` — binding rows materialized before the stop;
+    * ``elapsed_s`` — wall time spent before the stop.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str,
+        rows_produced: int = 0,
+        elapsed_s: float = 0.0,
+    ):
+        self.kind = kind
+        self.rows_produced = rows_produced
+        self.elapsed_s = elapsed_s
+        super().__init__(message)
+
+
 class SchemaError(SQLPPError):
     """Raised for invalid schema definitions or failed validations."""
 

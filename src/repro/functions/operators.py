@@ -23,6 +23,7 @@ are exactly the SQL expressions that can map NULL to non-NULL).
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 from typing import Any, Optional
 
 from repro.config import EvalConfig
@@ -124,19 +125,45 @@ def concat(left: Any, right: Any, config: EvalConfig) -> Any:
 # =========================================================================
 
 
+def _equality_kind(value: Any) -> str:
+    """The type category ``=`` compares within (int/float unify)."""
+    if isinstance(value, bool):
+        return "boolean"
+    if _is_number(value):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, list):
+        return "array"
+    if isinstance(value, Bag):
+        return "bag"
+    if isinstance(value, Struct):
+        return "tuple"
+    raise EvaluationError(f"not a SQL++ value: {value!r}")
+
+
 def equals(left: Any, right: Any, config: EvalConfig) -> Any:
     """The ``=`` operator.
 
     SQL equality on scalars and NULL (paper, Section V-B); deep equality
-    on nested values (arrays element-wise, bags as multisets); values of
-    different types are simply not equal, never a type error — equality
-    is total, which is what makes DISTINCT/GROUP BY/set ops well-defined
-    over heterogeneous data.
+    on same-typed nested values (arrays element-wise, bags as multisets).
+    Operands of *different* type categories are wrongly-typed input
+    (paper, Section IV-B rule 2): ``2 = 'a'`` yields ``MISSING`` in
+    permissive mode and raises :class:`TypeCheckError` in strict mode,
+    exactly like ``<``/``<=``/``>``/``>=``.  The total structural
+    equality that keeps DISTINCT/GROUP BY/set ops well-defined over
+    heterogeneous data is :func:`repro.datamodel.equality.deep_equals`,
+    which this operator intentionally does *not* expose across types.
     """
     if left is MISSING or right is MISSING:
         return MISSING
     if left is None or right is None:
         return None
+    if _equality_kind(left) != _equality_kind(right):
+        return config.type_error(
+            f"cannot compare {type_name(left)} with {type_name(right)} "
+            "for equality"
+        )
     return deep_equals(left, right)
 
 
@@ -260,7 +287,18 @@ def like(
     return regex.fullmatch(operand) is not None
 
 
+@lru_cache(maxsize=512)
 def _like_regex(pattern: str, escape_char: Optional[str]) -> "re.Pattern[str]":
+    """Translate a LIKE pattern to a compiled regex.
+
+    Bounded LRU cache: a dynamic pattern (``s LIKE t.pattern``) is
+    evaluated per row, and recompiling the same regex for every row a
+    predicate touches dominates the filter's cost (see
+    ``benchmarks/bench_e14_like.py``).  Literal patterns are additionally
+    hoisted out of the row loop entirely by
+    :mod:`repro.core.compile_expr`.  The bad-pattern error (trailing
+    escape character) is raised, so it is never cached.
+    """
     parts = []
     index = 0
     while index < len(pattern):
@@ -289,7 +327,10 @@ def in_collection(operand: Any, collection: Any, config: EvalConfig) -> Any:
     """``x IN coll`` under 3-valued logic.
 
     True if some element equals x; unknown (NULL) if no element equals x
-    but some comparison was unknown; else False.
+    but some comparison was unknown — including the MISSING a
+    type-mismatched ``=`` yields in permissive mode — else False.  In
+    strict mode a type-mismatched element comparison raises, like the
+    expanded ``OR`` of ``=`` comparisons would.
     """
     if operand is MISSING or collection is MISSING:
         return MISSING

@@ -14,12 +14,6 @@ from repro.datamodel.values import type_name
 from repro.functions.registry import REGISTRY, builtin
 
 
-def _require_string(name: str, value: Any, config: EvalConfig):
-    if isinstance(value, str):
-        return value
-    return None
-
-
 def _string_arg(name: str, value: Any, config: EvalConfig) -> str:
     if not isinstance(value, str):
         raise TypeError(f"{name} expects a string, got {type_name(value)}")

@@ -1,0 +1,36 @@
+"""Runtime observability and resource governance (docs/OBSERVABILITY.md).
+
+Three cooperating pieces, all optional and zero-cost when unused:
+
+* :class:`ExecTracer` — per-operator/per-stage runtime statistics for
+  ``EXPLAIN ANALYZE`` (rows in/out, invocation counts, wall time);
+* :class:`QueryMetrics` / :class:`MetricsRegistry` — per-phase timings,
+  compile-cache counters and pluggable sinks (in-memory ring buffer,
+  JSON-lines slow-query log);
+* :class:`ResourceGovernor` — cooperative enforcement of the
+  ``timeout_s`` / ``max_rows`` / ``max_recursion`` limits on
+  :class:`~repro.config.EvalConfig`, raising
+  :class:`~repro.errors.ResourceExhausted` instead of hanging.
+"""
+
+from repro.observability.limits import ResourceGovernor
+from repro.observability.metrics import MetricsRegistry, QueryMetrics
+from repro.observability.sinks import InMemorySink, JsonLinesSink
+from repro.observability.tracer import (
+    ExecTracer,
+    OpStats,
+    describe_from_item,
+    format_seconds,
+)
+
+__all__ = [
+    "ExecTracer",
+    "InMemorySink",
+    "JsonLinesSink",
+    "MetricsRegistry",
+    "OpStats",
+    "QueryMetrics",
+    "ResourceGovernor",
+    "describe_from_item",
+    "format_seconds",
+]

@@ -1,0 +1,98 @@
+"""Cooperative resource governance for query execution.
+
+The north-star deployment serves heavy traffic, where one runaway query
+(an accidental cross product, a pathological pattern) must not take the
+worker down with it.  :class:`ResourceGovernor` enforces the three
+limits on :class:`~repro.config.EvalConfig` — ``timeout_s``,
+``max_rows`` and ``max_recursion`` — *cooperatively*: the evaluator and
+the physical operators call :meth:`add` as binding rows materialize and
+:meth:`enter_query`/:meth:`exit_query` around nested query evaluation,
+and the governor raises :class:`~repro.errors.ResourceExhausted` as soon
+as a limit is crossed.  No threads, no signals: the checks ride the row
+loops the query was already paying for, so an exceeded limit surfaces
+within one binding row of the breach instead of hanging.
+
+The raised error carries the partial progress (rows produced, elapsed
+wall time) so clients — the CLI in particular — can report what the
+query achieved before it was stopped.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Optional
+
+from repro.config import EvalConfig
+from repro.errors import ResourceExhausted
+
+
+class ResourceGovernor:
+    """Tracks one query execution against its configured limits."""
+
+    __slots__ = (
+        "max_rows",
+        "max_recursion",
+        "timeout_s",
+        "started",
+        "deadline",
+        "rows",
+        "depth",
+    )
+
+    def __init__(self, config: EvalConfig):
+        self.max_rows = config.max_rows
+        self.max_recursion = config.max_recursion
+        self.timeout_s = config.timeout_s
+        self.started = perf_counter()
+        self.deadline: Optional[float] = (
+            self.started + config.timeout_s
+            if config.timeout_s is not None
+            else None
+        )
+        self.rows = 0
+        self.depth = 0
+
+    @staticmethod
+    def for_config(config: EvalConfig) -> Optional["ResourceGovernor"]:
+        """A governor when any limit is set, else None (zero overhead)."""
+        return ResourceGovernor(config) if config.has_limits else None
+
+    def elapsed_s(self) -> float:
+        return perf_counter() - self.started
+
+    def add(self, produced: int = 1) -> None:
+        """Account for newly materialized binding rows; raise on breach."""
+        self.rows += produced
+        if self.max_rows is not None and self.rows > self.max_rows:
+            raise ResourceExhausted(
+                f"query exceeded max_rows={self.max_rows} "
+                f"({self.rows} binding rows materialized in "
+                f"{self.elapsed_s():.3f}s)",
+                kind="max_rows",
+                rows_produced=self.rows,
+                elapsed_s=self.elapsed_s(),
+            )
+        if self.deadline is not None and perf_counter() > self.deadline:
+            raise ResourceExhausted(
+                f"query exceeded timeout_s={self.timeout_s} "
+                f"({self.elapsed_s():.3f}s elapsed, {self.rows} binding "
+                "rows materialized)",
+                kind="timeout",
+                rows_produced=self.rows,
+                elapsed_s=self.elapsed_s(),
+            )
+
+    def enter_query(self) -> None:
+        """Entering one (possibly nested) query evaluation."""
+        self.depth += 1
+        if self.max_recursion is not None and self.depth > self.max_recursion:
+            raise ResourceExhausted(
+                f"query exceeded max_recursion={self.max_recursion} "
+                "(nested subquery depth)",
+                kind="max_recursion",
+                rows_produced=self.rows,
+                elapsed_s=self.elapsed_s(),
+            )
+
+    def exit_query(self) -> None:
+        self.depth -= 1

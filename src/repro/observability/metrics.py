@@ -1,0 +1,128 @@
+"""Per-query metrics and the per-database metrics registry.
+
+Every ``Database.execute``/``explain_analyze`` call produces one
+:class:`QueryMetrics` record — per-phase wall times for the query
+pipeline (parse, rewrite, plan, execute), compile-cache hit/miss, result
+cardinality and outcome — and feeds it to a :class:`MetricsRegistry`,
+which maintains monotonic counters and fans the record out to its sinks
+(:mod:`repro.observability.sinks`).
+
+This is the instrumentation spine later scaling work (sharding, async
+execution, multi-backend dispatch) hangs its counters off: a new
+subsystem adds counter names, not a new mechanism.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.observability.sinks import InMemorySink
+from repro.observability.tracer import format_seconds
+
+
+@dataclass
+class QueryMetrics:
+    """The observable outcome of one query execution."""
+
+    query: str
+    #: "ok", "error" or "resource_exhausted".
+    status: str = "ok"
+    error: Optional[str] = None
+    #: Whether parse+rewrite was served from the compile cache.
+    cache_hit: bool = False
+    parse_s: float = 0.0
+    rewrite_s: float = 0.0
+    plan_s: float = 0.0
+    execute_s: float = 0.0
+    total_s: float = 0.0
+    #: Top-level result cardinality (None for scalar/error results).
+    rows_returned: Optional[int] = None
+    #: Unix timestamp of query start (wall clock, for log correlation).
+    started_at: float = field(default_factory=time.time)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready representation (used by the JSON-lines sink)."""
+        return {
+            "query": self.query,
+            "status": self.status,
+            "error": self.error,
+            "cache_hit": self.cache_hit,
+            "parse_s": round(self.parse_s, 6),
+            "rewrite_s": round(self.rewrite_s, 6),
+            "plan_s": round(self.plan_s, 6),
+            "execute_s": round(self.execute_s, 6),
+            "total_s": round(self.total_s, 6),
+            "rows_returned": self.rows_returned,
+            "started_at": self.started_at,
+        }
+
+    def format_phases(self) -> List[str]:
+        """Phase-timing lines shared by ``--stats`` and EXPLAIN ANALYZE."""
+        cache = "hit" if self.cache_hit else "miss"
+        lines = [
+            f"parse:    {format_seconds(self.parse_s)}",
+            f"rewrite:  {format_seconds(self.rewrite_s)}  "
+            f"(compile cache: {cache})",
+        ]
+        if self.plan_s:
+            lines.append(f"plan:     {format_seconds(self.plan_s)}")
+        lines.append(f"execute:  {format_seconds(self.execute_s)}")
+        lines.append(f"total:    {format_seconds(self.total_s)}")
+        return lines
+
+
+class MetricsRegistry:
+    """Monotonic counters plus a fan-out of per-query records to sinks."""
+
+    def __init__(self, sinks: Optional[List[Any]] = None):
+        self.counters: Dict[str, int] = {
+            "queries_total": 0,
+            "queries_failed": 0,
+            "queries_resource_exhausted": 0,
+            "rows_returned_total": 0,
+            "compile_cache_hits": 0,
+            "compile_cache_misses": 0,
+        }
+        self.memory = InMemorySink()
+        self.sinks: List[Any] = [self.memory] + list(sinks or [])
+        self.last: Optional[QueryMetrics] = None
+
+    def increment(self, name: str, by: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + by
+
+    def record(self, metrics: QueryMetrics) -> None:
+        """Fold one finished query into counters and sinks."""
+        self.increment("queries_total")
+        if metrics.status == "error":
+            self.increment("queries_failed")
+        elif metrics.status == "resource_exhausted":
+            self.increment("queries_resource_exhausted")
+        if metrics.rows_returned is not None:
+            self.increment("rows_returned_total", metrics.rows_returned)
+        self.last = metrics
+        for sink in self.sinks:
+            sink.emit(metrics)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A point-in-time view: counters plus the last query's record."""
+        return {
+            "counters": dict(self.counters),
+            "last_query": self.last.to_dict() if self.last else None,
+        }
+
+    def format_snapshot(self) -> str:
+        """Human-readable form of :meth:`snapshot` (REPL ``.stats``)."""
+        lines = ["counters:"]
+        for name in sorted(self.counters):
+            lines.append(f"  {name}: {self.counters[name]}")
+        if self.last is not None:
+            lines.append("last query:")
+            lines.append(f"  status: {self.last.status}")
+            if self.last.error:
+                lines.append(f"  error: {self.last.error}")
+            if self.last.rows_returned is not None:
+                lines.append(f"  rows: {self.last.rows_returned}")
+            lines.extend("  " + line for line in self.last.format_phases())
+        return "\n".join(lines)

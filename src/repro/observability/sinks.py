@@ -1,0 +1,57 @@
+"""Metrics sinks: where per-query :class:`QueryMetrics` records go.
+
+Two built-ins cover the common deployments:
+
+* :class:`InMemorySink` — a bounded ring buffer, always attached by
+  default; powers the REPL's ``.stats`` and tests.
+* :class:`JsonLinesSink` — an append-only JSON-lines file, optionally
+  thresholded so only *slow* queries are persisted (the classic
+  slow-query log).
+
+Anything with an ``emit(metrics)`` method is a valid sink, so embedders
+can forward metrics to statsd/OTel/etc. without this package growing
+those dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.observability.metrics import QueryMetrics
+
+
+class InMemorySink:
+    """Keeps the most recent ``capacity`` query metrics in memory."""
+
+    def __init__(self, capacity: int = 128):
+        self.records: Deque["QueryMetrics"] = deque(maxlen=capacity)
+
+    def emit(self, metrics: "QueryMetrics") -> None:
+        self.records.append(metrics)
+
+    def tail(self, count: int = 10) -> List["QueryMetrics"]:
+        return list(self.records)[-count:]
+
+
+class JsonLinesSink:
+    """Appends one JSON object per query to a log file.
+
+    ``threshold_s`` turns the sink into a slow-query log: only queries
+    whose total wall time reaches the threshold are written (errors and
+    resource-exhausted queries are always written — those are exactly
+    the ones an operator wants to see).
+    """
+
+    def __init__(self, path: str, threshold_s: float = 0.0):
+        self.path = path
+        self.threshold_s = threshold_s
+
+    def emit(self, metrics: "QueryMetrics") -> None:
+        if metrics.status == "ok" and metrics.total_s < self.threshold_s:
+            return
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(metrics.to_dict(), sort_keys=True))
+            handle.write("\n")

@@ -1,0 +1,180 @@
+"""Execution tracing for ``EXPLAIN ANALYZE``.
+
+An :class:`ExecTracer` rides along one query execution and accumulates,
+per physical operator (:mod:`repro.core.plan_ops`), per reference-path
+FROM item (the nested-loop pipeline of :mod:`repro.core.evaluator`) and
+per clause-pipeline stage:
+
+* **invocations** — how many times the operator produced its bindings
+  (a lateral right side runs once per left binding; everything else
+  typically once per block evaluation);
+* **rows in / rows out** — binding rows before and after the operator's
+  attached filters (for stages: stream size entering/leaving the stage);
+* **wall time** — inclusive of children, as is conventional for
+  ``EXPLAIN ANALYZE`` output.
+
+Tracing is strictly opt-in: the evaluator's hot paths check a single
+``tracer is None`` and pay nothing when observability is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.syntax import ast
+
+
+@dataclass
+class OpStats:
+    """Accumulated runtime statistics for one operator or stage."""
+
+    label: str
+    invocations: int = 0
+    rows_in: int = 0
+    rows_out: int = 0
+    time_s: float = 0.0
+
+    def add(self, rows_in: int, rows_out: int, elapsed_s: float) -> None:
+        self.invocations += 1
+        self.rows_in += rows_in
+        self.rows_out += rows_out
+        self.time_s += elapsed_s
+
+    def suffix(self, show_rows_in: bool = True) -> str:
+        """The annotation appended to a plan line."""
+        parts = [f"calls={self.invocations}"]
+        if show_rows_in and self.rows_in != self.rows_out:
+            parts.append(f"rows_in={self.rows_in}")
+        parts.append(f"rows_out={self.rows_out}")
+        parts.append(f"time={format_seconds(self.time_s)}")
+        return "  (" + " ".join(parts) + ")"
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scale wall time: seconds, milliseconds or microseconds."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 0.001:
+        return f"{seconds * 1000:.2f}ms"
+    return f"{seconds * 1_000_000:.0f}us"
+
+
+class ExecTracer:
+    """Collects per-operator and per-stage statistics for one execution."""
+
+    def __init__(self) -> None:
+        #: Physical operators, keyed by id(op); the op is kept alive
+        #: alongside its stats so id() keys cannot be reused.
+        self._op_stats: Dict[int, Tuple[Any, OpStats]] = {}
+        #: Reference-path FROM items, keyed by id(ast node).
+        self._item_stats: Dict[int, Tuple[ast.FromItem, OpStats]] = {}
+        #: Clause-pipeline stages, keyed by (id(block), stage name), in
+        #: first-recorded order.
+        self._stage_stats: Dict[Tuple[int, str], Tuple[Any, OpStats]] = {}
+        #: Time spent in the physical planner (plan_block), if any.
+        self.plan_time_s = 0.0
+        #: Physical plans actually executed, keyed by id(block node),
+        #: so EXPLAIN ANALYZE renders the very operator objects the
+        #: statistics above were recorded against.
+        self._plans: Dict[int, Tuple[Any, Any]] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def record_op(
+        self, op: Any, rows_in: int, rows_out: int, elapsed_s: float
+    ) -> None:
+        entry = self._op_stats.get(id(op))
+        if entry is None:
+            entry = (op, OpStats(label=op.describe()))
+            self._op_stats[id(op)] = entry
+        entry[1].add(rows_in, rows_out, elapsed_s)
+
+    def record_item(
+        self, item: ast.FromItem, rows_out: int, elapsed_s: float
+    ) -> None:
+        entry = self._item_stats.get(id(item))
+        if entry is None:
+            entry = (item, OpStats(label=describe_from_item(item)))
+            self._item_stats[id(item)] = entry
+        entry[1].add(rows_out, rows_out, elapsed_s)
+
+    def record_stage(
+        self,
+        block: Any,
+        stage: str,
+        rows_in: int,
+        rows_out: int,
+        elapsed_s: float,
+    ) -> None:
+        key = (id(block), stage)
+        entry = self._stage_stats.get(key)
+        if entry is None:
+            entry = (block, OpStats(label=stage))
+            self._stage_stats[key] = entry
+        entry[1].add(rows_in, rows_out, elapsed_s)
+
+    def register_plan(self, block: Any, plan: Any) -> None:
+        self._plans[id(block)] = (block, plan)
+
+    # -- lookup --------------------------------------------------------
+
+    def plan_for(self, block: Any) -> Optional[Any]:
+        entry = self._plans.get(id(block))
+        return entry[1] if entry is not None else None
+
+    def op_stats(self, op: Any) -> Optional[OpStats]:
+        entry = self._op_stats.get(id(op))
+        return entry[1] if entry is not None else None
+
+    def item_stats(self, item: ast.FromItem) -> Optional[OpStats]:
+        entry = self._item_stats.get(id(item))
+        return entry[1] if entry is not None else None
+
+    def stages_for(self, block: Any) -> List[OpStats]:
+        return [
+            stats
+            for (block_id, __), (___, stats) in self._stage_stats.items()
+            if block_id == id(block)
+        ]
+
+    # -- rendering the reference (nested-loop) FROM tree ---------------
+
+    def reference_lines(
+        self, items: List[ast.FromItem], indent: int = 1
+    ) -> List[str]:
+        """Annotated plan lines for a reference-pipeline FROM clause."""
+        lines: List[str] = []
+        for item in items:
+            lines.extend(self._item_lines(item, indent))
+        return lines
+
+    def _item_lines(self, item: ast.FromItem, indent: int) -> List[str]:
+        line = "  " * indent + describe_from_item(item)
+        stats = self.item_stats(item)
+        if stats is not None:
+            line += stats.suffix(show_rows_in=False)
+        lines = [line]
+        if isinstance(item, ast.FromJoin):
+            lines.extend(self._item_lines(item.left, indent + 1))
+            lines.extend(self._item_lines(item.right, indent + 1))
+        return lines
+
+
+def describe_from_item(item: ast.FromItem) -> str:
+    """A one-line label for a reference-path FROM item, matching the
+    vocabulary of the physical operators' ``describe()``."""
+    from repro.syntax.printer import print_ast
+
+    if isinstance(item, ast.FromCollection):
+        at = f" AT {item.at_alias}" if item.at_alias else ""
+        return f"Scan {print_ast(item.expr)} AS {item.alias}{at}"
+    if isinstance(item, ast.FromUnpivot):
+        return (
+            f"Unpivot {print_ast(item.expr)} AS {item.value_alias} "
+            f"AT {item.at_alias}"
+        )
+    if isinstance(item, ast.FromJoin):
+        on = f" ON {print_ast(item.on)}" if item.on is not None else ""
+        return f"NestedLoopJoin[{item.kind}] (reference){on}"
+    return type(item).__name__

@@ -5,7 +5,7 @@ import pytest
 from repro import Database
 from repro.catalog.catalog import Catalog, validate_name
 from repro.datamodel.values import Bag, Struct
-from repro.errors import CatalogError, SQLPPError
+from repro.errors import CatalogError
 
 
 class TestCatalog:

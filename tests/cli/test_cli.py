@@ -73,3 +73,60 @@ class TestKitJson:
         report = json.loads(capsys.readouterr().out)
         assert report["passed"] == report["total"] > 50
         assert {"compat", "core"} >= {case["mode"] for case in report["cases"]}
+
+
+class TestObservabilityFlags:
+    def test_explain_analyze_statement(self, capsys):
+        assert (
+            main(["-c", "EXPLAIN ANALYZE SELECT VALUE v FROM [1, 2, 3] AS v WHERE v > 1"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "calls=" in out and "rows_out=" in out
+        assert "phases:" in out
+        assert "rows returned: 2" in out
+
+    def test_plain_explain_does_not_execute(self, capsys):
+        assert main(["-c", "EXPLAIN SELECT VALUE v FROM [1, 2] AS v"]) == 0
+        out = capsys.readouterr().out
+        assert "calls=" not in out
+
+    def test_stats_flag_prints_phases(self, capsys):
+        assert main(["--stats", "-c", "SELECT VALUE 1"]) == 0
+        captured = capsys.readouterr()
+        assert "-- parse:" in captured.err
+        assert "-- total:" in captured.err
+
+    def test_max_rows_reports_partial_progress(self, capsys):
+        code = main(
+            [
+                "--max-rows",
+                "10",
+                "-c",
+                "SELECT a, b FROM [1,2,3,4,5] AS a, [1,2,3,4,5] AS b",
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "resource limit" in err
+        assert "stopped after" in err and "max_rows" in err
+
+    def test_timeout_flag(self, capsys):
+        code = main(
+            [
+                "--timeout",
+                "0.05",
+                "-c",
+                "SELECT a, b FROM RANGE(0, 3000) AS a, RANGE(0, 3000) AS b",
+            ]
+        )
+        assert code == 1
+        assert "timeout" in capsys.readouterr().err
+
+    def test_slow_log_flag(self, tmp_path, capsys):
+        import json as json_module
+
+        path = tmp_path / "slow.jsonl"
+        assert main(["--slow-log", str(path), "-c", "SELECT VALUE 1"]) == 0
+        record = json_module.loads(path.read_text().splitlines()[0])
+        assert record["status"] == "ok"

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro import Bag, Database, MISSING, Struct
-from repro.errors import BindingError, EvaluationError, ParseError
+from repro import Bag, MISSING, Struct
+from repro.errors import BindingError, ParseError
 
 from tests.conftest import bag_of
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, MISSING, TypeCheckError
+from repro import TypeCheckError
 from repro.errors import BindingError, EvaluationError
 
 
@@ -64,9 +64,14 @@ class TestComparisonAndEquality:
         assert run("'a' = 'b'") is False
         assert run("1 != 2") is True
 
-    def test_cross_type_equality_is_false(self, run):
-        assert run("1 = 'a'") is False
-        assert run("TRUE = 1") is False
+    def test_cross_type_equality_is_a_type_error(self, run):
+        # Wrongly-typed inputs to ``=`` follow Section IV-B rule 2, the
+        # same as the ordering comparisons: MISSING in permissive mode,
+        # an error in strict mode — not a silent ``false``.
+        assert run("(1 = 'a') IS MISSING") is True
+        assert run("(TRUE = 1) IS MISSING") is True
+        with pytest.raises(TypeCheckError):
+            run("1 = 'a'", typing_mode="strict")
 
     def test_deep_equality_on_nested(self, run):
         assert run("[1, {'a': 2}] = [1, {'a': 2}]") is True
@@ -124,6 +129,14 @@ class TestStringsAndLike:
     def test_like_escape(self, run):
         assert run("'50%' LIKE '50!%' ESCAPE '!'") is True
         assert run("'50x' LIKE '50!%' ESCAPE '!'") is False
+
+    def test_like_escape_is_a_wildcard_char(self, run):
+        # '%' as its own escape character: '%%' is a literal percent
+        # sign, and a trailing unpaired '%' is a pattern error.
+        assert run("'50%' LIKE '50%%' ESCAPE '%'") is True
+        assert run("'50x' LIKE '50%%' ESCAPE '%'") is False
+        with pytest.raises(EvaluationError):
+            run("'abc' LIKE '%b%' ESCAPE '%'")
 
     def test_like_is_anchored(self, run):
         assert run("'xabc' LIKE 'abc'") is False

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import Bag, Database, Struct
 from repro.errors import BindingError
 
 from tests.conftest import bag_of

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, TypeCheckError
+from repro import TypeCheckError
 
 from tests.conftest import bag_of
 

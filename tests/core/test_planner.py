@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Database, EvalConfig, MISSING, TypeCheckError, to_python
+from repro import Database, EvalConfig, TypeCheckError, to_python
 from repro.core.planner import (
     free_names,
     is_relocatable,
@@ -19,7 +19,7 @@ from repro.core.planner import (
 )
 from repro.datamodel.equality import deep_equals
 from repro.datamodel.values import Bag
-from repro.syntax.parser import parse, parse_expression
+from repro.syntax.parser import parse_expression
 
 
 def both_ways(db: Database, query: str, **kwargs):

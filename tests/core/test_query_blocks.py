@@ -3,7 +3,7 @@ ORDER BY / LIMIT / OFFSET."""
 
 import pytest
 
-from repro import Bag, Database, MISSING, Struct, TypeCheckError
+from repro import Bag, MISSING, Struct, TypeCheckError
 from repro.errors import EvaluationError
 
 from tests.conftest import bag_of

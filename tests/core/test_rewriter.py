@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import Database
 
 
 @pytest.fixture

@@ -1,8 +1,6 @@
 """Set operations combined with the post-SELECT clauses, and more
 window/typecheck coverage."""
 
-import pytest
-
 from repro import Database
 
 from tests.conftest import bag_of

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Bag, Database, MISSING
+from repro import Bag
 from repro.errors import EvaluationError
 
 from tests.conftest import bag_of
@@ -50,12 +50,15 @@ class TestScalarCoercion:
         )
 
     def test_no_coercion_in_core_mode(self, tdb):
-        # In Core mode the subquery stays a collection of tuples.
+        # In Core mode the subquery stays a collection of tuples, so the
+        # comparison is number-vs-bag — a wrongly-typed input to ``=``,
+        # which is MISSING in permissive mode (Section IV-B rule 2).
         assert (
             tdb.execute(
-                "2 = (SELECT x.a FROM t AS x WHERE x.a = 2)", sql_compat=False
+                "(2 = (SELECT x.a FROM t AS x WHERE x.a = 2)) IS MISSING",
+                sql_compat=False,
             )
-            is False
+            is True
         )
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import Database
 from repro.errors import EvaluationError
 
 from tests.conftest import bag_of

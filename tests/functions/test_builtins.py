@@ -4,7 +4,6 @@ import math
 
 import pytest
 
-from repro import Database, MISSING, Struct
 
 
 @pytest.fixture
@@ -28,10 +27,25 @@ class TestStrings:
     def test_substring_start_before_one(self, run):
         assert run("SUBSTRING('hello', 0, 3)") == "he"
 
+    def test_substring_negative_start_with_length(self, run):
+        # SQL semantics: the window starts at the (possibly negative)
+        # position and its length counts the virtual characters before
+        # position 1, so only the overlap with the string survives.
+        assert run("SUBSTRING('hello', -1, 3)") == "h"
+        assert run("SUBSTRING('hello', -2, 2)") == ""
+        assert run("SUBSTRING('hello', -5, 3)") == ""
+
     def test_trim_family(self, run):
         assert run("TRIM('  x  ')") == "x"
         assert run("LTRIM('xxa', 'x')") == "a"
         assert run("RTRIM('axx', 'x')") == "a"
+
+    def test_trim_empty_char_set_is_identity(self, run):
+        # An empty trim set removes nothing — it must not strip
+        # whitespace (the no-argument default) or loop forever.
+        assert run("TRIM('  x  ', '')") == "  x  "
+        assert run("LTRIM('xxa', '')") == "xxa"
+        assert run("RTRIM('axx', '')") == "axx"
 
     def test_replace(self, run):
         assert run("REPLACE('banana', 'na', 'NA')") == "baNANA"

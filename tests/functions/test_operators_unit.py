@@ -30,13 +30,43 @@ class TestLikeInternals:
 
 
 class TestEqualsInternals:
-    def test_equals_total_across_composites(self):
-        assert ops.equals([1], Bag([1]), PERMISSIVE) is False
-        assert ops.equals(Struct({"a": 1}), [("a", 1)], PERMISSIVE) is False
+    def test_same_kind_compares(self):
+        assert ops.equals(1, 1.0, PERMISSIVE) is True
+        assert ops.equals("a", "b", PERMISSIVE) is False
+        assert ops.equals([1, 2], [1, 2], PERMISSIVE) is True
+        assert ops.equals(Bag([1, 2]), Bag([2, 1]), PERMISSIVE) is True
+        assert ops.equals(Struct({"a": 1}), Struct({"a": 1}), PERMISSIVE) is True
+
+    def test_mismatched_kinds_are_a_type_error(self):
+        # Paper, Section IV-B rule 2: wrongly-typed inputs to ``=`` are
+        # a dynamic type error, exactly like ``<``/``<=``/``>``/``>=`` —
+        # MISSING in permissive mode, raised in strict mode.
+        mismatches = [
+            (1, "a"),
+            (True, 1),
+            ([1], Bag([1])),
+            (Struct({"a": 1}), [("a", 1)]),
+            ("a", Struct({"a": 1})),
+        ]
+        for left, right in mismatches:
+            assert ops.equals(left, right, PERMISSIVE) is MISSING
+            with pytest.raises(TypeCheckError):
+                ops.equals(left, right, STRICT)
+
+    def test_absence_beats_type_checking(self):
+        # Rule ordering: NULL/MISSING propagation applies before the
+        # type check, in both typing modes.
+        assert ops.equals(None, "a", STRICT) is None
+        assert ops.equals(MISSING, "a", STRICT) is MISSING
 
     def test_not_equals_propagates_absence(self):
         assert ops.not_equals(None, 1, PERMISSIVE) is None
         assert ops.not_equals(MISSING, 1, PERMISSIVE) is MISSING
+
+    def test_not_equals_mismatch_follows_equals(self):
+        assert ops.not_equals(1, "a", PERMISSIVE) is MISSING
+        with pytest.raises(TypeCheckError):
+            ops.not_equals(1, "a", STRICT)
 
 
 class TestInCollectionInternals:

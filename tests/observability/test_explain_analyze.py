@@ -1,0 +1,99 @@
+"""EXPLAIN ANALYZE: annotated plans on both execution paths."""
+
+import re
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture
+def join_db():
+    db = Database()
+    db.set("r", [{"k": i % 10, "v": i} for i in range(100)])
+    db.set("s", [{"k": i, "name": f"n{i}"} for i in range(10)])
+    return db
+
+
+JOIN_QUERY = (
+    "SELECT r.v AS v, s.name AS name "
+    "FROM r AS r JOIN s AS s ON r.k = s.k WHERE r.v > 50"
+)
+
+STATS = re.compile(r"\(calls=\d+ (rows_in=\d+ )?rows_out=\d+ time=[\d.]+[mu]?s\)")
+
+
+class TestOptimizedPath:
+    def test_join_operators_carry_stats(self, join_db):
+        report = join_db.explain_analyze(JOIN_QUERY)
+        hash_join = next(
+            line for line in report.splitlines() if "HashJoin" in line
+        )
+        assert STATS.search(hash_join), hash_join
+        # Both scans are annotated too, with real cardinalities.
+        scans = [line for line in report.splitlines() if "Scan" in line]
+        assert len(scans) == 2
+        assert all(STATS.search(line) for line in scans)
+        assert "rows_in=100" in next(s for s in scans if "AS r" in s)
+
+    def test_stage_and_phase_sections(self, join_db):
+        report = join_db.explain_analyze(JOIN_QUERY)
+        assert "stages:" in report
+        assert "phases:" in report
+        assert "rows returned: 49" in report
+        assert "execute:" in report
+
+
+class TestReferencePath:
+    def test_nested_loop_tree_carries_stats(self, join_db):
+        report = join_db.explain_analyze(JOIN_QUERY, optimize=False)
+        assert "plan: reference pipeline" in report
+        nested = next(
+            line for line in report.splitlines() if "NestedLoopJoin" in line
+        )
+        assert STATS.search(nested), nested
+        # The lateral right side runs once per left binding.
+        right_scan = next(
+            line for line in report.splitlines() if "Scan s AS s" in line
+        )
+        assert "calls=100" in right_scan
+        assert "rows returned: 49" in report
+
+    def test_where_stage_visible_when_not_pushed_down(self, join_db):
+        report = join_db.explain_analyze(JOIN_QUERY, optimize=False)
+        where_line = next(
+            line
+            for line in report.splitlines()
+            if line.strip().startswith("WHERE")
+        )
+        assert "rows_in=100" in where_line and "rows_out=49" in where_line
+
+
+class TestAgreementAcrossPaths:
+    def test_row_counts_match(self, join_db):
+        optimized = join_db.explain_analyze(JOIN_QUERY)
+        reference = join_db.explain_analyze(JOIN_QUERY, optimize=False)
+        def row_count(text):
+            return re.search(r"rows returned: (\d+)", text).group(1)
+
+        assert row_count(optimized) == row_count(reference) == "49"
+
+
+class TestEdgeShapes:
+    def test_expression_only_query(self):
+        report = Database().explain_analyze("1 + 1")
+        assert "not a single query block" in report
+        assert "phases:" in report
+
+    def test_setop_body(self):
+        db = Database()
+        report = db.explain_analyze(
+            "(SELECT VALUE x FROM [1] AS x) UNION ALL "
+            "(SELECT VALUE x FROM [2] AS x)"
+        )
+        assert "not a single query block" in report
+
+    def test_strict_mode_uses_reference_path(self, join_db):
+        report = join_db.explain_analyze(JOIN_QUERY, typing_mode="strict")
+        assert "plan: reference pipeline" in report
+        assert "rows returned: 49" in report

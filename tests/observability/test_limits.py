@@ -1,0 +1,116 @@
+"""Resource limits: runaway queries stop with ResourceExhausted."""
+
+import pytest
+
+from repro import Database
+from repro.config import EvalConfig
+from repro.errors import ResourceExhausted
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.set("r", [{"k": i % 10, "v": i} for i in range(100)])
+    return database
+
+
+CROSS_3 = "SELECT a.v FROM r AS a, r AS b, r AS c"
+CROSS_4 = "SELECT a.v FROM r AS a, r AS b, r AS c, r AS d"
+
+
+class TestMaxRows:
+    def test_cross_product_stops_on_optimized_path(self, db):
+        with pytest.raises(ResourceExhausted) as excinfo:
+            db.execute(CROSS_3, max_rows=5000)
+        error = excinfo.value
+        assert error.kind == "max_rows"
+        # Cooperative granularity: the breach surfaces within one
+        # binding batch of the limit, not after the full million rows.
+        assert 5000 < error.rows_produced < 5000 + 200
+
+    def test_cross_product_stops_on_reference_path(self, db):
+        with pytest.raises(ResourceExhausted) as excinfo:
+            db.execute(CROSS_3, max_rows=5000, optimize=False)
+        assert excinfo.value.kind == "max_rows"
+
+    def test_within_limit_succeeds(self, db):
+        result = db.execute("SELECT VALUE a.v FROM r AS a", max_rows=1000)
+        assert len(result) == 100
+
+    def test_hash_join_ticks_the_governor(self, db):
+        db.set("s", [{"k": i % 10} for i in range(1000)])
+        # 100 * 100 matching pairs per key decade explode past the cap.
+        with pytest.raises(ResourceExhausted):
+            db.execute(
+                "SELECT a.v FROM r AS a JOIN s AS s ON a.k = s.k",
+                max_rows=2000,
+            )
+
+
+class TestTimeout:
+    def test_timeout_stops_instead_of_hanging(self, db):
+        with pytest.raises(ResourceExhausted) as excinfo:
+            db.execute(CROSS_4, timeout_s=0.05)
+        error = excinfo.value
+        assert error.kind == "timeout"
+        # It stopped shortly after the deadline, far below the time the
+        # 10^8-binding cross product would need.
+        assert error.elapsed_s < 5.0
+
+    def test_timeout_on_reference_path(self, db):
+        with pytest.raises(ResourceExhausted) as excinfo:
+            db.execute(CROSS_4, timeout_s=0.05, optimize=False)
+        assert excinfo.value.kind == "timeout"
+
+    def test_fast_query_unaffected(self, db):
+        assert len(db.execute("SELECT VALUE a.v FROM r AS a", timeout_s=30)) == 100
+
+
+class TestMaxRecursion:
+    def test_nested_subqueries_stop(self, db):
+        db.set("one", [1])
+        nested = "SELECT VALUE (SELECT VALUE (SELECT VALUE x FROM one AS x) FROM one AS y) FROM one AS z"
+        with pytest.raises(ResourceExhausted) as excinfo:
+            db.execute(nested, max_recursion=2)
+        assert excinfo.value.kind == "max_recursion"
+        # The same query is fine with a deep-enough budget.
+        db.execute(nested, max_recursion=10)
+
+
+class TestDatabaseLevelLimits:
+    def test_limits_apply_to_every_query(self):
+        db = Database(max_rows=50)
+        db.set("r", [{"v": i} for i in range(100)])
+        with pytest.raises(ResourceExhausted):
+            db.execute("SELECT VALUE a.v FROM r AS a")
+
+    def test_per_query_override_tightens(self, db):
+        # No database-level limit; the per-query one still applies.
+        with pytest.raises(ResourceExhausted):
+            db.execute("SELECT VALUE a.v FROM r AS a", max_rows=10)
+
+    def test_error_carries_partial_progress(self, db):
+        with pytest.raises(ResourceExhausted) as excinfo:
+            db.execute(CROSS_3, max_rows=100)
+        assert excinfo.value.rows_produced > 0
+        assert excinfo.value.elapsed_s >= 0.0
+
+
+class TestConfigValidation:
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            EvalConfig(timeout_s=0)
+
+    def test_rejects_negative_max_rows(self):
+        with pytest.raises(ValueError):
+            EvalConfig(max_rows=-1)
+
+    def test_rejects_zero_max_recursion(self):
+        with pytest.raises(ValueError):
+            EvalConfig(max_recursion=0)
+
+    def test_has_limits(self):
+        assert not EvalConfig().has_limits
+        assert EvalConfig(max_rows=10).has_limits
+        assert EvalConfig(timeout_s=1.5).has_limits
+        assert EvalConfig(max_recursion=4).has_limits

@@ -1,0 +1,115 @@
+"""QueryMetrics, MetricsRegistry and the metric sinks."""
+
+import json
+
+import pytest
+
+from repro import Database
+from repro.errors import ResourceExhausted, SQLPPError
+from repro.observability import InMemorySink, JsonLinesSink, QueryMetrics
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.set("r", [{"v": i} for i in range(10)])
+    return database
+
+
+class TestPerQueryRecords:
+    def test_successful_query_is_recorded(self, db):
+        db.execute("SELECT VALUE a.v FROM r AS a")
+        record = db.metrics.last
+        assert record.status == "ok"
+        assert record.rows_returned == 10
+        assert record.total_s > 0
+        assert record.execute_s > 0
+        assert record.cache_hit is False
+
+    def test_repeat_query_hits_the_compile_cache(self, db):
+        db.execute("SELECT VALUE a.v FROM r AS a")
+        db.execute("SELECT VALUE a.v FROM r AS a")
+        assert db.metrics.last.cache_hit is True
+        assert db.metrics.counters["compile_cache_hits"] == 1
+        assert db.metrics.counters["compile_cache_misses"] == 1
+        # A cache hit pays no parse/rewrite time.
+        assert db.metrics.last.parse_s == 0.0
+
+    def test_failed_query_is_recorded(self, db):
+        with pytest.raises(SQLPPError):
+            db.execute("SELECT FROM")
+        assert db.metrics.last.status == "error"
+        assert db.metrics.last.error
+        assert db.metrics.counters["queries_failed"] == 1
+
+    def test_exhausted_query_is_recorded_distinctly(self, db):
+        with pytest.raises(ResourceExhausted):
+            db.execute(
+                "SELECT a.v FROM r AS a, r AS b, r AS c", max_rows=50
+            )
+        assert db.metrics.last.status == "resource_exhausted"
+        assert db.metrics.counters["queries_resource_exhausted"] == 1
+        assert db.metrics.counters["queries_failed"] == 0
+
+
+class TestCounters:
+    def test_rows_returned_accumulate(self, db):
+        db.execute("SELECT VALUE a.v FROM r AS a")
+        db.execute("SELECT VALUE a.v FROM r AS a WHERE a.v < 5")
+        assert db.metrics.counters["rows_returned_total"] == 15
+        assert db.metrics.counters["queries_total"] == 2
+
+    def test_snapshot_shape(self, db):
+        db.execute("SELECT VALUE 1")
+        snapshot = db.metrics.snapshot()
+        assert snapshot["counters"]["queries_total"] == 1
+        assert snapshot["last_query"]["status"] == "ok"
+        text = db.metrics.format_snapshot()
+        assert "queries_total: 1" in text
+
+
+class TestInMemorySink:
+    def test_ring_buffer_keeps_recent(self):
+        sink = InMemorySink(capacity=2)
+        for number in range(3):
+            sink.emit(QueryMetrics(query=f"q{number}"))
+        assert [m.query for m in sink.tail()] == ["q1", "q2"]
+
+    def test_registry_always_has_memory_sink(self, db):
+        db.execute("SELECT VALUE 1")
+        assert [m.query for m in db.metrics.memory.tail()] == ["SELECT VALUE 1"]
+
+
+class TestJsonLinesSink:
+    def test_records_append_as_json(self, tmp_path, db):
+        path = tmp_path / "log.jsonl"
+        db.metrics.sinks.append(JsonLinesSink(str(path)))
+        db.execute("SELECT VALUE a.v FROM r AS a")
+        db.execute("SELECT VALUE 2")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert record["status"] == "ok"
+        assert record["rows_returned"] == 10
+
+    def test_threshold_filters_fast_queries(self, tmp_path, db):
+        path = tmp_path / "slow.jsonl"
+        db.metrics.sinks.append(JsonLinesSink(str(path), threshold_s=60.0))
+        db.execute("SELECT VALUE 1")
+        assert not path.exists() or path.read_text() == ""
+
+    def test_errors_always_logged(self, tmp_path, db):
+        path = tmp_path / "slow.jsonl"
+        db.metrics.sinks.append(JsonLinesSink(str(path), threshold_s=60.0))
+        with pytest.raises(SQLPPError):
+            db.execute("SELECT FROM")
+        record = json.loads(path.read_text().splitlines()[0])
+        assert record["status"] == "error"
+
+
+class TestDatabaseSinkWiring:
+    def test_constructor_accepts_sinks(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        database = Database(metrics_sinks=[JsonLinesSink(str(path))])
+        database.execute("SELECT VALUE 1")
+        assert json.loads(path.read_text().splitlines()[0])["status"] == "ok"

@@ -8,7 +8,6 @@ expectations.
 from hypothesis import given, settings, strategies as st
 
 from repro import Database
-from repro.datamodel.convert import from_python
 from repro.datamodel.equality import deep_equals
 from repro.datamodel.values import Bag
 

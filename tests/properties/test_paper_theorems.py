@@ -15,7 +15,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro import Database
 from repro.baselines.sql92 import SQL92Database
-from repro.datamodel.convert import from_python, to_python
+from repro.datamodel.convert import from_python
 from repro.datamodel.equality import deep_equals
 from repro.datamodel.values import Bag, Struct
 from repro.workloads.generators import null_to_missing

@@ -12,7 +12,6 @@ from repro.schema import (
     UnionType,
     check_query,
     infer_schema,
-    parse_schema,
     validate,
 )
 

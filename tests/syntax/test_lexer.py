@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import LexError
 from repro.syntax.lexer import tokenize
-from repro.syntax.tokens import EOF, IDENT, KEYWORD, NUMBER, PUNCT, QUOTED_IDENT, STRING
+from repro.syntax.tokens import EOF, IDENT, KEYWORD, NUMBER, PUNCT, QUOTED_IDENT
 
 
 def types_of(source):
