@@ -1,0 +1,95 @@
+"""Tracing must be free when off.
+
+The span/metrics instrumentation added to the execution pipeline is
+gated behind a single ``tracer is None`` identity check per loop, so
+the default path (no tracer) must run at the same speed it did when
+the baseline snapshot was committed.  This suite asserts the E13
+hash-join median stays within tolerance of the committed
+``BENCH_PR<N>.json`` figure with tracing off, and bounds the
+(expected, paid-only-when-asked) cost of tracing on.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro import Database
+from repro.observability import ExecTracer, TraceContext
+
+#: Allowed drift of the untraced hash-join median vs the committed
+#: baseline.  The acceptance figure is 5%; same-machine CI noise on a
+#: ~16ms workload stays well inside it.
+MAX_DRIFT = 0.05
+
+QUERY = (
+    "SELECT u.uid AS uid, o.oid AS oid, o.total AS total "
+    "FROM users AS u JOIN orders AS o ON o.user_id = u.uid "
+    "WHERE o.total >= 10"
+)
+
+
+def _db(n: int = 2_000) -> Database:
+    n_users = max(n // 10, 10)
+    db = Database(optimize=True)
+    db.set("users", [{"uid": i, "name": f"user-{i}"} for i in range(n_users)])
+    db.set(
+        "orders",
+        [
+            {"oid": i, "user_id": (i * 7) % n_users, "total": (i * 13) % 500}
+            for i in range(n)
+        ],
+    )
+    db.execute(QUERY)  # warm compile + plan caches
+    return db
+
+
+def _median(db: Database, rounds: int = 9, tracer_factory=None) -> float:
+    samples = []
+    for __ in range(rounds):
+        tracer = tracer_factory() if tracer_factory else None
+        started = time.perf_counter()
+        db.execute(QUERY, tracer=tracer)
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def _committed_baseline_median() -> float:
+    from trajectory import latest_snapshot
+
+    snapshot = latest_snapshot(Path(__file__).resolve().parent)
+    assert snapshot is not None, "no committed BENCH_PR<N>.json"
+    with open(snapshot) as handle:
+        groups = json.load(handle)["groups"]
+    return float(groups["e13_hash_join_n2000"]["median_s"])
+
+
+def test_untraced_hash_join_matches_committed_baseline():
+    """The acceptance bar: tracing off costs nothing measurable."""
+    baseline = _committed_baseline_median()
+    median = _median(_db())
+    drift = (median - baseline) / baseline
+    print(
+        f"\nE13 hash join n=2000: committed {baseline * 1e3:.2f}ms, "
+        f"now {median * 1e3:.2f}ms ({drift * 100:+.1f}%)"
+    )
+    assert drift <= MAX_DRIFT, (
+        f"untraced hash join {drift * 100:+.1f}% vs committed baseline "
+        f"(gate {MAX_DRIFT * 100:.0f}%) — instrumentation leaked onto "
+        f"the default path?"
+    )
+
+
+def test_traced_run_overhead_is_bounded():
+    """Tracing on is allowed to cost, but not an order of magnitude."""
+    db = _db()
+    off = _median(db)
+    on = _median(
+        db,
+        tracer_factory=lambda: ExecTracer(trace=TraceContext(name="bench")),
+    )
+    ratio = on / off
+    print(f"\ntracing on/off: {on * 1e3:.2f}ms / {off * 1e3:.2f}ms = {ratio:.2f}x")
+    assert ratio < 5.0

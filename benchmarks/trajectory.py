@@ -1,0 +1,294 @@
+"""Benchmark-trajectory regression gate.
+
+The pytest-benchmark suites in this directory measure *claims* (hash
+join beats nested loop, compat dispatch is cheap).  This harness
+measures *trajectory*: a small, fast, self-contained set of headline
+workloads whose medians are snapshotted per PR into the repo as
+``BENCH_PR<N>.json``, so a later PR can ask "did I make the engine
+slower?" without re-deriving a baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/trajectory.py --pr 4
+        # run the workloads, write BENCH_PR4.json next to this script
+
+    PYTHONPATH=src python benchmarks/trajectory.py --check
+        # run the workloads, compare against the latest committed
+        # snapshot; exit 1 on any >25% median regression
+
+    python benchmarks/trajectory.py --check \
+        --candidate new.json --baseline old.json
+        # pure file-vs-file comparison — no engine import, no timing
+
+Snapshots record the median and mean of ``--rounds`` (default 5) runs
+per workload.  The gate is intentionally coarse (25% on a median) so
+that CI noise does not page anyone; it is wired as an allowed-to-fail
+job whose artifact is the candidate snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import re
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+BENCH_DIR = Path(__file__).resolve().parent
+SNAPSHOT_PATTERN = re.compile(r"^BENCH_PR(\d+)\.json$")
+#: Fail the gate when a workload's median grows by more than this.
+REGRESSION_THRESHOLD = 0.25
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+
+def _join_tables(n: int):
+    n_users = max(n // 10, 10)
+    users = [{"uid": i, "name": f"user-{i}"} for i in range(n_users)]
+    orders = [
+        {"oid": i, "user_id": (i * 7) % n_users, "total": (i * 13) % 500}
+        for i in range(n)
+    ]
+    return users, orders
+
+
+JOIN_QUERY = (
+    "SELECT u.uid AS uid, o.oid AS oid, o.total AS total "
+    "FROM users AS u JOIN orders AS o ON o.user_id = u.uid "
+    "WHERE o.total >= 10"
+)
+
+GROUP_QUERY = (
+    "SELECT o.user_id AS uid, COUNT(*) AS n, SUM(o.total) AS spend "
+    "FROM orders AS o GROUP BY o.user_id"
+)
+
+UNNEST_QUERY = (
+    "SELECT r.name AS name, t AS tag "
+    "FROM readings AS r, r.tags AS t WHERE t >= 5"
+)
+
+
+def build_workloads() -> List[Tuple[str, Callable[[], object]]]:
+    """``(name, thunk)`` pairs; each thunk is one timed run.
+
+    Databases are built (and compile caches warmed) *outside* the
+    timed thunk so the medians track execution, the quantity the
+    planner and evaluator PRs actually move.
+    """
+    from repro import Database
+
+    workloads: List[Tuple[str, Callable[[], object]]] = []
+
+    users, orders = _join_tables(2_000)
+    hashed = Database(optimize=True)
+    hashed.set("users", users)
+    hashed.set("orders", orders)
+    hashed.execute(JOIN_QUERY)
+    workloads.append(("e13_hash_join_n2000", lambda: hashed.execute(JOIN_QUERY)))
+
+    small_users, small_orders = _join_tables(300)
+    nested = Database(optimize=False)
+    nested.set("users", small_users)
+    nested.set("orders", small_orders)
+    nested.execute(JOIN_QUERY)
+    workloads.append(
+        ("e13_nested_loop_n300", lambda: nested.execute(JOIN_QUERY))
+    )
+
+    grouping = Database()
+    grouping.set("orders", orders)
+    grouping.execute(GROUP_QUERY)
+    workloads.append(("e07_group_by_n2000", lambda: grouping.execute(GROUP_QUERY)))
+
+    readings = [
+        {"name": f"sensor-{i}", "tags": [(i * j) % 11 for j in range(8)]}
+        for i in range(500)
+    ]
+    unnesting = Database()
+    unnesting.set("readings", readings)
+    unnesting.execute(UNNEST_QUERY)
+    workloads.append(
+        ("e03_unnest_n500", lambda: unnesting.execute(UNNEST_QUERY))
+    )
+
+    # Scan + predicate on the warm compile cache: big enough (~10ms)
+    # that the 25% gate measures the engine, not scheduler jitter.
+    cached = Database()
+    cached.set("orders", orders)
+    filter_query = "SELECT VALUE o.oid FROM orders AS o WHERE o.total > 250"
+    cached.execute(filter_query)
+    workloads.append(
+        ("compile_cache_hit_n2000", lambda: cached.execute(filter_query))
+    )
+
+    return workloads
+
+
+def run_workloads(rounds: int = 5) -> Dict[str, object]:
+    """Time every workload ``rounds`` times; return the snapshot dict."""
+    groups: Dict[str, Dict[str, object]] = {}
+    for name, thunk in build_workloads():
+        samples: List[float] = []
+        for _ in range(rounds):
+            started = time.perf_counter()
+            thunk()
+            samples.append(time.perf_counter() - started)
+        groups[name] = {
+            "median_s": round(statistics.median(samples), 6),
+            "mean_s": round(statistics.fmean(samples), 6),
+            "rounds": rounds,
+        }
+    return {
+        "schema": "repro-bench-trajectory/1",
+        "python": platform.python_version(),
+        "groups": groups,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Snapshot comparison
+# ---------------------------------------------------------------------------
+
+
+def latest_snapshot(directory: Path = BENCH_DIR) -> Optional[Path]:
+    """The committed ``BENCH_PR<N>.json`` with the highest N, if any."""
+    best: Optional[Tuple[int, Path]] = None
+    for path in directory.iterdir():
+        match = SNAPSHOT_PATTERN.match(path.name)
+        if match and (best is None or int(match.group(1)) > best[0]):
+            best = (int(match.group(1)), path)
+    return best[1] if best else None
+
+
+def compare(
+    candidate: Dict[str, object],
+    baseline: Dict[str, object],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> Tuple[List[str], List[str]]:
+    """``(regressions, report_lines)`` for candidate vs baseline.
+
+    Workloads present on only one side are reported but never fail the
+    gate — they are a renamed or newly added workload, not a slowdown.
+    """
+    regressions: List[str] = []
+    lines: List[str] = []
+    cand_groups: Dict[str, dict] = candidate.get("groups", {})  # type: ignore
+    base_groups: Dict[str, dict] = baseline.get("groups", {})  # type: ignore
+    for name in sorted(set(cand_groups) | set(base_groups)):
+        if name not in base_groups:
+            lines.append(f"  new      {name}: no baseline")
+            continue
+        if name not in cand_groups:
+            lines.append(f"  dropped  {name}: not in candidate")
+            continue
+        base = float(base_groups[name]["median_s"])
+        cand = float(cand_groups[name]["median_s"])
+        delta = (cand - base) / base if base else 0.0
+        verdict = "ok"
+        if delta > threshold:
+            verdict = "REGRESSED"
+            regressions.append(
+                f"{name}: median {base * 1e3:.2f}ms -> {cand * 1e3:.2f}ms "
+                f"(+{delta * 100:.0f}%, gate {threshold * 100:.0f}%)"
+            )
+        elif delta < -threshold:
+            verdict = "improved"
+        lines.append(
+            f"  {verdict:<10}{name}: {base * 1e3:8.2f}ms -> "
+            f"{cand * 1e3:8.2f}ms ({delta * +100:+.0f}%)"
+        )
+    return regressions, lines
+
+
+def _load(path: Path) -> Dict[str, object]:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the trajectory workloads and snapshot/compare medians."
+    )
+    parser.add_argument(
+        "--pr", type=int, help="write the snapshot as BENCH_PR<N>.json"
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", help="write the snapshot to an explicit path"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the baseline; exit 1 on any regression",
+    )
+    parser.add_argument(
+        "--candidate",
+        metavar="PATH",
+        help="with --check: compare this snapshot file instead of running",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="with --check: baseline file (default: latest BENCH_PR<N>.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=REGRESSION_THRESHOLD,
+        help="median-regression gate as a fraction (default 0.25)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=5, help="timed runs per workload"
+    )
+    args = parser.parse_args(argv)
+
+    if args.candidate:
+        candidate = _load(Path(args.candidate))
+    else:
+        candidate = run_workloads(rounds=args.rounds)
+
+    out_path: Optional[Path] = None
+    if args.out:
+        out_path = Path(args.out)
+    elif args.pr is not None:
+        out_path = BENCH_DIR / f"BENCH_PR{args.pr}.json"
+    if out_path is not None:
+        with open(out_path, "w") as handle:
+            json.dump(candidate, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {out_path}")
+
+    if not args.check:
+        groups: Dict[str, dict] = candidate["groups"]  # type: ignore
+        for name, stats in sorted(groups.items()):
+            print(f"  {name}: median {stats['median_s'] * 1e3:.2f}ms")
+        return 0
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else latest_snapshot()
+    )
+    if baseline_path is None:
+        print("no committed BENCH_PR<N>.json baseline; nothing to gate")
+        return 0
+    baseline = _load(baseline_path)
+    print(f"baseline: {baseline_path.name}")
+    regressions, lines = compare(candidate, baseline, threshold=args.threshold)
+    print("\n".join(lines))
+    if regressions:
+        print(f"\n{len(regressions)} regression(s):")
+        for regression in regressions:
+            print(f"  {regression}")
+        return 1
+    print("\ntrajectory gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

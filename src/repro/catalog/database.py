@@ -33,7 +33,12 @@ from repro.catalog.catalog import Catalog
 from repro.datamodel.convert import to_python
 from repro.datamodel.values import MISSING, Bag, is_collection
 from repro.errors import ResourceExhausted, SQLPPError
-from repro.observability import ExecTracer, MetricsRegistry, QueryMetrics
+from repro.observability import (
+    ExecTracer,
+    MetricsRegistry,
+    QueryMetrics,
+    TraceContext,
+)
 from repro.syntax import ast
 from repro.syntax.parser import parse
 from repro.syntax.printer import print_ast
@@ -242,13 +247,15 @@ class Database:
         typing_mode: Optional[str] = None,
         sql_compat: Optional[bool] = None,
         metrics: Optional[QueryMetrics] = None,
+        trace: Optional[TraceContext] = None,
     ) -> Tuple[ast.Query, bool]:
         """Compile with cache accounting: ``(core, cache_hit)``.
 
         When a :class:`QueryMetrics` record is supplied, its parse and
         rewrite phase timings are filled in; the registry's
         ``compile_cache_hits``/``compile_cache_misses`` counters are
-        updated either way.
+        updated either way.  With a :class:`TraceContext`, a cache miss
+        additionally records ``parse`` and ``rewrite`` phase spans.
         """
         config = self._effective_config(typing_mode, sql_compat)
         key = (
@@ -275,9 +282,13 @@ class Database:
             catalog_names=self.catalog.names(),
             schema_attrs=self._schema_attrs(),
         )
+        rewritten_at = perf_counter()
         if metrics is not None:
             metrics.parse_s = parsed_at - started
-            metrics.rewrite_s = perf_counter() - parsed_at
+            metrics.rewrite_s = rewritten_at - parsed_at
+        if trace is not None:
+            trace.event("parse", "phase", started, parsed_at - started)
+            trace.event("rewrite", "phase", parsed_at, rewritten_at - parsed_at)
         self._compile_cache[key] = core
         if len(self._compile_cache) > self.COMPILE_CACHE_SIZE:
             self._compile_cache.popitem(last=False)
@@ -317,17 +328,33 @@ class Database:
             typing_mode, sql_compat, optimize, timeout_s, max_rows, max_recursion
         )
         metrics = QueryMetrics(query=query)
+        trace = tracer.trace if tracer is not None else None
+        root = (
+            trace.begin("query", category="query")
+            if trace is not None
+            else None
+        )
         started = perf_counter()
+        evaluator: Optional[Evaluator] = None
         try:
             core, __ = self._compile_profiled(
-                query, typing_mode, sql_compat, metrics=metrics
+                query, typing_mode, sql_compat, metrics=metrics, trace=trace
             )
             evaluator = Evaluator(
                 self.catalog, config, parameters=parameters, tracer=tracer
             )
             execute_started = perf_counter()
-            result = evaluator.execute(core, Environment())
-            metrics.execute_s = perf_counter() - execute_started
+            execute_span = (
+                trace.begin("execute", category="phase")
+                if trace is not None
+                else None
+            )
+            try:
+                result = evaluator.execute(core, Environment())
+            finally:
+                if execute_span is not None:
+                    trace.end(execute_span)
+                metrics.execute_s = perf_counter() - execute_started
             if is_collection(result):
                 metrics.rows_returned = len(result)
         except ResourceExhausted as error:
@@ -339,9 +366,11 @@ class Database:
             metrics.error = str(error)
             raise
         finally:
-            if tracer is not None:
-                metrics.plan_s = tracer.plan_time_s
+            if evaluator is not None:
+                metrics.plan_s = evaluator.plan_time_s
             metrics.total_s = perf_counter() - started
+            if root is not None:
+                trace.end(root, {"status": metrics.status})
             self.metrics.record(metrics)
         if missing_as_null:
             result = _missing_to_null(result)
@@ -489,6 +518,73 @@ class Database:
         if is_collection(result):
             lines.append(f"rows returned: {len(result)}")
         return "\n".join(lines)
+
+    def trace(
+        self,
+        query: str,
+        parameters: Optional[Sequence[Any]] = None,
+        typing_mode: Optional[str] = None,
+        sql_compat: Optional[bool] = None,
+        optimize: Optional[bool] = None,
+        timeout_s: Optional[float] = None,
+        max_rows: Optional[int] = None,
+        max_recursion: Optional[int] = None,
+        context: Optional[TraceContext] = None,
+    ) -> TraceContext:
+        """Execute the query and return its structured span trace.
+
+        The returned :class:`~repro.observability.TraceContext` holds
+        one span tree for the run — the ``query`` root, the
+        ``parse``/``rewrite``/``plan``/``execute`` phases, every
+        physical plan operator (or reference nested-loop FROM item) and
+        every clause-pipeline stage — exportable via
+        ``to_chrome_trace()`` (Perfetto / ``chrome://tracing``),
+        ``to_collapsed()`` (flamegraph.pl / speedscope) and
+        ``format_tree()`` (the REPL's ``.trace``).
+
+        The query really runs (same semantics, limits and metrics
+        recording as ``execute``); pass ``context`` to accumulate
+        several queries into one trace, as ``--trace-out`` does.
+        Errors propagate exactly as from ``execute`` — pass your own
+        ``context`` when you want to keep the partial trace of a
+        failing query.
+        """
+        trace_context = (
+            context if context is not None else TraceContext(name=query[:120])
+        )
+        tracer = ExecTracer(trace=trace_context)
+        self.execute(
+            query,
+            parameters=parameters,
+            typing_mode=typing_mode,
+            sql_compat=sql_compat,
+            optimize=optimize,
+            timeout_s=timeout_s,
+            max_rows=max_rows,
+            max_recursion=max_recursion,
+            tracer=tracer,
+        )
+        return trace_context
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release observability resources (open sink file handles).
+
+        Queries remain executable afterwards — a JSON-lines sink
+        reopens its file on the next record — so ``close`` is about
+        flushing and releasing descriptors, not ending the database's
+        life.  Idempotent.
+        """
+        self.metrics.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Data formats

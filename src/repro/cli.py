@@ -17,7 +17,9 @@ REPL dot-commands::
     .explain <query>               show the rewritten Core query
     .plan <query>                  show the physical plan (same as EXPLAIN)
     .analyze <query>               run and show the annotated plan
+    .trace <query>                 run and show the structured span tree
     .stats                         show session metrics counters
+    .metrics                       show Prometheus-format metrics text
     .schema <name> <ddl>           impose a schema on a named value
     .quit
 
@@ -29,6 +31,11 @@ annotates every operator with its invocation count, rows in/out and
 wall time (see docs/OBSERVABILITY.md); ``--stats`` prints per-query
 phase timings, and ``--timeout`` / ``--max-rows`` / ``--max-recursion``
 stop runaway queries with a partial-progress report instead of a hang.
+
+``--trace-out FILE`` records a structured span trace of every executed
+query and writes one Chrome trace-event JSON file at exit (load it in
+Perfetto or ``chrome://tracing``); ``--metrics-out FILE`` writes the
+session's metrics in Prometheus text format at exit.
 """
 
 from __future__ import annotations
@@ -90,6 +97,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         metavar="N",
         help="stop any query nesting subqueries deeper than N",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="record structured spans for every executed query and "
+        "write a Chrome trace-event JSON file (Perfetto-loadable) "
+        "to PATH at exit",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write session metrics in Prometheus text format to PATH "
+        "at exit",
     )
     parser.add_argument(
         "--slow-log",
@@ -162,12 +182,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(f"--load expects NAME=PATH, got {spec!r}")
         db.load(name, path)
 
-    if args.command:
-        return _run_text(db, args.command, stats=args.stats)
-    if args.script:
-        with open(args.script) as handle:
-            return _run_text(db, handle.read(), stats=args.stats)
-    return _repl(db, stats=args.stats)
+    trace_context = None
+    if args.trace_out:
+        from repro.observability import TraceContext
+
+        trace_context = TraceContext(name="sqlpp-session")
+    try:
+        if args.command:
+            return _run_text(
+                db, args.command, stats=args.stats, trace=trace_context
+            )
+        if args.script:
+            with open(args.script) as handle:
+                return _run_text(
+                    db, handle.read(), stats=args.stats, trace=trace_context
+                )
+        return _repl(db, stats=args.stats, trace=trace_context)
+    finally:
+        if trace_context is not None:
+            trace_context.write_chrome_trace(args.trace_out)
+        if args.metrics_out:
+            with open(args.metrics_out, "w") as handle:
+                handle.write(db.metrics.expose_text())
+        db.close()
 
 
 _EXPLAIN_PREFIX = re.compile(r"^\s*EXPLAIN(\s+ANALYZE)?\b", re.IGNORECASE)
@@ -201,7 +238,16 @@ def _report_exhausted(exc: ResourceExhausted, stream) -> None:
     )
 
 
-def _run_text(db: Database, text: str, stats: bool = False) -> int:
+def _session_tracer(trace):
+    """A fresh per-query ExecTracer feeding the session trace, or None."""
+    if trace is None:
+        return None
+    from repro.observability import ExecTracer
+
+    return ExecTracer(trace=trace)
+
+
+def _run_text(db: Database, text: str, stats: bool = False, trace=None) -> int:
     from repro.syntax.parser import parse_script
 
     explained = _strip_explain(text)
@@ -230,7 +276,13 @@ def _run_text(db: Database, text: str, stats: bool = False) -> int:
         from repro.syntax.printer import print_ast
 
         try:
-            print(dumps(db.execute(print_ast(query))))
+            print(
+                dumps(
+                    db.execute(
+                        print_ast(query), tracer=_session_tracer(trace)
+                    )
+                )
+            )
         except ResourceExhausted as exc:
             _report_exhausted(exc, sys.stderr)
             status = 1
@@ -242,7 +294,7 @@ def _run_text(db: Database, text: str, stats: bool = False) -> int:
     return status
 
 
-def _repl(db: Database, stats: bool = False) -> int:
+def _repl(db: Database, stats: bool = False, trace=None) -> int:
     print(f"sqlpp {__version__} — type .help for commands, .quit to exit")
     buffer: List[str] = []
     while True:
@@ -276,7 +328,7 @@ def _repl(db: Database, stats: bool = False) -> int:
                     else:
                         print(db.explain_plan(query))
                 else:
-                    print(dumps(db.execute(text)))
+                    print(dumps(db.execute(text, tracer=_session_tracer(trace))))
                     if stats:
                         _print_stats(db)
             except ResourceExhausted as exc:
@@ -339,8 +391,12 @@ def _dot_command(db: Database, line: str) -> bool:
             print(db.explain_plan(line.split(None, 1)[1]))
         elif command == ".analyze" and len(parts) >= 2:
             print(db.explain_analyze(line.split(None, 1)[1]))
+        elif command == ".trace" and len(parts) >= 2:
+            print(db.trace(line.split(None, 1)[1]).format_tree())
         elif command == ".stats":
             print(db.metrics.format_snapshot())
+        elif command == ".metrics":
+            print(db.metrics.expose_text(), end="")
         else:
             print(f"unknown command {command!r}; try .help")
     except (SQLPPError, OSError) as exc:

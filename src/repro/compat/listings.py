@@ -170,12 +170,32 @@ def _data_case(case_id: str, section: str, title: str, name: str, literal: str):
     )
 
 
-_data_case("L1", "II", "hr.emp_nest_tuples collection", "hr.emp_nest_tuples", EMP_NEST_TUPLES)
-_data_case("L3", "III-A", "hr.emp_nest_scalars collection", "hr.emp_nest_scalars", EMP_NEST_SCALARS)
+_data_case(
+    "L1", "II", "hr.emp_nest_tuples collection", "hr.emp_nest_tuples", EMP_NEST_TUPLES
+)
+_data_case(
+    "L3",
+    "III-A",
+    "hr.emp_nest_scalars collection",
+    "hr.emp_nest_scalars",
+    EMP_NEST_SCALARS,
+)
 _data_case("L6", "IV-A", "hr.emp_null collection (NULL title)", "hr.emp_null", EMP_NULL)
-_data_case("L7", "IV-A", "hr.emp_missing collection (absent title)", "hr.emp_missing", EMP_MISSING)
+_data_case(
+    "L7",
+    "IV-A",
+    "hr.emp_missing collection (absent title)",
+    "hr.emp_missing",
+    EMP_MISSING,
+)
 _data_case("L19", "VI-A", "closing_prices collection", "closing_prices", CLOSING_PRICES)
-_data_case("L23", "VI-B", "today_stock_prices collection", "today_stock_prices", TODAY_STOCK_PRICES)
+_data_case(
+    "L23",
+    "VI-B",
+    "today_stock_prices collection",
+    "today_stock_prices",
+    TODAY_STOCK_PRICES,
+)
 _data_case("L27", "VI-B", "stock_prices collection", "stock_prices", STOCK_PRICES)
 
 # =========================================================================

@@ -1,4 +1,12 @@
-"""Execute conformance cases against the engine."""
+"""Execute conformance cases against the engine.
+
+Every case run also produces perf evidence: the fresh per-case
+database's :class:`~repro.observability.QueryMetrics` record (phase
+timings, cache verdict) is attached to the :class:`CaseResult`, and
+``collect_trace=True`` additionally captures a structured span trace
+per case — so one conformance sweep doubles as a timing corpus for the
+report and the trajectory harness.
+"""
 
 from __future__ import annotations
 
@@ -12,6 +20,7 @@ from repro.compat.corpus import ConformanceCase, all_cases
 from repro.datamodel.equality import deep_equals
 from repro.datamodel.values import Bag
 from repro.formats.sqlpp_text import loads
+from repro.observability import ExecTracer, QueryMetrics, TraceContext
 
 
 @dataclass
@@ -24,6 +33,11 @@ class CaseResult:
     expected: Any = None
     error: Optional[str] = None
     elapsed_s: float = 0.0
+    #: The per-query observability record (phase timings, cache
+    #: verdict, status) of the case's execution.
+    metrics: Optional[QueryMetrics] = None
+    #: Structured spans for the case (``collect_trace=True`` only).
+    trace: Optional[TraceContext] = None
 
 
 def build_database(case: ConformanceCase) -> Database:
@@ -34,21 +48,34 @@ def build_database(case: ConformanceCase) -> Database:
     return db
 
 
-def run_case(case: ConformanceCase) -> CaseResult:
+def run_case(case: ConformanceCase, collect_trace: bool = False) -> CaseResult:
     """Run one case and compare against its expectation."""
     started = time.perf_counter()
     db = build_database(case)
+    trace: Optional[TraceContext] = None
+    tracer: Optional[ExecTracer] = None
+    if collect_trace:
+        trace = TraceContext(name=case.case_id)
+        tracer = ExecTracer(trace=trace)
     try:
-        actual = db.execute(case.query)
+        actual = db.execute(case.query, tracer=tracer)
     except errors.SQLPPError as exc:
         elapsed = time.perf_counter() - started
         if case.expect_error and type(exc).__name__ == case.expect_error:
-            return CaseResult(case=case, passed=True, elapsed_s=elapsed)
+            return CaseResult(
+                case=case,
+                passed=True,
+                elapsed_s=elapsed,
+                metrics=db.metrics.last,
+                trace=trace,
+            )
         return CaseResult(
             case=case,
             passed=False,
             error=f"{type(exc).__name__}: {exc}",
             elapsed_s=elapsed,
+            metrics=db.metrics.last,
+            trace=trace,
         )
     elapsed = time.perf_counter() - started
     if case.expect_error:
@@ -58,6 +85,8 @@ def run_case(case: ConformanceCase) -> CaseResult:
             actual=actual,
             error=f"expected {case.expect_error}, query succeeded",
             elapsed_s=elapsed,
+            metrics=db.metrics.last,
+            trace=trace,
         )
     expected = loads(case.expected) if case.expected is not None else None
     passed = _results_equal(actual, expected, ordered=case.ordered)
@@ -67,6 +96,8 @@ def run_case(case: ConformanceCase) -> CaseResult:
         actual=actual,
         expected=expected,
         elapsed_s=elapsed,
+        metrics=db.metrics.last,
+        trace=trace,
     )
 
 
@@ -89,6 +120,10 @@ def _results_equal(actual: Any, expected: Any, ordered: bool) -> bool:
 
 def run_cases(
     cases: Optional[Sequence[ConformanceCase]] = None,
+    collect_traces: bool = False,
 ) -> List[CaseResult]:
     """Run many cases (default: the whole kit) in registration order."""
-    return [run_case(case) for case in (cases if cases is not None else all_cases())]
+    return [
+        run_case(case, collect_trace=collect_traces)
+        for case in (cases if cases is not None else all_cases())
+    ]

@@ -82,6 +82,12 @@ class Evaluator:
         self._plans: Dict[int, Any] = {}
         #: Optional ExecTracer collecting EXPLAIN ANALYZE statistics.
         self.tracer = tracer
+        #: Wall time spent in the physical planner, or None when the
+        #: planner never ran for this execution (reference pipeline,
+        #: strict mode).  Always measured — planning happens once per
+        #: block per evaluator, never per binding — so `plan:` phase
+        #: reporting does not depend on a tracer being attached.
+        self.plan_time_s: Optional[float] = None
         #: Cooperative limit enforcement; None when the config sets no
         #: limits, so the hot paths pay a single identity check.
         self.governor = ResourceGovernor.for_config(self.config)
@@ -278,12 +284,21 @@ class Evaluator:
         # plan (hash joins, pushed-down predicates — docs/PLANNER.md);
         # ``optimize=False`` is the executable reference semantics.
         tracer = self.tracer
+        trace = tracer.trace if tracer is not None else None
         mark = perf_counter() if tracer is not None else 0.0
 
         def record(stage: str, rows_in: int, rows_out: int) -> None:
             nonlocal mark
             now = perf_counter()
             tracer.record_stage(block, stage, rows_in, rows_out, now - mark)
+            if trace is not None:
+                trace.event(
+                    stage,
+                    "stage",
+                    mark,
+                    now - mark,
+                    {"rows_in": rows_in, "rows_out": rows_out},
+                )
             mark = now
 
         var_order: List[str] = []
@@ -394,10 +409,12 @@ class Evaluator:
         if entry is None:
             from repro.core.planner import plan_block
 
-            started = perf_counter() if self.tracer is not None else 0.0
+            started = perf_counter()
             entry = (block, plan_block(block, self.config))
-            if self.tracer is not None:
-                self.tracer.plan_time_s += perf_counter() - started
+            elapsed = perf_counter() - started
+            self.plan_time_s = (self.plan_time_s or 0.0) + elapsed
+            if self.tracer is not None and self.tracer.trace is not None:
+                self.tracer.trace.event("plan", "phase", started, elapsed)
             self._plans[id(block)] = entry
         if self.tracer is not None and entry[1] is not None:
             self.tracer.register_plan(block, entry[1])
@@ -440,12 +457,19 @@ class Evaluator:
         governor = self.governor
         if tracer is None and governor is None:
             return self._item_bindings_impl(item, env)
+        span = None
+        if tracer is not None and tracer.trace is not None:
+            from repro.observability.tracer import describe_from_item
+
+            span = tracer.trace.begin(describe_from_item(item), "item")
         started = perf_counter() if tracer is not None else 0.0
         rows = self._item_bindings_impl(item, env)
         if governor is not None:
             governor.add(len(rows))
         if tracer is not None:
             tracer.record_item(item, len(rows), perf_counter() - started)
+            if span is not None:
+                tracer.trace.end(span, {"rows_out": len(rows)})
         return rows
 
     def _item_bindings_impl(

@@ -77,10 +77,19 @@ class PlanOp:
         tracer = evaluator.tracer
         if tracer is None:
             return self._filtered(evaluator, env, self._produce(evaluator, env))
+        trace = tracer.trace
+        span = (
+            trace.begin(self.describe(), "operator")
+            if trace is not None
+            else None
+        )
         started = perf_counter()
         produced = self._produce(evaluator, env)
         rows = self._filtered(evaluator, env, produced)
-        tracer.record_op(self, len(produced), len(rows), perf_counter() - started)
+        elapsed = perf_counter() - started
+        if span is not None:
+            trace.end(span, {"rows_in": len(produced), "rows_out": len(rows)})
+        tracer.record_op(self, len(produced), len(rows), elapsed)
         return rows
 
     def _produce(

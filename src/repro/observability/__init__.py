@@ -1,21 +1,27 @@
 """Runtime observability and resource governance (docs/OBSERVABILITY.md).
 
-Three cooperating pieces, all optional and zero-cost when unused:
+Cooperating pieces, all optional and zero-cost when unused:
 
 * :class:`ExecTracer` — per-operator/per-stage runtime statistics for
   ``EXPLAIN ANALYZE`` (rows in/out, invocation counts, wall time);
+* :class:`TraceContext` / :class:`Span` — structured spans with parent
+  links for one traced run, exportable as Chrome trace-event JSON and
+  collapsed-stack text (``db.trace``, ``--trace-out``);
 * :class:`QueryMetrics` / :class:`MetricsRegistry` — per-phase timings,
-  compile-cache counters and pluggable sinks (in-memory ring buffer,
-  JSON-lines slow-query log);
+  compile-cache counters, latency :class:`Histogram`\\ s, Prometheus
+  text exposition (``expose_text``) and pluggable sinks (in-memory
+  ring buffer, JSON-lines slow-query log);
 * :class:`ResourceGovernor` — cooperative enforcement of the
   ``timeout_s`` / ``max_rows`` / ``max_recursion`` limits on
   :class:`~repro.config.EvalConfig`, raising
   :class:`~repro.errors.ResourceExhausted` instead of hanging.
 """
 
+from repro.observability.exposition import DEFAULT_BUCKETS, Histogram
 from repro.observability.limits import ResourceGovernor
 from repro.observability.metrics import MetricsRegistry, QueryMetrics
 from repro.observability.sinks import InMemorySink, JsonLinesSink
+from repro.observability.spans import Span, TraceContext
 from repro.observability.tracer import (
     ExecTracer,
     OpStats,
@@ -24,13 +30,17 @@ from repro.observability.tracer import (
 )
 
 __all__ = [
+    "DEFAULT_BUCKETS",
     "ExecTracer",
+    "Histogram",
     "InMemorySink",
     "JsonLinesSink",
     "MetricsRegistry",
     "OpStats",
     "QueryMetrics",
     "ResourceGovernor",
+    "Span",
+    "TraceContext",
     "describe_from_item",
     "format_seconds",
 ]

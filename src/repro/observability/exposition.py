@@ -1,0 +1,161 @@
+"""Prometheus-style metric exposition: histograms and the text format.
+
+Two pieces:
+
+* :class:`Histogram` — a fixed-bucket latency histogram.  Buckets are
+  log-spaced (each bound 2.5× the previous, 10 µs .. ~9 s), chosen
+  once at import so every histogram in the process shares the same
+  grid and exposed series are comparable across phases and databases.
+  ``observe`` is two integer increments and one float add; thread
+  safety is the caller's concern (:class:`~repro.observability.metrics
+  .MetricsRegistry` holds its lock around the whole record path).
+* The ``expose_*`` renderers — produce the Prometheus text exposition
+  format (version 0.0.4): ``# HELP`` / ``# TYPE`` headers followed by
+  ``name{labels} value`` samples.  Histograms render the conventional
+  cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+
+Nothing here imports anything heavier than :mod:`bisect`; the engine
+stays dependency-free and an actual Prometheus server is optional —
+the text format is also trivially parseable by tests and ad-hoc
+tooling, which is the point of exposing it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Shared log-spaced bucket upper bounds, in seconds: 10 µs growing by
+#: 2.5× per bucket up to ~9.3 s.  16 finite buckets + implicit +Inf.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    1e-5 * (2.5**exponent) for exponent in range(16)
+)
+
+
+class Histogram:
+    """A fixed-bucket histogram of non-negative observations."""
+
+    __slots__ = ("buckets", "counts", "inf_count", "sum", "count")
+
+    def __init__(self, buckets: Optional[Iterable[float]] = None):
+        self.buckets: Tuple[float, ...] = tuple(buckets or DEFAULT_BUCKETS)
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        #: Per-bucket (non-cumulative) observation counts.
+        self.counts: List[int] = [0] * len(self.buckets)
+        #: Observations above the last finite bound.
+        self.inf_count = 0
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        if index == len(self.buckets):
+            self.inf_count += 1
+        else:
+            self.counts[index] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """``(le-label, cumulative-count)`` pairs, ending with +Inf."""
+        pairs: List[Tuple[str, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            running += bucket_count
+            pairs.append((format_bound(bound), running))
+        pairs.append(("+Inf", self.count))
+        return pairs
+
+    def quantile(self, fraction: float) -> float:
+        """A bucket-resolution quantile estimate (upper bound of the
+        bucket containing the target rank); 0.0 on an empty histogram."""
+        if self.count == 0:
+            return 0.0
+        target = max(1, int(fraction * self.count + 0.5))
+        running = 0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            running += bucket_count
+            if running >= target:
+                return bound
+        return float("inf")
+
+
+def format_bound(bound: float) -> str:
+    """A bucket bound as a Prometheus ``le`` value (shortest float
+    form; no exponent noise for the common millisecond range)."""
+    text = f"{bound:.10f}".rstrip("0")
+    if text.endswith("."):
+        text += "0"
+    return text
+
+
+def escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{escape_label_value(str(value))}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def expose_counter(
+    name: str,
+    help_text: str,
+    samples: Iterable[Tuple[Dict[str, str], Any]],
+) -> List[str]:
+    """HELP/TYPE header plus one sample line per ``(labels, value)``."""
+    lines = [f"# HELP {name} {help_text}", f"# TYPE {name} counter"]
+    for labels, value in samples:
+        lines.append(f"{name}{format_labels(labels)} {format_value(value)}")
+    return lines
+
+
+def expose_gauge(
+    name: str,
+    help_text: str,
+    samples: Iterable[Tuple[Dict[str, str], Any]],
+) -> List[str]:
+    lines = [f"# HELP {name} {help_text}", f"# TYPE {name} gauge"]
+    for labels, value in samples:
+        lines.append(f"{name}{format_labels(labels)} {format_value(value)}")
+    return lines
+
+
+def expose_histogram(
+    name: str,
+    help_text: str,
+    series: Dict[str, "Histogram"],
+    label_name: str = "phase",
+) -> List[str]:
+    """One histogram metric family with one labelled series per entry.
+
+    Renders the conventional cumulative ``_bucket`` samples (the +Inf
+    bucket equals ``_count``), then ``_sum`` and ``_count`` per series.
+    """
+    lines = [f"# HELP {name} {help_text}", f"# TYPE {name} histogram"]
+    for label_value in sorted(series):
+        histogram = series[label_value]
+        base = {label_name: label_value}
+        for le, cumulative_count in histogram.cumulative():
+            labels = format_labels({**base, "le": le})
+            lines.append(f"{name}_bucket{labels} {cumulative_count}")
+        labels = format_labels(base)
+        lines.append(f"{name}_sum{labels} {format_value(histogram.sum)}")
+        lines.append(f"{name}_count{labels} {histogram.count}")
+    return lines

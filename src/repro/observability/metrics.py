@@ -4,22 +4,44 @@ Every ``Database.execute``/``explain_analyze`` call produces one
 :class:`QueryMetrics` record — per-phase wall times for the query
 pipeline (parse, rewrite, plan, execute), compile-cache hit/miss, result
 cardinality and outcome — and feeds it to a :class:`MetricsRegistry`,
-which maintains monotonic counters and fans the record out to its sinks
-(:mod:`repro.observability.sinks`).
+which maintains monotonic counters, per-phase latency
+:class:`~repro.observability.exposition.Histogram`\\ s, and fans the
+record out to its sinks (:mod:`repro.observability.sinks`).
 
-This is the instrumentation spine later scaling work (sharding, async
-execution, multi-backend dispatch) hangs its counters off: a new
-subsystem adds counter names, not a new mechanism.
+The registry's mutation path (``record`` / ``increment``) is guarded by
+a single :class:`threading.Lock`, so one ``Database`` can serve queries
+from many threads and ``queries_total`` stays exact; the per-query hot
+path takes the lock once, after the query has finished.
+
+:meth:`MetricsRegistry.expose_text` renders everything in the
+Prometheus text exposition format (``repro_queries_total``,
+``repro_query_seconds_bucket{phase=...}``, compile-cache verdicts), so
+a scrape endpoint or the CLI's ``--metrics-out`` is a file write, not a
+new mechanism.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.observability.exposition import (
+    Histogram,
+    expose_counter,
+    expose_histogram,
+)
 from repro.observability.sinks import InMemorySink
 from repro.observability.tracer import format_seconds
+
+#: Query text beyond this many characters is truncated in serialized
+#: records (sinks write every query; an unbounded generated query must
+#: not turn the slow-query log into a second copy of the data).
+QUERY_TEXT_LIMIT = 2048
+
+#: The pipeline phases a latency histogram is kept for.
+PHASES = ("parse", "rewrite", "plan", "execute", "total")
 
 
 @dataclass
@@ -34,7 +56,12 @@ class QueryMetrics:
     cache_hit: bool = False
     parse_s: float = 0.0
     rewrite_s: float = 0.0
-    plan_s: float = 0.0
+    #: Planner wall time; ``None`` means the planner never ran (the
+    #: reference pipeline, strict mode, or a plan-cache hit with no
+    #: planning work).  ``0.0`` is a real measurement — without the
+    #: sentinel a fast planned query was indistinguishable from
+    #: "planner off".
+    plan_s: Optional[float] = None
     execute_s: float = 0.0
     total_s: float = 0.0
     #: Top-level result cardinality (None for scalar/error results).
@@ -43,15 +70,21 @@ class QueryMetrics:
     started_at: float = field(default_factory=time.time)
 
     def to_dict(self) -> Dict[str, Any]:
-        """A JSON-ready representation (used by the JSON-lines sink)."""
+        """A JSON-ready representation (used by the JSON-lines sink).
+
+        Query text is truncated to :data:`QUERY_TEXT_LIMIT` characters,
+        with ``query_truncated`` flagging when it happened.
+        """
+        truncated = len(self.query) > QUERY_TEXT_LIMIT
         return {
-            "query": self.query,
+            "query": self.query[:QUERY_TEXT_LIMIT],
+            "query_truncated": truncated,
             "status": self.status,
             "error": self.error,
             "cache_hit": self.cache_hit,
             "parse_s": round(self.parse_s, 6),
             "rewrite_s": round(self.rewrite_s, 6),
-            "plan_s": round(self.plan_s, 6),
+            "plan_s": round(self.plan_s, 6) if self.plan_s is not None else None,
             "execute_s": round(self.execute_s, 6),
             "total_s": round(self.total_s, 6),
             "rows_returned": self.rows_returned,
@@ -66,15 +99,41 @@ class QueryMetrics:
             f"rewrite:  {format_seconds(self.rewrite_s)}  "
             f"(compile cache: {cache})",
         ]
-        if self.plan_s:
+        if self.plan_s is not None:
             lines.append(f"plan:     {format_seconds(self.plan_s)}")
         lines.append(f"execute:  {format_seconds(self.execute_s)}")
         lines.append(f"total:    {format_seconds(self.total_s)}")
         return lines
 
 
+#: counter name → (exposed metric name, help text).
+_COUNTER_METRICS = {
+    "queries_total": (
+        "repro_queries_total",
+        "Queries executed (any outcome).",
+    ),
+    "queries_failed": (
+        "repro_queries_failed_total",
+        "Queries that raised a SQL++ error.",
+    ),
+    "queries_resource_exhausted": (
+        "repro_queries_resource_exhausted_total",
+        "Queries stopped by a resource limit.",
+    ),
+    "rows_returned_total": (
+        "repro_rows_returned_total",
+        "Top-level result rows returned by successful queries.",
+    ),
+}
+
+
 class MetricsRegistry:
-    """Monotonic counters plus a fan-out of per-query records to sinks."""
+    """Counters, latency histograms and a fan-out of per-query records.
+
+    All mutation goes through one :class:`threading.Lock`; reads used
+    by tests and the REPL (``snapshot``, ``expose_text``) take the same
+    lock so they observe a consistent point in time.
+    """
 
     def __init__(self, sinks: Optional[List[Any]] = None):
         self.counters: Dict[str, int] = {
@@ -85,44 +144,126 @@ class MetricsRegistry:
             "compile_cache_hits": 0,
             "compile_cache_misses": 0,
         }
+        #: Per-phase latency histograms (shared log-spaced buckets).
+        self.histograms: Dict[str, Histogram] = {
+            phase: Histogram() for phase in PHASES
+        }
         self.memory = InMemorySink()
         self.sinks: List[Any] = [self.memory] + list(sinks or [])
         self.last: Optional[QueryMetrics] = None
+        self._lock = threading.Lock()
 
     def increment(self, name: str, by: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + by
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + by
 
     def record(self, metrics: QueryMetrics) -> None:
-        """Fold one finished query into counters and sinks."""
-        self.increment("queries_total")
-        if metrics.status == "error":
-            self.increment("queries_failed")
-        elif metrics.status == "resource_exhausted":
-            self.increment("queries_resource_exhausted")
-        if metrics.rows_returned is not None:
-            self.increment("rows_returned_total", metrics.rows_returned)
-        self.last = metrics
-        for sink in self.sinks:
-            sink.emit(metrics)
+        """Fold one finished query into counters, histograms and sinks.
+
+        One lock acquisition covers the whole fold, so concurrent
+        recorders cannot interleave a counter bump with a histogram
+        observation and every sink sees records one at a time.
+        """
+        with self._lock:
+            counters = self.counters
+            counters["queries_total"] += 1
+            if metrics.status == "error":
+                counters["queries_failed"] += 1
+            elif metrics.status == "resource_exhausted":
+                counters["queries_resource_exhausted"] += 1
+            if metrics.rows_returned is not None:
+                counters["rows_returned_total"] += metrics.rows_returned
+            histograms = self.histograms
+            histograms["parse"].observe(metrics.parse_s)
+            histograms["rewrite"].observe(metrics.rewrite_s)
+            if metrics.plan_s is not None:
+                histograms["plan"].observe(metrics.plan_s)
+            histograms["execute"].observe(metrics.execute_s)
+            histograms["total"].observe(metrics.total_s)
+            self.last = metrics
+            for sink in self.sinks:
+                sink.emit(metrics)
+
+    def close(self) -> None:
+        """Release sink resources (open log files); safe to call twice."""
+        with self._lock:
+            for sink in self.sinks:
+                close = getattr(sink, "close", None)
+                if close is not None:
+                    close()
 
     def snapshot(self) -> Dict[str, Any]:
         """A point-in-time view: counters plus the last query's record."""
-        return {
-            "counters": dict(self.counters),
-            "last_query": self.last.to_dict() if self.last else None,
-        }
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "last_query": self.last.to_dict() if self.last else None,
+            }
 
     def format_snapshot(self) -> str:
         """Human-readable form of :meth:`snapshot` (REPL ``.stats``)."""
-        lines = ["counters:"]
-        for name in sorted(self.counters):
-            lines.append(f"  {name}: {self.counters[name]}")
-        if self.last is not None:
-            lines.append("last query:")
-            lines.append(f"  status: {self.last.status}")
-            if self.last.error:
-                lines.append(f"  error: {self.last.error}")
-            if self.last.rows_returned is not None:
-                lines.append(f"  rows: {self.last.rows_returned}")
-            lines.extend("  " + line for line in self.last.format_phases())
-        return "\n".join(lines)
+        with self._lock:
+            lines = ["counters:"]
+            for name in sorted(self.counters):
+                lines.append(f"  {name}: {self.counters[name]}")
+            if self.last is not None:
+                lines.append("last query:")
+                lines.append(f"  status: {self.last.status}")
+                if self.last.error:
+                    lines.append(f"  error: {self.last.error}")
+                if self.last.rows_returned is not None:
+                    lines.append(f"  rows: {self.last.rows_returned}")
+                lines.extend("  " + line for line in self.last.format_phases())
+            return "\n".join(lines)
+
+    def expose_text(self) -> str:
+        """The registry in Prometheus text exposition format (0.0.4).
+
+        Every line is a ``# HELP``/``# TYPE`` header or a
+        ``name{labels} value`` sample; ends with a trailing newline as
+        the format requires.
+        """
+        with self._lock:
+            lines: List[str] = []
+            for counter_name, (metric, help_text) in _COUNTER_METRICS.items():
+                lines.extend(
+                    expose_counter(
+                        metric, help_text, [({}, self.counters[counter_name])]
+                    )
+                )
+            lines.extend(
+                expose_counter(
+                    "repro_compile_cache_requests_total",
+                    "Compile-cache lookups by result.",
+                    [
+                        ({"result": "hit"}, self.counters["compile_cache_hits"]),
+                        (
+                            {"result": "miss"},
+                            self.counters["compile_cache_misses"],
+                        ),
+                    ],
+                )
+            )
+            extra = sorted(
+                name
+                for name in self.counters
+                if name not in _COUNTER_METRICS
+                and name not in ("compile_cache_hits", "compile_cache_misses")
+            )
+            for name in extra:
+                lines.extend(
+                    expose_counter(
+                        f"repro_{name}",
+                        f"Ad-hoc counter {name}.",
+                        [({}, self.counters[name])],
+                    )
+                )
+            lines.extend(
+                expose_histogram(
+                    "repro_query_seconds",
+                    "Query pipeline wall time by phase, in seconds.",
+                    self.histograms,
+                    label_name="phase",
+                )
+            )
+            return "\n".join(lines) + "\n"

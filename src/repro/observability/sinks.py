@@ -10,14 +10,16 @@ Two built-ins cover the common deployments:
 
 Anything with an ``emit(metrics)`` method is a valid sink, so embedders
 can forward metrics to statsd/OTel/etc. without this package growing
-those dependencies.
+those dependencies.  A sink may additionally provide ``close()``;
+:meth:`MetricsRegistry.close` (and therefore ``Database.close``) calls
+it on teardown.
 """
 
 from __future__ import annotations
 
 import json
 from collections import deque
-from typing import Deque, List, TYPE_CHECKING
+from typing import Deque, List, Optional, TextIO, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.observability.metrics import QueryMetrics
@@ -43,15 +45,30 @@ class JsonLinesSink:
     whose total wall time reaches the threshold are written (errors and
     resource-exhausted queries are always written — those are exactly
     the ones an operator wants to see).
+
+    The file handle is opened lazily on the first written record and
+    kept open across emits (reopening per record made every logged
+    query pay an open/close syscall pair); each record is flushed so a
+    crashed process loses nothing.  ``close()`` releases the handle —
+    ``Database.close()`` does this for registry-attached sinks — and a
+    later emit transparently reopens it.
     """
 
     def __init__(self, path: str, threshold_s: float = 0.0):
         self.path = path
         self.threshold_s = threshold_s
+        self._handle: Optional[TextIO] = None
 
     def emit(self, metrics: "QueryMetrics") -> None:
         if metrics.status == "ok" and metrics.total_s < self.threshold_s:
             return
-        with open(self.path, "a") as handle:
-            handle.write(json.dumps(metrics.to_dict(), sort_keys=True))
-            handle.write("\n")
+        if self._handle is None:
+            self._handle = open(self.path, "a")
+        self._handle.write(json.dumps(metrics.to_dict(), sort_keys=True))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

@@ -13,6 +13,12 @@ per clause-pipeline stage:
 * **wall time** — inclusive of children, as is conventional for
   ``EXPLAIN ANALYZE`` output.
 
+An ``ExecTracer`` may additionally carry a
+:class:`~repro.observability.spans.TraceContext`; the same choke points
+that feed the aggregate statistics then also record structured spans
+(with parent links), which is how ``db.trace`` / ``--trace-out`` get
+per-operator granularity without a second instrumentation layer.
+
 Tracing is strictly opt-in: the evaluator's hot paths check a single
 ``tracer is None`` and pay nothing when observability is off.
 """
@@ -20,9 +26,12 @@ Tracing is strictly opt-in: the evaluator's hot paths check a single
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.syntax import ast
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.observability.spans import TraceContext
 
 
 @dataclass
@@ -63,7 +72,7 @@ def format_seconds(seconds: float) -> str:
 class ExecTracer:
     """Collects per-operator and per-stage statistics for one execution."""
 
-    def __init__(self) -> None:
+    def __init__(self, trace: Optional["TraceContext"] = None) -> None:
         #: Physical operators, keyed by id(op); the op is kept alive
         #: alongside its stats so id() keys cannot be reused.
         self._op_stats: Dict[int, Tuple[Any, OpStats]] = {}
@@ -72,8 +81,9 @@ class ExecTracer:
         #: Clause-pipeline stages, keyed by (id(block), stage name), in
         #: first-recorded order.
         self._stage_stats: Dict[Tuple[int, str], Tuple[Any, OpStats]] = {}
-        #: Time spent in the physical planner (plan_block), if any.
-        self.plan_time_s = 0.0
+        #: Optional structured-span collector; when set, the evaluator's
+        #: instrumentation points record spans alongside the aggregates.
+        self.trace = trace
         #: Physical plans actually executed, keyed by id(block node),
         #: so EXPLAIN ANALYZE renders the very operator objects the
         #: statistics above were recorded against.

@@ -1,0 +1,125 @@
+"""The benchmark-trajectory regression gate (comparison logic only).
+
+These tests exercise ``benchmarks/trajectory.py``'s snapshot
+comparison and exit codes against synthetic files — no workload is
+ever timed, so they are fast and deterministic.  Live measurement runs
+in the allowed-to-fail CI job, not in tier 1.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+_TRAJECTORY_PATH = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "trajectory.py"
+)
+_spec = importlib.util.spec_from_file_location("trajectory", _TRAJECTORY_PATH)
+trajectory = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(trajectory)
+
+
+def snapshot(**medians):
+    return {
+        "schema": "repro-bench-trajectory/1",
+        "groups": {
+            name: {"median_s": value, "mean_s": value, "rounds": 5}
+            for name, value in medians.items()
+        },
+    }
+
+
+def write(path, data):
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestCompare:
+    def test_regression_beyond_threshold_fails(self):
+        regressions, __ = trajectory.compare(
+            snapshot(join=0.02), snapshot(join=0.01)
+        )
+        assert len(regressions) == 1
+        assert "join" in regressions[0]
+
+    def test_within_threshold_passes(self):
+        regressions, __ = trajectory.compare(
+            snapshot(join=0.011), snapshot(join=0.01)
+        )
+        assert regressions == []
+
+    def test_improvement_passes(self):
+        regressions, lines = trajectory.compare(
+            snapshot(join=0.005), snapshot(join=0.01)
+        )
+        assert regressions == []
+        assert any("improved" in line for line in lines)
+
+    def test_new_and_dropped_workloads_never_fail(self):
+        regressions, lines = trajectory.compare(
+            snapshot(fresh=1.0), snapshot(old=0.001)
+        )
+        assert regressions == []
+        assert any("new" in line for line in lines)
+        assert any("dropped" in line for line in lines)
+
+    def test_custom_threshold(self):
+        regressions, __ = trajectory.compare(
+            snapshot(join=0.0115), snapshot(join=0.01), threshold=0.10
+        )
+        assert len(regressions) == 1
+
+
+class TestMainExitCodes:
+    def test_regressed_candidate_exits_nonzero(self, tmp_path, capsys):
+        base = write(tmp_path / "base.json", snapshot(join=0.01))
+        cand = write(tmp_path / "cand.json", snapshot(join=0.02))
+        code = trajectory.main(
+            ["--check", "--candidate", cand, "--baseline", base]
+        )
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_clean_candidate_exits_zero(self, tmp_path, capsys):
+        base = write(tmp_path / "base.json", snapshot(join=0.01))
+        cand = write(tmp_path / "cand.json", snapshot(join=0.01))
+        code = trajectory.main(
+            ["--check", "--candidate", cand, "--baseline", base]
+        )
+        assert code == 0
+        assert "trajectory gate: ok" in capsys.readouterr().out
+
+    def test_committed_baseline_is_discovered(self, tmp_path, capsys):
+        cand = write(tmp_path / "cand.json", snapshot())
+        code = trajectory.main(["--check", "--candidate", cand])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline: BENCH_PR" in out
+
+    def test_out_writes_the_candidate_snapshot(self, tmp_path):
+        cand = write(tmp_path / "cand.json", snapshot(join=0.01))
+        out = tmp_path / "copy.json"
+        trajectory.main(["--candidate", cand, "--out", str(out)])
+        assert json.loads(out.read_text())["groups"]["join"]["median_s"] == 0.01
+
+
+class TestLatestSnapshot:
+    def test_highest_pr_number_wins(self, tmp_path):
+        write(tmp_path / "BENCH_PR3.json", snapshot())
+        write(tmp_path / "BENCH_PR12.json", snapshot())
+        write(tmp_path / "unrelated.json", snapshot())
+        latest = trajectory.latest_snapshot(tmp_path)
+        assert latest.name == "BENCH_PR12.json"
+
+    def test_no_snapshots_returns_none(self, tmp_path):
+        assert trajectory.latest_snapshot(tmp_path) is None
+
+
+class TestCommittedBaseline:
+    def test_repo_has_a_committed_snapshot(self):
+        latest = trajectory.latest_snapshot()
+        assert latest is not None
+        data = json.loads(latest.read_text())
+        assert data["schema"] == "repro-bench-trajectory/1"
+        assert data["groups"]
+        for stats in data["groups"].values():
+            assert stats["median_s"] > 0

@@ -130,3 +130,61 @@ class TestObservabilityFlags:
         assert main(["--slow-log", str(path), "-c", "SELECT VALUE 1"]) == 0
         record = json_module.loads(path.read_text().splitlines()[0])
         assert record["status"] == "ok"
+
+
+class TestObservabilityFlags:
+    def test_trace_out_writes_chrome_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        code = main(
+            [
+                "--trace-out",
+                str(path),
+                "-c",
+                "SELECT VALUE v + 1 FROM [1, 2] AS v",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert events, "trace file has no events"
+        names = {event["name"] for event in events}
+        assert {"query", "parse", "execute"} <= names
+        for event in events:
+            assert event["ph"] == "X"
+            assert "ts" in event and "dur" in event
+
+    def test_trace_out_spans_whole_script(self, tmp_path, capsys):
+        script = tmp_path / "q.sqlpp"
+        script.write_text("SELECT VALUE 1; SELECT VALUE 2;")
+        path = tmp_path / "trace.json"
+        assert main(["--trace-out", str(path), str(script)]) == 0
+        events = json.loads(path.read_text())["traceEvents"]
+        assert sum(event["name"] == "query" for event in events) == 2
+
+    def test_metrics_out_writes_prometheus_text(self, tmp_path, capsys):
+        path = tmp_path / "metrics.txt"
+        code = main(
+            ["--metrics-out", str(path), "-c", "SELECT VALUE 1"]
+        )
+        assert code == 0
+        text = path.read_text()
+        assert "repro_queries_total 1" in text
+        assert "# TYPE repro_query_seconds histogram" in text
+        assert text.endswith("\n")
+
+    def test_outputs_written_even_when_query_fails(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.txt"
+        code = main(
+            [
+                "--trace-out",
+                str(trace),
+                "--metrics-out",
+                str(metrics),
+                "-c",
+                "SELECT VALUE x.v FROM unbound_name AS x",
+            ]
+        )
+        assert code == 1
+        assert trace.exists()
+        assert "repro_queries_failed_total 1" in metrics.read_text()

@@ -38,6 +38,22 @@ class TestDotCommands:
         _dot_command(db, ".mode compat")
         assert db._config.sql_compat
 
+    def test_trace_prints_span_tree(self, db, capsys):
+        _dot_command(db, ".trace SELECT VALUE v FROM [1, 2] AS v")
+        out = capsys.readouterr().out
+        assert "query" in out and "execute" in out
+
+    def test_trace_on_bad_query_reports_error(self, db, capsys):
+        _dot_command(db, ".trace SELECT FROM")
+        assert "error" in capsys.readouterr().out
+
+    def test_metrics_prints_prometheus_text(self, db, capsys):
+        db.execute("SELECT VALUE 1")
+        _dot_command(db, ".metrics")
+        out = capsys.readouterr().out
+        assert "repro_queries_total 1" in out
+        assert "# TYPE repro_query_seconds histogram" in out
+
     def test_typing_toggle(self, db, capsys):
         _dot_command(db, ".typing strict")
         assert db._config.typing_mode == "strict"

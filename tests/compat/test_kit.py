@@ -57,3 +57,40 @@ class TestKitStructure:
         report = format_report(run_cases([broken]))
         assert "FAIL" in report
         assert "expected:" in report
+
+
+class TestKitInstrumentation:
+    def test_results_carry_query_metrics(self):
+        results = run_cases(CASES[:3])
+        for result in results:
+            assert result.metrics is not None
+            assert result.metrics.total_s > 0
+
+    def test_collect_traces_attaches_spans(self):
+        (result,) = run_cases(CASES[:1], collect_traces=True)
+        assert result.trace is not None
+        assert any(span.name == "query" for span in result.trace.spans)
+
+    def test_traces_off_by_default(self):
+        (result,) = run_cases(CASES[:1])
+        assert result.trace is None
+
+    def test_report_has_timing_columns(self):
+        import re
+
+        results = run_cases(CASES[:3])
+        report = format_report(results)
+        # Every case line carries a wall time; the summary totals them.
+        assert len(re.findall(r"\d+(?:\.\d+)?(?:s|ms|us)\b", report)) >= 4
+        assert re.search(r"3/3 cases passed in \S+", report)
+
+    def test_report_json_has_phase_breakdown(self):
+        from repro.compat.report import report_json
+
+        data = report_json(run_cases(CASES[:2]))
+        assert data["elapsed_s"] > 0
+        for case in data["cases"]:
+            phases = case["phases"]
+            assert phases is not None
+            assert phases["total_s"] >= phases["execute_s"] >= 0
+            assert "cache_hit" in phases

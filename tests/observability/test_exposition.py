@@ -1,0 +1,153 @@
+"""Histogram bucket math and Prometheus text exposition."""
+
+import re
+import threading
+
+import pytest
+
+from repro import Database
+from repro.observability import DEFAULT_BUCKETS, Histogram
+from repro.observability.exposition import (
+    escape_label_value,
+    format_bound,
+    format_labels,
+)
+
+
+class TestHistogram:
+    def test_observations_land_in_the_right_buckets(self):
+        hist = Histogram(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        cumulative = dict(hist.cumulative())
+        assert cumulative[format_bound(0.1)] == 1
+        assert cumulative[format_bound(1.0)] == 3
+        assert cumulative[format_bound(10.0)] == 4
+        assert cumulative["+Inf"] == 5
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(56.05)
+
+    def test_cumulative_is_monotone(self):
+        hist = Histogram()
+        for exponent in range(-6, 2):
+            hist.observe(10.0**exponent)
+        counts = [count for __, count in hist.cumulative()]
+        assert counts == sorted(counts)
+        assert counts[-1] == hist.count
+
+    def test_boundary_value_counts_as_le(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(1.0)
+        assert dict(hist.cumulative())[format_bound(1.0)] == 1
+
+    def test_quantile_estimate(self):
+        hist = Histogram(buckets=(0.001, 0.01, 0.1, 1.0))
+        for __ in range(99):
+            hist.observe(0.005)
+        hist.observe(0.5)
+        assert hist.quantile(0.5) <= 0.01
+        assert hist.quantile(0.999) >= 0.1
+
+    def test_default_buckets_are_log_spaced(self):
+        ratios = {
+            round(b / a, 6)
+            for a, b in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:])
+        }
+        assert ratios == {2.5}
+
+
+class TestFormatting:
+    def test_format_bound_is_fixed_point(self):
+        assert format_bound(0.00025) == "0.00025"
+        assert "e" not in format_bound(DEFAULT_BUCKETS[0]).lower()
+
+    def test_label_escaping(self):
+        assert escape_label_value('say "hi"\n') == 'say \\"hi\\"\\n'
+        assert escape_label_value("back\\slash") == "back\\\\slash"
+
+    def test_labels_render_sorted(self):
+        assert format_labels({"b": "2", "a": "1"}) == '{a="1",b="2"}'
+
+
+#: One Prometheus text-format line: ``# HELP``, ``# TYPE``, or a
+#: sample ``name{labels} value``.
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9.e+-]+$"
+)
+
+
+def _assert_prometheus_text(text: str) -> None:
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        assert _SAMPLE.match(line), f"unparseable sample line: {line!r}"
+
+
+class TestExposeText:
+    @pytest.fixture
+    def db(self):
+        database = Database()
+        database.set("r", [{"v": i} for i in range(4)])
+        return database
+
+    def test_text_parses_as_prometheus(self, db):
+        db.execute("SELECT VALUE a.v FROM r AS a")
+        db.execute("SELECT VALUE a.v FROM r AS a")
+        _assert_prometheus_text(db.metrics.expose_text())
+
+    def test_counters_and_cache_labels(self, db):
+        db.execute("SELECT VALUE 1")
+        db.execute("SELECT VALUE 1")
+        text = db.metrics.expose_text()
+        assert "repro_queries_total 2" in text
+        assert 'repro_compile_cache_requests_total{result="hit"} 1' in text
+        assert 'repro_compile_cache_requests_total{result="miss"} 1' in text
+
+    def test_histogram_family_per_phase(self, db):
+        db.execute("SELECT VALUE 1")
+        text = db.metrics.expose_text()
+        assert "# TYPE repro_query_seconds histogram" in text
+        for phase in ("parse", "execute", "total"):
+            assert f'repro_query_seconds_bucket{{le="+Inf",phase="{phase}"}} 1' in text
+            assert f'repro_query_seconds_count{{phase="{phase}"}} 1' in text
+        assert re.search(r'repro_query_seconds_sum\{phase="total"\} [0-9.]+', text)
+
+    def test_bucket_counts_are_cumulative(self, db):
+        db.execute("SELECT VALUE 1")
+        text = db.metrics.expose_text()
+        counts = [
+            int(match.group(1))
+            for match in re.finditer(
+                r'repro_query_seconds_bucket\{le="[^"]*",phase="total"\} (\d+)',
+                text,
+            )
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 1
+
+    def test_plan_phase_only_observed_when_planner_ran(self):
+        db = Database(optimize=False)
+        db.set("r", [1])
+        db.execute("SELECT VALUE a FROM r AS a")
+        text = db.metrics.expose_text()
+        assert 'repro_query_seconds_count{phase="plan"} 0' in text
+
+    def test_expose_text_thread_safe_under_load(self, db):
+        errors = []
+
+        def hammer():
+            try:
+                for __ in range(20):
+                    db.execute("SELECT VALUE a.v FROM r AS a")
+                    db.metrics.expose_text()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert db.metrics.counters["queries_total"] == 80

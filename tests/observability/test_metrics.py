@@ -113,3 +113,144 @@ class TestDatabaseSinkWiring:
         database = Database(metrics_sinks=[JsonLinesSink(str(path))])
         database.execute("SELECT VALUE 1")
         assert json.loads(path.read_text().splitlines()[0])["status"] == "ok"
+
+    def test_database_close_closes_sinks(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        sink = JsonLinesSink(str(path))
+        database = Database(metrics_sinks=[sink])
+        database.execute("SELECT VALUE 1")
+        assert sink._handle is not None
+        database.close()
+        assert sink._handle is None
+        # Closing is not a teardown of the engine: queries still run
+        # and the sink transparently reopens.
+        database.execute("SELECT VALUE 2")
+        assert len(path.read_text().splitlines()) == 2
+        database.close()
+        database.close()  # idempotent
+
+
+class TestPlanTimingSentinel:
+    def test_planned_query_always_shows_plan_line(self):
+        db = Database(optimize=True)
+        db.set("r", [{"v": 1}])
+        db.execute("SELECT VALUE a.v FROM r AS a")
+        last = db.metrics.last
+        assert last.plan_s is not None
+        # A fast plan (0.0 after rounding) must still render its line.
+        last.plan_s = 0.0
+        assert any(
+            line.startswith("plan:") for line in last.format_phases()
+        )
+
+    def test_reference_pipeline_reports_no_plan_phase(self):
+        db = Database(optimize=False)
+        db.set("r", [{"v": 1}])
+        db.execute("SELECT VALUE a.v FROM r AS a")
+        last = db.metrics.last
+        assert last.plan_s is None
+        assert not any(
+            line.startswith("plan:") for line in last.format_phases()
+        )
+        assert last.to_dict()["plan_s"] is None
+
+
+class TestQueryTextTruncation:
+    def test_long_query_is_truncated_with_flag(self):
+        from repro.observability.metrics import QUERY_TEXT_LIMIT
+
+        record = QueryMetrics(query="x" * (QUERY_TEXT_LIMIT + 100))
+        data = record.to_dict()
+        assert len(data["query"]) == QUERY_TEXT_LIMIT
+        assert data["query_truncated"] is True
+
+    def test_short_query_is_untouched(self):
+        data = QueryMetrics(query="SELECT VALUE 1").to_dict()
+        assert data["query"] == "SELECT VALUE 1"
+        assert data["query_truncated"] is False
+
+
+class TestJsonLinesSinkLifecycle:
+    def test_handle_opens_lazily(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        sink = JsonLinesSink(str(path))
+        assert sink._handle is None
+        assert not path.exists()
+        sink.emit(QueryMetrics(query="q"))
+        assert sink._handle is not None
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_threshold_skip_keeps_handle_closed(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        sink = JsonLinesSink(str(path), threshold_s=60.0)
+        sink.emit(QueryMetrics(query="fast", total_s=0.001))
+        assert sink._handle is None and not path.exists()
+
+    def test_close_then_emit_reopens(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        sink = JsonLinesSink(str(path))
+        sink.emit(QueryMetrics(query="one"))
+        sink.close()
+        assert sink._handle is None
+        sink.emit(QueryMetrics(query="two"))
+        queries = [
+            json.loads(line)["query"] for line in path.read_text().splitlines()
+        ]
+        assert queries == ["one", "two"]
+
+    def test_records_flush_immediately(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        sink = JsonLinesSink(str(path))
+        sink.emit(QueryMetrics(query="q"))
+        # No close() — the record must already be on disk.
+        assert json.loads(path.read_text().splitlines()[0])["query"] == "q"
+
+
+class TestSnapshotArithmetic:
+    def test_counters_fold_across_outcomes(self, db):
+        import pytest as pytest_module
+
+        db.execute("SELECT VALUE a.v FROM r AS a")
+        db.execute("SELECT VALUE a.v FROM r AS a WHERE a.v < 3")
+        with pytest_module.raises(SQLPPError):
+            db.execute("SELECT FROM")
+        snapshot = db.metrics.snapshot()
+        counters = snapshot["counters"]
+        assert counters["queries_total"] == 3
+        assert counters["queries_failed"] == 1
+        assert counters["rows_returned_total"] == 13
+        assert (
+            counters["compile_cache_hits"] + counters["compile_cache_misses"]
+            == 3  # every query does a cache lookup, even one that fails to parse
+        )
+        assert snapshot["last_query"]["status"] == "error"
+
+
+class TestConcurrency:
+    def test_record_is_thread_safe(self):
+        import threading
+
+        from repro.observability.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        threads_n, per_thread = 8, 250
+
+        def hammer():
+            for number in range(per_thread):
+                registry.record(
+                    QueryMetrics(
+                        query=f"q{number}",
+                        rows_returned=1,
+                        total_s=0.001,
+                    )
+                )
+
+        threads = [threading.Thread(target=hammer) for __ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        expected = threads_n * per_thread
+        assert registry.counters["queries_total"] == expected
+        assert registry.counters["rows_returned_total"] == expected
+        assert registry.histograms["total"].count == expected

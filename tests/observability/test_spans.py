@@ -1,0 +1,175 @@
+"""Structured span tracing: TraceContext, exports, and db.trace()."""
+
+import json
+
+import pytest
+
+from repro import Database
+from repro.errors import SQLPPError
+from repro.observability import ExecTracer, Span, TraceContext
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.set("users", [{"uid": i, "name": f"u{i}"} for i in range(20)])
+    database.set(
+        "orders",
+        [{"oid": i, "user_id": i % 20, "total": i * 3} for i in range(60)],
+    )
+    return database
+
+
+JOIN = (
+    "SELECT u.uid AS uid, o.oid AS oid "
+    "FROM users AS u JOIN orders AS o ON o.user_id = u.uid"
+)
+
+
+class TestTraceContext:
+    def test_begin_end_nesting(self):
+        trace = TraceContext(name="t")
+        outer = trace.begin("outer")
+        inner = trace.begin("inner")
+        trace.end(inner)
+        trace.end(outer)
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert outer.duration_s >= inner.duration_s >= 0
+        assert [s.name for s in trace.roots()] == ["outer"]
+        assert [s.name for s in trace.children_of(outer)] == ["inner"]
+
+    def test_event_records_leaf_under_open_span(self):
+        from time import perf_counter
+
+        trace = TraceContext(name="t")
+        parent = trace.begin("phaseful")
+        mark = perf_counter()
+        trace.event("leaf", "stage", mark, 0.005, {"rows_out": 3})
+        trace.end(parent)
+        (leaf,) = trace.children_of(parent)
+        assert leaf.name == "leaf"
+        assert leaf.duration_s == pytest.approx(0.005)
+        assert leaf.attrs["rows_out"] == 3
+
+    def test_out_of_order_end_tolerated(self):
+        trace = TraceContext(name="t")
+        a = trace.begin("a")
+        b = trace.begin("b")
+        # Ending the outer span force-closes the dangling inner one.
+        trace.end(a)
+        assert b.duration_s >= 0
+        assert all(span.duration_s >= 0 for span in trace.spans)
+
+    def test_max_spans_cap_counts_dropped(self):
+        trace = TraceContext(name="t", max_spans=3)
+        root = trace.begin("root")
+        for i in range(10):
+            trace.end(trace.begin(f"s{i}"))
+        trace.end(root)
+        assert len(trace.spans) == 3
+        assert trace.dropped == 8
+
+    def test_span_ids_are_unique(self):
+        trace = TraceContext(name="t")
+        for i in range(5):
+            trace.end(trace.begin(f"s{i}"))
+        ids = [span.span_id for span in trace.spans]
+        assert len(set(ids)) == len(ids)
+
+
+class TestChromeExport:
+    def test_every_event_is_complete(self):
+        trace = TraceContext(name="t")
+        outer = trace.begin("outer")
+        trace.end(trace.begin("inner"))
+        trace.end(outer)
+        doc = trace.to_chrome_trace()
+        events = doc["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], (int, float)) and event["ts"] >= 0
+            assert isinstance(event["dur"], (int, float)) and event["dur"] >= 0
+            assert event["name"]
+            assert "pid" in event and "tid" in event
+
+    def test_parent_ids_resolve(self, db):
+        trace = db.trace(JOIN)
+        events = trace.to_chrome_trace()["traceEvents"]
+        ids = {event["args"]["span_id"] for event in events}
+        for event in events:
+            parent = event["args"]["parent_id"]
+            assert parent is None or parent in ids
+
+    def test_write_chrome_trace_round_trips(self, db, tmp_path):
+        path = tmp_path / "trace.json"
+        db.trace(JOIN).write_chrome_trace(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        assert doc["otherData"]["dropped_spans"] == 0
+
+
+class TestCollapsedExport:
+    def test_stack_lines_and_self_time(self):
+        trace = TraceContext(name="t")
+        outer = trace.begin("outer")
+        inner = trace.begin("inner")
+        trace.end(inner)
+        trace.end(outer)
+        lines = trace.to_collapsed().splitlines()
+        stacks = {line.rsplit(" ", 1)[0]: int(line.rsplit(" ", 1)[1]) for line in lines}
+        assert set(stacks) == {"outer", "outer;inner"}
+        # Self time of the parent excludes the child's wall time.
+        total_us = round(outer.duration_s * 1e6)
+        assert stacks["outer"] + stacks["outer;inner"] <= total_us + 1
+
+
+class TestDatabaseTrace:
+    def test_planned_query_has_operator_spans(self, db):
+        trace = db.trace(JOIN)
+        names = [span.name for span in trace.spans]
+        assert any("HashJoin" in name for name in names)
+        categories = {span.category for span in trace.spans}
+        assert {"query", "phase", "operator"} <= categories
+
+    def test_reference_path_has_item_spans(self):
+        db = Database(optimize=False)
+        db.set("r", [{"v": i} for i in range(5)])
+        trace = db.trace("SELECT VALUE a.v FROM r AS a")
+        categories = {span.category for span in trace.spans}
+        assert "item" in categories
+        assert "operator" not in categories
+
+    def test_phases_nest_under_query_root(self, db):
+        trace = db.trace(JOIN)
+        (root,) = trace.roots()
+        assert root.name == "query"
+        child_names = {span.name for span in trace.children_of(root)}
+        assert {"parse", "rewrite", "execute"} <= child_names
+
+    def test_format_tree_is_readable(self, db):
+        text = db.trace(JOIN).format_tree()
+        assert "query" in text and "execute" in text
+
+    def test_failing_query_keeps_partial_trace_in_context(self, db):
+        context = TraceContext(name="failing")
+        with pytest.raises(SQLPPError):
+            db.trace("SELECT VALUE nope.x FROM missing_coll AS nope",
+                     context=context)
+        # parse/rewrite spans survive even though execution failed.
+        assert any(span.name == "query" for span in context.spans)
+
+    def test_execute_without_trace_records_no_spans(self, db):
+        tracer = ExecTracer()
+        db.execute(JOIN, tracer=tracer)
+        assert tracer.trace is None
+
+    def test_span_dataclass_to_dict(self):
+        span = Span(
+            trace_id="t1", span_id=1, parent_id=None, name="n",
+            category="query", start_s=0.0, duration_s=0.25,
+        )
+        data = span.to_dict()
+        assert data["name"] == "n"
+        assert data["duration_s"] == 0.25
