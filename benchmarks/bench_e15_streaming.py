@@ -1,0 +1,188 @@
+"""E15 — streaming pipelined execution: top-K ORDER BY ... LIMIT,
+first-row latency, and O(k) memory.
+
+The pipelined evaluator (docs/PLANNER.md) replaces "materialize
+everything, then sort/slice" with generator operators feeding bounded
+consumers.  This experiment measures the three wins on a 100k-row
+collection:
+
+* ``ORDER BY ... LIMIT 10`` — a bounded top-K heap with deferred
+  projection (late materialization) versus the eager engine's full
+  materialize + project + sort.  The claim asserted below is a ≥10×
+  wall-time speedup.
+* first-row latency — ``LIMIT 1`` stops the scan after one row
+  instead of scanning 100k rows and slicing.
+* memory — with a generator-backed collection (``Database.set_lazy``)
+  the top-K query's peak heap is O(k), not O(n); asserted with
+  ``tracemalloc`` (select with ``pytest -k memory``).
+
+Both engines must agree exactly on every result (ordered comparison).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+import pytest
+
+from repro import Database
+
+N = 100_000
+#: The acceptance bar: streamed top-K at n=100k must beat the eager
+#: materialize-sort-slice by at least this factor.
+MIN_SPEEDUP = 10.0
+
+#: A projection heavy enough to be worth skipping: three collection
+#: aggregates over a 12-element array per row.  Late materialization
+#: evaluates it only for the k survivors; the eager engine pays it on
+#: every row.
+TOP_K_QUERY = (
+    "SELECT b.x AS x, b.y AS y, COLL_SUM(b.v) AS total, "
+    "COLL_MAX(b.v) AS top, COLL_AVG(b.v) AS mean "
+    "FROM big AS b ORDER BY b.x LIMIT 10"
+)
+FIRST_ROW_QUERY = "SELECT VALUE b.x FROM big AS b LIMIT 1"
+
+
+def rows(n: int):
+    return [
+        {
+            "x": (i * 2654435761) % 1_000_000,
+            "y": i % 997,
+            "v": [(i + j) % 13 for j in range(12)],
+        }
+        for i in range(n)
+    ]
+
+
+def build_db(optimize: bool, n: int = N) -> Database:
+    db = Database(optimize=optimize)
+    db.set("big", rows(n))
+    return db
+
+
+@pytest.fixture(scope="module")
+def engines():
+    """(streamed, eager) databases with warm compile caches."""
+    return build_db(optimize=True), build_db(optimize=False)
+
+
+@pytest.fixture(scope="module")
+def agreement_verified(engines):
+    """Both engines return the identical ordered result (checked once)."""
+    streamed, eager = engines
+    for query in (TOP_K_QUERY, FIRST_ROW_QUERY):
+        assert list(streamed.execute(query)) == list(eager.execute(query))
+    return True
+
+
+@pytest.mark.benchmark(group="E15-topk-n100000")
+class TestTopK:
+    def test_eager_full_sort(self, benchmark, engines, agreement_verified):
+        __, eager = engines
+        benchmark.pedantic(lambda: eager.execute(TOP_K_QUERY), rounds=2, iterations=1)
+
+    def test_streamed_top_k(self, benchmark, engines, agreement_verified):
+        streamed, __ = engines
+        benchmark(lambda: streamed.execute(TOP_K_QUERY))
+
+
+@pytest.mark.benchmark(group="E15-first-row-n100000")
+class TestFirstRow:
+    def test_eager_scan_then_slice(self, benchmark, engines, agreement_verified):
+        __, eager = engines
+        benchmark.pedantic(
+            lambda: eager.execute(FIRST_ROW_QUERY), rounds=3, iterations=1
+        )
+
+    def test_streamed_early_termination(self, benchmark, engines, agreement_verified):
+        streamed, __ = engines
+        benchmark(lambda: streamed.execute(FIRST_ROW_QUERY))
+
+
+def test_top_k_speedup_claim(engines, agreement_verified):
+    """The tentpole claim: ≥10× for ORDER BY ... LIMIT 10 at n=100k."""
+    streamed, eager = engines
+    streamed.execute(TOP_K_QUERY)  # warm caches
+
+    started = time.perf_counter()
+    reference = eager.execute(TOP_K_QUERY)
+    eager_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    result = streamed.execute(TOP_K_QUERY)
+    streamed_s = time.perf_counter() - started
+
+    assert list(result) == list(reference)
+    speedup = eager_s / streamed_s
+    print(
+        f"\nE15 n=100k top-K: eager {eager_s:.2f}s, "
+        f"streamed {streamed_s * 1e3:.0f}ms → {speedup:.1f}× speedup"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"streamed top-K only {speedup:.1f}× faster than the eager sort "
+        f"(claim: ≥{MIN_SPEEDUP}×)"
+    )
+
+
+def test_first_row_latency(engines, agreement_verified):
+    """LIMIT 1 answers without scanning the other 99 999 rows."""
+    streamed, eager = engines
+    streamed.execute(FIRST_ROW_QUERY)  # warm caches
+
+    started = time.perf_counter()
+    eager.execute(FIRST_ROW_QUERY)
+    eager_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    streamed.execute(FIRST_ROW_QUERY)
+    streamed_s = time.perf_counter() - started
+
+    speedup = eager_s / streamed_s
+    print(
+        f"\nE15 n=100k first row: eager {eager_s * 1e3:.1f}ms, "
+        f"streamed {streamed_s * 1e3:.2f}ms → {speedup:.0f}× speedup"
+    )
+    assert speedup >= MIN_SPEEDUP
+
+
+def _lazy_db(optimize: bool) -> Database:
+    db = Database(optimize=optimize)
+    db.set_lazy("big", lambda: ({"x": (i * 2654435761) % 1_000_000} for i in range(N)))
+    return db
+
+
+def test_top_k_memory_is_o_of_k():
+    """Peak heap for top-K over a 100k generator-backed collection.
+
+    The streamed engine keeps the k-row heap plus one in-flight row;
+    the eager engine materializes every binding before sorting.  The
+    thresholds are two orders of magnitude apart, so this is a
+    structural assertion, not a tuning-sensitive one.  (Selected in CI
+    with ``pytest -k memory``.)
+    """
+    query = "SELECT VALUE b.x FROM big AS b ORDER BY b.x LIMIT 10"
+
+    streamed = _lazy_db(optimize=True)
+    streamed.execute(query)  # warm compile caches outside the trace
+    tracemalloc.start()
+    streamed.execute(query)
+    __, streamed_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    eager = _lazy_db(optimize=False)
+    eager.execute(query)
+    tracemalloc.start()
+    eager.execute(query)
+    __, eager_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    print(
+        f"\nE15 n=100k top-K peak: streamed {streamed_peak / 1024:.0f} KiB, "
+        f"eager {eager_peak / 1024 / 1024:.1f} MiB"
+    )
+    assert streamed_peak < 4 * 1024 * 1024, (
+        f"streamed top-K peak {streamed_peak} bytes; expected O(k), not O(n)"
+    )
+    assert eager_peak > 4 * streamed_peak

@@ -119,6 +119,18 @@ def build_workloads() -> List[Tuple[str, Callable[[], object]]]:
         ("e03_unnest_n500", lambda: unnesting.execute(UNNEST_QUERY))
     )
 
+    # Streamed top-K (E15): ORDER BY ... LIMIT on the pipelined engine
+    # exercises the generator operators and the bounded heap consumer.
+    big = [{"x": (i * 2654435761) % 1_000_000, "y": i % 997} for i in range(20_000)]
+    topk = Database()
+    topk.set("big", big)
+    topk_query = (
+        "SELECT b.x AS x, b.y AS y FROM big AS b "
+        "ORDER BY b.y DESC, b.x LIMIT 10"
+    )
+    topk.execute(topk_query)
+    workloads.append(("e15_topk_n20000", lambda: topk.execute(topk_query)))
+
     # Scan + predicate on the warm compile cache: big enough (~10ms)
     # that the 25% gate measures the engine, not scheduler jitter.
     cached = Database()

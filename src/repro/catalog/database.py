@@ -103,6 +103,30 @@ class Database:
             validate(model_value, schema, path=name)
         self.catalog.set_model(name, model_value)
 
+    def set_lazy(self, name: str, factory: Any) -> None:
+        """Create or replace a named value backed by a generator factory.
+
+        ``factory`` is a zero-argument callable returning a fresh
+        iterable of Python elements on every call; the named value
+        becomes a :class:`~repro.datamodel.values.LazyBag` that streams
+        (and converts) elements per traversal instead of materializing
+        them.  Combined with the pipelined evaluator this lets bounded
+        consumers — ``ORDER BY ... LIMIT k``, plain ``LIMIT``,
+        ``EXISTS`` — run in memory proportional to what they keep, not
+        to the collection size (docs/PLANNER.md).
+
+        Lazy values skip schema validation (validating would defeat the
+        point by traversing everything up front); register a schema only
+        on materialized values.
+        """
+        from repro.datamodel.convert import from_python
+        from repro.datamodel.values import LazyBag
+
+        def model_elements():
+            return (from_python(element) for element in factory())
+
+        self.catalog.set_model(name, LazyBag(model_elements))
+
     def get(self, name: str) -> Any:
         return self.catalog.get(name)
 
@@ -368,6 +392,7 @@ class Database:
         finally:
             if evaluator is not None:
                 metrics.plan_s = evaluator.plan_time_s
+                metrics.streamed = evaluator.streamed
             metrics.total_s = perf_counter() - started
             if root is not None:
                 trace.end(root, {"status": metrics.status})
@@ -441,9 +466,39 @@ class Database:
             else:
                 reason = "no rewrite applicable"
             lines.append(f"plan: reference pipeline ({reason})")
-            return "\n".join(lines)
-        lines.append(plan.explain())
+        else:
+            lines.append(plan.explain())
+        consumer = self._describe_consumer(core, config)
+        if consumer is not None:
+            lines.append(f"consumer: {consumer}")
         return "\n".join(lines)
+
+    @staticmethod
+    def _describe_consumer(core: ast.Query, config: EvalConfig) -> Optional[str]:
+        """How the streaming engine consumes the block's output stream
+        (None when the query runs on the eager reference path)."""
+        body = core.body
+        if (
+            not config.optimize
+            or not isinstance(body, ast.QueryBlock)
+            or body.from_ is None
+            or isinstance(body.select, ast.PivotClause)
+        ):
+            return None
+        from repro.core.windows import find_window_calls
+
+        if find_window_calls(body.select):
+            return None
+        if core.order_by:
+            if core.limit is not None:
+                return (
+                    "top-K heap (ORDER BY with LIMIT): keeps limit+offset "
+                    "rows, one sort-key evaluation per row"
+                )
+            return "full sort over the streamed input (ORDER BY without LIMIT)"
+        if core.limit is not None:
+            return "streamed with early termination after OFFSET+LIMIT rows"
+        return "streamed bag (rows pulled one at a time)"
 
     def explain_analyze(
         self,

@@ -2,7 +2,8 @@
 
 Every case run also produces perf evidence: the fresh per-case
 database's :class:`~repro.observability.QueryMetrics` record (phase
-timings, cache verdict) is attached to the :class:`CaseResult`, and
+timings, cache verdict, whether the streaming pipeline ran) is
+attached to the :class:`CaseResult`, and
 ``collect_trace=True`` additionally captures a structured span trace
 per case — so one conformance sweep doubles as a timing corpus for the
 report and the trajectory harness.

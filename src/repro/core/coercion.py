@@ -40,6 +40,16 @@ def _single_attribute(element: Any, config: EvalConfig) -> Any:
     )
 
 
+def single_attribute(element: Any, config: EvalConfig) -> Any:
+    """Coerce one subquery row to its single attribute's value.
+
+    The per-row building block of :func:`coerce_collection`, exposed so
+    the evaluator's streaming ``IN <subquery>`` path can coerce rows as
+    they arrive instead of materializing the whole collection first.
+    """
+    return _single_attribute(element, config)
+
+
 def coerce_scalar(result: Any, config: EvalConfig) -> Any:
     """Coerce a subquery result to a scalar.
 

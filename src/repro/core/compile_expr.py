@@ -118,6 +118,11 @@ def compile_expr(expr: ast.Expr, evaluator: "Evaluator") -> CompiledExpr:
         return between
 
     if isinstance(expr, ast.InPredicate):
+        if isinstance(expr.collection, (ast.SubqueryExpr, ast.CoerceSubquery)):
+            # Subquery collections go through the evaluator so the
+            # streaming engine can stop the subquery's producers at the
+            # first match (early termination, docs/LANGUAGE.md §8).
+            return lambda env: evaluator._eval_in(expr, env)
         operand_fn = compile_expr(expr.operand, evaluator)
         collection_fn = compile_expr(expr.collection, evaluator)
         negated = expr.negated
@@ -129,6 +134,9 @@ def compile_expr(expr: ast.Expr, evaluator: "Evaluator") -> CompiledExpr:
         return contains
 
     if isinstance(expr, ast.Exists):
+        if isinstance(expr.operand, ast.SubqueryExpr):
+            # Same early-termination routing as IN above.
+            return lambda env: evaluator._exists_verdict(expr.operand, env)
         operand_fn = compile_expr(expr.operand, evaluator)
         return lambda env: ops.exists(operand_fn(env), config)
 
@@ -207,10 +215,13 @@ def _compile_like(expr: ast.Like, evaluator: "Evaluator") -> CompiledExpr:
         def like_constant(env: Environment) -> Any:
             value = operand_fn(env)
             if value is MISSING:
-                return MISSING
-            if value is None:
-                return None
-            if not isinstance(value, str):
+                # NOT still applies to the unknown verdict (NOT MISSING
+                # normalises to NULL, like the interpreter's
+                # ops.logical_not), so fall through instead of returning.
+                verdict: Any = MISSING
+            elif value is None:
+                verdict = None
+            elif not isinstance(value, str):
                 verdict = config.type_error(
                     f"LIKE expects strings, got {type_name(value)}"
                 )

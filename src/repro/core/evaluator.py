@@ -21,8 +21,9 @@ queries produce a single tuple (Section VI-B).
 
 from __future__ import annotations
 
+import heapq
 from time import perf_counter
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.config import EvalConfig
 from repro.core import coercion
@@ -56,6 +57,118 @@ class _BlockResult:
         self.is_pivot = is_pivot
 
 
+class _OrderKey:
+    """A composite ORDER BY key with per-component direction.
+
+    ``parts`` holds one ``(absence_rank, sort_key)`` component per ORDER
+    BY item; comparison walks the components, flipping any marked
+    descending, and resolves full ties by input sequence number — which
+    makes the order total and reproduces exactly what the stable
+    multi-pass sort (sort once per key, last key first) used to produce.
+    """
+
+    __slots__ = ("parts", "descs", "seq")
+
+    def __init__(self, parts: Tuple, descs: Tuple[bool, ...], seq: int):
+        self.parts = parts
+        self.descs = descs
+        self.seq = seq
+
+    def __lt__(self, other: "_OrderKey") -> bool:
+        for mine, theirs, desc in zip(self.parts, other.parts, self.descs):
+            if mine == theirs:
+                continue
+            return theirs < mine if desc else mine < theirs
+        return self.seq < other.seq
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _OrderKey):
+            return NotImplemented
+        return self.parts == other.parts and self.seq == other.seq
+
+
+class _ReverseKey:
+    """Inverts an :class:`_OrderKey` so ``heapq``'s min-heap behaves as
+    a max-heap (the top-K consumer evicts the *largest* kept key)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: _OrderKey):
+        self.key = key
+
+    def __lt__(self, other: "_ReverseKey") -> bool:
+        return other.key < self.key
+
+
+def _parts_less(mine: Tuple, theirs: Tuple, descs: Tuple[bool, ...]) -> bool:
+    """Whether composite key ``mine`` sorts strictly before ``theirs``.
+
+    The allocation-free pre-check of the top-K hot loop: equal
+    composites return False because the candidate always carries the
+    larger sequence number, so arrival order breaks the tie against it
+    — the same verdict :class:`_OrderKey` would reach, without
+    building one for the (overwhelmingly common) rejected rows.
+    """
+    for mine_part, theirs_part, desc in zip(mine, theirs, descs):
+        if mine_part == theirs_part:
+            continue
+        return theirs_part < mine_part if desc else mine_part < theirs_part
+    return False
+
+
+class _StageTally:
+    """Per-stage row/time counters for the streaming clause pipeline."""
+
+    __slots__ = ("name", "rows", "elapsed")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.rows = 0
+        self.elapsed = 0.0
+
+
+def _close_iter(it) -> None:
+    """Close a generator-backed iterator promptly (no-op for plain
+    iterators); used so early-terminating consumers release upstream
+    producers deterministically instead of waiting for garbage
+    collection."""
+    close = getattr(it, "close", None)
+    if close is not None:
+        close()
+
+
+def _tallied(source: Iterable, tally: _StageTally) -> Iterator:
+    """Count rows and time-in-``next()`` (inclusive of upstream stages,
+    like operator timings) as they stream through a stage boundary."""
+    it = iter(source)
+    try:
+        while True:
+            started = perf_counter()
+            try:
+                item = next(it)
+            except StopIteration:
+                tally.elapsed += perf_counter() - started
+                break
+            tally.elapsed += perf_counter() - started
+            tally.rows += 1
+            yield item
+    finally:
+        _close_iter(it)
+
+
+def _let_rows(let_fns, source: Iterable[Environment]) -> Iterator[Environment]:
+    for current in source:
+        for name, let_fn in let_fns:
+            current = current.bind(name, let_fn(current))
+        yield current
+
+
+def _filter_rows(predicate_fn, source: Iterable[Environment]) -> Iterator[Environment]:
+    for current in source:
+        if predicate_fn(current) is True:
+            yield current
+
+
 class Evaluator:
     """Evaluates Core queries against a catalog of named values.
 
@@ -80,6 +193,11 @@ class Evaluator:
         self._parameters = [from_python(value) for value in parameters or []]
         self._compiled: Dict[int, Any] = {}
         self._plans: Dict[int, Any] = {}
+        self._streamable: Dict[int, Tuple[Any, bool]] = {}
+        #: Whether any query block ran on the streaming (pipelined)
+        #: clause pipeline during this evaluator's lifetime; surfaced
+        #: as ``QueryMetrics.streamed``.
+        self.streamed = False
         #: Optional ExecTracer collecting EXPLAIN ANALYZE statistics.
         self.tracer = tracer
         #: Wall time spent in the physical planner, or None when the
@@ -143,6 +261,8 @@ class Evaluator:
     def _eval_query_impl(self, query: ast.Query, env: Environment) -> Any:
         body = query.body
         if isinstance(body, ast.QueryBlock):
+            if self._can_stream(body):
+                return self._eval_query_streaming(query, body, env)
             result = self.eval_block(body, env)
             if result.is_pivot:
                 return result.values[0]
@@ -164,6 +284,280 @@ class Evaluator:
             return values
         return Bag(values)
 
+    # ------------------------------------------------------------------
+    # Streaming (pipelined) execution
+    # ------------------------------------------------------------------
+
+    def _can_stream(self, block: ast.QueryBlock) -> bool:
+        """Whether a block runs on the pipelined clause pipeline.
+
+        Streaming requires ``optimize=True`` (``optimize=False`` is the
+        eager executable reference semantics) and a block shape without
+        pipeline-incompatible features: PIVOT produces one tuple from
+        the whole stream and window functions need the full partition,
+        so both stay on the eager path; a block without FROM is a single
+        binding and gains nothing from laziness.
+        """
+        if not self.config.optimize:
+            return False
+        entry = self._streamable.get(id(block))
+        if entry is None:
+            streamable = (
+                block.from_ is not None
+                and not isinstance(block.select, ast.PivotClause)
+                and not find_window_calls(block.select)
+            )
+            entry = (block, streamable)
+            self._streamable[id(block)] = entry
+        return entry[1]
+
+    def _eval_query_streaming(
+        self, query: ast.Query, body: ast.QueryBlock, env: Environment
+    ) -> Any:
+        """Pipelined evaluation of a query whose body is a streamable
+        block (docs/PLANNER.md).
+
+        LIMIT/OFFSET cardinals are evaluated *before* the stream starts
+        (decision log, docs/LANGUAGE.md §8) so the consumers can bound
+        the work: ``ORDER BY ... LIMIT k`` runs a top-K heap in O(k)
+        memory, an unordered LIMIT stops the producers as soon as
+        enough rows arrived, and a full ORDER BY still materializes but
+        over a streamed input.
+        """
+        self.streamed = True
+        limit = (
+            self._cardinal(query.limit, env, "LIMIT")
+            if query.limit is not None
+            else None
+        )
+        offset = (
+            self._cardinal(query.offset, env, "OFFSET")
+            if query.offset is not None
+            else None
+        )
+        if query.order_by:
+            if limit is not None:
+                bound = limit + (offset or 0)
+                select_fn = self._deferred_select_fn(body, query.order_by)
+                if select_fn is not None:
+                    values = self._top_k_deferred(
+                        body, query.order_by, bound, env, select_fn
+                    )
+                else:
+                    stream = self._stream_block(body, env)
+                    values = self._top_k(stream, query.order_by, bound, env)
+                return values[offset:] if offset else values
+            stream = self._stream_block(body, env)
+            pairs: List[Tuple[Any, Optional[Environment]]] = []
+            source = iter(stream)
+            try:
+                for pair in source:
+                    pairs.append(pair)
+            finally:
+                _close_iter(source)
+            values = [value for value, __ in pairs]
+            envs: Optional[List[Environment]] = None
+            if pairs and pairs[0][1] is not None:
+                envs = [pair_env for __, pair_env in pairs]
+            values = self._apply_order_by(values, envs, query.order_by, env)
+            if offset:
+                values = values[offset:]
+            return values
+        stream = self._stream_block(body, env)
+        values = []
+        source = iter(stream)
+        try:
+            if limit != 0:
+                skipped = 0
+                for value, __ in source:
+                    if offset is not None and skipped < offset:
+                        skipped += 1
+                        continue
+                    values.append(value)
+                    if limit is not None and len(values) >= limit:
+                        break
+        finally:
+            _close_iter(source)
+        return Bag(values)
+
+    def _top_k(
+        self,
+        stream: Iterable[Tuple[Any, Optional[Environment]]],
+        order_by: Sequence[ast.OrderItem],
+        bound: int,
+        outer_env: Environment,
+    ) -> List[Any]:
+        """``ORDER BY ... LIMIT k`` via a bounded heap.
+
+        Keeps the ``bound`` smallest composite keys seen so far (a
+        min-heap of inverted keys, so the root is the largest kept key
+        and is evicted when a smaller one arrives) — O(k) memory and
+        exactly one evaluation of each ORDER BY key per row.  Ties
+        resolve by arrival sequence, reproducing the stable full sort
+        bit-for-bit.
+        """
+        source = iter(stream)
+        if bound <= 0:
+            _close_iter(source)
+            return []
+        spec = self._order_spec(order_by)
+        descs = tuple(item.desc for item in order_by)
+        heap: List[Tuple[_ReverseKey, Any]] = []
+        root_parts: Optional[Tuple] = None
+        seq = 0
+        try:
+            for value, pair_env in source:
+                sort_env = self._sort_env(value, pair_env, outer_env)
+                parts = self._composite_parts(spec, sort_env)
+                if root_parts is None:
+                    key = _OrderKey(parts, descs, seq)
+                    heapq.heappush(heap, (_ReverseKey(key), value))
+                    if len(heap) == bound:
+                        root_parts = heap[0][0].key.parts
+                elif _parts_less(parts, root_parts, descs):
+                    key = _OrderKey(parts, descs, seq)
+                    heapq.heapreplace(heap, (_ReverseKey(key), value))
+                    root_parts = heap[0][0].key.parts
+                seq += 1
+        finally:
+            _close_iter(source)
+        entries = sorted(heap, key=lambda entry: entry[0].key)
+        return [value for __, value in entries]
+
+    def _deferred_select_fn(
+        self, block: ast.QueryBlock, order_by: Sequence[ast.OrderItem]
+    ) -> Optional[Any]:
+        """The compiled SELECT expression when projection can be
+        deferred past the top-K heap (late materialization), else None.
+
+        Deferring evaluates the SELECT only for the k rows the heap
+        keeps — the big win when the projection is expensive (computed
+        attributes, nested subqueries).  It is sound only when the
+        ORDER BY keys provably cannot observe the projected value: the
+        select must be a non-DISTINCT ``SELECT VALUE`` of a tuple
+        literal with literal attribute names, none of which occur as a
+        variable name in any ORDER BY key (the keys' sort environment
+        overlays the output tuple's attributes, so a shared name could
+        shadow a binding variable).
+        """
+        select = block.select
+        if not isinstance(select, ast.SelectValue) or select.distinct:
+            return None
+        expr = select.expr
+        if not isinstance(expr, ast.StructLit):
+            return None
+        field_names = set()
+        for field in expr.fields:
+            if not isinstance(field.key, ast.Literal) or not isinstance(
+                field.key.value, str
+            ):
+                return None
+            field_names.add(field.key.value)
+        from repro.core.planner import free_names
+
+        for item in order_by:
+            if free_names(item.expr) & field_names:
+                return None
+        return self.compiled(expr)
+
+    def _top_k_deferred(
+        self,
+        block: ast.QueryBlock,
+        order_by: Sequence[ast.OrderItem],
+        bound: int,
+        outer_env: Environment,
+        select_fn,
+    ) -> List[Any]:
+        """Top-K with late materialization: the heap keeps binding
+        environments, and the SELECT expression runs only for the
+        ``bound`` survivors after the stream is exhausted.  Rows the
+        heap evicts never evaluate their projection — including any
+        error it would have raised, the same visibility rule as every
+        other early-terminating consumer (docs/LANGUAGE.md §8)."""
+        stream = self._stream_block(block, outer_env, project=False)
+        source = iter(stream)
+        if bound <= 0:
+            _close_iter(source)
+            return []
+        spec = self._order_spec(order_by)
+        descs = tuple(item.desc for item in order_by)
+        heap: List[Tuple[_ReverseKey, Environment]] = []
+        root_parts: Optional[Tuple] = None
+        seq = 0
+        composite_parts = self._composite_parts
+        try:
+            for current in source:
+                parts = composite_parts(spec, current)
+                if root_parts is None:
+                    key = _OrderKey(parts, descs, seq)
+                    heapq.heappush(heap, (_ReverseKey(key), current))
+                    if len(heap) == bound:
+                        root_parts = heap[0][0].key.parts
+                elif _parts_less(parts, root_parts, descs):
+                    key = _OrderKey(parts, descs, seq)
+                    heapq.heapreplace(heap, (_ReverseKey(key), current))
+                    root_parts = heap[0][0].key.parts
+                seq += 1
+        finally:
+            _close_iter(source)
+        entries = sorted(heap, key=lambda entry: entry[0].key)
+        tracer = self.tracer
+        started = perf_counter() if tracer is not None else 0.0
+        values = [select_fn(current) for __, current in entries]
+        if tracer is not None:
+            elapsed = perf_counter() - started
+            tracer.record_stage(block, "SELECT", seq, len(values), elapsed)
+            if tracer.trace is not None:
+                tracer.trace.event(
+                    "SELECT",
+                    "stage",
+                    started,
+                    elapsed,
+                    {"rows_in": seq, "rows_out": len(values)},
+                )
+        return values
+
+    def _order_spec(self, order_by: Sequence[ast.OrderItem]) -> List[Tuple]:
+        """``(key_fn, desc, nulls_first)`` per ORDER BY item — the key
+        builder shared by the full sort and the top-K heap."""
+        return [
+            (self.compiled(item.expr), item.desc, item.nulls_first)
+            for item in order_by
+        ]
+
+    def _composite_parts(self, spec: List[Tuple], sort_env: Environment) -> Tuple:
+        """One row's composite sort key: an ``(absence_rank, sort_key)``
+        component per ORDER BY item, each key expression evaluated
+        exactly once.  The absence rank implements NULLS FIRST/LAST
+        (SQL++ default: absent first ascending, last descending)."""
+        parts = []
+        for key_fn, desc, nulls_first in spec:
+            key_value = key_fn(sort_env)
+            absent = key_value is None or key_value is MISSING
+            if nulls_first is None:
+                primary = 0 if absent else 1
+            else:
+                primary = 0 if (absent == nulls_first) else 1
+                if desc:
+                    primary = 1 - primary
+            parts.append((primary, sort_key(key_value)))
+        return tuple(parts)
+
+    def _sort_env(
+        self,
+        value: Any,
+        env: Optional[Environment],
+        outer_env: Environment,
+    ) -> Environment:
+        """The environment ORDER BY keys evaluate in: the row's binding
+        environment when available, overlaid with the output element's
+        attributes (so both underlying variables and select aliases are
+        usable, as in SQL)."""
+        base = env if env is not None else outer_env
+        if isinstance(value, Struct):
+            base = base.extend(dict(value.items()))
+        return base
+
     def _apply_order_by(
         self,
         values: List[Any],
@@ -171,34 +565,32 @@ class Evaluator:
         order_by: Sequence[ast.OrderItem],
         outer_env: Environment,
     ) -> List[Any]:
-        """Stable multi-pass sort by the ORDER BY keys.
+        """Stable single-pass sort on one composite key per row.
 
-        Keys are evaluated in the block's final binding environment when
-        available, overlaid with the output element's attributes (so both
-        underlying variables and select aliases are usable, as in SQL).
+        Each ORDER BY key expression is evaluated exactly once per row
+        and the rows are sorted once, on the composite of all keys —
+        direction and absence handled per component — replacing the
+        previous evaluate-and-stable-sort-per-key passes (identical
+        ordering by lexicographic composition).  Uniform-direction keys
+        sort as native tuples; mixed ASC/DESC uses the
+        :class:`_OrderKey` comparator that flips components
+        individually.
         """
+        spec = self._order_spec(order_by)
+        all_parts: List[Tuple] = []
+        for position, value in enumerate(values):
+            sort_env = self._sort_env(
+                value, envs[position] if envs is not None else None, outer_env
+            )
+            all_parts.append(self._composite_parts(spec, sort_env))
         indexed = list(range(len(values)))
-        sort_envs: List[Environment] = []
-        for position in indexed:
-            base = envs[position] if envs is not None else outer_env
-            value = values[position]
-            if isinstance(value, Struct):
-                base = base.extend(dict(value.items()))
-            sort_envs.append(base)
-
-        for item in reversed(list(order_by)):
-            keys: Dict[int, tuple] = {}
-            for position in indexed:
-                key_value = self.eval_expr(item.expr, sort_envs[position])
-                absent = key_value is None or key_value is MISSING
-                if item.nulls_first is None:
-                    primary = 0 if absent else 1
-                else:
-                    primary = 0 if (absent == item.nulls_first) else 1
-                    if item.desc:
-                        primary = 1 - primary
-                keys[position] = (primary, sort_key(key_value))
-            indexed.sort(key=keys.__getitem__, reverse=item.desc)
+        descs = tuple(item.desc for item in order_by)
+        if len(set(descs)) <= 1:
+            indexed.sort(key=all_parts.__getitem__, reverse=descs[0])
+        else:
+            indexed.sort(
+                key=lambda position: _OrderKey(all_parts[position], descs, position)
+            )
         return [values[position] for position in indexed]
 
     def _apply_limit_offset(
@@ -397,6 +789,157 @@ class Evaluator:
             f"unexpected SELECT clause after rewriting: {type(select).__name__}"
         )
 
+    # -- streaming clause pipeline -------------------------------------------
+
+    def _stream_block(
+        self, block: ast.QueryBlock, env: Environment, project: bool = True
+    ) -> Iterator[Any]:
+        """The block's clause pipeline as a lazy generator chain.
+
+        Yields ``(value, env)`` pairs — the output element plus the
+        binding environment it came from (None after DISTINCT, which
+        collapses environments), mirroring what :meth:`eval_block`
+        returns eagerly.  Each clause wraps the previous clause's
+        iterator, so a consumer that stops early (LIMIT, top-K, EXISTS)
+        stops every upstream producer with it.  GROUP BY remains a
+        pipeline breaker but folds rows into hash-group state as they
+        arrive instead of buffering the binding stream.
+
+        With ``project=False`` the SELECT clause is skipped and the
+        stream yields bare binding environments — the late-
+        materialization mode of :meth:`_top_k_deferred`, which records
+        the SELECT stage itself after projecting the survivors.
+        """
+        tracer = self.tracer
+        var_order: List[str] = []
+        for item in block.from_:
+            self._collect_item_vars(item, var_order)
+        plan = self._block_plan(block)
+        stages: List[_StageTally] = []
+
+        def tally(source: Iterable, name: str) -> Iterable:
+            if tracer is None:
+                return source
+            stage = _StageTally(name)
+            stages.append(stage)
+            return _tallied(source, stage)
+
+        rows: Iterable[Environment]
+        if plan is not None:
+            rows = plan.iter_envs(self, env)
+        else:
+            rows = iter((env,))
+            for item in block.from_:
+                rows = self._iter_from_item(item, rows)
+        rows = tally(rows, "FROM")
+
+        if block.lets:
+            let_fns = []
+            for let in block.lets:
+                var_order.append(let.name)
+                let_fns.append((let.name, self.compiled(let.expr)))
+            rows = tally(_let_rows(let_fns, rows), "LET")
+
+        where_expr = block.where if plan is None else plan.residual_where
+        if where_expr is not None:
+            rows = tally(_filter_rows(self.compiled(where_expr), rows), "WHERE")
+
+        output_vars = var_order
+        if block.group_by is not None:
+            rows = tally(
+                self._iter_group_by(block.group_by, rows, env, var_order),
+                "GROUP BY",
+            )
+            output_vars = [key.alias for key in block.group_by.keys]
+            if block.group_by.group_as:
+                output_vars = output_vars + [block.group_by.group_as]
+
+        if block.having is not None:
+            rows = tally(_filter_rows(self.compiled(block.having), rows), "HAVING")
+
+        if not project:
+            if tracer is None:
+                return rows
+            return self._record_stream_stages(rows, block, stages)
+
+        select = block.select
+        if isinstance(select, ast.SelectValue):
+            pairs = self._select_value_rows(self.compiled(select.expr), rows)
+        elif isinstance(select, ast.SelectStar):
+            pairs = self._select_star_rows(rows, output_vars)
+        else:
+            raise EvaluationError(
+                f"unexpected SELECT clause after rewriting: {type(select).__name__}"
+            )
+        if select.distinct:
+            pairs = tally(self._distinct_rows(pairs), "SELECT DISTINCT")
+        else:
+            pairs = tally(pairs, "SELECT")
+        if tracer is None:
+            return pairs
+        return self._record_stream_stages(pairs, block, stages)
+
+    def _record_stream_stages(
+        self,
+        source: Iterable[Tuple[Any, Optional[Environment]]],
+        block: ast.QueryBlock,
+        stages: List[_StageTally],
+    ) -> Iterator[Tuple[Any, Optional[Environment]]]:
+        """Flush per-stage tallies to the tracer when the stream ends.
+
+        The tallies update incrementally as rows pass each boundary, so
+        the counts are exact even when the consumer closes the stream
+        early; ``rows_in`` chains from the previous stage's output, as
+        in the eager recorder (FROM's input is the single seed binding).
+        """
+        tracer = self.tracer
+        trace = tracer.trace
+        started = perf_counter()
+        try:
+            for pair in source:
+                yield pair
+        finally:
+            _close_iter(source)
+            rows_in = 1
+            for stage in stages:
+                tracer.record_stage(
+                    block, stage.name, rows_in, stage.rows, stage.elapsed
+                )
+                if trace is not None:
+                    trace.event(
+                        stage.name,
+                        "stage",
+                        started,
+                        stage.elapsed,
+                        {"rows_in": rows_in, "rows_out": stage.rows},
+                    )
+                rows_in = stage.rows
+
+    def _select_value_rows(
+        self, select_fn, source: Iterable[Environment]
+    ) -> Iterator[Tuple[Any, Optional[Environment]]]:
+        for current in source:
+            yield select_fn(current), current
+
+    def _select_star_rows(
+        self, source: Iterable[Environment], output_vars: List[str]
+    ) -> Iterator[Tuple[Any, Optional[Environment]]]:
+        for current in source:
+            yield self._eval_star(current, output_vars), current
+
+    def _distinct_rows(
+        self, pairs: Iterable[Tuple[Any, Optional[Environment]]]
+    ) -> Iterator[Tuple[Any, Optional[Environment]]]:
+        """First occurrence wins, by SQL++ grouping equality — the
+        streaming form of :func:`ops.distinct_elements`."""
+        seen = set()
+        for value, __ in pairs:
+            identity = group_key(value)
+            if identity in seen:
+                continue
+            seen.add(identity)
+            yield value, None
+
     # -- FROM ----------------------------------------------------------------
 
     def _block_plan(self, block: ast.QueryBlock):
@@ -573,6 +1116,154 @@ class Evaluator:
                 result.append(pad_right_vars(left_binding, right_vars))
         return result
 
+    # -- FROM (streaming) ------------------------------------------------------
+
+    def _iter_from_item(
+        self, item: ast.FromItem, upstream: Iterable[Environment]
+    ) -> Iterator[Environment]:
+        """Lazily extend each upstream binding environment with one FROM
+        item's bindings (the left-correlated nested loop, streamed)."""
+        upstream = iter(upstream)
+        try:
+            for current in upstream:
+                inner = self._iter_item_bindings(item, current)
+                try:
+                    for binding in inner:
+                        yield current.extend(binding)
+                finally:
+                    _close_iter(inner)
+        finally:
+            _close_iter(upstream)
+
+    def _iter_item_bindings(
+        self, item: ast.FromItem, env: Environment
+    ) -> Iterator[Dict[str, Any]]:
+        """Streaming counterpart of :meth:`_item_bindings` — the shared
+        enumeration choke point for the pipelined reference chain and
+        the physical plan's scan operators.  Governor row accounting
+        moves into the row loop (a timeout or ``max_rows`` breach now
+        fires mid-stream) and EXPLAIN ANALYZE item statistics count
+        rows as they are pulled.
+        """
+        tracer = self.tracer
+        governor = self.governor
+        if tracer is None and governor is None:
+            return self._iter_item_rows(item, env)
+        return self._iter_item_instrumented(item, env, tracer, governor)
+
+    def _iter_item_instrumented(
+        self, item: ast.FromItem, env: Environment, tracer, governor
+    ) -> Iterator[Dict[str, Any]]:
+        span = None
+        if tracer is not None and tracer.trace is not None:
+            from repro.observability.tracer import describe_from_item
+
+            span = tracer.trace.begin(describe_from_item(item), "item")
+        source = self._iter_item_rows(item, env)
+        rows = 0
+        elapsed = 0.0
+        try:
+            while True:
+                if tracer is not None:
+                    started = perf_counter()
+                    try:
+                        binding = next(source)
+                    except StopIteration:
+                        elapsed += perf_counter() - started
+                        break
+                    elapsed += perf_counter() - started
+                else:
+                    try:
+                        binding = next(source)
+                    except StopIteration:
+                        break
+                rows += 1
+                if governor is not None:
+                    governor.add(1)
+                yield binding
+        finally:
+            _close_iter(source)
+            if tracer is not None:
+                tracer.record_item(item, rows, elapsed)
+                if span is not None:
+                    tracer.trace.end(span, {"rows_out": rows})
+
+    def _iter_item_rows(
+        self, item: ast.FromItem, env: Environment
+    ) -> Iterator[Dict[str, Any]]:
+        if isinstance(item, ast.FromCollection):
+            return self._iter_range_bindings(item, env)
+        if isinstance(item, ast.FromUnpivot):
+            return iter(self._unpivot_bindings(item, env))
+        if isinstance(item, ast.FromJoin):
+            return self._iter_join_bindings(item, env)
+        raise EvaluationError(f"unknown FROM item {type(item).__name__}")
+
+    def _iter_range_bindings(
+        self, item: ast.FromCollection, env: Environment
+    ) -> Iterator[Dict[str, Any]]:
+        """Streaming form of :meth:`_range_bindings` (same case
+        analysis); a bag source is pulled element by element, so a
+        :class:`~repro.datamodel.values.LazyBag` never materializes."""
+        value = self.compiled(item.expr)(env)
+        if isinstance(value, list):
+            for position, element in enumerate(value):
+                binding = {item.alias: element}
+                if item.at_alias:
+                    binding[item.at_alias] = position
+                yield binding
+            return
+        if isinstance(value, Bag):
+            for element in value:
+                binding = {item.alias: element}
+                if item.at_alias:
+                    binding[item.at_alias] = MISSING
+                yield binding
+            return
+        if not self.config.is_permissive:
+            raise TypeCheckError(
+                f"FROM expects a collection, got {type_name(value)}"
+            )
+        if value is None or value is MISSING:
+            return
+        binding = {item.alias: value}
+        if item.at_alias:
+            binding[item.at_alias] = MISSING
+        yield binding
+
+    def _iter_join_bindings(
+        self, item: ast.FromJoin, env: Environment
+    ) -> Iterator[Dict[str, Any]]:
+        """Streaming form of :meth:`_join_bindings`: the left side and
+        each lateral right side are pulled row by row; LEFT padding
+        still requires draining the right side per left row."""
+        from repro.core.plan_ops import pad_right_vars
+
+        right_vars: List[str] = []
+        self._collect_item_vars(item.right, right_vars)
+        on_fn = self.compiled(item.on) if item.on is not None else None
+        left_source = self._iter_item_bindings(item.left, env)
+        try:
+            for left_binding in left_source:
+                left_env = env.extend(left_binding)
+                matched = False
+                right_source = self._iter_item_bindings(item.right, left_env)
+                try:
+                    for right_binding in right_source:
+                        combined = {**left_binding, **right_binding}
+                        if on_fn is not None and not ops.is_true(
+                            on_fn(env.extend(combined))
+                        ):
+                            continue
+                        matched = True
+                        yield combined
+                finally:
+                    _close_iter(right_source)
+                if item.kind == "LEFT" and not matched:
+                    yield pad_right_vars(left_binding, right_vars)
+        finally:
+            _close_iter(left_source)
+
     # -- GROUP BY --------------------------------------------------------------
 
     def _apply_group_by(
@@ -642,6 +1333,59 @@ class Evaluator:
                 continue
             element = element.with_attr(name, value)
         return element
+
+    def _iter_group_by(
+        self,
+        clause: ast.GroupByClause,
+        source: Iterable[Environment],
+        outer_env: Environment,
+        var_order: List[str],
+    ) -> Iterator[Environment]:
+        """Streaming hash aggregation: fold each arriving row into the
+        per-grouping-set group state instead of buffering the binding
+        stream.  Each key expression is evaluated once per row (shared
+        across grouping sets, inactive keys masked to NULL) and the
+        GROUP AS element is built once per row, so memory is bounded by
+        the number of groups — plus the grouped members when GROUP AS
+        retains them, which is inherent to its semantics."""
+        key_fns = [self.compiled(key.expr) for key in clause.keys]
+        key_sets = [set(indexes) for indexes in expand_grouping_sets(clause)]
+        # One (groups, first-seen order) pair per grouping set.
+        states: List[Tuple[Dict[tuple, Tuple[List[Any], List[Any]]], List[tuple]]]
+        states = [({}, []) for __ in key_sets]
+        group_as = clause.group_as
+        for current in source:
+            key_values_all = [key_fn(current) for key_fn in key_fns]
+            element = (
+                self._group_element(current, var_order) if group_as else None
+            )
+            for active, (groups, order) in zip(key_sets, states):
+                key_values = [
+                    value if index in active else None
+                    for index, value in enumerate(key_values_all)
+                ]
+                identity = tuple(group_key(value) for value in key_values)
+                group = groups.get(identity)
+                if group is None:
+                    group = (key_values, [])
+                    groups[identity] = group
+                    order.append(identity)
+                if group_as:
+                    group[1].append(element)
+        for groups, order in states:
+            if not groups and not clause.keys:
+                # Implicit aggregation over empty input still produces a
+                # single (empty) group, matching SQL's one-row answer.
+                groups[()] = ([], [])
+                order.append(())
+            for identity in order:
+                key_values, members = groups[identity]
+                bindings: Dict[str, Any] = {}
+                for key, value in zip(clause.keys, key_values):
+                    bindings[key.alias] = value
+                if group_as:
+                    bindings[group_as] = Bag(members)
+                yield outer_env.extend(bindings)
 
     # -- SELECT * / PIVOT -------------------------------------------------------
 
@@ -853,17 +1597,112 @@ class Evaluator:
         return verdict
 
     def _eval_in(self, expr: ast.InPredicate, env: Environment) -> Any:
-        verdict = ops.in_collection(
-            self.eval_expr(expr.operand, env),
-            self.eval_expr(expr.collection, env),
-            self.config,
-        )
+        verdict = self._in_verdict(expr, env)
         if expr.negated:
             return ops.logical_not(verdict, self.config)
         return verdict
 
+    def _in_verdict(self, expr: ast.InPredicate, env: Environment) -> Any:
+        """IN, with early termination over subquery collections.
+
+        A subquery collection whose block can stream is probed row by
+        row: the first TRUE comparison stops the subquery's producers
+        (docs/LANGUAGE.md §8).  Everything else — including a MISSING
+        operand, which needs the collection fully evaluated for its
+        side conditions — falls back to :func:`ops.in_collection` on
+        the materialized collection.
+        """
+        collection = expr.collection
+        query = None
+        coerce_rows = False
+        if isinstance(collection, ast.SubqueryExpr):
+            query = collection.query
+        elif (
+            isinstance(collection, ast.CoerceSubquery)
+            and collection.mode == "collection"
+        ):
+            query = collection.query
+            coerce_rows = True
+        operand = self.eval_expr(expr.operand, env)
+        if query is not None and operand is not MISSING:
+            stream = self._open_value_stream(query, env)
+            if stream is not None:
+                return self._in_stream(operand, stream, coerce_rows)
+        return ops.in_collection(
+            operand, self.eval_expr(collection, env), self.config
+        )
+
+    def _in_stream(self, operand: Any, stream, coerce_rows: bool) -> Any:
+        """Probe a streamed subquery: TRUE on the first match, keeping
+        SQL's three-valued verdict (an unknown comparison anywhere in
+        the stream downgrades FALSE to NULL, as in
+        :func:`ops.in_collection`)."""
+        saw_unknown = False
+        try:
+            for element in stream:
+                if coerce_rows:
+                    element = coercion.single_attribute(element, self.config)
+                verdict = ops.equals(operand, element, self.config)
+                if verdict is True:
+                    return True
+                if verdict is None or verdict is MISSING:
+                    saw_unknown = True
+        finally:
+            stream.close()
+        return None if saw_unknown else False
+
     def _eval_exists(self, expr: ast.Exists, env: Environment) -> Any:
-        return ops.exists(self.eval_expr(expr.operand, env), self.config)
+        return self._exists_verdict(expr.operand, env)
+
+    def _exists_verdict(self, operand: ast.Expr, env: Environment) -> Any:
+        """EXISTS, with early termination: a streamable subquery stops
+        its producers at the first row (EXISTS only asks whether the
+        result is non-empty)."""
+        if isinstance(operand, ast.SubqueryExpr):
+            stream = self._open_value_stream(operand.query, env)
+            if stream is not None:
+                try:
+                    for __ in stream:
+                        return True
+                    return False
+                finally:
+                    stream.close()
+        return ops.exists(self.eval_expr(operand, env), self.config)
+
+    def _open_value_stream(
+        self, query: ast.Query, env: Environment
+    ) -> Optional[Iterator[Any]]:
+        """A lazy iterator over a subquery's output values, or None
+        when the query's shape needs full evaluation first (ORDER BY /
+        LIMIT / OFFSET, set operations, non-streamable block)."""
+        body = query.body
+        if (
+            not isinstance(body, ast.QueryBlock)
+            or not self._can_stream(body)
+            or query.order_by
+            or query.limit is not None
+            or query.offset is not None
+        ):
+            return None
+        self.streamed = True
+        return self._subquery_value_stream(body, env)
+
+    def _subquery_value_stream(
+        self, body: ast.QueryBlock, env: Environment
+    ) -> Iterator[Any]:
+        governor = self.governor
+        if governor is not None:
+            governor.enter_query()
+        try:
+            source = self._stream_block(body, env)
+            try:
+                for value, __ in source:
+                    yield value
+            finally:
+                _close_iter(source)
+        finally:
+            if governor is not None:
+                governor.exit_query()
 
     def _eval_case(self, expr: ast.CaseExpr, env: Environment) -> Any:
         """CASE with the paper's MISSING treatment (Listing 9).

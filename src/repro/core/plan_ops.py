@@ -18,17 +18,26 @@ strategy.  This module provides the physical operators the planner
   re-enumerated under each left binding, exactly as the reference
   evaluator does, preserving the paper's left-correlation semantics.
 
-Every operator maps ``(evaluator, env) -> list of binding dicts`` and
-must be observationally equivalent to the reference pipeline under
-permissive typing (the only mode the planner runs in); the property
-test ``tests/properties/test_planner_equivalence.py`` enforces this on
-generated join workloads.
+Operators follow the Volcano (iterator) model: the primary interface is
+:meth:`PlanOp.iter_bindings`, a generator yielding binding dicts one at
+a time, so a downstream consumer (top-K heap, LIMIT, EXISTS) can stop
+pulling and the whole pipeline stops producing.  Probe sides stream;
+only what *must* be materialized is — the hash-join build table and the
+materialize-once right side of an uncorrelated nested loop (both built
+lazily, on the first probe-side row).  :meth:`PlanOp.bindings` remains
+as the eager wrapper (``list(iter_bindings(...))``).
+
+Every operator must be observationally equivalent to the reference
+pipeline under permissive typing (the only mode the planner runs in);
+the property tests ``tests/properties/test_planner_equivalence.py`` and
+``tests/properties/test_streaming_equivalence.py`` enforce this on
+generated workloads.
 """
 
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.datamodel.equality import group_key
 from repro.datamodel.values import MISSING
@@ -69,49 +78,82 @@ class PlanOp:
     def bindings(
         self, evaluator: "Evaluator", env: "Environment"
     ) -> List[Binding]:
-        """Produce this operator's binding rows, filtered and (when the
-        evaluator carries an :class:`~repro.observability.ExecTracer`)
-        instrumented.  Subclasses implement :meth:`_produce`; timing is
-        inclusive of child operators, as is conventional for EXPLAIN
-        ANALYZE output."""
-        tracer = evaluator.tracer
-        if tracer is None:
-            return self._filtered(evaluator, env, self._produce(evaluator, env))
-        trace = tracer.trace
-        span = (
-            trace.begin(self.describe(), "operator")
-            if trace is not None
-            else None
-        )
-        started = perf_counter()
-        produced = self._produce(evaluator, env)
-        rows = self._filtered(evaluator, env, produced)
-        elapsed = perf_counter() - started
-        if span is not None:
-            trace.end(span, {"rows_in": len(produced), "rows_out": len(rows)})
-        tracer.record_op(self, len(produced), len(rows), elapsed)
-        return rows
+        """Eager wrapper: the fully materialized binding rows."""
+        return list(self.iter_bindings(evaluator, env))
 
-    def _produce(
+    def iter_bindings(
         self, evaluator: "Evaluator", env: "Environment"
-    ) -> List[Binding]:
+    ) -> Iterator[Binding]:
+        """Yield this operator's binding rows one at a time, with pushed
+        filters applied per row inside the stream and (when the
+        evaluator carries an :class:`~repro.observability.ExecTracer`)
+        instrumentation.  Closing the generator closes the whole
+        upstream pipeline, so consumers that stop early (LIMIT, top-K,
+        EXISTS) stop production too.
+
+        Subclasses implement :meth:`_iter_produce`; recorded timing is
+        inclusive of child operators, as is conventional for EXPLAIN
+        ANALYZE output, and for a stream it means "time spent inside
+        ``next()`` of this operator", which includes its children's
+        production time but not the consumer's."""
+        tracer = evaluator.tracer
+        if tracer is not None:
+            return self._iter_traced(evaluator, env, tracer)
+        if not self.filters:
+            return self._iter_produce(evaluator, env)
+        return self._iter_filtered(evaluator, env)
+
+    def _iter_produce(
+        self, evaluator: "Evaluator", env: "Environment"
+    ) -> Iterator[Binding]:
         raise NotImplementedError
 
-    def _filtered(
-        self,
-        evaluator: "Evaluator",
-        env: "Environment",
-        rows: List[Binding],
-    ) -> List[Binding]:
-        if not self.filters:
-            return rows
+    def _iter_filtered(
+        self, evaluator: "Evaluator", env: "Environment"
+    ) -> Iterator[Binding]:
         fns = [evaluator.compiled(predicate) for predicate in self.filters]
-        result = []
-        for row in rows:
+        for row in self._iter_produce(evaluator, env):
             row_env = env.extend(row)
             if all(fn(row_env) is True for fn in fns):
-                result.append(row)
-        return result
+                yield row
+
+    def _iter_traced(
+        self, evaluator: "Evaluator", env: "Environment", tracer
+    ) -> Iterator[Binding]:
+        """The instrumented stream: counts rows in (produced) and out
+        (surviving pushed filters) incrementally, and records the span
+        and operator stats when the stream finishes — by exhaustion or
+        by an early ``close()`` from a downstream consumer, in which
+        case the counts cover exactly the rows that were pulled."""
+        trace = tracer.trace
+        fns = [evaluator.compiled(predicate) for predicate in self.filters]
+        span = trace.begin(self.describe(), "operator") if trace is not None else None
+        rows_in = 0
+        rows_out = 0
+        elapsed = 0.0
+        source = self._iter_produce(evaluator, env)
+        try:
+            while True:
+                started = perf_counter()
+                try:
+                    row = next(source)
+                except StopIteration:
+                    elapsed += perf_counter() - started
+                    break
+                rows_in += 1
+                keep = True
+                if fns:
+                    row_env = env.extend(row)
+                    keep = all(fn(row_env) is True for fn in fns)
+                elapsed += perf_counter() - started
+                if keep:
+                    rows_out += 1
+                    yield row
+        finally:
+            source.close()
+            if span is not None:
+                trace.end(span, {"rows_in": rows_in, "rows_out": rows_out})
+            tracer.record_op(self, rows_in, rows_out, elapsed)
 
     # -- EXPLAIN -----------------------------------------------------------
 
@@ -144,8 +186,8 @@ class ScanOp(PlanOp):
         super().__init__()
         self.item = item
 
-    def _produce(self, evaluator, env):
-        return evaluator._item_bindings(self.item, env)
+    def _iter_produce(self, evaluator, env):
+        return evaluator._iter_item_bindings(self.item, env)
 
     def describe(self) -> str:
         from repro.syntax.printer import print_ast
@@ -177,30 +219,29 @@ class CorrelatedJoinOp(PlanOp):
         self.item = item
         self.right_vars: List[str] = []
 
-    def _produce(self, evaluator, env):
+    def _iter_produce(self, evaluator, env):
         item = self.item
         governor = evaluator.governor
         on_fn = (
             evaluator.compiled(item.on) if item.on is not None else None
         )
-        result: List[Binding] = []
-        for left_binding in self.left.bindings(evaluator, env):
-            before = len(result)
+        for left_binding in self.left.iter_bindings(evaluator, env):
             left_env = env.extend(left_binding)
             matched = False
-            for right_binding in evaluator._item_bindings(
+            for right_binding in evaluator._iter_item_bindings(
                 item.right, left_env
             ):
                 combined = {**left_binding, **right_binding}
                 if on_fn is not None and on_fn(env.extend(combined)) is not True:
                     continue
                 matched = True
-                result.append(combined)
+                if governor is not None:
+                    governor.add(1)
+                yield combined
             if item.kind == "LEFT" and not matched:
-                result.append(pad_right_vars(left_binding, self.right_vars))
-            if governor is not None:
-                governor.add(len(result) - before)
-        return result
+                if governor is not None:
+                    governor.add(1)
+                yield pad_right_vars(left_binding, self.right_vars)
 
     def describe(self) -> str:
         return f"NestedLoopJoin[{self.item.kind}] (correlated/lateral right side)"
@@ -244,28 +285,29 @@ class MaterializeJoinOp(PlanOp):
         self.on = on
         self.right_vars = right_vars
 
-    def _produce(self, evaluator, env):
-        left_rows = self.left.bindings(evaluator, env)
-        if not left_rows:
-            return []
-        right_rows = self.right.bindings(evaluator, env)
+    def _iter_produce(self, evaluator, env):
         governor = evaluator.governor
         on_fn = evaluator.compiled(self.on) if self.on is not None else None
-        result: List[Binding] = []
-        for left_binding in left_rows:
-            before = len(result)
+        # The right side materializes only once a left row exists: the
+        # reference never enumerates the right of an empty left side
+        # (error parity), and a closed stream never pays for it.
+        right_rows: Optional[List[Binding]] = None
+        for left_binding in self.left.iter_bindings(evaluator, env):
+            if right_rows is None:
+                right_rows = self.right.bindings(evaluator, env)
             matched = False
             for right_binding in right_rows:
                 combined = {**left_binding, **right_binding}
                 if on_fn is not None and on_fn(env.extend(combined)) is not True:
                     continue
                 matched = True
-                result.append(combined)
+                if governor is not None:
+                    governor.add(1)
+                yield combined
             if self.kind == "LEFT" and not matched:
-                result.append(pad_right_vars(left_binding, self.right_vars))
-            if governor is not None:
-                governor.add(len(result) - before)
-        return result
+                if governor is not None:
+                    governor.add(1)
+                yield pad_right_vars(left_binding, self.right_vars)
 
     def describe(self) -> str:
         from repro.syntax.printer import print_ast
@@ -313,26 +355,25 @@ class HashJoinOp(PlanOp):
         self.residual = residual
         self.right_vars = right_vars
 
-    def _produce(self, evaluator, env):
-        left_rows = self.left.bindings(evaluator, env)
-        if not left_rows:
-            return []
-        right_rows = self.right.bindings(evaluator, env)
+    def _iter_produce(self, evaluator, env):
         governor = evaluator.governor
         left_key_fns = [evaluator.compiled(key) for key in self.left_keys]
         right_key_fns = [evaluator.compiled(key) for key in self.right_keys]
         residual_fns = [evaluator.compiled(p) for p in self.residual]
 
-        table: Dict[Tuple, List[Binding]] = {}
-        for right_binding in right_rows:
-            key = _key_tuple(right_key_fns, env.extend(right_binding))
-            if key is None:
-                continue  # absent key: can never satisfy the equi-ON
-            table.setdefault(key, []).append(right_binding)
-
-        result: List[Binding] = []
-        for left_binding in left_rows:
-            before = len(result)
+        # The probe (left) side streams; the build table is the one
+        # thing a hash join *must* materialize, and it is built lazily
+        # on the first probe row so an empty or early-closed probe side
+        # never pays for (or observes errors from) the build side.
+        table: Optional[Dict[Tuple, List[Binding]]] = None
+        for left_binding in self.left.iter_bindings(evaluator, env):
+            if table is None:
+                table = {}
+                for right_binding in self.right.bindings(evaluator, env):
+                    key = _key_tuple(right_key_fns, env.extend(right_binding))
+                    if key is None:
+                        continue  # absent key: can never satisfy the equi-ON
+                    table.setdefault(key, []).append(right_binding)
             key = _key_tuple(left_key_fns, env.extend(left_binding))
             matched = False
             for right_binding in (table.get(key, ()) if key is not None else ()):
@@ -342,12 +383,13 @@ class HashJoinOp(PlanOp):
                     if not all(fn(combined_env) is True for fn in residual_fns):
                         continue
                 matched = True
-                result.append(combined)
+                if governor is not None:
+                    governor.add(1)
+                yield combined
             if self.kind == "LEFT" and not matched:
-                result.append(pad_right_vars(left_binding, self.right_vars))
-            if governor is not None:
-                governor.add(len(result) - before)
-        return result
+                if governor is not None:
+                    governor.add(1)
+                yield pad_right_vars(left_binding, self.right_vars)
 
     def describe(self) -> str:
         from repro.syntax.printer import print_ast

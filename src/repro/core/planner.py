@@ -161,45 +161,60 @@ class BlockPlan:
     rewrites: List[str]
 
     def execute(self, evaluator, env) -> list:
-        """Produce the block's binding environments (replaces the
-        reference FROM loop and WHERE filter in ``eval_block``)."""
-        governor = evaluator.governor
-        envs = [env]
+        """Produce the block's binding environments eagerly (the
+        materialized form of :meth:`iter_envs`)."""
+        return list(self.iter_envs(evaluator, env))
+
+    def iter_envs(self, evaluator, env):
+        """Stream the block's binding environments (replaces the
+        reference FROM loop and part of the WHERE in ``eval_block``).
+
+        Pipelined: each upstream environment flows through the item
+        chain as soon as it exists, so a downstream consumer that stops
+        pulling (LIMIT, top-K, EXISTS) stops every operator.  The
+        materialize-once rewrite survives streaming — an uncorrelated
+        item is enumerated a single time, caching its rows while the
+        first upstream environment streams through and replaying the
+        cache for later ones.  An item is never enumerated before the
+        upstream stream produces an environment, matching the reference
+        pipeline's behavior on empty streams (error parity).
+        """
+        stream = iter((env,))
         for item_plan in self.items:
-            if not envs:
-                # The reference never enumerates an item when the stream
-                # is already empty; match that (error parity).
-                return []
-            if item_plan.uncorrelated and len(envs) > 1:
-                rows = item_plan.op.bindings(evaluator, env)
-                if governor is None:
-                    envs = [
-                        current.extend(row) for current in envs for row in rows
-                    ]
+            stream = self._extend_stream(evaluator, env, stream, item_plan)
+        return stream
+
+    def _extend_stream(self, evaluator, root_env, upstream, item_plan):
+        governor = evaluator.governor
+        fns = [evaluator.compiled(p) for p in item_plan.prefix_filters]
+        if item_plan.uncorrelated:
+            # Uncorrelated: the operator's rows do not depend on the
+            # upstream environment, so enumerate against the root
+            # environment once and replay for later upstream rows.  The
+            # replayed cross product can explode on its own; account
+            # for replayed extensions in the governor per row.
+            cache = None
+            for current in upstream:
+                if cache is None:
+                    cache = []
+                    for row in item_plan.op.iter_bindings(evaluator, root_env):
+                        cache.append(row)
+                        extended = current.extend(row)
+                        if not fns or all(fn(extended) is True for fn in fns):
+                            yield extended
                 else:
-                    # The cross product itself can explode; account for
-                    # the extensions (and check the deadline) per input
-                    # binding rather than only at operator boundaries.
-                    extended = []
-                    for current in envs:
-                        for row in rows:
-                            extended.append(current.extend(row))
-                        governor.add(len(rows))
-                    envs = extended
-            else:
-                extended = []
-                for current in envs:
-                    for row in item_plan.op.bindings(evaluator, current):
-                        extended.append(current.extend(row))
-                envs = extended
-            if item_plan.prefix_filters:
-                fns = [evaluator.compiled(p) for p in item_plan.prefix_filters]
-                envs = [
-                    current
-                    for current in envs
-                    if all(fn(current) is True for fn in fns)
-                ]
-        return envs
+                    for row in cache:
+                        if governor is not None:
+                            governor.add(1)
+                        extended = current.extend(row)
+                        if not fns or all(fn(extended) is True for fn in fns):
+                            yield extended
+        else:
+            for current in upstream:
+                for row in item_plan.op.iter_bindings(evaluator, current):
+                    extended = current.extend(row)
+                    if not fns or all(fn(extended) is True for fn in fns):
+                        yield extended
 
     def explain(self, tracer=None) -> str:
         """The plan as text; with a tracer, annotated with runtime stats

@@ -21,6 +21,7 @@ total order used by ``ORDER BY`` (:func:`sort_key`), hashable grouping keys
 from repro.datamodel.values import (
     MISSING,
     Bag,
+    LazyBag,
     Missing,
     Struct,
     is_absent,
@@ -36,6 +37,7 @@ __all__ = [
     "MISSING",
     "Missing",
     "Bag",
+    "LazyBag",
     "Struct",
     "is_absent",
     "is_collection",

@@ -226,6 +226,42 @@ class Bag:
         return "<<" + inner + ">>"
 
 
+class LazyBag(Bag):
+    """A bag whose elements come from a re-iterable factory.
+
+    ``factory`` returns a *fresh* iterator of model values on every
+    call; nothing is materialized up front, and each traversal streams
+    elements one at a time.  This is what lets the pipelined evaluator
+    run ``ORDER BY ... LIMIT k`` or early-terminating consumers in O(k)
+    memory over arbitrarily large generated collections (the eager
+    paths still work — they simply materialize while iterating).
+
+    Like any bag the element order carries no meaning, so the factory
+    is free to produce elements in any (even varying) order; counting
+    via ``len`` traverses the factory once without retaining elements.
+    """
+
+    __slots__ = ("_factory",)
+
+    def __init__(self, factory):
+        self._factory = factory
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._factory())
+
+    def __len__(self) -> int:
+        return sum(1 for __ in self._factory())
+
+    def add(self, item: Any) -> None:
+        raise TypeError("a lazy bag is read-only; materialize it first")
+
+    def to_list(self) -> List[Any]:
+        return list(self._factory())
+
+    def __repr__(self) -> str:
+        return f"<<lazy {self._factory!r}>>"
+
+
 # -- classification helpers ----------------------------------------------
 
 

@@ -10,7 +10,10 @@ the physical operators call :meth:`add` as binding rows materialize and
 and the governor raises :class:`~repro.errors.ResourceExhausted` as soon
 as a limit is crossed.  No threads, no signals: the checks ride the row
 loops the query was already paying for, so an exceeded limit surfaces
-within one binding row of the breach instead of hanging.
+within one binding row of the breach instead of hanging.  On the
+streaming clause pipeline (docs/PLANNER.md) the tick happens mid-stream
+as each row is pulled, so a timeout interrupts a long scan even when no
+downstream clause has produced a row yet.
 
 The raised error carries the partial progress (rows produced, elapsed
 wall time) so clients — the CLI in particular — can report what the

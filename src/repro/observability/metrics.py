@@ -66,6 +66,10 @@ class QueryMetrics:
     total_s: float = 0.0
     #: Top-level result cardinality (None for scalar/error results).
     rows_returned: Optional[int] = None
+    #: Whether any query block ran on the streaming (pipelined) clause
+    #: pipeline — False for the eager reference path (``optimize=False``)
+    #: and for shapes that cannot stream (PIVOT, window functions).
+    streamed: bool = False
     #: Unix timestamp of query start (wall clock, for log correlation).
     started_at: float = field(default_factory=time.time)
 
@@ -88,6 +92,7 @@ class QueryMetrics:
             "execute_s": round(self.execute_s, 6),
             "total_s": round(self.total_s, 6),
             "rows_returned": self.rows_returned,
+            "streamed": self.streamed,
             "started_at": self.started_at,
         }
 

@@ -17,7 +17,10 @@ times things:
 * :meth:`TraceContext.event` records a leaf span post-hoc from an
   already-measured ``(start, duration)`` pair — the style the clause
   pipeline and the compile phases use — parented to whatever span is
-  open at record time.
+  open at record time.  The streaming clause pipeline records its
+  stage spans this way when the stream closes, with ``rows_in`` /
+  ``rows_out`` reflecting only the rows that actually flowed (early
+  termination stops producers before they finish).
 
 Exports:
 

@@ -13,6 +13,14 @@ per clause-pipeline stage:
 * **wall time** — inclusive of children, as is conventional for
   ``EXPLAIN ANALYZE`` output.
 
+On the streaming clause pipeline (docs/PLANNER.md) rows are tallied
+incrementally as each one crosses a generator boundary and the
+accumulated statistics are flushed when the stream closes, so counts
+stay exact under early termination — a ``LIMIT 4`` records the four
+rows that flowed, because the rest were never produced.  A stage's
+wall time includes the time spent pulling from the stages upstream of
+it (the streaming analogue of "inclusive of children").
+
 An ``ExecTracer`` may additionally carry a
 :class:`~repro.observability.spans.TraceContext`; the same choke points
 that feed the aggregate statistics then also record structured spans

@@ -151,6 +151,13 @@ class TestStringsAndLike:
     def test_like_null(self, run):
         assert run("(NULL LIKE 'a') IS NULL") is True
 
+    def test_not_like_absent_operand_is_null(self, run):
+        # NOT applies to the unknown verdict and normalises it to NULL
+        # (ops.logical_not), on both the compiled constant-pattern fast
+        # path and the interpreter.
+        assert run("(NULL NOT LIKE 'a') IS NULL") is True
+        assert run("(MISSING NOT LIKE 'a') IS NULL") is True
+
 
 class TestPredicates:
     def test_between(self, run):

@@ -1,0 +1,284 @@
+"""The pipelined (streaming) clause engine: consumers, laziness, edges.
+
+These tests pin the *observable contract* of streaming execution
+(docs/PLANNER.md, docs/LANGUAGE.md §8):
+
+* bounded consumers — top-K ``ORDER BY ... LIMIT``, plain ``LIMIT``,
+  ``EXISTS``, ``IN (subquery)`` — stop pulling rows once the answer is
+  decided, which is visible both through lazy collections (how many
+  elements the factory yields) and through strict-mode error
+  visibility (errors in rows that are never pulled never surface);
+* the top-K heap and the deferred-select (late materialization) rewrite
+  agree exactly with the eager reference semantics on everything they
+  *do* evaluate;
+* ``QueryMetrics.streamed`` reports which engine ran.
+"""
+
+import pytest
+
+from repro import Database
+from repro.datamodel import Bag, LazyBag, from_python
+from repro.errors import TypeCheckError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.set("t", [{"k": i % 7, "v": i} for i in range(50)])
+    return database
+
+
+class CountingSource:
+    """A ``set_lazy`` factory that counts how many elements it yielded."""
+
+    def __init__(self, rows):
+        self.rows = rows
+        self.yielded = 0
+
+    def __call__(self):
+        for row in self.rows:
+            self.yielded += 1
+            yield row
+
+
+class TestStreamedFlag:
+    def test_streaming_query_sets_flag(self, db):
+        db.execute("SELECT VALUE t.v FROM t AS t")
+        assert db.metrics.last.streamed is True
+
+    def test_reference_path_does_not(self, db):
+        db.execute("SELECT VALUE t.v FROM t AS t", optimize=False)
+        assert db.metrics.last.streamed is False
+
+    def test_strict_mode_streams_too(self, db):
+        db.execute("SELECT VALUE t.v FROM t AS t", typing_mode="strict")
+        assert db.metrics.last.streamed is True
+
+    def test_window_functions_fall_back_to_eager(self, db):
+        db.execute(
+            "SELECT t.v AS v, ROW_NUMBER() OVER (ORDER BY t.v) AS rn "
+            "FROM t AS t"
+        )
+        assert db.metrics.last.streamed is False
+
+    def test_expression_only_query_does_not_stream(self, db):
+        db.execute("1 + 1")
+        assert db.metrics.last.streamed is False
+
+
+class TestEarlyTermination:
+    """Strict-mode error visibility under early termination.
+
+    Decision log (docs/LANGUAGE.md §8): a bounded consumer never pulls
+    rows past the point where its answer is decided, so a strict-mode
+    type error hiding in an *unconsumed* row does not surface under
+    ``optimize=True``.  Errors in consumed rows surface on both paths.
+    """
+
+    @pytest.fixture
+    def poisoned(self):
+        database = Database()
+        # Row 3 poisons any comparison against a number in strict mode.
+        rows = [{"n": i if i != 3 else "three"} for i in range(10)]
+        database.set("p", rows)
+        return database
+
+    def test_error_in_consumed_row_surfaces_on_both_paths(self, poisoned):
+        query = "SELECT VALUE p.n FROM p AS p WHERE p.n < 100 LIMIT 8"
+        for optimize in (True, False):
+            with pytest.raises(TypeCheckError):
+                poisoned.execute(query, typing_mode="strict", optimize=optimize)
+
+    def test_error_past_the_limit_is_skipped_when_streaming(self, poisoned):
+        query = "SELECT VALUE p.n FROM p AS p WHERE p.n < 100 LIMIT 3"
+        assert poisoned.execute(query, typing_mode="strict") == Bag([0, 1, 2])
+        # The eager reference path evaluates every row before LIMIT cuts,
+        # so the same query errors there — the pinned divergence.
+        with pytest.raises(TypeCheckError):
+            poisoned.execute(query, typing_mode="strict", optimize=False)
+
+    def test_exists_stops_before_the_poisoned_row(self, poisoned):
+        query = (
+            "SELECT VALUE EXISTS "
+            "(SELECT VALUE p.n FROM p AS p WHERE p.n >= 0) FROM [1] AS one"
+        )
+        assert poisoned.execute(query, typing_mode="strict") == Bag([True])
+        with pytest.raises(TypeCheckError):
+            poisoned.execute(query, typing_mode="strict", optimize=False)
+
+    def test_deferred_select_skips_evicted_projections(self):
+        # The ORDER BY key (p.n) is clean but the projected attribute
+        # p.x is poisoned on row 3, which the top-K evicts.  Under late
+        # materialization the projection only runs for the survivors,
+        # so the streamed query succeeds where the eager one errors.
+        database = Database()
+        database.set(
+            "p", [{"n": i, "x": 0 if i != 3 else "bad"} for i in range(10)]
+        )
+        query = "SELECT p.n AS n, p.x + 1 AS y FROM p AS p ORDER BY p.n LIMIT 3"
+        result = database.execute(query, typing_mode="strict")
+        assert [row["n"] for row in result] == [0, 1, 2]
+        with pytest.raises(TypeCheckError):
+            database.execute(query, typing_mode="strict", optimize=False)
+
+
+class TestLazyCollections:
+    def test_set_lazy_round_trips(self):
+        db = Database()
+        db.set_lazy("lz", lambda: ({"v": i} for i in range(5)))
+        assert db.execute("SELECT VALUE l.v FROM lz AS l") == Bag(range(5))
+        # The factory is re-invoked per traversal, not consumed once.
+        assert db.execute("SELECT VALUE l.v FROM lz AS l") == Bag(range(5))
+
+    def test_lazybag_streams_per_traversal(self):
+        bag = LazyBag(lambda: iter([from_python({"v": 1})]))
+        assert len(bag) == 1
+        with pytest.raises(TypeError):
+            bag.add(from_python({"v": 2}))
+
+    def test_limit_pulls_only_what_it_returns(self):
+        source = CountingSource([{"v": i} for i in range(1000)])
+        db = Database()
+        db.set_lazy("lz", source)
+        result = db.execute("SELECT VALUE l.v FROM lz AS l LIMIT 3")
+        assert result == Bag([0, 1, 2])
+        assert source.yielded == 3
+
+    def test_exists_pulls_one_row(self):
+        source = CountingSource([{"v": i} for i in range(1000)])
+        db = Database()
+        db.set_lazy("lz", source)
+        result = db.execute(
+            "SELECT VALUE EXISTS (SELECT VALUE l.v FROM lz AS l) "
+            "FROM [1] AS one"
+        )
+        assert result == Bag([True])
+        assert source.yielded == 1
+
+    def test_in_subquery_stops_at_first_match(self):
+        source = CountingSource([{"v": i} for i in range(1000)])
+        db = Database()
+        db.set_lazy("lz", source)
+        result = db.execute(
+            "SELECT VALUE 2 IN (SELECT VALUE l.v FROM lz AS l) "
+            "FROM [1] AS one"
+        )
+        assert result == Bag([True])
+        assert source.yielded == 3
+
+    def test_top_k_consumes_everything_but_keeps_k(self):
+        # Top-K must see every row (the minimum could be last); the win
+        # is memory and skipped projections, not skipped input.
+        source = CountingSource([{"v": i} for i in range(200)])
+        db = Database()
+        db.set_lazy("lz", source)
+        result = db.execute(
+            "SELECT VALUE l.v FROM lz AS l ORDER BY l.v DESC LIMIT 2"
+        )
+        assert list(result) == [199, 198]
+        assert source.yielded == 200
+
+
+class TestTopKEdges:
+    """The top-K heap agrees with the eager stable sort on edge shapes."""
+
+    def run_both(self, db, query):
+        streamed = db.execute(query, optimize=True)
+        reference = db.execute(query, optimize=False)
+        assert list(streamed) == list(reference)
+        return list(streamed)
+
+    def test_limit_zero(self, db):
+        assert self.run_both(
+            db, "SELECT VALUE t.v FROM t AS t ORDER BY t.v LIMIT 0"
+        ) == []
+
+    def test_offset_beyond_input(self, db):
+        assert self.run_both(
+            db, "SELECT VALUE t.v FROM t AS t ORDER BY t.v LIMIT 5 OFFSET 90"
+        ) == []
+
+    def test_limit_beyond_input(self, db):
+        assert len(
+            self.run_both(
+                db, "SELECT VALUE t.v FROM t AS t ORDER BY t.v LIMIT 500"
+            )
+        ) == 50
+
+    def test_stable_on_duplicate_keys(self, db):
+        # t.k has duplicates; ties must come out in input order, exactly
+        # like the reference's stable sort.
+        rows = self.run_both(
+            db,
+            "SELECT t.k AS k, t.v AS v FROM t AS t ORDER BY t.k LIMIT 10",
+        )
+        assert [row["v"] for row in rows] == [0, 7, 14, 21, 28, 35, 42, 49, 1, 8]
+
+    def test_mixed_directions_and_nulls(self):
+        db = Database()
+        db.set(
+            "m",
+            [
+                {"a": 1, "b": None, "v": 0},
+                {"a": 1, "v": 1},  # b MISSING
+                {"a": 2, "b": 5, "v": 2},
+                {"a": 1, "b": 3, "v": 3},
+            ],
+        )
+        self.run_both(
+            db,
+            "SELECT m.v AS v FROM m AS m "
+            "ORDER BY m.a DESC, m.b NULLS FIRST LIMIT 3",
+        )
+
+    def test_order_by_select_alias_is_not_deferred(self, db):
+        # The ORDER BY key names a select alias, so late materialization
+        # must not fire (the key needs the projected struct); results
+        # still match the reference.
+        rows = self.run_both(
+            db,
+            "SELECT t.v AS ranked FROM t AS t ORDER BY ranked DESC LIMIT 3",
+        )
+        assert [row["ranked"] for row in rows] == [49, 48, 47]
+
+
+class TestExplainStreaming:
+    def test_explain_plan_names_the_consumer(self, db):
+        plan = db.explain_plan(
+            "SELECT VALUE t.v FROM t AS t ORDER BY t.v LIMIT 3"
+        )
+        assert "top-K heap" in plan
+        plan = db.explain_plan("SELECT VALUE t.v FROM t AS t LIMIT 3")
+        assert "early termination" in plan
+        plan = db.explain_plan("SELECT VALUE t.v FROM t AS t")
+        assert "streamed bag" in plan
+
+    def test_non_streamable_shapes_have_no_consumer_line(self, db):
+        assert "consumer:" not in Database().explain_plan("1 + 1")
+
+    def test_analyze_row_counts_are_exact_under_streaming(self, db):
+        # The planner pushes t.v < 10 into the scan; the scan operator
+        # must report the exact pre/post-filter cardinalities even
+        # though rows now flow one at a time.
+        report = db.explain_analyze(
+            "SELECT VALUE t.v FROM t AS t WHERE t.v < 10"
+        )
+        scan_line = next(
+            line for line in report.splitlines() if "Scan" in line
+        )
+        assert "rows_in=50" in scan_line and "rows_out=10" in scan_line
+        assert "rows returned: 10" in report
+
+    def test_analyze_shows_early_termination_counts(self, db):
+        report = db.explain_analyze("SELECT VALUE t.v FROM t AS t LIMIT 4")
+        from_stage = next(
+            line
+            for line in report.splitlines()
+            if line.strip().startswith("FROM") and "rows_out" in line
+        )
+        # Only the four consumed rows were ever pulled from the scan.
+        assert "rows_out=4" in from_stage
+        scan_line = next(
+            line for line in report.splitlines() if "Scan" in line
+        )
+        assert "rows_out=4" in scan_line

@@ -1,0 +1,162 @@
+"""Property test: the streaming clause pipeline preserves Core semantics.
+
+For randomly generated workloads — heterogeneous rows with optional
+(sometimes-MISSING) attributes, joins, filters, GROUP BY, ORDER BY with
+random directions and NULLS placement, LIMIT and OFFSET — evaluation
+with ``optimize=True`` (the pipelined generator engine: streamed scans,
+top-K ORDER BY ... LIMIT, early termination, streaming hash GROUP BY)
+must produce exactly the same result as ``optimize=False`` (the eager
+reference semantics).
+
+Results are compared *ordered* (``deep_equals`` on lists).  This is the
+strongest possible check and it is sound because every streaming
+operator is order-preserving relative to the reference pipeline and the
+top-K heap reproduces the reference's stable sort via a sequence-number
+tiebreaker (docs/PLANNER.md).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Database
+from repro.datamodel.equality import deep_equals
+
+
+def row_strategy():
+    # Optional attributes: a dropped key means MISSING, exercising the
+    # ORDER BY NULLS placement and absent-key grouping paths.
+    return st.fixed_dictionaries(
+        {},
+        optional={
+            "k": st.one_of(
+                st.none(), st.integers(0, 4), st.sampled_from(["a", "b"])
+            ),
+            "j": st.integers(0, 2),
+            "u": st.integers(-10, 10),
+        },
+    )
+
+
+def with_ids(rows):
+    # A unique id per row gives ORDER BY a total tiebreaker, so ordered
+    # comparison is deterministic even on duplicate sort keys.
+    return [dict(row, id=i) for i, row in enumerate(rows)]
+
+
+tables = st.tuples(
+    st.lists(row_strategy(), max_size=10),
+    st.lists(row_strategy(), max_size=8),
+)
+
+order_modifiers = st.tuples(
+    st.sampled_from(["", " DESC"]),
+    st.sampled_from(["", " NULLS FIRST", " NULLS LAST"]),
+)
+
+limit_offset = st.tuples(
+    st.one_of(st.none(), st.integers(0, 12)),
+    st.one_of(st.none(), st.integers(0, 6)),
+)
+
+
+def tail_clause(limit, offset):
+    clause = ""
+    if limit is not None:
+        clause += f" LIMIT {limit}"
+    if offset is not None:
+        clause += f" OFFSET {offset}"
+    return clause
+
+
+def run_both(db: Database, query: str, typing_mode: str = "permissive") -> None:
+    streamed = db.execute(query, optimize=True, typing_mode=typing_mode)
+    assert db.metrics.last.streamed is True
+    reference = db.execute(query, optimize=False, typing_mode=typing_mode)
+    assert db.metrics.last.streamed is False
+    assert deep_equals(list(streamed), list(reference)), (
+        f"streaming parity violation for {query!r}"
+    )
+
+
+@given(
+    st.lists(row_strategy(), max_size=12),
+    order_modifiers,
+    limit_offset,
+    st.sampled_from(["permissive", "strict"]),
+)
+@settings(max_examples=80, deadline=None)
+def test_order_limit_offset_parity(rows, modifiers, tail, typing_mode):
+    desc, nulls = modifiers
+    db = Database()
+    db.set("t", with_ids(rows))
+    query = (
+        "SELECT t.id AS id, t.k AS k FROM t AS t "
+        f"ORDER BY t.k{desc}{nulls}, t.id{tail_clause(*tail)}"
+    )
+    run_both(db, query, typing_mode)
+
+
+@given(st.lists(row_strategy(), max_size=12), limit_offset)
+@settings(max_examples=60, deadline=None)
+def test_unordered_limit_offset_parity(rows, tail):
+    db = Database()
+    db.set("t", with_ids(rows))
+    for select in ("t.id AS id", "VALUE t.u", "DISTINCT t.j AS j"):
+        run_both(
+            db,
+            f"SELECT {select} FROM t AS t{tail_clause(*tail)}",
+        )
+
+
+@given(tables, st.sampled_from(["JOIN", "LEFT JOIN"]), order_modifiers)
+@settings(max_examples=60, deadline=None)
+def test_join_where_order_limit_parity(data, kind, modifiers):
+    left, right = data
+    desc, nulls = modifiers
+    db = Database()
+    db.set("lt", with_ids(left))
+    db.set("rt", with_ids(right))
+    run_both(
+        db,
+        "SELECT l.id AS lid, r.id AS rid, r.u AS u FROM lt AS l "
+        f"{kind} rt AS r ON l.k = r.k WHERE l.j >= 1 "
+        f"ORDER BY r.u{desc}{nulls}, l.id, r.id LIMIT 4",
+    )
+
+
+@given(tables, limit_offset)
+@settings(max_examples=60, deadline=None)
+def test_group_by_having_order_parity(data, tail):
+    left, __ = data
+    db = Database()
+    db.set("t", with_ids(left))
+    run_both(
+        db,
+        "SELECT j, COUNT(*) AS n, SUM(t.u) AS total "
+        "FROM t AS t GROUP BY t.j AS j "
+        "HAVING COUNT(*) >= 1 "
+        f"ORDER BY n DESC, j{tail_clause(*tail)}",
+    )
+    run_both(
+        db,
+        "SELECT k, (SELECT VALUE e.t.u FROM g AS e) AS members "
+        "FROM t AS t GROUP BY t.k AS k GROUP AS g",
+    )
+
+
+@given(tables)
+@settings(max_examples=50, deadline=None)
+def test_correlated_exists_and_in_parity(data):
+    left, right = data
+    db = Database()
+    db.set("lt", with_ids(left))
+    db.set("rt", with_ids(right))
+    run_both(
+        db,
+        "SELECT l.id AS id FROM lt AS l "
+        "WHERE EXISTS (SELECT VALUE r.id FROM rt AS r WHERE r.k = l.k)",
+    )
+    run_both(
+        db,
+        "SELECT l.id AS id FROM lt AS l "
+        "WHERE l.j IN (SELECT VALUE r.j FROM rt AS r)",
+    )
