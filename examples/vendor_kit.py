@@ -15,7 +15,7 @@ from collections import defaultdict
 from repro.compat import all_cases, run_case, run_cases
 from repro.compat.report import report_json
 from repro.compat.runner import build_database
-from repro.datamodel import deep_equals, to_python
+from repro.datamodel import to_python
 from repro.formats import sqlpp_dumps, sqlpp_loads
 
 

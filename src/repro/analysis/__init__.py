@@ -1,0 +1,68 @@
+"""Static semantic analysis for SQL++ (the ``lint`` subsystem).
+
+The analyzer runs on the *rewritten Core AST* — after the SQL-sugar
+rewriter, before planning — so it checks exactly the program the
+evaluator will run, with the paper's two language dials (SQL
+compatibility and typing mode) already applied.  It is schema-optional,
+like everything else in the reproduction: with no schema it reasons
+over a coarse abstract-type lattice seeded from nothing; with catalog
+schemas it seeds the lattice from them and gets sharper answers.
+
+Layering (each layer only depends on the ones above it):
+
+* :mod:`repro.analysis.diagnostics` — :class:`Diagnostic`, severities,
+  suppression parsing (``-- sqlpp-ignore: SQLPP001`` comments).
+* :mod:`repro.analysis.rules` — the stable rule registry
+  (``SQLPP000``..``SQLPP105``), one place per code.
+* :mod:`repro.analysis.lattice` — the abstract type lattice
+  (:class:`AType`): scalar categories x collection/tuple shape x the
+  NULL/MISSING absence dimension, with ``join`` and schema seeding.
+* :mod:`repro.analysis.scopes` — the scope resolver: walks the binding
+  structure of FROM/LET/GROUP AS and reports unbound, shadowed and
+  unused names.
+* :mod:`repro.analysis.typeflow` — the abstract interpreter: infers an
+  :class:`AType` for every expression and reports statically-decidable
+  type trouble (always-MISSING navigation, disjoint comparisons, ...).
+* :mod:`repro.analysis.analyzer` — orchestration: parse, rewrite, run
+  the passes, apply suppressions.
+* :mod:`repro.analysis.render` — human (caret-context) and JSON
+  renderers.
+
+Entry points: :func:`analyze` here, ``Database.check`` on the library
+facade, and ``python -m repro lint`` on the command line.
+"""
+
+from repro.analysis.analyzer import AnalyzerOptions, analyze, analyze_query
+from repro.analysis.diagnostics import (
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    filter_suppressed,
+    sort_diagnostics,
+)
+from repro.analysis.lattice import AType, from_schema, infer_literal
+from repro.analysis.rules import RULES, Rule, rule_for
+from repro.analysis.render import render_json, render_text
+from repro.analysis.typeflow import infer_expression
+
+__all__ = [
+    "AType",
+    "AnalyzerOptions",
+    "Diagnostic",
+    "ERROR",
+    "INFO",
+    "RULES",
+    "Rule",
+    "WARNING",
+    "analyze",
+    "analyze_query",
+    "filter_suppressed",
+    "from_schema",
+    "infer_expression",
+    "infer_literal",
+    "render_json",
+    "render_text",
+    "rule_for",
+    "sort_diagnostics",
+]

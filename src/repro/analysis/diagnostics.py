@@ -1,0 +1,157 @@
+"""Diagnostics: the value type every analysis pass produces.
+
+A :class:`Diagnostic` is one finding — a stable rule code, a severity,
+a message, and (when the offending construct has a source span) a
+1-based line/column.  Findings are plain frozen dataclasses so they
+sort, dedupe and serialise trivially.
+
+Suppression comes in two layers:
+
+* a per-call allowlist (``suppress={"SQLPP003"}`` on the API, repeated
+  ``--ignore`` flags on the CLI), and
+* inline comments in the query text: ``-- sqlpp-ignore: SQLPP001,
+  SQLPP003`` suppresses those codes for findings *on that source
+  line*; a bare ``-- sqlpp-ignore`` suppresses every code on the line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+#: Severity levels, ordered most to least severe.
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_RANK: Dict[str, int] = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding.
+
+    ``code`` is the stable rule identifier (``SQLPP001``); ``severity``
+    is one of :data:`ERROR` / :data:`WARNING` / :data:`INFO`.  ``line``
+    and ``column`` are 1-based positions into the analyzed source, or
+    ``None`` when the finding is about a synthesized node with no
+    surface span.  ``hint`` optionally suggests a fix.
+    """
+
+    code: str
+    severity: str
+    message: str
+    line: Optional[int] = None
+    column: Optional[int] = None
+    hint: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready representation (``None`` fields omitted)."""
+        payload: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.line is not None:
+            payload["line"] = self.line
+            payload["column"] = self.column
+        if self.hint is not None:
+            payload["hint"] = self.hint
+        return payload
+
+
+def severity_rank(severity: str) -> int:
+    """Sort rank for a severity (unknown severities sort last)."""
+    return _SEVERITY_RANK.get(severity, len(_SEVERITY_RANK))
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Stable order: severity first, then source position, then code."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (
+            severity_rank(d.severity),
+            d.line if d.line is not None else 1 << 30,
+            d.column if d.column is not None else 1 << 30,
+            d.code,
+            d.message,
+        ),
+    )
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    """True when any finding is error-severity."""
+    return any(d.severity == ERROR for d in diagnostics)
+
+
+#: ``-- sqlpp-ignore`` with an optional ``: CODE[, CODE...]`` tail.
+_IGNORE_COMMENT = re.compile(
+    r"--[^\n]*?sqlpp-ignore\s*(?::\s*(?P<codes>[A-Za-z0-9_,\s]*))?",
+)
+
+
+def suppressions_by_line(
+    source: str,
+) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Inline suppressions per source line.
+
+    Maps a 1-based line number to the set of suppressed codes on that
+    line, or to ``None`` when a bare ``-- sqlpp-ignore`` suppresses
+    everything on the line.
+    """
+    result: Dict[int, Optional[FrozenSet[str]]] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = _IGNORE_COMMENT.search(text)
+        if match is None:
+            continue
+        raw = match.group("codes")
+        codes = (
+            frozenset(c.strip().upper() for c in raw.split(",") if c.strip())
+            if raw is not None
+            else frozenset()
+        )
+        # An empty code list (bare marker, or a dangling colon) means
+        # "everything on this line".
+        result[number] = codes or None
+    return result
+
+
+def filter_suppressed(
+    diagnostics: Iterable[Diagnostic],
+    source: Optional[str] = None,
+    suppress: Iterable[str] = (),
+) -> List[Diagnostic]:
+    """Drop findings matched by per-call or inline suppressions."""
+    global_codes = frozenset(code.upper() for code in suppress)
+    inline: Dict[int, Optional[FrozenSet[str]]] = (
+        suppressions_by_line(source) if source else {}
+    )
+    kept: List[Diagnostic] = []
+    for diagnostic in diagnostics:
+        if diagnostic.code in global_codes:
+            continue
+        if diagnostic.line is not None and diagnostic.line in inline:
+            codes = inline[diagnostic.line]
+            if codes is None or diagnostic.code in codes:
+                continue
+        kept.append(diagnostic)
+    return kept
+
+
+def dedupe(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Drop exact-duplicate findings, keeping first occurrence order."""
+    seen: set[Tuple[Any, ...]] = set()
+    kept: List[Diagnostic] = []
+    for diagnostic in diagnostics:
+        key = (
+            diagnostic.code,
+            diagnostic.message,
+            diagnostic.line,
+            diagnostic.column,
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        kept.append(diagnostic)
+    return kept

@@ -1,0 +1,67 @@
+"""Renderers for analyzer findings: human caret-context and JSON.
+
+The text renderer mirrors the compiler convention —
+``file:line:col: severity[CODE] message`` with the offending source
+line and a ``^`` marker underneath (reusing the same
+:func:`repro.errors.caret_snippet` parse errors use), followed by an
+optional hint and a one-line summary.  The JSON renderer emits a
+stable machine-readable document for editor and CI integration.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional
+
+from repro.analysis.diagnostics import ERROR, WARNING, Diagnostic
+from repro.errors import caret_snippet
+
+
+def render_text(
+    diagnostics: Iterable[Diagnostic],
+    source: Optional[str] = None,
+    filename: Optional[str] = None,
+) -> str:
+    """Human-readable report, one caret-context block per finding."""
+    items = list(diagnostics)
+    label = filename if filename is not None else "<query>"
+    lines: List[str] = []
+    for diagnostic in items:
+        location = label
+        if diagnostic.line is not None:
+            location = f"{label}:{diagnostic.line}:{diagnostic.column}"
+        lines.append(
+            f"{location}: {diagnostic.severity}[{diagnostic.code}] "
+            f"{diagnostic.message}"
+        )
+        snippet = caret_snippet(
+            source, diagnostic.line, diagnostic.column, indent="    "
+        )
+        if snippet is not None:
+            lines.append(snippet)
+        if diagnostic.hint is not None:
+            lines.append(f"    hint: {diagnostic.hint}")
+    errors = sum(1 for d in items if d.severity == ERROR)
+    warnings = sum(1 for d in items if d.severity == WARNING)
+    if not items:
+        lines.append(f"{label}: clean")
+    else:
+        lines.append(
+            f"{label}: {errors} error(s), {warnings} warning(s), "
+            f"{len(items) - errors - warnings} note(s)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(
+    diagnostics: Iterable[Diagnostic], filename: Optional[str] = None
+) -> str:
+    """Machine-readable report: a JSON document per input."""
+    items = list(diagnostics)
+    payload = {
+        "file": filename,
+        "errors": sum(1 for d in items if d.severity == ERROR),
+        "warnings": sum(1 for d in items if d.severity == WARNING),
+        "diagnostics": [d.to_dict() for d in items],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,152 @@
+"""The lint-rule registry: one stable code per finding kind.
+
+Codes never change meaning once released; retired rules keep their
+number reserved.  The ``SQLPP0xx`` range is syntactic/structural (the
+scope resolver and the surface pass), ``SQLPP1xx`` is the abstract
+type-flow pass.  Every rule documents *when it is sound*: error
+severity is reserved for findings that are guaranteed runtime failures
+in **both** typing modes; anything mode-dependent or merely suspicious
+is a warning.
+
+docs/ANALYZER.md carries the narrative catalog; this module is the
+single source of truth the docs and renderers read from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.diagnostics import ERROR, WARNING, Diagnostic
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata for one lint rule."""
+
+    code: str
+    name: str
+    severity: str
+    summary: str
+
+
+def _rule(code: str, name: str, severity: str, summary: str) -> Rule:
+    return Rule(code=code, name=name, severity=severity, summary=summary)
+
+
+#: Every rule the analyzer can emit, by stable code.
+RULES: Dict[str, Rule] = {
+    rule.code: rule
+    for rule in (
+        _rule(
+            "SQLPP000",
+            "syntax-error",
+            ERROR,
+            "The query does not lex, parse, or rewrite onto the SQL++ "
+            "Core; nothing downstream can run it.",
+        ),
+        _rule(
+            "SQLPP001",
+            "unbound-variable",
+            ERROR,
+            "A name resolves to neither a variable in scope nor a named "
+            "value in the database; evaluation raises BindingError.",
+        ),
+        _rule(
+            "SQLPP002",
+            "shadowed-variable",
+            WARNING,
+            "A FROM/LET/GROUP binding reuses a name already bound in an "
+            "enclosing or earlier scope, hiding it for the rest of the "
+            "query.",
+        ),
+        _rule(
+            "SQLPP003",
+            "unused-let",
+            WARNING,
+            "A LET binding is never referenced after its definition "
+            "(names starting with '_' are exempt).",
+        ),
+        _rule(
+            "SQLPP004",
+            "unknown-function",
+            ERROR,
+            "A function call names no builtin; evaluation raises "
+            "EvaluationError in both typing modes.",
+        ),
+        _rule(
+            "SQLPP005",
+            "duplicate-key",
+            WARNING,
+            "A struct constructor or SELECT list repeats an attribute "
+            "name; the last occurrence silently wins.",
+        ),
+        _rule(
+            "SQLPP006",
+            "negative-limit",
+            ERROR,
+            "LIMIT or OFFSET has a statically negative argument; "
+            "evaluation raises EvaluationError in both typing modes.",
+        ),
+        _rule(
+            "SQLPP101",
+            "always-missing",
+            WARNING,
+            "The expression is statically guaranteed to produce MISSING "
+            "(e.g. navigation into a closed tuple that lacks the "
+            "attribute).",
+        ),
+        _rule(
+            "SQLPP102",
+            "comparison-type-mismatch",
+            WARNING,
+            "A comparison's operands lie in provably disjoint type "
+            "categories, so it can never compare actual values: it "
+            "yields MISSING (permissive) or raises (strict).",
+        ),
+        _rule(
+            "SQLPP103",
+            "aggregate-non-collection",
+            WARNING,
+            "A COLL_* aggregate is applied to a value that is provably "
+            "never a collection.",
+        ),
+        _rule(
+            "SQLPP104",
+            "order-by-never-comparable",
+            WARNING,
+            "An ORDER BY key is statically always NULL/MISSING, so it "
+            "cannot order the result.",
+        ),
+        _rule(
+            "SQLPP105",
+            "equals-null",
+            WARNING,
+            "Comparing with = / != against NULL never yields TRUE; use "
+            "IS [NOT] NULL.",
+        ),
+    )
+}
+
+
+def rule_for(code: str) -> Rule:
+    """The registered rule for a code (KeyError on unknown codes)."""
+    return RULES[code]
+
+
+def make(
+    code: str,
+    message: str,
+    line: Optional[int] = None,
+    column: Optional[int] = None,
+    hint: Optional[str] = None,
+) -> Diagnostic:
+    """A :class:`Diagnostic` for ``code`` with the rule's severity."""
+    return Diagnostic(
+        code=code,
+        severity=RULES[code].severity,
+        message=message,
+        line=line,
+        column=column,
+        hint=hint,
+    )

@@ -1,0 +1,429 @@
+"""The scope resolver: name binding over the Core AST.
+
+Walks the binding structure the evaluator implements — left-correlated
+FROM items, sequential LETs, the post-``GROUP BY`` scope replacement
+(only the key aliases and the ``GROUP AS`` variable survive a
+grouping), correlated subqueries — and reports:
+
+* ``SQLPP001`` unbound-variable: a name that is neither a variable in
+  scope nor a named value in the database (including the evaluator's
+  dotted-catalog-name rescue, ``hr.emp``);
+* ``SQLPP002`` shadowed-variable: a binding hiding an earlier one;
+* ``SQLPP003`` unused-let: a LET binding never referenced while
+  visible;
+* ``SQLPP004`` unknown-function / wrong arity: a call the runtime is
+  guaranteed to reject.
+
+ORDER BY keys get *lenient* resolution when the block's output tuple
+shape is not statically known: the evaluator lets sort keys reference
+output attributes (SQL-style column references), so unbound reports
+there are only sound when every output attribute name is known.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules import make
+from repro.syntax import ast
+
+
+@dataclass
+class _Binding:
+    """One name in scope, with use tracking for unused-LET."""
+
+    name: str
+    kind: str  # 'from' | 'at' | 'let' | 'group' | 'key' | 'output'
+    line: Optional[int]
+    column: Optional[int]
+    used: bool = False
+    report_unused: bool = False
+
+
+_Env = Dict[str, _Binding]
+
+
+class ScopeResolver:
+    """Resolve every name in a Core query against its binding site."""
+
+    def __init__(self, catalog_names: Tuple[str, ...] = ()) -> None:
+        self._catalog: Set[str] = set(catalog_names)
+        self.diagnostics: List[Diagnostic] = []
+        # Depth of lenient contexts (ORDER BY over unknown output
+        # shapes): unbound reports are suppressed, traversal continues.
+        self._lenient = 0
+
+    # ------------------------------------------------------------------
+    # Entry
+    # ------------------------------------------------------------------
+
+    def check_query(self, query: ast.Query, env: Optional[_Env] = None) -> None:
+        env = dict(env) if env else {}
+        body_env, output_attrs = self._check_body(query.body, env)
+        if query.order_by:
+            order_env = dict(env)
+            order_env.update(body_env)
+            lenient = output_attrs is None
+            for attr in output_attrs or ():
+                order_env.setdefault(
+                    attr, _Binding(attr, "output", None, None, used=True)
+                )
+            if lenient:
+                self._lenient += 1
+            try:
+                for item in query.order_by:
+                    self.check_expr(item.expr, order_env)
+            finally:
+                if lenient:
+                    self._lenient -= 1
+        if query.limit is not None:
+            self.check_expr(query.limit, env)
+        if query.offset is not None:
+            self.check_expr(query.offset, env)
+
+    def _check_body(
+        self, body: ast.Node, env: _Env
+    ) -> Tuple[_Env, Optional[Set[str]]]:
+        """Check a query body; returns the environment sort keys may
+        additionally see, plus the output attribute names when the
+        output tuple shape is statically known (None = unknown)."""
+        if isinstance(body, ast.QueryBlock):
+            return self._check_block(body, env)
+        if isinstance(body, ast.SetOp):
+            left_env, left_attrs = self._check_body(body.left, env)
+            __, right_attrs = self._check_body(body.right, env)
+            if left_attrs is None or right_attrs is None:
+                return {}, None
+            return {}, left_attrs | right_attrs
+        if isinstance(body, ast.Query):
+            self.check_query(body, env)
+            return {}, None
+        # Bare expression query.
+        self.check_expr(body, env)
+        return {}, None
+
+    # ------------------------------------------------------------------
+    # Query blocks
+    # ------------------------------------------------------------------
+
+    def _check_block(
+        self, block: ast.QueryBlock, outer_env: _Env
+    ) -> Tuple[_Env, Optional[Set[str]]]:
+        env = dict(outer_env)
+        local: List[_Binding] = []
+
+        if block.from_ is not None:
+            for item in block.from_:
+                self._check_from(item, env, local)
+        for let in block.lets:
+            self.check_expr(let.expr, env)
+            binding = self._bind(env, let.name, "let", let, shadow_check=True)
+            binding.report_unused = not let.name.startswith(("_", "$"))
+            local.append(binding)
+        if block.where is not None:
+            self.check_expr(block.where, env)
+
+        if block.group_by is not None:
+            for key in block.group_by.keys:
+                self.check_expr(key.expr, env)
+            if block.group_by.group_as is not None:
+                # GROUP AS captures every block-local binding into the
+                # group's tuples, so they all count as used.
+                for binding in local:
+                    binding.used = True
+            # Grouping replaces the block scope: only the key aliases
+            # and the GROUP AS variable survive (paper, Section V-B).
+            env = dict(outer_env)
+            for key in block.group_by.keys:
+                self._bind(env, key.alias, "key", key, shadow_check=False)
+            if block.group_by.group_as is not None:
+                self._bind(
+                    env,
+                    block.group_by.group_as,
+                    "group",
+                    block.group_by,
+                    shadow_check=True,
+                )
+
+        if block.having is not None:
+            self.check_expr(block.having, env)
+        output_attrs = self._check_select(block.select, env)
+
+        for binding in local:
+            if binding.report_unused and not binding.used:
+                self.diagnostics.append(
+                    make(
+                        "SQLPP003",
+                        f"LET binding {binding.name!r} is never used",
+                        line=binding.line,
+                        column=binding.column,
+                        hint="remove it, or rename it with a leading "
+                        "underscore to keep it intentionally",
+                    )
+                )
+        return env, output_attrs
+
+    def _check_from(
+        self, item: ast.FromItem, env: _Env, local: List[_Binding]
+    ) -> None:
+        if isinstance(item, ast.FromCollection):
+            self.check_expr(item.expr, env)
+            local.append(self._bind(env, item.alias, "from", item, shadow_check=True))
+            if item.at_alias is not None:
+                local.append(
+                    self._bind(env, item.at_alias, "at", item, shadow_check=True)
+                )
+        elif isinstance(item, ast.FromUnpivot):
+            self.check_expr(item.expr, env)
+            local.append(
+                self._bind(env, item.value_alias, "from", item, shadow_check=True)
+            )
+            local.append(
+                self._bind(env, item.at_alias, "at", item, shadow_check=True)
+            )
+        elif isinstance(item, ast.FromJoin):
+            self._check_from(item.left, env, local)
+            self._check_from(item.right, env, local)
+            if item.on is not None:
+                self.check_expr(item.on, env)
+
+    def _check_select(
+        self, select: ast.SelectClause, env: _Env
+    ) -> Optional[Set[str]]:
+        """Check the SELECT clause; returns the statically-known output
+        attribute names (None when the shape is open)."""
+        if isinstance(select, ast.SelectValue):
+            self.check_expr(select.expr, env)
+            return _struct_literal_keys(select.expr)
+        if isinstance(select, ast.SelectList):
+            attrs: Set[str] = set()
+            known = True
+            for item in select.items:
+                self.check_expr(item.expr, env)
+                if item.star or item.alias is None:
+                    known = False
+                else:
+                    attrs.add(item.alias)
+            return attrs if known else None
+        if isinstance(select, ast.SelectStar):
+            for binding in env.values():
+                binding.used = True
+            return None
+        if isinstance(select, ast.PivotClause):
+            self.check_expr(select.value, env)
+            self.check_expr(select.at, env)
+            return None
+        return None
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def check_expr(self, node: ast.Node, env: _Env) -> None:
+        if isinstance(node, ast.VarRef):
+            self._resolve(node.name, env, node)
+        elif isinstance(node, ast.Path):
+            self._check_path(node, env)
+        elif isinstance(node, (ast.SubqueryExpr, ast.CoerceSubquery)):
+            self.check_query(node.query, env)
+        elif isinstance(node, ast.FunctionCall):
+            self._check_call(node, env)
+        elif isinstance(node, ast.WindowCall):
+            # The window-function name is dispatched by the window
+            # engine, not the scalar registry — skip the name check.
+            for arg in node.call.args:
+                self.check_expr(arg, env)
+            for expr in node.spec.partition_by:
+                self.check_expr(expr, env)
+            for item in node.spec.order_by:
+                self.check_expr(item.expr, env)
+        elif isinstance(node, ast.Query):
+            self.check_query(node, env)
+        else:
+            for child in _children(node):
+                self.check_expr(child, env)
+
+    def _check_path(self, node: ast.Path, env: _Env) -> None:
+        chain = _var_chain(node)
+        if chain is None:
+            self.check_expr(node.base, env)
+            return
+        names, base_ref = chain
+        if self._resolvable(names[0], env):
+            return
+        # The evaluator's rescue: successively longer dotted prefixes
+        # as catalog names ('hr.emp' stored under one dotted name).
+        for length in range(2, len(names) + 1):
+            if ".".join(names[:length]) in self._catalog:
+                return
+        self._report_unbound(names[0], env, base_ref)
+
+    def _check_call(self, node: ast.FunctionCall, env: _Env) -> None:
+        from repro.functions.registry import REGISTRY
+
+        name = node.name.upper()
+        definition = REGISTRY.lookup(name)
+        if not name.startswith("$") and definition is None:
+            hint = None
+            from repro.functions.aggregates import SQL_AGGREGATES
+
+            if name in SQL_AGGREGATES:
+                hint = (
+                    f"SQL aggregates are compat-mode sugar; in core "
+                    f"mode call {SQL_AGGREGATES[name]} over a collection"
+                )
+            else:
+                close = difflib.get_close_matches(name, REGISTRY.names(), n=1)
+                if close:
+                    hint = f"did you mean {close[0]}?"
+            self.diagnostics.append(
+                make(
+                    "SQLPP004",
+                    f"unknown function {node.name!r}",
+                    line=node.line,
+                    column=node.column,
+                    hint=hint,
+                )
+            )
+        elif definition is not None and not node.star:
+            count = len(node.args)
+            if count < definition.min_args or (
+                definition.max_args is not None
+                and count > definition.max_args
+            ):
+                expected = (
+                    str(definition.min_args)
+                    if definition.max_args == definition.min_args
+                    else f"{definition.min_args}..{definition.max_args or 'N'}"
+                )
+                self.diagnostics.append(
+                    make(
+                        "SQLPP004",
+                        f"{definition.name} expects {expected} "
+                        f"argument(s), got {count}",
+                        line=node.line,
+                        column=node.column,
+                    )
+                )
+        for arg in node.args:
+            self.check_expr(arg, env)
+
+    # ------------------------------------------------------------------
+    # Binding and resolution
+    # ------------------------------------------------------------------
+
+    def _bind(
+        self,
+        env: _Env,
+        name: str,
+        kind: str,
+        node: ast.Node,
+        shadow_check: bool,
+    ) -> _Binding:
+        if shadow_check and name in env and not name.startswith("$"):
+            previous = env[name]
+            self.diagnostics.append(
+                make(
+                    "SQLPP002",
+                    f"{kind.upper()} binding {name!r} shadows the "
+                    f"{previous.kind.upper()} binding of the same name",
+                    line=node.line,
+                    column=node.column,
+                )
+            )
+        binding = _Binding(name, kind, node.line, node.column)
+        env[name] = binding
+        return binding
+
+    def _resolvable(self, name: str, env: _Env) -> bool:
+        if name in env:
+            env[name].used = True
+            return True
+        if name in self._catalog:
+            return True
+        # Rewriter-synthesized names ($g, $row...) are correct by
+        # construction; parameters arrive as Parameter nodes.
+        return name.startswith("$")
+
+    def _resolve(self, name: str, env: _Env, node: ast.Node) -> None:
+        if not self._resolvable(name, env):
+            self._report_unbound(name, env, node)
+
+    def _report_unbound(
+        self, name: str, env: _Env, node: ast.Node
+    ) -> None:
+        if self._lenient:
+            return
+        candidates = sorted(set(env) | self._catalog)
+        close = difflib.get_close_matches(name, candidates, n=1)
+        self.diagnostics.append(
+            make(
+                "SQLPP001",
+                f"unbound name {name!r}: not a variable in scope and "
+                f"not a named value in the database",
+                line=node.line,
+                column=node.column,
+                hint=f"did you mean {close[0]!r}?" if close else None,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Tree helpers
+# ----------------------------------------------------------------------
+
+
+def _children(node: ast.Node) -> List[ast.Node]:
+    """Every direct child node, generically over the dataclass fields.
+
+    Used for expression nodes with no binding behaviour, so the walker
+    stays correct as new node kinds appear.
+    """
+    import dataclasses
+
+    result: List[ast.Node] = []
+    for field in dataclasses.fields(node):
+        if field.name in ("line", "column"):
+            continue
+        value = getattr(node, field.name)
+        if isinstance(value, ast.Node):
+            result.append(value)
+        elif isinstance(value, (list, tuple)):
+            result.extend(v for v in value if isinstance(v, ast.Node))
+    return result
+
+
+def _var_chain(
+    node: ast.Path,
+) -> Optional[Tuple[List[str], ast.VarRef]]:
+    """The dotted name chain under a Path, when the base bottoms out in
+    a VarRef: ``hr.emp.name`` -> (['hr', 'emp', 'name'], VarRef('hr'))."""
+    attrs: List[str] = []
+    current: ast.Expr = node
+    while isinstance(current, ast.Path):
+        attrs.append(current.attr)
+        current = current.base
+    if not isinstance(current, ast.VarRef):
+        return None
+    attrs.append(current.name)
+    attrs.reverse()
+    return attrs, current
+
+
+def _struct_literal_keys(expr: ast.Expr) -> Optional[Set[str]]:
+    """The attribute names of a struct literal with all-literal string
+    keys (None otherwise) — the statically-known output shape."""
+    if not isinstance(expr, ast.StructLit):
+        return None
+    keys: Set[str] = set()
+    for field in expr.fields:
+        if not (
+            isinstance(field.key, ast.Literal)
+            and isinstance(field.key.value, str)
+        ):
+            return None
+        keys.add(field.key.value)
+    return keys

@@ -1,0 +1,742 @@
+"""The abstract interpreter: type flow over the Core AST.
+
+Re-runs the evaluator's semantics over the :mod:`repro.analysis.lattice`
+instead of over values: every expression gets an :class:`AType`
+over-approximating the set of value categories permissive-mode
+evaluation can produce.  The transfer functions mirror
+:mod:`repro.functions.operators` and :mod:`repro.core.evaluator`
+precisely — e.g. AND/OR/NOT can only yield ``boolean``/``null``
+(``_to_truth`` folds a permissive type error into unknown), ``/`` may
+yield MISSING on a zero divisor, struct constructors drop
+always-MISSING attributes, and a grouping replaces the block scope.
+
+Findings:
+
+* ``SQLPP101`` always-missing: navigation that provably falls off a
+  closed tuple;
+* ``SQLPP102`` comparison-type-mismatch: operands in provably disjoint
+  categories;
+* ``SQLPP103`` aggregate-non-collection;
+* ``SQLPP104`` order-by-never-comparable: a sort key that is always
+  NULL/MISSING.
+
+Soundness is inclusion, so every transfer function may err only toward
+*more* categories; the hypothesis property test in ``tests/analysis``
+checks the contract against the real evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis import lattice
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.lattice import (
+    ABSENT_CATEGORIES,
+    ARRAY,
+    BAG,
+    BOOLEAN,
+    BOOLEAN_T,
+    BOTTOM,
+    COLLECTION_CATEGORIES,
+    EQUALITY_CATEGORIES,
+    MISSING_CAT,
+    MISSING_T,
+    NULL,
+    NULL_T,
+    NUMBER,
+    ORDERED_CATEGORIES,
+    STRING,
+    TOP,
+    TUPLE,
+    AType,
+    array_of,
+    bag_of,
+    element_of,
+    infer_literal,
+    join,
+    join_all,
+    narrow,
+    scalar,
+    tuple_of,
+    widen,
+)
+from repro.analysis.rules import make
+from repro.config import EvalConfig
+from repro.syntax import ast
+
+_Env = Dict[str, AType]
+
+#: Success-category table for builtins whose result category is fixed.
+#: The envelope (NULL/MISSING propagation and permissive type errors)
+#: is added uniformly in :meth:`TypeFlow._infer_call`.
+_CALL_RESULTS: Dict[str, Tuple[str, ...]] = {
+    "ABS": (NUMBER,),
+    "CEIL": (NUMBER,),
+    "FLOOR": (NUMBER,),
+    "ROUND": (NUMBER,),
+    "TRUNC": (NUMBER,),
+    "SIGN": (NUMBER,),
+    "SQRT": (NUMBER,),
+    "POWER": (NUMBER,),
+    "MOD": (NUMBER,),
+    "EXP": (NUMBER,),
+    "LN": (NUMBER,),
+    "LOG10": (NUMBER,),
+    "PI": (NUMBER,),
+    "CHAR_LENGTH": (NUMBER,),
+    "POSITION": (NUMBER,),
+    "ARRAY_LENGTH": (NUMBER,),
+    "COLL_COUNT": (NUMBER,),
+    "COLL_COUNT_DISTINCT": (NUMBER,),
+    "COLL_SUM": (NUMBER,),
+    "COLL_AVG": (NUMBER,),
+    "COLL_STDDEV": (NUMBER,),
+    "COLL_VARIANCE": (NUMBER,),
+    "LOWER": (STRING,),
+    "UPPER": (STRING,),
+    "SUBSTRING": (STRING,),
+    "TRIM": (STRING,),
+    "LTRIM": (STRING,),
+    "RTRIM": (STRING,),
+    "REPLACE": (STRING,),
+    "TO_STRING": (STRING,),
+    "CONCAT": (STRING,),
+    "REPEAT": (STRING,),
+    "TYPEOF": (STRING,),
+    "CONTAINS": (BOOLEAN,),
+    "STARTS_WITH": (BOOLEAN,),
+    "ENDS_WITH": (BOOLEAN,),
+    "ARRAY_CONTAINS": (BOOLEAN,),
+    "COLL_EVERY": (BOOLEAN,),
+    "COLL_SOME": (BOOLEAN,),
+    "SPLIT": (ARRAY,),
+    "RANGE": (ARRAY,),
+    "ARRAY_CONCAT": (ARRAY,),
+    "ARRAY_DISTINCT": (ARRAY,),
+    "ARRAY_FLATTEN": (ARRAY,),
+    "ARRAY_SLICE": (ARRAY,),
+    "ARRAY_SORT": (ARRAY,),
+    "COLL_ARRAY_AGG": (ARRAY,),
+    "TO_ARRAY": (ARRAY,),
+    "ATTRIBUTE_NAMES": (ARRAY,),
+    "TO_BAG": (BAG,),
+    "BAG": (BAG,),
+    "TUPLE_UNION": (TUPLE,),
+}
+
+
+class TypeFlow:
+    """Abstract interpretation of one Core query."""
+
+    def __init__(
+        self,
+        config: Optional[EvalConfig] = None,
+        catalog_types: Optional[Dict[str, AType]] = None,
+    ) -> None:
+        self.config = config if config is not None else EvalConfig()
+        self._catalog: Dict[str, AType] = (
+            dict(catalog_types) if catalog_types else {}
+        )
+        self.diagnostics: List[Diagnostic] = []
+
+    # ------------------------------------------------------------------
+    # Queries and blocks
+    # ------------------------------------------------------------------
+
+    def check_query(
+        self, query: ast.Query, env: Optional[_Env] = None
+    ) -> AType:
+        env = dict(env) if env else {}
+        element, block_env, shaped = self._flow_body(query.body, env)
+        order_env = dict(env)
+        order_env.update(block_env)
+        if (
+            shaped
+            and element.only(TUPLE)
+            and element.attrs is not None
+            and not element.open
+        ):
+            # Mirror the evaluator's sort environment: ORDER BY keys see
+            # the output element's attributes overlaid on the row env.
+            for name, attr_type in element.attrs:
+                if name in order_env:
+                    order_env[name] = join(order_env[name], attr_type)
+                else:
+                    order_env[name] = attr_type
+        for item in query.order_by:
+            key_type = self.infer(item.expr, order_env)
+            if key_type.is_always_absent():
+                self.diagnostics.append(
+                    make(
+                        "SQLPP104",
+                        "ORDER BY key is always "
+                        f"{key_type.describe().upper()}; it cannot "
+                        "order the result",
+                        line=item.line,
+                        column=item.column,
+                    )
+                )
+        if query.limit is not None:
+            self.infer(query.limit, env)
+        if query.offset is not None:
+            self.infer(query.offset, env)
+        if not shaped:
+            # PIVOT blocks and bare-expression bodies produce a single
+            # value, not a stream.
+            return element
+        if query.order_by:
+            return array_of(element)
+        return bag_of(element)
+
+    def _flow_body(
+        self, body: ast.Node, env: _Env
+    ) -> Tuple[AType, _Env, bool]:
+        """``(element_or_value_type, sort_env, is_stream)``."""
+        if isinstance(body, ast.QueryBlock):
+            return self._flow_block(body, env)
+        if isinstance(body, ast.SetOp):
+            left, __, left_stream = self._flow_body(body.left, env)
+            right, __, right_stream = self._flow_body(body.right, env)
+            if left_stream and right_stream:
+                return join(left, right), {}, True
+            return TOP, {}, True
+        if isinstance(body, ast.Query):
+            return element_of(self.check_query(body, env)), {}, True
+        return self.infer(body, env), {}, False
+
+    def _flow_block(
+        self, block: ast.QueryBlock, outer_env: _Env
+    ) -> Tuple[AType, _Env, bool]:
+        env = dict(outer_env)
+        local_names: List[str] = []
+
+        if block.from_ is not None:
+            for item in block.from_:
+                self._flow_from(item, env, local_names)
+        for let in block.lets:
+            env[let.name] = self.infer(let.expr, env)
+            local_names.append(let.name)
+        if block.where is not None:
+            self.infer(block.where, env)
+
+        if block.group_by is not None:
+            key_types: List[Tuple[str, AType]] = []
+            for key in block.group_by.keys:
+                key_type = self.infer(key.expr, env)
+                if block.group_by.mode != "simple":
+                    # ROLLUP/CUBE/GROUPING SETS: a key not in the
+                    # active set evaluates to NULL for that group.
+                    key_type = widen(key_type, NULL)
+                key_types.append((key.alias, key_type))
+            group_element = tuple_of(
+                sorted((name, env.get(name, TOP)) for name in set(local_names)),
+                open=False,
+            )
+            env = dict(outer_env)
+            for alias, key_type in key_types:
+                env[alias] = key_type
+            if block.group_by.group_as is not None:
+                env[block.group_by.group_as] = bag_of(group_element)
+
+        if block.having is not None:
+            self.infer(block.having, env)
+
+        select = block.select
+        if isinstance(select, ast.SelectValue):
+            return self.infer(select.expr, env), env, True
+        if isinstance(select, ast.SelectList):
+            attrs: List[Tuple[str, AType]] = []
+            known = True
+            for item in select.items:
+                item_type = self.infer(item.expr, env)
+                if item.star or item.alias is None:
+                    known = False
+                else:
+                    attrs.append((item.alias, item_type))
+            return tuple_of(sorted(attrs) if known else None), env, True
+        if isinstance(select, ast.SelectStar):
+            return tuple_of(None), env, True
+        if isinstance(select, ast.PivotClause):
+            self.infer(select.value, env)
+            self.infer(select.at, env)
+            return TOP, env, False
+        return TOP, env, True
+
+    def _flow_from(
+        self, item: ast.FromItem, env: _Env, local_names: List[str]
+    ) -> List[str]:
+        """Flow one FROM item; returns the names it binds."""
+        bound: List[str] = []
+        if isinstance(item, ast.FromCollection):
+            source = self.infer(item.expr, env)
+            parts: List[AType] = []
+            if source.cats & COLLECTION_CATEGORIES:
+                parts.append(element_of(source))
+            value_cats = (
+                source.cats - COLLECTION_CATEGORIES - ABSENT_CATEGORIES
+            )
+            if value_cats:
+                # Permissive mode ranges over a non-collection as a
+                # singleton of itself (NULL/MISSING yield no bindings).
+                parts.append(narrow(source, ARRAY, BAG, NULL, MISSING_CAT))
+            env[item.alias] = join_all(parts)
+            bound.append(item.alias)
+            if item.at_alias is not None:
+                # AT over an array is the position; over a bag it is
+                # MISSING.
+                env[item.at_alias] = scalar(NUMBER, MISSING_CAT)
+                bound.append(item.at_alias)
+        elif isinstance(item, ast.FromUnpivot):
+            source = self.infer(item.expr, env)
+            parts = []
+            if TUPLE in source.cats:
+                if source.attrs is not None and not source.open:
+                    parts.append(
+                        join_all(
+                            narrow(attr_type, MISSING_CAT)
+                            for __, attr_type in source.attrs
+                        )
+                    )
+                else:
+                    parts.append(TOP)
+            value_cats = source.cats - {TUPLE} - ABSENT_CATEGORIES
+            if value_cats:
+                # A non-tuple unpivots as the singleton {_1: value}.
+                parts.append(narrow(source, TUPLE, NULL, MISSING_CAT))
+            env[item.value_alias] = join_all(parts)
+            env[item.at_alias] = scalar(STRING)
+            bound.extend([item.value_alias, item.at_alias])
+        elif isinstance(item, ast.FromJoin):
+            bound.extend(self._flow_from(item.left, env, local_names))
+            right_names = self._flow_from(item.right, env, local_names)
+            if item.kind == "LEFT":
+                # An unmatched left row pads the right side with NULL.
+                for name in right_names:
+                    env[name] = widen(env[name], NULL)
+            bound.extend(right_names)
+            if item.on is not None:
+                self.infer(item.on, env)
+        local_names.extend(bound)
+        return bound
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def infer(self, node: ast.Expr, env: _Env) -> AType:
+        if isinstance(node, ast.Literal):
+            return infer_literal(node.value)
+        if isinstance(node, ast.VarRef):
+            if node.name in env:
+                return env[node.name]
+            return self._catalog.get(node.name, TOP)
+        if isinstance(node, ast.Path):
+            return self._infer_path(node, env)
+        if isinstance(node, ast.Index):
+            return self._infer_index(node, env)
+        if isinstance(node, ast.PathWildcard):
+            self.infer(node.base, env)
+            for step in node.steps:
+                if step.index is not None:
+                    self.infer(step.index, env)
+            return array_of(None)
+        if isinstance(node, ast.StructLit):
+            return self._infer_struct(node, env)
+        if isinstance(node, ast.ArrayLit):
+            return array_of(self._element_join(node.items, env))
+        if isinstance(node, ast.BagLit):
+            return bag_of(self._element_join(node.items, env))
+        if isinstance(node, ast.Unary):
+            return self._infer_unary(node, env)
+        if isinstance(node, ast.Binary):
+            return self._infer_binary(node, env)
+        if isinstance(node, ast.IsPredicate):
+            self.infer(node.operand, env)
+            return BOOLEAN_T
+        if isinstance(node, ast.Like):
+            self.infer(node.operand, env)
+            self.infer(node.pattern, env)
+            if node.escape is not None:
+                self.infer(node.escape, env)
+            return scalar(BOOLEAN, NULL, MISSING_CAT)
+        if isinstance(node, ast.Between):
+            self.infer(node.operand, env)
+            self.infer(node.low, env)
+            self.infer(node.high, env)
+            # Desugars to AND of comparisons; AND folds absence and
+            # permissive type errors into unknown (NULL).
+            return scalar(BOOLEAN, NULL)
+        if isinstance(node, ast.InPredicate):
+            self.infer(node.operand, env)
+            self.infer(node.collection, env)
+            if node.negated:
+                return scalar(BOOLEAN, NULL)
+            return scalar(BOOLEAN, NULL, MISSING_CAT)
+        if isinstance(node, ast.Exists):
+            operand = self.infer(node.operand, env)
+            result = BOOLEAN_T
+            if operand.cats - COLLECTION_CATEGORIES - ABSENT_CATEGORIES:
+                result = widen(result, MISSING_CAT)
+            return result
+        if isinstance(node, ast.CaseExpr):
+            return self._infer_case(node, env)
+        if isinstance(node, ast.FunctionCall):
+            return self._infer_call(node, env)
+        if isinstance(node, ast.WindowCall):
+            for arg in node.call.args:
+                self.infer(arg, env)
+            for expr in node.spec.partition_by:
+                self.infer(expr, env)
+            for item in node.spec.order_by:
+                self.infer(item.expr, env)
+            return TOP
+        if isinstance(node, ast.SubqueryExpr):
+            return self.check_query(node.query, env)
+        if isinstance(node, ast.CoerceSubquery):
+            self.check_query(node.query, env)
+            return TOP
+        if isinstance(node, ast.CastExpr):
+            return self._infer_cast(node, env)
+        if isinstance(node, ast.Parameter):
+            return TOP
+        return TOP
+
+    # -- navigation ---------------------------------------------------
+
+    def _infer_path(self, node: ast.Path, env: _Env) -> AType:
+        whole = self._dotted_catalog_type(node, env)
+        if whole is not None:
+            return whole
+        base = self._infer_path_base(node, env)
+        parts: List[AType] = []
+        if TUPLE in base.cats:
+            if base.attrs is not None:
+                attr_type = base.attr_map().get(node.attr)
+                if attr_type is not None:
+                    parts.append(attr_type)
+                elif base.open:
+                    parts.append(TOP)
+                else:
+                    # Provably falls off a closed tuple.
+                    parts.append(MISSING_T)
+            else:
+                parts.append(TOP)
+        if NULL in base.cats:
+            parts.append(NULL_T)
+        if MISSING_CAT in base.cats:
+            parts.append(MISSING_T)
+        if base.cats - {TUPLE} - ABSENT_CATEGORIES:
+            # Navigating a non-tuple value: MISSING in *both* typing
+            # modes (absent data, not a type error).
+            parts.append(MISSING_T)
+        result = join_all(parts) if parts else BOTTOM
+        if result.is_always_missing() and not base.is_always_absent():
+            self.diagnostics.append(
+                make(
+                    "SQLPP101",
+                    f"navigation .{node.attr} always produces MISSING",
+                    line=node.line,
+                    column=node.column,
+                    hint="the closed tuple shape here has no attribute "
+                    f"{node.attr!r}",
+                )
+            )
+        return result
+
+    def _dotted_catalog_type(
+        self, node: ast.Path, env: _Env
+    ) -> Optional[AType]:
+        """The stored type when the whole path spells a dotted catalog
+        name (``hr.emp`` stored as one name), else None."""
+        chain = [node.attr]
+        current: ast.Expr = node.base
+        while isinstance(current, ast.Path):
+            chain.append(current.attr)
+            current = current.base
+        if isinstance(current, ast.VarRef) and current.name not in env:
+            chain.append(current.name)
+            chain.reverse()
+            return self._catalog.get(".".join(chain))
+        return None
+
+    def _infer_path_base(self, node: ast.Path, env: _Env) -> AType:
+        """The base type of a navigation, including the evaluator's
+        dotted-catalog-name rescue (``hr.emp`` stored as one name)."""
+        chain: List[str] = []
+        current: ast.Expr = node.base
+        while isinstance(current, ast.Path):
+            chain.append(current.attr)
+            current = current.base
+        if isinstance(current, ast.VarRef) and current.name not in env:
+            chain.append(current.name)
+            chain.reverse()
+            dotted = ".".join(chain)
+            if dotted in self._catalog:
+                return self._catalog[dotted]
+        return self.infer(node.base, env)
+
+    def _infer_index(self, node: ast.Index, env: _Env) -> AType:
+        base = self.infer(node.base, env)
+        self.infer(node.index, env)
+        if TUPLE in base.cats:
+            return TOP
+        parts: List[AType] = []
+        if ARRAY in base.cats or BAG in base.cats:
+            parts.append(element_of(base))
+        if NULL in base.cats:
+            parts.append(NULL_T)
+        # Out-of-bounds, non-integer index, or a non-indexable base:
+        # MISSING (permissive) / raise (strict).
+        parts.append(MISSING_T)
+        return join_all(parts)
+
+    # -- constructors -------------------------------------------------
+
+    def _infer_struct(self, node: ast.StructLit, env: _Env) -> AType:
+        attrs: List[Tuple[str, AType]] = []
+        literal_keys = True
+        for field in node.fields:
+            value_type = self.infer(field.value, env)
+            key = field.key
+            if isinstance(key, ast.Literal) and isinstance(key.value, str):
+                attrs.append((key.value, value_type))
+            else:
+                self.infer(key, env)
+                literal_keys = False
+        if not literal_keys:
+            return tuple_of(None)
+        # Later duplicates win at runtime; mirror that here.
+        merged: Dict[str, AType] = {}
+        for name, value_type in attrs:
+            merged[name] = value_type
+        return tuple_of(sorted(merged.items()), open=False)
+
+    def _element_join(
+        self, items: List[ast.Expr], env: _Env
+    ) -> Optional[AType]:
+        # Constructors drop MISSING elements.
+        joined = join_all(
+            narrow(self.infer(item, env), MISSING_CAT) for item in items
+        )
+        return joined if items else None
+
+    # -- operators ----------------------------------------------------
+
+    def _infer_unary(self, node: ast.Unary, env: _Env) -> AType:
+        operand = self.infer(node.operand, env)
+        if node.op == "NOT":
+            # _to_truth folds non-booleans and MISSING into unknown.
+            return scalar(BOOLEAN, NULL)
+        cats = set()
+        if NUMBER in operand.cats:
+            cats.add(NUMBER)
+        if NULL in operand.cats:
+            cats.add(NULL)
+        if MISSING_CAT in operand.cats or (
+            operand.cats - {NUMBER} - ABSENT_CATEGORIES
+        ):
+            cats.add(MISSING_CAT)
+        return scalar(*cats) if cats else BOTTOM
+
+    def _infer_binary(self, node: ast.Binary, env: _Env) -> AType:
+        left = self.infer(node.left, env)
+        right = self.infer(node.right, env)
+        op = node.op.upper()
+        if op in ("AND", "OR"):
+            return scalar(BOOLEAN, NULL)
+        if op in ("+", "-", "*", "/", "%"):
+            return self._arith(left, right, divides=op in ("/", "%"))
+        if op == "||":
+            return self._concat(left, right)
+        if op in ("=", "!=", "<>"):
+            return self._equality(node, left, right)
+        if op in ("<", "<=", ">", ">="):
+            return self._ordering(node, left, right)
+        return TOP
+
+    def _arith(self, left: AType, right: AType, divides: bool) -> AType:
+        cats = set()
+        both_number = NUMBER in left.cats and NUMBER in right.cats
+        if both_number:
+            cats.add(NUMBER)
+        if MISSING_CAT in left.cats or MISSING_CAT in right.cats:
+            cats.add(MISSING_CAT)
+        if NULL in left.cats or NULL in right.cats:
+            cats.add(NULL)
+        non_number = (left.cats - {NUMBER} - ABSENT_CATEGORIES) or (
+            right.cats - {NUMBER} - ABSENT_CATEGORIES
+        )
+        if non_number or (divides and both_number):
+            # Type mismatch, or division by zero: MISSING permissive.
+            cats.add(MISSING_CAT)
+        return scalar(*cats) if cats else BOTTOM
+
+    def _concat(self, left: AType, right: AType) -> AType:
+        cats = set()
+        if STRING in left.cats and STRING in right.cats:
+            cats.add(STRING)
+        if MISSING_CAT in left.cats or MISSING_CAT in right.cats:
+            cats.add(MISSING_CAT)
+        if NULL in left.cats or NULL in right.cats:
+            cats.add(NULL)
+        if (left.cats - {STRING} - ABSENT_CATEGORIES) or (
+            right.cats - {STRING} - ABSENT_CATEGORIES
+        ):
+            cats.add(MISSING_CAT)
+        return scalar(*cats) if cats else BOTTOM
+
+    def _equality(
+        self, node: ast.Binary, left: AType, right: AType
+    ) -> AType:
+        left_kinds = left.cats & EQUALITY_CATEGORIES
+        right_kinds = right.cats & EQUALITY_CATEGORIES
+        cats = set()
+        if left_kinds & right_kinds:
+            cats.add(BOOLEAN)
+        if MISSING_CAT in left.cats or MISSING_CAT in right.cats:
+            cats.add(MISSING_CAT)
+        if NULL in left.cats or NULL in right.cats:
+            cats.add(NULL)
+        # A kind mismatch is a type error (MISSING in permissive mode);
+        # it is ruled out only when both sides are one identical kind.
+        if not (left_kinds == right_kinds and len(left_kinds) == 1):
+            cats.add(MISSING_CAT)
+        if not (left_kinds & right_kinds) and left_kinds and right_kinds:
+            self.diagnostics.append(
+                make(
+                    "SQLPP102",
+                    f"{node.op} compares disjoint types "
+                    f"({left.describe()} vs {right.describe()}); it can "
+                    "never compare actual values",
+                    line=node.line,
+                    column=node.column,
+                )
+            )
+        return scalar(*cats) if cats else BOTTOM
+
+    def _ordering(
+        self, node: ast.Binary, left: AType, right: AType
+    ) -> AType:
+        left_kinds = left.cats & ORDERED_CATEGORIES
+        right_kinds = right.cats & ORDERED_CATEGORIES
+        cats = set()
+        if left_kinds & right_kinds:
+            cats.add(BOOLEAN)
+        if MISSING_CAT in left.cats or MISSING_CAT in right.cats:
+            cats.add(MISSING_CAT)
+        if NULL in left.cats or NULL in right.cats:
+            cats.add(NULL)
+        left_values = left.cats - ABSENT_CATEGORIES
+        right_values = right.cats - ABSENT_CATEGORIES
+        # A type error (no common order) is ruled out only when both
+        # sides can only be one identical ordered kind.
+        if not (
+            left_values == right_values
+            and len(left_values) == 1
+            and left_values <= ORDERED_CATEGORIES
+        ):
+            cats.add(MISSING_CAT)
+        if (
+            left_values
+            and right_values
+            and not (left_kinds & right_kinds)
+        ):
+            self.diagnostics.append(
+                make(
+                    "SQLPP102",
+                    f"{node.op} compares values with no common order "
+                    f"({left.describe()} vs {right.describe()})",
+                    line=node.line,
+                    column=node.column,
+                )
+            )
+        return scalar(*cats) if cats else BOTTOM
+
+    # -- conditionals, calls, casts ----------------------------------
+
+    def _infer_case(self, node: ast.CaseExpr, env: _Env) -> AType:
+        if node.operand is not None:
+            self.infer(node.operand, env)
+        branches: List[AType] = []
+        for when, then in node.whens:
+            self.infer(when, env)
+            branches.append(self.infer(then, env))
+        if node.else_ is not None:
+            branches.append(self.infer(node.else_, env))
+        else:
+            branches.append(NULL_T)
+        result = join_all(branches)
+        if not self.config.sql_compat:
+            # Core semantics: a MISSING operand/condition makes the
+            # whole CASE MISSING (compat treats it as a non-match).
+            result = widen(result, MISSING_CAT)
+        return result
+
+    def _infer_call(self, node: ast.FunctionCall, env: _Env) -> AType:
+        from repro.functions.registry import REGISTRY
+
+        arg_types = [self.infer(arg, env) for arg in node.args]
+        name = node.name.upper()
+        definition = REGISTRY.lookup(name)
+        if (
+            definition is not None
+            and definition.is_aggregate
+            and arg_types
+        ):
+            operand = arg_types[0]
+            if operand.cats and not (
+                operand.cats & (COLLECTION_CATEGORIES | ABSENT_CATEGORIES)
+            ):
+                self.diagnostics.append(
+                    make(
+                        "SQLPP103",
+                        f"{definition.name} applied to a value that is "
+                        f"never a collection ({operand.describe()})",
+                        line=node.line,
+                        column=node.column,
+                    )
+                )
+        if name in ("COALESCE", "IFNULL", "IFMISSING", "IFMISSINGORNULL"):
+            return widen(join_all(arg_types), NULL, MISSING_CAT)
+        base = _CALL_RESULTS.get(name)
+        if base is None:
+            return TOP
+        # The envelope: absence propagation plus permissive type errors.
+        return scalar(*base, NULL, MISSING_CAT)
+
+    def _infer_cast(self, node: ast.CastExpr, env: _Env) -> AType:
+        self.infer(node.operand, env)
+        target = node.type_name.lower()
+        if target in ("int", "integer", "bigint", "smallint", "float",
+                      "double", "real", "decimal", "numeric", "number"):
+            return scalar(NUMBER, NULL, MISSING_CAT)
+        if target in ("string", "varchar", "char", "text"):
+            return scalar(STRING, NULL, MISSING_CAT)
+        if target in ("bool", "boolean"):
+            return scalar(BOOLEAN, NULL, MISSING_CAT)
+        return TOP
+
+
+def infer_expression(
+    source: str,
+    env: Optional[Dict[str, AType]] = None,
+    config: Optional[EvalConfig] = None,
+    catalog_types: Optional[Dict[str, AType]] = None,
+) -> Tuple[AType, List[Diagnostic]]:
+    """Infer the abstract type of a standalone expression.
+
+    The entry point the soundness property test drives: parse
+    ``source`` as an expression and run the abstract interpreter over
+    it.  Returns the inferred type and any diagnostics the flow pass
+    emitted along the way.
+    """
+    from repro.syntax.parser import parse_expression
+
+    flow = TypeFlow(config=config, catalog_types=catalog_types)
+    result = flow.infer(parse_expression(source), dict(env) if env else {})
+    return result, flow.diagnostics
+
+
+# Re-exported for the property test's runtime comparison.
+category_of = lattice.category_of

@@ -401,6 +401,88 @@ class Database:
             result = _missing_to_null(result)
         return result
 
+    #: Bound on the collection size ``check`` will sample to infer an
+    #: abstract shape for a schemaless named value.
+    CHECK_SAMPLE_LIMIT = 200
+
+    def check(
+        self,
+        query: str,
+        typing_mode: Optional[str] = None,
+        sql_compat: Optional[bool] = None,
+        suppress: Sequence[str] = (),
+    ) -> List[Any]:
+        """Statically analyze a query without executing it.
+
+        Runs the :mod:`repro.analysis` passes — parse, rewrite to Core,
+        scope resolution, abstract type flow — against this database's
+        catalog, language dials and registered schemas, and returns the
+        list of :class:`~repro.analysis.Diagnostic` findings (empty
+        when the query is clean).  Never raises on a bad query: a parse
+        failure is itself a finding (``SQLPP000``).
+
+        The abstract-type lattice is seeded from registered schemas
+        (closed shapes, trusted because values are validated on
+        ``set``); schemaless named values up to ``CHECK_SAMPLE_LIMIT``
+        elements are sampled via :func:`repro.schema.infer.infer_schema`
+        and contribute *open* shapes, so sampling can sharpen warnings
+        but never claims an attribute can't exist.  ``suppress`` drops
+        the given rule codes; ``-- sqlpp-ignore: CODE`` comments in the
+        query suppress per-line.
+
+        Each call bumps the ``lint_checks`` / ``lint_errors`` /
+        ``lint_warnings`` metrics counters (exposed as
+        ``repro_lint_*`` in Prometheus text).
+        """
+        from repro.analysis import AnalyzerOptions, analyze
+        from repro.analysis.diagnostics import ERROR, WARNING
+        from repro.analysis.lattice import AType, from_schema, soften
+
+        config = self._effective_config(typing_mode, sql_compat)
+        catalog_types: Dict[str, AType] = {}
+        for name in self.catalog.names():
+            schema = self._schemas.get(name)
+            if schema is None:
+                schema = self._sampled_schema(name)
+                if schema is None:
+                    continue
+                catalog_types[name] = soften(from_schema(schema))
+            else:
+                catalog_types[name] = from_schema(schema)
+        options = AnalyzerOptions(
+            config=config,
+            catalog_names=tuple(self.catalog.names()),
+            catalog_types=catalog_types,
+            schema_attrs=self._schema_attrs(),
+            suppress=tuple(suppress),
+        )
+        diagnostics = analyze(query, options)
+        self.metrics.increment("lint_checks")
+        errors = sum(1 for d in diagnostics if d.severity == ERROR)
+        warnings = sum(1 for d in diagnostics if d.severity == WARNING)
+        if errors:
+            self.metrics.increment("lint_errors", errors)
+        if warnings:
+            self.metrics.increment("lint_warnings", warnings)
+        return diagnostics
+
+    def _sampled_schema(self, name: str) -> Optional[Any]:
+        """An inferred schema for a small materialized named value
+        (None for large, lazy, or un-inferrable values)."""
+        from repro.datamodel.values import LazyBag
+        from repro.errors import SchemaError
+        from repro.schema.infer import infer_schema
+
+        value = self.catalog.get(name)
+        if isinstance(value, LazyBag):
+            return None
+        if isinstance(value, (list, Bag)) and len(value) > self.CHECK_SAMPLE_LIMIT:
+            return None
+        try:
+            return infer_schema(value)
+        except SchemaError:
+            return None
+
     def execute_python(
         self,
         query: str,

@@ -6,6 +6,8 @@ Usage::
     python -m repro query.sqlpp         # run a script of ;-separated queries
     python -m repro --compat-kit        # run the compatibility kit
     python -m repro -c "SELECT VALUE 1" # one-shot query
+    python -m repro lint query.sqlpp    # static analysis, no execution
+    python -m repro --check query.sqlpp # refuse to run on lint errors
 
 REPL dot-commands::
 
@@ -18,6 +20,7 @@ REPL dot-commands::
     .plan <query>                  show the physical plan (same as EXPLAIN)
     .analyze <query>               run and show the annotated plan
     .trace <query>                 run and show the structured span tree
+    .lint <query>                  statically analyze without running
     .stats                         show session metrics counters
     .metrics                       show Prometheus-format metrics text
     .schema <name> <ddl>           impose a schema on a named value
@@ -52,6 +55,9 @@ from repro.formats.sqlpp_text import dumps
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "lint":
+        return _lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="sqlpp",
         description="SQL++ query processor (reproduction of Carey et al., "
@@ -132,6 +138,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="load a data file into a named value (repeatable)",
     )
     parser.add_argument(
+        "--check",
+        action="store_true",
+        help="statically analyze every query before running it and "
+        "refuse execution on error-severity findings "
+        "(see docs/ANALYZER.md)",
+    )
+    parser.add_argument(
         "--compat-kit",
         action="store_true",
         help="run the SQL++ compatibility kit and print the report",
@@ -190,14 +203,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command:
             return _run_text(
-                db, args.command, stats=args.stats, trace=trace_context
+                db,
+                args.command,
+                stats=args.stats,
+                trace=trace_context,
+                check=args.check,
             )
         if args.script:
             with open(args.script) as handle:
                 return _run_text(
-                    db, handle.read(), stats=args.stats, trace=trace_context
+                    db,
+                    handle.read(),
+                    stats=args.stats,
+                    trace=trace_context,
+                    check=args.check,
                 )
-        return _repl(db, stats=args.stats, trace=trace_context)
+        return _repl(db, stats=args.stats, trace=trace_context, check=args.check)
     finally:
         if trace_context is not None:
             trace_context.write_chrome_trace(args.trace_out)
@@ -205,6 +226,157 @@ def main(argv: Optional[List[str]] = None) -> int:
             with open(args.metrics_out, "w") as handle:
                 handle.write(db.metrics.expose_text())
         db.close()
+
+
+def _lint_main(argv: List[str]) -> int:
+    """The ``lint`` verb: static analysis without execution.
+
+    ``python -m repro lint query.sqlpp ...`` analyzes each script and
+    prints caret-context findings (or one JSON document per input with
+    ``--json``); exit status 1 when any finding is error-severity.
+    ``--compat-kit`` lints every paper listing in the conformance
+    corpus as a false-positive self-check: every listing must be free
+    of error-severity findings in its own language modes.
+    """
+    parser = argparse.ArgumentParser(
+        prog="sqlpp lint",
+        description="statically analyze SQL++ scripts "
+        "(see docs/ANALYZER.md for the rule catalog)",
+    )
+    parser.add_argument("files", nargs="*", help="SQL++ script files")
+    parser.add_argument(
+        "-c", "--command", help="lint one query given on the command line"
+    )
+    parser.add_argument(
+        "--core", action="store_true", help="composability mode"
+    )
+    parser.add_argument(
+        "--strict", action="store_true", help="stop-on-error typing mode"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="CODE",
+        help="suppress a rule code (repeatable)",
+    )
+    parser.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="load a data file into a named value first (repeatable)",
+    )
+    parser.add_argument(
+        "--compat-kit",
+        action="store_true",
+        help="lint every compatibility-kit listing (false-positive "
+        "self-check)",
+    )
+    args = parser.parse_args(argv)
+    if args.compat_kit:
+        return _lint_compat_kit(json_output=args.json)
+    if not args.files and not args.command:
+        parser.error("nothing to lint: give files, -c QUERY or --compat-kit")
+
+    from repro.analysis import render_json, render_text
+    from repro.analysis.diagnostics import ERROR
+
+    db = Database(
+        typing_mode="strict" if args.strict else "permissive",
+        sql_compat=not args.core,
+    )
+    for spec in args.load:
+        name, __, path = spec.partition("=")
+        if not path:
+            parser.error(f"--load expects NAME=PATH, got {spec!r}")
+        db.load(name, path)
+
+    inputs: List[Tuple[str, str]] = []
+    if args.command:
+        inputs.append(("<command>", args.command))
+    for path in args.files:
+        with open(path) as handle:
+            inputs.append((path, handle.read()))
+
+    status = 0
+    for label, text in inputs:
+        diagnostics = db.check(text, suppress=args.ignore)
+        if args.json:
+            print(render_json(diagnostics, filename=label))
+        else:
+            print(render_text(diagnostics, source=text, filename=label))
+        if any(d.severity == ERROR for d in diagnostics):
+            status = 1
+    return status
+
+
+def _lint_compat_kit(json_output: bool = False) -> int:
+    """Lint every positive conformance listing in both typing modes.
+
+    The corpus doubles as the analyzer's false-positive suite: the
+    paper's listings are all valid, so any error-severity finding on
+    one is an analyzer bug.
+    """
+    from repro.analysis import AnalyzerOptions, analyze
+    from repro.analysis.diagnostics import ERROR
+    from repro.compat.corpus import all_cases
+    from repro.config import EvalConfig
+
+    failures = []
+    checked = 0
+    for case in all_cases():
+        if case.expect_error is not None:
+            continue
+        for typing_mode in ("permissive", "strict"):
+            checked += 1
+            options = AnalyzerOptions(
+                config=EvalConfig(
+                    sql_compat=case.sql_compat, typing_mode=typing_mode
+                ),
+                catalog_names=tuple(case.data),
+            )
+            errors = [
+                d
+                for d in analyze(case.query, options)
+                if d.severity == ERROR
+            ]
+            if errors:
+                failures.append((case.case_id, typing_mode, errors))
+    if json_output:
+        import json as json_module
+
+        print(
+            json_module.dumps(
+                {
+                    "checked": checked,
+                    "failures": [
+                        {
+                            "case_id": case_id,
+                            "typing_mode": typing_mode,
+                            "diagnostics": [d.to_dict() for d in errors],
+                        }
+                        for case_id, typing_mode, errors in failures
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for case_id, typing_mode, errors in failures:
+            for diagnostic in errors:
+                print(
+                    f"{case_id} [{typing_mode}]: {diagnostic.code} "
+                    f"{diagnostic.message}"
+                )
+        print(
+            f"compat-kit lint: {checked} listing/mode combinations, "
+            f"{len(failures)} with error findings"
+        )
+    return 1 if failures else 0
 
 
 _EXPLAIN_PREFIX = re.compile(r"^\s*EXPLAIN(\s+ANALYZE)?\b", re.IGNORECASE)
@@ -247,10 +419,38 @@ def _session_tracer(trace):
     return ExecTracer(trace=trace)
 
 
-def _run_text(db: Database, text: str, stats: bool = False, trace=None) -> int:
+def _refused(db: Database, text: str) -> bool:
+    """The ``--check`` gate: True when static analysis finds errors.
+
+    Error-severity findings are printed (caret context included) and
+    the query is refused; warnings are printed but do not block.
+    """
+    from repro.analysis import render_text
+    from repro.analysis.diagnostics import ERROR
+
+    diagnostics = db.check(text)
+    if not diagnostics:
+        return False
+    print(render_text(diagnostics, source=text), file=sys.stderr)
+    return any(d.severity == ERROR for d in diagnostics)
+
+
+def _run_text(
+    db: Database,
+    text: str,
+    stats: bool = False,
+    trace=None,
+    check: bool = False,
+) -> int:
     from repro.syntax.parser import parse_script
 
     explained = _strip_explain(text)
+    if check and _refused(db, explained[0] if explained else text):
+        print(
+            "error: refusing to execute (--check found errors)",
+            file=sys.stderr,
+        )
+        return 1
     if explained is not None:
         query, analyze = explained
         try:
@@ -294,7 +494,9 @@ def _run_text(db: Database, text: str, stats: bool = False, trace=None) -> int:
     return status
 
 
-def _repl(db: Database, stats: bool = False, trace=None) -> int:
+def _repl(
+    db: Database, stats: bool = False, trace=None, check: bool = False
+) -> int:
     print(f"sqlpp {__version__} — type .help for commands, .quit to exit")
     buffer: List[str] = []
     while True:
@@ -321,6 +523,11 @@ def _repl(db: Database, stats: bool = False, trace=None) -> int:
                 continue
             try:
                 explained = _strip_explain(text)
+                if check and _refused(
+                    db, explained[0] if explained else text
+                ):
+                    print("refused (--check found errors)")
+                    continue
                 if explained is not None:
                     query, analyze = explained
                     if analyze:
@@ -391,6 +598,11 @@ def _dot_command(db: Database, line: str) -> bool:
             print(db.explain_plan(line.split(None, 1)[1]))
         elif command == ".analyze" and len(parts) >= 2:
             print(db.explain_analyze(line.split(None, 1)[1]))
+        elif command == ".lint" and len(parts) >= 2:
+            from repro.analysis import render_text
+
+            text = line.split(None, 1)[1]
+            print(render_text(db.check(text), source=text))
         elif command == ".trace" and len(parts) >= 2:
             print(db.trace(line.split(None, 1)[1]).format_tree())
         elif command == ".stats":

@@ -42,6 +42,7 @@ from repro.config import EvalConfig
 from repro.errors import RewriteError
 from repro.functions.aggregates import SQL_AGGREGATES
 from repro.syntax import ast
+from repro.syntax.ast import copy_span
 from repro.syntax.printer import print_ast
 
 #: Internal variable names use '$' so they can never collide with user
@@ -292,21 +293,35 @@ class _Rewriter:
             expr = self._rewrite_expr(item.expr, scope, "scalar")
             if item.star:
                 if pending_fields:
-                    parts.append(ast.StructLit(fields=pending_fields))
+                    parts.append(
+                        copy_span(ast.StructLit(fields=pending_fields), select)
+                    )
                     pending_fields = []
                 parts.append(expr)
                 continue
             alias = item.alias or _implied_output_name(item.expr, position)
             pending_fields.append(
-                ast.StructField(key=ast.Literal(value=alias), value=expr)
+                copy_span(
+                    ast.StructField(
+                        key=copy_span(ast.Literal(value=alias), item),
+                        value=expr,
+                    ),
+                    item,
+                )
             )
         if pending_fields or not parts:
-            parts.append(ast.StructLit(fields=pending_fields))
+            parts.append(
+                copy_span(ast.StructLit(fields=pending_fields), select)
+            )
         if has_star:
-            body: ast.Expr = ast.FunctionCall(name="$TUPLE_MERGE", args=parts)
+            body: ast.Expr = copy_span(
+                ast.FunctionCall(name="$TUPLE_MERGE", args=parts), select
+            )
         else:
             body = parts[0]
-        return ast.SelectValue(expr=body, distinct=select.distinct)
+        return copy_span(
+            ast.SelectValue(expr=body, distinct=select.distinct), select
+        )
 
     # ------------------------------------------------------------------
     # Aggregation sugar (Listings 15-18)
@@ -389,7 +404,9 @@ class _Rewriter:
             if isinstance(node, ast.Expr):
                 text = print_ast(node)
                 if text in key_by_text:
-                    return ast.VarRef(name=key_by_text[text])
+                    return copy_span(
+                        ast.VarRef(name=key_by_text[text]), node
+                    )
             if isinstance(node, ast.FunctionCall) and node.name.upper() in SQL_AGGREGATES:
                 return self._lower_aggregate_call(
                     node, group_var, elem_var, block_vars
@@ -438,7 +455,7 @@ class _Rewriter:
         """``AVG(e.salary)`` → ``COLL_AVG((SELECT VALUE g.e.salary FROM grp AS g))``."""
         coll_name = SQL_AGGREGATES[call.name.upper()]
         if call.star:
-            value_expr: ast.Expr = ast.Literal(value=1)
+            value_expr: ast.Expr = copy_span(ast.Literal(value=1), call)
         else:
             if len(call.args) != 1:
                 raise RewriteError(
@@ -447,16 +464,39 @@ class _Rewriter:
             value_expr = _substitute_block_vars(
                 call.args[0], block_vars, elem_var
             )
-        subquery = ast.Query(
-            body=ast.QueryBlock(
-                select=ast.SelectValue(expr=value_expr, distinct=call.distinct),
-                from_=[
-                    ast.FromCollection(expr=ast.VarRef(name=group_var), alias=elem_var)
-                ],
-            )
+        subquery = copy_span(
+            ast.Query(
+                body=copy_span(
+                    ast.QueryBlock(
+                        select=copy_span(
+                            ast.SelectValue(
+                                expr=value_expr, distinct=call.distinct
+                            ),
+                            call,
+                        ),
+                        from_=[
+                            copy_span(
+                                ast.FromCollection(
+                                    expr=copy_span(
+                                        ast.VarRef(name=group_var), call
+                                    ),
+                                    alias=elem_var,
+                                ),
+                                call,
+                            )
+                        ],
+                    ),
+                    call,
+                )
+            ),
+            call,
         )
-        return ast.FunctionCall(
-            name=coll_name, args=[ast.SubqueryExpr(query=subquery)]
+        return copy_span(
+            ast.FunctionCall(
+                name=coll_name,
+                args=[copy_span(ast.SubqueryExpr(query=subquery), call)],
+            ),
+            call,
         )
 
     # ------------------------------------------------------------------
@@ -497,7 +537,15 @@ class _Rewriter:
                         name, from_vars, schema_map
                     )
                     if target is not None:
-                        return ast.Path(base=ast.VarRef(name=target), attr=name)
+                        return copy_span(
+                            ast.Path(
+                                base=copy_span(
+                                    ast.VarRef(name=target), inner
+                                ),
+                                attr=name,
+                            ),
+                            inner,
+                        )
                     return inner
                 changes = {}
                 for fld in dataclasses.fields(inner):
@@ -588,7 +636,9 @@ class _Rewriter:
                 and context in ("scalar", "collection")
                 and _is_plain_select_query(expr.query)
             ):
-                return ast.CoerceSubquery(query=rewritten, mode=context)
+                return copy_span(
+                    ast.CoerceSubquery(query=rewritten, mode=context), expr
+                )
             return dataclasses.replace(expr, query=rewritten)
         if isinstance(expr, ast.Binary):
             child_context = "scalar" if expr.op in _SCALAR_BINOPS else None
@@ -859,7 +909,13 @@ def _substitute_block_vars(
 
     def walk(node: ast.Node, active: FrozenSet[str]) -> ast.Node:
         if isinstance(node, ast.VarRef) and node.name in active:
-            return ast.Path(base=ast.VarRef(name=elem_var), attr=node.name)
+            return copy_span(
+                ast.Path(
+                    base=copy_span(ast.VarRef(name=elem_var), node),
+                    attr=node.name,
+                ),
+                node,
+            )
         if isinstance(node, ast.SubqueryExpr):
             body = node.query.body
             if isinstance(body, ast.QueryBlock):

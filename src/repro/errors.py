@@ -31,25 +31,49 @@ class SQLPPError(Exception):
 class LexError(SQLPPError):
     """Raised when the lexer encounters an invalid character or token.
 
-    Carries the 1-based ``line`` and ``column`` of the offending input.
+    Carries the 1-based ``line`` and ``column`` of the offending input,
+    plus an optional caret-context ``snippet`` (the offending source line
+    with a ``^`` marker) appended to the rendered message.
     """
 
-    def __init__(self, message: str, line: int = 0, column: int = 0):
+    def __init__(
+        self,
+        message: str,
+        line: int = 0,
+        column: int = 0,
+        snippet: Optional[str] = None,
+    ):
         self.line = line
         self.column = column
+        self.snippet = snippet
         if line:
             message = f"{message} (at line {line}, column {column})"
+        if snippet:
+            message = f"{message}\n{snippet}"
         super().__init__(message)
 
 
 class ParseError(SQLPPError):
-    """Raised when the parser cannot derive a valid SQL++ statement."""
+    """Raised when the parser cannot derive a valid SQL++ statement.
 
-    def __init__(self, message: str, line: int = 0, column: int = 0):
+    Like :class:`LexError`, carries ``line``/``column`` and an optional
+    caret-context ``snippet`` pointing at the offending token.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int = 0,
+        column: int = 0,
+        snippet: Optional[str] = None,
+    ):
         self.line = line
         self.column = column
+        self.snippet = snippet
         if line:
             message = f"{message} (at line {line}, column {column})"
+        if snippet:
+            message = f"{message}\n{snippet}"
         super().__init__(message)
 
 
@@ -121,3 +145,27 @@ def pos_suffix(line: Optional[int], column: Optional[int]) -> str:
     if line is None:
         return ""
     return f" (at line {line}, column {column})"
+
+
+def caret_snippet(
+    source: Optional[str],
+    line: Optional[int],
+    column: Optional[int],
+    indent: str = "  ",
+) -> Optional[str]:
+    """The source line at ``line`` with a ``^`` under ``column``.
+
+    Shared by parse errors and analyzer diagnostics.  Returns ``None``
+    when the position is unknown or outside the source (e.g. a
+    diagnostic on a fully synthesized node).
+    """
+    if not source or not line or not column:
+        return None
+    lines = source.splitlines()
+    if not 1 <= line <= len(lines):
+        return None
+    text = lines[line - 1]
+    if column > len(text) + 1:
+        return None
+    caret = " " * (column - 1) + "^"
+    return f"{indent}{text}\n{indent}{caret}"

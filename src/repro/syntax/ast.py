@@ -17,12 +17,28 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Tuple, TypeVar
 
 
 @dataclass
 class Node:
-    """Base class of every AST node."""
+    """Base class of every AST node.
+
+    ``line``/``column`` are the 1-based source position of the token the
+    node started at, or ``None`` for synthesized nodes (rewriter output
+    inherits its origin's span via :func:`copy_span`).  They are
+    ``compare=False`` so AST equality stays structural — two parses of
+    the same text compare equal even when whitespace shifts positions —
+    and ``kw_only`` so every subclass's positional constructor is
+    unchanged.
+    """
+
+    line: Optional[int] = field(
+        default=None, compare=False, repr=False, kw_only=True
+    )
+    column: Optional[int] = field(
+        default=None, compare=False, repr=False, kw_only=True
+    )
 
     def children(self) -> Iterator["Node"]:
         """Yield every direct child node (recursing into lists/tuples)."""
@@ -58,6 +74,22 @@ def _nodes_in(value: Any) -> Iterator[Node]:
     elif isinstance(value, (list, tuple)):
         for item in value:
             yield from _nodes_in(item)
+
+
+NodeT = TypeVar("NodeT", bound=Node)
+
+
+def copy_span(target: NodeT, source: Node) -> NodeT:
+    """Stamp ``source``'s span onto ``target`` unless it already has one.
+
+    Used by the rewriter so that synthesized Core nodes (lowered SELECT
+    lists, ``COLL_*`` aggregates, coercion wrappers) point diagnostics at
+    the user's original surface syntax.
+    """
+    if target.line is None and source.line is not None:
+        target.line = source.line
+        target.column = source.column
+    return target
 
 
 def _transform_value(value: Any, fn: Callable[[Node], Node]) -> Any:

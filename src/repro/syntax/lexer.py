@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.errors import LexError
+from repro.errors import LexError, caret_snippet
 from repro.syntax.tokens import (
     EOF,
     IDENT,
@@ -98,7 +98,7 @@ class Lexer:
                 self._advance(2)
                 return
             self._advance()
-        raise LexError("unterminated block comment", start_line, start_col)
+        raise self._lex_error("unterminated block comment", start_line, start_col)
 
     def _next_token(self) -> Token:
         line, column = self._line, self._column
@@ -126,7 +126,15 @@ class Lexer:
         if char in PUNCT_SINGLE:
             self._advance()
             return Token(PUNCT, char, line, column)
-        raise LexError(f"unexpected character {char!r}", line, column)
+        raise self._lex_error(f"unexpected character {char!r}", line, column)
+
+    def _lex_error(self, message: str, line: int, column: int) -> LexError:
+        return LexError(
+            message,
+            line,
+            column,
+            snippet=caret_snippet(self._source, line, column),
+        )
 
     def _lex_word(self, line: int, column: int) -> Token:
         start = self._pos
@@ -172,7 +180,7 @@ class Lexer:
         parts: List[str] = []
         while True:
             if self._pos >= len(self._source):
-                raise LexError("unterminated quoted literal", line, column)
+                raise self._lex_error("unterminated quoted literal", line, column)
             char = self._peek()
             if char == quote:
                 if self._peek(1) == quote:

@@ -13,9 +13,9 @@ query form of Section VI-B.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, TypeVar
 
-from repro.errors import ParseError
+from repro.errors import ParseError, caret_snippet
 from repro.datamodel.values import MISSING
 from repro.syntax import ast
 from repro.syntax.lexer import tokenize
@@ -34,11 +34,21 @@ _COMPARISON_OPS = {"=", "!=", "<>", "<", "<=", ">", ">="}
 _QUERY_START_KEYWORDS = ("SELECT", "FROM", "PIVOT")
 
 
-class Parser:
-    """Parses a token stream into AST nodes."""
+_NodeT = TypeVar("_NodeT", bound=ast.Node)
 
-    def __init__(self, tokens: List[Token]):
+
+class Parser:
+    """Parses a token stream into AST nodes.
+
+    When the original ``source`` text is supplied, every
+    :class:`ParseError` carries a caret-context snippet, and AST nodes
+    are stamped with the 1-based line/column of their first token (the
+    analyzer's diagnostics anchor on these spans).
+    """
+
+    def __init__(self, tokens: List[Token], source: Optional[str] = None):
         self._tokens = tokens
+        self._source = source
         self._pos = 0
         self._param_count = 0
 
@@ -59,8 +69,23 @@ class Parser:
     def _error(self, message: str) -> ParseError:
         token = self._peek()
         return ParseError(
-            f"{message}, found {token.describe()}", token.line, token.column
+            f"{message}, found {token.describe()}",
+            token.line,
+            token.column,
+            snippet=caret_snippet(self._source, token.line, token.column),
         )
+
+    def _pin(self, node: _NodeT, token: Token) -> _NodeT:
+        """Stamp ``token``'s position onto ``node`` unless already set.
+
+        "Unless already set" lets inner parses win: a ``Binary`` built
+        around an already-pinned operand keeps its own operator span
+        while the operand keeps the more specific one.
+        """
+        if node.line is None:
+            node.line = token.line
+            node.column = token.column
+        return node
 
     def _accept_keyword(self, *words: str) -> Optional[Token]:
         if self._peek().is_keyword(*words):
@@ -127,6 +152,7 @@ class Parser:
     # ------------------------------------------------------------------
 
     def _parse_query(self) -> ast.Query:
+        start = self._peek()
         body = self._parse_set_expr()
         order_by: List[ast.OrderItem] = []
         if self._accept_keyword("ORDER"):
@@ -139,17 +165,23 @@ class Parser:
                 limit = self._parse_expr()
             elif offset is None and self._accept_keyword("OFFSET"):
                 offset = self._parse_expr()
-        return ast.Query(body=body, order_by=order_by, limit=limit, offset=offset)
+        return self._pin(
+            ast.Query(body=body, order_by=order_by, limit=limit, offset=offset),
+            start,
+        )
 
     def _parse_set_expr(self) -> ast.Node:
         left = self._parse_query_term()
         while self._peek().is_keyword("UNION", "INTERSECT", "EXCEPT"):
-            op = self._advance().value
+            op_token = self._advance()
+            op = op_token.value
             all_flag = bool(self._accept_keyword("ALL"))
             if not all_flag:
                 self._accept_keyword("DISTINCT")
             right = self._parse_query_term()
-            left = ast.SetOp(op=op, all=all_flag, left=left, right=right)
+            left = self._pin(
+                ast.SetOp(op=op, all=all_flag, left=left, right=right), op_token
+            )
         return left
 
     def _parse_query_term(self) -> ast.Node:
@@ -164,6 +196,7 @@ class Parser:
         return items
 
     def _parse_order_item(self) -> ast.OrderItem:
+        start = self._peek()
         expr = self._parse_expr()
         desc = False
         if self._accept_keyword("DESC"):
@@ -177,7 +210,9 @@ class Parser:
             else:
                 self._expect_keyword("LAST")
                 nulls_first = False
-        return ast.OrderItem(expr=expr, desc=desc, nulls_first=nulls_first)
+        return self._pin(
+            ast.OrderItem(expr=expr, desc=desc, nulls_first=nulls_first), start
+        )
 
     # ------------------------------------------------------------------
     # Query blocks
@@ -194,6 +229,7 @@ class Parser:
         raise self._error("expected SELECT, FROM or PIVOT")
 
     def _parse_select_first_block(self) -> ast.QueryBlock:
+        start = self._peek()
         select = self._parse_select_clause()
         from_items = None
         if self._accept_keyword("FROM"):
@@ -202,17 +238,21 @@ class Parser:
         where = self._parse_expr() if self._accept_keyword("WHERE") else None
         group_by = self._parse_group_by()
         having = self._parse_expr() if self._accept_keyword("HAVING") else None
-        return ast.QueryBlock(
-            select=select,
-            from_=from_items,
-            lets=lets,
-            where=where,
-            group_by=group_by,
-            having=having,
-            select_first=True,
+        return self._pin(
+            ast.QueryBlock(
+                select=select,
+                from_=from_items,
+                lets=lets,
+                where=where,
+                group_by=group_by,
+                having=having,
+                select_first=True,
+            ),
+            start,
         )
 
     def _parse_from_first_block(self) -> ast.QueryBlock:
+        start = self._peek()
         self._expect_keyword("FROM")
         from_items = self._parse_from_items()
         lets = self._parse_lets()
@@ -225,17 +265,21 @@ class Parser:
             select = self._parse_pivot_clause()
         else:
             raise self._error("expected SELECT (or PIVOT) at end of FROM-first query")
-        return ast.QueryBlock(
-            select=select,
-            from_=from_items,
-            lets=lets,
-            where=where,
-            group_by=group_by,
-            having=having,
-            select_first=False,
+        return self._pin(
+            ast.QueryBlock(
+                select=select,
+                from_=from_items,
+                lets=lets,
+                where=where,
+                group_by=group_by,
+                having=having,
+                select_first=False,
+            ),
+            start,
         )
 
     def _parse_pivot_block(self) -> ast.QueryBlock:
+        start = self._peek()
         select = self._parse_pivot_clause()
         self._expect_keyword("FROM")
         from_items = self._parse_from_items()
@@ -243,59 +287,69 @@ class Parser:
         where = self._parse_expr() if self._accept_keyword("WHERE") else None
         group_by = self._parse_group_by()
         having = self._parse_expr() if self._accept_keyword("HAVING") else None
-        return ast.QueryBlock(
-            select=select,
-            from_=from_items,
-            lets=lets,
-            where=where,
-            group_by=group_by,
-            having=having,
-            select_first=True,
+        return self._pin(
+            ast.QueryBlock(
+                select=select,
+                from_=from_items,
+                lets=lets,
+                where=where,
+                group_by=group_by,
+                having=having,
+                select_first=True,
+            ),
+            start,
         )
 
     def _parse_pivot_clause(self) -> ast.PivotClause:
-        self._expect_keyword("PIVOT")
+        start = self._expect_keyword("PIVOT")
         value = self._parse_expr()
         self._expect_keyword("AT")
         at = self._parse_expr()
-        return ast.PivotClause(value=value, at=at)
+        return self._pin(ast.PivotClause(value=value, at=at), start)
 
     def _parse_select_clause(self) -> ast.SelectClause:
-        self._expect_keyword("SELECT")
+        start = self._expect_keyword("SELECT")
         distinct = bool(self._accept_keyword("DISTINCT"))
         if not distinct:
             self._accept_keyword("ALL")
         if self._accept_keyword("VALUE", "ELEMENT"):
             expr = self._parse_expr()
-            return ast.SelectValue(expr=expr, distinct=distinct)
+            return self._pin(ast.SelectValue(expr=expr, distinct=distinct), start)
         if self._peek().is_punct("*") and not self._peek(1).is_punct("."):
             self._advance()
-            return ast.SelectStar(distinct=distinct)
+            return self._pin(ast.SelectStar(distinct=distinct), start)
         items = [self._parse_select_item()]
         while self._accept_punct(","):
             items.append(self._parse_select_item())
-        return ast.SelectList(items=items, distinct=distinct)
+        return self._pin(ast.SelectList(items=items, distinct=distinct), start)
 
     def _parse_select_item(self) -> ast.SelectItem:
+        start = self._peek()
         expr = self._parse_expr()
         if self._peek().is_punct(".") and self._peek(1).is_punct("*"):
             self._advance()
             self._advance()
-            return ast.SelectItem(expr=expr, alias=None, star=True)
+            return self._pin(ast.SelectItem(expr=expr, alias=None, star=True), start)
         alias = None
         if self._accept_keyword("AS"):
             alias = self._expect_identifier("alias after AS")
         elif self._peek().type in (IDENT, QUOTED_IDENT):
             alias = self._advance().value
-        return ast.SelectItem(expr=expr, alias=alias)
+        return self._pin(ast.SelectItem(expr=expr, alias=alias), start)
 
     def _parse_lets(self) -> List[ast.LetBinding]:
         lets: List[ast.LetBinding] = []
         while self._accept_keyword("LET"):
             while True:
+                name_token = self._peek()
                 name = self._expect_identifier("LET variable name")
                 self._expect_punct("=")
-                lets.append(ast.LetBinding(name=name, expr=self._parse_expr()))
+                lets.append(
+                    self._pin(
+                        ast.LetBinding(name=name, expr=self._parse_expr()),
+                        name_token,
+                    )
+                )
                 if not self._accept_punct(","):
                     break
         return lets
@@ -313,6 +367,7 @@ class Parser:
     def _parse_join_tree(self) -> ast.FromItem:
         left = self._parse_from_unary()
         while True:
+            join_token = self._peek()
             kind = self._parse_join_kind()
             if kind is None:
                 return left
@@ -321,7 +376,9 @@ class Parser:
             if kind != "CROSS":
                 self._expect_keyword("ON")
                 on = self._parse_expr()
-            left = ast.FromJoin(left=left, right=right, kind=kind, on=on)
+            left = self._pin(
+                ast.FromJoin(left=left, right=right, kind=kind, on=on), join_token
+            )
 
     def _parse_join_kind(self) -> Optional[str]:
         if self._accept_keyword("JOIN"):
@@ -342,14 +399,18 @@ class Parser:
         return None
 
     def _parse_from_unary(self) -> ast.FromItem:
+        start = self._peek()
         if self._accept_keyword("UNPIVOT"):
             expr = self._parse_expr()
             self._accept_keyword("AS")
             value_alias = self._expect_identifier("UNPIVOT value variable")
             self._expect_keyword("AT")
             at_alias = self._expect_identifier("UNPIVOT name variable")
-            return ast.FromUnpivot(
-                expr=expr, value_alias=value_alias, at_alias=at_alias
+            return self._pin(
+                ast.FromUnpivot(
+                    expr=expr, value_alias=value_alias, at_alias=at_alias
+                ),
+                start,
             )
         # UNNEST expr AS v is pure sugar for a correlated range item.
         self._accept_keyword("UNNEST")
@@ -366,13 +427,16 @@ class Parser:
         at_alias = None
         if self._accept_keyword("AT"):
             at_alias = self._expect_identifier("AT position variable")
-        return ast.FromCollection(expr=expr, alias=alias, at_alias=at_alias)
+        return self._pin(
+            ast.FromCollection(expr=expr, alias=alias, at_alias=at_alias), start
+        )
 
     # ------------------------------------------------------------------
     # GROUP BY
     # ------------------------------------------------------------------
 
     def _parse_group_by(self) -> Optional[ast.GroupByClause]:
+        start = self._peek()
         if not self._accept_keyword("GROUP"):
             return None
         self._expect_keyword("BY")
@@ -398,18 +462,22 @@ class Parser:
         if self._accept_keyword("GROUP"):
             self._expect_keyword("AS")
             group_as = self._expect_identifier("GROUP AS variable")
-        return ast.GroupByClause(
-            keys=keys, group_as=group_as, mode=mode, grouping_sets=grouping_sets
+        return self._pin(
+            ast.GroupByClause(
+                keys=keys, group_as=group_as, mode=mode, grouping_sets=grouping_sets
+            ),
+            start,
         )
 
     def _parse_group_key(self, position: int) -> ast.GroupKey:
+        start = self._peek()
         expr = self._parse_expr()
         alias = None
         if self._accept_keyword("AS"):
             alias = self._expect_identifier("alias after AS")
         if alias is None:
             alias = _implied_alias(expr) or f"_{position + 1}"
-        return ast.GroupKey(expr=expr, alias=alias)
+        return self._pin(ast.GroupKey(expr=expr, alias=alias), start)
 
     def _parse_parenthesised_group_keys(self) -> List[ast.GroupKey]:
         self._expect_punct("(")
@@ -460,19 +528,30 @@ class Parser:
 
     def _parse_or(self) -> ast.Expr:
         left = self._parse_and()
-        while self._accept_keyword("OR"):
-            left = ast.Binary(op="OR", left=left, right=self._parse_and())
-        return left
+        while True:
+            op_token = self._accept_keyword("OR")
+            if op_token is None:
+                return left
+            left = self._pin(
+                ast.Binary(op="OR", left=left, right=self._parse_and()), op_token
+            )
 
     def _parse_and(self) -> ast.Expr:
         left = self._parse_not()
-        while self._accept_keyword("AND"):
-            left = ast.Binary(op="AND", left=left, right=self._parse_not())
-        return left
+        while True:
+            op_token = self._accept_keyword("AND")
+            if op_token is None:
+                return left
+            left = self._pin(
+                ast.Binary(op="AND", left=left, right=self._parse_not()), op_token
+            )
 
     def _parse_not(self) -> ast.Expr:
-        if self._accept_keyword("NOT"):
-            return ast.Unary(op="NOT", operand=self._parse_not())
+        not_token = self._accept_keyword("NOT")
+        if not_token is not None:
+            return self._pin(
+                ast.Unary(op="NOT", operand=self._parse_not()), not_token
+            )
         return self._parse_comparison()
 
     def _parse_comparison(self) -> ast.Expr:
@@ -482,7 +561,9 @@ class Parser:
             op = self._advance().value
             if op == "<>":
                 op = "!="
-            return ast.Binary(op=op, left=left, right=self._parse_concat())
+            return self._pin(
+                ast.Binary(op=op, left=left, right=self._parse_concat()), token
+            )
         negated = False
         if token.is_keyword("NOT") and self._peek(1).is_keyword(
             "LIKE", "BETWEEN", "IN"
@@ -496,19 +577,28 @@ class Parser:
             escape = None
             if self._accept_keyword("ESCAPE"):
                 escape = self._parse_concat()
-            return ast.Like(
-                operand=left, pattern=pattern, escape=escape, negated=negated
+            return self._pin(
+                ast.Like(
+                    operand=left, pattern=pattern, escape=escape, negated=negated
+                ),
+                token,
             )
         if token.is_keyword("BETWEEN"):
             self._advance()
             low = self._parse_concat()
             self._expect_keyword("AND")
             high = self._parse_concat()
-            return ast.Between(operand=left, low=low, high=high, negated=negated)
+            return self._pin(
+                ast.Between(operand=left, low=low, high=high, negated=negated),
+                token,
+            )
         if token.is_keyword("IN"):
             self._advance()
-            return ast.InPredicate(
-                operand=left, collection=self._parse_in_rhs(), negated=negated
+            return self._pin(
+                ast.InPredicate(
+                    operand=left, collection=self._parse_in_rhs(), negated=negated
+                ),
+                token,
             )
         if token.is_keyword("IS"):
             self._advance()
@@ -520,7 +610,9 @@ class Parser:
                 kind = self._advance().value.upper()
             else:
                 raise self._error("expected a type name after IS")
-            return ast.IsPredicate(operand=left, kind=kind, negated=is_negated)
+            return self._pin(
+                ast.IsPredicate(operand=left, kind=kind, negated=is_negated), token
+            )
         if negated:
             raise self._error("expected LIKE, BETWEEN or IN after NOT")
         return left
@@ -543,9 +635,13 @@ class Parser:
 
     def _parse_concat(self) -> ast.Expr:
         left = self._parse_additive()
-        while self._accept_punct("||"):
-            left = ast.Binary(op="||", left=left, right=self._parse_additive())
-        return left
+        while True:
+            token = self._accept_punct("||")
+            if token is None:
+                return left
+            left = self._pin(
+                ast.Binary(op="||", left=left, right=self._parse_additive()), token
+            )
 
     def _parse_additive(self) -> ast.Expr:
         left = self._parse_multiplicative()
@@ -553,8 +649,11 @@ class Parser:
             token = self._accept_punct("+", "-")
             if token is None:
                 return left
-            left = ast.Binary(
-                op=token.value, left=left, right=self._parse_multiplicative()
+            left = self._pin(
+                ast.Binary(
+                    op=token.value, left=left, right=self._parse_multiplicative()
+                ),
+                token,
             )
 
     def _parse_multiplicative(self) -> ast.Expr:
@@ -563,12 +662,17 @@ class Parser:
             token = self._accept_punct("*", "/", "%")
             if token is None:
                 return left
-            left = ast.Binary(op=token.value, left=left, right=self._parse_unary())
+            left = self._pin(
+                ast.Binary(op=token.value, left=left, right=self._parse_unary()),
+                token,
+            )
 
     def _parse_unary(self) -> ast.Expr:
         token = self._accept_punct("-", "+")
         if token is not None:
-            return ast.Unary(op=token.value, operand=self._parse_unary())
+            return self._pin(
+                ast.Unary(op=token.value, operand=self._parse_unary()), token
+            )
         return self._parse_path()
 
     def _parse_path(self) -> ast.Expr:
@@ -579,27 +683,35 @@ class Parser:
                 token = self._peek()
                 if token.type in (IDENT, QUOTED_IDENT):
                     self._advance()
-                    expr = ast.Path(base=expr, attr=token.value)
+                    expr = self._pin(ast.Path(base=expr, attr=token.value), token)
                 elif token.type == KEYWORD:
                     # Keywords are fine as attribute names after a dot
                     # (e.g. ``c.value``); keep original lowercase form.
                     self._advance()
-                    expr = ast.Path(base=expr, attr=token.value.lower())
+                    expr = self._pin(
+                        ast.Path(base=expr, attr=token.value.lower()), token
+                    )
                 else:
                     raise self._error("expected attribute name after '.'")
             elif self._peek().is_punct("["):
+                bracket = self._peek()
                 if self._peek(1).is_punct("*") and self._peek(2).is_punct("]"):
                     self._advance()
                     self._advance()
                     self._advance()
-                    expr = ast.PathWildcard(
-                        base=expr, kind="values", steps=self._parse_wildcard_steps()
+                    expr = self._pin(
+                        ast.PathWildcard(
+                            base=expr,
+                            kind="values",
+                            steps=self._parse_wildcard_steps(),
+                        ),
+                        bracket,
                     )
                     continue
                 self._advance()
                 index = self._parse_expr()
                 self._expect_punct("]")
-                expr = ast.Index(base=expr, index=index)
+                expr = self._pin(ast.Index(base=expr, index=index), bracket)
             else:
                 return expr
 
@@ -643,51 +755,51 @@ class Parser:
         token = self._peek()
         if token.type == NUMBER:
             self._advance()
-            return ast.Literal(value=token.value)
+            return self._pin(ast.Literal(value=token.value), token)
         if token.type == STRING:
             self._advance()
-            return ast.Literal(value=token.value)
+            return self._pin(ast.Literal(value=token.value), token)
         if token.is_keyword("TRUE"):
             self._advance()
-            return ast.Literal(value=True)
+            return self._pin(ast.Literal(value=True), token)
         if token.is_keyword("FALSE"):
             self._advance()
-            return ast.Literal(value=False)
+            return self._pin(ast.Literal(value=False), token)
         if token.is_keyword("NULL"):
             self._advance()
-            return ast.Literal(value=None)
+            return self._pin(ast.Literal(value=None), token)
         if token.is_keyword("MISSING"):
             self._advance()
-            return ast.Literal(value=MISSING)
+            return self._pin(ast.Literal(value=MISSING), token)
         if token.is_keyword("CASE"):
-            return self._parse_case()
+            return self._pin(self._parse_case(), token)
         if token.is_keyword("EXISTS"):
             self._advance()
-            return ast.Exists(operand=self._parse_path())
+            return self._pin(ast.Exists(operand=self._parse_path()), token)
         if token.is_keyword("CAST"):
-            return self._parse_cast()
+            return self._pin(self._parse_cast(), token)
         if token.is_punct("?"):
             self._advance()
             self._param_count += 1
-            return ast.Parameter(index=self._param_count - 1)
+            return self._pin(ast.Parameter(index=self._param_count - 1), token)
         if token.is_punct("("):
-            return self._parse_parenthesised()
+            return self._pin(self._parse_parenthesised(), token)
         if token.is_punct("["):
-            return self._parse_array_literal()
+            return self._pin(self._parse_array_literal(), token)
         if token.is_punct("<<"):
-            return self._parse_bag_literal("<<", ">>")
+            return self._pin(self._parse_bag_literal("<<", ">>"), token)
         if token.is_punct("{"):
             if self._peek(1).is_punct("{"):
-                return self._parse_brace_bag()
-            return self._parse_struct_literal()
+                return self._pin(self._parse_brace_bag(), token)
+            return self._pin(self._parse_struct_literal(), token)
         if token.type == IDENT:
             if self._peek(1).is_punct("("):
-                return self._parse_function_call()
+                return self._pin(self._parse_function_call(), token)
             self._advance()
-            return ast.VarRef(name=token.value)
+            return self._pin(ast.VarRef(name=token.value), token)
         if token.type == QUOTED_IDENT:
             self._advance()
-            return ast.VarRef(name=token.value)
+            return self._pin(ast.VarRef(name=token.value), token)
         raise self._error("expected an expression")
 
     def _parse_parenthesised(self) -> ast.Expr:
@@ -759,7 +871,8 @@ class Parser:
         return ast.CastExpr(operand=operand, type_name=type_name)
 
     def _parse_function_call(self) -> ast.Expr:
-        name = self._advance().value
+        name_token = self._advance()
+        name = name_token.value
         self._expect_punct("(")
         distinct = False
         star = False
@@ -777,9 +890,15 @@ class Parser:
             while self._accept_punct(","):
                 args.append(self._parse_item_expr())
         self._expect_punct(")")
-        call = ast.FunctionCall(name=name, args=args, distinct=distinct, star=star)
+        call = self._pin(
+            ast.FunctionCall(name=name, args=args, distinct=distinct, star=star),
+            name_token,
+        )
         if self._peek().is_keyword("OVER"):
-            return ast.WindowCall(call=call, spec=self._parse_window_spec())
+            return self._pin(
+                ast.WindowCall(call=call, spec=self._parse_window_spec()),
+                name_token,
+            )
         return call
 
     def _parse_window_spec(self) -> ast.WindowSpec:
@@ -863,12 +982,12 @@ class Parser:
         # literal attribute name (paper Listing 18: ``{deptno: d, ...}``).
         if token.type in (IDENT, QUOTED_IDENT) and self._peek(1).is_punct(":"):
             self._advance()
-            key: ast.Expr = ast.Literal(value=token.value)
+            key: ast.Expr = self._pin(ast.Literal(value=token.value), token)
         else:
             key = self._parse_expr()
         self._expect_punct(":")
         value = self._parse_item_expr()
-        return ast.StructField(key=key, value=value)
+        return self._pin(ast.StructField(key=key, value=value), token)
 
 
 def _implied_alias(expr: ast.Expr) -> Optional[str]:
@@ -886,17 +1005,17 @@ def _implied_alias(expr: ast.Expr) -> Optional[str]:
 
 def parse(source: str) -> ast.Query:
     """Parse one SQL++ query from ``source``."""
-    return Parser(tokenize(source)).parse_query()
+    return Parser(tokenize(source), source).parse_query()
 
 
 def parse_script(source: str) -> List[ast.Query]:
     """Parse a semicolon-separated sequence of queries."""
-    return Parser(tokenize(source)).parse_script()
+    return Parser(tokenize(source), source).parse_script()
 
 
 def parse_expression(source: str) -> ast.Expr:
     """Parse a bare SQL++ expression (no query clauses)."""
-    return Parser(tokenize(source)).parse_expression_only()
+    return Parser(tokenize(source), source).parse_expression_only()
 
 
 #: Re-export for callers that want the inferred-name rule.

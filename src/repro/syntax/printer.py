@@ -86,7 +86,10 @@ class _Printer:
         return f"({self.render(term)})"
 
     def _render_queryblock(self, node: ast.QueryBlock) -> str:
-        parts = [self.render(node.select)]
+        # Preserve the surface clause order (SELECT-first SQL style vs
+        # the paper's FROM-first style) so print→parse round-trips to
+        # an identical tree.
+        parts = [self.render(node.select)] if node.select_first else []
         if node.from_ is not None:
             items = ", ".join(self.render(item) for item in node.from_)
             parts.append(f"FROM {items}")
@@ -98,6 +101,8 @@ class _Printer:
             parts.append(self._group_by(node.group_by))
         if node.having is not None:
             parts.append(f"HAVING {self.render(node.having)}")
+        if not node.select_first:
+            parts.append(self.render(node.select))
         return " ".join(parts)
 
     def _group_by(self, clause: ast.GroupByClause) -> str:

@@ -1,0 +1,89 @@
+"""The ``lint`` CLI verb and the ``--check`` execution gate."""
+
+import json
+
+from repro.cli import main
+
+
+class TestLintCommand:
+    def test_clean_command_exits_zero(self, capsys):
+        assert main(["lint", "-c", "SELECT VALUE 1"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_error_finding_exits_one(self, capsys):
+        assert main(["lint", "-c", "SELECT VALUE FLOR(1)"]) == 1
+        out = capsys.readouterr().out
+        assert "SQLPP004" in out
+        assert "^" in out
+
+    def test_warning_only_exits_zero(self, capsys):
+        assert main(["lint", "-c", "SELECT VALUE 1 = 'a'"]) == 0
+        assert "SQLPP102" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        assert main(["lint", "--json", "-c", "SELECT VALUE FLOR(1)"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+        assert payload["diagnostics"][0]["code"] == "SQLPP004"
+
+    def test_ignore_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "lint",
+                    "--ignore",
+                    "SQLPP102",
+                    "-c",
+                    "SELECT VALUE 1 = 'a'",
+                ]
+            )
+            == 0
+        )
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_file(self, tmp_path, capsys):
+        script = tmp_path / "q.sqlpp"
+        script.write_text("SELECT VALUE FLOR(1);\n")
+        assert main(["lint", str(script)]) == 1
+        assert "q.sqlpp:1:" in capsys.readouterr().out
+
+    def test_lint_with_loaded_data(self, tmp_path, capsys):
+        data = tmp_path / "emp.json"
+        data.write_text(json.dumps([{"name": "bob"}]))
+        code = main(
+            [
+                "lint",
+                "--core",
+                "--load",
+                f"emp={data}",
+                "-c",
+                "SELECT VALUE e.name FROM emp AS e",
+            ]
+        )
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_compat_kit_sweep(self, capsys):
+        assert main(["lint", "--compat-kit"]) == 0
+        out = capsys.readouterr().out
+        assert "0 with error findings" in out
+
+
+class TestCheckGate:
+    def test_check_refuses_error_query(self, capsys):
+        assert main(["--check", "-c", "SELECT VALUE FLOR(1)"]) == 1
+        err = capsys.readouterr().err
+        assert "SQLPP004" in err
+
+    def test_check_allows_clean_query(self, capsys):
+        assert main(["--check", "-c", "SELECT VALUE 1 + 1"]) == 0
+        assert "2" in capsys.readouterr().out
+
+    def test_check_allows_warnings(self, capsys):
+        # Warnings report to stderr but execution proceeds.
+        assert main(["--check", "-c", "SELECT VALUE 1 = 'a'"]) == 0
+        captured = capsys.readouterr()
+        # Permissive equality across types is MISSING — exactly what
+        # the warning (reported, non-blocking) is about.
+        assert "missing" in captured.out
+        assert "SQLPP102" in captured.err

@@ -1,0 +1,51 @@
+"""The compat kit doubles as the analyzer's false-positive corpus.
+
+Every positive conformance listing must check clean of error-severity
+findings in both typing modes — these queries run successfully, so an
+error finding would be a false positive by construction.  And the
+analyzer must never crash on *any* listing, including the
+expect-error ones.
+"""
+
+import pytest
+
+from repro.analysis import AnalyzerOptions, analyze
+from repro.analysis.diagnostics import ERROR
+from repro.compat.corpus import all_cases
+from repro.config import EvalConfig
+
+CASES = all_cases()
+POSITIVE = [case for case in CASES if not case.expect_error]
+
+
+@pytest.mark.parametrize(
+    "case", POSITIVE, ids=[case.case_id for case in POSITIVE]
+)
+@pytest.mark.parametrize("typing_mode", ["strict", "permissive"])
+def test_positive_listing_has_no_error_findings(case, typing_mode):
+    options = AnalyzerOptions(
+        config=EvalConfig(
+            typing_mode=typing_mode, sql_compat=case.sql_compat
+        ),
+        catalog_names=tuple(case.data),
+    )
+    found = analyze(case.query, options)
+    errors = [d for d in found if d.severity == ERROR]
+    assert not errors, [
+        f"{d.code}: {d.message}" for d in errors
+    ]
+
+
+@pytest.mark.parametrize(
+    "case", CASES, ids=[case.case_id for case in CASES]
+)
+def test_analyzer_never_crashes(case):
+    options = AnalyzerOptions(
+        config=EvalConfig(
+            typing_mode=case.typing_mode, sql_compat=case.sql_compat
+        ),
+        catalog_names=tuple(case.data),
+    )
+    for diagnostic in analyze(case.query, options):
+        assert diagnostic.code.startswith("SQLPP")
+        assert diagnostic.message

@@ -1,0 +1,120 @@
+"""Diagnostic plumbing: suppression comments, caller suppression sets,
+dedupe/sort, and the text/JSON renderers."""
+
+import json
+
+from repro.analysis import analyze, render_json, render_text
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    dedupe,
+    filter_suppressed,
+    has_errors,
+    sort_diagnostics,
+    suppressions_by_line,
+)
+from repro.analysis.rules import make
+
+
+def D(code, severity="warning", line=None, column=None, message="m"):
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        message=message,
+        line=line,
+        column=column,
+    )
+
+
+class TestInlineSuppression:
+    def test_bare_ignore_suppresses_all_codes_on_line(self):
+        by_line = suppressions_by_line("SELECT VALUE 1 -- sqlpp-ignore\n")
+        assert by_line == {1: None}
+
+    def test_code_list(self):
+        by_line = suppressions_by_line(
+            "x -- sqlpp-ignore: SQLPP102, SQLPP105\n"
+        )
+        assert by_line == {1: frozenset({"SQLPP102", "SQLPP105"})}
+
+    def test_analyze_respects_inline_ignore(self):
+        noisy = "SELECT VALUE 1 = 'a'"
+        assert any(
+            d.code == "SQLPP102" for d in analyze(noisy)
+        )
+        quiet = "SELECT VALUE 1 = 'a' -- sqlpp-ignore: SQLPP102"
+        assert not any(d.code == "SQLPP102" for d in analyze(quiet))
+
+    def test_ignore_only_applies_to_its_line(self):
+        source = (
+            "SELECT VALUE 1 = 'a'; -- sqlpp-ignore: SQLPP102\n"
+            "SELECT VALUE 2 = 'b';"
+        )
+        remaining = [d for d in analyze(source) if d.code == "SQLPP102"]
+        assert len(remaining) == 1
+        assert remaining[0].line == 2
+
+
+class TestCallerSuppression:
+    def test_suppress_set_drops_code_everywhere(self):
+        found = [D("SQLPP102", line=1), D("SQLPP105", line=2)]
+        kept = filter_suppressed(found, "", ("SQLPP102",))
+        assert [d.code for d in kept] == ["SQLPP105"]
+
+    def test_unlocated_findings_survive_inline_ignores(self):
+        found = [D("SQLPP000", severity="error")]
+        assert filter_suppressed(found, "-- sqlpp-ignore\n", ()) == found
+
+
+class TestDedupeAndSort:
+    def test_dedupe_key_is_code_message_position(self):
+        twice = [D("SQLPP102", line=1, column=2)] * 2
+        assert len(dedupe(twice)) == 1
+
+    def test_sort_severity_then_position(self):
+        out = sort_diagnostics(
+            [
+                D("SQLPP003", severity="warning", line=1, column=1),
+                D("SQLPP001", severity="error", line=9, column=9),
+                D("SQLPP002", severity="warning", line=1, column=5),
+            ]
+        )
+        assert [d.code for d in out] == ["SQLPP001", "SQLPP003", "SQLPP002"]
+
+    def test_has_errors(self):
+        assert has_errors([D("SQLPP001", severity="error")])
+        assert not has_errors([D("SQLPP002")])
+
+
+class TestMake:
+    def test_make_applies_registry_severity(self):
+        assert make("SQLPP001", "x").severity == "error"
+        assert make("SQLPP003", "x").severity == "warning"
+
+
+class TestRenderers:
+    SOURCE = "SELECT VALUE FLOR(1.5)"
+
+    def findings(self):
+        return analyze(self.SOURCE)
+
+    def test_text_has_location_code_and_caret(self):
+        text = render_text(self.findings(), self.SOURCE, "q.sqlpp")
+        assert "q.sqlpp:1:" in text
+        assert "error[SQLPP004]" in text
+        assert "^" in text
+        assert "hint:" in text
+        assert "1 error(s)" in text
+
+    def test_text_clean_summary(self):
+        assert render_text([], "SELECT VALUE 1", "q.sqlpp").endswith(
+            "clean"
+        )
+
+    def test_json_document_shape(self):
+        payload = json.loads(render_json(self.findings(), "q.sqlpp"))
+        assert payload["file"] == "q.sqlpp"
+        assert payload["errors"] == 1
+        entry = payload["diagnostics"][0]
+        assert entry["code"] == "SQLPP004"
+        assert entry["severity"] == "error"
+        assert entry["line"] == 1

@@ -1,0 +1,159 @@
+"""The abstract type lattice: join is a least upper bound, schema
+seeding matches the schema's shape, and sampling-based seeding is
+properly softened."""
+
+from repro.analysis.lattice import (
+    BOOLEAN_T,
+    BOTTOM,
+    CATEGORIES,
+    MISSING_CAT,
+    MISSING_T,
+    NULL,
+    NULL_T,
+    NUMBER,
+    NUMBER_T,
+    STRING,
+    STRING_T,
+    TOP,
+    AType,
+    array_of,
+    bag_of,
+    category_of,
+    from_schema,
+    infer_literal,
+    join,
+    join_all,
+    narrow,
+    scalar,
+    soften,
+    tuple_of,
+    widen,
+)
+from repro.datamodel.values import MISSING, Bag, Struct
+from repro.schema.ddl import parse_schema
+
+
+class TestJoin:
+    def test_join_unions_categories(self):
+        assert join(NUMBER_T, STRING_T).cats == frozenset(
+            {NUMBER, STRING}
+        )
+
+    def test_bottom_is_identity(self):
+        assert join(BOTTOM, NUMBER_T) == NUMBER_T
+        assert join(NUMBER_T, BOTTOM) == NUMBER_T
+
+    def test_join_is_commutative_on_cats(self):
+        pairs = [
+            (NUMBER_T, STRING_T),
+            (TOP, NULL_T),
+            (array_of(NUMBER_T), bag_of(STRING_T)),
+            (tuple_of([("a", NUMBER_T)]), tuple_of([("b", STRING_T)])),
+        ]
+        for left, right in pairs:
+            assert join(left, right).cats == join(right, left).cats
+
+    def test_join_is_upper_bound(self):
+        joined = join(scalar(NUMBER, NULL), BOOLEAN_T)
+        assert scalar(NUMBER, NULL).cats <= joined.cats
+        assert BOOLEAN_T.cats <= joined.cats
+
+    def test_collection_elements_merge(self):
+        joined = join(array_of(NUMBER_T), bag_of(STRING_T))
+        assert joined.element is not None
+        assert joined.element.cats == frozenset({NUMBER, STRING})
+
+    def test_one_sided_tuple_attr_gains_missing(self):
+        left = tuple_of([("a", NUMBER_T)], open=False)
+        right = tuple_of([("b", STRING_T)], open=False)
+        merged = join(left, right).attr_map()
+        assert MISSING_CAT in merged["a"].cats
+        assert MISSING_CAT in merged["b"].cats
+
+    def test_join_all_empty_is_bottom(self):
+        assert join_all([]) == BOTTOM
+
+
+class TestWidenNarrow:
+    def test_widen_adds(self):
+        assert widen(NUMBER_T, NULL).cats == frozenset({NUMBER, NULL})
+
+    def test_widen_noop_returns_same(self):
+        assert widen(NUMBER_T, NUMBER) is NUMBER_T
+
+    def test_narrow_removes(self):
+        assert narrow(scalar(NUMBER, NULL), NULL) == NUMBER_T
+
+    def test_narrow_preserves_shape(self):
+        shaped = array_of(NUMBER_T)
+        assert narrow(widen(shaped, NULL), NULL).element == NUMBER_T
+
+
+class TestPredicates:
+    def test_always_missing(self):
+        assert MISSING_T.is_always_missing()
+        assert not TOP.is_always_missing()
+
+    def test_always_absent(self):
+        assert scalar(NULL, MISSING_CAT).is_always_absent()
+        assert not BOTTOM.is_always_absent()
+
+    def test_describe_is_stable(self):
+        assert scalar(NULL, NUMBER).describe() == "number|null"
+        assert BOTTOM.describe() == "never"
+
+
+class TestLiteralsAndValues:
+    def test_infer_literal(self):
+        assert infer_literal(None) == NULL_T
+        assert infer_literal(True) == BOOLEAN_T
+        assert infer_literal(3) == NUMBER_T
+        assert infer_literal(2.5) == NUMBER_T
+        assert infer_literal("x") == STRING_T
+
+    def test_category_of_runtime_values(self):
+        assert category_of(MISSING) == "missing"
+        assert category_of(None) == "null"
+        assert category_of(True) == "boolean"
+        assert category_of(7) == "number"
+        assert category_of("s") == "string"
+        assert category_of([1]) == "array"
+        assert category_of(Bag([1])) == "bag"
+        assert category_of(Struct({"a": 1})) == "tuple"
+
+
+class TestFromSchema:
+    def test_closed_struct(self):
+        abstract = from_schema(
+            parse_schema("STRUCT<name STRING, age INT>")
+        )
+        assert abstract.only("tuple")
+        assert not abstract.open
+        assert abstract.attr_map()["name"] == STRING_T
+        assert abstract.attr_map()["age"] == NUMBER_T
+
+    def test_open_struct(self):
+        abstract = from_schema(parse_schema("STRUCT<name STRING, ...>"))
+        assert abstract.open
+
+    def test_bag_element(self):
+        abstract = from_schema(parse_schema("BAG<INT>"))
+        assert abstract.only("bag")
+        assert abstract.element == NUMBER_T
+
+    def test_any_excludes_missing(self):
+        abstract = from_schema(parse_schema("ANY"))
+        assert abstract.cats == CATEGORIES - frozenset({MISSING_CAT})
+
+    def test_soften_opens_every_tuple(self):
+        closed = from_schema(
+            parse_schema("BAG<STRUCT<a STRUCT<b INT>>>")
+        )
+        opened = soften(closed)
+        assert opened.element is not None
+        assert opened.element.open
+        assert opened.element.attr_map()["a"].open
+
+    def test_soften_preserves_categories(self):
+        abstract = AType(cats=frozenset({NUMBER, NULL}))
+        assert soften(abstract).cats == abstract.cats

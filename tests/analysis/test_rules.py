@@ -1,0 +1,254 @@
+"""One test class per lint rule: every documented code fires on a
+minimal trigger, stays silent on the corrected query, and reports a
+usable source position."""
+
+from repro.analysis import AnalyzerOptions, analyze
+from repro.analysis.lattice import from_schema
+from repro.analysis.rules import RULES, rule_for
+from repro.config import EvalConfig
+from repro.schema.ddl import parse_schema
+
+EMP_SCHEMA = from_schema(
+    parse_schema("BAG<STRUCT<name STRING, age INT, dept STRING>>")
+)
+
+SCHEMA_OPTS = AnalyzerOptions(
+    config=EvalConfig(sql_compat=True),
+    catalog_types={"emp": EMP_SCHEMA},
+    schema_attrs={"emp": {"name", "age", "dept"}},
+)
+
+COMPAT_OPTS = AnalyzerOptions(
+    config=EvalConfig(sql_compat=True), catalog_names=("emp",)
+)
+
+CORE_OPTS = AnalyzerOptions(
+    config=EvalConfig(sql_compat=False), catalog_names=("emp",)
+)
+
+
+def codes(source, options=None):
+    return [d.code for d in analyze(source, options)]
+
+
+def find(source, code, options=None):
+    matches = [d for d in analyze(source, options) if d.code == code]
+    assert matches, f"expected {code}, got {codes(source, options)}"
+    return matches[0]
+
+
+class TestRegistry:
+    def test_catalog_has_at_least_twelve_documented_rules(self):
+        assert len(RULES) >= 12
+        for code, rule in RULES.items():
+            assert code == rule.code
+            assert rule.summary
+            assert rule.severity in ("error", "warning", "info")
+
+    def test_rule_for_unknown_code(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            rule_for("SQLPP999")
+
+
+class TestSyntaxError000:
+    def test_parse_error_is_a_finding(self):
+        diagnostic = find("SELECT FROM WHERE", "SQLPP000")
+        assert diagnostic.severity == "error"
+        assert diagnostic.line == 1
+
+    def test_lex_error_is_a_finding(self):
+        assert "SQLPP000" in codes("SELECT VALUE 'unterminated")
+
+
+class TestUnboundVariable001:
+    def test_unbound_name(self):
+        diagnostic = find(
+            "SELECT VALUE nosuch FROM emp AS e", "SQLPP001", CORE_OPTS
+        )
+        assert diagnostic.severity == "error"
+        assert "nosuch" in diagnostic.message
+
+    def test_compat_single_from_var_disambiguates(self):
+        # SQL-compat mode reads a bare name as e.nosuch, which is a
+        # legal (MISSING-producing) navigation, not an unbound name.
+        assert "SQLPP001" not in codes(
+            "SELECT VALUE nosuch FROM emp AS e", COMPAT_OPTS
+        )
+
+    def test_catalog_name_resolves(self):
+        assert codes("SELECT VALUE e.name FROM emp AS e", CORE_OPTS) == []
+
+    def test_post_group_by_scope(self):
+        # After GROUP BY only key aliases and GROUP AS survive.
+        assert "SQLPP001" in codes(
+            "SELECT VALUE e FROM emp AS e GROUP BY e.dept AS d",
+            CORE_OPTS,
+        )
+
+
+class TestShadowedVariable002:
+    def test_let_shadows_from(self):
+        diagnostic = find(
+            "SELECT VALUE e FROM emp AS e LET e = 1", "SQLPP002", CORE_OPTS
+        )
+        assert diagnostic.severity == "warning"
+
+    def test_distinct_names_are_fine(self):
+        assert "SQLPP002" not in codes(
+            "SELECT VALUE x FROM emp AS e LET x = e.name", CORE_OPTS
+        )
+
+
+class TestUnusedLet003:
+    def test_unused_binding(self):
+        diagnostic = find(
+            "SELECT VALUE e FROM emp AS e LET unused = 1",
+            "SQLPP003",
+            CORE_OPTS,
+        )
+        assert "unused" in diagnostic.message
+
+    def test_underscore_prefix_is_exempt(self):
+        assert "SQLPP003" not in codes(
+            "SELECT VALUE e FROM emp AS e LET _scratch = 1", CORE_OPTS
+        )
+
+    def test_used_binding_is_fine(self):
+        assert "SQLPP003" not in codes(
+            "SELECT VALUE x FROM emp AS e LET x = e.name", CORE_OPTS
+        )
+
+
+class TestUnknownFunction004:
+    def test_unknown_function_with_hint(self):
+        diagnostic = find("SELECT VALUE FLOR(1.5)", "SQLPP004")
+        assert diagnostic.severity == "error"
+        assert "FLOOR" in (diagnostic.hint or "")
+
+    def test_wrong_arity(self):
+        diagnostic = find("SELECT VALUE SUBSTRING('abc')", "SQLPP004")
+        assert "argument" in diagnostic.message
+
+    def test_known_function_is_fine(self):
+        assert codes("SELECT VALUE ABS(-1)") == []
+
+
+class TestDuplicateKey005:
+    def test_duplicate_struct_key(self):
+        diagnostic = find("SELECT VALUE {'a': 1, 'a': 2}", "SQLPP005")
+        assert "last occurrence wins" in diagnostic.message
+
+    def test_duplicate_select_alias(self):
+        assert "SQLPP005" in codes(
+            "SELECT e.name AS x, e.age AS x FROM emp AS e", COMPAT_OPTS
+        )
+
+    def test_distinct_keys_are_fine(self):
+        assert codes("SELECT VALUE {'a': 1, 'b': 2}") == []
+
+
+class TestNegativeLimit006:
+    def test_negative_limit(self):
+        diagnostic = find(
+            "SELECT VALUE e FROM emp AS e LIMIT -1", "SQLPP006", CORE_OPTS
+        )
+        assert diagnostic.severity == "error"
+
+    def test_negative_offset(self):
+        assert "SQLPP006" in codes(
+            "SELECT VALUE e FROM emp AS e OFFSET -2", CORE_OPTS
+        )
+
+    def test_zero_limit_is_fine(self):
+        assert "SQLPP006" not in codes(
+            "SELECT VALUE e FROM emp AS e LIMIT 0", CORE_OPTS
+        )
+
+
+class TestAlwaysMissing101:
+    def test_closed_schema_navigation(self):
+        diagnostic = find(
+            "SELECT VALUE e.salary FROM emp AS e", "SQLPP101", SCHEMA_OPTS
+        )
+        assert diagnostic.severity == "warning"
+        assert "MISSING" in diagnostic.message
+
+    def test_known_attribute_is_fine(self):
+        assert codes("SELECT VALUE e.name FROM emp AS e", SCHEMA_OPTS) == []
+
+    def test_no_schema_no_conclusion(self):
+        assert "SQLPP101" not in codes(
+            "SELECT VALUE e.salary FROM emp AS e", COMPAT_OPTS
+        )
+
+
+class TestComparisonMismatch102:
+    def test_string_vs_number_order(self):
+        diagnostic = find(
+            "SELECT VALUE e FROM emp AS e WHERE e.name > e.age",
+            "SQLPP102",
+            SCHEMA_OPTS,
+        )
+        assert "string" in diagnostic.message
+        assert "number" in diagnostic.message
+
+    def test_disjoint_equality(self):
+        assert "SQLPP102" in codes("SELECT VALUE 1 = 'a'")
+
+    def test_same_kind_is_fine(self):
+        assert "SQLPP102" not in codes(
+            "SELECT VALUE e FROM emp AS e WHERE e.age > 30", SCHEMA_OPTS
+        )
+
+
+class TestAggregateNonCollection103:
+    def test_coll_aggregate_on_scalar(self):
+        diagnostic = find("SELECT VALUE COLL_SUM(1)", "SQLPP103")
+        assert "collection" in diagnostic.message
+
+    def test_coll_aggregate_on_array_is_fine(self):
+        assert "SQLPP103" not in codes("SELECT VALUE COLL_SUM([1, 2])")
+
+    def test_lowered_sql_aggregate_is_fine(self):
+        # SUM over a group lowers to COLL_SUM over a subquery.
+        assert "SQLPP103" not in codes(
+            "SELECT e.dept AS d, SUM(e.age) AS t "
+            "FROM emp AS e GROUP BY e.dept",
+            SCHEMA_OPTS,
+        )
+
+
+class TestOrderByNeverComparable104:
+    def test_always_missing_key(self):
+        diagnostic = find(
+            "SELECT e.salary AS k FROM emp AS e ORDER BY k",
+            "SQLPP104",
+            SCHEMA_OPTS,
+        )
+        assert "MISSING" in diagnostic.message
+
+    def test_comparable_key_is_fine(self):
+        assert "SQLPP104" not in codes(
+            "SELECT e.age AS k FROM emp AS e ORDER BY k", SCHEMA_OPTS
+        )
+
+
+class TestEqualsNull105:
+    def test_equals_null(self):
+        diagnostic = find(
+            "SELECT VALUE e FROM emp AS e WHERE e.name = NULL",
+            "SQLPP105",
+            CORE_OPTS,
+        )
+        assert "IS NULL" in (diagnostic.hint or "")
+
+    def test_not_equals_null(self):
+        diagnostic = find("SELECT VALUE 1 != NULL", "SQLPP105")
+        assert "IS NOT NULL" in (diagnostic.hint or "")
+
+    def test_is_null_is_fine(self):
+        assert "SQLPP105" not in codes(
+            "SELECT VALUE e FROM emp AS e WHERE e.name IS NULL", CORE_OPTS
+        )

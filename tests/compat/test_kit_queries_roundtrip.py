@@ -22,6 +22,17 @@ def test_every_kit_query_print_parses(case):
 
 
 @pytest.mark.parametrize(
+    "case", CASES, ids=[case.case_id for case in CASES]
+)
+def test_every_kit_query_ast_round_trips(case):
+    """parse → print → parse reproduces the identical AST (spans are
+    excluded from node equality), including surface trivia like the
+    paper's FROM-first clause order."""
+    tree = parse(case.query)
+    assert parse(print_ast(tree)) == tree
+
+
+@pytest.mark.parametrize(
     "case",
     [case for case in CASES if case.expected is not None],
     ids=[case.case_id for case in CASES if case.expected is not None],

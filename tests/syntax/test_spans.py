@@ -1,0 +1,64 @@
+"""Source spans on AST nodes and caret context on syntax errors."""
+
+import pytest
+
+from repro.errors import LexError, ParseError, caret_snippet
+from repro.syntax import ast
+from repro.syntax.ast import copy_span
+from repro.syntax.parser import parse
+
+
+class TestNodeSpans:
+    def test_top_level_query(self):
+        tree = parse("SELECT VALUE 1")
+        assert (tree.line, tree.column) == (1, 1)
+
+    def test_expression_positions(self):
+        tree = parse("SELECT VALUE  x.y FROM t AS x")
+        path = tree.body.select.expr
+        assert path.line == 1
+        assert path.column > 13
+
+    def test_multiline_positions(self):
+        tree = parse("FROM t AS r\nWHERE r.a > 0\nSELECT VALUE r")
+        assert tree.body.where.line == 2
+
+    def test_spans_do_not_affect_equality(self):
+        # Positions are trivia: the same source parsed twice is equal
+        # even though a reformatted copy carries different spans.
+        original = parse("SELECT VALUE 1 + 2")
+        reformatted = parse("SELECT  VALUE\n  1 + 2")
+        assert original == reformatted
+
+    def test_copy_span_fills_only_missing(self):
+        source = parse("SELECT VALUE 1").body.select
+        target = ast.Literal(value=99)
+        copy_span(target, source)
+        assert (target.line, target.column) == (source.line, source.column)
+        pinned = ast.Literal(value=1, line=9, column=9)
+        copy_span(pinned, source)
+        assert (pinned.line, pinned.column) == (9, 9)
+
+
+class TestErrorCarets:
+    def test_parse_error_position_and_caret(self):
+        with pytest.raises(ParseError) as info:
+            parse("SELECT VALUE 1 +\n  FROM")
+        error = info.value
+        assert (error.line, error.column) == (2, 3)
+        assert error.snippet is not None
+        assert error.snippet.splitlines()[-1].endswith("^")
+        assert "FROM" in str(error)
+
+    def test_lex_error_position(self):
+        with pytest.raises(LexError) as info:
+            parse("SELECT VALUE 'open")
+        assert info.value.line == 1
+
+    def test_caret_snippet_alignment(self):
+        snippet = caret_snippet("SELECT nope", 1, 8, indent="")
+        assert snippet == "SELECT nope\n       ^"
+
+    def test_caret_snippet_out_of_range(self):
+        assert caret_snippet("one line", 5, 1) is None
+        assert caret_snippet(None, 1, 1) is None
