@@ -1,0 +1,217 @@
+"""E16 — batch-vectorized execution and morsel-driven parallelism.
+
+The PR-6 executor (docs/PLANNER.md "Batch execution") moves the
+streaming pipeline's row-at-a-time clause loop to ~1024-row chunks with
+compiled batch closures, and fans partitionable base scans across
+forked worker processes in morsel-sized spans.  This experiment
+measures both layers at n=100k:
+
+* serial batch vs. row-at-a-time streaming — the vectorization win,
+  asserted as a real speedup on the decomposed GROUP BY fold path;
+* morsel parallelism at 1/2/4 workers — every worker count must
+  return the *identical* result, and the reported ``parallel_workers``
+  metric must show the fan-out actually engaged.
+
+Honesty note: this container exposes **one** CPU core
+(``os.cpu_count() == 1``), so forked workers time-slice a single core
+and parallel wall-clock can never beat serial here — the fork +
+result-pickling overhead is pure cost.  The numbers below therefore
+report parallel *overhead* on one core, and the assertions pin
+correctness and engagement, not a multi-core speedup.  On a real
+multi-core host the fold path's per-worker state is compact (per-group
+accumulators, not rows), so the fan-out scales with cores; the
+``workers`` column is the machinery under test.
+
+Both engines must agree exactly on every result (bag comparison).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import Database
+
+from conftest import assert_same_bag
+
+N = 100_000
+N_DIM = 1_000
+#: The serial-batch acceptance bar for the decomposed GROUP BY fold at
+#: n=100k: chunked, compiled-closure folding must beat the
+#: row-at-a-time streaming pipeline by at least this factor.
+MIN_BATCH_SPEEDUP = 1.5
+
+JOIN_QUERY = (
+    "SELECT VALUE {'v': f.v, 'name': d.name} "
+    "FROM fact AS f JOIN dim AS d ON f.k = d.k "
+    "WHERE f.v < 500"
+)
+GROUP_QUERY = (
+    "SELECT VALUE {'k': f.k, 'n': COUNT(*), 'mean': AVG(f.v)} "
+    "FROM fact AS f GROUP BY f.k"
+)
+
+
+def fact_rows(n: int):
+    return [
+        {"k": (i * 7) % N_DIM, "v": (i * 2654435761) % 1_000}
+        for i in range(n)
+    ]
+
+
+def dim_rows(n: int):
+    return [{"k": i, "name": f"dim-{i}"} for i in range(n)]
+
+
+def build_db(*, batch: bool = True, parallel: int = 0) -> Database:
+    db = Database(batch=batch, parallel=parallel)
+    db.set("fact", fact_rows(N))
+    db.set("dim", dim_rows(N_DIM))
+    return db
+
+
+@pytest.fixture(scope="module")
+def engines():
+    """{label: database} with warm compile caches, one per mode."""
+    built = {
+        "streaming": build_db(batch=False),
+        "batch": build_db(),
+        "parallel1": build_db(parallel=1),
+        "parallel2": build_db(parallel=2),
+        "parallel4": build_db(parallel=4),
+    }
+    for db in built.values():
+        db.execute(JOIN_QUERY)
+        db.execute(GROUP_QUERY)
+    return built
+
+
+@pytest.fixture(scope="module")
+def agreement_verified(engines):
+    """Every mode returns the same bag for both queries (checked once)."""
+    for query in (JOIN_QUERY, GROUP_QUERY):
+        reference = engines["streaming"].execute(query)
+        for label, db in engines.items():
+            if label == "streaming":
+                continue
+            assert_same_bag(db.execute(query), reference)
+    return True
+
+
+@pytest.mark.benchmark(group="E16-join-n100000")
+class TestJoinModes:
+    def test_streaming(self, benchmark, engines, agreement_verified):
+        benchmark.pedantic(
+            lambda: engines["streaming"].execute(JOIN_QUERY),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_batch_serial(self, benchmark, engines, agreement_verified):
+        benchmark.pedantic(
+            lambda: engines["batch"].execute(JOIN_QUERY),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_parallel_2(self, benchmark, engines, agreement_verified):
+        benchmark.pedantic(
+            lambda: engines["parallel2"].execute(JOIN_QUERY),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_parallel_4(self, benchmark, engines, agreement_verified):
+        benchmark.pedantic(
+            lambda: engines["parallel4"].execute(JOIN_QUERY),
+            rounds=3,
+            iterations=1,
+        )
+
+
+@pytest.mark.benchmark(group="E16-group-n100000")
+class TestGroupModes:
+    def test_streaming(self, benchmark, engines, agreement_verified):
+        benchmark.pedantic(
+            lambda: engines["streaming"].execute(GROUP_QUERY),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_batch_serial(self, benchmark, engines, agreement_verified):
+        benchmark.pedantic(
+            lambda: engines["batch"].execute(GROUP_QUERY),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_parallel_2(self, benchmark, engines, agreement_verified):
+        benchmark.pedantic(
+            lambda: engines["parallel2"].execute(GROUP_QUERY),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_parallel_4(self, benchmark, engines, agreement_verified):
+        benchmark.pedantic(
+            lambda: engines["parallel4"].execute(GROUP_QUERY),
+            rounds=3,
+            iterations=1,
+        )
+
+
+def _timed(db: Database, query: str) -> float:
+    started = time.perf_counter()
+    db.execute(query)
+    return time.perf_counter() - started
+
+
+def test_serial_batch_speedup_claim(engines, agreement_verified):
+    """Serial batch GROUP BY beats streaming by ≥1.5× at n=100k."""
+    streaming_s = min(_timed(engines["streaming"], GROUP_QUERY) for _ in range(3))
+    batch_s = min(_timed(engines["batch"], GROUP_QUERY) for _ in range(3))
+    speedup = streaming_s / batch_s
+    print(
+        f"\nE16 n=100k GROUP BY: streaming {streaming_s * 1e3:.0f}ms, "
+        f"serial batch {batch_s * 1e3:.0f}ms → {speedup:.1f}× speedup"
+    )
+    assert engines["batch"].metrics.last.batched is True
+    assert speedup >= MIN_BATCH_SPEEDUP, (
+        f"serial batch only {speedup:.2f}× faster than streaming "
+        f"(claim: ≥{MIN_BATCH_SPEEDUP}×)"
+    )
+
+
+def test_parallel_engagement_and_identity(engines, agreement_verified):
+    """The fan-out actually runs (workers reported) and is result-exact.
+
+    ``parallel=1`` must *not* fork (one worker cannot beat zero); 2 and
+    4 must, with the worker count surfaced in the query metrics.
+    """
+    for label, expected in (("parallel1", 0), ("parallel2", 2), ("parallel4", 4)):
+        db = engines[label]
+        result = db.execute(GROUP_QUERY)
+        assert db.metrics.last.parallel_workers == expected, label
+        assert db.metrics.last.batched is True, label
+        assert_same_bag(result, engines["streaming"].execute(GROUP_QUERY))
+
+
+def test_parallel_scaling_report(engines, agreement_verified):
+    """Print the workers table; assert a speedup only on multi-core hosts.
+
+    With one visible core the honest expectation is *no* speedup (fork
+    and result pickling are pure overhead), so the wall-clock assertion
+    is gated on ``os.cpu_count()``.
+    """
+    timings = {}
+    for label in ("streaming", "batch", "parallel2", "parallel4"):
+        timings[label] = min(_timed(engines[label], GROUP_QUERY) for _ in range(3))
+    print(f"\nE16 n=100k GROUP BY by mode (cores={os.cpu_count()}):")
+    for label, seconds in timings.items():
+        print(f"  {label:>10}: {seconds * 1e3:7.1f}ms")
+    if (os.cpu_count() or 1) >= 4:
+        assert timings["parallel4"] < timings["batch"], (
+            "4 workers on a multi-core host should beat serial batch"
+        )

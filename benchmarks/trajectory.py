@@ -131,6 +131,29 @@ def build_workloads() -> List[Tuple[str, Callable[[], object]]]:
     topk.execute(topk_query)
     workloads.append(("e15_topk_n20000", lambda: topk.execute(topk_query)))
 
+    # Batch GROUP BY at scale (E7): the chunk-vectorized fold path over
+    # 100k rows — the headline serial-batch workload of the PR-6
+    # executor (docs/PLANNER.md "Batch execution").
+    big_users, big_orders = _join_tables(100_000)
+    batch_group = Database()
+    batch_group.set("orders", big_orders)
+    batch_group.execute(GROUP_QUERY)
+    workloads.append(
+        ("e07_group_by_n100k", lambda: batch_group.execute(GROUP_QUERY))
+    )
+
+    # Morsel-parallel hash join at scale (E16): the fork-based fan-out
+    # at parallel=2.  On a single-core host this tracks the fixed cost
+    # of the parallel machinery (fork + result pickling), not a
+    # speedup; the gate keeps that overhead from silently growing.
+    par_join = Database(parallel=2)
+    par_join.set("users", big_users)
+    par_join.set("orders", big_orders)
+    par_join.execute(JOIN_QUERY)
+    workloads.append(
+        ("e16_parallel_join_n100k", lambda: par_join.execute(JOIN_QUERY))
+    )
+
     # Scan + predicate on the warm compile cache: big enough (~10ms)
     # that the 25% gate measures the engine, not scheduler jitter.
     cached = Database()

@@ -39,11 +39,18 @@ class Catalog:
         #: query cache) key compiled plans to a catalog snapshot, since
         #: rewriting consults the set of catalog names.
         self.version = 0
+        #: Bumped on *every* mutation, including replacing the value
+        #: under an existing name.  Collection statistics
+        #: (:mod:`repro.catalog.statistics`) and the cost-based join
+        #: order derived from them are keyed to this, since they depend
+        #: on the data itself, not just the name set.
+        self.data_version = 0
 
     def set(self, name: str, value: Any) -> None:
         """Create or replace a named value (converted to model form)."""
         if validate_name(name) not in self._values:
             self.version += 1
+        self.data_version += 1
         self._values[name] = from_python(value)
 
     def set_model(self, name: str, value: Any) -> None:
@@ -51,6 +58,7 @@ class Catalog:
         (skips conversion; used by callers that validated the value)."""
         if validate_name(name) not in self._values:
             self.version += 1
+        self.data_version += 1
         self._values[name] = value
 
     def get(self, name: str) -> Any:
@@ -64,6 +72,7 @@ class Catalog:
             raise CatalogError(f"unknown named value {name!r}")
         del self._values[name]
         self.version += 1
+        self.data_version += 1
 
     def names(self) -> List[str]:
         return sorted(self._values)

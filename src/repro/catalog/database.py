@@ -50,6 +50,10 @@ class Database:
     #: Bound on the per-database compiled-query (parse+rewrite) cache.
     COMPILE_CACHE_SIZE = 256
 
+    #: Bound on the per-database memoized-evaluator cache (one
+    #: evaluator per distinct effective config).
+    EVALUATOR_CACHE_SIZE = 8
+
     def __init__(
         self,
         typing_mode: str = "permissive",
@@ -58,8 +62,12 @@ class Database:
         timeout_s: Optional[float] = None,
         max_rows: Optional[int] = None,
         max_recursion: Optional[int] = None,
+        batch: bool = True,
+        parallel: int = 0,
         metrics_sinks: Optional[List[Any]] = None,
     ):
+        from repro.catalog.statistics import StatsProvider
+
         self.catalog = Catalog()
         self._config = EvalConfig(
             typing_mode=typing_mode,
@@ -68,7 +76,18 @@ class Database:
             timeout_s=timeout_s,
             max_rows=max_rows,
             max_recursion=max_recursion,
+            batch=batch,
+            parallel=parallel,
         )
+        #: Sampled collection statistics feeding the planner's
+        #: cost-based join ordering; cached per catalog data version.
+        self._stats = StatsProvider(self.catalog)
+        # Memoized evaluators, keyed by effective EvalConfig (frozen,
+        # hashable).  Re-running a query through the same config reuses
+        # the evaluator's compiled-closure and physical-plan caches —
+        # the compile cache returns the same AST object, so the
+        # id()-keyed caches hit.  ``rebind`` resets per-execution state.
+        self._evaluators: "OrderedDict[EvalConfig, Evaluator]" = OrderedDict()
         #: Per-database query metrics: monotonic counters, per-query
         #: records, pluggable sinks (docs/OBSERVABILITY.md).
         self.metrics = MetricsRegistry(sinks=metrics_sinks)
@@ -210,6 +229,8 @@ class Database:
         timeout_s: Optional[float] = None,
         max_rows: Optional[int] = None,
         max_recursion: Optional[int] = None,
+        batch: Optional[bool] = None,
+        parallel: Optional[int] = None,
     ) -> EvalConfig:
         """The database config with per-query overrides applied.
 
@@ -231,9 +252,42 @@ class Database:
             overrides["max_rows"] = max_rows
         if max_recursion is not None:
             overrides["max_recursion"] = max_recursion
+        if batch is not None:
+            overrides["batch"] = batch
+        if parallel is not None:
+            overrides["parallel"] = parallel
         if not overrides:
             return self._config
         return dataclasses.replace(self._config, **overrides)
+
+    def _evaluator_for(
+        self,
+        config: EvalConfig,
+        parameters: Optional[Sequence[Any]],
+        tracer: Optional[ExecTracer],
+    ) -> Evaluator:
+        """A memoized evaluator for this config, rebound to the given
+        parameters/tracer — or a fresh one when the cached evaluator is
+        mid-execution (reentrancy: a lazy-bag factory issuing a query
+        while its consumer query runs)."""
+        evaluator = self._evaluators.get(config)
+        if evaluator is not None and not getattr(evaluator, "_in_use", False):
+            self._evaluators.move_to_end(config)
+            return evaluator.rebind(parameters=parameters, tracer=tracer)
+        evaluator = Evaluator(
+            self.catalog,
+            config,
+            parameters=parameters,
+            tracer=tracer,
+            stats=self._stats,
+        )
+        if config not in self._evaluators or not getattr(
+            self._evaluators[config], "_in_use", False
+        ):
+            self._evaluators[config] = evaluator
+            if len(self._evaluators) > self.EVALUATOR_CACHE_SIZE:
+                self._evaluators.popitem(last=False)
+        return evaluator
 
     def _schema_attrs(self) -> Dict[str, Any]:
         """Attribute sets per schemaful named value, for disambiguation."""
@@ -329,6 +383,8 @@ class Database:
         timeout_s: Optional[float] = None,
         max_rows: Optional[int] = None,
         max_recursion: Optional[int] = None,
+        batch: Optional[bool] = None,
+        parallel: Optional[int] = None,
         tracer: Optional[ExecTracer] = None,
     ) -> Any:
         """Execute a SQL++ query and return the result as model values.
@@ -338,6 +394,9 @@ class Database:
         clients see them (Section IV-B).  ``optimize=False`` bypasses
         the physical planner and runs the reference Core semantics
         (docs/PLANNER.md); results are identical either way.
+        ``batch=False`` additionally disables the chunk-vectorized
+        executor; ``parallel=N`` (N >= 2) lets partitionable scans fan
+        out over N morsel workers (docs/PLANNER.md).
 
         ``timeout_s`` / ``max_rows`` / ``max_recursion`` tighten the
         database-level resource limits for this query; a breached limit
@@ -349,7 +408,14 @@ class Database:
         ``self.metrics``.
         """
         config = self._effective_config(
-            typing_mode, sql_compat, optimize, timeout_s, max_rows, max_recursion
+            typing_mode,
+            sql_compat,
+            optimize,
+            timeout_s,
+            max_rows,
+            max_recursion,
+            batch,
+            parallel,
         )
         metrics = QueryMetrics(query=query)
         trace = tracer.trace if tracer is not None else None
@@ -364,9 +430,8 @@ class Database:
             core, __ = self._compile_profiled(
                 query, typing_mode, sql_compat, metrics=metrics, trace=trace
             )
-            evaluator = Evaluator(
-                self.catalog, config, parameters=parameters, tracer=tracer
-            )
+            evaluator = self._evaluator_for(config, parameters, tracer)
+            evaluator._in_use = True
             execute_started = perf_counter()
             execute_span = (
                 trace.begin("execute", category="phase")
@@ -376,6 +441,7 @@ class Database:
             try:
                 result = evaluator.execute(core, Environment())
             finally:
+                evaluator._in_use = False
                 if execute_span is not None:
                     trace.end(execute_span)
                 metrics.execute_s = perf_counter() - execute_started
@@ -393,6 +459,8 @@ class Database:
             if evaluator is not None:
                 metrics.plan_s = evaluator.plan_time_s
                 metrics.streamed = evaluator.streamed
+                metrics.batched = evaluator.batched
+                metrics.parallel_workers = evaluator.parallel_workers
             metrics.total_s = perf_counter() - started
             if root is not None:
                 trace.end(root, {"status": metrics.status})
@@ -537,7 +605,14 @@ class Database:
                 "(query body is not a single query block)"
             )
             return "\n".join(lines)
-        plan = plan_block(body, config)
+        reorder_ok = (
+            not core.order_by
+            and body.group_by is None
+            and not getattr(body.select, "distinct", False)
+        )
+        plan = plan_block(
+            body, config, stats=self._stats, reorder_ok=reorder_ok
+        )
         if plan is None:
             if not config.optimize:
                 reason = "optimization disabled"

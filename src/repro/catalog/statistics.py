@@ -1,0 +1,166 @@
+"""Lightweight collection statistics for cost-based planning.
+
+The planner's join-order selection (docs/PLANNER.md) needs three cheap
+facts about each base collection: how many rows it has, roughly how many
+distinct values each top-level attribute takes (so an equi-join's output
+can be estimated as ``|L|*|R| / ndv(key)``), and how often a joined path
+is MISSING (rows whose key is absent never match an equi-join, so they
+shrink the effective input).  Exact statistics would cost a full pass
+with hashing per attribute; instead :func:`collect_stats` samples a
+bounded prefix — good enough to *rank* join orders, which only needs
+relative cardinalities, not exact ones.
+
+Statistics are collected lazily and cached per
+``(name, catalog.data_version)`` by :class:`StatsProvider`, so they
+refresh automatically when a named value is replaced and cost nothing
+for catalogs that never run a planned join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.datamodel.equality import group_key
+from repro.datamodel.values import Bag, LazyBag, Struct
+
+#: How many elements of a collection are examined for distinct-key and
+#: MISSING-rate estimates.  The row count itself is always exact.
+SAMPLE_LIMIT = 1024
+
+
+@dataclass
+class CollectionStats:
+    """Sampled statistics for one named collection."""
+
+    name: str
+    #: Exact element count of the collection.
+    row_count: int
+    #: How many elements contributed to the sampled estimates.
+    sample_size: int
+    #: Estimated distinct values per top-level attribute, scaled from
+    #: the sample to the full collection (capped at ``row_count``).
+    ndv: Dict[str, int] = field(default_factory=dict)
+    #: Fraction of sampled elements where the attribute was MISSING
+    #: (absent from the element, or the element is not a tuple).
+    missing_rate: Dict[str, float] = field(default_factory=dict)
+
+    def ndv_for(self, attr: str) -> Optional[int]:
+        return self.ndv.get(attr)
+
+    def missing_for(self, attr: str) -> float:
+        return self.missing_rate.get(attr, 0.0)
+
+    def summary(self) -> str:
+        """One EXPLAIN line worth of statistics."""
+        parts = [f"rows={self.row_count}"]
+        for attr in sorted(self.ndv)[:4]:
+            parts.append(f"ndv({attr})≈{self.ndv[attr]}")
+            rate = self.missing_rate.get(attr, 0.0)
+            if rate > 0.0:
+                parts.append(f"missing({attr})={rate:.0%}")
+        return " ".join(parts)
+
+
+def collect_stats(
+    name: str, value: Any, sample_limit: int = SAMPLE_LIMIT
+) -> Optional[CollectionStats]:
+    """Sampled statistics for a materialized collection, or None.
+
+    Lazy bags are skipped (counting them would traverse the generator,
+    defeating their purpose); non-collections carry no useful planning
+    signal.
+    """
+    if isinstance(value, LazyBag):
+        return None
+    if isinstance(value, Bag):
+        elements = value.to_list()
+    elif isinstance(value, list):
+        elements = value
+    else:
+        return None
+    row_count = len(elements)
+    sample = elements[:sample_limit]
+    sample_size = len(sample)
+    distinct: Dict[str, set] = {}
+    present: Dict[str, int] = {}
+    tuples = 0
+    for element in sample:
+        if not isinstance(element, Struct):
+            continue
+        tuples += 1
+        for attr, attr_value in element.items():
+            present[attr] = present.get(attr, 0) + 1
+            try:
+                identity = group_key(attr_value)
+            except Exception:
+                continue
+            distinct.setdefault(attr, set()).add(identity)
+    ndv: Dict[str, int] = {}
+    missing_rate: Dict[str, float] = {}
+    if sample_size:
+        scale = row_count / sample_size
+        for attr, identities in distinct.items():
+            seen = len(identities)
+            # A key that looks unique in the sample likely stays unique;
+            # a key with few values has been seen in full.  Linear
+            # scaling between the two is the standard cheap estimator.
+            if seen >= present.get(attr, 0):
+                estimate = int(seen * scale)
+            else:
+                estimate = seen
+            ndv[attr] = max(1, min(row_count, estimate))
+        for attr, count in present.items():
+            missing_rate[attr] = 1.0 - (count / sample_size)
+    return CollectionStats(
+        name=name,
+        row_count=row_count,
+        sample_size=sample_size,
+        ndv=ndv,
+        missing_rate=missing_rate,
+    )
+
+
+class StatsProvider:
+    """Caches :class:`CollectionStats` per catalog data version.
+
+    ``stats_for(name)`` returns None for unknown names, lazy values and
+    non-collections; a replaced named value (which bumps
+    ``catalog.data_version``) is re-sampled on next use.
+    """
+
+    def __init__(self, catalog) -> None:
+        self._catalog = catalog
+        self._cache: Dict[str, Tuple[int, Optional[CollectionStats]]] = {}
+
+    def stats_for(self, name: str) -> Optional[CollectionStats]:
+        version = self._catalog.data_version
+        entry = self._cache.get(name)
+        if entry is not None and entry[0] == version:
+            return entry[1]
+        if name not in self._catalog:
+            stats = None
+        else:
+            stats = collect_stats(name, self._catalog[name])
+        self._cache[name] = (version, stats)
+        return stats
+
+
+def source_name(expr) -> Optional[str]:
+    """The catalog name a FROM source expression scans, or None.
+
+    Recognizes ``VarRef`` (``FROM users``) and dotted ``Path`` chains
+    over a VarRef (``FROM hr.emp``) — the shapes the evaluator resolves
+    against the catalog.
+    """
+    from repro.syntax import ast
+
+    parts = []
+    node = expr
+    while isinstance(node, ast.Path):
+        parts.append(node.attr)
+        node = node.base
+    if not isinstance(node, ast.VarRef):
+        return None
+    parts.append(node.name)
+    return ".".join(reversed(parts))

@@ -35,6 +35,11 @@ wall time (see docs/OBSERVABILITY.md); ``--stats`` prints per-query
 phase timings, and ``--timeout`` / ``--max-rows`` / ``--max-recursion``
 stop runaway queries with a partial-progress report instead of a hang.
 
+``--parallel N`` fans partitionable base scans across N forked worker
+processes (morsel-driven; see docs/PLANNER.md), and ``--no-batch``
+falls back from the chunk-vectorized executor to the row-at-a-time
+streaming pipeline.
+
 ``--trace-out FILE`` records a structured span trace of every executed
 query and writes one Chrome trace-event JSON file at exit (load it in
 Perfetto or ``chrome://tracing``); ``--metrics-out FILE`` writes the
@@ -79,6 +84,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-optimize",
         action="store_true",
         help="bypass the physical planner (reference Core semantics)",
+    )
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable the batch (chunk-vectorized) executor; queries "
+        "run on the row-at-a-time streaming pipeline",
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fan partitionable scans across N worker processes "
+        "(morsel-driven; 0 = serial, the default)",
     )
     parser.add_argument(
         "--stats",
@@ -158,6 +177,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--version", action="version", version=f"sqlpp {__version__}"
     )
     args = parser.parse_args(argv)
+    if args.parallel < 0:
+        parser.error("--parallel expects a non-negative worker count")
 
     if args.compat_kit:
         from repro.compat import format_report, run_cases
@@ -184,6 +205,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         typing_mode="strict" if args.strict else "permissive",
         sql_compat=not args.core,
         optimize=not args.no_optimize,
+        batch=not args.no_batch,
+        parallel=args.parallel,
         timeout_s=args.timeout,
         max_rows=args.max_rows,
         max_recursion=args.max_recursion,

@@ -53,6 +53,20 @@ class EvalConfig:
     timeout_s: Optional[float] = None
     max_rows: Optional[int] = None
     max_recursion: Optional[int] = None
+    #: Batch-vectorized execution (docs/PLANNER.md): eligible blocks
+    #: exchange ~1024-row chunks between physical operators and map
+    #: compiled closures over each chunk instead of crossing a Python
+    #: generator frame per binding.  Semantics are identical; shapes the
+    #: batch engine cannot prove equivalent (LIMIT/OFFSET, strict mode,
+    #: multi-item FROM, PIVOT, windows) fall back to the streaming
+    #: pipeline automatically.
+    batch: bool = True
+    #: Morsel-driven parallelism: when >= 2, partitionable scans are
+    #: split into morsels fanned across that many forked worker
+    #: processes (hash-join probe and decomposable aggregation run
+    #: per-morsel, results merge in morsel order).  0 disables; plans
+    #: with a non-partitionable consumer run the serial batch path.
+    parallel: int = 0
 
     def __post_init__(self) -> None:
         if self.typing_mode not in (PERMISSIVE, STRICT):
@@ -66,6 +80,8 @@ class EvalConfig:
             raise ValueError("max_rows must be non-negative")
         if self.max_recursion is not None and self.max_recursion < 1:
             raise ValueError("max_recursion must be at least 1")
+        if self.parallel < 0:
+            raise ValueError("parallel must be non-negative")
 
     @property
     def has_limits(self) -> bool:

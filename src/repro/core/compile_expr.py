@@ -32,6 +32,10 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.evaluator import Evaluator
 
 CompiledExpr = Callable[[Environment], Any]
+#: Row-space compiled expression: a plain binding dict in, a value out.
+RowExpr = Callable[[dict], Any]
+#: Chunk-at-a-time compiled expression: ``(rows, outer_env) -> values``.
+BatchExpr = Callable[[List[dict], Environment], List[Any]]
 
 
 def compile_expr(expr: ast.Expr, evaluator: "Evaluator") -> CompiledExpr:
@@ -58,16 +62,23 @@ def compile_expr(expr: ast.Expr, evaluator: "Evaluator") -> CompiledExpr:
 
     if isinstance(expr, ast.Path):
         attr = expr.attr
-        # Keep the dotted-catalog-name resolution of the interpreter for
-        # name-shaped bases; compile only the navigation fast path.
+        base_fn = compile_expr(expr.base, evaluator)
+        # Name-shaped bases (``t.v``, ``hr.emp.name``) keep the
+        # interpreter's dotted-catalog-name resolution: only when the
+        # base turns out unbound can the path be a namespaced named
+        # value, so the fallback fires exactly on Unbound and the
+        # (overwhelmingly common) bound case navigates directly.
         if isinstance(expr.base, (ast.VarRef, ast.Path)):
             node = expr
 
             def named_path(env: Environment) -> Any:
-                return evaluator.eval_expr(node, env)
+                try:
+                    base = base_fn(env)
+                except Unbound:
+                    return evaluator.eval_expr(node, env)
+                return ops.navigate_path(base, attr, config)
 
             return named_path
-        base_fn = compile_expr(expr.base, evaluator)
         return lambda env: ops.navigate_path(base_fn(env), attr, config)
 
     if isinstance(expr, ast.Index):
@@ -262,6 +273,292 @@ def _compile_call(expr: ast.FunctionCall, evaluator: "Evaluator") -> CompiledExp
         return definition.invoke([fn(env) for fn in arg_fns], config)
 
     return call
+
+
+def compile_batch(
+    expr: ast.Expr, evaluator: "Evaluator", row_vars: frozenset
+) -> "BatchExpr":
+    """Compile ``expr`` to a closure over a whole chunk of bindings.
+
+    The result maps ``(rows, env) -> values`` where ``rows`` is a list of
+    binding dicts each containing (at least) the names in ``row_vars``
+    and ``env`` is the enclosing environment those bindings would extend.
+    When every free name of the expression is a row variable, evaluation
+    runs in *row space* — plain dict lookups, no Environment allocation
+    per row.  Otherwise the loop falls back to ``env.extend(row)`` plus
+    the ordinary compiled closure, which is still one closure call per
+    row rather than a full interpreter walk.
+    """
+    row_fn = compile_row_expr(expr, evaluator, row_vars)
+    if row_fn is not None:
+        def batch(rows: List[dict], env: Environment) -> List[Any]:
+            return [row_fn(row) for row in rows]
+
+        return batch
+    env_fn = evaluator.compiled(expr)
+
+    def batch_fallback(rows: List[dict], env: Environment) -> List[Any]:
+        extend = env.extend
+        return [env_fn(extend(row)) for row in rows]
+
+    return batch_fallback
+
+
+def compile_row_expr(
+    expr: ast.Expr, evaluator: "Evaluator", row_vars: frozenset
+) -> "RowExpr | None":
+    """Compile ``expr`` to ``fn(row: dict) -> value``, or None.
+
+    Row-space compilation succeeds only when every free variable the
+    expression can reach is one of ``row_vars`` (so a dict lookup is
+    exactly the environment lookup) and every node kind is one whose
+    semantics :func:`compile_expr` already single-sources from
+    :mod:`repro.functions.operators`.  Returning None tells
+    :func:`compile_batch` to use the env-extension fallback; it is never
+    an error.  Bound row variables can never raise ``Unbound``, so the
+    interpreter's dotted-catalog-name fallback for name-shaped paths is
+    unreachable here by construction.
+    """
+    config = evaluator.config
+
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda row: value
+
+    if isinstance(expr, ast.VarRef):
+        if expr.name not in row_vars:
+            return None
+        name = expr.name
+        return lambda row: row[name]
+
+    if isinstance(expr, ast.Path):
+        base_fn = compile_row_expr(expr.base, evaluator, row_vars)
+        if base_fn is None:
+            return None
+        attr = expr.attr
+        return lambda row: ops.navigate_path(base_fn(row), attr, config)
+
+    if isinstance(expr, ast.Index):
+        base_fn = compile_row_expr(expr.base, evaluator, row_vars)
+        index_fn = compile_row_expr(expr.index, evaluator, row_vars)
+        if base_fn is None or index_fn is None:
+            return None
+        return lambda row: ops.navigate_index(base_fn(row), index_fn(row), config)
+
+    if isinstance(expr, ast.Binary):
+        left_fn = compile_row_expr(expr.left, evaluator, row_vars)
+        right_fn = compile_row_expr(expr.right, evaluator, row_vars)
+        if left_fn is None or right_fn is None:
+            return None
+        op = expr.op
+        if op == "AND":
+            return lambda row: ops.logical_and(left_fn(row), right_fn(row), config)
+        if op == "OR":
+            return lambda row: ops.logical_or(left_fn(row), right_fn(row), config)
+        if op == "=":
+            return lambda row: ops.equals(left_fn(row), right_fn(row), config)
+        if op == "!=":
+            return lambda row: ops.not_equals(left_fn(row), right_fn(row), config)
+        if op in ("<", "<=", ">", ">="):
+            return lambda row: ops.compare(op, left_fn(row), right_fn(row), config)
+        if op == "||":
+            return lambda row: ops.concat(left_fn(row), right_fn(row), config)
+        return lambda row: ops.arithmetic(op, left_fn(row), right_fn(row), config)
+
+    if isinstance(expr, ast.Unary):
+        operand_fn = compile_row_expr(expr.operand, evaluator, row_vars)
+        if operand_fn is None:
+            return None
+        if expr.op == "NOT":
+            return lambda row: ops.logical_not(operand_fn(row), config)
+        if expr.op == "-":
+            return lambda row: ops.negate(operand_fn(row), config)
+        return lambda row: ops.unary_plus(operand_fn(row), config)
+
+    if isinstance(expr, ast.IsPredicate):
+        operand_fn = compile_row_expr(expr.operand, evaluator, row_vars)
+        if operand_fn is None:
+            return None
+        kind = expr.kind
+        if expr.negated:
+            return lambda row: not ops.is_predicate(operand_fn(row), kind, config)
+        return lambda row: ops.is_predicate(operand_fn(row), kind, config)
+
+    if isinstance(expr, ast.Between):
+        operand_fn = compile_row_expr(expr.operand, evaluator, row_vars)
+        low_fn = compile_row_expr(expr.low, evaluator, row_vars)
+        high_fn = compile_row_expr(expr.high, evaluator, row_vars)
+        if operand_fn is None or low_fn is None or high_fn is None:
+            return None
+        negated = expr.negated
+
+        def between_row(row: dict) -> Any:
+            value = operand_fn(row)
+            low = low_fn(row)
+            high = high_fn(row)
+            verdict = ops.logical_and(
+                ops.compare(">=", value, low, config),
+                ops.compare("<=", value, high, config),
+                config,
+            )
+            return ops.logical_not(verdict, config) if negated else verdict
+
+        return between_row
+
+    if isinstance(expr, ast.Like):
+        operand_fn = compile_row_expr(expr.operand, evaluator, row_vars)
+        if operand_fn is None:
+            return None
+        negated = expr.negated
+        if (
+            isinstance(expr.pattern, ast.Literal)
+            and isinstance(expr.pattern.value, str)
+            and (
+                expr.escape is None
+                or (
+                    isinstance(expr.escape, ast.Literal)
+                    and isinstance(expr.escape.value, str)
+                    and len(expr.escape.value) == 1
+                )
+            )
+        ):
+            escape_char = expr.escape.value if expr.escape is not None else None
+            regex = ops._like_regex(expr.pattern.value, escape_char)
+
+            def like_row(row: dict) -> Any:
+                value = operand_fn(row)
+                if value is MISSING:
+                    verdict: Any = MISSING
+                elif value is None:
+                    verdict = None
+                elif not isinstance(value, str):
+                    verdict = config.type_error(
+                        f"LIKE expects strings, got {type_name(value)}"
+                    )
+                else:
+                    verdict = regex.fullmatch(value) is not None
+                return ops.logical_not(verdict, config) if negated else verdict
+
+            return like_row
+        pattern_fn = compile_row_expr(expr.pattern, evaluator, row_vars)
+        if pattern_fn is None:
+            return None
+        if expr.escape is not None:
+            escape_fn = compile_row_expr(expr.escape, evaluator, row_vars)
+            if escape_fn is None:
+                return None
+        else:
+            escape_fn = None
+
+        def like_dynamic_row(row: dict) -> Any:
+            verdict = ops.like(
+                operand_fn(row),
+                pattern_fn(row),
+                escape_fn(row) if escape_fn is not None else None,
+                config,
+            )
+            return ops.logical_not(verdict, config) if negated else verdict
+
+        return like_dynamic_row
+
+    if isinstance(expr, ast.InPredicate):
+        if isinstance(expr.collection, (ast.SubqueryExpr, ast.CoerceSubquery)):
+            return None
+        operand_fn = compile_row_expr(expr.operand, evaluator, row_vars)
+        collection_fn = compile_row_expr(expr.collection, evaluator, row_vars)
+        if operand_fn is None or collection_fn is None:
+            return None
+        negated = expr.negated
+
+        def contains_row(row: dict) -> Any:
+            verdict = ops.in_collection(
+                operand_fn(row), collection_fn(row), config
+            )
+            return ops.logical_not(verdict, config) if negated else verdict
+
+        return contains_row
+
+    if isinstance(expr, ast.Exists):
+        if isinstance(expr.operand, ast.SubqueryExpr):
+            return None
+        operand_fn = compile_row_expr(expr.operand, evaluator, row_vars)
+        if operand_fn is None:
+            return None
+        return lambda row: ops.exists(operand_fn(row), config)
+
+    if isinstance(expr, ast.FunctionCall):
+        if expr.name == "$TUPLE_MERGE" or expr.star or expr.distinct:
+            return None
+        definition = REGISTRY.lookup(expr.name)
+        if definition is None:
+            return None
+        arg_fns = []
+        for arg in expr.args:
+            arg_fn = compile_row_expr(arg, evaluator, row_vars)
+            if arg_fn is None:
+                return None
+            arg_fns.append(arg_fn)
+
+        def call_row(row: dict) -> Any:
+            return definition.invoke([fn(row) for fn in arg_fns], config)
+
+        return call_row
+
+    if isinstance(expr, ast.StructLit):
+        keys: List[str] = []
+        for field in expr.fields:
+            if isinstance(field.key, ast.Literal) and isinstance(
+                field.key.value, str
+            ):
+                keys.append(field.key.value)
+            else:
+                return None
+        value_fns = []
+        for field in expr.fields:
+            value_fn = compile_row_expr(field.value, evaluator, row_vars)
+            if value_fn is None:
+                return None
+            value_fns.append(value_fn)
+
+        def struct_row(row: dict) -> Struct:
+            pairs = []
+            for key, fn in zip(keys, value_fns):
+                value = fn(row)
+                if value is not MISSING:
+                    pairs.append((key, value))
+            return Struct(pairs)
+
+        return struct_row
+
+    if isinstance(expr, ast.ArrayLit):
+        item_fns = []
+        for item in expr.items:
+            item_fn = compile_row_expr(item, evaluator, row_vars)
+            if item_fn is None:
+                return None
+            item_fns.append(item_fn)
+
+        def array_row(row: dict) -> list:
+            values = (fn(row) for fn in item_fns)
+            return [value for value in values if value is not MISSING]
+
+        return array_row
+
+    if isinstance(expr, ast.BagLit):
+        item_fns = []
+        for item in expr.items:
+            item_fn = compile_row_expr(item, evaluator, row_vars)
+            if item_fn is None:
+                return None
+            item_fns.append(item_fn)
+
+        def bag_row(row: dict) -> Bag:
+            values = (fn(row) for fn in item_fns)
+            return Bag(value for value in values if value is not MISSING)
+
+        return bag_row
+
+    return None
 
 
 def _compile_struct(expr: ast.StructLit, evaluator: "Evaluator") -> CompiledExpr:

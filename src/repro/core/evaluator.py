@@ -169,6 +169,12 @@ def _filter_rows(predicate_fn, source: Iterable[Environment]) -> Iterator[Enviro
             yield current
 
 
+#: Sentinel returned by ``_eval_query_batch`` when the batch pipeline
+#: declines after the gate passed (no usable plan); the caller falls
+#: through to the streaming path.
+_STREAM_INSTEAD = object()
+
+
 class Evaluator:
     """Evaluates Core queries against a catalog of named values.
 
@@ -178,12 +184,17 @@ class Evaluator:
     positional ``?`` parameters.
     """
 
+    #: Bound on the per-evaluator compiled-closure cache; crossed only
+    #: by long-lived memoized evaluators, which clear and re-warm.
+    COMPILED_CACHE_SIZE = 8192
+
     def __init__(
         self,
         catalog,
         config: Optional[EvalConfig] = None,
         parameters: Optional[Sequence[Any]] = None,
         tracer=None,
+        stats=None,
     ):
         from repro.datamodel.convert import from_python
         from repro.observability.limits import ResourceGovernor
@@ -193,13 +204,29 @@ class Evaluator:
         self._parameters = [from_python(value) for value in parameters or []]
         self._compiled: Dict[int, Any] = {}
         self._plans: Dict[int, Any] = {}
+        self._batch_plans: Dict[int, Any] = {}
+        self._decompositions: Dict[int, Any] = {}
         self._streamable: Dict[int, Tuple[Any, bool]] = {}
+        self._reorder_flags: Dict[int, Tuple[Any, bool]] = {}
         #: Whether any query block ran on the streaming (pipelined)
         #: clause pipeline during this evaluator's lifetime; surfaced
         #: as ``QueryMetrics.streamed``.
         self.streamed = False
+        #: Whether the top-level block ran on the batch (vectorized)
+        #: pipeline; surfaced as ``QueryMetrics.batched``.
+        self.batched = False
+        #: How many morsel workers the parallel driver actually used
+        #: (0 = serial); surfaced as ``QueryMetrics.parallel_workers``.
+        self.parallel_workers = 0
         #: Optional ExecTracer collecting EXPLAIN ANALYZE statistics.
         self.tracer = tracer
+        #: Optional :class:`repro.catalog.statistics.StatsProvider`
+        #: feeding the planner's cost-based join ordering.
+        self._stats = stats
+        #: The query object ``execute`` was entered with; the batch
+        #: pipeline engages only for this top-level query, so nested
+        #: subqueries keep the cheap streaming path.
+        self._top_query: Optional[ast.Query] = None
         #: Wall time spent in the physical planner, or None when the
         #: planner never ran for this execution (reference pipeline,
         #: strict mode).  Always measured — planning happens once per
@@ -209,6 +236,32 @@ class Evaluator:
         #: Cooperative limit enforcement; None when the config sets no
         #: limits, so the hot paths pay a single identity check.
         self.governor = ResourceGovernor.for_config(self.config)
+
+    def rebind(self, parameters=None, tracer=None) -> "Evaluator":
+        """Reset per-execution state so a memoized evaluator can serve
+        a new query with warm compile/plan caches.
+
+        Everything keyed to the *query text or config* survives
+        (compiled closures, physical plans, streamability verdicts —
+        staleness against catalog data is handled per lookup); anything
+        keyed to the *execution* is rebuilt: parameters, tracer, the
+        streamed/batched flags, planner timing, and a fresh governor so
+        limits measure this query's own clock and rows.
+        """
+        from repro.datamodel.convert import from_python
+        from repro.observability.limits import ResourceGovernor
+
+        self._parameters = [from_python(value) for value in parameters or []]
+        self.tracer = tracer
+        self.streamed = False
+        self.batched = False
+        self.parallel_workers = 0
+        self.plan_time_s = None
+        self._top_query = None
+        self.governor = ResourceGovernor.for_config(self.config)
+        if len(self._compiled) > self.COMPILED_CACHE_SIZE:
+            self._compiled.clear()
+        return self
 
     def compiled(self, expr: ast.Expr):
         """The closure-compiled form of an expression (cached per node).
@@ -234,6 +287,7 @@ class Evaluator:
 
     def execute(self, query: ast.Query, env: Optional[Environment] = None) -> Any:
         """Evaluate a query, translating internal signals to public errors."""
+        self._top_query = query
         try:
             return self.eval_query(query, env or Environment())
         except Unbound as unbound:
@@ -261,6 +315,11 @@ class Evaluator:
     def _eval_query_impl(self, query: ast.Query, env: Environment) -> Any:
         body = query.body
         if isinstance(body, ast.QueryBlock):
+            self._note_reorder(query, body)
+            if self._can_batch(query, body):
+                result = self._eval_query_batch(query, body, env)
+                if result is not _STREAM_INSTEAD:
+                    return result
             if self._can_stream(body):
                 return self._eval_query_streaming(query, body, env)
             result = self.eval_block(body, env)
@@ -310,6 +369,108 @@ class Evaluator:
             entry = (block, streamable)
             self._streamable[id(block)] = entry
         return entry[1]
+
+    # ------------------------------------------------------------------
+    # Batch (vectorized) execution
+    # ------------------------------------------------------------------
+
+    def _note_reorder(self, query: ast.Query, body: ast.QueryBlock) -> None:
+        """Record whether cost-based join reordering may change this
+        block's plan.  Reordering permutes the output *bag* order —
+        semantically free, but ORDER BY tie-breaking, DISTINCT
+        first-seen order and GROUP BY first-group order are all defined
+        by input sequence, so those shapes keep the syntactic order."""
+        if id(body) not in self._reorder_flags:
+            allowed = (
+                not query.order_by
+                and body.group_by is None
+                and not getattr(body.select, "distinct", False)
+            )
+            self._reorder_flags[id(body)] = (body, allowed)
+
+    def _can_batch(self, query: ast.Query, body: ast.QueryBlock) -> bool:
+        """Whether the top-level block runs on the batch pipeline.
+
+        Batch requires everything streaming requires, plus: it must be
+        the query ``execute`` was entered with (nested subqueries are
+        usually small — chunking them costs more than it saves) and
+        have no LIMIT/OFFSET (bounded consumers are the streaming
+        pipeline's home turf).  GROUP BY with ORDER BY stays streaming
+        because the sort keys may contain lowered aggregate sites that
+        must see the group environments.  Whether the planner folded
+        the FROM clause into a *single* operator tree is only known
+        after planning, so that check lives in ``_eval_query_batch``.
+        """
+        config = self.config
+        if not config.batch or not config.optimize or not config.is_permissive:
+            return False
+        if query is not self._top_query:
+            return False
+        if query.limit is not None or query.offset is not None:
+            return False
+        if body.from_ is None:
+            return False
+        if not self._can_stream(body):
+            return False
+        if body.group_by is not None and query.order_by:
+            return False
+        return True
+
+    def _eval_query_batch(self, query: ast.Query, body: ast.QueryBlock, env):
+        plan = self._batch_plan(body)
+        if plan is None:
+            return _STREAM_INSTEAD
+        if len(plan.items) != 1:
+            # The planner kept several FROM items (e.g. a comma join it
+            # could not turn into a hash join); the chunk protocol
+            # drives exactly one operator tree, so stream instead.
+            return _STREAM_INSTEAD
+        from repro.core.vectorized import execute_batch_query
+
+        # The batch pipeline is the chunked form of the streaming
+        # pipeline; both flags are observable so existing streaming
+        # assertions stay true and the batch path is distinguishable.
+        self.streamed = True
+        self.batched = True
+        return execute_batch_query(self, query, body, plan, env)
+
+    def _batch_plan(self, block: ast.QueryBlock):
+        """A physical plan for the batch executor, forcing one when the
+        planner found no rewrite (the chunk protocol needs an operator
+        tree even for a bare scan).  Traced executions decline instead:
+        EXPLAIN ANALYZE renders the reference FROM tree for plans
+        without rewrites, and a forced plan would change that surface.
+        """
+        plan = self._block_plan(block)
+        if plan is not None:
+            return plan
+        if self.tracer is not None:
+            return None
+        version = self._catalog_data_version()
+        entry = self._batch_plans.get(id(block))
+        if entry is None or entry[2] != version:
+            from repro.core.planner import plan_block
+
+            started = perf_counter()
+            plan = plan_block(
+                block,
+                self.config,
+                stats=self._stats,
+                reorder_ok=self._reorder_flags.get(id(block), (None, False))[1],
+                force=True,
+            )
+            elapsed = perf_counter() - started
+            self.plan_time_s = (self.plan_time_s or 0.0) + elapsed
+            entry = (block, plan, version)
+            self._batch_plans[id(block)] = entry
+        return entry[1]
+
+    def _catalog_data_version(self) -> int:
+        """The catalog's data version, for plan staleness — 0 for plain
+        mapping catalogs (tests), which never invalidate."""
+        if self._stats is None:
+            return 0
+        return getattr(self._catalog, "data_version", 0)
 
     def _eval_query_streaming(
         self, query: ast.Query, body: ast.QueryBlock, env: Environment
@@ -948,17 +1109,29 @@ class Evaluator:
         kept alive alongside the plan so id() keys stay unique."""
         if not self.config.optimize or not self.config.is_permissive:
             return None
+        version = self._catalog_data_version()
         entry = self._plans.get(id(block))
-        if entry is None:
+        if entry is None or entry[2] != version:
             from repro.core.planner import plan_block
 
             started = perf_counter()
-            entry = (block, plan_block(block, self.config))
+            plan = plan_block(
+                block,
+                self.config,
+                stats=self._stats,
+                reorder_ok=self._reorder_flags.get(id(block), (None, False))[1],
+            )
             elapsed = perf_counter() - started
+            entry = (block, plan, version)
             self.plan_time_s = (self.plan_time_s or 0.0) + elapsed
             if self.tracer is not None and self.tracer.trace is not None:
                 self.tracer.trace.event("plan", "phase", started, elapsed)
             self._plans[id(block)] = entry
+        if self.plan_time_s is None:
+            # Cache hit on a memoized evaluator: the planner "ran" for
+            # this query (from cache), so the plan phase reports 0 time
+            # rather than absent.
+            self.plan_time_s = 0.0
         if self.tracer is not None and entry[1] is not None:
             self.tracer.register_plan(block, entry[1])
         return entry[1]

@@ -40,7 +40,8 @@ from time import perf_counter
 from typing import Any, Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.datamodel.equality import group_key
-from repro.datamodel.values import MISSING
+from repro.datamodel.values import Bag, LazyBag, MISSING, type_name
+from repro.errors import TypeCheckError
 from repro.syntax import ast
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -48,6 +49,18 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.evaluator import Evaluator
 
 Binding = Dict[str, Any]
+
+#: Target rows per chunk in the batch protocol.  Chunks are advisory —
+#: an operator may emit slightly larger or smaller ones — so the value
+#: trades Python loop overhead against cache residency, not semantics.
+CHUNK_ROWS = 1024
+
+#: Rows between cooperative :class:`ResourceGovernor` checks inside a
+#: batch loop.  A timeout or ``max_rows`` breach must fire *mid-chunk*
+#: (a chunk of slow rows cannot postpone enforcement by ~1024 rows), so
+#: batch producers account rows to the governor in increments of at
+#: most this many.
+GOVERNOR_TICK = 64
 
 
 def pad_right_vars(left_binding: Binding, right_vars: List[str]) -> Binding:
@@ -102,6 +115,35 @@ class PlanOp:
         if not self.filters:
             return self._iter_produce(evaluator, env)
         return self._iter_filtered(evaluator, env)
+
+    def iter_chunks(
+        self,
+        evaluator: "Evaluator",
+        env: "Environment",
+        morsel: Optional[Tuple[int, int]] = None,
+        tables: Optional[Dict[int, Dict[Tuple, List[Binding]]]] = None,
+    ) -> Iterator[List[Binding]]:
+        """Yield this operator's binding rows in chunks of ~CHUNK_ROWS.
+
+        The batch protocol: downstream consumers process a Python list
+        of binding dicts at a time, so compiled expressions map over
+        whole chunks instead of crossing a generator frame per row.
+        This default adapter batches :meth:`iter_bindings` — every
+        operator participates from day one; operators with a native
+        chunk implementation (scan, hash join) override it and skip the
+        per-row generator entirely.
+
+        ``morsel`` is a ``(start, stop)`` row span over the operator's
+        *base scan* for morsel-driven parallelism; only native
+        implementations over materialized sources accept one.
+        ``tables`` optionally maps ``id(op)`` to a prebuilt hash-join
+        build table (shared copy-on-write across forked workers).
+        """
+        if morsel is not None:
+            raise ValueError(
+                f"{type(self).__name__} does not support morsel scans"
+            )
+        return _rechunk(self.iter_bindings(evaluator, env))
 
     def _iter_produce(
         self, evaluator: "Evaluator", env: "Environment"
@@ -188,6 +230,150 @@ class ScanOp(PlanOp):
 
     def _iter_produce(self, evaluator, env):
         return evaluator._iter_item_bindings(self.item, env)
+
+    def iter_chunks(self, evaluator, env, morsel=None, tables=None):
+        if not isinstance(self.item, ast.FromCollection):
+            return super().iter_chunks(evaluator, env, morsel, tables)
+        return self._iter_scan_chunks(evaluator, env, morsel)
+
+    def morsel_rows(self, evaluator, env) -> Optional[int]:
+        """Row count of a materialized FromCollection source, or None.
+
+        The morsel driver partitions this range into spans; a lazy bag
+        (or a non-collection singleton) has no cheap stable range, so
+        such scans stay serial.
+        """
+        if not isinstance(self.item, ast.FromCollection):
+            return None
+        value = evaluator.compiled(self.item.expr)(env)
+        if isinstance(value, LazyBag):
+            return None
+        if isinstance(value, (list, Bag)):
+            return len(value)
+        return None
+
+    def _iter_scan_chunks(self, evaluator, env, morsel):
+        from repro.core.compile_expr import compile_batch
+
+        tracer = evaluator.tracer
+        trace = tracer.trace if tracer is not None else None
+        span = (
+            trace.begin(self.describe(), "operator") if trace is not None else None
+        )
+        filter_fns = [
+            compile_batch(predicate, evaluator, frozenset(self.vars))
+            for predicate in self.filters
+        ]
+        rows_in = 0
+        rows_out = 0
+        elapsed = 0.0
+        source = self._scan_chunks(evaluator, env, morsel)
+        try:
+            while True:
+                started = perf_counter()
+                try:
+                    chunk = next(source)
+                except StopIteration:
+                    elapsed += perf_counter() - started
+                    break
+                rows_in += len(chunk)
+                for fn in filter_fns:
+                    if not chunk:
+                        break
+                    verdicts = fn(chunk, env)
+                    chunk = [
+                        row
+                        for row, verdict in zip(chunk, verdicts)
+                        if verdict is True
+                    ]
+                elapsed += perf_counter() - started
+                if chunk:
+                    rows_out += len(chunk)
+                    yield chunk
+        finally:
+            source.close()
+            if span is not None:
+                trace.end(span, {"rows_in": rows_in, "rows_out": rows_out})
+            if tracer is not None:
+                tracer.record_op(self, rows_in, rows_out, elapsed)
+
+    def _scan_chunks(self, evaluator, env, morsel):
+        """Raw (pre-filter) chunks for one FromCollection, with governor
+        accounting every GOVERNOR_TICK rows — matching the reference
+        case analysis of ``Evaluator._iter_range_bindings`` exactly."""
+        item = self.item
+        alias = item.alias
+        at = item.at_alias
+        governor = evaluator.governor
+        value = evaluator.compiled(item.expr)(env)
+        # LazyBag first: it subclasses Bag but must stream element-wise
+        # (materializing it would defeat its purpose), ticking the
+        # governor as elements are pulled so a slow source cannot defer
+        # a timeout to the chunk boundary.
+        if isinstance(value, LazyBag):
+            if morsel is not None:
+                raise ValueError("cannot morsel-scan a lazy bag")
+            chunk: List[Binding] = []
+            pending = 0
+            for element in value:
+                binding = {alias: element}
+                if at:
+                    binding[at] = MISSING
+                chunk.append(binding)
+                pending += 1
+                if pending >= GOVERNOR_TICK:
+                    if governor is not None:
+                        governor.add(pending)
+                    pending = 0
+                if len(chunk) >= CHUNK_ROWS:
+                    yield chunk
+                    chunk = []
+            if pending and governor is not None:
+                governor.add(pending)
+            if chunk:
+                yield chunk
+            return
+        if isinstance(value, (list, Bag)):
+            if isinstance(value, list):
+                elements = value
+                positional = bool(at)
+            else:
+                elements = value.to_list()
+                positional = False
+            base = 0
+            if morsel is not None:
+                base, stop = morsel
+                elements = elements[base:stop]
+            for start in range(0, len(elements), CHUNK_ROWS):
+                piece = elements[start : start + CHUNK_ROWS]
+                if governor is not None:
+                    for offset in range(0, len(piece), GOVERNOR_TICK):
+                        governor.add(min(GOVERNOR_TICK, len(piece) - offset))
+                if positional:
+                    origin = base + start
+                    yield [
+                        {alias: element, at: origin + offset}
+                        for offset, element in enumerate(piece)
+                    ]
+                elif at:
+                    yield [{alias: element, at: MISSING} for element in piece]
+                else:
+                    yield [{alias: element} for element in piece]
+            return
+        if not evaluator.config.is_permissive:
+            raise TypeCheckError(
+                f"FROM expects a collection, got {type_name(value)}"
+            )
+        if value is None or value is MISSING:
+            return
+        if morsel is not None and morsel[0] > 0:
+            return  # the singleton binding belongs to the first morsel
+        binding = {alias: value}
+        if at:
+            binding[at] = MISSING
+        if governor is not None:
+            governor.add(1)
+        yield [binding]
 
     def describe(self) -> str:
         from repro.syntax.printer import print_ast
@@ -391,6 +577,163 @@ class HashJoinOp(PlanOp):
                     governor.add(1)
                 yield pad_right_vars(left_binding, self.right_vars)
 
+    def iter_chunks(self, evaluator, env, morsel=None, tables=None):
+        return self._iter_join_chunks(evaluator, env, morsel, tables)
+
+    def build_table(
+        self, evaluator, env
+    ) -> Dict[Tuple, List[Binding]]:
+        """Materialize the build-side hash table chunk-at-a-time.
+
+        Factored out of the probe loop so the morsel driver can build
+        the table once in the parent process before forking: workers
+        then share the pages copy-on-write instead of each re-building.
+        """
+        from repro.core.compile_expr import compile_batch
+
+        right_vars = frozenset(self.right.vars)
+        key_fns = [
+            compile_batch(key, evaluator, right_vars) for key in self.right_keys
+        ]
+        table: Dict[Tuple, List[Binding]] = {}
+        for chunk in self.right.iter_chunks(evaluator, env):
+            key_columns = [fn(chunk, env) for fn in key_fns]
+            for index, right_binding in enumerate(chunk):
+                parts = []
+                for column in key_columns:
+                    value = column[index]
+                    if value is None or value is MISSING:
+                        parts = None
+                        break  # absent key: can never satisfy the equi-ON
+                    parts.append(group_key(value))
+                if parts is not None:
+                    table.setdefault(tuple(parts), []).append(right_binding)
+        return table
+
+    def _iter_join_chunks(self, evaluator, env, morsel, tables):
+        from repro.core.compile_expr import compile_batch
+
+        tracer = evaluator.tracer
+        governor = evaluator.governor
+        trace = tracer.trace if tracer is not None else None
+        span = (
+            trace.begin(self.describe(), "operator") if trace is not None else None
+        )
+        left_vars = frozenset(self.left.vars)
+        out_vars = frozenset(self.vars)
+        left_key_fns = [
+            compile_batch(key, evaluator, left_vars) for key in self.left_keys
+        ]
+        residual_fns = [
+            compile_batch(p, evaluator, out_vars) for p in self.residual
+        ]
+        filter_fns = [
+            compile_batch(p, evaluator, out_vars) for p in self.filters
+        ]
+        is_left = self.kind == "LEFT"
+        right_vars = self.right_vars
+        table = tables.get(id(self)) if tables is not None else None
+        rows_in = 0
+        rows_out = 0
+        elapsed = 0.0
+        out: List[Binding] = []
+        source = self.left.iter_chunks(
+            evaluator, env, morsel=morsel, tables=tables
+        )
+        try:
+            while True:
+                started = perf_counter()
+                try:
+                    probe = next(source)
+                except StopIteration:
+                    elapsed += perf_counter() - started
+                    break
+                if table is None:
+                    # Built lazily on the first probe chunk, like the
+                    # streaming path: an empty or early-closed probe
+                    # side never pays for (or observes errors from) the
+                    # build side.
+                    table = self.build_table(evaluator, env)
+                key_columns = [fn(probe, env) for fn in left_key_fns]
+                # Gather candidate pairs for the whole probe chunk, then
+                # batch-evaluate residual conjuncts over all candidates.
+                candidates: List[Binding] = []
+                candidate_left: List[int] = []
+                for index, left_binding in enumerate(probe):
+                    parts = []
+                    for column in key_columns:
+                        value = column[index]
+                        if value is None or value is MISSING:
+                            parts = None
+                            break
+                        parts.append(group_key(value))
+                    if parts is None:
+                        continue
+                    for right_binding in table.get(tuple(parts), ()):
+                        candidates.append({**left_binding, **right_binding})
+                        candidate_left.append(index)
+                keep = [True] * len(candidates)
+                for fn in residual_fns:
+                    verdicts = fn(candidates, env)
+                    for pair, verdict in enumerate(verdicts):
+                        if keep[pair] and verdict is not True:
+                            keep[pair] = False
+                per_left: List[List[Binding]] = [[] for _ in probe]
+                for pair, combined in enumerate(candidates):
+                    if keep[pair]:
+                        per_left[candidate_left[pair]].append(combined)
+                produced = 0
+                for index, left_binding in enumerate(probe):
+                    matches = per_left[index]
+                    if matches:
+                        out.extend(matches)
+                        produced += len(matches)
+                    elif is_left:
+                        out.append(pad_right_vars(left_binding, right_vars))
+                        produced += 1
+                if governor is not None:
+                    for offset in range(0, produced, GOVERNOR_TICK):
+                        governor.add(min(GOVERNOR_TICK, produced - offset))
+                rows_in += produced
+                ready: Optional[List[Binding]] = None
+                if len(out) >= CHUNK_ROWS:
+                    ready = out
+                    out = []
+                    for fn in filter_fns:
+                        if not ready:
+                            break
+                        verdicts = fn(ready, env)
+                        ready = [
+                            row
+                            for row, verdict in zip(ready, verdicts)
+                            if verdict is True
+                        ]
+                    rows_out += len(ready)
+                elapsed += perf_counter() - started
+                if ready:
+                    yield ready
+            if out:
+                started = perf_counter()
+                for fn in filter_fns:
+                    if not out:
+                        break
+                    verdicts = fn(out, env)
+                    out = [
+                        row
+                        for row, verdict in zip(out, verdicts)
+                        if verdict is True
+                    ]
+                rows_out += len(out)
+                elapsed += perf_counter() - started
+                if out:
+                    yield out
+        finally:
+            source.close()
+            if span is not None:
+                trace.end(span, {"rows_in": rows_in, "rows_out": rows_out})
+            if tracer is not None:
+                tracer.record_op(self, rows_in, rows_out, elapsed)
+
     def describe(self) -> str:
         from repro.syntax.printer import print_ast
 
@@ -411,6 +754,23 @@ class HashJoinOp(PlanOp):
         return (
             [prefix + "probe:"] + left + [prefix + "build:"] + right
         )
+
+
+def _rechunk(source: Iterator[Binding]) -> Iterator[List[Binding]]:
+    """Batch a row stream into chunks, closing it with the consumer."""
+    try:
+        chunk: List[Binding] = []
+        for row in source:
+            chunk.append(row)
+            if len(chunk) >= CHUNK_ROWS:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+    finally:
+        close = getattr(source, "close", None)
+        if close is not None:
+            close()
 
 
 def _key_tuple(key_fns, env) -> Optional[Tuple]:

@@ -159,6 +159,12 @@ class BlockPlan:
     items: List[ItemPlan]
     residual_where: Optional[ast.Expr]
     rewrites: List[str]
+    #: ``stats: <collection>: rows=…`` EXPLAIN lines, one per scanned
+    #: collection with catalog statistics (empty without a provider).
+    stats_lines: List[str] = field(default_factory=list)
+    #: ``order: a ⋈ b (syntactic: b ⋈ a)`` EXPLAIN line for join plans
+    #: costed against statistics; None when no join order was costed.
+    order_line: Optional[str] = None
 
     def execute(self, evaluator, env) -> list:
         """Produce the block's binding environments eagerly (the
@@ -229,6 +235,9 @@ class BlockPlan:
             lines.extend(op_lines)
             for predicate in item_plan.prefix_filters:
                 lines.append(f"  filter (prefix): {print_ast(predicate)}")
+        lines.extend(self.stats_lines)
+        if self.order_line is not None:
+            lines.append(self.order_line)
         if self.residual_where is not None:
             lines.append(f"WHERE (residual): {print_ast(self.residual_where)}")
         else:
@@ -246,11 +255,26 @@ class BlockPlan:
 # =========================================================================
 
 
-def plan_block(block: ast.QueryBlock, config: EvalConfig) -> Optional[BlockPlan]:
+def plan_block(
+    block: ast.QueryBlock,
+    config: EvalConfig,
+    stats=None,
+    reorder_ok: bool = False,
+    force: bool = False,
+) -> Optional[BlockPlan]:
     """Plan a Core query block; None means "run the reference pipeline".
 
     Returns a plan only when at least one rewrite fires, so the
-    reference path stays the common case for trivial queries.
+    reference path stays the common case for trivial queries —
+    ``force=True`` (the batch executor, which needs an operator tree
+    even for a plain scan) returns a plan regardless.
+
+    ``stats`` is an optional
+    :class:`repro.catalog.statistics.StatsProvider`; with one, scanned
+    collections get ``stats:`` EXPLAIN lines, and when ``reorder_ok``
+    additionally holds (the caller proved the block's output order is
+    unobservable — no ORDER BY / GROUP BY / DISTINCT downstream), inner
+    hash-join trees are re-ordered greedily by estimated cardinality.
     """
     if block.from_ is None:
         return None
@@ -283,10 +307,23 @@ def plan_block(block: ast.QueryBlock, config: EvalConfig) -> Optional[BlockPlan]
         if len(residual) < len(split_conjuncts(block.where)):
             residual_where = _and_fold(residual)
 
-    if not rewrites:
+    stats_lines: List[str] = []
+    order_line: Optional[str] = None
+    if stats is not None:
+        stats_lines = _stats_lines(item_plans, stats)
+        if len(item_plans) == 1:
+            order_line = _maybe_reorder(
+                item_plans[0], stats, reorder_ok, rewrites
+            )
+
+    if not rewrites and not force:
         return None
     return BlockPlan(
-        items=item_plans, residual_where=residual_where, rewrites=rewrites
+        items=item_plans,
+        residual_where=residual_where,
+        rewrites=rewrites,
+        stats_lines=stats_lines,
+        order_line=order_line,
     )
 
 
@@ -397,6 +434,339 @@ def _plan_join(item: ast.FromJoin, rewrites: List[str]) -> PlanOp:
                 f"materialize-right[{item.kind}]: right side enumerated once"
             )
     op.vars = item_vars(item)
+    return op
+
+
+# =========================================================================
+# Statistics-fed join ordering
+# =========================================================================
+
+#: Below this many total base rows, reordering cannot win enough to
+#: matter and tiny fixtures keep their syntactic (pin-stable) plans.
+MIN_REORDER_ROWS = 512
+
+
+def _scan_ops(op: PlanOp) -> List[ScanOp]:
+    result: List[ScanOp] = []
+    if isinstance(op, ScanOp):
+        result.append(op)
+        return result
+    for child in ("left", "right"):
+        sub = getattr(op, child, None)
+        if isinstance(sub, PlanOp):
+            result.extend(_scan_ops(sub))
+    return result
+
+
+def _stats_lines(item_plans: List[ItemPlan], stats) -> List[str]:
+    """One ``stats:`` line per scanned collection with statistics."""
+    from repro.catalog.statistics import source_name
+
+    lines: List[str] = []
+    seen: Set[str] = set()
+    for item_plan in item_plans:
+        for scan in _scan_ops(item_plan.op):
+            if not isinstance(scan.item, ast.FromCollection):
+                continue
+            name = source_name(scan.item.expr)
+            if name is None or name in seen:
+                continue
+            seen.add(name)
+            collected = stats.stats_for(name)
+            if collected is not None:
+                lines.append(f"stats: {name}: {collected.summary()}")
+    return lines
+
+
+@dataclass
+class _JoinLeaf:
+    """One base scan of a flattened inner-join tree, with its cost."""
+
+    scan: ScanOp
+    alias: str
+    name: str
+    vars: Set[str]
+    #: Estimated surviving rows (row count × pushed-filter selectivity).
+    estimate: float
+    stats: object
+
+
+@dataclass
+class _JoinEdge:
+    """One equi-key conjunct linking two leaves."""
+
+    a_leaf: int
+    a_expr: ast.Expr
+    a_attr: Optional[str]
+    b_leaf: int
+    b_expr: ast.Expr
+    b_attr: Optional[str]
+
+
+def _maybe_reorder(
+    item_plan: ItemPlan, stats, reorder_ok: bool, rewrites: List[str]
+) -> Optional[str]:
+    """Cost the join order of a pure-inner hash-join tree; reorder it
+    greedily when allowed and profitable.  Returns the EXPLAIN
+    ``order:`` line (also produced when the order is merely *costed*,
+    so EXPLAIN shows the decision either way), or None when the shape
+    does not qualify."""
+    flattened = _flatten_inner_joins(item_plan.op, stats)
+    if flattened is None:
+        return None
+    leaves, edges, predicates = flattened
+    syntactic = list(range(len(leaves)))
+    total_rows = sum(leaf.stats.row_count for leaf in leaves)
+    chosen = syntactic
+    if reorder_ok and total_rows >= MIN_REORDER_ROWS:
+        chosen = _greedy_order(leaves, edges)
+    order_text = " ⋈ ".join(leaves[i].alias for i in chosen)
+    if chosen == syntactic:
+        return f"order: {order_text} (syntactic)"
+    syntactic_text = " ⋈ ".join(leaf.alias for leaf in leaves)
+    item_plan.op = _rebuild_join_tree(leaves, edges, predicates, chosen)
+    rewrites.append(
+        f"join-reorder: {order_text} (syntactic: {syntactic_text})"
+    )
+    return f"order: {order_text} (syntactic: {syntactic_text})"
+
+
+def _flatten_inner_joins(op: PlanOp, stats):
+    """Flatten a pure-INNER HashJoinOp tree over FromCollection scans.
+
+    Returns ``(leaves, edges, predicates)`` — predicates being residual
+    conjuncts and join-node filters to reattach after reordering — or
+    None when the tree does not qualify (any non-inner or non-hash
+    join, a scan without statistics, or a key expression that does not
+    fall within exactly one leaf's variables)."""
+    from repro.catalog.statistics import source_name
+
+    scans: List[ScanOp] = []
+    joins: List[HashJoinOp] = []
+
+    def collect(node: PlanOp) -> bool:
+        if isinstance(node, ScanOp):
+            scans.append(node)
+            return True
+        if isinstance(node, HashJoinOp) and node.kind == "INNER":
+            joins.append(node)
+            return collect(node.left) and collect(node.right)
+        return False
+
+    if not isinstance(op, HashJoinOp) or not collect(op):
+        return None
+
+    leaves: List[_JoinLeaf] = []
+    for scan in scans:
+        if not isinstance(scan.item, ast.FromCollection):
+            return None
+        name = source_name(scan.item.expr)
+        if name is None:
+            return None
+        collected = stats.stats_for(name)
+        if collected is None:
+            return None
+        estimate = float(collected.row_count)
+        for predicate in scan.filters:
+            estimate *= _selectivity(predicate, scan.item.alias, collected)
+        leaves.append(
+            _JoinLeaf(
+                scan=scan,
+                alias=scan.item.alias,
+                name=name,
+                vars=set(scan.vars),
+                estimate=max(estimate, 1.0),
+                stats=collected,
+            )
+        )
+
+    def owner(expr: ast.Expr) -> Optional[int]:
+        names = free_names(expr)
+        if not names:
+            return None
+        for index, leaf in enumerate(leaves):
+            if names <= leaf.vars:
+                return index
+        return None
+
+    edges: List[_JoinEdge] = []
+    predicates: List[ast.Expr] = []
+    for join in joins:
+        for left_key, right_key in zip(join.left_keys, join.right_keys):
+            a = owner(left_key)
+            b = owner(right_key)
+            if a is None or b is None or a == b:
+                return None
+            edges.append(
+                _JoinEdge(
+                    a_leaf=a,
+                    a_expr=left_key,
+                    a_attr=_key_attr(left_key),
+                    b_leaf=b,
+                    b_expr=right_key,
+                    b_attr=_key_attr(right_key),
+                )
+            )
+        predicates.extend(join.residual)
+        predicates.extend(join.filters)
+    return leaves, edges, predicates
+
+
+def _key_attr(expr: ast.Expr) -> Optional[str]:
+    """The attribute a simple ``alias.attr`` key navigates, or None."""
+    if isinstance(expr, ast.Path) and isinstance(expr.base, ast.VarRef):
+        return expr.attr
+    return None
+
+
+def _selectivity(predicate: ast.Expr, alias: str, collected) -> float:
+    """Cheap textbook selectivity for one pushed-down conjunct."""
+    if isinstance(predicate, ast.Binary):
+        attr = None
+        for side in (predicate.left, predicate.right):
+            candidate = _key_attr(side)
+            if candidate is not None and isinstance(side.base, ast.VarRef):
+                if side.base.name == alias:
+                    attr = candidate
+        if predicate.op == "=":
+            if attr is not None:
+                ndv = collected.ndv_for(attr)
+                if ndv:
+                    return 1.0 / ndv
+            return 0.1
+        if predicate.op in ("<", "<=", ">", ">="):
+            return 1.0 / 3.0
+    return 0.5
+
+
+def _effective_rows(leaf: _JoinLeaf, attr: Optional[str]) -> float:
+    """A leaf's estimate shrunk by its key's MISSING rate (rows whose
+    key is absent can never match an equi-join)."""
+    rows = leaf.estimate
+    if attr is not None:
+        rows *= 1.0 - leaf.stats.missing_for(attr)
+    return max(rows, 1.0)
+
+
+def _greedy_order(leaves: List[_JoinLeaf], edges: List[_JoinEdge]) -> List[int]:
+    """Greedy left-deep order: start from the largest leaf (the probe
+    side streams; build sides materialize, so big inputs belong on the
+    probe spine), then repeatedly append the connected leaf with the
+    smallest estimated join output."""
+    remaining = set(range(len(leaves)))
+    first = max(remaining, key=lambda i: (leaves[i].estimate, -i))
+    order = [first]
+    remaining.discard(first)
+    acc_rows = leaves[first].estimate
+    while remaining:
+        best = None
+        best_cost = None
+        for candidate in sorted(remaining):
+            joined = _join_edges(order, candidate, edges)
+            if not joined:
+                continue
+            divisor = 1.0
+            cand_rows = leaves[candidate].estimate
+            for edge in joined:
+                if edge.a_leaf == candidate:
+                    inner_attr, outer_attr = edge.a_attr, edge.b_attr
+                    outer_leaf = edge.b_leaf
+                else:
+                    inner_attr, outer_attr = edge.b_attr, edge.a_attr
+                    outer_leaf = edge.a_leaf
+                cand_rows = min(
+                    cand_rows, _effective_rows(leaves[candidate], inner_attr)
+                )
+                ndvs = []
+                if inner_attr is not None:
+                    ndv = leaves[candidate].stats.ndv_for(inner_attr)
+                    if ndv:
+                        ndvs.append(float(ndv))
+                if outer_attr is not None:
+                    ndv = leaves[outer_leaf].stats.ndv_for(outer_attr)
+                    if ndv:
+                        ndvs.append(float(ndv))
+                if ndvs:
+                    divisor = max(divisor, max(ndvs))
+                else:
+                    divisor = max(
+                        divisor, max(acc_rows, cand_rows)
+                    )  # |A⋈B| ≈ min(|A|,|B|) when ndv is unknown
+            cost = acc_rows * cand_rows / divisor
+            if best_cost is None or cost < best_cost:
+                best = candidate
+                best_cost = cost
+        if best is None:
+            # Disconnected remainder (cannot happen for trees built by
+            # _plan_join, which always links the new leaf): keep the
+            # syntactic relative order to stay safe.
+            best = min(remaining)
+            best_cost = acc_rows * leaves[best].estimate
+        order.append(best)
+        remaining.discard(best)
+        acc_rows = max(best_cost, 1.0)
+    return order
+
+
+def _join_edges(
+    order: List[int], candidate: int, edges: List[_JoinEdge]
+) -> List[_JoinEdge]:
+    placed = set(order)
+    return [
+        edge
+        for edge in edges
+        if (edge.a_leaf == candidate and edge.b_leaf in placed)
+        or (edge.b_leaf == candidate and edge.a_leaf in placed)
+    ]
+
+
+def _rebuild_join_tree(
+    leaves: List[_JoinLeaf],
+    edges: List[_JoinEdge],
+    predicates: List[ast.Expr],
+    order: List[int],
+) -> PlanOp:
+    """A left-deep pure-INNER hash-join tree in the chosen order.
+
+    Scans keep their pushed filters; equi-key conjuncts become the keys
+    of whichever join first has both sides placed; everything else
+    (residuals, join-node filters) reattaches by variable coverage —
+    all joins are INNER, so conjunct placement commutes."""
+    op: PlanOp = leaves[order[0]].scan
+    acc_vars = list(leaves[order[0]].scan.vars)
+    placed = {order[0]}
+    used: Set[int] = set()
+    for index in order[1:]:
+        leaf = leaves[index]
+        left_keys: List[ast.Expr] = []
+        right_keys: List[ast.Expr] = []
+        for edge_index, edge in enumerate(edges):
+            if edge_index in used:
+                continue
+            if edge.a_leaf == index and edge.b_leaf in placed:
+                left_keys.append(edge.b_expr)
+                right_keys.append(edge.a_expr)
+            elif edge.b_leaf == index and edge.a_leaf in placed:
+                left_keys.append(edge.a_expr)
+                right_keys.append(edge.b_expr)
+            else:
+                continue
+            used.add(edge_index)
+        joined = HashJoinOp(
+            op,
+            leaf.scan,
+            "INNER",
+            left_keys,
+            right_keys,
+            [],
+            list(leaf.scan.vars),
+        )
+        acc_vars = acc_vars + list(leaf.scan.vars)
+        joined.vars = list(acc_vars)
+        placed.add(index)
+        op = joined
+    for predicate in predicates:
+        _attach_filter(op, predicate, free_names(predicate))
     return op
 
 

@@ -70,6 +70,11 @@ class QueryMetrics:
     #: pipeline — False for the eager reference path (``optimize=False``)
     #: and for shapes that cannot stream (PIVOT, window functions).
     streamed: bool = False
+    #: Whether the top-level block ran on the batch (chunk-vectorized)
+    #: pipeline (docs/PLANNER.md); implies ``streamed``.
+    batched: bool = False
+    #: Morsel workers the parallel driver used (0 = serial execution).
+    parallel_workers: int = 0
     #: Unix timestamp of query start (wall clock, for log correlation).
     started_at: float = field(default_factory=time.time)
 
@@ -93,6 +98,8 @@ class QueryMetrics:
             "total_s": round(self.total_s, 6),
             "rows_returned": self.rows_returned,
             "streamed": self.streamed,
+            "batched": self.batched,
+            "parallel_workers": self.parallel_workers,
             "started_at": self.started_at,
         }
 

@@ -86,7 +86,10 @@ LEAVES = st.sampled_from(
 
 def _unary(sub):
     return st.one_of(
-        sub.map(lambda a: f"NOT ({a})"),
+        # Parenthesized as a whole: NOT binds looser than the arithmetic
+        # and comparison operators, so a bare "NOT (x)" nested as a
+        # binary operand ("x + NOT (x)") would not parse.
+        sub.map(lambda a: f"(NOT ({a}))"),
         sub.map(lambda a: f"({a} IS MISSING)"),
         sub.map(lambda a: f"({a} IS NULL)"),
         sub.map(lambda a: f"ABS({a})"),

@@ -1,0 +1,60 @@
+"""Batch + parallel parity over the full compatibility kit.
+
+Acceptance bar for the PR-6 executor (docs/PLANNER.md "Batch
+execution"): on every conformance case — every paper listing plus the
+extended and analytics corpora — execution with the batch pipeline on
+and ``parallel=2`` must be observationally identical to
+``optimize=False``: same result bag (or array, for ordered cases) or
+the same error class.
+
+The fork thresholds are forced down so the kit's small fixtures
+genuinely exercise the morsel fan-out wherever a case's plan is
+partitionable; everything else takes the serial batch or streaming
+path, which is exactly the production gating logic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.compat.corpus import all_cases
+from repro.compat.runner import build_database
+from repro.core import parallel
+from repro.datamodel.equality import deep_equals
+from repro.datamodel.values import Bag
+
+
+@pytest.fixture(autouse=True)
+def forkable_fixtures(monkeypatch):
+    monkeypatch.setattr(parallel, "MIN_PARALLEL_ROWS", 4)
+    monkeypatch.setattr(parallel, "MIN_MORSEL_ROWS", 2)
+
+
+def _outcome(db, case, **kwargs):
+    try:
+        return ("value", db.execute(case.query, **kwargs))
+    except errors.SQLPPError as exc:
+        return ("error", type(exc).__name__)
+
+
+@pytest.mark.parametrize("workers", [0, 2], ids=["batch", "parallel2"])
+@pytest.mark.parametrize(
+    "case", all_cases(), ids=lambda case: case.case_id
+)
+def test_parallel_equals_reference(case, workers):
+    candidate = _outcome(build_database(case), case, parallel=workers)
+    reference = _outcome(build_database(case), case, optimize=False)
+    assert candidate[0] == reference[0], (
+        f"{case.case_id}: parallel → {candidate}, reference → {reference}"
+    )
+    if candidate[0] == "error":
+        assert candidate[1] == reference[1]
+        return
+    left, right = candidate[1], reference[1]
+    if case.ordered:
+        assert deep_equals(left, right)
+    else:
+        left = Bag(list(left)) if isinstance(left, (list, Bag)) else left
+        right = Bag(list(right)) if isinstance(right, (list, Bag)) else right
+        assert deep_equals(left, right)

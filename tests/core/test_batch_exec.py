@@ -1,0 +1,292 @@
+"""The batch (chunk-vectorized) executor: eligibility, parity with the
+streaming and reference pipelines, aggregate decomposition, statistics
+in EXPLAIN, and evaluator memoization (docs/PLANNER.md "Batch
+execution").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, errors
+from repro.core.vectorized import decompose_block
+from repro.datamodel.equality import deep_equals
+from repro.datamodel.values import Bag
+
+
+def three_ways(db: Database, query: str, ordered: bool = False, **kwargs):
+    """Run batch, streaming-only and reference; assert 3-way parity."""
+    batch = db.execute(query, **kwargs)
+    streaming = db.execute(query, batch=False, **kwargs)
+    reference = db.execute(query, optimize=False, **kwargs)
+    if ordered:
+        assert deep_equals(list(batch), list(streaming))
+        assert deep_equals(list(batch), list(reference))
+    else:
+        first = Bag(list(batch)) if isinstance(batch, (list, Bag)) else batch
+        for other in (streaming, reference):
+            other = Bag(list(other)) if isinstance(other, (list, Bag)) else other
+            assert deep_equals(first, other), f"parity violation for {query!r}"
+    return batch
+
+
+@pytest.fixture
+def db() -> Database:
+    db = Database()
+    db.set(
+        "orders",
+        [
+            {"oid": i, "cust": i % 7, "total": (i * 13) % 100, "open": i % 2 == 0}
+            for i in range(50)
+        ],
+    )
+    db.set("custs", [{"cid": i, "name": f"c{i}"} for i in range(7)])
+    return db
+
+
+class TestBatchedFlag:
+    def test_eligible_query_sets_both_flags(self, db):
+        db.execute("SELECT VALUE o.oid FROM orders AS o WHERE o.total > 10")
+        assert db.metrics.last.batched is True
+        assert db.metrics.last.streamed is True
+
+    def test_batch_false_disables(self, db):
+        db.execute(
+            "SELECT VALUE o.oid FROM orders AS o WHERE o.total > 10",
+            batch=False,
+        )
+        assert db.metrics.last.batched is False
+        assert db.metrics.last.streamed is True
+
+    def test_reference_path_never_batches(self, db):
+        db.execute("SELECT VALUE o.oid FROM orders AS o", optimize=False)
+        assert db.metrics.last.batched is False
+
+    def test_limit_stays_streaming(self, db):
+        # Bounded consumers (top-K, early termination) belong to the
+        # streaming pipeline; batch must decline.
+        db.execute("SELECT VALUE o.oid FROM orders AS o LIMIT 3")
+        assert db.metrics.last.batched is False
+        assert db.metrics.last.streamed is True
+
+    def test_strict_mode_stays_streaming(self, db):
+        db.execute(
+            "SELECT VALUE o.oid FROM orders AS o", typing_mode="strict"
+        )
+        assert db.metrics.last.batched is False
+
+    def test_comma_join_plans_two_items_and_streams(self, db):
+        # A comma join keeps two plan items (no ON clause to hash on);
+        # the chunk protocol drives exactly one operator tree.
+        db.execute(
+            "SELECT VALUE {'o': o.oid, 'c': c.name} "
+            "FROM orders AS o, custs AS c WHERE o.cust = c.cid"
+        )
+        assert db.metrics.last.batched is False
+        assert db.metrics.last.streamed is True
+
+
+class TestBatchParity:
+    def test_filter_project(self, db):
+        three_ways(
+            db,
+            "SELECT o.oid AS oid, o.total * 2 AS dbl "
+            "FROM orders AS o WHERE o.total >= 50 AND o.open",
+        )
+
+    def test_let_chain(self, db):
+        three_ways(
+            db,
+            "SELECT VALUE t + u FROM orders AS o "
+            "LET t = o.total + 1, u = t * 2 WHERE u < 150",
+        )
+
+    def test_select_star(self, db):
+        three_ways(db, "SELECT * FROM orders AS o WHERE o.oid < 5")
+
+    def test_distinct(self, db):
+        three_ways(db, "SELECT DISTINCT o.cust AS cust FROM orders AS o")
+
+    def test_order_by_is_order_exact(self, db):
+        three_ways(
+            db,
+            "SELECT o.oid AS oid FROM orders AS o "
+            "WHERE o.total > 20 ORDER BY o.total DESC, o.oid",
+            ordered=True,
+        )
+
+    def test_group_by_aggregates_and_having(self, db):
+        three_ways(
+            db,
+            "SELECT c, COUNT(*) AS n, SUM(o.total) AS spend, "
+            "AVG(o.total) AS mean, MIN(o.total) AS low, MAX(o.total) AS top "
+            "FROM orders AS o GROUP BY o.cust AS c HAVING COUNT(*) > 2",
+        )
+
+    def test_group_by_distinct_aggregate(self, db):
+        three_ways(
+            db,
+            "SELECT c, COUNT(DISTINCT o.total) AS n "
+            "FROM orders AS o GROUP BY o.cust AS c",
+        )
+
+    def test_group_as_stays_correct(self, db):
+        # GROUP AS makes the whole group visible — not decomposable into
+        # per-morsel folds, so the batch path takes the semi-batch route
+        # through the streaming group operator.
+        three_ways(
+            db,
+            "SELECT c, (SELECT VALUE g.o.oid FROM g AS g) AS oids "
+            "FROM orders AS o GROUP BY o.cust AS c GROUP AS g",
+        )
+
+    def test_hash_join(self, db):
+        three_ways(
+            db,
+            "SELECT o.oid AS oid, c.name AS name FROM orders AS o "
+            "JOIN custs AS c ON o.cust = c.cid WHERE o.total > 30",
+        )
+
+    def test_left_join_pads_missing(self, db):
+        db.set("custs_small", [{"cid": 0, "name": "only"}])
+        three_ways(
+            db,
+            "SELECT o.oid AS oid, c.name AS name FROM orders AS o "
+            "LEFT JOIN custs_small AS c ON o.cust = c.cid",
+        )
+
+    def test_chunk_boundary_sizes(self):
+        # 1023 / 1024 / 1025 rows: off-by-one at the chunk boundary.
+        db = Database()
+        for n in (1023, 1024, 1025):
+            db.set("t", [{"x": i} for i in range(n)])
+            result = db.execute("SELECT VALUE t.x FROM t AS t WHERE t.x >= 1")
+            assert db.metrics.last.batched is True
+            assert len(list(result)) == n - 1
+
+    def test_errors_match_streaming(self):
+        db = Database(max_rows=10)
+        db.set("t", [{"x": i} for i in range(100)])
+        with pytest.raises(errors.ResourceExhausted):
+            db.execute("SELECT VALUE t.x FROM t AS t")
+
+
+class TestDecomposition:
+    def core(self, db, query):
+        return db.compile(query).body
+
+    def test_simple_aggregates_decompose(self, db):
+        block = self.core(
+            db,
+            "SELECT c, COUNT(*) AS n, AVG(o.total) AS mean "
+            "FROM orders AS o GROUP BY o.cust AS c",
+        )
+        decomp = decompose_block(block, ("o",))
+        assert decomp is not None
+        assert len(decomp.specs) == 2
+        assert [spec.distinct for spec in decomp.specs] == [False, False]
+
+    def test_group_as_reference_declines(self, db):
+        block = self.core(
+            db,
+            "SELECT c, (SELECT VALUE g.o.oid FROM g AS g) AS oids "
+            "FROM orders AS o GROUP BY o.cust AS c GROUP AS g",
+        )
+        assert decompose_block(block, ("o",)) is None
+
+    def test_rollup_declines(self, db):
+        block = self.core(
+            db,
+            "SELECT o.cust AS c, COUNT(*) AS n FROM orders AS o "
+            "GROUP BY ROLLUP (o.cust, o.open)",
+        )
+        assert decompose_block(block, ("o",)) is None
+
+
+class TestExplainSurfaces:
+    def test_stats_line_per_scanned_collection(self, db):
+        plan = db.explain_plan(
+            "SELECT VALUE o.oid FROM orders AS o "
+            "JOIN custs AS c ON o.cust = c.cid"
+        )
+        assert "stats: orders: rows=50" in plan
+        assert "stats: custs: rows=7" in plan
+
+    def test_order_line_syntactic_when_unchanged(self, db):
+        plan = db.explain_plan(
+            "SELECT VALUE o.oid FROM orders AS o "
+            "JOIN custs AS c ON o.cust = c.cid"
+        )
+        assert "order: o ⋈ c (syntactic)" in plan
+
+    def test_cost_based_reorder_probes_the_big_side(self):
+        # Syntactic order probes the small side; with statistics the
+        # planner flips the join so the big side streams through the
+        # probe and the small side is built.
+        db = Database()
+        db.set("small", [{"k": i} for i in range(8)])
+        db.set("big", [{"k": i % 8, "v": i} for i in range(4_000)])
+        query = (
+            "SELECT VALUE {'k': s.k, 'v': b.v} FROM small AS s "
+            "JOIN big AS b ON s.k = b.k"
+        )
+        plan = db.explain_plan(query)
+        assert "order: b ⋈ s" in plan
+        assert "(syntactic)" not in plan.split("order:")[1].splitlines()[0]
+        # And the reordered plan is still correct.
+        three_ways(db, query)
+
+    def test_order_by_suppresses_reorder(self):
+        db = Database()
+        db.set("small", [{"k": i} for i in range(8)])
+        db.set("big", [{"k": i % 8, "v": i} for i in range(4_000)])
+        plan = db.explain_plan(
+            "SELECT VALUE {'k': s.k, 'v': b.v} FROM small AS s "
+            "JOIN big AS b ON s.k = b.k ORDER BY b.v"
+        )
+        assert "order: s ⋈ b (syntactic)" in plan
+
+
+class TestEvaluatorMemoization:
+    def test_same_config_reuses_compiled_closures(self):
+        db = Database()
+        db.set("t", [{"x": i} for i in range(10)])
+        query = "SELECT VALUE t.x + 1 FROM t AS t WHERE t.x > 2"
+        db.execute(query)
+        evaluators = dict(db._evaluators)
+        assert len(evaluators) == 1
+        (evaluator,) = evaluators.values()
+        compiled_before = len(evaluator._compiled)
+        db.execute(query)
+        assert dict(db._evaluators) == evaluators
+        # A cached plan re-executes without re-running compile_expr.
+        assert len(evaluator._compiled) == compiled_before
+
+    def test_parameters_rebind_without_a_fresh_evaluator(self):
+        db = Database()
+        db.set("t", [{"x": i} for i in range(10)])
+        query = "SELECT VALUE t.x FROM t AS t WHERE t.x > ?"
+        first = db.execute(query, parameters=[7])
+        second = db.execute(query, parameters=[3])
+        assert len(list(first)) == 2
+        assert len(list(second)) == 6
+        assert len(db._evaluators) == 1
+
+    def test_data_change_invalidates_stats_and_plans(self):
+        db = Database()
+        db.set("t", [{"x": i} for i in range(4)])
+        query = "SELECT VALUE t.x FROM t AS t WHERE t.x >= 0"
+        assert len(list(db.execute(query))) == 4
+        assert "stats: t: rows=4" in db.explain_plan(query)
+        db.set("t", [{"x": i} for i in range(9)])
+        assert len(list(db.execute(query))) == 9
+        assert "stats: t: rows=9" in db.explain_plan(query)
+
+    def test_distinct_configs_get_distinct_evaluators(self):
+        db = Database()
+        db.set("t", [{"x": 1}])
+        query = "SELECT VALUE t.x FROM t AS t"
+        db.execute(query)
+        db.execute(query, batch=False)
+        db.execute(query, typing_mode="strict")
+        assert len(db._evaluators) == 3
