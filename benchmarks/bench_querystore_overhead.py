@@ -1,0 +1,112 @@
+"""The query store must be (nearly) free in steady state.
+
+The store is on by default, so every ``execute`` pays fingerprint
+lookup, one ``observe`` fold and the gauge export.  All of that is
+memoized or O(1): the fingerprint comes from an id-keyed memo after the
+first compile, the plan hash from an id-keyed memo after the first
+plan, and the sampled feedback trace (the one genuinely non-free part)
+runs only on the first execution of a fingerprint and again after data
+changes.  This suite pins the steady-state cost at <= 5% of the
+store-off path, and bounds the one-off cost of a feedback-sampled run.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro import Database
+
+#: Steady-state drift allowed for store-on vs store-off execution (the
+#: acceptance figure from the PR-8 issue).
+MAX_OVERHEAD = 0.05
+
+QUERY = (
+    "SELECT u.uid AS uid, o.oid AS oid, o.total AS total "
+    "FROM users AS u JOIN orders AS o ON o.user_id = u.uid "
+    "WHERE o.total >= 10"
+)
+
+
+def _db(query_store) -> Database:
+    n, n_users = 2_000, 200
+    db = Database(query_store=query_store)
+    db.set("users", [{"uid": i, "name": f"user-{i}"} for i in range(n_users)])
+    db.set(
+        "orders",
+        [
+            {"oid": i, "user_id": (i * 7) % n_users, "total": (i * 13) % 500}
+            for i in range(n)
+        ],
+    )
+    # Warm the compile/plan caches AND burn the one feedback-sampled
+    # execution, so the timed rounds measure steady state.
+    db.execute(QUERY)
+    db.execute(QUERY)
+    return db
+
+
+def _median(db: Database, rounds: int = 9) -> float:
+    samples = []
+    for __ in range(rounds):
+        started = time.perf_counter()
+        db.execute(QUERY)
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def test_steady_state_overhead_within_five_percent():
+    """The acceptance bar: store-on execution within 5% of store-off.
+
+    Measured as a *paired* difference: each round times one store-off
+    and one store-on execution back to back, and the gate runs on the
+    median of the per-round deltas.  Adjacent executions see the same
+    machine state, so host-wide drift cancels within the pair and a
+    jitter spike lands on one round's delta, where the median discards
+    it — an unpaired A/B of medians flakes on shared hardware."""
+    db_off = _db(query_store=False)
+    db_on = _db(query_store=True)
+    off_samples, on_samples = [], []
+    for round_no in range(40):
+        pair = [(db_off, off_samples), (db_on, on_samples)]
+        # Alternate which side runs first, so "second in the pair"
+        # cache effects cannot masquerade as store overhead.
+        if round_no % 2:
+            pair.reverse()
+        for db, samples in pair:
+            started = time.perf_counter()
+            db.execute(QUERY)
+            samples.append(time.perf_counter() - started)
+    off = min(off_samples)
+    delta = statistics.median(
+        on - off_ for on, off_ in zip(on_samples, off_samples)
+    )
+    on = off + delta
+    overhead = delta / off
+    print(
+        f"\nquery store on/off: {on * 1e3:.2f}ms / {off * 1e3:.2f}ms "
+        f"({overhead * 100:+.1f}%)"
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"steady-state store overhead {overhead * 100:+.1f}% "
+        f"(gate {MAX_OVERHEAD * 100:.0f}%) — did per-execution work "
+        f"sneak past the memos?"
+    )
+
+
+def test_feedback_sampled_run_is_bounded():
+    """The first execution of a fingerprint runs with the timing-free
+    tracer attached; counting rows may cost, but nothing like a full
+    EXPLAIN ANALYZE."""
+    db = _db(query_store=True)
+    steady = _median(db)
+    # Touching the data re-arms feedback sampling for the fingerprint.
+    sampled = []
+    for i in range(5):
+        db.set("probe", [{"x": i}])
+        started = time.perf_counter()
+        db.execute(QUERY)
+        sampled.append(time.perf_counter() - started)
+    ratio = statistics.median(sampled) / steady
+    print(f"\nfeedback-sampled / steady: {ratio:.2f}x")
+    assert ratio < 3.0

@@ -154,6 +154,20 @@ def build_workloads() -> List[Tuple[str, Callable[[], object]]]:
         ("e16_parallel_join_n100k", lambda: par_join.execute(JOIN_QUERY))
     )
 
+    # Query-store steady state (PR 8): the default-on store folds one
+    # observation and re-exports its gauges per execution, with the
+    # feedback-sampled trace burned during warm-up.  Tracks the
+    # bookkeeping the whole fleet of workloads now silently pays
+    # (benchmarks/bench_querystore_overhead.py pins the A/B delta).
+    stored = Database()
+    stored.set("users", users)
+    stored.set("orders", orders)
+    stored.execute(JOIN_QUERY)
+    stored.execute(JOIN_QUERY)
+    workloads.append(
+        ("e17_query_store_steady_n2000", lambda: stored.execute(JOIN_QUERY))
+    )
+
     # Scan + predicate on the warm compile cache: big enough (~10ms)
     # that the 25% gate measures the engine, not scheduler jitter.
     cached = Database()

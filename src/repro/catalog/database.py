@@ -37,7 +37,14 @@ from repro.observability import (
     ExecTracer,
     MetricsRegistry,
     QueryMetrics,
+    QueryStore,
     TraceContext,
+    query_fingerprint,
+)
+from repro.observability.query_store import (
+    plan_hash,
+    plan_max_qerror,
+    record_plan_feedback,
 )
 from repro.syntax import ast
 from repro.syntax.parser import parse
@@ -65,6 +72,7 @@ class Database:
         batch: bool = True,
         parallel: int = 0,
         metrics_sinks: Optional[List[Any]] = None,
+        query_store: Any = True,
     ):
         from repro.catalog.statistics import StatsProvider
 
@@ -100,6 +108,24 @@ class Database:
         # consults (name set for dotted-name resolution, schema
         # attributes for disambiguation).
         self._compile_cache: "OrderedDict[Tuple, ast.Query]" = OrderedDict()
+        #: The query store (docs/OBSERVABILITY.md): ``True`` keeps an
+        #: in-memory store, a string persists to that JSON-lines path,
+        #: ``False``/``None`` disables workload history and the
+        #: cardinality feedback loop entirely.
+        if isinstance(query_store, QueryStore):
+            self._query_store: Optional[QueryStore] = query_store
+        elif isinstance(query_store, str):
+            self._query_store = QueryStore(path=query_store)
+        elif query_store:
+            self._query_store = QueryStore()
+        else:
+            self._query_store = None
+        # Fingerprint / plan-hash memos, keyed by object identity with
+        # the keyed object kept alive in the entry (id() reuse safety).
+        self._fingerprints: "OrderedDict[int, Tuple[ast.Query, str]]" = (
+            OrderedDict()
+        )
+        self._plan_hashes: Dict[int, Tuple[Any, str]] = {}
 
     # ------------------------------------------------------------------
     # Named values
@@ -426,10 +452,23 @@ class Database:
         )
         started = perf_counter()
         evaluator: Optional[Evaluator] = None
+        store = self._query_store
+        core: Optional[ast.Query] = None
+        feedback_tracer: Optional[ExecTracer] = None
         try:
             core, __ = self._compile_profiled(
                 query, typing_mode, sql_compat, metrics=metrics, trace=trace
             )
+            if store is not None:
+                metrics.fingerprint = self._fingerprint_for(core, config)
+                if tracer is None and store.wants_feedback(
+                    metrics.fingerprint, self.catalog.data_version
+                ):
+                    # Sampled feedback run: attach the timing-free
+                    # tracer so operators count rows (cardinality
+                    # feedback, q-errors) without per-row clocks.
+                    feedback_tracer = ExecTracer(timing=False)
+                    tracer = feedback_tracer
             evaluator = self._evaluator_for(config, parameters, tracer)
             evaluator._in_use = True
             execute_started = perf_counter()
@@ -462,12 +501,122 @@ class Database:
                 metrics.batched = evaluator.batched
                 metrics.parallel_workers = evaluator.parallel_workers
             metrics.total_s = perf_counter() - started
+            if store is not None and metrics.fingerprint is not None:
+                self._store_observe(
+                    store, metrics, core, evaluator, tracer, feedback_tracer
+                )
             if root is not None:
                 trace.end(root, {"status": metrics.status})
             self.metrics.record(metrics)
         if missing_as_null:
             result = _missing_to_null(result)
         return result
+
+    # ------------------------------------------------------------------
+    # Query store integration
+    # ------------------------------------------------------------------
+
+    def query_store(self) -> Optional[QueryStore]:
+        """The database's :class:`~repro.observability.QueryStore`
+        (None when constructed with ``query_store=False``)."""
+        return self._query_store
+
+    def _fingerprint_for(self, core: ast.Query, config: EvalConfig) -> str:
+        """Memoized workload fingerprint for one compiled query object
+        (the compile cache already keys on text + dials + catalog
+        version, so object identity is a sound memo key)."""
+        key = id(core)
+        entry = self._fingerprints.get(key)
+        if entry is not None and entry[0] is core:
+            self._fingerprints.move_to_end(key)
+            return entry[1]
+        fingerprint = query_fingerprint(
+            core, config.typing_mode, config.sql_compat, self.catalog.version
+        )
+        self._fingerprints[key] = (core, fingerprint)
+        if len(self._fingerprints) > self.COMPILE_CACHE_SIZE:
+            self._fingerprints.popitem(last=False)
+        return fingerprint
+
+    def _plan_hash_for(self, plan: Any) -> str:
+        """Memoized hash of an executed plan object ("reference" when
+        no physical plan ran)."""
+        if plan is None:
+            return "reference"
+        entry = self._plan_hashes.get(id(plan))
+        if entry is not None and entry[0] is plan:
+            return entry[1]
+        value = plan_hash(plan)
+        self._plan_hashes[id(plan)] = (plan, value)
+        if len(self._plan_hashes) > 2 * self.COMPILE_CACHE_SIZE:
+            self._plan_hashes.clear()
+            self._plan_hashes[id(plan)] = (plan, value)
+        return value
+
+    @staticmethod
+    def _executed_plan(evaluator: Evaluator, core: ast.Query) -> Any:
+        """The physical plan this execution ran the top-level block on
+        (streaming or batch cache), or None for the reference path."""
+        body = core.body
+        if not isinstance(body, ast.QueryBlock):
+            return None
+        entry = evaluator._plans.get(id(body))
+        if entry is not None and entry[1] is not None:
+            return entry[1]
+        entry = evaluator._batch_plans.get(id(body))
+        if entry is not None:
+            return entry[1]
+        return None
+
+    def _store_observe(
+        self,
+        store: QueryStore,
+        metrics: QueryMetrics,
+        core: Optional[ast.Query],
+        evaluator: Optional[Evaluator],
+        tracer: Optional[ExecTracer],
+        feedback_tracer: Optional[ExecTracer],
+    ) -> None:
+        """Fold one finished execution into the query store: plan hash,
+        q-error, cardinality feedback, gauges.  Runs in ``execute``'s
+        ``finally`` — it must never raise over the query's own outcome,
+        and it only reads state the execution already produced."""
+        executed_plan = (
+            self._executed_plan(evaluator, core)
+            if evaluator is not None and core is not None
+            else None
+        )
+        if evaluator is not None:
+            metrics.plan_hash = self._plan_hash_for(executed_plan)
+        qerror = None
+        if tracer is not None and executed_plan is not None:
+            qerror = plan_max_qerror(executed_plan, tracer)
+        if feedback_tracer is not None and metrics.status == "ok":
+            # Feed actual cardinalities back to the planner — but only
+            # from complete runs: LIMIT/OFFSET truncation would record
+            # how many rows the consumer *wanted*, not how many exist.
+            if (
+                executed_plan is not None
+                and core is not None
+                and core.limit is None
+                and core.offset is None
+            ):
+                record_plan_feedback(
+                    executed_plan, feedback_tracer, self._stats
+                )
+            # Mark even when nothing was learnable, so an unplannable
+            # fingerprint is not re-traced forever.
+            store.mark_feedback(metrics.fingerprint, self.catalog.data_version)
+        store.observe(
+            metrics.fingerprint,
+            metrics.query,
+            metrics.plan_hash,
+            metrics.status,
+            metrics.total_s,
+            metrics.rows_returned,
+            qerror,
+        )
+        store.export_gauges(self.metrics)
 
     #: Bound on the collection size ``check`` will sample to infer an
     #: abstract shape for a schemaless named value.
@@ -667,17 +816,22 @@ class Database:
         timeout_s: Optional[float] = None,
         max_rows: Optional[int] = None,
         max_recursion: Optional[int] = None,
+        batch: Optional[bool] = None,
+        parallel: Optional[int] = None,
     ) -> str:
         """Execute the query and report the plan annotated with runtime
         statistics (the ``EXPLAIN ANALYZE`` verb).
 
-        Each operator line carries its invocation count, rows in/out and
-        inclusive wall time; the clause pipeline's stage row counts and
-        the per-phase timings (parse/rewrite/plan/execute) follow.  On
-        the optimized path the annotated tree is the physical plan; with
-        ``optimize=False`` (or whenever the planner declines) it is the
-        reference nested-loop FROM tree, so both execution strategies
-        are observable (docs/OBSERVABILITY.md).
+        Each operator line carries its invocation count, rows in/out,
+        inclusive wall time and the planner's row estimate against the
+        actual (``est= actual= q-err=``, worst misestimate flagged); the
+        clause pipeline's stage row counts and the per-phase timings
+        (parse/rewrite/plan/execute) follow.  On the optimized path the
+        annotated tree is the physical plan; with ``optimize=False`` (or
+        whenever the planner declines) it is the reference nested-loop
+        FROM tree, so all execution strategies — streaming, batch
+        (``batch=True`` shapes), parallel (``parallel=N``) — are
+        observable (docs/OBSERVABILITY.md).
 
         The query really runs, so resource limits apply; a breached
         limit raises :class:`~repro.errors.ResourceExhausted` exactly as
@@ -693,6 +847,8 @@ class Database:
             timeout_s=timeout_s,
             max_rows=max_rows,
             max_recursion=max_recursion,
+            batch=batch,
+            parallel=parallel,
             tracer=tracer,
         )
         core = self.compile(query, typing_mode, sql_compat)
@@ -791,6 +947,8 @@ class Database:
         life.  Idempotent.
         """
         self.metrics.close()
+        if self._query_store is not None:
+            self._query_store.close()
 
     def __enter__(self) -> "Database":
         return self

@@ -14,10 +14,19 @@ Statistics are collected lazily and cached per
 ``(name, catalog.data_version)`` by :class:`StatsProvider`, so they
 refresh automatically when a named value is replaced and cost nothing
 for catalogs that never run a planned join.
+
+Sampling can be arbitrarily wrong — a prefix sample sees neither skew
+in the tail nor correlations between filters — so the provider also
+carries :class:`FeedbackHints`: *observed* cardinalities fed back from
+executed plans by the query store (docs/OBSERVABILITY.md).  The planner
+prefers a feedback hint over the sampled estimate for the same scan or
+join shape, which is how a misestimated join order corrects itself on
+the next execution of the same query fingerprint.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
@@ -121,17 +130,81 @@ def collect_stats(
     )
 
 
+class FeedbackHints:
+    """Observed cardinalities keyed by plan-shape identity.
+
+    Keys are the stable shape texts built by
+    :func:`repro.core.planner.scan_feedback_key` /
+    :func:`~repro.core.planner.join_feedback_key` (base collection plus
+    sorted filter/key prints), so a hint only ever applies to the exact
+    scan or join it was measured on.  Hints are pinned to the catalog
+    ``data_version`` they were observed under: any data mutation clears
+    them, since yesterday's actuals say nothing about today's rows.
+
+    ``version`` bumps whenever the hint set changes in a plan-relevant
+    way; plan caches key on it (alongside ``data_version``) so a new
+    observation triggers exactly one replan instead of replanning
+    forever or never.
+    """
+
+    #: Relative change below which an updated observation is treated as
+    #: noise rather than a plan-relevant shift (no version bump).
+    TOLERANCE = 0.1
+
+    #: Bound on retained hints; least-recently-touched evicted first.
+    MAX_HINTS = 512
+
+    def __init__(self) -> None:
+        self._rows: "OrderedDict[str, float]" = OrderedDict()
+        self.version = 0
+        self._data_version: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def record(self, key: str, rows: float, data_version: int) -> bool:
+        """Fold one observation in; True when plans may change."""
+        if self._data_version != data_version:
+            if self._rows:
+                self.version += 1
+            self._rows.clear()
+            self._data_version = data_version
+        previous = self._rows.get(key)
+        rows = float(rows)
+        self._rows[key] = rows
+        self._rows.move_to_end(key)
+        while len(self._rows) > self.MAX_HINTS:
+            self._rows.popitem(last=False)
+        if previous is None or abs(previous - rows) > self.TOLERANCE * max(
+            previous, rows, 1.0
+        ):
+            self.version += 1
+            return True
+        return False
+
+    def rows_for(self, key: str, data_version: int) -> Optional[float]:
+        if self._data_version != data_version:
+            return None
+        return self._rows.get(key)
+
+
 class StatsProvider:
     """Caches :class:`CollectionStats` per catalog data version.
 
     ``stats_for(name)`` returns None for unknown names, lazy values and
     non-collections; a replaced named value (which bumps
     ``catalog.data_version``) is re-sampled on next use.
+
+    The provider also owns the :class:`FeedbackHints` the query store
+    records observed cardinalities into; the planner reaches them via
+    :meth:`feedback_rows` and plan caches invalidate on
+    :attr:`feedback_version`.
     """
 
     def __init__(self, catalog) -> None:
         self._catalog = catalog
         self._cache: Dict[str, Tuple[int, Optional[CollectionStats]]] = {}
+        self.feedback = FeedbackHints()
 
     def stats_for(self, name: str) -> Optional[CollectionStats]:
         version = self._catalog.data_version
@@ -144,6 +217,28 @@ class StatsProvider:
             stats = collect_stats(name, self._catalog[name])
         self._cache[name] = (version, stats)
         return stats
+
+    # -- cardinality feedback ------------------------------------------
+
+    @property
+    def feedback_version(self) -> int:
+        return self.feedback.version
+
+    def feedback_rows(self, key: Optional[str]) -> Optional[float]:
+        """The observed output rows for a plan shape, or None."""
+        if key is None:
+            return None
+        return self.feedback.rows_for(
+            key, getattr(self._catalog, "data_version", 0)
+        )
+
+    def record_feedback(self, key: Optional[str], rows: float) -> bool:
+        """Record one observed cardinality; True when plans may change."""
+        if key is None:
+            return False
+        return self.feedback.record(
+            key, rows, getattr(self._catalog, "data_version", 0)
+        )
 
 
 def source_name(expr) -> Optional[str]:

@@ -8,6 +8,7 @@ Usage::
     python -m repro -c "SELECT VALUE 1" # one-shot query
     python -m repro lint query.sqlpp    # static analysis, no execution
     python -m repro --check query.sqlpp # refuse to run on lint errors
+    python -m repro report store.jsonl  # summarize a persisted query store
 
 REPL dot-commands::
 
@@ -23,6 +24,7 @@ REPL dot-commands::
     .lint <query>                  statically analyze without running
     .stats                         show session metrics counters
     .metrics                       show Prometheus-format metrics text
+    .topqueries [n]                show the query store's top fingerprints
     .schema <name> <ddl>           impose a schema on a named value
     .quit
 
@@ -63,6 +65,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "lint":
         return _lint_main(argv[1:])
+    if argv and argv[0] == "report":
+        return _report_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="sqlpp",
         description="SQL++ query processor (reproduction of Carey et al., "
@@ -142,6 +146,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="append per-query metrics records (JSON lines) to PATH",
     )
     parser.add_argument(
+        "--store",
+        metavar="PATH",
+        help="persist the query store (fingerprinted workload history, "
+        "plan-change/regression events) as JSON lines at PATH; "
+        "summarize later with the `report` verb",
+    )
+    parser.add_argument(
         "--slow-log-threshold",
         type=float,
         default=0.0,
@@ -211,6 +222,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_rows=args.max_rows,
         max_recursion=args.max_recursion,
         metrics_sinks=metrics_sinks,
+        query_store=args.store if args.store else True,
     )
     for spec in args.load:
         name, __, path = spec.partition("=")
@@ -335,6 +347,52 @@ def _lint_main(argv: List[str]) -> int:
         if any(d.severity == ERROR for d in diagnostics):
             status = 1
     return status
+
+
+def _report_main(argv: List[str]) -> int:
+    """The ``report`` verb: summarize a persisted query store.
+
+    ``python -m repro report store.jsonl`` reloads the JSON-lines store
+    a previous ``--store`` session wrote (corrupt lines are skipped)
+    and prints the workload report: top fingerprints by accumulated
+    wall time, plan-change and latency-regression counts, q-errors.
+    """
+    parser = argparse.ArgumentParser(
+        prog="sqlpp report",
+        description="summarize a persisted query store "
+        "(see docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument("store", help="query-store JSON-lines file")
+    parser.add_argument(
+        "-n",
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="how many fingerprints to show (default 10)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.observability import QueryStore
+
+    try:
+        store = QueryStore(path=args.store)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if args.json:
+            import json as json_module
+
+            print(json_module.dumps(store.snapshot(), indent=2))
+        else:
+            print(store.report(args.top))
+    finally:
+        store.close()
+    return 0
 
 
 def _lint_compat_kit(json_output: bool = False) -> int:
@@ -632,6 +690,19 @@ def _dot_command(db: Database, line: str) -> bool:
             print(db.metrics.format_snapshot())
         elif command == ".metrics":
             print(db.metrics.expose_text(), end="")
+        elif command == ".topqueries":
+            store = db.query_store()
+            if store is None:
+                print("query store is disabled")
+            else:
+                n = 10
+                if len(parts) >= 2:
+                    try:
+                        n = int(parts[1])
+                    except ValueError:
+                        print(f"usage: .topqueries [n], got {parts[1]!r}")
+                        return True
+                print(store.report(n))
         else:
             print(f"unknown command {command!r}; try .help")
     except (SQLPPError, OSError) as exc:

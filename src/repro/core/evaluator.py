@@ -444,7 +444,7 @@ class Evaluator:
         plan = self._block_plan(block)
         if plan is not None:
             return plan
-        if self.tracer is not None:
+        if self.tracer is not None and self.tracer.timing:
             return None
         version = self._catalog_data_version()
         entry = self._batch_plans.get(id(block))
@@ -465,12 +465,20 @@ class Evaluator:
             self._batch_plans[id(block)] = entry
         return entry[1]
 
-    def _catalog_data_version(self) -> int:
-        """The catalog's data version, for plan staleness — 0 for plain
-        mapping catalogs (tests), which never invalidate."""
+    def _catalog_data_version(self):
+        """The catalog's data + feedback version, for plan staleness —
+        0 for plain mapping catalogs (tests), which never invalidate.
+        The feedback component makes a new cardinality observation
+        (query store, docs/OBSERVABILITY.md) invalidate cached plans
+        exactly once, so the corrected join order takes effect on the
+        next execution."""
         if self._stats is None:
             return 0
-        return getattr(self._catalog, "data_version", 0)
+        data_version = getattr(self._catalog, "data_version", 0)
+        feedback_version = getattr(self._stats, "feedback_version", None)
+        if feedback_version is None:
+            return data_version
+        return (data_version, feedback_version)
 
     def _eval_query_streaming(
         self, query: ast.Query, body: ast.QueryBlock, env: Environment
@@ -663,6 +671,8 @@ class Evaluator:
             _close_iter(source)
         entries = sorted(heap, key=lambda entry: entry[0].key)
         tracer = self.tracer
+        if tracer is not None and not tracer.timing:
+            tracer = None
         started = perf_counter() if tracer is not None else 0.0
         values = [select_fn(current) for __, current in entries]
         if tracer is not None:
@@ -972,6 +982,11 @@ class Evaluator:
         the SELECT stage itself after projecting the survivors.
         """
         tracer = self.tracer
+        if tracer is not None and not tracer.timing:
+            # Feedback-sampling mode: operators count their own rows
+            # inside the plan; the stage tallies (and their closures)
+            # are pure timing surface, so skip them entirely.
+            tracer = None
         var_order: List[str] = []
         for item in block.from_:
             self._collect_item_vars(item, var_order)
@@ -1319,6 +1334,10 @@ class Evaluator:
         rows as they are pulled.
         """
         tracer = self.tracer
+        if tracer is not None and not tracer.timing:
+            # Feedback-sampling mode measures physical operators only;
+            # per-item wall clocks are timing surface, skip them.
+            tracer = None
         governor = self.governor
         if tracer is None and governor is None:
             return self._iter_item_rows(item, env)

@@ -135,7 +135,7 @@ def _run_morsel(span: Tuple[int, int]):
     if parent_tracer:
         from repro.observability import ExecTracer
 
-        tracer = ExecTracer()
+        tracer = ExecTracer(timing=state["timing"])
     evaluator.tracer = tracer
     governor = evaluator.governor
     governor_base = governor.rows if governor is not None else 0
@@ -272,6 +272,7 @@ def try_parallel(
         "row_vars": row_vars,
         "op_list": op_list,
         "traced": parent_tracer is not None,
+        "timing": parent_tracer.timing if parent_tracer is not None else True,
     }
     try:
         context = multiprocessing.get_context("fork")
@@ -305,9 +306,9 @@ def try_parallel(
         else:
             outcome.rows.extend(payload)
         if parent_tracer is not None:
-            for index, __, rows_in, rows_out, time_s in tallies:
-                parent_tracer.record_op(
-                    op_list[index], rows_in, rows_out, time_s
+            for index, invocations, rows_in, rows_out, time_s in tallies:
+                parent_tracer.merge_op(
+                    op_list[index], invocations, rows_in, rows_out, time_s
                 )
     if mode == "fold":
         outcome.order, outcome.groups = merge_folds(partials)

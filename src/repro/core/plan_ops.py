@@ -87,6 +87,11 @@ class PlanOp:
         self.vars = []
         #: Pushed-down WHERE conjuncts applied to this operator's output.
         self.filters: List[ast.Expr] = []
+        #: The planner's estimated output rows (post attached filters),
+        #: set by :func:`repro.core.planner.annotate_estimates` when
+        #: statistics are available; None means "no estimate" and
+        #: renders as ``est=?`` on EXPLAIN ANALYZE lines.
+        self.est_rows: Optional[float] = None
 
     def bindings(
         self, evaluator: "Evaluator", env: "Environment"
@@ -111,7 +116,9 @@ class PlanOp:
         production time but not the consumer's."""
         tracer = evaluator.tracer
         if tracer is not None:
-            return self._iter_traced(evaluator, env, tracer)
+            if tracer.timing:
+                return self._iter_traced(evaluator, env, tracer)
+            return self._iter_counted(evaluator, env, tracer)
         if not self.filters:
             return self._iter_produce(evaluator, env)
         return self._iter_filtered(evaluator, env)
@@ -197,13 +204,44 @@ class PlanOp:
                 trace.end(span, {"rows_in": rows_in, "rows_out": rows_out})
             tracer.record_op(self, rows_in, rows_out, elapsed)
 
+    def _iter_counted(
+        self, evaluator: "Evaluator", env: "Environment", tracer
+    ) -> Iterator[Binding]:
+        """Row counting without per-row clock reads: the cardinality-
+        feedback mode (``ExecTracer(timing=False)``) still needs exact
+        rows in/out — including under early termination — but must not
+        pay two ``perf_counter`` calls per row on a sampled execution."""
+        fns = [evaluator.compiled(predicate) for predicate in self.filters]
+        rows_in = 0
+        rows_out = 0
+        source = self._iter_produce(evaluator, env)
+        try:
+            for row in source:
+                rows_in += 1
+                if fns:
+                    row_env = env.extend(row)
+                    if not all(fn(row_env) is True for fn in fns):
+                        continue
+                rows_out += 1
+                yield row
+        finally:
+            close = getattr(source, "close", None)
+            if close is not None:
+                close()
+            tracer.record_op(self, rows_in, rows_out, 0.0)
+
     # -- EXPLAIN -----------------------------------------------------------
 
     def describe(self) -> str:
         raise NotImplementedError
 
-    def explain_lines(self, indent: int = 0, tracer=None) -> List[str]:
-        """Plan lines; with a tracer, annotated with runtime stats."""
+    def explain_lines(
+        self, indent: int = 0, tracer=None, worst_id: Optional[int] = None
+    ) -> List[str]:
+        """Plan lines; with a tracer, annotated with runtime stats and
+        the estimate-vs-actual comparison (``worst_id`` marks the
+        operator with the plan's largest q-error)."""
+        from repro.observability.tracer import estimate_suffix
         from repro.syntax.printer import print_ast
 
         line = "  " * indent + self.describe()
@@ -214,9 +252,14 @@ class PlanOp:
             stats = tracer.op_stats(self)
             if stats is not None:
                 line += stats.suffix()
-        return [line] + self._child_lines(indent + 1, tracer)
+                line += estimate_suffix(
+                    self.est_rows, stats.rows_out, worst=id(self) == worst_id
+                )
+        return [line] + self._child_lines(indent + 1, tracer, worst_id)
 
-    def _child_lines(self, indent: int, tracer=None) -> List[str]:
+    def _child_lines(
+        self, indent: int, tracer=None, worst_id: Optional[int] = None
+    ) -> List[str]:
         return []
 
 
@@ -432,10 +475,12 @@ class CorrelatedJoinOp(PlanOp):
     def describe(self) -> str:
         return f"NestedLoopJoin[{self.item.kind}] (correlated/lateral right side)"
 
-    def _child_lines(self, indent: int, tracer=None) -> List[str]:
+    def _child_lines(
+        self, indent: int, tracer=None, worst_id: Optional[int] = None
+    ) -> List[str]:
         from repro.syntax.printer import print_ast
 
-        lines = self.left.explain_lines(indent, tracer)
+        lines = self.left.explain_lines(indent, tracer, worst_id)
         prefix = "  " * indent
         if isinstance(self.item.right, ast.FromCollection):
             right = (
@@ -501,10 +546,12 @@ class MaterializeJoinOp(PlanOp):
         on = f" ON {print_ast(self.on)}" if self.on is not None else ""
         return f"NestedLoopJoin[{self.kind}] (right side materialized once){on}"
 
-    def _child_lines(self, indent: int, tracer=None) -> List[str]:
-        return self.left.explain_lines(indent, tracer) + self.right.explain_lines(
-            indent, tracer
-        )
+    def _child_lines(
+        self, indent: int, tracer=None, worst_id: Optional[int] = None
+    ) -> List[str]:
+        return self.left.explain_lines(
+            indent, tracer, worst_id
+        ) + self.right.explain_lines(indent, tracer, worst_id)
 
 
 class HashJoinOp(PlanOp):
@@ -747,10 +794,12 @@ class HashJoinOp(PlanOp):
             text += f" residual ({residual})"
         return text
 
-    def _child_lines(self, indent: int, tracer=None) -> List[str]:
+    def _child_lines(
+        self, indent: int, tracer=None, worst_id: Optional[int] = None
+    ) -> List[str]:
         prefix = "  " * indent
-        left = self.left.explain_lines(indent + 1, tracer)
-        right = self.right.explain_lines(indent + 1, tracer)
+        left = self.left.explain_lines(indent + 1, tracer, worst_id)
+        right = self.right.explain_lines(indent + 1, tracer, worst_id)
         return (
             [prefix + "probe:"] + left + [prefix + "build:"] + right
         )

@@ -224,12 +224,16 @@ class BlockPlan:
 
     def explain(self, tracer=None) -> str:
         """The plan as text; with a tracer, annotated with runtime stats
-        (EXPLAIN ANALYZE)."""
+        (EXPLAIN ANALYZE) and the est/actual/q-err comparison, the
+        worst misestimate flagged."""
         from repro.syntax.printer import print_ast
 
+        worst_id = (
+            _worst_misestimate(self.items, tracer) if tracer is not None else None
+        )
         lines = ["FROM"]
         for item_plan in self.items:
-            op_lines = item_plan.op.explain_lines(1, tracer)
+            op_lines = item_plan.op.explain_lines(1, tracer, worst_id)
             if item_plan.uncorrelated and len(self.items) > 1:
                 op_lines[0] += "  [materialized once]"
             lines.extend(op_lines)
@@ -315,6 +319,10 @@ def plan_block(
             order_line = _maybe_reorder(
                 item_plans[0], stats, reorder_ok, rewrites
             )
+        # After any reorder (it replaces operators): pin the planner's
+        # row estimate onto every operator, so EXPLAIN ANALYZE can show
+        # est= next to actual= and the query store can compute q-errors.
+        annotate_estimates(item_plans, stats)
 
     if not rewrites and not force:
         return None
@@ -519,7 +527,7 @@ def _maybe_reorder(
     total_rows = sum(leaf.stats.row_count for leaf in leaves)
     chosen = syntactic
     if reorder_ok and total_rows >= MIN_REORDER_ROWS:
-        chosen = _greedy_order(leaves, edges)
+        chosen = _greedy_order(leaves, edges, stats)
     order_text = " ⋈ ".join(leaves[i].alias for i in chosen)
     if chosen == syntactic:
         return f"order: {order_text} (syntactic)"
@@ -569,13 +577,22 @@ def _flatten_inner_joins(op: PlanOp, stats):
         estimate = float(collected.row_count)
         for predicate in scan.filters:
             estimate *= _selectivity(predicate, scan.item.alias, collected)
+        estimate = max(estimate, 1.0)
+        # An observed cardinality for this exact scan shape beats the
+        # sampled guess: a prefix sample cannot see tail skew, an
+        # executed scan counted every surviving row.
+        feedback = getattr(stats, "feedback_rows", None)
+        if feedback is not None:
+            hint = feedback(scan_feedback_key(scan))
+            if hint is not None:
+                estimate = max(float(hint), 1.0)
         leaves.append(
             _JoinLeaf(
                 scan=scan,
                 alias=scan.item.alias,
                 name=name,
                 vars=set(scan.vars),
-                estimate=max(estimate, 1.0),
+                estimate=estimate,
                 stats=collected,
             )
         )
@@ -648,11 +665,21 @@ def _effective_rows(leaf: _JoinLeaf, attr: Optional[str]) -> float:
     return max(rows, 1.0)
 
 
-def _greedy_order(leaves: List[_JoinLeaf], edges: List[_JoinEdge]) -> List[int]:
+def _greedy_order(
+    leaves: List[_JoinLeaf], edges: List[_JoinEdge], stats=None
+) -> List[int]:
     """Greedy left-deep order: start from the largest leaf (the probe
     side streams; build sides materialize, so big inputs belong on the
     probe spine), then repeatedly append the connected leaf with the
-    smallest estimated join output."""
+    smallest estimated join output.
+
+    With a feedback-carrying ``stats`` provider, a previously *observed*
+    output cardinality for a candidate leaf pair replaces the ndv-model
+    cost for that pair — the channel through which a misestimated join
+    order corrects itself on re-execution."""
+    feedback = (
+        getattr(stats, "feedback_rows", None) if stats is not None else None
+    )
     remaining = set(range(len(leaves)))
     first = max(remaining, key=lambda i: (leaves[i].estimate, -i))
     order = [first]
@@ -693,6 +720,14 @@ def _greedy_order(leaves: List[_JoinLeaf], edges: List[_JoinEdge]) -> List[int]:
                         divisor, max(acc_rows, cand_rows)
                     )  # |A⋈B| ≈ min(|A|,|B|) when ndv is unknown
             cost = acc_rows * cand_rows / divisor
+            if feedback is not None and len(order) == 1:
+                hint = feedback(
+                    _pair_feedback_key(
+                        leaves[order[0]], leaves[candidate], joined
+                    )
+                )
+                if hint is not None:
+                    cost = max(float(hint), 1.0)
             if best_cost is None or cost < best_cost:
                 best = candidate
                 best_cost = cost
@@ -800,3 +835,215 @@ def _split_equi_on(
     if not left_keys:
         return None
     return left_keys, right_keys, residual
+
+
+# =========================================================================
+# Cardinality feedback & estimate annotation
+# =========================================================================
+#
+# The query store (repro/observability/query_store.py) measures actual
+# per-operator output rows on sampled executions and records them into
+# the StatsProvider's FeedbackHints under *shape keys* built here.  The
+# keys identify a scan or join by what determines its cardinality — the
+# base collection(s) plus the sorted predicate/key prints — so a hint
+# survives join reordering (sorted) but never leaks across different
+# filters on the same collection.
+
+
+def walk_plan_ops(op: PlanOp):
+    """Yield ``op`` and every operator below it (build sides included)."""
+    yield op
+    for child in ("left", "right"):
+        sub = getattr(op, child, None)
+        if isinstance(sub, PlanOp):
+            yield from walk_plan_ops(sub)
+
+
+def scan_feedback_key(scan: PlanOp) -> Optional[str]:
+    """The feedback-hint key for a base-collection scan, or None."""
+    from repro.catalog.statistics import source_name
+    from repro.syntax.printer import print_ast
+
+    if not isinstance(scan, ScanOp) or not isinstance(
+        scan.item, ast.FromCollection
+    ):
+        return None
+    name = source_name(scan.item.expr)
+    if name is None:
+        return None
+    filters = ",".join(sorted(print_ast(p) for p in scan.filters))
+    return f"scan|{name}|{filters}"
+
+
+def join_feedback_key(op: PlanOp) -> Optional[str]:
+    """The feedback-hint key for a hash join over base scans, or None."""
+    from repro.catalog.statistics import source_name
+    from repro.syntax.printer import print_ast
+
+    if not isinstance(op, HashJoinOp):
+        return None
+    names: List[str] = []
+    for scan in _scan_ops(op):
+        if not isinstance(scan.item, ast.FromCollection):
+            return None
+        name = source_name(scan.item.expr)
+        if name is None:
+            return None
+        names.append(name)
+    key_texts = [print_ast(k) for k in list(op.left_keys) + list(op.right_keys)]
+    predicate_texts = [
+        print_ast(p) for p in list(op.residual) + list(op.filters)
+    ]
+    return _join_key_text(op.kind, names, key_texts, predicate_texts)
+
+
+def _join_key_text(
+    kind: str,
+    names: List[str],
+    key_texts: List[str],
+    predicate_texts: List[str],
+) -> str:
+    return "|".join(
+        [
+            f"join[{kind}]",
+            ",".join(sorted(names)),
+            ",".join(sorted(key_texts)),
+            ",".join(sorted(predicate_texts)),
+        ]
+    )
+
+
+def _pair_feedback_key(
+    leaf_a: _JoinLeaf, leaf_b: _JoinLeaf, joined: List[_JoinEdge]
+) -> str:
+    """The key an executed 2-leaf hash join would have recorded under.
+
+    A rebuilt pair join carries the edge key expressions and no
+    join-node predicates (residuals attach by coverage afterwards), so
+    that is the shape looked up here."""
+    from repro.syntax.printer import print_ast
+
+    key_texts: List[str] = []
+    for edge in joined:
+        key_texts.append(print_ast(edge.a_expr))
+        key_texts.append(print_ast(edge.b_expr))
+    return _join_key_text("INNER", [leaf_a.name, leaf_b.name], key_texts, [])
+
+
+def annotate_estimates(item_plans: List[ItemPlan], stats) -> None:
+    """Pin ``est_rows`` onto every operator of every item plan."""
+    for item_plan in item_plans:
+        _estimate_op(item_plan.op, stats)
+
+
+def _estimate_op(op: PlanOp, stats) -> Optional[float]:
+    """Estimate one operator's output rows (children first); None means
+    the planner has no basis (lateral join, statistics-free source)."""
+    from repro.catalog.statistics import source_name
+
+    feedback = getattr(stats, "feedback_rows", None)
+    estimate: Optional[float] = None
+    if isinstance(op, ScanOp):
+        if isinstance(op.item, ast.FromCollection):
+            name = source_name(op.item.expr)
+            collected = stats.stats_for(name) if name is not None else None
+            if collected is not None:
+                estimate = float(collected.row_count)
+                for predicate in op.filters:
+                    estimate *= _selectivity(
+                        predicate, op.item.alias, collected
+                    )
+                estimate = max(estimate, 1.0)
+            if feedback is not None:
+                hint = feedback(scan_feedback_key(op))
+                if hint is not None:
+                    estimate = max(float(hint), 1.0)
+    elif isinstance(op, HashJoinOp):
+        left = _estimate_op(op.left, stats)
+        right = _estimate_op(op.right, stats)
+        if left is not None and right is not None:
+            divisor = _key_divisor(op, stats)
+            if divisor is None:
+                # ndv unknown on both sides: |A⋈B| ≈ min(|A|,|B|).
+                estimate = max(min(left, right), 1.0)
+            else:
+                estimate = left * right / divisor
+            if op.kind == "LEFT":
+                estimate = max(estimate, left)
+            for _ in list(op.residual) + list(op.filters):
+                estimate *= 0.5
+            estimate = max(estimate, 1.0)
+        if feedback is not None:
+            hint = feedback(join_feedback_key(op))
+            if hint is not None:
+                estimate = max(float(hint), 1.0)
+    elif isinstance(op, MaterializeJoinOp):
+        left = _estimate_op(op.left, stats)
+        right = _estimate_op(op.right, stats)
+        if left is not None and right is not None:
+            estimate = left * right
+            if op.on is not None:
+                estimate *= 0.5
+            if op.kind == "LEFT":
+                estimate = max(estimate, left)
+            for _ in op.filters:
+                estimate *= 0.5
+            estimate = max(estimate, 1.0)
+    elif isinstance(op, CorrelatedJoinOp):
+        # The lateral right side re-evaluates per left binding; without
+        # per-binding statistics no honest estimate exists (est=?).
+        _estimate_op(op.left, stats)
+    op.est_rows = estimate
+    return estimate
+
+
+def _key_divisor(op: HashJoinOp, stats) -> Optional[float]:
+    """The largest ndv among the join's resolvable key attributes."""
+    from repro.catalog.statistics import source_name
+
+    best: Optional[float] = None
+    for side, keys in ((op.left, op.left_keys), (op.right, op.right_keys)):
+        scans = {
+            scan.item.alias: scan
+            for scan in _scan_ops(side)
+            if isinstance(scan.item, ast.FromCollection)
+        }
+        for key in keys:
+            attr = _key_attr(key)
+            if attr is None or not isinstance(key.base, ast.VarRef):
+                continue
+            scan = scans.get(key.base.name)
+            if scan is None:
+                continue
+            name = source_name(scan.item.expr)
+            collected = stats.stats_for(name) if name is not None else None
+            if collected is None:
+                continue
+            ndv = collected.ndv_for(attr)
+            if ndv:
+                best = max(best or 1.0, float(ndv))
+    return best
+
+
+def _worst_misestimate(items: List[ItemPlan], tracer) -> Optional[int]:
+    """``id()`` of the operator with the largest q-error, or None.
+
+    Only misestimates of at least 2× get flagged — an accurate plan's
+    best-of-a-good-bunch is not worth an arrow."""
+    from repro.observability.tracer import q_error
+
+    worst_id: Optional[int] = None
+    worst_q = 2.0
+    for item_plan in items:
+        for op in walk_plan_ops(item_plan.op):
+            estimate = getattr(op, "est_rows", None)
+            if estimate is None:
+                continue
+            stats = tracer.op_stats(op)
+            if stats is None:
+                continue
+            q = q_error(estimate, stats.rows_out)
+            if q >= worst_q:
+                worst_q = q
+                worst_id = id(op)
+    return worst_id

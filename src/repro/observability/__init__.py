@@ -14,12 +14,21 @@ Cooperating pieces, all optional and zero-cost when unused:
 * :class:`ResourceGovernor` — cooperative enforcement of the
   ``timeout_s`` / ``max_rows`` / ``max_recursion`` limits on
   :class:`~repro.config.EvalConfig`, raising
-  :class:`~repro.errors.ResourceExhausted` instead of hanging.
+  :class:`~repro.errors.ResourceExhausted` instead of hanging;
+* :class:`QueryStore` — persistent fingerprint-keyed workload history
+  with plan-change/latency-regression detection and the cardinality
+  feedback loop (``db.query_store()``, CLI ``report``).
 """
 
 from repro.observability.exposition import DEFAULT_BUCKETS, Histogram
 from repro.observability.limits import ResourceGovernor
 from repro.observability.metrics import MetricsRegistry, QueryMetrics
+from repro.observability.query_store import (
+    QueryStore,
+    normalized_core_text,
+    plan_hash,
+    query_fingerprint,
+)
 from repro.observability.sinks import InMemorySink, JsonLinesSink
 from repro.observability.spans import Span, TraceContext
 from repro.observability.tracer import (
@@ -27,6 +36,7 @@ from repro.observability.tracer import (
     OpStats,
     describe_from_item,
     format_seconds,
+    q_error,
 )
 
 __all__ = [
@@ -38,9 +48,14 @@ __all__ = [
     "MetricsRegistry",
     "OpStats",
     "QueryMetrics",
+    "QueryStore",
     "ResourceGovernor",
     "Span",
     "TraceContext",
     "describe_from_item",
     "format_seconds",
+    "normalized_core_text",
+    "plan_hash",
+    "q_error",
+    "query_fingerprint",
 ]

@@ -91,9 +91,17 @@ def format_bound(bound: float) -> str:
 
 
 def escape_label_value(value: str) -> str:
+    """Label-value escaping per text format 0.0.4: backslash first
+    (it is the escape character), then quote, then newline."""
     return (
         value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
     )
+
+
+def escape_help(help_text: str) -> str:
+    """HELP-line escaping: only backslash and newline — quotes are
+    legal in help text, unlike in label values."""
+    return help_text.replace("\\", r"\\").replace("\n", r"\n")
 
 
 def format_labels(labels: Dict[str, str]) -> str:
@@ -120,7 +128,7 @@ def expose_counter(
     samples: Iterable[Tuple[Dict[str, str], Any]],
 ) -> List[str]:
     """HELP/TYPE header plus one sample line per ``(labels, value)``."""
-    lines = [f"# HELP {name} {help_text}", f"# TYPE {name} counter"]
+    lines = [f"# HELP {name} {escape_help(help_text)}", f"# TYPE {name} counter"]
     for labels, value in samples:
         lines.append(f"{name}{format_labels(labels)} {format_value(value)}")
     return lines
@@ -131,7 +139,7 @@ def expose_gauge(
     help_text: str,
     samples: Iterable[Tuple[Dict[str, str], Any]],
 ) -> List[str]:
-    lines = [f"# HELP {name} {help_text}", f"# TYPE {name} gauge"]
+    lines = [f"# HELP {name} {escape_help(help_text)}", f"# TYPE {name} gauge"]
     for labels, value in samples:
         lines.append(f"{name}{format_labels(labels)} {format_value(value)}")
     return lines
@@ -148,7 +156,10 @@ def expose_histogram(
     Renders the conventional cumulative ``_bucket`` samples (the +Inf
     bucket equals ``_count``), then ``_sum`` and ``_count`` per series.
     """
-    lines = [f"# HELP {name} {help_text}", f"# TYPE {name} histogram"]
+    lines = [
+        f"# HELP {name} {escape_help(help_text)}",
+        f"# TYPE {name} histogram",
+    ]
     for label_value in sorted(series):
         histogram = series[label_value]
         base = {label_name: label_value}

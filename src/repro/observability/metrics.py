@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Optional
 from repro.observability.exposition import (
     Histogram,
     expose_counter,
+    expose_gauge,
     expose_histogram,
 )
 from repro.observability.sinks import InMemorySink
@@ -75,6 +76,11 @@ class QueryMetrics:
     batched: bool = False
     #: Morsel workers the parallel driver used (0 = serial execution).
     parallel_workers: int = 0
+    #: Query-store fingerprint (normalized AST + mode dials + catalog
+    #: version) and executed-plan hash, so ad-hoc logs join cleanly
+    #: against the store; None when the store is off or compile failed.
+    fingerprint: Optional[str] = None
+    plan_hash: Optional[str] = None
     #: Unix timestamp of query start (wall clock, for log correlation).
     started_at: float = field(default_factory=time.time)
 
@@ -100,6 +106,8 @@ class QueryMetrics:
             "streamed": self.streamed,
             "batched": self.batched,
             "parallel_workers": self.parallel_workers,
+            "fingerprint": self.fingerprint,
+            "plan_hash": self.plan_hash,
             "started_at": self.started_at,
         }
 
@@ -163,11 +171,20 @@ class MetricsRegistry:
         self.memory = InMemorySink()
         self.sinks: List[Any] = [self.memory] + list(sinks or [])
         self.last: Optional[QueryMetrics] = None
+        #: Gauge families set wholesale by collaborators (the query
+        #: store): name → (help text, [(labels, value), ...]).
+        self.gauges: Dict[str, Any] = {}
         self._lock = threading.Lock()
 
     def increment(self, name: str, by: int = 1) -> None:
         with self._lock:
             self.counters[name] = self.counters.get(name, 0) + by
+
+    def set_gauge(self, name: str, help_text: str, samples) -> None:
+        """Replace one gauge family's samples (gauges describe current
+        state, so wholesale replacement is the right update model)."""
+        with self._lock:
+            self.gauges[name] = (help_text, list(samples))
 
     def record(self, metrics: QueryMetrics) -> None:
         """Fold one finished query into counters, histograms and sinks.
@@ -270,6 +287,9 @@ class MetricsRegistry:
                         [({}, self.counters[name])],
                     )
                 )
+            for name in sorted(self.gauges):
+                help_text, samples = self.gauges[name]
+                lines.extend(expose_gauge(name, help_text, samples))
             lines.extend(
                 expose_histogram(
                     "repro_query_seconds",

@@ -77,10 +77,57 @@ def format_seconds(seconds: float) -> str:
     return f"{seconds * 1_000_000:.0f}us"
 
 
+def q_error(estimate: float, actual: float) -> float:
+    """The q-error of a cardinality estimate: ``max(est/act, act/est)``.
+
+    Both sides are clamped to 1 first (the standard convention), so an
+    estimate of 0.3 rows against an empty actual is a perfect 1.0, not
+    a division by zero.
+    """
+    estimate = max(float(estimate), 1.0)
+    actual = max(float(actual), 1.0)
+    return max(estimate / actual, actual / estimate)
+
+
+def format_rows(rows: float) -> str:
+    """A row estimate as plan-line text (integers stay integral)."""
+    if rows >= 10 or rows == int(rows):
+        return str(int(round(rows)))
+    return f"{rows:.1f}"
+
+
+def estimate_suffix(
+    estimate: Optional[float], actual: int, worst: bool = False
+) -> str:
+    """The ``est= / actual= / q-err=`` annotation for one plan line.
+
+    ``actual`` is the operator's observed output rows; ``estimate`` of
+    None renders ``est=?`` (the planner had no statistics for this
+    operator).  ``worst`` flags the largest misestimate of the plan.
+    """
+    if estimate is None:
+        return f"  (est=? actual={actual})"
+    text = (
+        f"  (est={format_rows(estimate)} actual={actual} "
+        f"q-err={q_error(estimate, actual):.2f}"
+    )
+    if worst:
+        text += " ← worst misestimate"
+    return text + ")"
+
+
 class ExecTracer:
     """Collects per-operator and per-stage statistics for one execution."""
 
-    def __init__(self, trace: Optional["TraceContext"] = None) -> None:
+    def __init__(
+        self, trace: Optional["TraceContext"] = None, timing: bool = True
+    ) -> None:
+        #: Whether per-row wall clocks run.  ``timing=False`` is the
+        #: query store's cardinality-feedback mode: operators count rows
+        #: in/out but skip the per-row ``perf_counter`` reads and the
+        #: streaming stage tallies, so a feedback-sampled execution pays
+        #: close to nothing beyond the untraced path.
+        self.timing = timing
         #: Physical operators, keyed by id(op); the op is kept alive
         #: alongside its stats so id() keys cannot be reused.
         self._op_stats: Dict[int, Tuple[Any, OpStats]] = {}
@@ -107,6 +154,29 @@ class ExecTracer:
             entry = (op, OpStats(label=op.describe()))
             self._op_stats[id(op)] = entry
         entry[1].add(rows_in, rows_out, elapsed_s)
+
+    def merge_op(
+        self,
+        op: Any,
+        invocations: int,
+        rows_in: int,
+        rows_out: int,
+        elapsed_s: float,
+    ) -> None:
+        """Fold a worker tracer's tally into this tracer, preserving the
+        worker-side invocation count.  ``record_op`` counts each call as
+        one invocation, so merging N workers through it would sum their
+        rows but report N invocations regardless of how many each worker
+        made — breaking tally parity with the serial run."""
+        entry = self._op_stats.get(id(op))
+        if entry is None:
+            entry = (op, OpStats(label=op.describe()))
+            self._op_stats[id(op)] = entry
+        stats = entry[1]
+        stats.invocations += invocations
+        stats.rows_in += rows_in
+        stats.rows_out += rows_out
+        stats.time_s += elapsed_s
 
     def record_item(
         self, item: ast.FromItem, rows_out: int, elapsed_s: float

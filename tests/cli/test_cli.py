@@ -188,3 +188,57 @@ class TestObservabilityFlags:
         assert code == 1
         assert trace.exists()
         assert "repro_queries_failed_total 1" in metrics.read_text()
+
+
+class TestQueryStoreCLI:
+    def test_store_flag_then_report_verb(self, tmp_path, capsys):
+        path = str(tmp_path / "store.jsonl")
+        assert main(["--store", path, "-c", "SELECT VALUE v FROM [1, 2] AS v"]) == 0
+        capsys.readouterr()
+        assert main(["report", path]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("query store: 1 fingerprint(s)")
+        assert "calls=1" in out
+
+    def test_report_json(self, tmp_path, capsys):
+        path = str(tmp_path / "store.jsonl")
+        assert main(["--store", path, "-c", "SELECT VALUE 1"]) == 0
+        capsys.readouterr()
+        assert main(["report", path, "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["fingerprints"] == 1
+        assert snapshot["entries"][0]["executions"] == 1
+
+    def test_report_tolerates_corrupt_lines(self, tmp_path, capsys):
+        path = tmp_path / "store.jsonl"
+        path.write_text('{"fp": "abc", "q": "SELECT 1", "plan": null, '
+                        '"status": "ok", "total_s": 0.1, "rows": 1}\n'
+                        "garbage\n")
+        assert main(["report", str(path)]) == 0
+        assert "1 fingerprint(s)" in capsys.readouterr().out
+
+    def test_topqueries_dot_command(self, capsys):
+        from repro import Database
+        from repro.cli import _dot_command
+
+        db = Database()
+        db.execute("SELECT VALUE 1")
+        assert _dot_command(db, ".topqueries 5")
+        out = capsys.readouterr().out
+        assert "query store:" in out
+
+    def test_topqueries_disabled_store(self, capsys):
+        from repro import Database
+        from repro.cli import _dot_command
+
+        db = Database(query_store=False)
+        assert _dot_command(db, ".topqueries")
+        assert "disabled" in capsys.readouterr().out
+
+    def test_topqueries_bad_argument(self, capsys):
+        from repro import Database
+        from repro.cli import _dot_command
+
+        db = Database()
+        assert _dot_command(db, ".topqueries nope")
+        assert "usage: .topqueries" in capsys.readouterr().out

@@ -1,0 +1,143 @@
+"""Cardinality feedback (docs/OBSERVABILITY.md "Query store &
+cardinality feedback"): observed scan/join actuals recorded as
+:class:`~repro.catalog.statistics.FeedbackHints` override the sampled
+estimates on the next planning of the same shape — so a join order
+chosen from a misestimate corrects itself on the second execution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.catalog.statistics import FeedbackHints
+from repro.datamodel.equality import deep_equals
+from repro.datamodel.values import Bag
+
+#: The statistics sampler reads the first 1024 rows.  Making those
+#: distinct on ``k`` while the tail is constant (-1) gives the planner
+#: an estimate of ~1 row for ``a.k = -1`` when the truth is 3976.
+A_ROWS = [
+    {"k": i if i < 1024 else -1, "bid": i % 600, "v": i} for i in range(5000)
+]
+B_ROWS = [{"id": i, "name": f"b{i}"} for i in range(600)]
+
+FLIP_QUERY = (
+    "SELECT a.v AS v, b.name AS name FROM a AS a "
+    "JOIN b AS b ON a.bid = b.id WHERE a.k = -1"
+)
+
+
+def build_db(**kwargs) -> Database:
+    db = Database(**kwargs)
+    db.set("a", A_ROWS)
+    db.set("b", B_ROWS)
+    return db
+
+
+class TestJoinOrderFlip:
+    def test_second_execution_corrects_join_order(self):
+        db = build_db()
+        # Before any execution: the sample says the filtered scan of
+        # ``a`` yields ~1 row, so the greedy order builds on ``b``.
+        before = db.explain_plan(FLIP_QUERY)
+        assert "order: b ⋈ a (syntactic: a ⋈ b)" in before, before
+
+        first = db.execute(FLIP_QUERY)
+        assert len(first) == 3976
+
+        # The sampled feedback run recorded the scan's actual 3976 rows;
+        # the next planning prefers the hint and flips the build side.
+        after = db.explain_plan(FLIP_QUERY)
+        assert "order: a ⋈ b (syntactic)" in after, after
+
+        second = db.execute(FLIP_QUERY)
+        assert deep_equals(Bag(list(first)), Bag(list(second)))
+
+    def test_flip_is_recorded_as_plan_change(self):
+        db = build_db()
+        db.execute(FLIP_QUERY)
+        db.execute(FLIP_QUERY)
+        store = db.query_store()
+        entry = store.entry(db.metrics.last.fingerprint)
+        assert entry.plan_changes == 1
+        assert len(entry.plan_hashes) == 2
+        assert any(e["event"] == "plan-change" for e in store.events())
+
+    def test_data_change_invalidates_hints(self):
+        db = build_db()
+        db.execute(FLIP_QUERY)
+        assert "order: a ⋈ b" in db.explain_plan(FLIP_QUERY)
+        # Mutating the collection bumps data_version: stale actuals are
+        # dropped and planning falls back to fresh sampled estimates.
+        db.set("a", [{"k": i, "bid": i % 600, "v": i} for i in range(5000)])
+        assert db._stats.feedback_rows("scan|a|(a.k = -1)") is None
+
+    def test_feedback_skipped_under_limit(self):
+        # A LIMIT-truncated run must not poison the hints with partial
+        # counts.
+        db = build_db()
+        db.execute(FLIP_QUERY + " LIMIT 5")
+        assert db._stats.feedback_rows("scan|a|(a.k = -1)") is None
+
+    def test_store_disabled_means_no_feedback(self):
+        db = build_db(query_store=False)
+        db.execute(FLIP_QUERY)
+        assert "order: b ⋈ a" in db.explain_plan(FLIP_QUERY)
+
+
+class TestFeedbackHints:
+    def test_record_and_lookup(self):
+        hints = FeedbackHints()
+        assert hints.record("scan|a|f", 100.0, data_version=1)
+        assert hints.rows_for("scan|a|f", data_version=1) == 100.0
+        assert hints.rows_for("scan|a|f", data_version=2) is None
+        assert hints.rows_for("scan|a|other", data_version=1) is None
+
+    def test_tolerance_suppresses_noise(self):
+        hints = FeedbackHints()
+        assert hints.record("k", 100.0, data_version=1)
+        version = hints.version
+        # Within 10%: stored, but no plan-relevant version bump.
+        assert not hints.record("k", 105.0, data_version=1)
+        assert hints.version == version
+        assert hints.rows_for("k", data_version=1) == 105.0
+        # Beyond 10%: replan.
+        assert hints.record("k", 200.0, data_version=1)
+        assert hints.version > version
+
+    def test_data_version_change_clears(self):
+        hints = FeedbackHints()
+        hints.record("k", 100.0, data_version=1)
+        version = hints.version
+        hints.record("other", 5.0, data_version=2)
+        assert hints.rows_for("k", data_version=2) is None
+        assert hints.version > version
+
+    def test_bounded_retention(self):
+        hints = FeedbackHints()
+        for i in range(FeedbackHints.MAX_HINTS + 10):
+            hints.record(f"k{i}", float(i + 1), data_version=1)
+        assert len(hints) == FeedbackHints.MAX_HINTS
+        assert hints.rows_for("k0", data_version=1) is None
+        last = FeedbackHints.MAX_HINTS + 9
+        assert hints.rows_for(f"k{last}", data_version=1) == float(last + 1)
+
+
+class TestProviderFeedback:
+    def test_feedback_version_bumps_invalidate_plan_cache(self):
+        # The evaluator keys cached plans on (data_version,
+        # feedback_version); a fresh hint must replan exactly once.
+        db = build_db()
+        version = db._stats.feedback_version
+        db.execute(FLIP_QUERY)
+        assert db._stats.feedback_version > version
+
+    def test_second_execution_not_retraced(self):
+        db = build_db()
+        store = db.query_store()
+        db.execute(FLIP_QUERY)
+        fingerprint = db.metrics.last.fingerprint
+        assert not store.wants_feedback(fingerprint, db.catalog.data_version)
+        db.set("b", B_ROWS + [{"id": 600, "name": "b600"}])
+        assert store.wants_feedback(fingerprint, db.catalog.data_version)

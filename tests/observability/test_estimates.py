@@ -1,0 +1,197 @@
+"""Per-operator cardinality annotations on EXPLAIN ANALYZE — ``est=``,
+``actual=``, ``q-err=`` on every plan line, the worst-misestimate flag —
+across all three executors (streaming, batch-vectorized, parallel), and
+tally parity: the same query must report the same per-operator row
+counts no matter which engine ran it, including under LIMIT early
+termination.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro import Database
+from repro.core import parallel
+from repro.observability import ExecTracer
+
+JOIN_QUERY = (
+    "SELECT r.v AS v, s.name AS name FROM r AS r "
+    "JOIN s AS s ON r.k = s.k WHERE r.v > 50"
+)
+
+EST = re.compile(r"\(est=[\d.?]+ actual=\d+( q-err=[\d.]+[^)]*)?\)")
+
+
+@pytest.fixture
+def small_morsels(monkeypatch):
+    monkeypatch.setattr(parallel, "MIN_PARALLEL_ROWS", 64)
+    monkeypatch.setattr(parallel, "MIN_MORSEL_ROWS", 32)
+
+
+def build_db(n: int = 100, **kwargs) -> Database:
+    # query_store=False keeps these runs free of feedback hints, so the
+    # sampled estimates under test stay deterministic.
+    db = Database(query_store=False, **kwargs)
+    db.set("r", [{"k": i % 10, "v": i} for i in range(n)])
+    db.set("s", [{"k": i, "name": f"n{i}"} for i in range(10)])
+    return db
+
+
+def skew_db(**kwargs) -> Database:
+    """First 1024 rows (the statistics sample) distinct on ``k``, the
+    tail constant — an equality filter on the constant is massively
+    underestimated."""
+    db = Database(query_store=False, **kwargs)
+    db.set(
+        "a",
+        [
+            {"k": i if i < 1024 else -1, "v": i}
+            for i in range(3000)
+        ],
+    )
+    return db
+
+
+class TestEstimateAnnotations:
+    def test_streaming_plan_lines_carry_estimates(self):
+        db = build_db()
+        out = db.explain_analyze(JOIN_QUERY, batch=False)
+        assert EST.search(out), out
+        assert "q-err=" in out
+        # Every operator of the join plan is annotated: the join and
+        # both scans.
+        assert len(EST.findall(out)) >= 3
+
+    def test_batch_plan_lines_carry_estimates(self):
+        db = build_db()
+        out = db.explain_analyze(JOIN_QUERY)
+        assert EST.search(out), out
+        assert "q-err=" in out
+        assert len(EST.findall(out)) >= 3
+
+    def test_parallel_plan_lines_carry_estimates(self, small_morsels):
+        db = build_db(n=256)
+        out = db.explain_analyze(JOIN_QUERY, parallel=2)
+        assert db.metrics.last.parallel_workers >= 2
+        assert EST.search(out), out
+        assert "q-err=" in out
+
+    def test_worst_misestimate_flagged(self):
+        db = skew_db()
+        out = db.explain_analyze(
+            "SELECT a.v AS v FROM a AS a WHERE a.k = -1", batch=False
+        )
+        # Sample says k is unique (est ~1); actually 1976 rows match.
+        assert "worst misestimate" in out
+        flagged = [l for l in out.splitlines() if "worst misestimate" in l]
+        assert len(flagged) == 1
+        assert "q-err=" in flagged[0]
+
+    def test_no_flag_when_estimates_are_good(self):
+        db = build_db()
+        out = db.explain_analyze(
+            "SELECT r.v AS v FROM r AS r", batch=False
+        )
+        assert "worst misestimate" not in out
+
+    def test_unknown_estimate_renders_question_mark(self):
+        # A correlated (lateral) right side has no closed-form estimate.
+        db = Database(query_store=False)
+        db.set("o", [{"items": [1, 2, 3], "k": 1} for _ in range(600)])
+        out = db.explain_analyze(
+            "SELECT i AS i FROM o AS o, o.items AS i "
+            "WHERE o.k = 1 AND i > 1",
+            batch=False,
+        )
+        assert "est=? actual=" in out, out
+
+    def test_explain_plan_unaffected(self):
+        # Plain EXPLAIN has no runtime tallies, so no actual=/q-err=.
+        db = build_db()
+        out = db.explain_plan(JOIN_QUERY)
+        assert "actual=" not in out
+        assert "q-err=" not in out
+
+
+def op_tallies(tracer: ExecTracer) -> dict:
+    """Per-operator (rows_in, rows_out) keyed by operator label."""
+    tallies = {}
+    for _op, stats in tracer._op_stats.values():
+        rows_in, rows_out = tallies.get(stats.label, (0, 0))
+        tallies[stats.label] = (
+            rows_in + stats.rows_in,
+            rows_out + stats.rows_out,
+        )
+    return tallies
+
+
+class TestTallyParity:
+    """Satellite (c): per-operator row tallies agree across streaming,
+    batch and parallel runs of the same query."""
+
+    def test_streaming_batch_parallel_agree(self, small_morsels):
+        db = build_db(n=256)
+        streaming, batch, par = ExecTracer(), ExecTracer(), ExecTracer()
+        r1 = db.execute(JOIN_QUERY, batch=False, tracer=streaming)
+        r2 = db.execute(JOIN_QUERY, tracer=batch)
+        r3 = db.execute(JOIN_QUERY, parallel=2, tracer=par)
+        assert db.metrics.last.parallel_workers >= 2
+        assert len(r1) == len(r2) == len(r3)
+        t_stream, t_batch, t_par = (
+            op_tallies(streaming), op_tallies(batch), op_tallies(par)
+        )
+        assert t_stream == t_batch, (t_stream, t_batch)
+        # Worker tallies merged at the barrier sum to the serial count.
+        assert t_batch == t_par, (t_batch, t_par)
+
+    def test_light_tracer_counts_match_full_tracer(self):
+        db = build_db()
+        full, light = ExecTracer(), ExecTracer(timing=False)
+        db.execute(JOIN_QUERY, batch=False, tracer=full)
+        db.execute(JOIN_QUERY, batch=False, tracer=light)
+        assert op_tallies(full) == op_tallies(light)
+
+    def test_light_tracer_does_not_change_plan_choice(self):
+        # The feedback tracer must observe the same plan an untraced
+        # run would execute — scan-only shapes included (the batch
+        # executor forces a plan for those; a full tracer declines).
+        db = build_db()
+        light = ExecTracer(timing=False)
+        db.execute("SELECT r.v AS v FROM r AS r", tracer=light)
+        assert op_tallies(light), "light tracer saw no plan ops"
+
+    def test_limit_early_termination_tallies_exact(self):
+        # LIMIT shapes run on the streaming pipeline; the tally must be
+        # the rows that actually flowed, not the full input.
+        db = build_db()
+        for tracer in (ExecTracer(), ExecTracer(timing=False)):
+            rows = db.execute(
+                "SELECT r.v AS v FROM r AS r WHERE r.v >= 0 LIMIT 4",
+                tracer=tracer,
+            )
+            assert len(rows) == 4
+            tallies = op_tallies(tracer)
+            scan = next(v for k, v in tallies.items() if k.startswith("Scan"))
+            assert scan[1] == 4, tallies
+
+    def test_parallel_invocations_preserved(self, small_morsels):
+        # merge_op folds worker invocation counts instead of counting
+        # one invocation per merged worker record.
+        db = build_db(n=256)
+        serial, par = ExecTracer(), ExecTracer()
+        db.execute(JOIN_QUERY, tracer=serial)
+        db.execute(JOIN_QUERY, parallel=2, tracer=par)
+        assert db.metrics.last.parallel_workers >= 2
+        serial_calls = {
+            stats.label: stats.invocations
+            for _op, stats in serial._op_stats.values()
+        }
+        par_calls = {
+            stats.label: stats.invocations
+            for _op, stats in par._op_stats.values()
+        }
+        assert set(serial_calls) == set(par_calls)
+        for label, calls in par_calls.items():
+            assert calls >= serial_calls[label]

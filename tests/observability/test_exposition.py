@@ -8,6 +8,7 @@ import pytest
 from repro import Database
 from repro.observability import DEFAULT_BUCKETS, Histogram
 from repro.observability.exposition import (
+    escape_help,
     escape_label_value,
     format_bound,
     format_labels,
@@ -151,3 +152,58 @@ class TestExposeText:
             thread.join()
         assert not errors
         assert db.metrics.counters["queries_total"] == 80
+
+
+class TestEscaping:
+    """Text-format 0.0.4 escaping pins: label values escape backslash
+    (first — it is the escape character), double quote and newline;
+    HELP lines escape backslash and newline only.  Query text lands in
+    labels via the slow-log and the query store's q-error gauge, and
+    real queries contain all three characters."""
+
+    def test_label_value_escapes(self):
+        assert escape_label_value('say "hi"') == r"say \"hi\""
+        assert escape_label_value("line1\nline2") == r"line1\nline2"
+        assert escape_label_value("back\\slash") == r"back\\slash"
+
+    def test_label_value_backslash_escaped_first(self):
+        # A literal backslash-n in the input must NOT collapse into the
+        # newline escape: it becomes \\n, distinguishable from \n.
+        assert escape_label_value("\\n") == r"\\n"
+        assert escape_label_value("\n") == r"\n"
+        assert escape_label_value('\\"') == r"\\\""
+
+    def test_help_escapes(self):
+        assert escape_help("a\nb") == r"a\nb"
+        assert escape_help("a\\b") == r"a\\b"
+        # Quotes are legal in HELP text, unlike in label values.
+        assert escape_help('say "hi"') == 'say "hi"'
+
+    def test_format_labels_round_trip_nasty_values(self):
+        text = format_labels({"query": 'SELECT "a\nb" FROM \\t'})
+        assert "\n" not in text
+        assert text == r'{query="SELECT \"a\nb\" FROM \\t"}'
+
+    def test_exposed_store_gauge_with_nasty_query_text(self):
+        # End to end: a query whose text contains quotes, newlines and
+        # backslashes flows through the query store into a labelled
+        # gauge; every exposed line must stay a single line with
+        # balanced quoting.
+        from repro.observability import MetricsRegistry, QueryStore
+
+        store = QueryStore()
+        nasty = 'SELECT r.v AS v FROM r AS r\nWHERE r.name = "a\\b"'
+        store.observe("fp1", nasty, "aaa", "ok", 0.01, 1, qerror=7.5)
+        registry = MetricsRegistry()
+        store.export_gauges(registry)
+        text = registry.expose_text()
+        assert "repro_query_store_qerror" in text
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? [^ ]+$"
+        )
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert sample.match(line), line
+        assert r"\"a\\b\"" in text
+        assert r"\n" in text
