@@ -168,6 +168,29 @@ def build_workloads() -> List[Tuple[str, Callable[[], object]]]:
         ("e17_query_store_steady_n2000", lambda: stored.execute(JOIN_QUERY))
     )
 
+    # Decorrelated scalar aggregate (E18 / PR 9): the semantic rewrite
+    # registry (docs/REWRITER.md) turns the correlated per-customer
+    # SUM subquery into one grouped LEFT join; tracks the rewritten
+    # plan plus the registry's own matching overhead on a warm cache.
+    dec_users = [{"id": i, "name": f"u{i}"} for i in range(1_000)]
+    dec_orders = [
+        {"cust": (i * 7) % 1_100, "amt": i % 100} for i in range(10_000)
+    ]
+    decorrelate = Database()
+    decorrelate.set("customers", dec_users)
+    decorrelate.set("orders", dec_orders)
+    decorrelate_query = (
+        "SELECT c.id AS id, (SELECT SUM(o.amt) FROM orders AS o "
+        "WHERE o.cust = c.id) AS total FROM customers AS c"
+    )
+    decorrelate.execute(decorrelate_query)
+    workloads.append(
+        (
+            "e18_decorrelate_n10k",
+            lambda: decorrelate.execute(decorrelate_query),
+        )
+    )
+
     # Scan + predicate on the warm compile cache: big enough (~10ms)
     # that the 25% gate measures the engine, not scheduler jitter.
     cached = Database()

@@ -9,7 +9,11 @@
 2. the sugar rewrite onto the Core (failures become ``SQLPP000``
    findings, not exceptions);
 3. the scope resolver over the Core tree;
-4. the abstract type-flow pass over the Core tree.
+4. the abstract type-flow pass over the Core tree;
+5. a dry run of the semantic rewrite registry
+   (:mod:`repro.core.rewrite_rules`) — each rewrite that would fire
+   becomes an info-severity ``SQLPP11x`` finding whose ``fixable``
+   field names the rewrite rule.
 
 Findings are deduplicated, filtered through inline
 ``-- sqlpp-ignore`` comments and the caller's suppression set, and
@@ -19,7 +23,7 @@ bad queries — a query the parser rejects is itself a finding.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.diagnostics import (
@@ -114,6 +118,49 @@ def analyze_query(
     flow = TypeFlow(config=options.config, catalog_types=options.catalog_types)
     flow.check_query(core)
     found.extend(flow.diagnostics)
+
+    found.extend(_rewrite_pass(core, options))
+    return found
+
+
+def _rewrite_pass(
+    core: ast.Query, options: AnalyzerOptions
+) -> List[Diagnostic]:
+    """Dry-run the semantic rewrite registry over the Core tree.
+
+    Each :class:`~repro.core.rewrite_rules.RewriteResult` becomes one
+    info finding in the ``SQLPP11x`` range whose ``fixable`` field
+    carries the rewrite code, so ``lint --json`` consumers see exactly
+    which registered rewrite the engine would apply.  The dry run
+    forces ``optimize``/``rewrite`` on — the point is to describe the
+    opportunity even for callers that run with rewrites disabled —
+    but keeps the caller's typing mode, so mode-gated rules report
+    truthfully.
+    """
+    from repro.core import rewrite_rules
+
+    config = replace(options.config, optimize=True, rewrite=True)
+    try:
+        __, fired = rewrite_rules.apply_rules(
+            core, config, catalog_types=dict(options.catalog_types)
+        )
+    except Exception:  # pragma: no cover - lint must never raise
+        return []
+    found: List[Diagnostic] = []
+    for result in fired:
+        lint_code = rewrite_rules.RULES_BY_CODE[result.code].lint_code
+        found.append(
+            make(
+                lint_code,
+                result.detail,
+                line=result.line,
+                column=result.column,
+                hint=(
+                    f"rewritten automatically as {result.code} "
+                    f"({result.name}) when rewrites are enabled"
+                ),
+            )
+        )
     return found
 
 

@@ -36,7 +36,10 @@ class Diagnostic:
     is one of :data:`ERROR` / :data:`WARNING` / :data:`INFO`.  ``line``
     and ``column`` are 1-based positions into the analyzed source, or
     ``None`` when the finding is about a synthesized node with no
-    surface span.  ``hint`` optionally suggests a fix.
+    surface span.  ``hint`` optionally suggests a fix.  ``fixable``
+    names the semantic rewrite rule (``SQLPPR01`` ... —
+    docs/REWRITER.md) that would transform the flagged construct
+    automatically, for findings that mirror a registered rewrite.
     """
 
     code: str
@@ -45,6 +48,7 @@ class Diagnostic:
     line: Optional[int] = None
     column: Optional[int] = None
     hint: Optional[str] = None
+    fixable: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready representation (``None`` fields omitted)."""
@@ -58,6 +62,8 @@ class Diagnostic:
             payload["column"] = self.column
         if self.hint is not None:
             payload["hint"] = self.hint
+        if self.fixable is not None:
+            payload["fixable"] = self.fixable
         return payload
 
 

@@ -17,21 +17,40 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.analysis.diagnostics import ERROR, WARNING, Diagnostic
+from repro.analysis.diagnostics import ERROR, INFO, WARNING, Diagnostic
 
 
 @dataclass(frozen=True)
 class Rule:
-    """Metadata for one lint rule."""
+    """Metadata for one lint rule.
+
+    ``fixable`` cross-references the semantic rewrite rule
+    (``SQLPPR01`` ... — :mod:`repro.core.rewrite_rules`,
+    docs/REWRITER.md) that rewrites the flagged construct
+    automatically; ``None`` for findings with no registered rewrite.
+    """
 
     code: str
     name: str
     severity: str
     summary: str
+    fixable: Optional[str] = None
 
 
-def _rule(code: str, name: str, severity: str, summary: str) -> Rule:
-    return Rule(code=code, name=name, severity=severity, summary=summary)
+def _rule(
+    code: str,
+    name: str,
+    severity: str,
+    summary: str,
+    fixable: Optional[str] = None,
+) -> Rule:
+    return Rule(
+        code=code,
+        name=name,
+        severity=severity,
+        summary=summary,
+        fixable=fixable,
+    )
 
 
 #: Every rule the analyzer can emit, by stable code.
@@ -125,6 +144,44 @@ RULES: Dict[str, Rule] = {
             "Comparing with = / != against NULL never yields TRUE; use "
             "IS [NOT] NULL.",
         ),
+        # The SQLPP11x range mirrors the semantic rewrite registry
+        # (repro.core.rewrite_rules): each rule flags a construct the
+        # engine rewrites automatically, at info severity — the query
+        # is correct, the lint only explains what the optimizer will do
+        # (or would do, were rewrites enabled).
+        _rule(
+            "SQLPP110",
+            "or-chain-rewritable",
+            INFO,
+            "A chain of OR'd equality comparisons on one operand can "
+            "run as a single hashed IN-list membership probe.",
+            fixable="SQLPPR03",
+        ),
+        _rule(
+            "SQLPP111",
+            "exists-subquery-rewritable",
+            INFO,
+            "A correlated EXISTS/IN subquery predicate can run as a "
+            "hash semi-join instead of a nested re-evaluation per "
+            "outer binding.",
+            fixable="SQLPPR01",
+        ),
+        _rule(
+            "SQLPP112",
+            "scalar-subquery-rewritable",
+            INFO,
+            "A correlated scalar aggregate subquery can be "
+            "decorrelated into a grouped LEFT join computed once.",
+            fixable="SQLPPR02",
+        ),
+        _rule(
+            "SQLPP113",
+            "repeated-subquery-rewritable",
+            INFO,
+            "A subquery repeated verbatim inside one block can be "
+            "hoisted into a LET binding and evaluated once.",
+            fixable="SQLPPR04",
+        ),
     )
 }
 
@@ -142,11 +199,13 @@ def make(
     hint: Optional[str] = None,
 ) -> Diagnostic:
     """A :class:`Diagnostic` for ``code`` with the rule's severity."""
+    rule = RULES[code]
     return Diagnostic(
         code=code,
-        severity=RULES[code].severity,
+        severity=rule.severity,
         message=message,
         line=line,
         column=column,
         hint=hint,
+        fixable=rule.fixable,
     )

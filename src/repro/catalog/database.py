@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.config import EvalConfig
 from repro.core.environment import Environment
 from repro.core.evaluator import Evaluator
+from repro.core import rewrite_rules
 from repro.core.rewriter import rewrite_query
 from repro.catalog.catalog import Catalog
 from repro.datamodel.convert import to_python
@@ -71,6 +72,7 @@ class Database:
         max_recursion: Optional[int] = None,
         batch: bool = True,
         parallel: int = 0,
+        rewrite: bool = True,
         metrics_sinks: Optional[List[Any]] = None,
         query_store: Any = True,
     ):
@@ -86,6 +88,7 @@ class Database:
             max_recursion=max_recursion,
             batch=batch,
             parallel=parallel,
+            rewrite=rewrite,
         )
         #: Sampled collection statistics feeding the planner's
         #: cost-based join ordering; cached per catalog data version.
@@ -107,7 +110,11 @@ class Database:
         # language dials and the catalog/schema state the rewriter
         # consults (name set for dotted-name resolution, schema
         # attributes for disambiguation).
-        self._compile_cache: "OrderedDict[Tuple, ast.Query]" = OrderedDict()
+        # Entries are ``(core, pre_rewrite_core, rewrites_fired)``; the
+        # key includes the semantic-rewrite gate and registry version.
+        self._compile_cache: (
+            "OrderedDict[Tuple, Tuple[ast.Query, ast.Query, Tuple]]"
+        ) = OrderedDict()
         #: The query store (docs/OBSERVABILITY.md): ``True`` keeps an
         #: in-memory store, a string persists to that JSON-lines path,
         #: ``False``/``None`` disables workload history and the
@@ -257,6 +264,7 @@ class Database:
         max_recursion: Optional[int] = None,
         batch: Optional[bool] = None,
         parallel: Optional[int] = None,
+        rewrite: Optional[bool] = None,
     ) -> EvalConfig:
         """The database config with per-query overrides applied.
 
@@ -282,6 +290,8 @@ class Database:
             overrides["batch"] = batch
         if parallel is not None:
             overrides["parallel"] = parallel
+        if rewrite is not None:
+            overrides["rewrite"] = rewrite
         if not overrides:
             return self._config
         return dataclasses.replace(self._config, **overrides)
@@ -342,8 +352,23 @@ class Database:
         compiled tree across executions is safe — and lets the
         evaluator-side plan/closure caches stay warm per query object.
         """
-        core, __ = self._compile_profiled(query, typing_mode, sql_compat)
-        return core
+        return self._compile_profiled(query, typing_mode, sql_compat)[0]
+
+    def _rewrite_catalog_types(self) -> Dict[str, Any]:
+        """Abstract catalog types for the rewrite registry's typeflow
+        safety checks, from *registered* schemas only: values are
+        validated on ``set``, so a declared non-optional attribute is
+        genuinely never MISSING.  Sampled shapes are excluded — they are
+        softened to open shapes anyway and could never prove presence.
+        """
+        if not self._schemas:
+            return {}
+        from repro.analysis.lattice import from_schema
+
+        return {
+            name: from_schema(schema)
+            for name, schema in self._schemas.items()
+        }
 
     def _compile_profiled(
         self,
@@ -352,51 +377,93 @@ class Database:
         sql_compat: Optional[bool] = None,
         metrics: Optional[QueryMetrics] = None,
         trace: Optional[TraceContext] = None,
-    ) -> Tuple[ast.Query, bool]:
-        """Compile with cache accounting: ``(core, cache_hit)``.
+        optimize: Optional[bool] = None,
+        rewrite: Optional[bool] = None,
+    ) -> Tuple[ast.Query, ast.Query, Tuple[Any, ...], bool]:
+        """Compile with cache accounting:
+        ``(core, pre_rewrite_core, rewrites_fired, cache_hit)``.
+
+        ``core`` is what executes (sugar-lowered, then semantically
+        rewritten by :mod:`repro.core.rewrite_rules` when the registry
+        is enabled); ``pre_rewrite_core`` is the sugar-lowered query
+        *before* semantic rewrites — the query store fingerprints that
+        one, so workload history and cardinality feedback survive
+        registry upgrades and per-query ``rewrite=False``.
+
+        The cache key includes the effective registry gate and
+        ``rewrite_rules.REGISTRY_VERSION`` (read dynamically), so a
+        registry upgrade invalidates cached rewritten queries exactly
+        once, mirroring the stats provider's ``feedback_version``.
 
         When a :class:`QueryMetrics` record is supplied, its parse and
-        rewrite phase timings are filled in; the registry's
+        rewrite phase timings and fired-rewrite codes are filled in and
+        the per-rule ``rewrites_fired:*`` counters bumped; the
         ``compile_cache_hits``/``compile_cache_misses`` counters are
         updated either way.  With a :class:`TraceContext`, a cache miss
         additionally records ``parse`` and ``rewrite`` phase spans.
         """
-        config = self._effective_config(typing_mode, sql_compat)
+        config = self._effective_config(
+            typing_mode, sql_compat, optimize=optimize, rewrite=rewrite
+        )
+        rewrite_on = config.rewrite and config.optimize
         key = (
             query,
             config.typing_mode,
             config.sql_compat,
             self.catalog.version,
             self._schema_version,
+            rewrite_on,
+            rewrite_rules.REGISTRY_VERSION if rewrite_on else 0,
         )
         cached = self._compile_cache.get(key)
         if cached is not None:
             self._compile_cache.move_to_end(key)
             self.metrics.increment("compile_cache_hits")
+            core, pre_core, fired = cached
             if metrics is not None:
                 metrics.cache_hit = True
-            return cached, True
+                self._record_rewrites(metrics, fired)
+            return core, pre_core, fired, True
         self.metrics.increment("compile_cache_misses")
         started = perf_counter()
         parsed = parse(query)
         parsed_at = perf_counter()
-        core = rewrite_query(
+        pre_core = rewrite_query(
             parsed,
             config,
             catalog_names=self.catalog.names(),
             schema_attrs=self._schema_attrs(),
         )
+        fired: Tuple[Any, ...] = ()
+        core = pre_core
+        if rewrite_on:
+            core, fired = rewrite_rules.apply_rules(
+                pre_core, config, catalog_types=self._rewrite_catalog_types()
+            )
         rewritten_at = perf_counter()
         if metrics is not None:
             metrics.parse_s = parsed_at - started
             metrics.rewrite_s = rewritten_at - parsed_at
+            self._record_rewrites(metrics, fired)
         if trace is not None:
             trace.event("parse", "phase", started, parsed_at - started)
             trace.event("rewrite", "phase", parsed_at, rewritten_at - parsed_at)
-        self._compile_cache[key] = core
+        self._compile_cache[key] = (core, pre_core, fired)
         if len(self._compile_cache) > self.COMPILE_CACHE_SIZE:
             self._compile_cache.popitem(last=False)
-        return core, False
+        return core, pre_core, fired, False
+
+    def _record_rewrites(
+        self, metrics: QueryMetrics, fired: Tuple[Any, ...]
+    ) -> None:
+        """Fold one execution's fired rewrites into its metrics record
+        and the per-rule registry counters (Prometheus
+        ``repro_rewrites_fired_total{rule=...}``)."""
+        if not fired:
+            return
+        metrics.rewrites = [result.code for result in fired]
+        for result in fired:
+            self.metrics.increment(f"rewrites_fired:{result.code}")
 
     def execute(
         self,
@@ -411,6 +478,7 @@ class Database:
         max_recursion: Optional[int] = None,
         batch: Optional[bool] = None,
         parallel: Optional[int] = None,
+        rewrite: Optional[bool] = None,
         tracer: Optional[ExecTracer] = None,
     ) -> Any:
         """Execute a SQL++ query and return the result as model values.
@@ -420,6 +488,8 @@ class Database:
         clients see them (Section IV-B).  ``optimize=False`` bypasses
         the physical planner and runs the reference Core semantics
         (docs/PLANNER.md); results are identical either way.
+        ``rewrite=False`` disables just the semantic rewrite registry
+        (docs/REWRITER.md) while keeping physical planning.
         ``batch=False`` additionally disables the chunk-vectorized
         executor; ``parallel=N`` (N >= 2) lets partitionable scans fan
         out over N morsel workers (docs/PLANNER.md).
@@ -442,6 +512,7 @@ class Database:
             max_recursion,
             batch,
             parallel,
+            rewrite,
         )
         metrics = QueryMetrics(query=query)
         trace = tracer.trace if tracer is not None else None
@@ -456,11 +527,20 @@ class Database:
         core: Optional[ast.Query] = None
         feedback_tracer: Optional[ExecTracer] = None
         try:
-            core, __ = self._compile_profiled(
-                query, typing_mode, sql_compat, metrics=metrics, trace=trace
+            core, pre_core, __, ___ = self._compile_profiled(
+                query,
+                typing_mode,
+                sql_compat,
+                metrics=metrics,
+                trace=trace,
+                optimize=optimize,
+                rewrite=rewrite,
             )
             if store is not None:
-                metrics.fingerprint = self._fingerprint_for(core, config)
+                # Fingerprint the *pre*-rewrite Core: workload history
+                # and cardinality feedback survive registry upgrades
+                # and per-query rewrite toggles (docs/REWRITER.md).
+                metrics.fingerprint = self._fingerprint_for(pre_core, config)
                 if tracer is None and store.wants_feedback(
                     metrics.fingerprint, self.catalog.data_version
                 ):
@@ -745,8 +825,14 @@ class Database:
         from repro.core.planner import plan_block
 
         config = self._effective_config(typing_mode, sql_compat)
-        core = self.compile(query, typing_mode, sql_compat)
-        lines = [f"core: {print_ast(core)}", ""]
+        core, __, fired, ___ = self._compile_profiled(
+            query, typing_mode, sql_compat
+        )
+        lines = [
+            f"core: {print_ast(core)}",
+            f"rewrites: {_format_rewrites(fired)}",
+            "",
+        ]
         body = core.body
         if not isinstance(body, ast.QueryBlock):
             lines.append(
@@ -777,6 +863,35 @@ class Database:
         consumer = self._describe_consumer(core, config)
         if consumer is not None:
             lines.append(f"consumer: {consumer}")
+        return "\n".join(lines)
+
+    def explain_rewrites(
+        self,
+        query: str,
+        typing_mode: Optional[str] = None,
+        sql_compat: Optional[bool] = None,
+    ) -> str:
+        """The semantic rewrites that fire for a query, with the safety
+        conditions each firing discharged (the CLI's
+        ``--explain-rewrites``; docs/REWRITER.md has the rule catalog).
+        """
+        core, pre_core, fired, __ = self._compile_profiled(
+            query, typing_mode, sql_compat
+        )
+        lines = [f"pre:  {print_ast(pre_core)}"]
+        if not fired:
+            config = self._effective_config(typing_mode, sql_compat)
+            if not (config.rewrite and config.optimize):
+                lines.append("rewrites: disabled (rewrite/optimize off)")
+            else:
+                lines.append("rewrites: none applicable")
+            return "\n".join(lines)
+        lines.append(f"post: {print_ast(core)}")
+        lines.append("")
+        for result in fired:
+            lines.append(result.describe())
+            for condition in result.safety:
+                lines.append(f"  - {condition}")
         return "\n".join(lines)
 
     @staticmethod
@@ -851,9 +966,18 @@ class Database:
             parallel=parallel,
             tracer=tracer,
         )
-        core = self.compile(query, typing_mode, sql_compat)
+        core, __, fired, ___ = self._compile_profiled(
+            query,
+            typing_mode,
+            sql_compat,
+            optimize=optimize,
+        )
         metrics = self.metrics.last
-        lines = [f"core: {print_ast(core)}", ""]
+        lines = [
+            f"core: {print_ast(core)}",
+            f"rewrites: {_format_rewrites(fired)}",
+            "",
+        ]
         body = core.body
         if isinstance(body, ast.QueryBlock):
             plan = tracer.plan_for(body)
@@ -981,6 +1105,21 @@ class Database:
         from repro.formats.registry import read_text
 
         self.set(name, read_text(text, format))
+
+
+def _format_rewrites(fired: Tuple[Any, ...]) -> str:
+    """The EXPLAIN ``rewrites:`` line: per-rule fire counts in registry
+    order, or ``none``."""
+    if not fired:
+        return "none"
+    counts: "OrderedDict[str, int]" = OrderedDict()
+    names: Dict[str, str] = {}
+    for result in fired:
+        counts[result.code] = counts.get(result.code, 0) + 1
+        names[result.code] = result.name
+    return ", ".join(
+        f"{code} {names[code]} x{count}" for code, count in counts.items()
+    )
 
 
 def _missing_to_null(result: Any) -> Any:

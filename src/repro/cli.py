@@ -22,6 +22,8 @@ REPL dot-commands::
     .analyze <query>               run and show the annotated plan
     .trace <query>                 run and show the structured span tree
     .lint <query>                  statically analyze without running
+    .rewrites [query]              list the semantic rewrite rules, or
+                                   show the rewrites fired on a query
     .stats                         show session metrics counters
     .metrics                       show Prometheus-format metrics text
     .topqueries [n]                show the query store's top fingerprints
@@ -40,7 +42,11 @@ stop runaway queries with a partial-progress report instead of a hang.
 ``--parallel N`` fans partitionable base scans across N forked worker
 processes (morsel-driven; see docs/PLANNER.md), and ``--no-batch``
 falls back from the chunk-vectorized executor to the row-at-a-time
-streaming pipeline.
+streaming pipeline.  ``--no-rewrite`` disables the semantic rewrite
+registry (docs/REWRITER.md) the same way ``--no-optimize`` bypasses
+the physical planner; ``--explain-rewrites`` prints, for each query,
+the Core before/after the registry ran and every rewrite that fired
+with its discharged safety conditions, instead of executing.
 
 ``--trace-out FILE`` records a structured span trace of every executed
 query and writes one Chrome trace-event JSON file at exit (load it in
@@ -94,6 +100,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="disable the batch (chunk-vectorized) executor; queries "
         "run on the row-at-a-time streaming pipeline",
+    )
+    parser.add_argument(
+        "--no-rewrite",
+        action="store_true",
+        help="disable the semantic rewrite registry (decorrelation, "
+        "semi-joins, CSE — see docs/REWRITER.md)",
+    )
+    parser.add_argument(
+        "--explain-rewrites",
+        action="store_true",
+        help="for each query, print the Core before/after the rewrite "
+        "registry and the rewrites that fired, instead of executing",
     )
     parser.add_argument(
         "--parallel",
@@ -217,6 +235,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         sql_compat=not args.core,
         optimize=not args.no_optimize,
         batch=not args.no_batch,
+        rewrite=not args.no_rewrite,
         parallel=args.parallel,
         timeout_s=args.timeout,
         max_rows=args.max_rows,
@@ -243,6 +262,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 stats=args.stats,
                 trace=trace_context,
                 check=args.check,
+                explain_rewrites=args.explain_rewrites,
             )
         if args.script:
             with open(args.script) as handle:
@@ -252,6 +272,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     stats=args.stats,
                     trace=trace_context,
                     check=args.check,
+                    explain_rewrites=args.explain_rewrites,
                 )
         return _repl(db, stats=args.stats, trace=trace_context, check=args.check)
     finally:
@@ -522,8 +543,26 @@ def _run_text(
     stats: bool = False,
     trace=None,
     check: bool = False,
+    explain_rewrites: bool = False,
 ) -> int:
     from repro.syntax.parser import parse_script
+
+    if explain_rewrites:
+        from repro.syntax.printer import print_ast
+
+        try:
+            queries = parse_script(text)
+        except SQLPPError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        status = 0
+        for query in queries:
+            try:
+                print(db.explain_rewrites(print_ast(query)))
+            except SQLPPError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                status = 1
+        return status
 
     explained = _strip_explain(text)
     if check and _refused(db, explained[0] if explained else text):
@@ -684,6 +723,13 @@ def _dot_command(db: Database, line: str) -> bool:
 
             text = line.split(None, 1)[1]
             print(render_text(db.check(text), source=text))
+        elif command == ".rewrites":
+            if len(parts) >= 2:
+                print(db.explain_rewrites(line.split(None, 1)[1]))
+            else:
+                from repro.core import rewrite_rules
+
+                print(rewrite_rules.describe_rules())
         elif command == ".trace" and len(parts) >= 2:
             print(db.trace(line.split(None, 1)[1]).format_tree())
         elif command == ".stats":

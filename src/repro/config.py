@@ -67,6 +67,15 @@ class EvalConfig:
     #: per-morsel, results merge in morsel order).  0 disables; plans
     #: with a non-partitionable consumer run the serial batch path.
     parallel: int = 0
+    #: Semantic rewrites (docs/REWRITER.md): the safety-checked rule
+    #: registry (:mod:`repro.core.rewrite_rules`) that runs between
+    #: sugar lowering and physical planning — correlated EXISTS/IN →
+    #: semi-join, scalar-subquery decorrelation, OR-chain → IN,
+    #: repeated-subquery CSE.  ``rewrite=False`` keeps the Core query
+    #: exactly as the sugar rewriter produced it; results must be
+    #: identical either way (each rule discharges explicit safety
+    #: conditions before firing).  Ignored when ``optimize`` is off.
+    rewrite: bool = True
 
     def __post_init__(self) -> None:
         if self.typing_mode not in (PERMISSIVE, STRICT):

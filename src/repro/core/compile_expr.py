@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Any, Callable, List, TYPE_CHECKING
 
 from repro.core.environment import Environment, Unbound
+from repro.datamodel.equality import group_key
 from repro.datamodel.values import MISSING, Bag, Struct, type_name
 from repro.functions import operators as ops
 from repro.functions.registry import REGISTRY
@@ -36,6 +37,57 @@ CompiledExpr = Callable[[Environment], Any]
 RowExpr = Callable[[dict], Any]
 #: Chunk-at-a-time compiled expression: ``(rows, outer_env) -> values``.
 BatchExpr = Callable[[List[dict], Environment], List[Any]]
+
+
+def _literal_probe_set(collection: ast.Expr) -> Any:
+    """``(category, keys, representative)`` for an all-literal,
+    single-category IN list — or None when the generic path must run.
+
+    Precomputable because :func:`repro.datamodel.equality.group_key`
+    classes coincide with ``=``-TRUE on values of one equality category
+    (int/float unify in both).  The single-category restriction lets
+    the probe decide the no-match outcome wholesale: a probe value of
+    the same category compares cleanly against every element (False),
+    and one of a different category type-errors against every element
+    (NULL in permissive mode, a raise in strict — reproduced via one
+    representative comparison).
+    """
+    if not isinstance(collection, ast.ArrayLit) or not collection.items:
+        return None
+    category = None
+    keys = set()
+    for item in collection.items:
+        if not isinstance(item, ast.Literal):
+            return None
+        value = item.value
+        if value is None or not isinstance(value, (bool, int, float, str)):
+            return None
+        kind = ops._equality_kind(value)
+        if category is None:
+            category = kind
+        elif kind != category:
+            return None
+        keys.add(group_key(value))
+    representative = collection.items[0]
+    assert isinstance(representative, ast.Literal)
+    return category, frozenset(keys), representative.value
+
+
+def _probe_verdict(value: Any, probe: Any, config: Any) -> Any:
+    """``value IN <literal list>`` via the precomputed set — exactly
+    :func:`repro.functions.operators.in_collection` on that list."""
+    category, keys, representative = probe
+    if value is MISSING:
+        return MISSING
+    if value is None:
+        return None
+    if ops._equality_kind(value) != category:
+        # Same type mismatch against every element: strict mode raises
+        # here exactly as the first linear comparison would; permissive
+        # turns every comparison unknown, so the verdict is NULL.
+        ops.equals(value, representative, config)
+        return None
+    return group_key(value) in keys
 
 
 def compile_expr(expr: ast.Expr, evaluator: "Evaluator") -> CompiledExpr:
@@ -135,8 +187,20 @@ def compile_expr(expr: ast.Expr, evaluator: "Evaluator") -> CompiledExpr:
             # first match (early termination, docs/LANGUAGE.md §8).
             return lambda env: evaluator._eval_in(expr, env)
         operand_fn = compile_expr(expr.operand, evaluator)
-        collection_fn = compile_expr(expr.collection, evaluator)
         negated = expr.negated
+        probe = _literal_probe_set(expr.collection)
+        if probe is not None:
+            # Literal single-category IN list (what the OR→IN rewrite
+            # emits): probe a precomputed group-key set instead of
+            # re-evaluating the list and comparing linearly per row.
+            def contains_probe(env: Environment) -> Any:
+                verdict = _probe_verdict(operand_fn(env), probe, config)
+                return (
+                    ops.logical_not(verdict, config) if negated else verdict
+                )
+
+            return contains_probe
+        collection_fn = compile_expr(expr.collection, evaluator)
 
         def contains(env: Environment) -> Any:
             verdict = ops.in_collection(operand_fn(env), collection_fn(env), config)
@@ -465,10 +529,22 @@ def compile_row_expr(
         if isinstance(expr.collection, (ast.SubqueryExpr, ast.CoerceSubquery)):
             return None
         operand_fn = compile_row_expr(expr.operand, evaluator, row_vars)
-        collection_fn = compile_row_expr(expr.collection, evaluator, row_vars)
-        if operand_fn is None or collection_fn is None:
+        if operand_fn is None:
             return None
         negated = expr.negated
+        probe = _literal_probe_set(expr.collection)
+        if probe is not None:
+            # Same literal-list set probe as the env-space compiler.
+            def contains_probe_row(row: dict) -> Any:
+                verdict = _probe_verdict(operand_fn(row), probe, config)
+                return (
+                    ops.logical_not(verdict, config) if negated else verdict
+                )
+
+            return contains_probe_row
+        collection_fn = compile_row_expr(expr.collection, evaluator, row_vars)
+        if collection_fn is None:
+            return None
 
         def contains_row(row: dict) -> Any:
             verdict = ops.in_collection(

@@ -126,13 +126,21 @@ def split_conjuncts(expr: ast.Expr) -> List[ast.Expr]:
     return [expr]
 
 
-def _and_fold(conjuncts: List[ast.Expr]) -> Optional[ast.Expr]:
+def and_fold(conjuncts: List[ast.Expr]) -> Optional[ast.Expr]:
+    """Fold conjuncts back into an AND tree (inverse of
+    :func:`split_conjuncts`); None for an empty list.  Shared with the
+    semantic rewrite registry (:mod:`repro.core.rewrite_rules`), which
+    splits a WHERE, replaces or removes conjuncts, and refolds."""
     if not conjuncts:
         return None
     folded = conjuncts[0]
     for conjunct in conjuncts[1:]:
         folded = ast.Binary(op="AND", left=folded, right=conjunct)
     return folded
+
+
+#: Backwards-compatible private alias (pre-registry internal name).
+_and_fold = and_fold
 
 
 # =========================================================================

@@ -81,6 +81,11 @@ class QueryMetrics:
     #: against the store; None when the store is off or compile failed.
     fingerprint: Optional[str] = None
     plan_hash: Optional[str] = None
+    #: Codes of the semantic rewrites applied to this query, in firing
+    #: order (``SQLPPR01`` ... — docs/REWRITER.md); empty when the
+    #: registry is off or nothing matched.  Filled on compile-cache
+    #: hits too: the rewrite shaped this execution either way.
+    rewrites: List[str] = field(default_factory=list)
     #: Unix timestamp of query start (wall clock, for log correlation).
     started_at: float = field(default_factory=time.time)
 
@@ -108,6 +113,7 @@ class QueryMetrics:
             "parallel_workers": self.parallel_workers,
             "fingerprint": self.fingerprint,
             "plan_hash": self.plan_hash,
+            "rewrites": list(self.rewrites),
             "started_at": self.started_at,
         }
 
@@ -273,11 +279,31 @@ class MetricsRegistry:
                     ],
                 )
             )
+            rewrite_counters = sorted(
+                name
+                for name in self.counters
+                if name.startswith("rewrites_fired:")
+            )
+            if rewrite_counters:
+                lines.extend(
+                    expose_counter(
+                        "repro_rewrites_fired_total",
+                        "Semantic rewrite-rule firings by rule code.",
+                        [
+                            (
+                                {"rule": name.split(":", 1)[1]},
+                                self.counters[name],
+                            )
+                            for name in rewrite_counters
+                        ],
+                    )
+                )
             extra = sorted(
                 name
                 for name in self.counters
                 if name not in _COUNTER_METRICS
                 and name not in ("compile_cache_hits", "compile_cache_misses")
+                and not name.startswith("rewrites_fired:")
             )
             for name in extra:
                 lines.extend(

@@ -15,8 +15,8 @@ from repro.datamodel.values import Bag
 QUERY = "SELECT r.v AS v FROM t AS r WHERE r.v > 1"
 
 
-def make_db() -> Database:
-    db = Database()
+def make_db(**kwargs) -> Database:
+    db = Database(**kwargs)
     db.set("t", [{"v": 1}, {"v": 2}, {"v": 3}])
     return db
 
@@ -80,3 +80,61 @@ class TestCompileCache:
             db.compile(f"SELECT VALUE {index}")
             db.compile(QUERY)  # keep the hot entry recent
         assert db.compile(QUERY) is hot
+
+
+REWRITABLE = (
+    "SELECT r.v AS v FROM t AS r WHERE r.v = 1 OR r.v = 2 OR r.v = 3"
+)
+
+
+class TestRewriteCacheKey:
+    """The semantic rewrite registry participates in the cache key:
+    bumping ``REGISTRY_VERSION`` invalidates cached rewritten queries
+    exactly once, and per-query ``rewrite=False`` compiles into its own
+    entry rather than poisoning (or being poisoned by) the default."""
+
+    def test_registry_version_bump_invalidates_exactly_once(
+        self, monkeypatch
+    ):
+        from repro.core import rewrite_rules
+
+        db = make_db()
+        db.execute(REWRITABLE)
+        before = db.compile(REWRITABLE)
+        monkeypatch.setattr(rewrite_rules, "REGISTRY_VERSION", 2)
+        misses = db.metrics.counters["compile_cache_misses"]
+        after = db.compile(REWRITABLE)
+        assert after is not before
+        # Exactly one miss for the bump; the recompiled entry is a hit
+        # thereafter.
+        assert (
+            db.metrics.counters["compile_cache_misses"] == misses + 1
+        )
+        assert db.compile(REWRITABLE) is after
+        assert (
+            db.metrics.counters["compile_cache_misses"] == misses + 1
+        )
+
+    def test_per_query_rewrite_disable_is_a_distinct_entry(self):
+        db = make_db()
+        on = db.execute(REWRITABLE, rewrite=True)
+        misses = db.metrics.counters["compile_cache_misses"]
+        off = db.execute(REWRITABLE, rewrite=False)
+        assert db.metrics.counters["compile_cache_misses"] == misses + 1
+        # Both dials now hit their own entries.
+        db.execute(REWRITABLE, rewrite=True)
+        db.execute(REWRITABLE, rewrite=False)
+        assert db.metrics.counters["compile_cache_misses"] == misses + 1
+        from repro.datamodel.equality import deep_equals as eq
+
+        assert eq(Bag(list(on)), Bag(list(off)))
+
+    def test_registry_version_ignored_when_rewrites_off(self, monkeypatch):
+        from repro.core import rewrite_rules
+
+        db = make_db(rewrite=False)
+        before = db.compile(REWRITABLE)
+        monkeypatch.setattr(rewrite_rules, "REGISTRY_VERSION", 99)
+        # With the registry off the version cannot affect the compiled
+        # Core, so the cached entry must survive the bump.
+        assert db.compile(REWRITABLE) is before

@@ -1,0 +1,59 @@
+"""Rewrite-registry parity over the full compatibility kit.
+
+Acceptance bar for the semantic rewrite registry (docs/REWRITER.md):
+on every conformance case — every paper listing plus the extended and
+analytics corpora, each swept in *both* typing modes — execution with
+the registry enabled must be observationally identical to
+``rewrite=False``: same result bag (or array, for ordered cases) or
+the same error class.  The sweep runs with physical planning on, so it
+also covers the registry's interaction with pushdown and hash joins.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.catalog.database import Database
+from repro.compat.corpus import all_cases
+from repro.datamodel.equality import deep_equals
+from repro.datamodel.values import Bag
+
+
+def _build_database(case, typing_mode: str) -> Database:
+    db = Database(typing_mode=typing_mode, sql_compat=case.sql_compat)
+    for name, literal in case.data.items():
+        db.load_value(name, literal)
+    return db
+
+
+def _outcome(db: Database, case, rewrite: bool):
+    try:
+        return ("value", db.execute(case.query, rewrite=rewrite))
+    except errors.SQLPPError as exc:
+        return ("error", type(exc).__name__)
+
+
+@pytest.mark.parametrize("typing_mode", ["permissive", "strict"])
+@pytest.mark.parametrize("case", all_cases(), ids=lambda case: case.case_id)
+def test_rewritten_equals_reference(case, typing_mode):
+    rewritten = _outcome(
+        _build_database(case, typing_mode), case, rewrite=True
+    )
+    reference = _outcome(
+        _build_database(case, typing_mode), case, rewrite=False
+    )
+    assert rewritten[0] == reference[0], (
+        f"{case.case_id} [{typing_mode}]: "
+        f"rewritten → {rewritten}, reference → {reference}"
+    )
+    if rewritten[0] == "error":
+        assert rewritten[1] == reference[1]
+        return
+    left, right = rewritten[1], reference[1]
+    if case.ordered:
+        assert deep_equals(left, right)
+    else:
+        left = Bag(list(left)) if isinstance(left, (list, Bag)) else left
+        right = Bag(list(right)) if isinstance(right, (list, Bag)) else right
+        assert deep_equals(left, right)
