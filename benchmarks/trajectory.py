@@ -191,6 +191,23 @@ def build_workloads() -> List[Tuple[str, Callable[[], object]]]:
         )
     )
 
+    # Statically-empty predicate pruning (E19 / PR 10): abstract
+    # interpretation proves the contradictory WHERE never TRUE and the
+    # planner collapses the 100k-row scan to a zero-row EmptyOp
+    # (docs/PLANNER.md "prune-empty"); tracks the whole
+    # fold/prove/prune pipeline on a warm compile cache, where the
+    # work left should be near-constant regardless of data size.
+    pruned = Database()
+    pruned.set("orders", big_orders)
+    pruned_query = (
+        "SELECT VALUE o.oid FROM orders AS o "
+        "WHERE o.total > 500 AND o.total < 100"
+    )
+    pruned.execute(pruned_query)
+    workloads.append(
+        ("e19_prune_empty_n100k", lambda: pruned.execute(pruned_query))
+    )
+
     # Scan + predicate on the warm compile cache: big enough (~10ms)
     # that the 25% gate measures the engine, not scheduler jitter.
     cached = Database()

@@ -120,7 +120,24 @@ def analyze_query(
     found.extend(flow.diagnostics)
 
     found.extend(_rewrite_pass(core, options))
+    found.extend(_absint_pass(core, options))
     return found
+
+
+def _absint_pass(
+    core: ast.Query, options: AnalyzerOptions
+) -> List[Diagnostic]:
+    """The abstract-interpretation pass (SQLPP120-124): constant facts,
+    contradictory/tautological conjuncts, dead CASE branches and
+    statically-empty blocks, over the sugar-lowered Core tree."""
+    from repro.analysis.absint import predicate_diagnostics
+
+    try:
+        return predicate_diagnostics(
+            core, options.config, catalog_types=dict(options.catalog_types)
+        )
+    except Exception:  # pragma: no cover - lint must never raise
+        return []
 
 
 def _rewrite_pass(

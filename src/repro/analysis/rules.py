@@ -24,10 +24,12 @@ from repro.analysis.diagnostics import ERROR, INFO, WARNING, Diagnostic
 class Rule:
     """Metadata for one lint rule.
 
-    ``fixable`` cross-references the semantic rewrite rule
-    (``SQLPPR01`` ... — :mod:`repro.core.rewrite_rules`,
-    docs/REWRITER.md) that rewrites the flagged construct
-    automatically; ``None`` for findings with no registered rewrite.
+    ``fixable`` cross-references the automatic remedy for the flagged
+    construct: a semantic rewrite rule (``SQLPPR01`` ... —
+    :mod:`repro.core.rewrite_rules`, docs/REWRITER.md) or a planner
+    action (``prune-empty`` / ``drop-true`` / ``fold-constant`` —
+    :mod:`repro.analysis.absint`, docs/PLANNER.md); ``None`` for
+    findings with no registered remedy.
     """
 
     code: str
@@ -181,6 +183,54 @@ RULES: Dict[str, Rule] = {
             "A subquery repeated verbatim inside one block can be "
             "hoisted into a LET binding and evaluated once.",
             fixable="SQLPPR04",
+        ),
+        # The SQLPP12x range is the abstract-interpretation pass
+        # (repro.analysis.absint): constant/interval facts over the
+        # rewritten Core.  ``fixable`` here names the *planner action*
+        # that exploits the same proof (visible in EXPLAIN `rewrites
+        # fired:` / `pruned:` lines) rather than a registry rewrite.
+        _rule(
+            "SQLPP120",
+            "contradictory-predicate",
+            WARNING,
+            "A WHERE/ON/HAVING conjunction is statically unsatisfiable "
+            "— no binding can make every conjunct exactly TRUE — so "
+            "the clause filters out everything.",
+            fixable="prune-empty",
+        ),
+        _rule(
+            "SQLPP121",
+            "tautological-conjunct",
+            INFO,
+            "A conjunct (e.g. `x = x` over a provably non-absent, "
+            "comparable value) is TRUE for every binding that reaches "
+            "it and filters nothing.",
+            fixable="drop-true",
+        ),
+        _rule(
+            "SQLPP122",
+            "constant-foldable",
+            INFO,
+            "An expression is built entirely from literals and always "
+            "evaluates to the same value.",
+            fixable="fold-constant",
+        ),
+        _rule(
+            "SQLPP123",
+            "unreachable-case-branch",
+            WARNING,
+            "A CASE branch can never produce the result: its condition "
+            "is constant and never matches, or an earlier constant "
+            "branch always terminates the chain first.",
+            fixable="fold-constant",
+        ),
+        _rule(
+            "SQLPP124",
+            "statically-empty-query",
+            WARNING,
+            "A query block's WHERE clause is proven never TRUE, so the "
+            "block always yields zero bindings.",
+            fixable="prune-empty",
         ),
     )
 }

@@ -414,6 +414,9 @@ class Database:
             self._schema_version,
             rewrite_on,
             rewrite_rules.REGISTRY_VERSION if rewrite_on else 0,
+            # Constant folding only runs under optimize, so the dial
+            # changes the cached Core tree, not just the plan.
+            config.optimize,
         )
         cached = self._compile_cache.get(key)
         if cached is not None:
@@ -440,6 +443,19 @@ class Database:
             core, fired = rewrite_rules.apply_rules(
                 pre_core, config, catalog_types=self._rewrite_catalog_types()
             )
+            from repro.analysis.verify_plan import maybe_verify_rewrite
+
+            maybe_verify_rewrite(
+                pre_core, core, fired, catalog_names=self.catalog.names()
+            )
+        if config.optimize:
+            # Constant folding executes the real runtime operators, so
+            # the folded tree is observationally identical (a raising
+            # subexpression stays unfolded); ``pre_core`` stays unfolded
+            # so query-store fingerprints are unaffected.
+            from repro.analysis.absint import fold_query
+
+            core, _folds = fold_query(core, config)
         rewritten_at = perf_counter()
         if metrics is not None:
             metrics.parse_s = parsed_at - started
@@ -846,7 +862,11 @@ class Database:
             and not getattr(body.select, "distinct", False)
         )
         plan = plan_block(
-            body, config, stats=self._stats, reorder_ok=reorder_ok
+            body,
+            config,
+            stats=self._stats,
+            reorder_ok=reorder_ok,
+            catalog_names=set(self.catalog.names()),
         )
         if plan is None:
             if not config.optimize:
@@ -864,6 +884,53 @@ class Database:
         if consumer is not None:
             lines.append(f"consumer: {consumer}")
         return "\n".join(lines)
+
+    def verify_plan(
+        self,
+        query: str,
+        typing_mode: Optional[str] = None,
+        sql_compat: Optional[bool] = None,
+    ) -> List[str]:
+        """Run the structural verifier over a query's rewrite output and
+        every physical plan its blocks produce; returns the list of
+        violations (empty = every invariant holds).
+
+        This is the on-demand form of the ``REPRO_VERIFY_PLANS=1``
+        debug mode (:mod:`repro.analysis.verify_plan`): binding
+        well-formedness, filter/key scoping, estimate monotonicity,
+        span presence, and operator-tree shape.  Nested subquery blocks
+        are planned (``force=True``) and checked too, so coverage does
+        not depend on whether a rewrite happened to fire.
+        """
+        from repro.analysis.verify_plan import (
+            verify_block_plan,
+            verify_rewrite,
+        )
+        from repro.core.planner import plan_block
+
+        config = self._effective_config(typing_mode, sql_compat)
+        core, pre_core, fired, __ = self._compile_profiled(
+            query, typing_mode, sql_compat
+        )
+        violations = list(
+            verify_rewrite(
+                pre_core, core, fired, catalog_names=self.catalog.names()
+            )
+        )
+        catalog_names = set(self.catalog.names())
+        for node in core.walk():
+            if not isinstance(node, ast.QueryBlock):
+                continue
+            plan = plan_block(
+                node,
+                config,
+                stats=self._stats,
+                force=True,
+                catalog_names=catalog_names,
+            )
+            if plan is not None:
+                violations.extend(verify_block_plan(plan))
+        return violations
 
     def explain_rewrites(
         self,

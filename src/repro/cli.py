@@ -193,6 +193,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(see docs/ANALYZER.md)",
     )
     parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info"),
+        default="error",
+        help="with --check: lowest finding severity that refuses "
+        "execution (default: error)",
+    )
+    parser.add_argument(
         "--compat-kit",
         action="store_true",
         help="run the SQL++ compatibility kit and print the report",
@@ -263,6 +270,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 trace=trace_context,
                 check=args.check,
                 explain_rewrites=args.explain_rewrites,
+                fail_on=args.fail_on,
             )
         if args.script:
             with open(args.script) as handle:
@@ -273,8 +281,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                     trace=trace_context,
                     check=args.check,
                     explain_rewrites=args.explain_rewrites,
+                    fail_on=args.fail_on,
                 )
-        return _repl(db, stats=args.stats, trace=trace_context, check=args.check)
+        return _repl(
+            db,
+            stats=args.stats,
+            trace=trace_context,
+            check=args.check,
+            fail_on=args.fail_on,
+        )
     finally:
         if trace_context is not None:
             trace_context.write_chrome_trace(args.trace_out)
@@ -327,6 +342,13 @@ def _lint_main(argv: List[str]) -> int:
         help="load a data file into a named value first (repeatable)",
     )
     parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info"),
+        default="error",
+        help="lowest finding severity that fails the run "
+        "(default: error)",
+    )
+    parser.add_argument(
         "--compat-kit",
         action="store_true",
         help="lint every compatibility-kit listing (false-positive "
@@ -339,7 +361,6 @@ def _lint_main(argv: List[str]) -> int:
         parser.error("nothing to lint: give files, -c QUERY or --compat-kit")
 
     from repro.analysis import render_json, render_text
-    from repro.analysis.diagnostics import ERROR
 
     db = Database(
         typing_mode="strict" if args.strict else "permissive",
@@ -365,9 +386,18 @@ def _lint_main(argv: List[str]) -> int:
             print(render_json(diagnostics, filename=label))
         else:
             print(render_text(diagnostics, source=text, filename=label))
-        if any(d.severity == ERROR for d in diagnostics):
+        if any(_at_least(d.severity, args.fail_on) for d in diagnostics):
             status = 1
     return status
+
+
+#: Severity rank for ``--fail-on`` thresholds (higher = more severe).
+_SEVERITY_RANK = {"info": 0, "warning": 1, "error": 2}
+
+
+def _at_least(severity: str, threshold: str) -> bool:
+    """Whether ``severity`` meets or exceeds the ``--fail-on`` bar."""
+    return _SEVERITY_RANK.get(severity, 0) >= _SEVERITY_RANK[threshold]
 
 
 def _report_main(argv: List[str]) -> int:
@@ -521,20 +551,21 @@ def _session_tracer(trace):
     return ExecTracer(trace=trace)
 
 
-def _refused(db: Database, text: str) -> bool:
-    """The ``--check`` gate: True when static analysis finds errors.
+def _refused(db: Database, text: str, fail_on: str = "error") -> bool:
+    """The ``--check`` gate: True when static analysis finds findings
+    at or above the ``--fail-on`` severity threshold.
 
-    Error-severity findings are printed (caret context included) and
-    the query is refused; warnings are printed but do not block.
+    Every finding is printed (caret context included); only findings
+    meeting the threshold block execution — by default errors, with
+    ``--fail-on warning`` / ``--fail-on info`` tightening the gate.
     """
     from repro.analysis import render_text
-    from repro.analysis.diagnostics import ERROR
 
     diagnostics = db.check(text)
     if not diagnostics:
         return False
     print(render_text(diagnostics, source=text), file=sys.stderr)
-    return any(d.severity == ERROR for d in diagnostics)
+    return any(_at_least(d.severity, fail_on) for d in diagnostics)
 
 
 def _run_text(
@@ -544,6 +575,7 @@ def _run_text(
     trace=None,
     check: bool = False,
     explain_rewrites: bool = False,
+    fail_on: str = "error",
 ) -> int:
     from repro.syntax.parser import parse_script
 
@@ -565,9 +597,10 @@ def _run_text(
         return status
 
     explained = _strip_explain(text)
-    if check and _refused(db, explained[0] if explained else text):
+    if check and _refused(db, explained[0] if explained else text, fail_on):
         print(
-            "error: refusing to execute (--check found errors)",
+            "error: refusing to execute (--check found findings at "
+            f"or above --fail-on {fail_on})",
             file=sys.stderr,
         )
         return 1
@@ -615,7 +648,11 @@ def _run_text(
 
 
 def _repl(
-    db: Database, stats: bool = False, trace=None, check: bool = False
+    db: Database,
+    stats: bool = False,
+    trace=None,
+    check: bool = False,
+    fail_on: str = "error",
 ) -> int:
     print(f"sqlpp {__version__} — type .help for commands, .quit to exit")
     buffer: List[str] = []
@@ -644,9 +681,9 @@ def _repl(
             try:
                 explained = _strip_explain(text)
                 if check and _refused(
-                    db, explained[0] if explained else text
+                    db, explained[0] if explained else text, fail_on
                 ):
-                    print("refused (--check found errors)")
+                    print(f"refused (--check, --fail-on {fail_on})")
                     continue
                 if explained is not None:
                     query, analyze = explained

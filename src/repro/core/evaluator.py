@@ -458,12 +458,29 @@ class Evaluator:
                 stats=self._stats,
                 reorder_ok=self._reorder_flags.get(id(block), (None, False))[1],
                 force=True,
+                catalog_names=self._catalog_names(),
             )
             elapsed = perf_counter() - started
             self.plan_time_s = (self.plan_time_s or 0.0) + elapsed
+            if plan is not None:
+                from repro.analysis.verify_plan import maybe_verify_block_plan
+
+                maybe_verify_block_plan(plan)
             entry = (block, plan, version)
             self._batch_plans[id(block)] = entry
         return entry[1]
+
+    def _catalog_names(self) -> set:
+        """Names the catalog can resolve, for the planner's emptiness
+        proof (a free name outside this set might be a binding error at
+        runtime, so pruning must not erase its evaluation)."""
+        names = getattr(self._catalog, "names", None)
+        if callable(names):
+            return set(names())
+        try:
+            return set(self._catalog)
+        except TypeError:  # pragma: no cover - defensive
+            return set()
 
     def _catalog_data_version(self):
         """The catalog's data + feedback version, for plan staleness —
@@ -1135,8 +1152,13 @@ class Evaluator:
                 self.config,
                 stats=self._stats,
                 reorder_ok=self._reorder_flags.get(id(block), (None, False))[1],
+                catalog_names=self._catalog_names(),
             )
             elapsed = perf_counter() - started
+            if plan is not None:
+                from repro.analysis.verify_plan import maybe_verify_block_plan
+
+                maybe_verify_block_plan(plan)
             entry = (block, plan, version)
             self.plan_time_s = (self.plan_time_s or 0.0) + elapsed
             if self.tracer is not None and self.tracer.trace is not None:

@@ -92,6 +92,16 @@ class PlanOp:
         #: statistics are available; None means "no estimate" and
         #: renders as ``est=?`` on EXPLAIN ANALYZE lines.
         self.est_rows: Optional[float] = None
+        #: Where ``est_rows`` came from: ``"model"`` (selectivity math
+        #: over collected statistics) or ``"feedback"`` (an observed
+        #: actual from the query store's cardinality feedback loop).
+        #: Feedback estimates are ground truth for *this* plan shape
+        #: and may legitimately exceed what the model derives from the
+        #: children, so the structural verifier
+        #: (:mod:`repro.analysis.verify_plan`) only enforces the
+        #: join-output <= product-of-inputs monotonicity law on
+        #: model-derived estimates.
+        self.est_source: str = "model"
 
     def bindings(
         self, evaluator: "Evaluator", env: "Environment"
@@ -261,6 +271,36 @@ class PlanOp:
         self, indent: int, tracer=None, worst_id: Optional[int] = None
     ) -> List[str]:
         return []
+
+
+class EmptyOp(PlanOp):
+    """A statically-proven zero-row pipeline.
+
+    The planner emits one when abstract interpretation proves the
+    block's WHERE conjunction can never be exactly TRUE under
+    conditions where erasing the enumeration is unobservable
+    (:func:`repro.analysis.absint.block_prune_reason`).  It still
+    declares the variables the replaced FROM items would have bound, so
+    downstream plumbing (EXPLAIN, the verifier, batch compilation)
+    sees a well-formed operator; it just never yields a binding.
+    """
+
+    def __init__(self, variables: List[str], reason: str):
+        super().__init__()
+        self.vars = list(variables)
+        self.reason = reason
+        self.est_rows = 0.0
+
+    def _iter_produce(self, evaluator, env):
+        return iter(())
+
+    def iter_chunks(self, evaluator, env, morsel=None, tables=None):
+        # A morsel request would be a driver bug (there is no base scan
+        # to partition), but answering it with emptiness is still exact.
+        return iter(())
+
+    def describe(self) -> str:
+        return f"Empty ({self.reason})"
 
 
 class ScanOp(PlanOp):

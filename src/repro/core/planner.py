@@ -47,6 +47,7 @@ from typing import List, Optional, Set, Tuple
 from repro.config import EvalConfig
 from repro.core.plan_ops import (
     CorrelatedJoinOp,
+    EmptyOp,
     HashJoinOp,
     MaterializeJoinOp,
     PlanOp,
@@ -135,7 +136,12 @@ def and_fold(conjuncts: List[ast.Expr]) -> Optional[ast.Expr]:
         return None
     folded = conjuncts[0]
     for conjunct in conjuncts[1:]:
-        folded = ast.Binary(op="AND", left=folded, right=conjunct)
+        rebuilt = ast.Binary(op="AND", left=folded, right=conjunct)
+        # The synthesized AND carries its left arm's span so any lint
+        # finding or error on the refolded tree points at source the
+        # user actually wrote.
+        ast.copy_span(rebuilt, folded)
+        folded = rebuilt
     return folded
 
 
@@ -173,6 +179,10 @@ class BlockPlan:
     #: ``order: a ⋈ b (syntactic: b ⋈ a)`` EXPLAIN line for join plans
     #: costed against statistics; None when no join order was costed.
     order_line: Optional[str] = None
+    #: Why the whole FROM/WHERE pipeline was proven empty and replaced
+    #: by an :class:`~repro.core.plan_ops.EmptyOp`; None for ordinary
+    #: plans.  Rendered as a ``pruned:`` EXPLAIN line.
+    pruned: Optional[str] = None
 
     def execute(self, evaluator, env) -> list:
         """Produce the block's binding environments eagerly (the
@@ -247,6 +257,8 @@ class BlockPlan:
             lines.extend(op_lines)
             for predicate in item_plan.prefix_filters:
                 lines.append(f"  filter (prefix): {print_ast(predicate)}")
+        if self.pruned is not None:
+            lines.append(f"pruned: {self.pruned}")
         lines.extend(self.stats_lines)
         if self.order_line is not None:
             lines.append(self.order_line)
@@ -273,6 +285,7 @@ def plan_block(
     stats=None,
     reorder_ok: bool = False,
     force: bool = False,
+    catalog_names: Optional[Set[str]] = None,
 ) -> Optional[BlockPlan]:
     """Plan a Core query block; None means "run the reference pipeline".
 
@@ -287,11 +300,34 @@ def plan_block(
     additionally holds (the caller proved the block's output order is
     unobservable — no ORDER BY / GROUP BY / DISTINCT downstream), inner
     hash-join trees are re-ordered greedily by estimated cardinality.
+
+    ``catalog_names`` (when the caller knows them) lets abstract
+    interpretation prove a never-TRUE WHERE clause's block empty and
+    collapse the whole pipeline to a zero-row
+    :class:`~repro.core.plan_ops.EmptyOp` (EXPLAIN ``pruned:`` line).
     """
     if block.from_ is None:
         return None
     if not config.optimize or not config.is_permissive:
         return None
+
+    if block.where is not None:
+        # Lazy import: absint layers on top of this module's helpers.
+        from repro.analysis.absint import block_prune_reason
+
+        reason = block_prune_reason(block, config, catalog_names)
+        if reason is not None:
+            variables: List[str] = []
+            for item in block.from_:
+                for name in item_vars(item):
+                    if name not in variables:
+                        variables.append(name)
+            return BlockPlan(
+                items=[ItemPlan(op=EmptyOp(variables, reason))],
+                residual_where=None,
+                rewrites=[f"prune-empty: {reason}"],
+                pruned=reason,
+            )
 
     rewrites: List[str] = []
     item_plans: List[ItemPlan] = []
@@ -312,8 +348,17 @@ def plan_block(
     # Pushdown is only safe when nothing evaluates between FROM and
     # WHERE in the reference pipeline (LET does).
     if block.where is not None and not block.lets:
-        residual: List[ast.Expr] = []
+        conjuncts: List[ast.Expr] = []
         for conjunct in split_conjuncts(block.where):
+            # A literal TRUE conjunct filters nothing and cannot raise
+            # under permissive typing; dropping it before pushdown
+            # keeps it out of every per-row filter chain.
+            if isinstance(conjunct, ast.Literal) and conjunct.value is True:
+                rewrites.append("drop-true: TRUE conjunct removed")
+                continue
+            conjuncts.append(conjunct)
+        residual: List[ast.Expr] = []
+        for conjunct in conjuncts:
             if not _push_conjunct(conjunct, item_plans, item_var_sets, rewrites):
                 residual.append(conjunct)
         if len(residual) < len(split_conjuncts(block.where)):
@@ -951,6 +996,11 @@ def _estimate_op(op: PlanOp, stats) -> Optional[float]:
 
     feedback = getattr(stats, "feedback_rows", None)
     estimate: Optional[float] = None
+    if isinstance(op, EmptyOp):
+        # A statically-proven empty pipeline: the one operator whose
+        # estimate is exact and allowed to be zero.
+        op.est_rows = 0.0
+        return 0.0
     if isinstance(op, ScanOp):
         if isinstance(op.item, ast.FromCollection):
             name = source_name(op.item.expr)
@@ -966,6 +1016,7 @@ def _estimate_op(op: PlanOp, stats) -> Optional[float]:
                 hint = feedback(scan_feedback_key(op))
                 if hint is not None:
                     estimate = max(float(hint), 1.0)
+                    op.est_source = "feedback"
     elif isinstance(op, HashJoinOp):
         left = _estimate_op(op.left, stats)
         right = _estimate_op(op.right, stats)
@@ -985,6 +1036,7 @@ def _estimate_op(op: PlanOp, stats) -> Optional[float]:
             hint = feedback(join_feedback_key(op))
             if hint is not None:
                 estimate = max(float(hint), 1.0)
+                op.est_source = "feedback"
     elif isinstance(op, MaterializeJoinOp):
         left = _estimate_op(op.left, stats)
         right = _estimate_op(op.right, stats)

@@ -70,7 +70,7 @@ from repro.core.planner import (
 )
 from repro.core.rewriter import _block_variables as block_variables
 from repro.syntax import ast
-from repro.syntax.ast import copy_span
+from repro.syntax.ast import copy_span, copy_span_tree
 from repro.syntax.printer import print_ast
 
 #: Bumped on any change to a rule's matcher or transformer.  Part of the
@@ -570,7 +570,7 @@ def _try_semijoin_exists(
             "IS NOT MISSING (an absent key matches no outer row)"
         )
     alias = ctx.fresh("semi")
-    semi_block = copy_span(
+    semi_block = copy_span_tree(
         ast.QueryBlock(
             select=ast.SelectValue(expr=correlation.inner_key, distinct=True),
             from_=[scan],
@@ -578,14 +578,14 @@ def _try_semijoin_exists(
         ),
         conjunct,
     )
-    semi_item = copy_span(
+    semi_item = copy_span_tree(
         ast.FromCollection(
             expr=ast.SubqueryExpr(query=ast.Query(body=semi_block)),
             alias=alias,
         ),
         conjunct,
     )
-    on = copy_span(
+    on = copy_span_tree(
         ast.Binary(
             op="=",
             left=correlation.outer_key,
@@ -636,7 +636,7 @@ def _try_semijoin_in(
             "subquery elements not provably present: guarded with "
             "IS NOT MISSING (an absent element matches nothing)"
         )
-    semi_block = copy_span(
+    semi_block = copy_span_tree(
         ast.QueryBlock(
             select=ast.SelectValue(
                 expr=ast.VarRef(name=element), distinct=True
@@ -648,14 +648,14 @@ def _try_semijoin_in(
         ),
         conjunct,
     )
-    semi_item = copy_span(
+    semi_item = copy_span_tree(
         ast.FromCollection(
             expr=ast.SubqueryExpr(query=ast.Query(body=semi_block)),
             alias=alias,
         ),
         conjunct,
     )
-    on = copy_span(
+    on = copy_span_tree(
         ast.Binary(op="=", left=operand, right=ast.VarRef(name=alias)),
         conjunct,
     )
@@ -783,7 +783,7 @@ def _match_decorrelatable(
 
     key_alias = ctx.fresh("dk")
     alias = ctx.fresh("dec")
-    dec_block = copy_span(
+    dec_block = copy_span_tree(
         ast.QueryBlock(
             select=ast.SelectValue(
                 expr=ast.StructLit(
@@ -811,14 +811,14 @@ def _match_decorrelatable(
         ),
         node,
     )
-    dec_item = copy_span(
+    dec_item = copy_span_tree(
         ast.FromCollection(
             expr=ast.SubqueryExpr(query=ast.Query(body=dec_block)),
             alias=alias,
         ),
         node,
     )
-    join = copy_span(
+    join = copy_span_tree(
         ast.FromJoin(
             left=block.from_[-1],
             right=dec_item,
@@ -925,7 +925,7 @@ def _aggregate_replacement(
     while the original empty-group COLL_SUM/AVG/MIN/MAX coerces to
     NULL (and COLL_COUNT to 0)."""
     empty_value = 0 if aggregate == "COLL_COUNT" else None
-    return copy_span(
+    return copy_span_tree(
         ast.CaseExpr(
             operand=None,
             whens=[
@@ -983,12 +983,10 @@ def _or_to_in_in_expr(
         if match is None:
             continue
         operand, literals, safety = match
-        replacement = copy_span(
+        replacement = copy_span_tree(
             ast.InPredicate(
                 operand=operand,
-                collection=copy_span(
-                    ast.ArrayLit(items=list(literals)), conjunct
-                ),
+                collection=ast.ArrayLit(items=list(literals)),
             ),
             conjunct,
         )

@@ -92,6 +92,25 @@ def copy_span(target: NodeT, source: Node) -> NodeT:
     return target
 
 
+def copy_span_tree(target: NodeT, source: Node) -> NodeT:
+    """Stamp ``source``'s span onto every unstamped node under ``target``.
+
+    The deep cousin of :func:`copy_span`: rewrite rules synthesize whole
+    subtrees (a decorrelated join arm, an IN-list, a hoisted LET), and a
+    single-node stamp would leave the nested nodes span-less.  Nodes that
+    already carry a span — shared subtrees lifted from the user's query —
+    are left untouched, so diagnostics keep pointing at the most precise
+    position available.
+    """
+    if source.line is None:
+        return target
+    for node in target.walk():
+        if node.line is None:
+            node.line = source.line
+            node.column = source.column
+    return target
+
+
 def _transform_value(value: Any, fn: Callable[[Node], Node]) -> Any:
     if isinstance(value, Node):
         return value.transform(fn)

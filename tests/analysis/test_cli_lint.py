@@ -33,6 +33,8 @@ class TestLintCommand:
                     "lint",
                     "--ignore",
                     "SQLPP102",
+                    "--ignore",
+                    "SQLPP122",
                     "-c",
                     "SELECT VALUE 1 = 'a'",
                 ]

@@ -1,0 +1,51 @@
+"""Plan/rewrite invariant verifier over the full compatibility kit.
+
+Acceptance bar for the structural verifier (docs/ANALYZER.md): with
+``REPRO_VERIFY_PLANS=1`` set, every conformance case — every paper
+listing plus the extended and analytics corpora, each swept in *both*
+typing modes — must compile, rewrite, and plan without a single
+:class:`~repro.analysis.verify_plan.PlanVerificationError`.  Engine
+errors the case itself provokes (type errors in strict mode, missing
+bindings) are fine; a verifier failure never is, which is why
+``PlanVerificationError`` is not an ``SQLPPError`` and would surface
+here as a hard test failure rather than an expected outcome.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.catalog.database import Database
+from repro.compat.corpus import all_cases
+
+
+@pytest.fixture(autouse=True)
+def _verify_plans(monkeypatch):
+    monkeypatch.setenv("REPRO_VERIFY_PLANS", "1")
+
+
+@pytest.mark.parametrize("typing_mode", ["permissive", "strict"])
+@pytest.mark.parametrize("case", all_cases(), ids=lambda case: case.case_id)
+def test_every_plan_and_rewrite_verifies(case, typing_mode):
+    db = Database(typing_mode=typing_mode, sql_compat=case.sql_compat)
+    for name, literal in case.data.items():
+        db.load_value(name, literal)
+    try:
+        db.execute(case.query)
+    except errors.SQLPPError:
+        pass  # the case's own runtime outcome; not a verifier violation
+
+
+@pytest.mark.parametrize("typing_mode", ["permissive", "strict"])
+@pytest.mark.parametrize("case", all_cases(), ids=lambda case: case.case_id)
+def test_verify_plan_reports_no_violations(case, typing_mode):
+    """The on-demand entry point agrees with the automatic sweep."""
+    db = Database(typing_mode=typing_mode, sql_compat=case.sql_compat)
+    for name, literal in case.data.items():
+        db.load_value(name, literal)
+    try:
+        violations = db.verify_plan(case.query)
+    except errors.SQLPPError:
+        return  # the query does not compile in this mode; nothing to verify
+    assert violations == []

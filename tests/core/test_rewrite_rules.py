@@ -449,3 +449,74 @@ class TestLintIntegration:
             d.code == "SQLPP111" and d.fixable == "SQLPPR01"
             for d in findings
         )
+
+
+class TestSynthesizedSpans:
+    """Every node a rule synthesizes must carry a source span pointing
+    at the user's sugar, so SQLPP11x findings, verifier reports, and
+    runtime errors over rewritten trees stay attributable.  Pinned both
+    directly (walking the rewritten tree) and through the structural
+    verifier's span check (docs/ANALYZER.md)."""
+
+    FIRING_QUERIES = {
+        "SQLPPR01": EXISTS_QUERY,
+        "SQLPPR02": SCALAR_QUERY,
+        "SQLPPR03": OR_QUERY,
+        "SQLPPR04": CSE_QUERY,
+    }
+
+    @pytest.mark.parametrize("code", sorted(FIRING_QUERIES))
+    def test_every_synthesized_node_is_stamped(self, code):
+        config = EvalConfig()
+        core = rewrite_query(
+            parse(self.FIRING_QUERIES[code]),
+            config,
+            catalog_names=("customers", "orders"),
+        )
+        rewritten, fired = apply_rules(core, config)
+        assert code in [result.code for result in fired]
+        original = {id(node) for node in core.walk()}
+        unstamped = [
+            node
+            for node in rewritten.walk()
+            if id(node) not in original and node.line is None
+        ]
+        assert unstamped == []
+
+    @pytest.mark.parametrize("code", sorted(FIRING_QUERIES))
+    def test_verifier_accepts_rewrite_output(self, code):
+        from repro.analysis.verify_plan import verify_rewrite
+
+        config = EvalConfig()
+        core = rewrite_query(
+            parse(self.FIRING_QUERIES[code]),
+            config,
+            catalog_names=("customers", "orders"),
+        )
+        rewritten, fired = apply_rules(core, config)
+        assert verify_rewrite(
+            core, rewritten, fired, ["customers", "orders"]
+        ) == []
+
+    def test_spans_point_at_the_sugar(self):
+        # The EXISTS conjunct starts after "WHERE " on the query's one
+        # line; the synthesized semi-join subtree must carry its span.
+        config = EvalConfig()
+        core = rewrite_query(
+            parse(EXISTS_QUERY),
+            config,
+            catalog_names=("customers", "orders"),
+        )
+        where = core.body.where
+        rewritten, fired = apply_rules(core, config)
+        assert fired and fired[0].line == where.line
+        original = {id(node) for node in core.walk()}
+        synthesized = [
+            node
+            for node in rewritten.walk()
+            if id(node) not in original and node.line is not None
+        ]
+        assert synthesized
+        assert {node.line for node in synthesized} <= {
+            node.line for node in core.walk() if node.line is not None
+        }
